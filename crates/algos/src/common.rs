@@ -1,0 +1,138 @@
+//! Deterministic per-vertex randomness.
+//!
+//! Every machine must agree on random per-vertex values (MIS priorities,
+//! sampling weights and thresholds, K-means centers) *without
+//! communicating*: we derive them from a splittable hash of
+//! `(seed, stream, vertex)`. This keeps every engine policy — and the
+//! single-threaded references — bit-identical in their random choices, so
+//! tests can compare outputs exactly where the algorithm is deterministic.
+
+use symple_graph::{Graph, Vid};
+
+/// SplitMix64 finalizer — a high-quality 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic hash of `(seed, stream, x)`.
+pub fn hash3(seed: u64, stream: u64, x: u64) -> u64 {
+    splitmix64(splitmix64(seed ^ stream.wrapping_mul(0xa076_1d64_78bd_642f)) ^ x)
+}
+
+/// A uniform value in `[0, 1)` derived from `(seed, stream, x)`.
+pub fn uniform01(seed: u64, stream: u64, x: u64) -> f64 {
+    // 53 random mantissa bits
+    (hash3(seed, stream, x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// MIS priority ("color") of a vertex: a random total order, ties broken
+/// by id so priorities are distinct (§2.1: "each vertex is assigned
+/// distinct values (colors)").
+pub fn vertex_color(seed: u64, v: Vid) -> u64 {
+    (hash3(seed, 0xC01, u64::from(v.raw())) << 32) | u64::from(v.raw())
+}
+
+/// Sampling weight of a vertex, in `(0, 1]`.
+pub fn vertex_weight(seed: u64, v: Vid) -> f32 {
+    let u = uniform01(seed, 0x3EE, u64::from(v.raw()));
+    (1.0 - u) as f32
+}
+
+/// Per-vertex uniform threshold for weighted sampling, in `[0, total)`.
+pub fn sampling_threshold(seed: u64, v: Vid, total: f32) -> f32 {
+    (uniform01(seed, 0x7A6, u64::from(v.raw())) as f32) * total
+}
+
+/// Total in-neighbour weight of every vertex (the prefix-sum denominator
+/// in Figure 3(d)).
+pub fn total_in_weights(graph: &Graph, seed: u64) -> Vec<f32> {
+    graph
+        .vertices()
+        .map(|v| graph.in_neighbors(v).iter().map(|&u| vertex_weight(seed, u)).sum())
+        .collect()
+}
+
+/// Selects `count` distinct vertices deterministically (K-means centers):
+/// the `count` vertices with the smallest `hash3(seed, stream, id)`.
+pub fn select_distinct(seed: u64, stream: u64, n: usize, count: usize) -> Vec<Vid> {
+    assert!(count <= n, "cannot select more vertices than exist");
+    let mut keyed: Vec<(u64, u32)> = (0..n as u32)
+        .map(|i| (hash3(seed, stream, u64::from(i)), i))
+        .collect();
+    keyed.select_nth_unstable(count.max(1) - 1);
+    let mut out: Vec<Vid> = keyed[..count].iter().map(|&(_, i)| Vid::new(i)).collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_spread() {
+        assert_eq!(hash3(1, 2, 3), hash3(1, 2, 3));
+        assert_ne!(hash3(1, 2, 3), hash3(1, 2, 4));
+        assert_ne!(hash3(1, 2, 3), hash3(2, 2, 3));
+        assert_ne!(hash3(1, 2, 3), hash3(1, 3, 3));
+    }
+
+    #[test]
+    fn uniform01_in_range() {
+        for x in 0..1000 {
+            let u = uniform01(7, 1, x);
+            assert!((0.0..1.0).contains(&u));
+        }
+        // roughly uniform: mean near 0.5
+        let mean: f64 = (0..10_000).map(|x| uniform01(7, 1, x)).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn colors_are_distinct() {
+        let mut colors: Vec<u64> = (0..5000u32).map(|i| vertex_color(3, Vid::new(i))).collect();
+        colors.sort_unstable();
+        colors.dedup();
+        assert_eq!(colors.len(), 5000);
+    }
+
+    #[test]
+    fn weights_are_positive() {
+        for i in 0..1000u32 {
+            let w = vertex_weight(11, Vid::new(i));
+            assert!(w > 0.0 && w <= 1.0);
+        }
+    }
+
+    #[test]
+    fn total_in_weights_match_neighbor_sum() {
+        let g = symple_graph::star(10);
+        let tw = total_in_weights(&g, 5);
+        let hub_expect: f32 = (1..10u32)
+            .map(|i| vertex_weight(5, Vid::new(i)))
+            .sum();
+        assert!((tw[0] - hub_expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn select_distinct_properties() {
+        let picks = select_distinct(9, 1, 100, 10);
+        assert_eq!(picks.len(), 10);
+        let mut sorted = picks.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10, "distinct");
+        assert_eq!(picks, select_distinct(9, 1, 100, 10), "deterministic");
+        assert_ne!(picks, select_distinct(10, 1, 100, 10));
+        // full selection returns everything
+        assert_eq!(select_distinct(9, 1, 5, 5).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot select more")]
+    fn select_too_many_panics() {
+        select_distinct(1, 1, 3, 4);
+    }
+}

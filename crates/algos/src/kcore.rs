@@ -1,0 +1,279 @@
+//! K-core (paper §2.1, Figure 3b).
+//!
+//! Iteratively remove vertices with fewer than `k` active neighbours until
+//! none remain; the survivors are the (unique) k-core. The signal UDF
+//! counts active neighbours and **breaks once the count reaches `k`** —
+//! a *data + control* loop-carried dependency: the partial count itself
+//! must travel with the dependency message ([`symple_core::CountDep`]).
+//!
+//! Expects a symmetrized graph (see crate docs).
+
+use symple_core::{
+    run_spmd, CountDep, EngineConfig, PullProgram, RunStats, SignalOutcome, Worker,
+};
+use symple_graph::{Bitmap, Graph, Vid};
+
+/// Result of a K-core run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KcoreOutput {
+    /// Vertices in the k-core.
+    pub in_core: Bitmap,
+    /// Peeling rounds until fixpoint.
+    pub rounds: u32,
+}
+
+impl KcoreOutput {
+    /// Number of vertices in the core.
+    pub fn len(&self) -> usize {
+        self.in_core.count_ones()
+    }
+
+    /// Returns `true` if the k-core is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Signal UDF (Figure 3b): count active neighbours into the carried
+/// counter; once it reaches `k`, emit the local delta and break. If the
+/// segment ends below `k`, emit whatever was counted locally.
+pub struct KcorePull<'a> {
+    /// Vertices still in the candidate core.
+    pub active: &'a Bitmap,
+}
+
+impl PullProgram for KcorePull<'_> {
+    type Update = u16;
+    type Dep = CountDep;
+
+    fn dense_active(&self, v: Vid) -> bool {
+        self.active.get_vid(v)
+    }
+
+    fn signal(
+        &self,
+        _v: Vid,
+        srcs: &[Vid],
+        dep: &mut CountDep,
+        slot: usize,
+        _carried: bool,
+        emit: &mut dyn FnMut(u16),
+    ) -> SignalOutcome {
+        let k = dep.k();
+        let mut local: u16 = 0;
+        for (i, &u) in srcs.iter().enumerate() {
+            if self.active.get_vid(u) {
+                local += 1;
+                if dep.increment(slot) >= k {
+                    emit(local);
+                    return SignalOutcome::broke_after(i as u64 + 1);
+                }
+            }
+        }
+        if local > 0 {
+            emit(local);
+        }
+        SignalOutcome::scanned(srcs.len() as u64)
+    }
+}
+
+fn kcore_body(w: &mut Worker, k: u32) -> (Bitmap, u32) {
+    let graph = w.graph();
+    let n = graph.num_vertices();
+    let mut active = Bitmap::new(n);
+    active.set_all();
+    let mut counts = vec![0u32; n];
+    let k8 = u8::try_from(k.min(255)).expect("k fits u8 after clamp");
+    let mut dep = CountDep::new(w.dep_slots_needed(), k8.max(1));
+    let mut rounds = 0u32;
+    loop {
+        rounds += 1;
+        for c in counts.iter_mut() {
+            *c = 0;
+        }
+        {
+            let prog = KcorePull { active: &active };
+            let mut apply = |v: Vid, delta: u16| -> bool {
+                counts[v.index()] += u32::from(delta);
+                false
+            };
+            w.pull(&prog, &mut dep, &mut apply);
+        }
+        let mut removed = 0u64;
+        for v in w.masters() {
+            if active.get_vid(v) && counts[v.index()] < k {
+                active.clear(v.index());
+                removed += 1;
+            }
+        }
+        w.sync_bitmap(&mut active);
+        if w.allreduce_sum(removed) == 0 {
+            break;
+        }
+    }
+    (active, rounds)
+}
+
+/// Runs distributed K-core decomposition for the given `k`.
+///
+/// # Example
+///
+/// ```
+/// use symple_algos::{kcore, validate_kcore};
+/// use symple_core::{EngineConfig, Policy};
+/// use symple_graph::complete;
+///
+/// let g = complete(10); // 9-regular: the 9-core is everything
+/// let (out, _) = kcore(&g, &EngineConfig::new(2, Policy::symple()), 9);
+/// assert_eq!(out.len(), 10);
+/// validate_kcore(&g, 9, &out);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 255` (the paper evaluates k ≤ 64; dependency
+/// counters are one byte on the wire).
+pub fn kcore(graph: &Graph, cfg: &EngineConfig, k: u32) -> (KcoreOutput, RunStats) {
+    assert!(k > 0, "k must be positive");
+    assert!(k <= 255, "k must fit the one-byte dependency counter");
+    let mut res = run_spmd(graph, cfg, |w| kcore_body(w, k));
+    let (in_core, rounds) = res.outputs.swap_remove(0);
+    (KcoreOutput { in_core, rounds }, res.stats)
+}
+
+/// Single-threaded reference: straightforward iterative peeling.
+/// Returns the core bitmap and the number of edges examined.
+pub fn kcore_reference(graph: &Graph, k: u32) -> (Bitmap, u64) {
+    let n = graph.num_vertices();
+    let mut active = Bitmap::new(n);
+    active.set_all();
+    let mut edges = 0u64;
+    loop {
+        let mut removed = false;
+        for v in graph.vertices() {
+            if !active.get_vid(v) {
+                continue;
+            }
+            let mut cnt = 0u32;
+            for &u in graph.in_neighbors(v) {
+                edges += 1;
+                if active.get_vid(u) {
+                    cnt += 1;
+                    if cnt >= k {
+                        break;
+                    }
+                }
+            }
+            if cnt < k {
+                active.clear(v.index());
+                removed = true;
+            }
+        }
+        if !removed {
+            return (active, edges);
+        }
+    }
+}
+
+/// Validates a k-core output: every member has ≥ k member neighbours, and
+/// the set equals the unique k-core computed by the reference.
+///
+/// # Panics
+///
+/// Panics describing the first violated invariant.
+pub fn validate_kcore(graph: &Graph, k: u32, out: &KcoreOutput) {
+    for v in graph.vertices() {
+        if out.in_core.get_vid(v) {
+            let deg = graph
+                .in_neighbors(v)
+                .iter()
+                .filter(|&&u| out.in_core.get_vid(u))
+                .count() as u32;
+            assert!(deg >= k, "{v} in core with only {deg} core neighbours");
+        }
+    }
+    let (reference, _) = kcore_reference(graph, k);
+    for v in graph.vertices() {
+        assert_eq!(
+            out.in_core.get_vid(v),
+            reference.get_vid(v),
+            "core membership of {v} differs from reference"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symple_core::Policy;
+    use symple_graph::{complete, cycle, path, star, RmatConfig};
+
+    fn check_all_policies(graph: &Graph, machines: usize, k: u32) {
+        for policy in [
+            Policy::symple(),
+            Policy::symple_basic(),
+            Policy::Gemini,
+            Policy::Galois,
+        ] {
+            let cfg = EngineConfig::new(machines, policy);
+            let (out, _) = kcore(graph, &cfg, k);
+            validate_kcore(graph, k, &out);
+        }
+    }
+
+    #[test]
+    fn path_has_no_2core() {
+        let g = path(100);
+        let (out, _) = kcore(&g, &EngineConfig::new(3, Policy::symple()), 2);
+        assert!(out.is_empty(), "a path unravels completely at k=2");
+        validate_kcore(&g, 2, &out);
+    }
+
+    #[test]
+    fn cycle_is_its_own_2core() {
+        let g = cycle(80);
+        check_all_policies(&g, 3, 2);
+        let (out, _) = kcore(&g, &EngineConfig::new(3, Policy::symple()), 2);
+        assert_eq!(out.len(), 80);
+    }
+
+    #[test]
+    fn star_1core_vs_2core() {
+        let g = star(150);
+        check_all_policies(&g, 4, 1);
+        let (out, _) = kcore(&g, &EngineConfig::new(4, Policy::symple()), 2);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn complete_graph_cores() {
+        let g = complete(12);
+        check_all_policies(&g, 2, 11);
+        let (out, _) = kcore(&g, &EngineConfig::new(2, Policy::symple()), 12);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn rmat_various_k() {
+        let g = RmatConfig::graph500(8, 8).cleaned(true).generate();
+        for k in [2, 4, 8] {
+            check_all_policies(&g, 4, k);
+        }
+    }
+
+    #[test]
+    fn symple_matches_gemini_with_fewer_edges() {
+        let g = RmatConfig::graph500(9, 16).cleaned(true).generate();
+        let (out_g, st_g) = kcore(&g, &EngineConfig::new(4, Policy::Gemini), 8);
+        let (out_s, st_s) = kcore(&g, &EngineConfig::new(4, Policy::symple()), 8);
+        assert_eq!(out_g.in_core, out_s.in_core);
+        assert!(st_s.work.edges_traversed < st_g.work.edges_traversed);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let g = path(4);
+        let _ = kcore(&g, &EngineConfig::new(1, Policy::Gemini), 0);
+    }
+}

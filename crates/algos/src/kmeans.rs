@@ -1,0 +1,303 @@
+//! Graph K-means (paper §2.1, Figure 3c).
+//!
+//! Distance between vertices is shortest-path length, so assigning every
+//! vertex to its nearest center is a multi-source BFS wavefront: an
+//! unassigned vertex scans its in-neighbours and **breaks at the first
+//! assigned one**, adopting its cluster — the same loop-carried shape as
+//! bottom-up BFS. Following §7.1, centers are `√|V|` random vertices,
+//! re-drawn each outer iteration; the best clustering (smallest total
+//! distance) is kept.
+//!
+//! Expects a symmetrized graph (see crate docs).
+
+use crate::common::select_distinct;
+use symple_core::{
+    run_spmd, BitDep, EngineConfig, PullProgram, RunStats, SignalOutcome, Worker,
+};
+use symple_graph::{Bitmap, Graph, Vid};
+
+/// Marker for "unassigned" in cluster arrays.
+pub const NONE: u32 = u32::MAX;
+
+/// Result of a K-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KmeansOutput {
+    /// Cluster index per vertex (`NONE` = unreachable from every center).
+    pub cluster: Vec<u32>,
+    /// The winning iteration's centers; `cluster` values index this list.
+    pub centers: Vec<Vid>,
+    /// Total shortest-path distance of the winning assignment
+    /// (unreachable vertices charged `diameter + 1`).
+    pub total_distance: u64,
+}
+
+impl KmeansOutput {
+    /// Number of assigned vertices.
+    pub fn assigned(&self) -> usize {
+        self.cluster.iter().filter(|&&c| c != NONE).count()
+    }
+}
+
+/// Signal UDF (Figure 3c): adopt the cluster of the first assigned
+/// in-neighbour.
+pub struct KmeansPull<'a> {
+    /// Vertices already assigned to a cluster.
+    pub assigned: &'a Bitmap,
+    /// Cluster index per vertex (valid where `assigned`).
+    pub cluster: &'a [u32],
+}
+
+impl PullProgram for KmeansPull<'_> {
+    type Update = u32;
+    type Dep = BitDep;
+
+    fn dense_active(&self, v: Vid) -> bool {
+        !self.assigned.get_vid(v)
+    }
+
+    fn signal(
+        &self,
+        _v: Vid,
+        srcs: &[Vid],
+        dep: &mut BitDep,
+        slot: usize,
+        _carried: bool,
+        emit: &mut dyn FnMut(u32),
+    ) -> SignalOutcome {
+        for (i, &u) in srcs.iter().enumerate() {
+            if self.assigned.get_vid(u) {
+                emit(self.cluster[u.index()]);
+                dep.mark(slot);
+                return SignalOutcome::broke_after(i as u64 + 1);
+            }
+        }
+        SignalOutcome::scanned(srcs.len() as u64)
+    }
+}
+
+/// One assignment wavefront from the given centers. Returns
+/// `(cluster, total_distance)`.
+fn assign_from_centers(
+    w: &mut Worker,
+    centers: &[Vid],
+    dep: &mut BitDep,
+) -> (Vec<u32>, u64) {
+    let graph = w.graph();
+    let n = graph.num_vertices();
+    let mut cluster = vec![NONE; n];
+    let mut assigned = Bitmap::new(n);
+    let mut dist = vec![0u32; n];
+    for (idx, &c) in centers.iter().enumerate() {
+        cluster[c.index()] = idx as u32;
+        assigned.set_vid(c);
+    }
+    let mut round = 0u32;
+    loop {
+        round += 1;
+        let mut pending: Vec<(Vid, u32)> = Vec::new();
+        let mut claimed = Bitmap::new(n);
+        {
+            let prog = KmeansPull {
+                assigned: &assigned,
+                cluster: &cluster,
+            };
+            let mut apply = |v: Vid, cid: u32| -> bool {
+                if claimed.set_vid(v) {
+                    false
+                } else {
+                    pending.push((v, cid));
+                    true
+                }
+            };
+            w.pull(&prog, dep, &mut apply);
+        }
+        let newly: Vec<Vid> = pending.iter().map(|&(v, _)| v).collect();
+        for (v, cid) in pending {
+            cluster[v.index()] = cid;
+            dist[v.index()] = round;
+            assigned.set_vid(v);
+        }
+        w.sync_changed(&mut cluster, &newly);
+        w.sync_bitmap(&mut assigned);
+        if w.allreduce_sum(newly.len() as u64) == 0 {
+            break;
+        }
+    }
+    // Total distance over local masters; unreachable vertices charged one
+    // beyond the deepest wavefront.
+    let local: u64 = w
+        .masters()
+        .map(|v| {
+            if cluster[v.index()] == NONE {
+                u64::from(round) + 1
+            } else {
+                u64::from(dist[v.index()])
+            }
+        })
+        .sum();
+    let total = w.allreduce_sum(local);
+    (cluster, total)
+}
+
+fn kmeans_body(
+    w: &mut Worker,
+    seed: u64,
+    outer_iters: u32,
+) -> (Vec<u32>, Vec<Vid>, u64) {
+    let n = w.graph().num_vertices();
+    let c = (n as f64).sqrt().floor().max(1.0) as usize;
+    let mut dep = BitDep::new(w.dep_slots_needed());
+    let mut best: Option<(Vec<u32>, Vec<Vid>, u64)> = None;
+    for t in 0..outer_iters {
+        let centers = select_distinct(seed, u64::from(t) + 1, n, c.min(n));
+        let (cluster, total) = assign_from_centers(w, &centers, &mut dep);
+        if best.as_ref().is_none_or(|(_, _, b)| total < *b) {
+            best = Some((cluster, centers, total));
+        }
+    }
+    best.expect("at least one outer iteration")
+}
+
+/// Runs distributed graph K-means: `outer_iters` rounds of
+/// draw-centers → wavefront-assign → score, keeping the best clustering
+/// (the paper uses 20 rounds, §7.1).
+///
+/// # Example
+///
+/// ```
+/// use symple_algos::{kmeans, validate_kmeans};
+/// use symple_core::{EngineConfig, Policy};
+/// use symple_graph::grid;
+///
+/// let g = grid(6, 6);
+/// let (out, _) = kmeans(&g, &EngineConfig::new(2, Policy::symple()), 3, 2);
+/// validate_kmeans(&g, &out);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `outer_iters == 0` or the graph is empty.
+pub fn kmeans(
+    graph: &Graph,
+    cfg: &EngineConfig,
+    seed: u64,
+    outer_iters: u32,
+) -> (KmeansOutput, RunStats) {
+    assert!(outer_iters > 0, "need at least one outer iteration");
+    assert!(graph.num_vertices() > 0, "graph must be non-empty");
+    let mut res = run_spmd(graph, cfg, |w| kmeans_body(w, seed, outer_iters));
+    let (cluster, centers, total_distance) = res.outputs.swap_remove(0);
+    (
+        KmeansOutput {
+            cluster,
+            centers,
+            total_distance,
+        },
+        res.stats,
+    )
+}
+
+/// Validates a K-means output structurally:
+/// * centers are assigned to themselves;
+/// * every assigned vertex is a center or has an in-neighbour in the same
+///   cluster (wavefront witness);
+/// * every unassigned vertex has no assigned in-neighbour (fixpoint).
+///
+/// # Panics
+///
+/// Panics describing the first violated invariant.
+pub fn validate_kmeans(graph: &Graph, out: &KmeansOutput) {
+    for (idx, &c) in out.centers.iter().enumerate() {
+        assert_eq!(out.cluster[c.index()], idx as u32, "center {c} mislabeled");
+    }
+    let center_set: std::collections::HashSet<Vid> = out.centers.iter().copied().collect();
+    for v in graph.vertices() {
+        let cid = out.cluster[v.index()];
+        if cid == NONE {
+            for &u in graph.in_neighbors(v) {
+                assert_eq!(
+                    out.cluster[u.index()],
+                    NONE,
+                    "unassigned {v} has assigned in-neighbour {u}"
+                );
+            }
+        } else {
+            assert!(
+                (cid as usize) < out.centers.len(),
+                "cluster id {cid} out of range at {v}"
+            );
+            if !center_set.contains(&v) {
+                let witness = graph
+                    .in_neighbors(v)
+                    .iter()
+                    .any(|&u| out.cluster[u.index()] == cid);
+                assert!(witness, "{v} in cluster {cid} without a same-cluster in-neighbour");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symple_core::Policy;
+    use symple_graph::{grid, path, RmatConfig};
+
+    fn check_all_policies(graph: &Graph, machines: usize, seed: u64) {
+        let mut outputs = Vec::new();
+        for policy in [
+            Policy::symple(),
+            Policy::symple_basic(),
+            Policy::Gemini,
+            Policy::Galois,
+        ] {
+            let cfg = EngineConfig::new(machines, policy);
+            let (out, _) = kmeans(graph, &cfg, seed, 3);
+            validate_kmeans(graph, &out);
+            outputs.push(out);
+        }
+        // all policies pick the same centers and the same best score
+        for o in &outputs[1..] {
+            assert_eq!(o.centers, outputs[0].centers);
+            assert_eq!(o.total_distance, outputs[0].total_distance);
+        }
+    }
+
+    #[test]
+    fn grid_clustering() {
+        check_all_policies(&grid(9, 8), 3, 1);
+    }
+
+    #[test]
+    fn path_clustering() {
+        check_all_policies(&path(120), 4, 2);
+    }
+
+    #[test]
+    fn rmat_clustering() {
+        let g = RmatConfig::graph500(8, 8).cleaned(true).generate();
+        check_all_policies(&g, 4, 5);
+    }
+
+    #[test]
+    fn centers_cover_all_on_connected_graph() {
+        let g = grid(10, 10);
+        let (out, _) = kmeans(&g, &EngineConfig::new(2, Policy::symple()), 7, 2);
+        assert_eq!(out.assigned(), 100, "grid is connected: everyone assigned");
+    }
+
+    #[test]
+    fn symple_skips_on_dense_graph() {
+        let g = RmatConfig::graph500(9, 16).cleaned(true).generate();
+        let (_, st_g) = kmeans(&g, &EngineConfig::new(4, Policy::Gemini), 3, 2);
+        let (_, st_s) = kmeans(&g, &EngineConfig::new(4, Policy::symple()), 3, 2);
+        assert!(st_s.work.edges_traversed < st_g.work.edges_traversed);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outer iteration")]
+    fn zero_iters_rejected() {
+        let g = path(4);
+        let _ = kmeans(&g, &EngineConfig::new(1, Policy::Gemini), 1, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! The paper's five loop-carried-dependency algorithms (§2.1, Figure 3) on
+//! the SympleGraph engine, plus single-threaded reference implementations
+//! and validators.
+//!
+//! Every algorithm comes in the same shape:
+//!
+//! * a **distributed** entry point taking a graph and an
+//!   [`symple_core::EngineConfig`], running identically under the
+//!   SympleGraph, Gemini, and D-Galois-style policies (only the engine's
+//!   dependency behaviour differs — which is the paper's entire point);
+//! * the **pull program** type(s) implementing the signal UDF with its
+//!   loop-carried `break`;
+//! * a **single-threaded reference** used for validation and for the COST
+//!   metric (§7.4);
+//! * a **validator** checking the distributed output against the
+//!   algorithm's invariants (and, where the algorithm is deterministic,
+//!   against the reference output).
+//!
+//! Algorithms that treat the graph as undirected (MIS, K-core, K-means)
+//! expect a symmetrized graph — the same conversion the paper applies to
+//! directed datasets (§7.1); build one with
+//! [`symple_graph::GraphBuilder::symmetrize`] or
+//! [`symple_graph::RmatConfig::cleaned`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod common;
+pub mod kcore;
+pub mod kmeans;
+pub mod matula_beck;
+pub mod mis;
+pub mod sampling;
+
+pub use bfs::{bfs, bfs_reference, bfs_with_direction, validate_bfs, BfsOutput, Direction};
+pub use kcore::{kcore, kcore_reference, validate_kcore, KcoreOutput};
+pub use kmeans::{kmeans, validate_kmeans, KmeansOutput};
+pub use matula_beck::coreness;
+pub use mis::{mis, mis_greedy_reference, validate_mis, MisOutput};
+pub use sampling::{sampling, sampling_reference, validate_sampling, SamplingOutput};

@@ -1,0 +1,305 @@
+//! Maximal independent set (paper §2.1, Figure 3a).
+//!
+//! Luby-style coloring: each vertex gets a distinct random priority
+//! ("color"). In each round, an active vertex scans its active neighbours
+//! and **breaks** as soon as it sees a smaller color — the loop-carried
+//! dependency. Vertices that see no smaller active color join the MIS;
+//! MIS vertices and their neighbours then deactivate.
+//!
+//! With fixed priorities this converges to the *lexicographically-first*
+//! MIS of the priority order, so the distributed result under every policy
+//! must equal the sequential greedy reference exactly.
+//!
+//! Expects a symmetrized graph (see crate docs).
+
+use crate::common::vertex_color;
+use symple_core::{
+    run_spmd, BitDep, EngineConfig, PullProgram, PushProgram, RunStats, SignalOutcome,
+    Worker,
+};
+use symple_graph::{Bitmap, Graph, Vid};
+
+/// Result of an MIS run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MisOutput {
+    /// Membership bitmap.
+    pub in_mis: Bitmap,
+    /// Number of rounds until convergence.
+    pub rounds: u32,
+}
+
+impl MisOutput {
+    /// Number of MIS members.
+    pub fn len(&self) -> usize {
+        self.in_mis.count_ones()
+    }
+
+    /// Returns `true` if the set is empty (only for an empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Signal UDF (Figure 3a): break at the first active neighbour with a
+/// smaller color; emit a "loser" notification for the destination.
+pub struct MisPull<'a> {
+    /// Still-undecided vertices.
+    pub active: &'a Bitmap,
+    /// Random distinct priorities.
+    pub colors: &'a [u64],
+}
+
+impl PullProgram for MisPull<'_> {
+    type Update = ();
+    type Dep = BitDep;
+
+    fn dense_active(&self, v: Vid) -> bool {
+        self.active.get_vid(v)
+    }
+
+    fn signal(
+        &self,
+        v: Vid,
+        srcs: &[Vid],
+        dep: &mut BitDep,
+        slot: usize,
+        _carried: bool,
+        emit: &mut dyn FnMut(()),
+    ) -> SignalOutcome {
+        let my_color = self.colors[v.index()];
+        for (i, &u) in srcs.iter().enumerate() {
+            if self.active.get_vid(u) && self.colors[u.index()] < my_color {
+                emit(());
+                dep.mark(slot);
+                return SignalOutcome::broke_after(i as u64 + 1);
+            }
+        }
+        SignalOutcome::scanned(srcs.len() as u64)
+    }
+}
+
+/// Deactivation push: winners knock out their still-active neighbours.
+/// No loop-carried dependency (every neighbour must be deactivated).
+pub struct MisDeactivate<'a> {
+    /// Active set before deactivation.
+    pub active: &'a Bitmap,
+}
+
+impl PushProgram for MisDeactivate<'_> {
+    type Update = ();
+
+    fn signal(&self, _u: Vid, dsts: &[Vid], emit: &mut dyn FnMut(Vid, ())) -> u64 {
+        for &d in dsts {
+            if self.active.get_vid(d) {
+                emit(d, ());
+            }
+        }
+        dsts.len() as u64
+    }
+}
+
+fn mis_body(w: &mut Worker, seed: u64) -> (Bitmap, u32) {
+    let graph = w.graph();
+    let n = graph.num_vertices();
+    let colors: Vec<u64> = (0..n as u32).map(|i| vertex_color(seed, Vid::new(i))).collect();
+    let mut active = Bitmap::new(n);
+    active.set_all();
+    let mut in_mis = Bitmap::new(n);
+    let mut dep = BitDep::new(w.dep_slots_needed());
+    let mut rounds = 0u32;
+
+    let mut remaining = n as u64;
+    while remaining > 0 {
+        rounds += 1;
+        // Phase 1 (pull, loop-carried): find this round's losers.
+        let mut loser_bits = Bitmap::new(n);
+        {
+            let prog = MisPull {
+                active: &active,
+                colors: &colors,
+            };
+            let mut apply = |v: Vid, (): ()| -> bool { !loser_bits.set_vid(v) };
+            w.pull(&prog, &mut dep, &mut apply);
+        }
+        // Winners: active local masters that received no loser update.
+        let mut winners: Vec<Vid> = Vec::new();
+        for v in w.masters() {
+            if active.get_vid(v) && !loser_bits.get_vid(v) {
+                in_mis.set_vid(v);
+                winners.push(v);
+            }
+        }
+        // Phase 2 (push): winners deactivate their neighbours.
+        let mut knocked = Bitmap::new(n);
+        {
+            let prog = MisDeactivate { active: &active };
+            let mut apply = |v: Vid, (): ()| -> bool {
+                if active.get_vid(v) && !in_mis.get_vid(v) {
+                    !knocked.set_vid(v)
+                } else {
+                    false
+                }
+            };
+            w.push(&prog, &winners, &mut apply);
+        }
+        for &v in &winners {
+            active.clear(v.index());
+        }
+        for v in knocked.iter_ones() {
+            active.clear(v);
+        }
+        w.sync_bitmap(&mut active);
+        let local_active = w.masters().filter(|&v| active.get_vid(v)).count() as u64;
+        remaining = w.allreduce_sum(local_active);
+    }
+    w.sync_bitmap(&mut in_mis);
+    (in_mis, rounds)
+}
+
+/// Runs distributed MIS with priorities derived from `seed`.
+///
+/// # Example
+///
+/// ```
+/// use symple_algos::{mis, validate_mis};
+/// use symple_core::{EngineConfig, Policy};
+/// use symple_graph::cycle;
+///
+/// let g = cycle(30);
+/// let (out, _stats) = mis(&g, &EngineConfig::new(2, Policy::symple()), 7);
+/// validate_mis(&g, &out, 7);
+/// ```
+pub fn mis(graph: &Graph, cfg: &EngineConfig, seed: u64) -> (MisOutput, RunStats) {
+    let mut res = run_spmd(graph, cfg, |w| mis_body(w, seed));
+    let (in_mis, rounds) = res.outputs.swap_remove(0);
+    (MisOutput { in_mis, rounds }, res.stats)
+}
+
+/// Sequential greedy MIS in ascending priority order — the fixed point of
+/// Luby's algorithm with fixed priorities, hence the exact expected output
+/// of the distributed runs.
+pub fn mis_greedy_reference(graph: &Graph, seed: u64) -> Bitmap {
+    let n = graph.num_vertices();
+    let mut order: Vec<Vid> = graph.vertices().collect();
+    order.sort_by_key(|&v| vertex_color(seed, v));
+    let mut in_mis = Bitmap::new(n);
+    let mut blocked = Bitmap::new(n);
+    for v in order {
+        if !blocked.get_vid(v) {
+            in_mis.set_vid(v);
+            for &u in graph.out_neighbors(v) {
+                blocked.set_vid(u);
+            }
+            for &u in graph.in_neighbors(v) {
+                blocked.set_vid(u);
+            }
+        }
+    }
+    in_mis
+}
+
+/// Validates independence, maximality, and exact agreement with the
+/// greedy reference.
+///
+/// # Panics
+///
+/// Panics describing the first violated invariant.
+pub fn validate_mis(graph: &Graph, out: &MisOutput, seed: u64) {
+    // independence
+    for (s, d) in graph.edges() {
+        if s == d {
+            continue;
+        }
+        assert!(
+            !(out.in_mis.get_vid(s) && out.in_mis.get_vid(d)),
+            "adjacent MIS members {s} and {d}"
+        );
+    }
+    // maximality
+    for v in graph.vertices() {
+        if !out.in_mis.get_vid(v) {
+            let has_mis_neighbor = graph
+                .in_neighbors(v)
+                .iter()
+                .chain(graph.out_neighbors(v))
+                .any(|&u| out.in_mis.get_vid(u));
+            assert!(has_mis_neighbor, "{v} excluded without an MIS neighbour");
+        }
+    }
+    // determinism: equals the lexicographically-first MIS
+    let reference = mis_greedy_reference(graph, seed);
+    for v in graph.vertices() {
+        assert_eq!(
+            out.in_mis.get_vid(v),
+            reference.get_vid(v),
+            "membership of {v} differs from the greedy reference"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symple_core::Policy;
+    use symple_graph::{complete, cycle, grid, star, RmatConfig};
+
+    fn check_all_policies(graph: &Graph, machines: usize, seed: u64) {
+        for policy in [
+            Policy::symple(),
+            Policy::symple_basic(),
+            Policy::Gemini,
+            Policy::Galois,
+        ] {
+            let cfg = EngineConfig::new(machines, policy);
+            let (out, _) = mis(graph, &cfg, seed);
+            validate_mis(graph, &out, seed);
+        }
+    }
+
+    #[test]
+    fn cycle_mis() {
+        check_all_policies(&cycle(90), 3, 1);
+    }
+
+    #[test]
+    fn complete_graph_single_winner() {
+        let g = complete(20);
+        let (out, _) = mis(&g, &EngineConfig::new(2, Policy::symple()), 5);
+        assert_eq!(out.len(), 1);
+        validate_mis(&g, &out, 5);
+    }
+
+    #[test]
+    fn star_hub_or_leaves() {
+        let g = star(100);
+        check_all_policies(&g, 4, 3);
+        let (out, _) = mis(&g, &EngineConfig::new(4, Policy::symple()), 3);
+        // either the hub alone or all leaves
+        assert!(out.len() == 1 || out.len() == 99);
+    }
+
+    #[test]
+    fn grid_mis_multiple_seeds() {
+        let g = grid(8, 9);
+        for seed in 0..4 {
+            check_all_policies(&g, 3, seed);
+        }
+    }
+
+    #[test]
+    fn rmat_mis() {
+        let g = RmatConfig::graph500(8, 8).cleaned(true).generate();
+        check_all_policies(&g, 5, 11);
+    }
+
+    #[test]
+    fn symple_and_gemini_agree_and_symple_skips() {
+        let g = RmatConfig::graph500(9, 16).cleaned(true).generate();
+        let (out_g, st_g) = mis(&g, &EngineConfig::new(4, Policy::Gemini), 2);
+        let (out_s, st_s) = mis(&g, &EngineConfig::new(4, Policy::symple()), 2);
+        assert_eq!(out_g.in_mis, out_s.in_mis);
+        assert!(st_s.work.edges_traversed < st_g.work.edges_traversed);
+        assert!(st_s.work.skipped_by_dep > 0);
+        assert_eq!(st_g.work.skipped_by_dep, 0, "gemini never skips via dep");
+    }
+}

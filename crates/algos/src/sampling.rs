@@ -1,0 +1,337 @@
+//! Weighted neighbour sampling (paper §2.1, Figure 3d).
+//!
+//! Each vertex samples one in-neighbour with probability proportional to
+//! the neighbour's weight: draw `r ∈ [0, Σw)` and take the first neighbour
+//! whose running prefix sum reaches `r`. The prefix sum is *data*
+//! loop-carried dependency — it must travel between machines
+//! ([`symple_core::WeightDep`]: an `f32` accumulator plus a selected bit
+//! per vertex), which is why sampling is the one workload where
+//! SympleGraph's dependency traffic is substantial (Table 6).
+//!
+//! The prefix-sum scan cannot be decomposed into constant-size commutative
+//! partials, so whenever the dependency state does **not** travel — the
+//! Gemini/D-Galois baselines, and the low-degree fallback of
+//! differentiated propagation (§5.2) — the signal switches to the standard
+//! *weighted reservoir* formulation (Efraimidis–Spirakis max-key: one
+//! partial per machine), which samples the same marginal distribution but
+//! must examine **every** edge of the segment. This reproduces the
+//! paper's Table 5 contrast: the baselines scan ≈ all edges while
+//! SympleGraph scans a fraction.
+
+use crate::common::{sampling_threshold, total_in_weights, uniform01, vertex_weight};
+use symple_core::{
+    run_spmd, EngineConfig, PullProgram, RunStats, SignalOutcome, WeightDep, Worker,
+};
+use symple_graph::{Graph, Vid};
+
+/// Marker for "no selection" (vertex has no in-neighbours).
+pub const NONE: u32 = u32::MAX;
+
+/// Key value that marks a prefix-sum (exact) selection: it dominates every
+/// reservoir key, and at most one machine emits it per vertex (the
+/// dependency's selected bit silences the rest).
+const PREFIX_KEY: f32 = f32::MAX;
+
+/// Result of a sampling pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SamplingOutput {
+    /// Selected in-neighbour per vertex (`NONE` if it has none).
+    pub selected: Vec<u32>,
+}
+
+impl SamplingOutput {
+    /// Number of vertices with a selection.
+    pub fn count(&self) -> usize {
+        self.selected.iter().filter(|&&s| s != NONE).count()
+    }
+}
+
+/// Sampling signal UDF. On the dependency-carried path this is Figure 3d's
+/// prefix-sum scan with an early break; on scratch paths it degrades to
+/// the reservoir formulation (see module docs).
+pub struct SamplingPull<'a> {
+    /// Per-vertex selection thresholds `r`.
+    pub thresholds: &'a [f32],
+    /// RNG seed (weights and reservoir keys are hash-derived).
+    pub seed: u64,
+}
+
+impl PullProgram for SamplingPull<'_> {
+    type Update = (f32, Vid);
+    type Dep = WeightDep;
+
+    fn dense_active(&self, _v: Vid) -> bool {
+        true // every vertex with in-edges samples once
+    }
+
+    fn signal(
+        &self,
+        v: Vid,
+        srcs: &[Vid],
+        dep: &mut WeightDep,
+        slot: usize,
+        carried: bool,
+        emit: &mut dyn FnMut((f32, Vid)),
+    ) -> SignalOutcome {
+        if carried {
+            let r = self.thresholds[v.index()];
+            for (i, &u) in srcs.iter().enumerate() {
+                let acc = dep.add_weight(slot, vertex_weight(self.seed, u));
+                if acc >= r {
+                    emit((PREFIX_KEY, u));
+                    dep.select(slot);
+                    return SignalOutcome::broke_after(i as u64 + 1);
+                }
+            }
+            SignalOutcome::scanned(srcs.len() as u64)
+        } else {
+            let mut best_key = f32::NEG_INFINITY;
+            let mut best: Option<Vid> = None;
+            for &u in srcs {
+                // Efraimidis–Spirakis: key = U^(1/w); max key wins.
+                let u01 = uniform01(
+                    self.seed,
+                    0x5e5e,
+                    (u64::from(v.raw()) << 32) | u64::from(u.raw()),
+                );
+                let key =
+                    u01.powf(1.0 / f64::from(vertex_weight(self.seed, u))) as f32;
+                if key > best_key {
+                    best_key = key;
+                    best = Some(u);
+                }
+            }
+            if let Some(u) = best {
+                emit((best_key, u));
+            }
+            SignalOutcome::scanned(srcs.len() as u64)
+        }
+    }
+}
+
+fn sampling_body(w: &mut Worker, seed: u64, thresholds: &[f32]) -> Vec<u32> {
+    let graph = w.graph();
+    let n = graph.num_vertices();
+    let mut selected = vec![NONE; n];
+    let mut best_key = vec![f32::NEG_INFINITY; n];
+    let mut dep = WeightDep::new(w.dep_slots_needed());
+    {
+        let prog = SamplingPull { thresholds, seed };
+        let mut apply = |v: Vid, (key, u): (f32, Vid)| -> bool {
+            // Exact prefix picks (PREFIX_KEY) dominate reservoir partials;
+            // among reservoir partials the maximum key wins. At most one
+            // PREFIX_KEY arrives per vertex, and the circulant apply order
+            // makes the fold deterministic.
+            if key > best_key[v.index()] {
+                best_key[v.index()] = key;
+                selected[v.index()] = u.raw();
+                true
+            } else {
+                false
+            }
+        };
+        w.pull(&prog, &mut dep, &mut apply);
+    }
+    // Floating-point tail guard: a master whose prefix never reached `r`
+    // (rounding) falls back to its last in-neighbour.
+    for v in w.masters() {
+        if selected[v.index()] == NONE && graph.in_degree(v) > 0 {
+            selected[v.index()] = graph.in_neighbors(v).last().unwrap().raw();
+        }
+    }
+    w.sync_values(&mut selected);
+    selected
+}
+
+/// Runs one distributed weighted-sampling pass. Under SympleGraph policies
+/// the high-degree path runs the prefix-sum scan with dependency
+/// propagation; everything else (Gemini, Galois, low-degree fallback) runs
+/// the reservoir formulation — see module docs.
+///
+/// # Example
+///
+/// ```
+/// use symple_algos::{sampling, validate_sampling};
+/// use symple_core::{EngineConfig, Policy};
+/// use symple_graph::star;
+///
+/// let g = star(50);
+/// let (out, _) = sampling(&g, &EngineConfig::new(2, Policy::symple()), 9);
+/// validate_sampling(&g, &out);
+/// ```
+pub fn sampling(graph: &Graph, cfg: &EngineConfig, seed: u64) -> (SamplingOutput, RunStats) {
+    let totals = total_in_weights(graph, seed);
+    let thresholds: Vec<f32> = graph
+        .vertices()
+        .map(|v| sampling_threshold(seed, v, totals[v.index()]))
+        .collect();
+    let mut res = run_spmd(graph, cfg, |w| sampling_body(w, seed, &thresholds));
+    let selected = res.outputs.swap_remove(0);
+    (SamplingOutput { selected }, res.stats)
+}
+
+/// Single-threaded reference: the prefix-sum scan over in-neighbours in
+/// ascending id order. With one machine and full dependency (no
+/// low-degree fallback) the distributed prefix formulation must match it
+/// exactly. Returns the output and edges examined.
+pub fn sampling_reference(graph: &Graph, seed: u64) -> (SamplingOutput, u64) {
+    let totals = total_in_weights(graph, seed);
+    let n = graph.num_vertices();
+    let mut selected = vec![NONE; n];
+    let mut edges = 0u64;
+    for v in graph.vertices() {
+        let nbrs = graph.in_neighbors(v);
+        if nbrs.is_empty() {
+            continue;
+        }
+        let r = sampling_threshold(seed, v, totals[v.index()]);
+        let mut acc = 0.0f32;
+        for &u in nbrs {
+            edges += 1;
+            acc += vertex_weight(seed, u);
+            if acc >= r {
+                selected[v.index()] = u.raw();
+                break;
+            }
+        }
+        if selected[v.index()] == NONE {
+            selected[v.index()] = nbrs.last().unwrap().raw();
+        }
+    }
+    (SamplingOutput { selected }, edges)
+}
+
+/// Validates a sampling output: every vertex with in-edges selected one of
+/// its in-neighbours; vertices without in-edges selected nothing.
+///
+/// # Panics
+///
+/// Panics describing the first violated invariant.
+pub fn validate_sampling(graph: &Graph, out: &SamplingOutput) {
+    for v in graph.vertices() {
+        let s = out.selected[v.index()];
+        if graph.in_degree(v) == 0 {
+            assert_eq!(s, NONE, "{v} has no in-edges but selected {s}");
+        } else {
+            assert_ne!(s, NONE, "{v} has in-edges but no selection");
+            assert!(
+                graph.in_neighbors(v).contains(&Vid::new(s)),
+                "{v} selected non-neighbour {s}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symple_core::Policy;
+    use symple_graph::{star, RmatConfig};
+
+    #[test]
+    fn all_policies_produce_valid_samples() {
+        let g = RmatConfig::graph500(8, 8).generate();
+        for policy in [
+            Policy::symple(),
+            Policy::symple_basic(),
+            Policy::Gemini,
+            Policy::Galois,
+        ] {
+            let (out, _) = sampling(&g, &EngineConfig::new(4, policy), 3);
+            validate_sampling(&g, &out);
+        }
+    }
+
+    #[test]
+    fn single_machine_full_dep_matches_reference() {
+        let g = RmatConfig::graph500(8, 6).generate();
+        let (reference, _) = sampling_reference(&g, 5);
+        // symple_basic: full dependency layout (no low-degree fallback)
+        let (out, _) = sampling(&g, &EngineConfig::new(1, Policy::symple_basic()), 5);
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn multi_machine_full_dep_matches_reference() {
+        // With full dependency propagation, the prefix scan follows the
+        // circulant segment order; with a single partition owning all
+        // in-edges per vertex... use 2 machines and verify structural
+        // validity plus exact match (circulant order = machine 1's
+        // segment first for partition 0? No — reference is ascending-id;
+        // only p=1 matches exactly). Here we check validity only.
+        let g = RmatConfig::graph500(8, 6).generate();
+        let (out, _) = sampling(&g, &EngineConfig::new(3, Policy::symple_basic()), 5);
+        validate_sampling(&g, &out);
+    }
+
+    #[test]
+    fn prefix_form_traverses_fewer_edges_than_reservoir() {
+        let g = RmatConfig::graph500(9, 16).generate();
+        let (_, st_g) = sampling(&g, &EngineConfig::new(4, Policy::Gemini), 7);
+        // reservoir scans everything
+        assert_eq!(st_g.work.edges_traversed, g.num_edges() as u64);
+        // full dependency propagation: expected prefix position ≈ half of
+        // each neighbour list
+        let (_, st_b) = sampling(&g, &EngineConfig::new(4, Policy::symple_basic()), 7);
+        assert!(
+            st_b.work.edges_traversed < g.num_edges() as u64 * 7 / 10,
+            "full-dep prefix scan too large: {} of {}",
+            st_b.work.edges_traversed,
+            g.num_edges()
+        );
+        // differentiated propagation falls back to reservoir for
+        // low-degree vertices, so it sits between the two
+        let (_, st_s) = sampling(&g, &EngineConfig::new(4, Policy::symple()), 7);
+        assert!(st_s.work.edges_traversed < st_g.work.edges_traversed);
+        assert!(st_s.work.edges_traversed >= st_b.work.edges_traversed);
+    }
+
+    /// Over many seeds, the fraction of picks that land on
+    /// "heavier-than-mean" in-neighbours of the hub must track the
+    /// aggregate weight mass of those neighbours.
+    #[test]
+    fn sampling_frequencies_track_weights() {
+        let g = star(40); // hub (vertex 0) has 39 in-neighbours
+        let hub = Vid::new(0);
+        let trials = 120u64;
+        let mut expect_frac = 0.0f64;
+        let mut actual_heavy = 0u32;
+        for seed in 0..trials {
+            let ws: Vec<(Vid, f64)> = g
+                .in_neighbors(hub)
+                .iter()
+                .map(|&u| (u, f64::from(vertex_weight(seed, u))))
+                .collect();
+            let sum: f64 = ws.iter().map(|(_, w)| w).sum();
+            let mean = sum / ws.len() as f64;
+            let heavy_mass: f64 = ws.iter().filter(|(_, w)| *w > mean).map(|(_, w)| w).sum();
+            expect_frac += heavy_mass / sum;
+            let (out, _) = sampling(&g, &EngineConfig::new(3, Policy::symple()), seed);
+            validate_sampling(&g, &out);
+            let pick = Vid::new(out.selected[hub.index()]);
+            let w = ws.iter().find(|(u, _)| *u == pick).unwrap().1;
+            if w > mean {
+                actual_heavy += 1;
+            }
+        }
+        let expect_frac = expect_frac / trials as f64;
+        let actual_frac = f64::from(actual_heavy) / trials as f64;
+        assert!(
+            (actual_frac - expect_frac).abs() < 0.12,
+            "heavy-pick fraction {actual_frac:.3} vs expected {expect_frac:.3}"
+        );
+    }
+
+    #[test]
+    fn no_in_edges_no_selection() {
+        // directed star: edges 0 -> leaves; vertex 0 has no in-edges
+        let mut b = symple_graph::GraphBuilder::new(5);
+        for i in 1..5 {
+            b.add_edge(Vid::new(0), Vid::new(i));
+        }
+        let g = b.build();
+        let (out, _) = sampling(&g, &EngineConfig::new(2, Policy::symple()), 1);
+        assert_eq!(out.selected[0], NONE);
+        validate_sampling(&g, &out);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based cross-checks among the *single-threaded* reference
+//! implementations: the distributed engines are validated against these
+//! references elsewhere, so the references themselves must be mutually
+//! consistent on arbitrary graphs.
+
+use proptest::prelude::*;
+use symple_algos::kcore::kcore_reference;
+use symple_algos::matula_beck::{coreness, kcore_from_coreness};
+use symple_algos::{bfs_reference, mis_greedy_reference, sampling_reference, validate_sampling};
+use symple_graph::{Graph, GraphBuilder, Vid};
+
+fn arb_sym_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (s, d) in edges {
+                b.add_edge(Vid::new(s), Vid::new(d));
+            }
+            b.symmetrize(true).dedup(true).drop_self_loops(true).build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Matula–Beck coreness and iterative peeling define the same k-core
+    /// for every k.
+    #[test]
+    fn coreness_equals_peeling(g in arb_sym_graph(120, 400)) {
+        let (core, _) = coreness(&g);
+        let max_core = core.iter().copied().max().unwrap_or(0);
+        for k in 1..=max_core.min(8) {
+            let fast = kcore_from_coreness(&core, k);
+            let (slow, _) = kcore_reference(&g, k);
+            prop_assert_eq!(fast, slow, "k={}", k);
+        }
+        // beyond the max coreness everything is peeled away
+        let (empty, _) = kcore_reference(&g, max_core + 1);
+        prop_assert_eq!(empty.count_ones(), 0);
+    }
+
+    /// Coreness is bounded by degree and by the max-coreness neighbour
+    /// property (each vertex's coreness ≤ 1 + #neighbours with coreness
+    /// ≥ its own is implied by k-core membership; we check the degree
+    /// bound and k-core witness directly).
+    #[test]
+    fn coreness_is_sound(g in arb_sym_graph(100, 300)) {
+        let (core, _) = coreness(&g);
+        for v in g.vertices() {
+            prop_assert!(core[v.index()] as usize <= g.in_degree(v));
+            let k = core[v.index()];
+            if k > 0 {
+                // v sits in the k-core: it has >= k neighbours in that core
+                let in_core = kcore_from_coreness(&core, k);
+                let witnesses = g
+                    .in_neighbors(v)
+                    .iter()
+                    .filter(|u| in_core.get_vid(**u))
+                    .count();
+                prop_assert!(witnesses as u32 >= k, "{} has {} < {}", v, witnesses, k);
+            }
+        }
+    }
+
+    /// Greedy MIS output is independent and maximal for any seed.
+    #[test]
+    fn greedy_mis_is_valid(g in arb_sym_graph(100, 300), seed in 0u64..100) {
+        let mis = mis_greedy_reference(&g, seed);
+        for (s, d) in g.edges() {
+            if s != d {
+                prop_assert!(!(mis.get_vid(s) && mis.get_vid(d)));
+            }
+        }
+        for v in g.vertices() {
+            if !mis.get_vid(v) {
+                let covered = g.in_neighbors(v).iter().any(|u| mis.get_vid(*u));
+                prop_assert!(covered, "{} uncovered", v);
+            }
+        }
+    }
+
+    /// BFS reference: triangle inequality over edges and parent
+    /// consistency.
+    #[test]
+    fn bfs_reference_is_consistent(g in arb_sym_graph(100, 300), root_raw in 0u32..100) {
+        let root = Vid::new(root_raw % g.num_vertices() as u32);
+        let (out, edges) = bfs_reference(&g, root);
+        prop_assert_eq!(out.depth[root.index()], 0);
+        for (s, d) in g.edges() {
+            let (ds, dd) = (out.depth[s.index()], out.depth[d.index()]);
+            if ds != u32::MAX {
+                prop_assert!(dd != u32::MAX && dd <= ds + 1, "edge {}->{}", s, d);
+            }
+        }
+        // every edge out of a reached vertex is examined exactly once
+        let reached_out: u64 = g
+            .vertices()
+            .filter(|v| out.depth[v.index()] != u32::MAX)
+            .map(|v| g.out_degree(v) as u64)
+            .sum();
+        prop_assert_eq!(edges, reached_out);
+    }
+
+    /// The sampling reference always selects valid neighbours and scans
+    /// no more edges than exist.
+    #[test]
+    fn sampling_reference_is_valid(g in arb_sym_graph(100, 300), seed in 0u64..100) {
+        let (out, edges) = sampling_reference(&g, seed);
+        validate_sampling(&g, &out);
+        prop_assert!(edges <= g.num_edges() as u64);
+    }
+}

@@ -1,0 +1,21 @@
+//! Shared setup for the criterion benches: a small fixed R-MAT workload
+//! (the harness binary runs the full-size tables; criterion tracks
+//! regressions on a miniature that completes in seconds).
+
+use criterion::Criterion;
+use std::time::Duration;
+use symple_graph::{Graph, RmatConfig};
+
+/// The miniature benchmark graph (scale 11, edge factor 8, cleaned).
+#[allow(dead_code)] // not every bench target uses both helpers
+pub fn bench_graph() -> Graph {
+    RmatConfig::graph500(11, 8).seed(7).cleaned(true).generate()
+}
+
+/// Criterion tuned for fast regression tracking.
+pub fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}

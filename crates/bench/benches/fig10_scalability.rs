@@ -1,0 +1,28 @@
+//! Criterion wrapper for Figure 10: MIS across machine counts.
+
+mod common;
+
+use common::{bench_graph, fast_criterion};
+use criterion::{criterion_main, Criterion};
+use symple_algos::mis;
+use symple_core::{EngineConfig, Policy};
+
+fn bench(c: &mut Criterion) {
+    let graph = bench_graph();
+    let mut group = c.benchmark_group("fig10_scalability");
+    for machines in [1usize, 2, 4, 8] {
+        for (name, policy) in [("gemini", Policy::Gemini), ("symple", Policy::symple())] {
+            group.bench_function(format!("m{machines}/{name}"), |b| {
+                let cfg = EngineConfig::new(machines, policy);
+                b.iter(|| mis(&graph, &cfg, 1))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = fast_criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion wrapper for Figure 11: the optimisation ablation
+//! (circulant-only, +double-buffering, +differentiated, both).
+
+mod common;
+
+use common::{bench_graph, fast_criterion};
+use criterion::{criterion_main, Criterion};
+use symple_algos::bfs;
+use symple_core::{EngineConfig, Policy};
+use symple_graph::Vid;
+
+fn bench(c: &mut Criterion) {
+    let graph = bench_graph();
+    let variants: [(&str, Policy); 4] = [
+        ("circulant", Policy::symple_basic()),
+        (
+            "db",
+            Policy::SympleGraph {
+                differentiated: false,
+                double_buffering: true,
+            },
+        ),
+        (
+            "dp",
+            Policy::SympleGraph {
+                differentiated: true,
+                double_buffering: false,
+            },
+        ),
+        ("db_dp", Policy::symple()),
+    ];
+    let mut group = c.benchmark_group("fig11_ablation");
+    for (name, policy) in variants {
+        group.bench_function(name, |b| {
+            let cfg = EngineConfig::new(4, policy);
+            b.iter(|| bfs(&graph, &cfg, Vid::new(1)))
+        });
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = fast_criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the substrates: bitmap operations, CSR
+//! construction, partitioning, R-MAT generation, UDF analysis and
+//! instrumentation, and one raw cluster round-trip.
+
+mod common;
+
+use common::fast_criterion;
+use criterion::{black_box, criterion_main, Criterion};
+use symple_core::Partition;
+use symple_graph::{Bitmap, Csr, RmatConfig, Vid};
+use symple_net::{Cluster, CommKind, CostModel, Tag, TagKind};
+use symple_udf::{analyze, instrument, paper_udfs};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro");
+
+    group.bench_function("bitmap/set_get_64k", |b| {
+        let mut bm = Bitmap::new(65_536);
+        b.iter(|| {
+            for i in (0..65_536).step_by(7) {
+                bm.set(i);
+            }
+            black_box(bm.count_ones())
+        })
+    });
+
+    group.bench_function("bitmap/extract_union_range", |b| {
+        let mut bm = Bitmap::new(65_536);
+        for i in (0..65_536).step_by(13) {
+            bm.set(i);
+        }
+        let mut dst = Bitmap::new(65_536);
+        b.iter(|| {
+            let words = bm.extract_range_words(0, 32_768);
+            dst.union_range_words(0, 32_768, &words);
+            black_box(dst.count_ones())
+        })
+    });
+
+    let edges: Vec<(Vid, Vid)> = RmatConfig::graph500(12, 8).generate().edges().collect();
+    group.bench_function("csr/from_edges_32k", |b| {
+        b.iter(|| black_box(Csr::from_edges(4096, &edges)))
+    });
+
+    let graph = RmatConfig::graph500(12, 8).generate();
+    group.bench_function("partition/chunked_p8", |b| {
+        b.iter(|| black_box(Partition::chunked(&graph, 8, 8.0)))
+    });
+
+    group.bench_function("rmat/generate_s10", |b| {
+        b.iter(|| black_box(RmatConfig::graph500(10, 8).generate()))
+    });
+
+    group.bench_function("udf/analyze_and_instrument", |b| {
+        let udf = paper_udfs::kcore_udf(8);
+        b.iter(|| {
+            black_box(analyze(&udf).unwrap());
+            black_box(instrument(&udf).unwrap())
+        })
+    });
+
+    group.bench_function("net/cluster_ping_pong", |b| {
+        b.iter(|| {
+            Cluster::new(2, CostModel::zero()).run(|ctx| {
+                let tag = Tag::new(TagKind::User, 0, 0);
+                if ctx.rank() == 0 {
+                    ctx.send(1, tag, CommKind::Update, vec![0; 64]);
+                    ctx.recv(1, Tag::new(TagKind::User, 1, 0)).len()
+                } else {
+                    let n = ctx.recv(0, tag).len();
+                    ctx.send(0, Tag::new(TagKind::User, 1, 0), CommKind::Update, vec![0; 64]);
+                    n
+                }
+            })
+        })
+    });
+
+    group.finish();
+}
+
+fn benches() {
+    let mut c = fast_criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

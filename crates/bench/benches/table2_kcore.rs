@@ -1,0 +1,30 @@
+//! Criterion wrapper for Table 2: K-core runtime vs K, Gemini vs
+//! SympleGraph. The full-size table comes from the `experiments` binary;
+//! this tracks regressions on a miniature.
+
+mod common;
+
+use common::{bench_graph, fast_criterion};
+use criterion::{criterion_main, Criterion};
+use symple_algos::kcore;
+use symple_core::{EngineConfig, Policy};
+
+fn bench(c: &mut Criterion) {
+    let graph = bench_graph();
+    let mut group = c.benchmark_group("table2_kcore");
+    for k in [4u32, 16, 64] {
+        for (name, policy) in [("gemini", Policy::Gemini), ("symple", Policy::symple())] {
+            group.bench_function(format!("k{k}/{name}"), |b| {
+                let cfg = EngineConfig::new(4, policy);
+                b.iter(|| kcore(&graph, &cfg, k))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = fast_criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion wrapper for Table 4: the five algorithms under the three
+//! systems (miniature; the full grid comes from the `experiments`
+//! binary).
+
+mod common;
+
+use common::{bench_graph, fast_criterion};
+use criterion::{criterion_main, Criterion};
+use symple_algos::{bfs, kcore, kmeans, mis, sampling};
+use symple_core::{EngineConfig, Policy};
+use symple_graph::Vid;
+
+fn bench(c: &mut Criterion) {
+    let graph = bench_graph();
+    let mut group = c.benchmark_group("table4_exec");
+    let policies = [
+        ("gemini", Policy::Gemini),
+        ("galois", Policy::Galois),
+        ("symple", Policy::symple()),
+    ];
+    for (pname, policy) in policies {
+        let cfg = EngineConfig::new(4, policy);
+        group.bench_function(format!("bfs/{pname}"), |b| {
+            b.iter(|| bfs(&graph, &cfg, Vid::new(1)))
+        });
+        group.bench_function(format!("kcore/{pname}"), |b| {
+            b.iter(|| kcore(&graph, &cfg, 4))
+        });
+        group.bench_function(format!("mis/{pname}"), |b| {
+            b.iter(|| mis(&graph, &cfg, 1))
+        });
+        group.bench_function(format!("kmeans/{pname}"), |b| {
+            b.iter(|| kmeans(&graph, &cfg, 1, 2))
+        });
+        group.bench_function(format!("sampling/{pname}"), |b| {
+            b.iter(|| sampling(&graph, &cfg, 1))
+        });
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = fast_criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

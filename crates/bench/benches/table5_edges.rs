@@ -1,0 +1,35 @@
+//! Criterion wrapper for Table 5 (traversed edges). The counter values
+//! themselves are exact and come from the `experiments` binary; this
+//! bench tracks the wall cost of the counting runs and asserts the
+//! mechanism's direction once per process (symple ≤ gemini).
+
+mod common;
+
+use common::{bench_graph, fast_criterion};
+use criterion::{criterion_main, Criterion};
+use symple_algos::mis;
+use symple_core::{EngineConfig, Policy};
+
+fn bench(c: &mut Criterion) {
+    let graph = bench_graph();
+    let gem_cfg = EngineConfig::new(4, Policy::Gemini);
+    let sym_cfg = EngineConfig::new(4, Policy::symple());
+    let (_, gem) = mis(&graph, &gem_cfg, 1);
+    let (_, sym) = mis(&graph, &sym_cfg, 1);
+    assert!(
+        sym.work.edges_traversed <= gem.work.edges_traversed,
+        "table5 invariant violated: {} > {}",
+        sym.work.edges_traversed,
+        gem.work.edges_traversed
+    );
+    let mut group = c.benchmark_group("table5_edges");
+    group.bench_function("mis/gemini", |b| b.iter(|| mis(&graph, &gem_cfg, 1)));
+    group.bench_function("mis/symple", |b| b.iter(|| mis(&graph, &sym_cfg, 1)));
+    group.finish();
+}
+
+fn benches() {
+    let mut c = fast_criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

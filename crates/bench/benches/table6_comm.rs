@@ -1,0 +1,41 @@
+//! Criterion wrapper for Table 6 (communication breakdown): asserts the
+//! byte-reduction invariant once, then tracks the cost of the accounting
+//! runs per algorithm.
+
+mod common;
+
+use common::{bench_graph, fast_criterion};
+use criterion::{criterion_main, Criterion};
+use symple_algos::{bfs, sampling};
+use symple_core::{EngineConfig, Policy};
+use symple_graph::Vid;
+use symple_net::CommKind;
+
+fn bench(c: &mut Criterion) {
+    let graph = bench_graph();
+    let gem_cfg = EngineConfig::new(4, Policy::Gemini);
+    let sym_cfg = EngineConfig::new(4, Policy::symple());
+    let (_, gem) = bfs(&graph, &gem_cfg, Vid::new(1));
+    let (_, sym) = bfs(&graph, &sym_cfg, Vid::new(1));
+    assert!(
+        sym.comm.bytes(CommKind::Update) <= gem.comm.bytes(CommKind::Update),
+        "table6 invariant violated"
+    );
+    let mut group = c.benchmark_group("table6_comm");
+    group.bench_function("bfs/gemini", |b| {
+        b.iter(|| bfs(&graph, &gem_cfg, Vid::new(1)))
+    });
+    group.bench_function("bfs/symple", |b| {
+        b.iter(|| bfs(&graph, &sym_cfg, Vid::new(1)))
+    });
+    group.bench_function("sampling/symple", |b| {
+        b.iter(|| sampling(&graph, &sym_cfg, 1))
+    });
+    group.finish();
+}
+
+fn benches() {
+    let mut c = fast_criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

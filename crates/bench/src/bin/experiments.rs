@@ -1,0 +1,40 @@
+//! CLI that regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p symple-bench --bin experiments -- all
+//! cargo run --release -p symple-bench --bin experiments -- table4 fig11
+//! ```
+
+use std::time::Instant;
+use symple_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!(
+            "usage: experiments <id>... | all\n  ids: table1..table7, fig10, fig11, cost"
+        );
+        std::process::exit(2);
+    }
+    let start = Instant::now();
+    let reports = if args.iter().any(|a| a == "all") {
+        experiments::all()
+    } else {
+        let mut out = Vec::new();
+        for id in &args {
+            match experiments::by_id(id) {
+                Some(runner) => out.push(runner()),
+                None => {
+                    eprintln!("unknown experiment `{id}`");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    };
+    for r in &reports {
+        println!("=== {} — {} ===", r.id, r.title);
+        println!("{}", r.text);
+    }
+    eprintln!("[experiments completed in {:?}]", start.elapsed());
+}

@@ -1,0 +1,181 @@
+//! Dataset registry: scaled-down stand-ins for the paper's Table 1.
+//!
+//! The real datasets (Twitter-2010, Friendster, Clueweb-12, Gsh-2015) are
+//! tens to thousands of gigabytes; this container has 15 GB and one core.
+//! Each stand-in is an R-MAT graph (Graph500 parameters, like the paper's
+//! own `s27`–`s29`) whose **edge factor** matches the original, so degree
+//! skew — the property the mechanism depends on — is preserved. The
+//! synthetic trio keeps the paper's signature relationship: same edge
+//! count, halving edge factor (`2^15·32 = 2^16·16 = 2^17·8`).
+//!
+//! All graphs are symmetrized and deduplicated ("cleaned"), matching the
+//! paper's §7.1 directed↔undirected conversion.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use symple_graph::{Graph, RmatConfig};
+
+/// A named dataset in the registry.
+#[derive(Debug, Clone, Copy)]
+pub struct Dataset {
+    /// Abbreviation used in the paper's tables (`tw`, `fr`, `s27`, …).
+    pub name: &'static str,
+    /// What it stands in for.
+    pub stands_for: &'static str,
+    /// R-MAT scale (log2 vertices).
+    pub scale: u32,
+    /// Edge factor before cleaning.
+    pub edge_factor: u32,
+    /// Generator seed.
+    pub seed: u64,
+    /// Edge count of the dataset this stands in for (fixed-cost scaling).
+    pub paper_edges: u64,
+}
+
+impl Dataset {
+    /// The fixed-cost scale factor for this stand-in: `our |E| / paper
+    /// |E|` (see [`symple_net::CostModel::scale_fixed_costs`]).
+    pub fn latency_scale(&self) -> f64 {
+        let ours = crate::dataset(self.name).num_edges() as f64;
+        ours / self.paper_edges as f64
+    }
+}
+
+/// Looks up a dataset spec by name.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn spec(name: &str) -> &'static Dataset {
+    DATASETS
+        .iter()
+        .find(|d| d.name == name)
+        .unwrap_or_else(|| panic!("unknown dataset `{name}`"))
+}
+
+/// The registry (paper Table 1, scaled).
+pub const DATASETS: [Dataset; 7] = [
+    Dataset {
+        name: "tw",
+        stands_for: "Twitter-2010 (42M v, 1.5B e, ef ~36)",
+        scale: 15,
+        edge_factor: 36,
+        seed: 0x7171,
+        paper_edges: 1_500_000_000,
+    },
+    Dataset {
+        name: "fr",
+        stands_for: "Friendster (66M v, 1.8B e, ef ~28)",
+        scale: 15,
+        edge_factor: 28,
+        seed: 0xF12,
+        paper_edges: 1_800_000_000,
+    },
+    Dataset {
+        name: "s27",
+        stands_for: "R-MAT scale 27, ef 32",
+        scale: 15,
+        edge_factor: 32,
+        seed: 27,
+        paper_edges: 4_300_000_000,
+    },
+    Dataset {
+        name: "s28",
+        stands_for: "R-MAT scale 28, ef 16",
+        scale: 16,
+        edge_factor: 16,
+        seed: 28,
+        paper_edges: 4_300_000_000,
+    },
+    Dataset {
+        name: "s29",
+        stands_for: "R-MAT scale 29, ef 8",
+        scale: 17,
+        edge_factor: 8,
+        seed: 29,
+        paper_edges: 4_300_000_000,
+    },
+    Dataset {
+        name: "cl",
+        stands_for: "Clueweb-12 (978M v, 43B e, ef ~44)",
+        scale: 16,
+        edge_factor: 44,
+        seed: 0xC1,
+        paper_edges: 43_000_000_000,
+    },
+    Dataset {
+        name: "gsh",
+        stands_for: "Gsh-2015 (988M v, 34B e, ef ~34)",
+        scale: 16,
+        edge_factor: 34,
+        seed: 0x654,
+        paper_edges: 34_000_000_000,
+    },
+];
+
+/// All registry names, table order.
+pub fn dataset_names() -> Vec<&'static str> {
+    DATASETS.iter().map(|d| d.name).collect()
+}
+
+fn registry() -> &'static Mutex<HashMap<&'static str, &'static Graph>> {
+    static CACHE: OnceLock<Mutex<HashMap<&'static str, &'static Graph>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the (cached, process-wide) graph for a registry name.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn dataset(name: &str) -> &'static Graph {
+    let spec = DATASETS
+        .iter()
+        .find(|d| d.name == name)
+        .unwrap_or_else(|| panic!("unknown dataset `{name}`"));
+    let mut cache = registry().lock().expect("registry poisoned");
+    if let Some(g) = cache.get(spec.name) {
+        return g;
+    }
+    let graph = RmatConfig::graph500(spec.scale, spec.edge_factor)
+        .seed(spec.seed)
+        .cleaned(true)
+        .generate();
+    let leaked: &'static Graph = Box::leak(Box::new(graph));
+    cache.insert(spec.name, leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_the_papers() {
+        assert_eq!(dataset_names(), ["tw", "fr", "s27", "s28", "s29", "cl", "gsh"]);
+    }
+
+    #[test]
+    fn synthetic_trio_has_matching_edge_budgets() {
+        // 2^15·32 = 2^16·16 = 2^17·8 (pre-cleaning)
+        let budget: Vec<u64> = DATASETS[2..5]
+            .iter()
+            .map(|d| (1u64 << d.scale) * u64::from(d.edge_factor))
+            .collect();
+        assert_eq!(budget[0], budget[1]);
+        assert_eq!(budget[1], budget[2]);
+    }
+
+    #[test]
+    fn caching_returns_same_instance() {
+        let a = dataset("s27") as *const Graph;
+        let b = dataset("s27") as *const Graph;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_name_panics() {
+        dataset("nope");
+    }
+}

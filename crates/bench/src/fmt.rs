@@ -1,0 +1,128 @@
+//! Fixed-width text table formatting for experiment reports.
+
+/// Builds an aligned text table from a header and rows.
+///
+/// # Example
+///
+/// ```
+/// use symple_bench::fmt::table;
+/// let t = table(
+///     &["graph", "speedup"],
+///     &[vec!["tw".into(), "1.42".into()], vec!["fr".into(), "1.30".into()]],
+/// );
+/// assert!(t.contains("graph"));
+/// assert!(t.lines().count() >= 4);
+/// ```
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for (i, w) in widths.iter().enumerate() {
+            out.push_str(if i == 0 { "+-" } else { "-+-" });
+            out.push_str(&"-".repeat(*w));
+        }
+        out.push_str("-+\n");
+    };
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, (c, w)) in cells.iter().zip(&widths).enumerate() {
+            out.push_str(if i == 0 { "| " } else { " | " });
+            out.push_str(c);
+            out.push_str(&" ".repeat(w - c.len()));
+        }
+        out.push_str(" |\n");
+    };
+    sep(&mut out);
+    line(
+        &mut out,
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    sep(&mut out);
+    for row in rows {
+        line(&mut out, row);
+    }
+    sep(&mut out);
+    out
+}
+
+/// Formats seconds with adaptive precision.
+pub fn secs(t: f64) -> String {
+    if t >= 10.0 {
+        format!("{t:.1}")
+    } else if t >= 0.1 {
+        format!("{t:.3}")
+    } else {
+        format!("{t:.5}")
+    }
+}
+
+/// Formats a ratio as `1.42x`.
+pub fn speedup(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Geometric mean of positive values.
+///
+/// # Panics
+///
+/// Panics if `vals` is empty or contains non-positive values.
+pub fn geomean(vals: &[f64]) -> f64 {
+    assert!(!vals.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = vals
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / vals.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["a", "long-header"],
+            &[vec!["xxxxx".into(), "1".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // all lines same width
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(secs(12.34), "12.3");
+        assert_eq!(secs(0.5), "0.500");
+        assert_eq!(secs(0.005), "0.00500");
+        assert_eq!(speedup(1.424), "1.42x");
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        geomean(&[0.0]);
+    }
+}

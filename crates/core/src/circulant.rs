@@ -1,0 +1,126 @@
+//! Circulant scheduling (paper §5.1, Definition 5.1, Figure 7).
+//!
+//! One pull iteration runs in `p` steps. In step `s`, machine `i`
+//! processes sub-graph `[i, (i+1+s) mod p]`: the edges from sources
+//! mastered on `i` to destinations mastered on partition `(i+1+s) mod p`.
+//!
+//! Two properties make this a circulant permutation schedule:
+//!
+//! 1. **Disjoint parallelism** — within a step, the `p` machines process
+//!    `p` distinct destination partitions (the map `i ↦ (i+1+s) mod p` is a
+//!    bijection), so all machines work concurrently on disjoint edges.
+//! 2. **Sequential per partition** — partition `j`'s in-edges are
+//!    processed in the fixed machine order `j−1, j−2, …, j+1, j` across
+//!    steps `0, 1, …, p−1`, ending at `j`'s own master machine. Between
+//!    consecutive steps the dependency state hops from machine `i` to
+//!    machine `i−1` — "each machine only communicates with the machine on
+//!    its left" (Figure 7).
+
+/// The destination partition machine `rank` processes at `step`
+/// (`σ` of Definition 5.1, concretely `(rank + 1 + step) mod p`).
+///
+/// # Panics
+///
+/// Panics if `rank >= machines` or `step >= machines`.
+pub fn dst_partition(rank: usize, step: usize, machines: usize) -> usize {
+    assert!(rank < machines && step < machines, "rank/step out of range");
+    (rank + 1 + step) % machines
+}
+
+/// The machine that processes destination partition `part` at `step`
+/// (inverse of [`dst_partition`] in its first argument).
+///
+/// # Panics
+///
+/// Panics if `part >= machines` or `step >= machines`.
+pub fn src_machine(part: usize, step: usize, machines: usize) -> usize {
+    assert!(part < machines && step < machines, "part/step out of range");
+    (part + machines - 1 - step) % machines
+}
+
+/// The machine order in which partition `part`'s in-edges are processed:
+/// `part−1, part−2, …, part+1, part` (ending at the master machine).
+/// Update buffers must be *applied* in this order to match the sequential
+/// neighbour semantics that dependency propagation enforces.
+///
+/// # Panics
+///
+/// Panics if `part >= machines`.
+pub fn processing_order(part: usize, machines: usize) -> Vec<usize> {
+    assert!(part < machines, "part out of range");
+    (0..machines)
+        .map(|step| src_machine(part, step, machines))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_figure7() {
+        // Figure 7 (p = 4): in step 0 machines 0,1,2,3 process partitions
+        // 1,2,3,0; machine 0 then processes 2, 3, and finally 0.
+        let p = 4;
+        let step0: Vec<_> = (0..p).map(|i| dst_partition(i, 0, p)).collect();
+        assert_eq!(step0, [1, 2, 3, 0]);
+        let machine0: Vec<_> = (0..p).map(|s| dst_partition(0, s, p)).collect();
+        assert_eq!(machine0, [1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn each_step_is_a_permutation() {
+        for p in 1..=9 {
+            for s in 0..p {
+                let mut seen = vec![false; p];
+                for i in 0..p {
+                    let j = dst_partition(i, s, p);
+                    assert!(!seen[j], "step {s} maps two machines to partition {j}");
+                    seen[j] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn src_machine_inverts_dst_partition() {
+        for p in 1..=9 {
+            for s in 0..p {
+                for i in 0..p {
+                    let j = dst_partition(i, s, p);
+                    assert_eq!(src_machine(j, s, p), i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn processing_order_walks_left_and_ends_at_master() {
+        assert_eq!(processing_order(0, 4), [3, 2, 1, 0]);
+        assert_eq!(processing_order(2, 4), [1, 0, 3, 2]);
+        for p in 1..=8 {
+            for j in 0..p {
+                let order = processing_order(j, p);
+                assert_eq!(order.len(), p);
+                assert_eq!(*order.last().unwrap(), j, "master machine is last");
+                // consecutive machines differ by -1 mod p (dependency flows
+                // to the left neighbour)
+                for w in order.windows(2) {
+                    assert_eq!((w[0] + p - 1) % p, w[1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_machine_degenerates() {
+        assert_eq!(dst_partition(0, 0, 1), 0);
+        assert_eq!(processing_order(0, 1), [0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_rank_panics() {
+        dst_partition(4, 0, 4);
+    }
+}

@@ -1,0 +1,191 @@
+//! Engine configuration and execution policies.
+
+use symple_net::CostModel;
+
+/// Which of the paper's three evaluated systems the engine emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// SympleGraph: circulant scheduling with dependency propagation.
+    /// The two communication optimisations of §5.2/§5.3 can be toggled
+    /// independently, which is how Figure 11's ablation is produced.
+    SympleGraph {
+        /// §5.2: propagate dependency only for high-degree vertices.
+        differentiated: bool,
+        /// §5.3: split each step into groups and send each group's
+        /// dependency message as soon as the group finishes.
+        double_buffering: bool,
+    },
+    /// Gemini baseline: identical signal–slot execution with no dependency
+    /// communication — the paper notes Gemini "can be considered as a
+    /// special case without dependency communication" (§5.1). UDF `break`s
+    /// still take effect *within* a machine's local edge segment.
+    Gemini,
+    /// Simplified D-Galois (Gluon) stand-in: Gemini-style local compute
+    /// plus a Gluon-style second synchronisation phase (masters broadcast
+    /// updated values back to mirrors) and a BSP barrier per iteration.
+    /// See DESIGN.md §2 for the fidelity discussion.
+    Galois,
+}
+
+impl Policy {
+    /// Full SympleGraph with both optimisations on (the paper's default).
+    pub fn symple() -> Self {
+        Policy::SympleGraph {
+            differentiated: true,
+            double_buffering: true,
+        }
+    }
+
+    /// SympleGraph with both optimisations off (Figure 11's baseline,
+    /// "circulant scheduling only").
+    pub fn symple_basic() -> Self {
+        Policy::SympleGraph {
+            differentiated: false,
+            double_buffering: false,
+        }
+    }
+
+    /// Does this policy propagate dependency between machines?
+    pub fn propagates_dependency(&self) -> bool {
+        matches!(self, Policy::SympleGraph { .. })
+    }
+}
+
+/// Configuration for a distributed run.
+///
+/// # Example
+///
+/// ```
+/// use symple_core::{EngineConfig, Policy};
+/// let cfg = EngineConfig::new(8, Policy::symple());
+/// assert_eq!(cfg.machines, 8);
+/// assert_eq!(cfg.degree_threshold, 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of simulated machines.
+    pub machines: usize,
+    /// Which system to emulate.
+    pub policy: Policy,
+    /// Degree threshold for differentiated propagation (§6: 32).
+    pub degree_threshold: usize,
+    /// Number of double-buffering groups per step (§6 generalises beyond
+    /// two; used only when double buffering is on).
+    pub buffer_groups: usize,
+    /// Virtual-time cost model (which testbed to emulate).
+    pub cost: CostModel,
+    /// Extra per-vertex weight when balancing the partition by
+    /// `alpha · |V_i| + |E_i|` (Gemini's locality-aware chunking).
+    pub partition_alpha: f64,
+}
+
+impl EngineConfig {
+    /// Creates a configuration with the paper's defaults: threshold 32,
+    /// two buffer groups, Cluster-A cost model.
+    pub fn new(machines: usize, policy: Policy) -> Self {
+        EngineConfig {
+            machines,
+            policy,
+            degree_threshold: 32,
+            buffer_groups: 2,
+            cost: CostModel::cluster_a(),
+            partition_alpha: 8.0,
+        }
+    }
+
+    /// Sets the cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the degree threshold for differentiated propagation.
+    pub fn degree_threshold(mut self, t: usize) -> Self {
+        self.degree_threshold = t;
+        self
+    }
+
+    /// Sets the number of double-buffering groups.
+    pub fn buffer_groups(mut self, g: usize) -> Self {
+        self.buffer_groups = g;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero machines or zero buffer groups.
+    pub fn validate(&self) {
+        assert!(self.machines > 0, "need at least one machine");
+        assert!(self.buffer_groups > 0, "need at least one buffer group");
+    }
+
+    /// Effective group count for a step: 1 unless double buffering is on.
+    pub fn effective_groups(&self) -> usize {
+        match self.policy {
+            Policy::SympleGraph {
+                double_buffering: true,
+                ..
+            } => self.buffer_groups,
+            _ => 1,
+        }
+    }
+
+    /// Effective differentiated-propagation flag.
+    pub fn differentiated(&self) -> bool {
+        matches!(
+            self.policy,
+            Policy::SympleGraph {
+                differentiated: true,
+                ..
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = EngineConfig::new(16, Policy::symple());
+        assert_eq!(cfg.degree_threshold, 32);
+        assert_eq!(cfg.buffer_groups, 2);
+        assert_eq!(cfg.effective_groups(), 2);
+        assert!(cfg.differentiated());
+    }
+
+    #[test]
+    fn gemini_has_no_dep_and_one_group() {
+        let cfg = EngineConfig::new(4, Policy::Gemini);
+        assert!(!cfg.policy.propagates_dependency());
+        assert_eq!(cfg.effective_groups(), 1);
+        assert!(!cfg.differentiated());
+    }
+
+    #[test]
+    fn basic_symple_disables_optimisations() {
+        let cfg = EngineConfig::new(4, Policy::symple_basic());
+        assert!(cfg.policy.propagates_dependency());
+        assert_eq!(cfg.effective_groups(), 1);
+        assert!(!cfg.differentiated());
+    }
+
+    #[test]
+    fn builder_setters() {
+        let cfg = EngineConfig::new(2, Policy::Gemini)
+            .degree_threshold(8)
+            .buffer_groups(4);
+        assert_eq!(cfg.degree_threshold, 8);
+        assert_eq!(cfg.buffer_groups, 4);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_invalid() {
+        EngineConfig::new(0, Policy::Gemini).validate();
+    }
+}

@@ -1,0 +1,454 @@
+//! Dependency state and messages (paper §3, §4.1).
+//!
+//! Each in-flight destination vertex owns one *dependency slot*. What a
+//! slot holds depends on the algorithm's loop-carried dependency:
+//!
+//! * [`BitDep`] — pure **control** dependency: one bit meaning "the break
+//!   condition already fired; skip all following neighbours" (BFS, MIS,
+//!   K-means). On the wire: a bitmap, one bit per slot — exactly the
+//!   paper's "small dependency messages organised as a bit map".
+//! * [`CountDep`] — **data + control**: a saturating counter with a
+//!   threshold (K-core: skip once `cnt ≥ k`). One byte per slot.
+//! * [`WeightDep`] — **data + control**: a running prefix sum plus a
+//!   selected bit (weighted sampling). Four bytes + one bit per slot,
+//!   which is why sampling's dependency traffic is the one case where
+//!   total communication can exceed Gemini's (Table 6).
+//!
+//! [`DepLayout`] decides which vertices get slots: everyone (full mode) or
+//! only high-degree vertices (differentiated propagation, §5.2). Slot
+//! numbering is global and deterministic, so all machines agree without
+//! negotiation.
+
+use std::ops::Range;
+use symple_graph::{Graph, Vid};
+
+use crate::Partition;
+
+/// Per-vertex dependency state exchanged between circulant steps.
+///
+/// Implementations store one value per *slot* and define the wire format
+/// for a contiguous slot range (the unit sent between machines).
+pub trait DepState: Send {
+    /// Resets the slots in `range` to their initial value (used by the
+    /// first machine in a partition's processing order, which receives no
+    /// dependency message).
+    fn reset_range(&mut self, range: Range<usize>);
+
+    /// Should the vertex in `slot` be skipped entirely?
+    fn should_skip(&self, slot: usize) -> bool;
+
+    /// Appends the wire encoding of the slots in `range` to `out`.
+    fn encode_range(&self, range: Range<usize>, out: &mut Vec<u8>);
+
+    /// Overwrites the slots in `range` from a buffer produced by
+    /// [`DepState::encode_range`] over the same range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is too short for the range.
+    fn decode_range(&mut self, range: Range<usize>, buf: &[u8]);
+
+    /// Wire bytes needed for `len` slots (documentation/accounting aid).
+    fn wire_bytes(len: usize) -> usize
+    where
+        Self: Sized;
+}
+
+/// Control-only dependency: one skip bit per slot.
+#[derive(Debug, Clone)]
+pub struct BitDep {
+    bits: Vec<bool>,
+}
+
+impl BitDep {
+    /// Creates state for `slots` slots, all clear.
+    pub fn new(slots: usize) -> Self {
+        BitDep {
+            bits: vec![false; slots],
+        }
+    }
+
+    /// Marks `slot` as "break fired — skip following neighbours".
+    pub fn mark(&mut self, slot: usize) {
+        self.bits[slot] = true;
+    }
+}
+
+impl DepState for BitDep {
+    fn reset_range(&mut self, range: Range<usize>) {
+        self.bits[range].fill(false);
+    }
+
+    fn should_skip(&self, slot: usize) -> bool {
+        self.bits[slot]
+    }
+
+    fn encode_range(&self, range: Range<usize>, out: &mut Vec<u8>) {
+        let slice = &self.bits[range];
+        let mut byte = 0u8;
+        for (i, &b) in slice.iter().enumerate() {
+            if b {
+                byte |= 1 << (i % 8);
+            }
+            if i % 8 == 7 {
+                out.push(byte);
+                byte = 0;
+            }
+        }
+        if !slice.len().is_multiple_of(8) {
+            out.push(byte);
+        }
+    }
+
+    fn decode_range(&mut self, range: Range<usize>, buf: &[u8]) {
+        let len = range.len();
+        assert!(buf.len() >= len.div_ceil(8), "dependency buffer too short");
+        for i in 0..len {
+            self.bits[range.start + i] = (buf[i / 8] >> (i % 8)) & 1 == 1;
+        }
+    }
+
+    fn wire_bytes(len: usize) -> usize {
+        len.div_ceil(8)
+    }
+}
+
+/// Saturating-counter dependency (K-core): skip once the count reaches `k`.
+#[derive(Debug, Clone)]
+pub struct CountDep {
+    counts: Vec<u8>,
+    k: u8,
+}
+
+impl CountDep {
+    /// Creates state for `slots` slots with threshold `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (a zero threshold would skip everything).
+    pub fn new(slots: usize, k: u8) -> Self {
+        assert!(k > 0, "threshold must be positive");
+        CountDep {
+            counts: vec![0; slots],
+            k,
+        }
+    }
+
+    /// The threshold.
+    pub fn k(&self) -> u8 {
+        self.k
+    }
+
+    /// Current count in `slot`.
+    pub fn count(&self, slot: usize) -> u8 {
+        self.counts[slot]
+    }
+
+    /// Increments `slot`, saturating at `k`. Returns the new count.
+    pub fn increment(&mut self, slot: usize) -> u8 {
+        let c = &mut self.counts[slot];
+        if *c < self.k {
+            *c += 1;
+        }
+        *c
+    }
+}
+
+impl DepState for CountDep {
+    fn reset_range(&mut self, range: Range<usize>) {
+        self.counts[range].fill(0);
+    }
+
+    fn should_skip(&self, slot: usize) -> bool {
+        self.counts[slot] >= self.k
+    }
+
+    fn encode_range(&self, range: Range<usize>, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.counts[range]);
+    }
+
+    fn decode_range(&mut self, range: Range<usize>, buf: &[u8]) {
+        let len = range.len();
+        assert!(buf.len() >= len, "dependency buffer too short");
+        self.counts[range].copy_from_slice(&buf[..len]);
+    }
+
+    fn wire_bytes(len: usize) -> usize {
+        len
+    }
+}
+
+/// Prefix-sum dependency (weighted sampling): a running `f32` weight sum
+/// and a selected bit per slot.
+#[derive(Debug, Clone)]
+pub struct WeightDep {
+    acc: Vec<f32>,
+    selected: Vec<bool>,
+}
+
+impl WeightDep {
+    /// Creates state for `slots` slots with zero accumulators.
+    pub fn new(slots: usize) -> Self {
+        WeightDep {
+            acc: vec![0.0; slots],
+            selected: vec![false; slots],
+        }
+    }
+
+    /// Current accumulated weight in `slot`.
+    pub fn accumulated(&self, slot: usize) -> f32 {
+        self.acc[slot]
+    }
+
+    /// Adds `w` to the accumulator. Returns the new prefix sum.
+    pub fn add_weight(&mut self, slot: usize, w: f32) -> f32 {
+        self.acc[slot] += w;
+        self.acc[slot]
+    }
+
+    /// Marks the sample in `slot` as taken.
+    pub fn select(&mut self, slot: usize) {
+        self.selected[slot] = true;
+    }
+}
+
+impl DepState for WeightDep {
+    fn reset_range(&mut self, range: Range<usize>) {
+        self.acc[range.clone()].fill(0.0);
+        self.selected[range].fill(false);
+    }
+
+    fn should_skip(&self, slot: usize) -> bool {
+        self.selected[slot]
+    }
+
+    fn encode_range(&self, range: Range<usize>, out: &mut Vec<u8>) {
+        for &a in &self.acc[range.clone()] {
+            out.extend_from_slice(&a.to_le_bytes());
+        }
+        let sel = &self.selected[range];
+        let mut byte = 0u8;
+        for (i, &b) in sel.iter().enumerate() {
+            if b {
+                byte |= 1 << (i % 8);
+            }
+            if i % 8 == 7 {
+                out.push(byte);
+                byte = 0;
+            }
+        }
+        if !sel.len().is_multiple_of(8) {
+            out.push(byte);
+        }
+    }
+
+    fn decode_range(&mut self, range: Range<usize>, buf: &[u8]) {
+        let len = range.len();
+        assert!(
+            buf.len() >= Self::wire_bytes(len),
+            "dependency buffer too short"
+        );
+        for i in 0..len {
+            let off = i * 4;
+            self.acc[range.start + i] =
+                f32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+        }
+        let bits = &buf[len * 4..];
+        for i in 0..len {
+            self.selected[range.start + i] = (bits[i / 8] >> (i % 8)) & 1 == 1;
+        }
+    }
+
+    fn wire_bytes(len: usize) -> usize {
+        len * 4 + len.div_ceil(8)
+    }
+}
+
+/// Assignment of dependency slots to vertices (global, deterministic).
+///
+/// In **full** mode every vertex of a partition gets a slot (its offset in
+/// the partition). In **high-degree** mode only vertices with in-degree at
+/// or above the threshold get slots (their rank in the partition's sorted
+/// high-degree list), and low-degree vertices fall back to the Gemini
+/// schedule (§5.2).
+#[derive(Debug, Clone)]
+pub struct DepLayout {
+    /// For each partition: slot count.
+    part_slots: Vec<usize>,
+    /// High-degree vertex ids per partition (ascending); empty in full mode.
+    hi_lists: Option<Vec<Vec<Vid>>>,
+    /// Partition start ids (for full-mode slot arithmetic).
+    part_starts: Vec<u32>,
+}
+
+impl DepLayout {
+    /// Full layout: a slot for every vertex.
+    pub fn full(part: &Partition) -> Self {
+        let p = part.num_parts();
+        DepLayout {
+            part_slots: (0..p).map(|i| part.len(i)).collect(),
+            hi_lists: None,
+            part_starts: (0..p).map(|i| part.range(i).0.raw()).collect(),
+        }
+    }
+
+    /// Differentiated layout: slots only for vertices whose in-degree is at
+    /// least `threshold`.
+    pub fn high_degree(graph: &Graph, part: &Partition, threshold: usize) -> Self {
+        let p = part.num_parts();
+        let mut hi_lists = Vec::with_capacity(p);
+        for i in 0..p {
+            let list: Vec<Vid> = part
+                .vertices(i)
+                .filter(|&v| graph.in_degree(v) >= threshold)
+                .collect();
+            hi_lists.push(list);
+        }
+        DepLayout {
+            part_slots: hi_lists.iter().map(Vec::len).collect(),
+            hi_lists: Some(hi_lists),
+            part_starts: (0..p).map(|i| part.range(i).0.raw()).collect(),
+        }
+    }
+
+    /// Number of slots in partition `part`.
+    pub fn slots(&self, part: usize) -> usize {
+        self.part_slots[part]
+    }
+
+    /// The largest slot count over all partitions (buffer sizing).
+    pub fn max_slots(&self) -> usize {
+        self.part_slots.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The slot of vertex `v` in partition `part`, or `None` if `v` is a
+    /// low-degree vertex excluded by differentiated propagation.
+    pub fn slot_of(&self, part: usize, v: Vid) -> Option<usize> {
+        match &self.hi_lists {
+            None => Some((v.raw() - self.part_starts[part]) as usize),
+            Some(lists) => lists[part].binary_search(&v).ok(),
+        }
+    }
+
+    /// Is this a differentiated (high-degree-only) layout?
+    pub fn is_differentiated(&self) -> bool {
+        self.hi_lists.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symple_graph::star;
+
+    #[test]
+    fn bit_dep_roundtrip() {
+        let mut d = BitDep::new(20);
+        d.mark(3);
+        d.mark(8);
+        d.mark(19);
+        assert!(d.should_skip(3) && !d.should_skip(4));
+        let mut out = Vec::new();
+        d.encode_range(2..20, &mut out);
+        assert_eq!(out.len(), BitDep::wire_bytes(18));
+        let mut d2 = BitDep::new(20);
+        d2.mark(2); // stale value that the decode must overwrite
+        d2.decode_range(2..20, &out);
+        assert!(!d2.should_skip(2));
+        assert!(d2.should_skip(3) && d2.should_skip(8) && d2.should_skip(19));
+        d2.reset_range(0..20);
+        assert!((0..20).all(|s| !d2.should_skip(s)));
+    }
+
+    #[test]
+    fn count_dep_saturates_and_roundtrips() {
+        let mut d = CountDep::new(4, 3);
+        assert_eq!(d.k(), 3);
+        for _ in 0..5 {
+            d.increment(1);
+        }
+        assert_eq!(d.count(1), 3, "saturates at k");
+        assert!(d.should_skip(1));
+        assert!(!d.should_skip(0));
+        let mut out = Vec::new();
+        d.encode_range(0..4, &mut out);
+        assert_eq!(out.len(), 4);
+        let mut d2 = CountDep::new(4, 3);
+        d2.decode_range(0..4, &out);
+        assert_eq!(d2.count(1), 3);
+        d2.reset_range(1..2);
+        assert_eq!(d2.count(1), 0);
+    }
+
+    #[test]
+    fn weight_dep_roundtrip() {
+        let mut d = WeightDep::new(3);
+        assert_eq!(d.add_weight(0, 1.5), 1.5);
+        assert_eq!(d.add_weight(0, 2.0), 3.5);
+        d.select(2);
+        assert!(d.should_skip(2) && !d.should_skip(0));
+        let mut out = Vec::new();
+        d.encode_range(0..3, &mut out);
+        assert_eq!(out.len(), WeightDep::wire_bytes(3));
+        let mut d2 = WeightDep::new(3);
+        d2.decode_range(0..3, &out);
+        assert_eq!(d2.accumulated(0), 3.5);
+        assert!(d2.should_skip(2));
+    }
+
+    #[test]
+    fn weight_dep_partial_range() {
+        let mut d = WeightDep::new(10);
+        d.add_weight(5, 9.0);
+        d.select(6);
+        let mut out = Vec::new();
+        d.encode_range(4..8, &mut out);
+        let mut d2 = WeightDep::new(10);
+        d2.decode_range(4..8, &out);
+        assert_eq!(d2.accumulated(5), 9.0);
+        assert!(d2.should_skip(6));
+        assert_eq!(d2.accumulated(9), 0.0);
+    }
+
+    #[test]
+    fn full_layout_slots() {
+        let g = star(130);
+        let part = Partition::from_starts(vec![0, 64, 130]);
+        let layout = DepLayout::full(&part);
+        assert!(!layout.is_differentiated());
+        assert_eq!(layout.slots(0), 64);
+        assert_eq!(layout.slots(1), 66);
+        assert_eq!(layout.max_slots(), 66);
+        assert_eq!(layout.slot_of(0, Vid::new(10)), Some(10));
+        assert_eq!(layout.slot_of(1, Vid::new(64)), Some(0));
+        assert_eq!(layout.slot_of(1, Vid::new(129)), Some(65));
+        let _ = g;
+    }
+
+    #[test]
+    fn high_degree_layout_excludes_low_degree() {
+        // star(100): hub (vertex 0) has in-degree 99; leaves have 1.
+        let g = star(100);
+        let part = Partition::from_starts(vec![0, 64, 100]);
+        let layout = DepLayout::high_degree(&g, &part, 32);
+        assert!(layout.is_differentiated());
+        assert_eq!(layout.slots(0), 1);
+        assert_eq!(layout.slots(1), 0);
+        assert_eq!(layout.slot_of(0, Vid::new(0)), Some(0));
+        assert_eq!(layout.slot_of(0, Vid::new(5)), None);
+        assert_eq!(layout.max_slots(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        CountDep::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn decode_short_buffer_panics() {
+        let mut d = CountDep::new(8, 2);
+        d.decode_range(0..8, &[1, 2]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Per-run execution statistics.
+
+use std::fmt;
+use std::time::Duration;
+use symple_net::CommStats;
+
+/// Counters accumulated by one machine's [`crate::Worker`] during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Edges actually examined by signal functions (Table 5's metric).
+    pub edges_traversed: u64,
+    /// Destination entries examined (active-check granularity).
+    pub vertices_examined: u64,
+    /// Destinations skipped because received dependency said so — the
+    /// paper's "eliminated unnecessary computation".
+    pub skipped_by_dep: u64,
+    /// Update messages emitted by signals.
+    pub updates_emitted: u64,
+    /// Pull iterations executed.
+    pub pull_iterations: u64,
+    /// Push iterations executed.
+    pub push_iterations: u64,
+}
+
+impl WorkerStats {
+    /// Componentwise sum.
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.edges_traversed += other.edges_traversed;
+        self.vertices_examined += other.vertices_examined;
+        self.skipped_by_dep += other.skipped_by_dep;
+        self.updates_emitted += other.updates_emitted;
+        self.pull_iterations = self.pull_iterations.max(other.pull_iterations);
+        self.push_iterations = self.push_iterations.max(other.push_iterations);
+    }
+}
+
+/// Aggregated result of a distributed run: modelled and measured time plus
+/// exact computation/communication counters.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Modelled makespan on the emulated cluster (seconds of virtual time).
+    pub virtual_time: f64,
+    /// Host wall-clock time of the simulation (not comparable to paper
+    /// numbers; see DESIGN.md).
+    pub wall: Duration,
+    /// Sum of all machines' worker counters.
+    pub work: WorkerStats,
+    /// Sum of all machines' communication.
+    pub comm: CommStats,
+}
+
+impl RunStats {
+    /// Edges traversed normalised to a graph's edge count — Table 5's
+    /// reporting unit.
+    pub fn edges_normalized(&self, num_edges: usize) -> f64 {
+        if num_edges == 0 {
+            0.0
+        } else {
+            self.work.edges_traversed as f64 / num_edges as f64
+        }
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "virtual {:.4}s, wall {:?}, edges {}, skips {}, comm [{}]",
+            self.virtual_time,
+            self.wall,
+            self.work.edges_traversed,
+            self.work.skipped_by_dep,
+            self.comm
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters_and_maxes_iterations() {
+        let mut a = WorkerStats {
+            edges_traversed: 10,
+            vertices_examined: 4,
+            skipped_by_dep: 1,
+            updates_emitted: 2,
+            pull_iterations: 3,
+            push_iterations: 0,
+        };
+        let b = WorkerStats {
+            edges_traversed: 5,
+            vertices_examined: 6,
+            skipped_by_dep: 2,
+            updates_emitted: 1,
+            pull_iterations: 3,
+            push_iterations: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.edges_traversed, 15);
+        assert_eq!(a.vertices_examined, 10);
+        assert_eq!(a.skipped_by_dep, 3);
+        assert_eq!(a.updates_emitted, 3);
+        assert_eq!(a.pull_iterations, 3, "iterations are SPMD-max, not sum");
+        assert_eq!(a.push_iterations, 1);
+    }
+
+    #[test]
+    fn normalization() {
+        let stats = RunStats {
+            work: WorkerStats {
+                edges_traversed: 50,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!((stats.edges_normalized(100) - 0.5).abs() < 1e-12);
+        assert_eq!(stats.edges_normalized(0), 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = RunStats::default().to_string();
+        assert!(s.contains("virtual"));
+        assert!(s.contains("edges"));
+    }
+}

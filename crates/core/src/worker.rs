@@ -1,0 +1,573 @@
+//! The per-machine engine handle (SPMD, like a Gemini process).
+//!
+//! Algorithms run the same closure on every machine; the [`Worker`] gives
+//! them pull/push edge processing, frontier synchronisation, and
+//! convergence collectives. One [`Worker::pull`] call executes one dense
+//! iteration under the configured [`crate::Policy`]:
+//!
+//! * **SympleGraph** — circulant steps with dependency receive → process →
+//!   send per step (or per double-buffering group), low-degree fallback
+//!   under differentiated propagation;
+//! * **Gemini** — same bucket walk, no dependency messages; breaks apply
+//!   only within the machine-local segment;
+//! * **Galois** — Gemini compute plus a Gluon-style broadcast phase
+//!   (masters push applied updates back to all peers) and a BSP barrier.
+
+use crate::circulant::{dst_partition, processing_order};
+use crate::{
+    DepLayout, DepState, EngineConfig, LocalGraph, Partition, Policy, PullProgram,
+    PushProgram, WorkerStats,
+};
+use std::ops::Range;
+use symple_graph::{Bitmap, Graph, Vid};
+use symple_net::{CommKind, NodeCtx, Tag, TagKind, Wire};
+
+/// Per-machine engine handle. Created by [`crate::run_spmd`] on each
+/// simulated machine.
+pub struct Worker<'a> {
+    ctx: &'a mut NodeCtx,
+    graph: &'a Graph,
+    cfg: &'a EngineConfig,
+    part: Partition,
+    layout: DepLayout,
+    local: LocalGraph,
+    stats: WorkerStats,
+    iter_seq: u64,
+}
+
+/// The slot range of double-buffering group `g` out of `groups` over a
+/// partition with `n` dependency slots.
+fn group_range(g: usize, groups: usize, n: usize) -> Range<usize> {
+    (g * n / groups)..((g + 1) * n / groups)
+}
+
+impl<'a> Worker<'a> {
+    /// Builds the machine-local structures (partition, dependency layout,
+    /// buckets). Deterministic per rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or its machine count differs
+    /// from the cluster's.
+    pub fn new(ctx: &'a mut NodeCtx, graph: &'a Graph, cfg: &'a EngineConfig) -> Self {
+        cfg.validate();
+        assert_eq!(
+            cfg.machines,
+            ctx.world(),
+            "config machine count must match cluster size"
+        );
+        let part = Partition::chunked(graph, cfg.machines, cfg.partition_alpha);
+        let layout = if cfg.differentiated() {
+            DepLayout::high_degree(graph, &part, cfg.degree_threshold)
+        } else {
+            DepLayout::full(&part)
+        };
+        let local = LocalGraph::build(graph, &part, &layout, ctx.rank());
+        Worker {
+            ctx,
+            graph,
+            cfg,
+            part,
+            layout,
+            local,
+            stats: WorkerStats::default(),
+            iter_seq: 0,
+        }
+    }
+
+    /// This machine's rank.
+    pub fn rank(&self) -> usize {
+        self.ctx.rank()
+    }
+
+    /// The execution policy in effect.
+    pub fn policy(&self) -> Policy {
+        self.cfg.policy
+    }
+
+    /// Number of machines.
+    pub fn world(&self) -> usize {
+        self.ctx.world()
+    }
+
+    /// The shared graph.
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// The global partition.
+    pub fn partition(&self) -> &Partition {
+        &self.part
+    }
+
+    /// This machine's master range `[lo, hi)`.
+    pub fn my_range(&self) -> (Vid, Vid) {
+        self.part.range(self.ctx.rank())
+    }
+
+    /// Iterates this machine's master vertices.
+    pub fn masters(&self) -> impl Iterator<Item = Vid> {
+        let (lo, hi) = self.my_range();
+        Vid::range(lo.raw(), hi.raw())
+    }
+
+    /// Is `v` mastered here?
+    pub fn is_master(&self, v: Vid) -> bool {
+        let (lo, hi) = self.my_range();
+        lo <= v && v < hi
+    }
+
+    /// Slots the caller must allocate in dependency state passed to
+    /// [`Worker::pull`] (the per-partition maximum plus one scratch slot
+    /// used for local-only breaks).
+    pub fn dep_slots_needed(&self) -> usize {
+        self.layout.max_slots() + 1
+    }
+
+    /// This machine's accumulated counters.
+    pub fn stats(&self) -> WorkerStats {
+        self.stats
+    }
+
+    /// Current virtual time on this machine.
+    pub fn virtual_clock(&self) -> f64 {
+        self.ctx.virtual_clock()
+    }
+
+    /// Sums `v` across machines. Collective.
+    pub fn allreduce_sum(&mut self, v: u64) -> u64 {
+        self.ctx.allreduce_u64_sum(v)
+    }
+
+    /// ORs `v` across machines. Collective.
+    pub fn allreduce_or(&mut self, v: bool) -> bool {
+        self.ctx.allreduce_bool_or(v)
+    }
+
+    /// Synchronises a full-length bitmap: every machine's master slice
+    /// *overwrites* the others' copies (cleared bits propagate).
+    /// Collective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bm.len()` differs from the graph's vertex count.
+    pub fn sync_bitmap(&mut self, bm: &mut Bitmap) {
+        assert_eq!(bm.len(), self.graph.num_vertices(), "bitmap length mismatch");
+        let rank = self.ctx.rank();
+        let (lo, hi) = self.part.range(rank);
+        let payload = if lo == hi {
+            Vec::new() // empty partitions may sit at unaligned boundaries
+        } else {
+            symple_net::encode_slice(&bm.extract_range_words(lo.index(), hi.index()))
+        };
+        let all = self.ctx.allgather_bytes(payload, CommKind::Sync);
+        for (m, bytes) in all.iter().enumerate() {
+            if m == rank {
+                continue;
+            }
+            let (mlo, mhi) = self.part.range(m);
+            if mlo == mhi {
+                continue;
+            }
+            let w: Vec<u64> = symple_net::decode_vec(bytes);
+            bm.assign_range_words(mlo.index(), mhi.index(), &w);
+        }
+    }
+
+    /// Synchronises a full-length per-vertex value array: every machine's
+    /// master slice overwrites the others' copies. Collective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arr.len()` differs from the graph's vertex count.
+    pub fn sync_values<T: Wire + Copy>(&mut self, arr: &mut [T]) {
+        assert_eq!(arr.len(), self.graph.num_vertices(), "array length mismatch");
+        let rank = self.ctx.rank();
+        let (lo, hi) = self.part.range(rank);
+        let payload = symple_net::encode_slice(&arr[lo.index()..hi.index()]);
+        let all = self.ctx.allgather_bytes(payload, CommKind::Sync);
+        for (m, bytes) in all.iter().enumerate() {
+            if m == rank {
+                continue;
+            }
+            let (mlo, mhi) = self.part.range(m);
+            let vals: Vec<T> = symple_net::decode_vec(bytes);
+            arr[mlo.index()..mhi.index()].copy_from_slice(&vals);
+        }
+    }
+
+    /// Sparse delta-sync of a per-vertex array: each machine broadcasts
+    /// `(vid, value)` pairs for its `changed` master vertices; receivers
+    /// patch their copies. Collective. This is how iteration state whose
+    /// active set is small (e.g. newly clustered vertices) is kept in sync
+    /// without shipping whole arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) if `changed` contains non-local vertices.
+    pub fn sync_changed<T: Wire + Copy>(&mut self, arr: &mut [T], changed: &[Vid]) {
+        let rank = self.ctx.rank();
+        let mut payload = Vec::with_capacity(changed.len() * (4 + T::SIZE));
+        for &v in changed {
+            debug_assert!(self.is_master(v), "sync_changed takes local masters");
+            v.write(&mut payload);
+            arr[v.index()].write(&mut payload);
+        }
+        let all = self.ctx.allgather_bytes(payload, CommKind::Sync);
+        let pair = 4 + T::SIZE;
+        for (m, bytes) in all.iter().enumerate() {
+            if m == rank {
+                continue;
+            }
+            for c in bytes.chunks_exact(pair) {
+                let v = Vid::read(c);
+                arr[v.index()] = T::read(&c[4..]);
+            }
+        }
+    }
+
+    /// Runs one dense (pull) iteration of `prog` under the configured
+    /// policy and applies the produced updates at their masters via
+    /// `apply(v, update) -> activated`.
+    ///
+    /// `dep` must have at least [`Worker::dep_slots_needed`] slots; the
+    /// engine resets ranges as the circulant schedule requires, so the
+    /// same state can be reused across iterations.
+    ///
+    /// Returns the number of local master activations (`apply` returning
+    /// `true`). Collective: every machine must call `pull` with the same
+    /// program type each iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dep` is too small (slot indexing) or on protocol
+    /// timeout.
+    pub fn pull<P: PullProgram>(
+        &mut self,
+        prog: &P,
+        dep: &mut P::Dep,
+        apply: &mut dyn FnMut(Vid, P::Update) -> bool,
+    ) -> u64 {
+        let p = self.ctx.world();
+        let rank = self.ctx.rank();
+        self.iter_seq += 1;
+        let iter = self.iter_seq;
+        self.stats.pull_iterations += 1;
+        let scratch = self.layout.max_slots();
+        let symple = self.cfg.policy.propagates_dependency();
+        let galois = matches!(self.cfg.policy, Policy::Galois);
+        let groups = self.cfg.effective_groups();
+        let right = (rank + 1) % p;
+        let left = (rank + p - 1) % p;
+        let mut local_updates: Vec<u8> = Vec::new();
+
+        for s in 0..p {
+            let j = dst_partition(rank, s, p);
+            let first = s == 0;
+            let last = s + 1 == p;
+            let n_slots = self.layout.slots(j);
+            let mut outbox: Vec<u8> = Vec::new();
+            let mut edges = 0u64;
+            let mut verts = 0u64;
+            let mut skipped = 0u64;
+            let mut emitted = 0u64;
+
+            if !symple {
+                // Gemini/Galois: every destination uses the scratch slot;
+                // breaks act locally only.
+                let bucket = self.local.bucket(j);
+                for part_ref in [&bucket.hi, &bucket.lo] {
+                    for (v, _slot, srcs) in part_ref.iter() {
+                        verts += 1;
+                        if !prog.dense_active(v) {
+                            continue;
+                        }
+                        dep.reset_range(scratch..scratch + 1);
+                        let out = prog.signal(v, srcs, dep, scratch, false, &mut |upd| {
+                            v.write(&mut outbox);
+                            upd.write(&mut outbox);
+                            emitted += 1;
+                        });
+                        edges += out.edges;
+                    }
+                }
+                self.ctx.compute(edges, verts);
+            } else if groups == 1 {
+                // Plain circulant (with or without differentiated
+                // propagation, but no double buffering): wait for the whole
+                // dependency message up front.
+                if n_slots > 0 {
+                    if first {
+                        dep.reset_range(0..n_slots);
+                    } else {
+                        let tag = Tag::new(TagKind::Dep, iter * p as u64 + (s as u64 - 1), 0);
+                        let buf = self.ctx.recv(right, tag);
+                        dep.decode_range(0..n_slots, &buf);
+                    }
+                }
+                let bucket = self.local.bucket(j);
+                for (v, slot, srcs) in bucket.hi.iter() {
+                    verts += 1;
+                    if !prog.dense_active(v) {
+                        continue;
+                    }
+                    if dep.should_skip(slot) {
+                        skipped += 1;
+                        continue;
+                    }
+                    let out = prog.signal(v, srcs, dep, slot, true, &mut |upd| {
+                        v.write(&mut outbox);
+                        upd.write(&mut outbox);
+                        emitted += 1;
+                    });
+                    edges += out.edges;
+                }
+                for (v, _slot, srcs) in bucket.lo.iter() {
+                    verts += 1;
+                    if !prog.dense_active(v) {
+                        continue;
+                    }
+                    dep.reset_range(scratch..scratch + 1);
+                    let out = prog.signal(v, srcs, dep, scratch, false, &mut |upd| {
+                        v.write(&mut outbox);
+                        upd.write(&mut outbox);
+                        emitted += 1;
+                    });
+                    edges += out.edges;
+                }
+                self.ctx.compute(edges, verts);
+                if !last && n_slots > 0 {
+                    let mut payload = Vec::new();
+                    dep.encode_range(0..n_slots, &mut payload);
+                    let tag = Tag::new(TagKind::Dep, iter * p as u64 + s as u64, 0);
+                    self.ctx.send(left, tag, CommKind::Dependency, payload);
+                }
+            } else {
+                // Double buffering: low-degree work first (it needs no
+                // dependency, so it overlaps the wait), then per-group
+                // receive → process → send.
+                {
+                    let bucket = self.local.bucket(j);
+                    let mut lo_edges = 0u64;
+                    for (v, _slot, srcs) in bucket.lo.iter() {
+                        verts += 1;
+                        if !prog.dense_active(v) {
+                            continue;
+                        }
+                        dep.reset_range(scratch..scratch + 1);
+                        let out = prog.signal(v, srcs, dep, scratch, false, &mut |upd| {
+                            v.write(&mut outbox);
+                            upd.write(&mut outbox);
+                            emitted += 1;
+                        });
+                        lo_edges += out.edges;
+                    }
+                    edges += lo_edges;
+                    self.ctx.compute(lo_edges, bucket.lo.len() as u64);
+                }
+                for g in 0..groups {
+                    let slot_range = group_range(g, groups, n_slots);
+                    if !slot_range.is_empty() {
+                        if first {
+                            dep.reset_range(slot_range.clone());
+                        } else {
+                            let tag = Tag::new(
+                                TagKind::Dep,
+                                iter * p as u64 + (s as u64 - 1),
+                                g as u32,
+                            );
+                            let buf = self.ctx.recv(right, tag);
+                            dep.decode_range(slot_range.clone(), &buf);
+                        }
+                    }
+                    let mut g_edges = 0u64;
+                    let mut g_verts = 0u64;
+                    {
+                        let bucket = self.local.bucket(j);
+                        let e0 = bucket.hi.first_entry_with_slot(slot_range.start);
+                        let e1 = bucket.hi.first_entry_with_slot(slot_range.end);
+                        for idx in e0..e1 {
+                            let (v, slot, srcs) = bucket.hi.entry(idx);
+                            g_verts += 1;
+                            if !prog.dense_active(v) {
+                                continue;
+                            }
+                            if dep.should_skip(slot) {
+                                skipped += 1;
+                                continue;
+                            }
+                            let out = prog.signal(v, srcs, dep, slot, true, &mut |upd| {
+                                v.write(&mut outbox);
+                                upd.write(&mut outbox);
+                                emitted += 1;
+                            });
+                            g_edges += out.edges;
+                        }
+                    }
+                    edges += g_edges;
+                    verts += g_verts;
+                    self.ctx.compute(g_edges, g_verts);
+                    if !last && !slot_range.is_empty() {
+                        let mut payload = Vec::new();
+                        dep.encode_range(slot_range, &mut payload);
+                        let tag =
+                            Tag::new(TagKind::Dep, iter * p as u64 + s as u64, g as u32);
+                        self.ctx.send(left, tag, CommKind::Dependency, payload);
+                    }
+                }
+            }
+
+            self.stats.edges_traversed += edges;
+            self.stats.vertices_examined += verts;
+            self.stats.skipped_by_dep += skipped;
+            self.stats.updates_emitted += emitted;
+
+            if j == rank {
+                local_updates = outbox;
+            } else {
+                let tag = Tag::new(TagKind::Update, iter * p as u64 + s as u64, 0);
+                self.ctx.send(j, tag, CommKind::Update, outbox);
+            }
+        }
+
+        // Apply phase: consume update buffers in the circulant processing
+        // order of this partition (…, rank−2, rank−1 first; local last), so
+        // the master folds partial results in exactly the sequential
+        // neighbour order the dependency semantics define.
+        let pair = 4 + P::Update::SIZE;
+        let mut activated = 0u64;
+        let mut feedback: Vec<u8> = Vec::new();
+        for m in processing_order(rank, p) {
+            let buf = if m == rank {
+                std::mem::take(&mut local_updates)
+            } else {
+                let s = (rank + p - 1 - m) % p;
+                let tag = Tag::new(TagKind::Update, iter * p as u64 + s as u64, 0);
+                self.ctx.recv(m, tag)
+            };
+            let n_pairs = buf.len() / pair;
+            for c in buf.chunks_exact(pair) {
+                let v = Vid::read(c);
+                let upd = P::Update::read(&c[4..]);
+                debug_assert!(self.is_master(v), "update routed to wrong master");
+                if apply(v, upd) {
+                    activated += 1;
+                }
+                if galois {
+                    // Gluon broadcasts every reduced value back to the
+                    // mirrors, whether or not it activated the vertex.
+                    v.write(&mut feedback);
+                    upd.write(&mut feedback);
+                }
+            }
+            self.ctx.compute(0, n_pairs as u64);
+        }
+
+        if galois {
+            // Gluon-style second phase: masters broadcast applied values
+            // back to every machine's mirrors, then a BSP barrier.
+            let _ = self.ctx.allgather_bytes(feedback, CommKind::Update);
+            self.ctx.barrier();
+        }
+        activated
+    }
+
+    /// Runs one sparse (push) iteration: walks the out-edges of the given
+    /// *local master* frontier vertices, routes updates to destination
+    /// masters, applies them via `apply`. Returns local activations.
+    /// Collective.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) if `frontier` contains non-local vertices.
+    pub fn push<P: PushProgram>(
+        &mut self,
+        prog: &P,
+        frontier: &[Vid],
+        apply: &mut dyn FnMut(Vid, P::Update) -> bool,
+    ) -> u64 {
+        let p = self.ctx.world();
+        let rank = self.ctx.rank();
+        self.iter_seq += 1;
+        let iter = self.iter_seq;
+        self.stats.push_iterations += 1;
+        let galois = matches!(self.cfg.policy, Policy::Galois);
+
+        let mut outboxes: Vec<Vec<u8>> = vec![Vec::new(); p];
+        let mut edges = 0u64;
+        let mut emitted = 0u64;
+        for &u in frontier {
+            debug_assert!(self.is_master(u), "push frontier must be local masters");
+            let part = &self.part;
+            edges += prog.signal(u, self.graph.out_neighbors(u), &mut |dst, upd| {
+                let owner = part.owner(dst);
+                dst.write(&mut outboxes[owner]);
+                upd.write(&mut outboxes[owner]);
+                emitted += 1;
+            });
+        }
+        self.stats.edges_traversed += edges;
+        self.stats.vertices_examined += frontier.len() as u64;
+        self.stats.updates_emitted += emitted;
+        self.ctx.compute(edges, frontier.len() as u64);
+
+        let tag = Tag::new(TagKind::Update, iter * p as u64, 0);
+        for (m, outbox) in outboxes.iter_mut().enumerate() {
+            if m != rank {
+                self.ctx.send(m, tag, CommKind::Update, std::mem::take(outbox));
+            }
+        }
+
+        let pair = 4 + P::Update::SIZE;
+        let mut activated = 0u64;
+        let mut feedback: Vec<u8> = Vec::new();
+        for m in 0..p {
+            let buf = if m == rank {
+                std::mem::take(&mut outboxes[rank])
+            } else {
+                self.ctx.recv(m, tag)
+            };
+            let n_pairs = buf.len() / pair;
+            for c in buf.chunks_exact(pair) {
+                let v = Vid::read(c);
+                let upd = P::Update::read(&c[4..]);
+                debug_assert!(self.is_master(v), "update routed to wrong master");
+                if apply(v, upd) {
+                    activated += 1;
+                }
+                if galois {
+                    // Gluon broadcasts every reduced value back to the
+                    // mirrors, whether or not it activated the vertex.
+                    v.write(&mut feedback);
+                    upd.write(&mut feedback);
+                }
+            }
+            self.ctx.compute(0, n_pairs as u64);
+        }
+        if galois {
+            let _ = self.ctx.allgather_bytes(feedback, CommKind::Update);
+            self.ctx.barrier();
+        }
+        activated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_ranges_partition_the_domain() {
+        for n in [0usize, 1, 7, 64, 100] {
+            for groups in 1..=5 {
+                let mut covered = 0;
+                for g in 0..groups {
+                    let r = group_range(g, groups, n);
+                    assert_eq!(r.start, covered, "ranges must be contiguous");
+                    covered = r.end;
+                }
+                assert_eq!(covered, n, "ranges must cover the domain");
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Compressed sparse row adjacency storage.
+
+use crate::Vid;
+use std::fmt;
+
+/// Compressed-sparse-row adjacency: for each source vertex a contiguous,
+/// sorted slice of neighbor ids.
+///
+/// `Csr` is direction-agnostic; [`crate::Graph`] holds one `Csr` for
+/// out-edges and one for in-edges. Neighbor slices are sorted by vertex id,
+/// which the distributed engine relies on to split a vertex's neighbors into
+/// per-partition runs with binary search.
+///
+/// # Example
+///
+/// ```
+/// use symple_graph::{Csr, Vid};
+/// let csr = Csr::from_edges(3, &[(Vid::new(0), Vid::new(1)), (Vid::new(0), Vid::new(2))]);
+/// assert_eq!(csr.neighbors(Vid::new(0)), &[Vid::new(1), Vid::new(2)]);
+/// assert_eq!(csr.degree(Vid::new(1)), 0);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for vertex `v`.
+    offsets: Vec<usize>,
+    targets: Vec<Vid>,
+}
+
+impl Csr {
+    /// Builds a CSR from `(src, dst)` pairs. Edges may arrive in any order;
+    /// they are counting-sorted by source and each neighbor list is sorted.
+    /// Duplicate edges are preserved (deduplication is the builder's job).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_vertices`.
+    pub fn from_edges(num_vertices: usize, edges: &[(Vid, Vid)]) -> Self {
+        let mut counts = vec![0usize; num_vertices + 1];
+        for &(s, d) in edges {
+            assert!(
+                s.index() < num_vertices && d.index() < num_vertices,
+                "edge ({s}, {d}) out of bounds for {num_vertices} vertices"
+            );
+            counts[s.index() + 1] += 1;
+        }
+        for i in 0..num_vertices {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut targets = vec![Vid::default(); edges.len()];
+        let mut cursor = counts;
+        for &(s, d) in edges {
+            targets[cursor[s.index()]] = d;
+            cursor[s.index()] += 1;
+        }
+        for v in 0..num_vertices {
+            targets[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The sorted neighbor slice of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn neighbors(&self, v: Vid) -> &[Vid] {
+        &self.targets[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Degree of `v` in this direction.
+    #[inline]
+    pub fn degree(&self, v: Vid) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// Iterates `(src, dst)` over all edges in source order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (Vid, Vid)> + '_ {
+        (0..self.num_vertices()).flat_map(move |s| {
+            let src = Vid::from_index(s);
+            self.neighbors(src).iter().map(move |&d| (src, d))
+        })
+    }
+
+    /// The neighbors of `v` whose ids fall in `[lo, hi)`, found by binary
+    /// search. This is how a machine extracts the per-partition run of a
+    /// vertex's neighbor list.
+    pub fn neighbors_in_range(&self, v: Vid, lo: Vid, hi: Vid) -> &[Vid] {
+        let nbrs = self.neighbors(v);
+        let start = nbrs.partition_point(|&u| u < lo);
+        let end = nbrs.partition_point(|&u| u < hi);
+        &nbrs[start..end]
+    }
+}
+
+impl fmt::Debug for Csr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Csr(vertices={}, edges={})",
+            self.num_vertices(),
+            self.num_edges()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Vid {
+        Vid::new(i)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let csr = Csr::from_edges(4, &[(v(2), v(0)), (v(0), v(3)), (v(0), v(1))]);
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.num_edges(), 3);
+        assert_eq!(csr.neighbors(v(0)), &[v(1), v(3)]);
+        assert_eq!(csr.neighbors(v(2)), &[v(0)]);
+        assert_eq!(csr.neighbors(v(1)), &[]);
+        assert_eq!(csr.degree(v(0)), 2);
+    }
+
+    #[test]
+    fn neighbors_sorted_even_with_duplicates() {
+        let csr = Csr::from_edges(3, &[(v(0), v(2)), (v(0), v(1)), (v(0), v(2))]);
+        assert_eq!(csr.neighbors(v(0)), &[v(1), v(2), v(2)]);
+    }
+
+    #[test]
+    fn iter_edges_covers_all() {
+        let edges = [(v(1), v(0)), (v(0), v(1)), (v(2), v(1))];
+        let csr = Csr::from_edges(3, &edges);
+        let mut out: Vec<_> = csr.iter_edges().collect();
+        out.sort();
+        let mut expect = edges.to_vec();
+        expect.sort();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn range_query() {
+        let csr = Csr::from_edges(
+            10,
+            &[(v(0), v(1)), (v(0), v(4)), (v(0), v(5)), (v(0), v(9))],
+        );
+        assert_eq!(csr.neighbors_in_range(v(0), v(4), v(9)), &[v(4), v(5)]);
+        assert_eq!(csr.neighbors_in_range(v(0), v(0), v(10)).len(), 4);
+        assert_eq!(csr.neighbors_in_range(v(0), v(6), v(9)), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_edge_panics() {
+        Csr::from_edges(2, &[(v(0), v(2))]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_edges(0, &[]);
+        assert_eq!(csr.num_vertices(), 0);
+        assert_eq!(csr.num_edges(), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for graph construction and I/O.
+
+use std::fmt;
+use std::io;
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors produced while building, loading, or saving graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a vertex id at or beyond the declared vertex count.
+    VertexOutOfBounds {
+        /// The offending vertex id (raw value).
+        vid: u32,
+        /// The number of vertices in the graph.
+        num_vertices: u32,
+    },
+    /// An edge-list line could not be parsed.
+    ParseEdge {
+        /// 1-based line number.
+        line: usize,
+        /// The unparsable content.
+        content: String,
+    },
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfBounds { vid, num_vertices } => write!(
+                f,
+                "vertex id {vid} out of bounds for graph with {num_vertices} vertices"
+            ),
+            GraphError::ParseEdge { line, content } => {
+                write!(f, "cannot parse edge at line {line}: {content:?}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::VertexOutOfBounds { vid: 9, num_vertices: 4 };
+        assert!(e.to_string().contains("vertex id 9"));
+        let e = GraphError::ParseEdge { line: 3, content: "a b".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = GraphError::from(io::Error::other("x"));
+        assert!(e.to_string().contains("i/o error"));
+    }
+
+    #[test]
+    fn io_source_preserved() {
+        use std::error::Error;
+        let e = GraphError::from(io::Error::other("x"));
+        assert!(e.source().is_some());
+        let e = GraphError::ParseEdge { line: 1, content: String::new() };
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,240 @@
+//! Plain-text edge-list I/O.
+//!
+//! Format: one `src dst` pair per line, whitespace separated; `#`-prefixed
+//! lines are comments (SNAP convention, which the paper's real-world
+//! datasets ship in).
+
+use crate::{Graph, GraphBuilder, GraphError, Result, Vid};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Reads an edge list. The vertex count is `max id + 1` unless
+/// `num_vertices` is given (required to represent trailing isolated
+/// vertices).
+///
+/// # Errors
+///
+/// Returns [`GraphError::ParseEdge`] on malformed lines,
+/// [`GraphError::VertexOutOfBounds`] if an id exceeds a given
+/// `num_vertices`, and [`GraphError::Io`] on read failure.
+pub fn read_edge_list<R: Read>(reader: R, num_vertices: Option<usize>) -> Result<Graph> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_id: u32 = 0;
+    let mut seen_any = false;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<u32> { tok?.parse().ok() };
+        let (s, d) = match (parse(parts.next()), parse(parts.next())) {
+            (Some(s), Some(d)) => (s, d),
+            _ => {
+                return Err(GraphError::ParseEdge {
+                    line: lineno + 1,
+                    content: trimmed.to_string(),
+                })
+            }
+        };
+        max_id = max_id.max(s).max(d);
+        seen_any = true;
+        edges.push((s, d));
+    }
+    let n = match num_vertices {
+        Some(n) => n,
+        None if seen_any => max_id as usize + 1,
+        None => 0,
+    };
+    let mut b = GraphBuilder::new(n);
+    for (s, d) in edges {
+        b.try_add_edge(Vid::new(s), Vid::new(d))?;
+    }
+    Ok(b.build())
+}
+
+/// Writes the graph as a `src dst` edge list with a size-comment header.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on write failure.
+pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> Result<()> {
+    writeln!(
+        writer,
+        "# vertices {} edges {}",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for (s, d) in graph.edges() {
+        writeln!(writer, "{} {}", s.raw(), d.raw())?;
+    }
+    Ok(())
+}
+
+/// Magic header of the binary graph format.
+const BINARY_MAGIC: &[u8; 8] = b"SYMPLEG1";
+
+/// Writes the graph in a compact little-endian binary format
+/// (`SYMPLEG1`, vertex count, edge count, then `(src, dst)` pairs of
+/// `u32`s) — 8 bytes per edge instead of text, for caching generated
+/// datasets.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on write failure.
+pub fn write_binary<W: Write>(graph: &Graph, mut writer: W) -> Result<()> {
+    writer.write_all(BINARY_MAGIC)?;
+    writer.write_all(&(graph.num_vertices() as u64).to_le_bytes())?;
+    writer.write_all(&(graph.num_edges() as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(64 * 1024);
+    for (s, d) in graph.edges() {
+        buf.extend_from_slice(&s.raw().to_le_bytes());
+        buf.extend_from_slice(&d.raw().to_le_bytes());
+        if buf.len() >= 64 * 1024 {
+            writer.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    writer.write_all(&buf)?;
+    Ok(())
+}
+
+/// Reads a graph written by [`write_binary`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::ParseEdge`] (line 0) on a bad magic header or a
+/// truncated payload, and [`GraphError::Io`] on read failure.
+pub fn read_binary<R: Read>(mut reader: R) -> Result<Graph> {
+    let bad = |what: &str| GraphError::ParseEdge {
+        line: 0,
+        content: what.to_string(),
+    };
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic).map_err(|_| bad("missing magic"))?;
+    if &magic != BINARY_MAGIC {
+        return Err(bad("bad magic header"));
+    }
+    let mut word = [0u8; 8];
+    reader.read_exact(&mut word).map_err(|_| bad("missing vertex count"))?;
+    let n = u64::from_le_bytes(word) as usize;
+    reader.read_exact(&mut word).map_err(|_| bad("missing edge count"))?;
+    let m = u64::from_le_bytes(word) as usize;
+    let mut payload = vec![0u8; m * 8];
+    reader
+        .read_exact(&mut payload)
+        .map_err(|_| bad("truncated edge payload"))?;
+    let mut b = GraphBuilder::new(n);
+    for pair in payload.chunks_exact(8) {
+        let s = u32::from_le_bytes(pair[..4].try_into().expect("4 bytes"));
+        let d = u32::from_le_bytes(pair[4..].try_into().expect("4 bytes"));
+        b.try_add_edge(Vid::new(s), Vid::new(d))?;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let g = crate::cycle(5);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], Some(5)).unwrap();
+        assert_eq!(g.num_edges(), g2.num_edges());
+        let mut e1: Vec<_> = g.edges().collect();
+        let mut e2: Vec<_> = g2.edges().collect();
+        e1.sort();
+        e2.sort();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\n0 1\n  # another\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), None).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "0 1\nnot an edge\n";
+        let err = read_edge_list(text.as_bytes(), None).unwrap_err();
+        match err {
+            GraphError::ParseEdge { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn explicit_vertex_count_allows_isolated_tail() {
+        let g = read_edge_list("0 1\n".as_bytes(), Some(10)).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected_with_explicit_count() {
+        let err = read_edge_list("0 9\n".as_bytes(), Some(5)).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfBounds { vid: 9, .. }));
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = read_edge_list("".as_bytes(), None).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = crate::RmatConfig::graph500(7, 4).generate();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(buf.len(), 8 + 16 + g.num_edges() * 8);
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn binary_roundtrip_with_isolated_tail() {
+        let mut b = GraphBuilder::new(10);
+        b.add_edge(Vid::new(0), Vid::new(1));
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g2.num_vertices(), 10, "isolated vertices preserved");
+        assert_eq!(g2.num_edges(), 1);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOTMAGIC________"[..]).unwrap_err();
+        assert!(matches!(err, GraphError::ParseEdge { .. }));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = crate::path(5);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, GraphError::ParseEdge { .. }));
+    }
+
+    #[test]
+    fn binary_empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g2.num_vertices(), 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Graph storage substrate for the SympleGraph reproduction.
+//!
+//! This crate provides everything the distributed engines need to know about
+//! graphs *as data*: compressed sparse row storage ([`Csr`]), a directed
+//! [`Graph`] bundling forward and reverse adjacency, dense [`Bitmap`]s and
+//! Ligra-style sparse/dense [`VertexSubset`]s, degree statistics, simple
+//! text/binary I/O, and a family of graph generators (most importantly the
+//! Graph500-parameterised R-MAT generator used by the paper's synthetic
+//! datasets).
+//!
+//! Nothing in this crate knows about machines, partitions, or communication;
+//! that lives in `symple-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use symple_graph::{GraphBuilder, Vid};
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(Vid::new(0), Vid::new(1));
+//! b.add_edge(Vid::new(1), Vid::new(2));
+//! b.add_edge(Vid::new(2), Vid::new(3));
+//! let g = b.build();
+//! assert_eq!(g.num_vertices(), 4);
+//! assert_eq!(g.num_edges(), 3);
+//! assert_eq!(g.out_degree(Vid::new(1)), 1);
+//! assert_eq!(g.in_degree(Vid::new(2)), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitmap;
+mod builder;
+mod csr;
+mod error;
+mod generators;
+mod graph;
+mod io;
+mod rmat;
+mod stats;
+mod vertex_set;
+mod vid;
+
+pub use bitmap::{Bitmap, IterOnes};
+pub use builder::GraphBuilder;
+pub use csr::Csr;
+pub use error::{GraphError, Result};
+pub use generators::{
+    barabasi_albert, complete, cycle, erdos_renyi, grid, path, star,
+};
+pub use graph::Graph;
+pub use io::{read_binary, read_edge_list, write_binary, write_edge_list};
+pub use rmat::{rmat, RmatConfig};
+pub use stats::{high_degree_vertices, in_degree_histogram, DegreeStats, GraphStats};
+pub use vertex_set::VertexSubset;
+pub use vid::{Vid, VidRange};

@@ -1,0 +1,187 @@
+//! Recursive-matrix (R-MAT) graph generator.
+//!
+//! The paper's synthetic datasets (`s27`, `s28`, `s29`) are R-MAT graphs
+//! generated "with the same generator parameters as in Graph500" (§7.1):
+//! quadrant probabilities a = 0.57, b = 0.19, c = 0.19, d = 0.05. Scale `s`
+//! means 2^s vertices; edge factor `ef` means `ef · 2^s` directed edges.
+//!
+//! Our stand-ins for the real-world datasets (Twitter-2010 etc.) are also
+//! R-MAT graphs with matching edge factors; see `DESIGN.md` §2.
+
+use crate::{Graph, GraphBuilder, Vid};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the R-MAT generator.
+///
+/// # Example
+///
+/// ```
+/// use symple_graph::RmatConfig;
+/// let g = RmatConfig::graph500(8, 8).seed(42).generate();
+/// assert_eq!(g.num_vertices(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Average directed edges per vertex.
+    pub edge_factor: u32,
+    /// Quadrant probability a (top-left).
+    pub a: f64,
+    /// Quadrant probability b (top-right).
+    pub b: f64,
+    /// Quadrant probability c (bottom-left).
+    pub c: f64,
+    /// RNG seed.
+    pub rng_seed: u64,
+    /// Whether to add reverse edges (undirected view), dedup, and drop
+    /// self-loops, as the Graph500 kernel does before BFS.
+    pub clean: bool,
+}
+
+impl RmatConfig {
+    /// Graph500 reference parameters (a=0.57, b=0.19, c=0.19, d=0.05).
+    pub fn graph500(scale: u32, edge_factor: u32) -> Self {
+        RmatConfig {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            rng_seed: 1,
+            clean: false,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Enables symmetrization + dedup + self-loop removal.
+    pub fn cleaned(mut self, yes: bool) -> Self {
+        self.clean = yes;
+        self
+    }
+
+    /// Runs the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` ≥ 32 or the quadrant probabilities are not a
+    /// sub-distribution (a + b + c ≤ 1, all non-negative).
+    pub fn generate(&self) -> Graph {
+        rmat(*self)
+    }
+}
+
+/// Generates an R-MAT graph per `config`. See [`RmatConfig`].
+///
+/// # Panics
+///
+/// Panics if `config.scale >= 32` or probabilities are invalid.
+pub fn rmat(config: RmatConfig) -> Graph {
+    assert!(config.scale < 32, "scale must fit u32 vertex ids");
+    let RmatConfig { a, b, c, .. } = config;
+    assert!(
+        a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0 + 1e-12,
+        "invalid R-MAT probabilities"
+    );
+    let n = 1usize << config.scale;
+    let m = n * config.edge_factor as usize;
+    let mut rng = StdRng::seed_from_u64(config.rng_seed);
+    let mut builder = GraphBuilder::new(n);
+    for _ in 0..m {
+        let (src, dst) = sample_edge(config.scale, a, b, c, &mut rng);
+        builder.add_edge(Vid::new(src), Vid::new(dst));
+    }
+    if config.clean {
+        builder.symmetrize(true).dedup(true).drop_self_loops(true);
+    }
+    builder.build()
+}
+
+/// Draws one edge by descending `scale` levels of the recursive matrix.
+fn sample_edge(scale: u32, a: f64, b: f64, c: f64, rng: &mut StdRng) -> (u32, u32) {
+    let mut src = 0u32;
+    let mut dst = 0u32;
+    for _ in 0..scale {
+        src <<= 1;
+        dst <<= 1;
+        let r: f64 = rng.gen();
+        if r < a {
+            // top-left: neither bit set
+        } else if r < a + b {
+            dst |= 1;
+        } else if r < a + b + c {
+            src |= 1;
+        } else {
+            src |= 1;
+            dst |= 1;
+        }
+    }
+    (src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_config() {
+        let g = RmatConfig::graph500(6, 4).generate();
+        assert_eq!(g.num_vertices(), 64);
+        assert_eq!(g.num_edges(), 256);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g1 = RmatConfig::graph500(6, 4).seed(7).generate();
+        let g2 = RmatConfig::graph500(6, 4).seed(7).generate();
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+        let g3 = RmatConfig::graph500(6, 4).seed(8).generate();
+        assert_ne!(e1, g3.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn skewed_degree_distribution() {
+        // R-MAT with Graph500 parameters must be heavily skewed: the max
+        // in-degree should far exceed the average.
+        let g = RmatConfig::graph500(10, 16).generate();
+        let avg = g.num_edges() as f64 / g.num_vertices() as f64;
+        let max_in = g.vertices().map(|v| g.in_degree(v)).max().unwrap();
+        assert!(
+            max_in as f64 > 8.0 * avg,
+            "max in-degree {max_in} not skewed vs avg {avg}"
+        );
+    }
+
+    #[test]
+    fn cleaned_graph_is_symmetric_simple() {
+        let g = RmatConfig::graph500(7, 8).cleaned(true).generate();
+        for (s, d) in g.edges() {
+            assert_ne!(s, d, "self-loop survived cleaning");
+            assert!(g.out_neighbors(d).contains(&s), "missing reverse edge");
+        }
+        // dedup: sorted neighbor lists have no adjacent duplicates
+        for v in g.vertices() {
+            let nbrs = g.out_neighbors(v);
+            for w in nbrs.windows(2) {
+                assert_ne!(w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid R-MAT probabilities")]
+    fn bad_probabilities_panic() {
+        let mut cfg = RmatConfig::graph500(4, 2);
+        cfg.a = 0.9;
+        cfg.b = 0.9;
+        cfg.generate();
+    }
+}

@@ -1,0 +1,264 @@
+//! Ligra-style dual-representation vertex subsets.
+//!
+//! A frontier is *sparse* (an explicit id list) when few vertices are
+//! active, and *dense* (a bitmap) when many are. Direction-optimizing
+//! traversal (§2.2, push vs pull) keys off exactly this distinction, so the
+//! engine carries frontiers as [`VertexSubset`] and converts representation
+//! when the density crosses a threshold.
+
+use crate::{Bitmap, Vid};
+use std::fmt;
+
+/// A subset of the vertices of a graph, stored sparse or dense.
+///
+/// # Example
+///
+/// ```
+/// use symple_graph::{VertexSubset, Vid};
+/// let mut s = VertexSubset::empty(100);
+/// s.insert(Vid::new(4));
+/// s.insert(Vid::new(40));
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(Vid::new(4)));
+/// let dense = s.to_dense();
+/// assert!(dense.get(40));
+/// ```
+#[derive(Clone)]
+pub enum VertexSubset {
+    /// Explicit sorted-insertion-order list of members.
+    Sparse {
+        /// Total number of vertices in the universe.
+        universe: usize,
+        /// Member ids (unsorted, no duplicates maintained by `insert`).
+        members: Vec<Vid>,
+    },
+    /// Bitmap of members.
+    Dense {
+        /// Membership bitmap sized to the universe.
+        bits: Bitmap,
+        /// Cached member count.
+        count: usize,
+    },
+}
+
+impl VertexSubset {
+    /// The empty subset of a universe with `universe` vertices (sparse).
+    pub fn empty(universe: usize) -> Self {
+        VertexSubset::Sparse {
+            universe,
+            members: Vec::new(),
+        }
+    }
+
+    /// A singleton subset.
+    pub fn single(universe: usize, v: Vid) -> Self {
+        let mut s = Self::empty(universe);
+        s.insert(v);
+        s
+    }
+
+    /// The full subset (dense).
+    pub fn full(universe: usize) -> Self {
+        let mut bits = Bitmap::new(universe);
+        bits.set_all();
+        VertexSubset::Dense {
+            bits,
+            count: universe,
+        }
+    }
+
+    /// Builds a dense subset from a bitmap.
+    pub fn from_bitmap(bits: Bitmap) -> Self {
+        let count = bits.count_ones();
+        VertexSubset::Dense { bits, count }
+    }
+
+    /// Size of the universe.
+    pub fn universe(&self) -> usize {
+        match self {
+            VertexSubset::Sparse { universe, .. } => *universe,
+            VertexSubset::Dense { bits, .. } => bits.len(),
+        }
+    }
+
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        match self {
+            VertexSubset::Sparse { members, .. } => members.len(),
+            VertexSubset::Dense { count, .. } => *count,
+        }
+    }
+
+    /// Returns `true` if no vertices are members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test. O(1) dense, O(n) sparse.
+    pub fn contains(&self, v: Vid) -> bool {
+        match self {
+            VertexSubset::Sparse { members, .. } => members.contains(&v),
+            VertexSubset::Dense { bits, .. } => bits.get_vid(v),
+        }
+    }
+
+    /// Inserts `v`. In sparse form the caller must not insert duplicates
+    /// (debug-asserted); in dense form duplicate inserts are harmless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the universe.
+    pub fn insert(&mut self, v: Vid) {
+        match self {
+            VertexSubset::Sparse { universe, members } => {
+                assert!(v.index() < *universe, "vertex outside universe");
+                debug_assert!(!members.contains(&v), "duplicate sparse insert");
+                members.push(v);
+            }
+            VertexSubset::Dense { bits, count } => {
+                if !bits.set_vid(v) {
+                    *count += 1;
+                }
+            }
+        }
+    }
+
+    /// Returns the dense bitmap form (cloning if already dense).
+    pub fn to_dense(&self) -> Bitmap {
+        match self {
+            VertexSubset::Sparse { universe, members } => {
+                let mut bits = Bitmap::new(*universe);
+                for &v in members {
+                    bits.set_vid(v);
+                }
+                bits
+            }
+            VertexSubset::Dense { bits, .. } => bits.clone(),
+        }
+    }
+
+    /// Returns the member list in ascending order.
+    pub fn to_sorted_vec(&self) -> Vec<Vid> {
+        match self {
+            VertexSubset::Sparse { members, .. } => {
+                let mut m = members.clone();
+                m.sort_unstable();
+                m
+            }
+            VertexSubset::Dense { bits, .. } => {
+                bits.iter_ones().map(Vid::from_index).collect()
+            }
+        }
+    }
+
+    /// Density: members / universe (0 for an empty universe).
+    pub fn density(&self) -> f64 {
+        if self.universe() == 0 {
+            0.0
+        } else {
+            self.len() as f64 / self.universe() as f64
+        }
+    }
+
+    /// Returns `true` if currently in dense representation.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, VertexSubset::Dense { .. })
+    }
+
+    /// Converts in place to whichever representation suits the density,
+    /// using `threshold` as the sparse→dense crossover (Ligra uses |V|/20
+    /// of *edges*; for subsets a membership fraction works).
+    pub fn normalize(&mut self, threshold: f64) {
+        let dense_wanted = self.density() >= threshold;
+        match (self.is_dense(), dense_wanted) {
+            (false, true) => {
+                let bits = self.to_dense();
+                *self = VertexSubset::from_bitmap(bits);
+            }
+            (true, false) => {
+                let members = self.to_sorted_vec();
+                *self = VertexSubset::Sparse {
+                    universe: self.universe(),
+                    members,
+                };
+            }
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Debug for VertexSubset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "VertexSubset({}/{}, {})",
+            self.len(),
+            self.universe(),
+            if self.is_dense() { "dense" } else { "sparse" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        let s = VertexSubset::empty(10);
+        assert!(s.is_empty());
+        let s = VertexSubset::single(10, Vid::new(3));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(Vid::new(3)));
+        assert!(!s.contains(Vid::new(4)));
+    }
+
+    #[test]
+    fn full_subset() {
+        let s = VertexSubset::full(7);
+        assert_eq!(s.len(), 7);
+        assert!(s.is_dense());
+        assert!(s.contains(Vid::new(6)));
+    }
+
+    #[test]
+    fn dense_insert_counts_once() {
+        let mut s = VertexSubset::from_bitmap(Bitmap::new(10));
+        s.insert(Vid::new(2));
+        s.insert(Vid::new(2));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn sparse_dense_agree() {
+        let mut s = VertexSubset::empty(50);
+        for i in [1u32, 9, 30, 49] {
+            s.insert(Vid::new(i));
+        }
+        let d = VertexSubset::from_bitmap(s.to_dense());
+        assert_eq!(d.len(), s.len());
+        assert_eq!(d.to_sorted_vec(), s.to_sorted_vec());
+    }
+
+    #[test]
+    fn normalize_switches_representation() {
+        let mut s = VertexSubset::empty(10);
+        for i in 0..8u32 {
+            s.insert(Vid::new(i));
+        }
+        s.normalize(0.5);
+        assert!(s.is_dense());
+        // remove nothing, but lower density threshold keeps it dense
+        s.normalize(0.9);
+        assert!(!s.is_dense());
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn density() {
+        let mut s = VertexSubset::empty(4);
+        s.insert(Vid::new(0));
+        assert!((s.density() - 0.25).abs() < 1e-12);
+        assert_eq!(VertexSubset::empty(0).density(), 0.0);
+    }
+}

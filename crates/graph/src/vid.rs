@@ -1,0 +1,174 @@
+//! Vertex identifiers.
+
+use std::fmt;
+
+/// A vertex identifier.
+///
+/// `Vid` is a transparent newtype over `u32`, which bounds graphs at
+/// 2^32 − 1 vertices — the same representation Gemini uses, and enough for
+/// every dataset in the paper's evaluation. Using a newtype (rather than a
+/// bare `u32`) keeps vertex ids from being confused with degrees, counts,
+/// machine ranks and the many other integers that flow through a
+/// distributed engine.
+///
+/// # Example
+///
+/// ```
+/// use symple_graph::Vid;
+/// let v = Vid::new(7);
+/// assert_eq!(v.index(), 7usize);
+/// assert_eq!(format!("{v}"), "v7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct Vid(u32);
+
+impl Vid {
+    /// Creates a vertex id from its raw `u32` value.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        Vid(raw)
+    }
+
+    /// Creates a vertex id from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Vid(u32::try_from(index).expect("vertex index exceeds u32::MAX"))
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a `usize`, suitable for indexing per-vertex arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Vid {
+    #[inline]
+    fn from(raw: u32) -> Self {
+        Vid(raw)
+    }
+}
+
+impl From<Vid> for u32 {
+    #[inline]
+    fn from(v: Vid) -> Self {
+        v.0
+    }
+}
+
+impl From<Vid> for usize {
+    #[inline]
+    fn from(v: Vid) -> Self {
+        v.index()
+    }
+}
+
+impl fmt::Debug for Vid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vid({})", self.0)
+    }
+}
+
+impl fmt::Display for Vid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Iterator over a contiguous range of vertex ids, produced by [`Vid::range`].
+#[derive(Debug, Clone)]
+pub struct VidRange {
+    next: u32,
+    end: u32,
+}
+
+impl Vid {
+    /// Iterates over vertex ids in `[start, end)`.
+    ///
+    /// ```
+    /// use symple_graph::Vid;
+    /// let ids: Vec<_> = Vid::range(1, 4).map(|v| v.raw()).collect();
+    /// assert_eq!(ids, [1, 2, 3]);
+    /// ```
+    pub fn range(start: u32, end: u32) -> VidRange {
+        VidRange { next: start, end }
+    }
+}
+
+impl Iterator for VidRange {
+    type Item = Vid;
+
+    #[inline]
+    fn next(&mut self) -> Option<Vid> {
+        if self.next < self.end {
+            let v = Vid(self.next);
+            self.next += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for VidRange {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_raw() {
+        let v = Vid::new(42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(Vid::from(42u32), v);
+    }
+
+    #[test]
+    fn from_index_ok() {
+        assert_eq!(Vid::from_index(5).raw(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex index exceeds")]
+    fn from_index_overflow_panics() {
+        let _ = Vid::from_index(usize::try_from(u32::MAX).unwrap() + 1);
+    }
+
+    #[test]
+    fn ordering_matches_raw() {
+        assert!(Vid::new(1) < Vid::new(2));
+        assert_eq!(Vid::new(3), Vid::new(3));
+    }
+
+    #[test]
+    fn range_iterates() {
+        let v: Vec<_> = Vid::range(0, 3).collect();
+        assert_eq!(v, [Vid::new(0), Vid::new(1), Vid::new(2)]);
+        assert_eq!(Vid::range(5, 5).count(), 0);
+        assert_eq!(Vid::range(2, 9).len(), 7);
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        assert_eq!(format!("{}", Vid::new(0)), "v0");
+        assert_eq!(format!("{:?}", Vid::new(0)), "Vid(0)");
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests of the graph substrate: CSR/Graph structural
+//! invariants, bitmap algebra, builder semantics, and edge-list I/O
+//! round-trips over arbitrary inputs.
+
+use proptest::prelude::*;
+use symple_graph::{read_edge_list, write_edge_list, Bitmap, GraphBuilder, Vid};
+
+fn arb_edges(max_n: u32, max_m: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n), 0..max_m),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graph_degree_sums_match_edge_count((n, edges) in arb_edges(200, 400)) {
+        let mut b = GraphBuilder::new(n as usize);
+        for (s, d) in &edges {
+            b.add_edge(Vid::new(*s), Vid::new(*d));
+        }
+        let g = b.build();
+        prop_assert_eq!(g.num_edges(), edges.len());
+        let out_sum: usize = g.vertices().map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = g.vertices().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, edges.len());
+        prop_assert_eq!(in_sum, edges.len());
+    }
+
+    #[test]
+    fn forward_and_reverse_adjacency_agree((n, edges) in arb_edges(150, 300)) {
+        let mut b = GraphBuilder::new(n as usize);
+        for (s, d) in &edges {
+            b.add_edge(Vid::new(*s), Vid::new(*d));
+        }
+        let g = b.dedup(true).build();
+        for v in g.vertices() {
+            for &d in g.out_neighbors(v) {
+                prop_assert!(g.in_neighbors(d).contains(&v));
+            }
+            for &s in g.in_neighbors(v) {
+                prop_assert!(g.out_neighbors(s).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted((n, edges) in arb_edges(150, 300)) {
+        let mut b = GraphBuilder::new(n as usize);
+        for (s, d) in &edges {
+            b.add_edge(Vid::new(*s), Vid::new(*d));
+        }
+        let g = b.build();
+        for v in g.vertices() {
+            let nbrs = g.out_neighbors(v);
+            for w in nbrs.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrize_makes_in_equal_out((n, edges) in arb_edges(100, 200)) {
+        let mut b = GraphBuilder::new(n as usize);
+        for (s, d) in &edges {
+            b.add_edge(Vid::new(*s), Vid::new(*d));
+        }
+        let g = b.symmetrize(true).dedup(true).build();
+        for v in g.vertices() {
+            prop_assert_eq!(g.in_neighbors(v), g.out_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn range_query_equals_filter(
+        (n, edges) in arb_edges(120, 250),
+        lo in 0u32..120,
+        hi in 0u32..120,
+    ) {
+        let (lo, hi) = (lo.min(hi).min(n), hi.max(lo).min(n));
+        let mut b = GraphBuilder::new(n as usize);
+        for (s, d) in &edges {
+            b.add_edge(Vid::new(*s), Vid::new(*d));
+        }
+        let g = b.build();
+        for v in g.vertices() {
+            let ranged = g.in_neighbors_in_range(v, Vid::new(lo), Vid::new(hi));
+            let filtered: Vec<Vid> = g
+                .in_neighbors(v)
+                .iter()
+                .copied()
+                .filter(|u| lo <= u.raw() && u.raw() < hi)
+                .collect();
+            prop_assert_eq!(ranged, &filtered[..]);
+        }
+    }
+
+    #[test]
+    fn edge_list_io_roundtrip((n, edges) in arb_edges(100, 200)) {
+        let mut b = GraphBuilder::new(n as usize);
+        for (s, d) in &edges {
+            b.add_edge(Vid::new(*s), Vid::new(*d));
+        }
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], Some(n as usize)).unwrap();
+        let mut e1: Vec<_> = g.edges().collect();
+        let mut e2: Vec<_> = g2.edges().collect();
+        e1.sort();
+        e2.sort();
+        prop_assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn bitmap_matches_reference_set(ops in proptest::collection::vec((0usize..500, any::<bool>()), 0..200)) {
+        let mut bm = Bitmap::new(500);
+        let mut reference = std::collections::BTreeSet::new();
+        for (i, set) in ops {
+            if set {
+                bm.set(i);
+                reference.insert(i);
+            } else {
+                bm.clear(i);
+                reference.remove(&i);
+            }
+        }
+        prop_assert_eq!(bm.count_ones(), reference.len());
+        let ones: Vec<usize> = bm.iter_ones().collect();
+        let expect: Vec<usize> = reference.into_iter().collect();
+        prop_assert_eq!(ones, expect);
+    }
+
+    #[test]
+    fn bitmap_extract_assign_roundtrip(
+        bits in proptest::collection::vec(0usize..512, 0..64),
+        start_word in 0usize..4,
+        len_words in 1usize..4,
+    ) {
+        let mut src = Bitmap::new(512);
+        for &b in &bits {
+            src.set(b);
+        }
+        let start = start_word * 64;
+        let end = (start + len_words * 64).min(512);
+        let words = src.extract_range_words(start, end);
+        let mut dst = Bitmap::new(512);
+        dst.set_all(); // assign must overwrite stale ones
+        dst.assign_range_words(start, end, &words);
+        for i in start..end {
+            prop_assert_eq!(dst.get(i), src.get(i), "bit {}", i);
+        }
+        // outside the range, dst keeps its prior value
+        for i in 0..start {
+            prop_assert!(dst.get(i));
+        }
+    }
+}

@@ -1,0 +1,603 @@
+//! The simulated cluster: nodes, tagged point-to-point messages, and
+//! collectives, all with virtual-time accounting.
+//!
+//! Protocol contract (SPMD, like MPI): every node runs the same closure;
+//! collectives must be called by all nodes in the same order; point-to-point
+//! receives name their source and tag. Receives are blocking with a
+//! generous timeout so protocol bugs surface as diagnostics instead of
+//! hangs.
+
+use crate::{CommKind, CommStats, CostModel};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::time::{Duration, Instant};
+
+/// Message tag kinds. The engine uses [`TagKind::Dep`] for dependency
+/// messages, [`TagKind::Update`] for signal/slot updates; collectives use
+/// an internal kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TagKind {
+    /// Dependency propagation between circulant steps.
+    Dep,
+    /// Mirror → master updates.
+    Update,
+    /// Internal: collectives (barrier, allreduce, allgather).
+    Collective,
+    /// Free-form user messages (tests, tools).
+    User,
+}
+
+/// A message tag: kind plus two application-defined discriminators
+/// (typically step and buffer-group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag {
+    /// The kind of message.
+    pub kind: TagKind,
+    /// First discriminator (e.g. global step counter).
+    pub a: u64,
+    /// Second discriminator (e.g. double-buffering group).
+    pub b: u32,
+}
+
+impl Tag {
+    /// Convenience constructor.
+    pub fn new(kind: TagKind, a: u64, b: u32) -> Self {
+        Tag { kind, a, b }
+    }
+}
+
+#[derive(Debug)]
+struct Envelope {
+    src: usize,
+    tag: Tag,
+    depart: f64,
+    payload: Vec<u8>,
+    /// Set when the sending node panicked: receivers fail fast instead of
+    /// waiting out the deadlock timeout.
+    poison: bool,
+}
+
+/// Per-node handle passed to the node closure: message passing, collectives,
+/// virtual clock, and communication statistics.
+pub struct NodeCtx {
+    rank: usize,
+    world: usize,
+    clock: f64,
+    cost: CostModel,
+    senders: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    pending: Vec<Envelope>,
+    stats: CommStats,
+    coll_epoch: u64,
+    recv_timeout: Duration,
+}
+
+impl NodeCtx {
+    /// This node's rank in `0..world()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Current virtual time in seconds.
+    pub fn virtual_clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Communication sent by this node so far.
+    pub fn comm_stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Advances the virtual clock by the modelled cost of visiting
+    /// `edges` edges and `vertices` vertex headers.
+    pub fn compute(&mut self, edges: u64, vertices: u64) {
+        self.clock += self.cost.compute_time(edges, vertices);
+    }
+
+    /// Advances the virtual clock by `seconds` of arbitrary modelled work.
+    pub fn advance(&mut self, seconds: f64) {
+        self.clock += seconds;
+    }
+
+    /// Sends `payload` to `dst` with the given tag, accounted under `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-send (a protocol error: local work needs no message)
+    /// or if `dst` is out of range.
+    pub fn send(&mut self, dst: usize, tag: Tag, kind: CommKind, payload: Vec<u8>) {
+        assert!(dst < self.world, "destination rank {dst} out of range");
+        assert_ne!(dst, self.rank, "self-send is a protocol error");
+        self.clock += self.cost.msg_overhead_sec;
+        self.stats.record(kind, payload.len() as u64);
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            depart: self.clock,
+            payload,
+            poison: false,
+        };
+        // Receiver side may have already exited on panic; dropping the
+        // message then is fine — the cluster is being torn down.
+        let _ = self.senders[dst].send(env);
+    }
+
+    /// Receives the message with exactly `tag` from `src`, blocking until it
+    /// arrives. Advances the virtual clock to the modelled arrival time.
+    /// Returns the payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing matching arrives within the timeout (protocol
+    /// deadlock) — the panic message names the rank, source and tag.
+    pub fn recv(&mut self, src: usize, tag: Tag) -> Vec<u8> {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.src == src && e.tag == tag)
+        {
+            let env = self.pending.swap_remove(pos);
+            return self.arrive(env);
+        }
+        let deadline = Instant::now() + self.recv_timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.inbox.recv_timeout(remaining) {
+                Ok(env) if env.poison => {
+                    panic!("node {} aborting: peer {} panicked", self.rank, env.src)
+                }
+                Ok(env) if env.src == src && env.tag == tag => return self.arrive(env),
+                Ok(env) => self.pending.push(env),
+                Err(_) => panic!(
+                    "node {} timed out waiting for {:?} from {} (pending: {:?})",
+                    self.rank,
+                    tag,
+                    src,
+                    self.pending
+                        .iter()
+                        .map(|e| (e.src, e.tag))
+                        .collect::<Vec<_>>()
+                ),
+            }
+        }
+    }
+
+    fn arrive(&mut self, env: Envelope) -> Vec<u8> {
+        let arrival = env.depart + self.cost.transfer_time(env.payload.len() as u64);
+        if arrival > self.clock {
+            self.clock = arrival;
+        }
+        env.payload
+    }
+
+    fn next_epoch(&mut self) -> u64 {
+        self.coll_epoch += 1;
+        self.coll_epoch
+    }
+
+    /// Exchanges `payload` with every other node (all-to-all of the same
+    /// buffer) and returns the payloads indexed by rank (own rank maps to
+    /// the input). All nodes must call this collectively.
+    pub fn allgather_bytes(&mut self, payload: Vec<u8>, kind: CommKind) -> Vec<Vec<u8>> {
+        let epoch = self.next_epoch();
+        let tag = Tag::new(TagKind::Collective, epoch, 0);
+        for dst in 0..self.world {
+            if dst != self.rank {
+                self.send(dst, tag, kind, payload.clone());
+            }
+        }
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.world);
+        for src in 0..self.world {
+            if src == self.rank {
+                out.push(payload.clone());
+            } else {
+                let buf = self.recv(src, tag);
+                out.push(buf);
+            }
+        }
+        out
+    }
+
+    /// Synchronises all nodes; afterwards every node's virtual clock equals
+    /// the maximum clock at entry (plus the modelled exchange cost).
+    pub fn barrier(&mut self) {
+        let mut buf = Vec::with_capacity(8);
+        crate::Wire::write(&self.clock, &mut buf);
+        let all = self.allgather_bytes(buf, CommKind::Sync);
+        let max = all
+            .iter()
+            .map(|b| <f64 as crate::Wire>::read(b))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if max > self.clock {
+            self.clock = max;
+        }
+    }
+
+    /// Sums `value` across all nodes. Collective.
+    pub fn allreduce_u64_sum(&mut self, value: u64) -> u64 {
+        let mut buf = Vec::with_capacity(8);
+        crate::Wire::write(&value, &mut buf);
+        self.allgather_bytes(buf, CommKind::Sync)
+            .iter()
+            .map(|b| <u64 as crate::Wire>::read(b))
+            .sum()
+    }
+
+    /// Maximum of `value` across all nodes. Collective.
+    pub fn allreduce_f64_max(&mut self, value: f64) -> f64 {
+        let mut buf = Vec::with_capacity(8);
+        crate::Wire::write(&value, &mut buf);
+        self.allgather_bytes(buf, CommKind::Sync)
+            .iter()
+            .map(|b| <f64 as crate::Wire>::read(b))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Logical OR of `value` across all nodes. Collective.
+    pub fn allreduce_bool_or(&mut self, value: bool) -> bool {
+        self.allreduce_u64_sum(u64::from(value)) > 0
+    }
+}
+
+/// Result of a cluster run.
+#[derive(Debug)]
+pub struct ClusterResult<T> {
+    /// Per-node return values, indexed by rank.
+    pub outputs: Vec<T>,
+    /// Per-node communication statistics, indexed by rank.
+    pub per_node_stats: Vec<CommStats>,
+    /// Sum of all nodes' communication.
+    pub stats: CommStats,
+    /// Final virtual time: the maximum node clock (modelled makespan).
+    pub virtual_time: f64,
+    /// Host wall-clock duration of the run.
+    pub wall: Duration,
+}
+
+/// A simulated cluster: `p` nodes with a shared cost model.
+///
+/// # Example
+///
+/// ```
+/// use symple_net::{Cluster, CostModel, CommKind, Tag, TagKind};
+/// let r = Cluster::new(2, CostModel::cluster_a()).run(|ctx| {
+///     let tag = Tag::new(TagKind::User, 0, 0);
+///     if ctx.rank() == 0 {
+///         ctx.send(1, tag, CommKind::Update, vec![1, 2, 3]);
+///         0
+///     } else {
+///         ctx.recv(0, tag).len()
+///     }
+/// });
+/// assert_eq!(r.outputs, vec![0, 3]);
+/// assert_eq!(r.stats.bytes(CommKind::Update), 3);
+/// assert!(r.virtual_time > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: usize,
+    cost: CostModel,
+    recv_timeout: Duration,
+}
+
+impl Cluster {
+    /// Creates a cluster of `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn new(nodes: usize, cost: CostModel) -> Self {
+        assert!(nodes > 0, "cluster must have at least one node");
+        Cluster {
+            nodes,
+            cost,
+            recv_timeout: Duration::from_secs(120),
+        }
+    }
+
+    /// Overrides the deadlock-detection receive timeout.
+    pub fn recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Runs `f` on every node (as a thread) and collects the results.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any node panic, naming the rank.
+    pub fn run<T, F>(&self, f: F) -> ClusterResult<T>
+    where
+        T: Send,
+        F: Fn(&mut NodeCtx) -> T + Sync,
+    {
+        let p = self.nodes;
+        let mut txs: Vec<Sender<Envelope>> = Vec::with_capacity(p);
+        let mut rxs: Vec<Receiver<Envelope>> = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let start = Instant::now();
+        let mut slots: Vec<Option<(T, CommStats, f64)>> = (0..p).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, (rx, slot)) in rxs.drain(..).zip(slots.iter_mut()).enumerate() {
+                let senders = txs.clone();
+                let f = &f;
+                let cost = self.cost;
+                let recv_timeout = self.recv_timeout;
+                handles.push(scope.spawn(move || {
+                    let mut ctx = NodeCtx {
+                        rank,
+                        world: p,
+                        clock: 0.0,
+                        cost,
+                        senders,
+                        inbox: rx,
+                        pending: Vec::new(),
+                        stats: CommStats::default(),
+                        coll_epoch: 0,
+                        recv_timeout,
+                    };
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
+                    match result {
+                        Ok(out) => *slot = Some((out, ctx.stats, ctx.clock)),
+                        Err(e) => {
+                            // fail fast: poison every peer so they don't
+                            // wait out their receive timeouts
+                            for dst in 0..p {
+                                if dst != rank {
+                                    let _ = ctx.senders[dst].send(Envelope {
+                                        src: rank,
+                                        tag: Tag::new(TagKind::Collective, u64::MAX, 0),
+                                        depart: 0.0,
+                                        payload: Vec::new(),
+                                        poison: true,
+                                    });
+                                }
+                            }
+                            std::panic::resume_unwind(e);
+                        }
+                    }
+                }));
+            }
+            let mut panics: Vec<(usize, String)> = Vec::new();
+            for (rank, h) in handles.into_iter().enumerate() {
+                if let Err(e) = h.join() {
+                    let msg = e
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| e.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic>");
+                    panics.push((rank, msg.to_string()));
+                }
+            }
+            if !panics.is_empty() {
+                // prefer the root cause over secondary "peer panicked" aborts
+                let (rank, msg) = panics
+                    .iter()
+                    .find(|(_, m)| !m.contains("aborting:"))
+                    .unwrap_or(&panics[0]);
+                panic!("node {rank} panicked: {msg}");
+            }
+        });
+        let wall = start.elapsed();
+        let mut outputs = Vec::with_capacity(p);
+        let mut per_node_stats = Vec::with_capacity(p);
+        let mut total = CommStats::default();
+        let mut virtual_time: f64 = 0.0;
+        for slot in slots {
+            let (out, stats, clock) = slot.expect("node completed without result");
+            outputs.push(out);
+            per_node_stats.push(stats);
+            total += stats;
+            virtual_time = virtual_time.max(clock);
+        }
+        ClusterResult {
+            outputs,
+            per_node_stats,
+            stats: total,
+            virtual_time,
+            wall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user_tag(a: u64) -> Tag {
+        Tag::new(TagKind::User, a, 0)
+    }
+
+    #[test]
+    fn single_node_runs() {
+        let r = Cluster::new(1, CostModel::zero()).run(|ctx| ctx.rank());
+        assert_eq!(r.outputs, vec![0]);
+        assert_eq!(r.stats.total_bytes(), 0);
+    }
+
+    #[test]
+    fn point_to_point_delivery() {
+        let r = Cluster::new(3, CostModel::zero()).run(|ctx| {
+            // ring: rank sends its rank to rank+1
+            let next = (ctx.rank() + 1) % 3;
+            let prev = (ctx.rank() + 2) % 3;
+            ctx.send(
+                next,
+                user_tag(0),
+                CommKind::Update,
+                vec![ctx.rank() as u8],
+            );
+            ctx.recv(prev, user_tag(0))[0]
+        });
+        assert_eq!(r.outputs, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let r = Cluster::new(2, CostModel::zero()).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, user_tag(1), CommKind::Update, vec![1]);
+                ctx.send(1, user_tag(2), CommKind::Update, vec![2]);
+                0
+            } else {
+                // receive in reverse order
+                let b = ctx.recv(0, user_tag(2))[0];
+                let a = ctx.recv(0, user_tag(1))[0];
+                (10 * a + b) as usize
+            }
+        });
+        assert_eq!(r.outputs[1], 12);
+    }
+
+    #[test]
+    fn allreduce_and_allgather() {
+        let r = Cluster::new(4, CostModel::zero()).run(|ctx| {
+            let sum = ctx.allreduce_u64_sum(ctx.rank() as u64 + 1);
+            let max = ctx.allreduce_f64_max(ctx.rank() as f64);
+            let any = ctx.allreduce_bool_or(ctx.rank() == 2);
+            let gathered = ctx.allgather_bytes(vec![ctx.rank() as u8], CommKind::Sync);
+            let ranks: Vec<u8> = gathered.iter().map(|b| b[0]).collect();
+            (sum, max, any, ranks)
+        });
+        for (sum, max, any, ranks) in r.outputs {
+            assert_eq!(sum, 10);
+            assert_eq!(max, 3.0);
+            assert!(any);
+            assert_eq!(ranks, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn virtual_time_accounts_for_transfer() {
+        let cost = CostModel {
+            per_edge_sec: 0.0,
+            per_vertex_sec: 0.0,
+            msg_latency_sec: 1.0,
+            per_byte_sec: 0.5,
+            msg_overhead_sec: 0.25,
+        };
+        let r = Cluster::new(2, cost).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, user_tag(0), CommKind::Update, vec![0; 4]);
+            } else {
+                ctx.recv(0, user_tag(0));
+            }
+            ctx.virtual_clock()
+        });
+        // sender: overhead 0.25. receiver: 0.25 + latency 1.0 + 4*0.5 = 3.25
+        assert!((r.outputs[0] - 0.25).abs() < 1e-12);
+        assert!((r.outputs[1] - 3.25).abs() < 1e-12);
+        assert!((r.virtual_time - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barrier_equalizes_clocks() {
+        let r = Cluster::new(3, CostModel::zero()).run(|ctx| {
+            if ctx.rank() == 1 {
+                ctx.advance(5.0);
+            }
+            ctx.barrier();
+            ctx.virtual_clock()
+        });
+        for c in r.outputs {
+            assert!((c - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn compute_advances_clock() {
+        let cost = CostModel {
+            per_edge_sec: 2.0,
+            per_vertex_sec: 1.0,
+            ..CostModel::zero()
+        };
+        let r = Cluster::new(1, cost).run(|ctx| {
+            ctx.compute(3, 4);
+            ctx.virtual_clock()
+        });
+        assert!((r.outputs[0] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_are_aggregated() {
+        let r = Cluster::new(2, CostModel::zero()).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, user_tag(0), CommKind::Dependency, vec![0; 10]);
+                ctx.send(1, user_tag(1), CommKind::Update, vec![0; 6]);
+            } else {
+                ctx.recv(0, user_tag(0));
+                ctx.recv(0, user_tag(1));
+            }
+        });
+        assert_eq!(r.stats.bytes(CommKind::Dependency), 10);
+        assert_eq!(r.stats.bytes(CommKind::Update), 6);
+        assert_eq!(r.per_node_stats[0].total_messages(), 2);
+        assert_eq!(r.per_node_stats[1].total_messages(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node 1 panicked")]
+    fn node_panic_is_reported_with_rank() {
+        Cluster::new(2, CostModel::zero())
+            .recv_timeout(Duration::from_millis(200))
+            .run(|ctx| {
+                if ctx.rank() == 1 {
+                    panic!("boom");
+                }
+            });
+    }
+
+    #[test]
+    #[should_panic(expected = "timed out")]
+    fn deadlock_is_diagnosed() {
+        Cluster::new(2, CostModel::zero())
+            .recv_timeout(Duration::from_millis(100))
+            .run(|ctx| {
+                if ctx.rank() == 0 {
+                    // nothing ever sent
+                    ctx.recv(1, user_tag(9));
+                }
+            });
+    }
+
+    #[test]
+    #[should_panic(expected = "self-send")]
+    fn self_send_rejected() {
+        Cluster::new(1, CostModel::zero()).run(|ctx| {
+            let rank = ctx.rank();
+            ctx.send(rank, user_tag(0), CommKind::Update, vec![]);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = Cluster::new(0, CostModel::zero());
+    }
+
+    #[test]
+    fn wall_time_recorded() {
+        let r = Cluster::new(1, CostModel::zero()).run(|_| ());
+        assert!(r.wall.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type for the simulated network.
+
+use std::fmt;
+
+/// Errors surfaced by the simulated cluster.
+///
+/// Most protocol mistakes (mismatched tags, deadlocks) are programming
+/// errors inside the engine and abort via panic with diagnostics; this
+/// type covers the conditions a caller can reasonably handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A receive waited longer than the configured timeout — almost always
+    /// a protocol deadlock. Carries rank and the awaited description.
+    RecvTimeout {
+        /// Rank of the waiting node.
+        rank: usize,
+        /// Human-readable description of what was awaited.
+        waiting_for: String,
+    },
+    /// Cluster was configured with zero nodes.
+    EmptyCluster,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::RecvTimeout { rank, waiting_for } => {
+                write!(f, "node {rank} timed out waiting for {waiting_for}")
+            }
+            NetError::EmptyCluster => write!(f, "cluster must have at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = NetError::RecvTimeout {
+            rank: 3,
+            waiting_for: "dep step 2".into(),
+        };
+        assert!(e.to_string().contains("node 3"));
+        assert!(NetError::EmptyCluster.to_string().contains("at least one"));
+    }
+}

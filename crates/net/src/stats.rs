@@ -1,0 +1,174 @@
+//! Communication accounting.
+//!
+//! The paper's Table 6 breaks total communication into **update** messages
+//! (mirror → master partial results, the only kind existing frameworks
+//! have) and **dependency** messages (the new kind SympleGraph adds).
+//! We additionally track **sync** traffic (frontier bitmaps, convergence
+//! allreduces) which both systems pay identically, so normalised
+//! comparisons remain faithful whether or not it is included.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Category of a message for accounting purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommKind {
+    /// Mirror → master partial results (signal output applied by slot).
+    Update,
+    /// Dependency state circulating between mirrors (SympleGraph only).
+    Dependency,
+    /// Frontier/state synchronisation and collectives.
+    Sync,
+}
+
+/// All communication kinds, in display order.
+pub const COMM_KINDS: [CommKind; 3] = [CommKind::Update, CommKind::Dependency, CommKind::Sync];
+
+impl CommKind {
+    fn index(self) -> usize {
+        match self {
+            CommKind::Update => 0,
+            CommKind::Dependency => 1,
+            CommKind::Sync => 2,
+        }
+    }
+}
+
+impl fmt::Display for CommKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CommKind::Update => "update",
+            CommKind::Dependency => "dependency",
+            CommKind::Sync => "sync",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Byte and message counters per [`CommKind`].
+///
+/// # Example
+///
+/// ```
+/// use symple_net::{CommKind, CommStats};
+/// let mut s = CommStats::default();
+/// s.record(CommKind::Update, 128);
+/// s.record(CommKind::Dependency, 16);
+/// assert_eq!(s.bytes(CommKind::Update), 128);
+/// assert_eq!(s.total_bytes(), 144);
+/// assert_eq!(s.messages(CommKind::Dependency), 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    bytes: [u64; 3],
+    messages: [u64; 3],
+}
+
+impl CommStats {
+    /// Records one sent message of `kind` carrying `bytes` payload bytes.
+    pub fn record(&mut self, kind: CommKind, bytes: u64) {
+        self.bytes[kind.index()] += bytes;
+        self.messages[kind.index()] += 1;
+    }
+
+    /// Payload bytes sent in `kind`.
+    pub fn bytes(&self, kind: CommKind) -> u64 {
+        self.bytes[kind.index()]
+    }
+
+    /// Messages sent in `kind`.
+    pub fn messages(&self, kind: CommKind) -> u64 {
+        self.messages[kind.index()]
+    }
+
+    /// Total payload bytes across all kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total payload bytes excluding sync (the paper's Table 6 universe).
+    pub fn data_bytes(&self) -> u64 {
+        self.bytes(CommKind::Update) + self.bytes(CommKind::Dependency)
+    }
+
+    /// Total message count across all kinds.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().sum()
+    }
+}
+
+impl Add for CommStats {
+    type Output = CommStats;
+    fn add(mut self, rhs: CommStats) -> CommStats {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for CommStats {
+    fn add_assign(&mut self, rhs: CommStats) {
+        for i in 0..3 {
+            self.bytes[i] += rhs.bytes[i];
+            self.messages[i] += rhs.messages[i];
+        }
+    }
+}
+
+impl fmt::Display for CommStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "update {}B/{}msg, dependency {}B/{}msg, sync {}B/{}msg",
+            self.bytes[0],
+            self.messages[0],
+            self.bytes[1],
+            self.messages[1],
+            self.bytes[2],
+            self.messages[2]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = CommStats::default();
+        s.record(CommKind::Update, 10);
+        s.record(CommKind::Update, 5);
+        s.record(CommKind::Sync, 1);
+        assert_eq!(s.bytes(CommKind::Update), 15);
+        assert_eq!(s.messages(CommKind::Update), 2);
+        assert_eq!(s.total_bytes(), 16);
+        assert_eq!(s.data_bytes(), 15);
+        assert_eq!(s.total_messages(), 3);
+    }
+
+    #[test]
+    fn addition_is_componentwise() {
+        let mut a = CommStats::default();
+        a.record(CommKind::Dependency, 8);
+        let mut b = CommStats::default();
+        b.record(CommKind::Dependency, 4);
+        b.record(CommKind::Update, 2);
+        let c = a + b;
+        assert_eq!(c.bytes(CommKind::Dependency), 12);
+        assert_eq!(c.bytes(CommKind::Update), 2);
+        assert_eq!(c.messages(CommKind::Dependency), 2);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let s = CommStats::default().to_string();
+        assert!(s.contains("update"));
+        assert!(s.contains("dependency"));
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(CommKind::Update.to_string(), "update");
+        assert_eq!(COMM_KINDS.len(), 3);
+    }
+}

@@ -1,0 +1,191 @@
+//! Explicit little-endian wire codec for fixed-size values.
+//!
+//! Update and dependency messages are encoded into `Vec<u8>` before they
+//! cross a channel, so the byte counts in [`crate::CommStats`] are the
+//! exact sizes a real network stack would carry (modulo headers, which the
+//! [`crate::CostModel`] charges separately per message). No `unsafe`, no
+//! external serialization framework — each type writes and reads its own
+//! canonical little-endian form.
+
+use symple_graph::Vid;
+
+/// A fixed-size value with a canonical little-endian wire encoding.
+pub trait Wire: Sized + Copy {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+
+    /// Appends the encoding of `self` to `out`.
+    fn write(&self, out: &mut Vec<u8>);
+
+    /// Decodes a value from the first `SIZE` bytes of `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than `SIZE`.
+    fn read(buf: &[u8]) -> Self;
+}
+
+macro_rules! wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn write(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read(buf: &[u8]) -> Self {
+                <$t>::from_le_bytes(buf[..Self::SIZE].try_into().unwrap())
+            }
+        }
+    )*};
+}
+
+wire_int!(u8, u16, u32, u64, i32, i64, f32, f64);
+
+impl Wire for bool {
+    const SIZE: usize = 1;
+    #[inline]
+    fn write(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    #[inline]
+    fn read(buf: &[u8]) -> Self {
+        buf[0] != 0
+    }
+}
+
+impl Wire for () {
+    const SIZE: usize = 0;
+    #[inline]
+    fn write(&self, _out: &mut Vec<u8>) {}
+    #[inline]
+    fn read(_buf: &[u8]) -> Self {}
+}
+
+impl Wire for Vid {
+    const SIZE: usize = 4;
+    #[inline]
+    fn write(&self, out: &mut Vec<u8>) {
+        self.raw().write(out);
+    }
+    #[inline]
+    fn read(buf: &[u8]) -> Self {
+        Vid::new(u32::read(buf))
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    const SIZE: usize = A::SIZE + B::SIZE;
+    #[inline]
+    fn write(&self, out: &mut Vec<u8>) {
+        self.0.write(out);
+        self.1.write(out);
+    }
+    #[inline]
+    fn read(buf: &[u8]) -> Self {
+        (A::read(buf), B::read(&buf[A::SIZE..]))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    const SIZE: usize = A::SIZE + B::SIZE + C::SIZE;
+    #[inline]
+    fn write(&self, out: &mut Vec<u8>) {
+        self.0.write(out);
+        self.1.write(out);
+        self.2.write(out);
+    }
+    #[inline]
+    fn read(buf: &[u8]) -> Self {
+        (
+            A::read(buf),
+            B::read(&buf[A::SIZE..]),
+            C::read(&buf[A::SIZE + B::SIZE..]),
+        )
+    }
+}
+
+/// Encodes a slice of wire values into a fresh byte buffer.
+pub fn encode_slice<T: Wire>(items: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(items.len() * T::SIZE);
+    for item in items {
+        item.write(&mut out);
+    }
+    out
+}
+
+/// Decodes a byte buffer produced by [`encode_slice`].
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a multiple of `T::SIZE` (for `T::SIZE > 0`).
+pub fn decode_vec<T: Wire>(buf: &[u8]) -> Vec<T> {
+    if T::SIZE == 0 {
+        return Vec::new();
+    }
+    assert_eq!(
+        buf.len() % T::SIZE,
+        0,
+        "buffer length {} not a multiple of element size {}",
+        buf.len(),
+        T::SIZE
+    );
+    buf.chunks_exact(T::SIZE).map(T::read).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(vals: &[T]) {
+        let bytes = encode_slice(vals);
+        assert_eq!(bytes.len(), vals.len() * T::SIZE);
+        let back: Vec<T> = decode_vec(&bytes);
+        assert_eq!(&back, vals);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(&[0u8, 1, 255]);
+        roundtrip(&[0u32, 1, u32::MAX]);
+        roundtrip(&[0u64, u64::MAX]);
+        roundtrip(&[-1i32, i32::MIN, i32::MAX]);
+        roundtrip(&[1.5f32, -0.0, f32::MAX]);
+        roundtrip(&[1.5f64, f64::MIN_POSITIVE]);
+        roundtrip(&[true, false]);
+    }
+
+    #[test]
+    fn vid_roundtrip() {
+        roundtrip(&[Vid::new(0), Vid::new(12345), Vid::new(u32::MAX)]);
+    }
+
+    #[test]
+    fn tuple_roundtrips() {
+        roundtrip(&[(Vid::new(3), 7u32), (Vid::new(9), 0u32)]);
+        roundtrip(&[(Vid::new(3), 1.5f32, true)]);
+        assert_eq!(<(Vid, u32)>::SIZE, 8);
+        assert_eq!(<(Vid, f32, bool)>::SIZE, 9);
+    }
+
+    #[test]
+    fn unit_payloads_are_free() {
+        let bytes = encode_slice(&[(), (), ()]);
+        assert!(bytes.is_empty());
+        assert!(decode_vec::<()>(&bytes).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_buffer_panics() {
+        decode_vec::<u32>(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut out = Vec::new();
+        0x01020304u32.write(&mut out);
+        assert_eq!(out, [4, 3, 2, 1]);
+    }
+}

@@ -1,0 +1,341 @@
+//! Pass 1 of the analyzer (paper §4.2): locate the neighbour loop, decide
+//! whether loop-carried dependency exists, and identify the dependency
+//! state.
+//!
+//! * **Control dependency**: a `break` statement reachable inside the
+//!   neighbour loop — "there is at least one break statement related to
+//!   the for-loop" (§4.2 1.b.3).
+//! * **Data dependency**: locals declared before the loop whose values
+//!   flow across iterations — assigned inside the loop and read again
+//!   (inside the loop or after it). These become the `DepMessage` data
+//!   members (§4.1): K-core's counter, sampling's prefix sum.
+
+use crate::ast::{Expr, Stmt, UdfFn};
+use crate::types::Ty;
+use crate::UdfError;
+
+/// What kind of loop-carried dependency a UDF has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// No neighbour loop, or no break: nothing to enforce.
+    None,
+    /// Break only — the dependency message is a single skip bit.
+    Control,
+    /// Break plus carried locals — the message also carries their values.
+    Data,
+}
+
+/// Analysis result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepInfo {
+    /// Dependency classification.
+    pub kind: DepKind,
+    /// Carried locals `(name, type)`, in declaration order.
+    pub carried: Vec<(String, Ty)>,
+    /// Number of `break` statements inside the neighbour loop.
+    pub breaks: usize,
+}
+
+impl DepInfo {
+    /// Shorthand: does any dependency exist?
+    pub fn has_dependency(&self) -> bool {
+        self.kind != DepKind::None
+    }
+}
+
+/// Analyzes a UDF for loop-carried dependency.
+///
+/// # Errors
+///
+/// Returns [`UdfError::NestedLoop`] if neighbour loops nest, and
+/// [`UdfError::AlreadyInstrumented`] if instrumentation nodes are present.
+///
+/// # Example
+///
+/// ```
+/// use symple_udf::{analyze, DepKind};
+/// let udf = symple_udf::paper_udfs::bfs_udf();
+/// let info = analyze(&udf).unwrap();
+/// assert_eq!(info.kind, DepKind::Control);
+/// assert_eq!(info.breaks, 1);
+/// ```
+pub fn analyze(udf: &UdfFn) -> Result<DepInfo, UdfError> {
+    // refuse pre-instrumented input
+    if block_contains(&udf.body, &|s| {
+        matches!(s, Stmt::ReceiveDepGuard | Stmt::EmitDep)
+    }) {
+        return Err(UdfError::AlreadyInstrumented);
+    }
+    check_no_nesting(&udf.body, false)?;
+
+    let Some(loop_body) = find_loop(&udf.body) else {
+        return Ok(DepInfo {
+            kind: DepKind::None,
+            carried: Vec::new(),
+            breaks: 0,
+        });
+    };
+    let breaks = count_breaks(loop_body);
+    if breaks == 0 {
+        return Ok(DepInfo {
+            kind: DepKind::None,
+            carried: Vec::new(),
+            breaks: 0,
+        });
+    }
+
+    // locals declared before the loop, in declaration order
+    let pre_loop_locals = locals_before_loop(&udf.body);
+    let mut carried = Vec::new();
+    for (name, ty) in pre_loop_locals {
+        let assigned_in_loop = block_contains(loop_body, &|s| match s {
+            Stmt::Assign { name: n, .. } => *n == name,
+            _ => false,
+        });
+        if !assigned_in_loop {
+            continue;
+        }
+        let read_in_loop = block_reads(loop_body, &name);
+        let read_after = reads_after_loop(&udf.body, &name);
+        if read_in_loop || read_after {
+            carried.push((name, ty));
+        }
+    }
+
+    Ok(DepInfo {
+        kind: if carried.is_empty() {
+            DepKind::Control
+        } else {
+            DepKind::Data
+        },
+        carried,
+        breaks,
+    })
+}
+
+/// Finds the (first) neighbour loop body anywhere in a block.
+fn find_loop(block: &[Stmt]) -> Option<&[Stmt]> {
+    for s in block {
+        match s {
+            Stmt::ForNeighbors { body } => return Some(body),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                if let Some(b) = find_loop(then_branch).or_else(|| find_loop(else_branch)) {
+                    return Some(b);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn check_no_nesting(block: &[Stmt], in_loop: bool) -> Result<(), UdfError> {
+    for s in block {
+        match s {
+            Stmt::ForNeighbors { body } => {
+                if in_loop {
+                    return Err(UdfError::NestedLoop);
+                }
+                check_no_nesting(body, true)?;
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                check_no_nesting(then_branch, in_loop)?;
+                check_no_nesting(else_branch, in_loop)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn count_breaks(block: &[Stmt]) -> usize {
+    block
+        .iter()
+        .map(|s| match s {
+            Stmt::Break => 1,
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => count_breaks(then_branch) + count_breaks(else_branch),
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Top-level `let`s lexically before the neighbour loop.
+fn locals_before_loop(block: &[Stmt]) -> Vec<(String, Ty)> {
+    let mut out = Vec::new();
+    for s in block {
+        match s {
+            Stmt::Let { name, ty, .. } => out.push((name.clone(), *ty)),
+            Stmt::ForNeighbors { .. } => break,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Does any statement in (or under) `block` satisfy `pred`?
+fn block_contains(block: &[Stmt], pred: &dyn Fn(&Stmt) -> bool) -> bool {
+    block.iter().any(|s| {
+        pred(s)
+            || match s {
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => block_contains(then_branch, pred) || block_contains(else_branch, pred),
+                Stmt::ForNeighbors { body } => block_contains(body, pred),
+                _ => false,
+            }
+    })
+}
+
+/// Does any expression in `block` read local `name`?
+fn block_reads(block: &[Stmt], name: &str) -> bool {
+    block.iter().any(|s| stmt_reads(s, name))
+}
+
+fn stmt_reads(s: &Stmt, name: &str) -> bool {
+    match s {
+        Stmt::Let { init, .. } => expr_reads(init, name),
+        Stmt::Assign { value, .. } => expr_reads(value, name),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            expr_reads(cond, name)
+                || block_reads(then_branch, name)
+                || block_reads(else_branch, name)
+        }
+        Stmt::ForNeighbors { body } => block_reads(body, name),
+        Stmt::Emit(e) => expr_reads(e, name),
+        Stmt::Break | Stmt::Return | Stmt::ReceiveDepGuard | Stmt::EmitDep => false,
+    }
+}
+
+fn expr_reads(e: &Expr, name: &str) -> bool {
+    match e {
+        Expr::Local(n) => n == name,
+        Expr::Prop { index, .. } => expr_reads(index, name),
+        Expr::Unary(_, a) => expr_reads(a, name),
+        Expr::Binary(_, a, b) => expr_reads(a, name) || expr_reads(b, name),
+        Expr::Lit(_) | Expr::CurrentVertex | Expr::CurrentNeighbor => false,
+    }
+}
+
+/// Is `name` read in statements after the neighbour loop?
+fn reads_after_loop(block: &[Stmt], name: &str) -> bool {
+    let mut seen_loop = false;
+    for s in block {
+        if seen_loop && stmt_reads(s, name) {
+            return true;
+        }
+        if matches!(s, Stmt::ForNeighbors { .. }) {
+            seen_loop = true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_udfs;
+
+    #[test]
+    fn bfs_is_control_only() {
+        let info = analyze(&paper_udfs::bfs_udf()).unwrap();
+        assert_eq!(info.kind, DepKind::Control);
+        assert!(info.carried.is_empty());
+        assert_eq!(info.breaks, 1);
+    }
+
+    #[test]
+    fn mis_is_control_only() {
+        let info = analyze(&paper_udfs::mis_udf()).unwrap();
+        assert_eq!(info.kind, DepKind::Control);
+    }
+
+    #[test]
+    fn kmeans_is_control_only() {
+        let info = analyze(&paper_udfs::kmeans_udf()).unwrap();
+        assert_eq!(info.kind, DepKind::Control);
+    }
+
+    #[test]
+    fn kcore_carries_its_counter() {
+        let info = analyze(&paper_udfs::kcore_udf(4)).unwrap();
+        assert_eq!(info.kind, DepKind::Data);
+        let names: Vec<&str> = info.carried.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"cnt"), "carried: {names:?}");
+        assert!(
+            !names.contains(&"start"),
+            "start is assigned only outside the loop: {names:?}"
+        );
+    }
+
+    #[test]
+    fn sampling_carries_the_prefix_sum() {
+        let info = analyze(&paper_udfs::sampling_udf()).unwrap();
+        assert_eq!(info.kind, DepKind::Data);
+        assert_eq!(info.carried[0].0, "acc");
+        assert_eq!(info.carried[0].1, Ty::Float);
+    }
+
+    #[test]
+    fn loop_without_break_has_no_dependency() {
+        use crate::ast::{Expr, Stmt, UdfFn};
+        // sum all neighbour weights, emit once — no break
+        let udf = UdfFn::new(
+            "sum",
+            Ty::Float,
+            vec![
+                Stmt::let_("s", Ty::Float, Expr::f(0.0)),
+                Stmt::for_neighbors(vec![Stmt::assign(
+                    "s",
+                    Expr::local("s").add(Expr::prop_u("weight")),
+                )]),
+                Stmt::Emit(Expr::local("s")),
+            ],
+        );
+        let info = analyze(&udf).unwrap();
+        assert_eq!(info.kind, DepKind::None);
+        assert!(!info.has_dependency());
+    }
+
+    #[test]
+    fn no_loop_no_dependency() {
+        use crate::ast::{Expr, Stmt, UdfFn};
+        let udf = UdfFn::new("t", Ty::Bool, vec![Stmt::Emit(Expr::b(true))]);
+        assert_eq!(analyze(&udf).unwrap().kind, DepKind::None);
+    }
+
+    #[test]
+    fn nested_loops_rejected() {
+        use crate::ast::{Stmt, UdfFn};
+        let udf = UdfFn::new(
+            "bad",
+            Ty::Bool,
+            vec![Stmt::for_neighbors(vec![Stmt::for_neighbors(vec![])])],
+        );
+        assert_eq!(analyze(&udf), Err(UdfError::NestedLoop));
+    }
+
+    #[test]
+    fn instrumented_input_rejected() {
+        use crate::ast::{Stmt, UdfFn};
+        let udf = UdfFn::new("x", Ty::Bool, vec![Stmt::ReceiveDepGuard]);
+        assert_eq!(analyze(&udf), Err(UdfError::AlreadyInstrumented));
+    }
+}

@@ -1,0 +1,309 @@
+//! Abstract syntax of the vertex-UDF language.
+//!
+//! A UDF is the body of a *dense signal* function (paper Figure 1b): it
+//! runs once per destination vertex `v`, may traverse `v`'s (local)
+//! in-neighbours with a [`Stmt::ForNeighbors`] loop binding `u`, reads
+//! per-vertex property arrays (`frontier[u]`, `color[v]`, …), and emits
+//! update values to `v`'s master. `break` inside the neighbour loop is
+//! the loop-carried dependency this whole system is about.
+//!
+//! ASTs are constructed programmatically through the constructor helpers
+//! on [`Expr`] and [`Stmt`] (there is no text parser — the paper's
+//! analyzer also consumes an existing AST, clang's).
+
+use crate::types::{Ty, Value};
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Boolean negation.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Short-circuit conjunction.
+    And,
+    /// Short-circuit disjunction.
+    Or,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Value),
+    /// A local variable read.
+    Local(String),
+    /// A per-vertex property read: `array[index]`.
+    Prop {
+        /// Property array name.
+        array: String,
+        /// Index expression (must be vertex-typed).
+        index: Box<Expr>,
+    },
+    /// The destination vertex `v`.
+    CurrentVertex,
+    /// The neighbour `u` bound by the enclosing neighbour loop.
+    CurrentNeighbor,
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Boolean literal.
+    pub fn b(x: bool) -> Expr {
+        Expr::Lit(Value::Bool(x))
+    }
+
+    /// Integer literal.
+    pub fn i(x: i64) -> Expr {
+        Expr::Lit(Value::Int(x))
+    }
+
+    /// Float literal.
+    pub fn f(x: f64) -> Expr {
+        Expr::Lit(Value::Float(x))
+    }
+
+    /// Local variable read.
+    pub fn local(name: &str) -> Expr {
+        Expr::Local(name.to_string())
+    }
+
+    /// Property read `array[index]`.
+    pub fn prop(array: &str, index: Expr) -> Expr {
+        Expr::Prop {
+            array: array.to_string(),
+            index: Box::new(index),
+        }
+    }
+
+    /// Property read at the current neighbour: `array[u]`.
+    pub fn prop_u(array: &str) -> Expr {
+        Expr::prop(array, Expr::CurrentNeighbor)
+    }
+
+    /// Property read at the current vertex: `array[v]`.
+    pub fn prop_v(array: &str) -> Expr {
+        Expr::prop(array, Expr::CurrentVertex)
+    }
+
+    /// Boolean negation.
+    #[allow(clippy::should_implement_trait)] // DSL-style builder, not ops::Not
+    pub fn not(self) -> Expr {
+        Expr::Unary(UnOp::Not, Box::new(self))
+    }
+
+    /// Binary operation helper.
+    pub fn bin(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Lt, rhs)
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ge, rhs)
+    }
+
+    /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)] // DSL-style builder, not ops::Add
+    pub fn add(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Add, rhs)
+    }
+
+    /// `self && rhs`.
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::And, rhs)
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration with initialiser.
+    Let {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Ty,
+        /// Initial value.
+        init: Expr,
+    },
+    /// Assignment to a local.
+    Assign {
+        /// Variable name.
+        name: String,
+        /// New value.
+        value: Expr,
+    },
+    /// Two-way conditional.
+    If {
+        /// Condition (bool-typed).
+        cond: Expr,
+        /// Taken when true.
+        then_branch: Vec<Stmt>,
+        /// Taken when false.
+        else_branch: Vec<Stmt>,
+    },
+    /// The neighbour-traversal loop (binds [`Expr::CurrentNeighbor`]).
+    ForNeighbors {
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Break out of the neighbour loop.
+    Break,
+    /// Emit an update value for the current vertex's master.
+    Emit(Expr),
+    /// Return from the UDF.
+    Return,
+    /// *Instrumentation (paper Figure 5):* `d = receive_dep(v); if
+    /// (d.skip) return;` plus restoring the carried locals named in the
+    /// instrumented function's dependency info. Inserted by
+    /// [`crate::instrument`]; hand-written UDFs never contain it.
+    ReceiveDepGuard,
+    /// *Instrumentation:* `emit_dep(v, d)` — record the break (and the
+    /// current carried locals) in the dependency state. Inserted before
+    /// each `break` by [`crate::instrument`].
+    EmitDep,
+}
+
+impl Stmt {
+    /// `let name: ty = init;`
+    pub fn let_(name: &str, ty: Ty, init: Expr) -> Stmt {
+        Stmt::Let {
+            name: name.to_string(),
+            ty,
+            init,
+        }
+    }
+
+    /// `name = value;`
+    pub fn assign(name: &str, value: Expr) -> Stmt {
+        Stmt::Assign {
+            name: name.to_string(),
+            value,
+        }
+    }
+
+    /// `if (cond) { then_branch }`
+    pub fn if_(cond: Expr, then_branch: Vec<Stmt>) -> Stmt {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch: Vec::new(),
+        }
+    }
+
+    /// `if (cond) { then_branch } else { else_branch }`
+    pub fn if_else(cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt>) -> Stmt {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        }
+    }
+
+    /// `for u in nbrs(v) { body }`
+    pub fn for_neighbors(body: Vec<Stmt>) -> Stmt {
+        Stmt::ForNeighbors { body }
+    }
+}
+
+/// A dense-signal UDF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UdfFn {
+    /// Function name (for diagnostics and pretty-printing).
+    pub name: String,
+    /// Type of emitted update values.
+    pub update_ty: Ty,
+    /// Function body.
+    pub body: Vec<Stmt>,
+}
+
+impl UdfFn {
+    /// Creates a UDF.
+    pub fn new(name: &str, update_ty: Ty, body: Vec<Stmt>) -> Self {
+        UdfFn {
+            name: name.to_string(),
+            update_ty,
+            body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_helpers_compose() {
+        // if (frontier[u]) { emit(u); break; }
+        let s = Stmt::if_(
+            Expr::prop_u("frontier"),
+            vec![Stmt::Emit(Expr::CurrentNeighbor), Stmt::Break],
+        );
+        match &s {
+            Stmt::If {
+                cond, then_branch, ..
+            } => {
+                assert_eq!(*cond, Expr::prop("frontier", Expr::CurrentNeighbor));
+                assert_eq!(then_branch.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expr_helpers() {
+        let e = Expr::local("cnt").ge(Expr::i(3));
+        assert_eq!(
+            e,
+            Expr::Binary(
+                BinOp::Ge,
+                Box::new(Expr::Local("cnt".into())),
+                Box::new(Expr::Lit(Value::Int(3)))
+            )
+        );
+        let n = Expr::b(true).not();
+        assert_eq!(n, Expr::Unary(UnOp::Not, Box::new(Expr::b(true))));
+    }
+
+    #[test]
+    fn udf_construction() {
+        let udf = UdfFn::new(
+            "noop",
+            Ty::Bool,
+            vec![Stmt::for_neighbors(vec![])],
+        );
+        assert_eq!(udf.name, "noop");
+        assert_eq!(udf.body.len(), 1);
+    }
+}

@@ -1,0 +1,310 @@
+//! Static checker for UDFs: name resolution and type checking against a
+//! property schema.
+
+use crate::ast::{BinOp, Expr, Stmt, UdfFn, UnOp};
+use crate::types::Ty;
+use crate::UdfError;
+use std::collections::BTreeMap;
+
+struct Checker<'a> {
+    schema: &'a BTreeMap<String, Ty>,
+    locals: BTreeMap<String, Ty>,
+    update_ty: Ty,
+}
+
+/// Checks `udf` against the property `schema` (array name → element type).
+///
+/// # Errors
+///
+/// Returns the first [`UdfError`] found: unknown names, type mismatches,
+/// `break`/`u` outside the loop, duplicate locals.
+///
+/// # Example
+///
+/// ```
+/// use symple_udf::{check, paper_udfs};
+/// use symple_udf::types::Ty;
+/// let schema = [("frontier".to_string(), Ty::Bool)].into();
+/// check(&paper_udfs::bfs_udf(), &schema).unwrap();
+/// ```
+pub fn check(udf: &UdfFn, schema: &BTreeMap<String, Ty>) -> Result<(), UdfError> {
+    let mut c = Checker {
+        schema,
+        locals: BTreeMap::new(),
+        update_ty: udf.update_ty,
+    };
+    c.check_block(&udf.body, false)
+}
+
+impl Checker<'_> {
+    fn check_block(&mut self, block: &[Stmt], in_loop: bool) -> Result<(), UdfError> {
+        for s in block {
+            self.check_stmt(s, in_loop)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, s: &Stmt, in_loop: bool) -> Result<(), UdfError> {
+        match s {
+            Stmt::Let { name, ty, init } => {
+                let found = self.type_of(init, in_loop)?;
+                self.expect(*ty, found, &format!("initialiser of `{name}`"))?;
+                if self.locals.insert(name.clone(), *ty).is_some() && !in_loop {
+                    return Err(UdfError::DuplicateLocal(name.clone()));
+                }
+                Ok(())
+            }
+            Stmt::Assign { name, value } => {
+                let Some(&declared) = self.locals.get(name) else {
+                    return Err(UdfError::UndefinedLocal(name.clone()));
+                };
+                let found = self.type_of(value, in_loop)?;
+                self.expect(declared, found, &format!("assignment to `{name}`"))
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let t = self.type_of(cond, in_loop)?;
+                self.expect(Ty::Bool, t, "if condition")?;
+                self.check_block(then_branch, in_loop)?;
+                self.check_block(else_branch, in_loop)
+            }
+            Stmt::ForNeighbors { body } => {
+                if in_loop {
+                    return Err(UdfError::NestedLoop);
+                }
+                self.check_block(body, true)
+            }
+            Stmt::Break => {
+                if in_loop {
+                    Ok(())
+                } else {
+                    Err(UdfError::OutsideLoop("break".into()))
+                }
+            }
+            Stmt::Emit(e) => {
+                let t = self.type_of(e, in_loop)?;
+                self.expect(self.update_ty, t, "emit")
+            }
+            Stmt::Return | Stmt::ReceiveDepGuard => Ok(()),
+            Stmt::EmitDep => {
+                if in_loop {
+                    Ok(())
+                } else {
+                    Err(UdfError::OutsideLoop("emit_dep".into()))
+                }
+            }
+        }
+    }
+
+    fn expect(&self, expected: Ty, found: Ty, context: &str) -> Result<(), UdfError> {
+        if expected == found || (expected == Ty::Float && found == Ty::Int) {
+            Ok(())
+        } else {
+            Err(UdfError::TypeMismatch {
+                context: context.to_string(),
+                expected,
+                found,
+            })
+        }
+    }
+
+    fn type_of(&self, e: &Expr, in_loop: bool) -> Result<Ty, UdfError> {
+        match e {
+            Expr::Lit(v) => Ok(v.ty()),
+            Expr::Local(name) => self
+                .locals
+                .get(name)
+                .copied()
+                .ok_or_else(|| UdfError::UndefinedLocal(name.clone())),
+            Expr::Prop { array, index } => {
+                let idx_ty = self.type_of(index, in_loop)?;
+                self.expect(Ty::Vertex, idx_ty, &format!("index of `{array}`"))?;
+                self.schema
+                    .get(array)
+                    .copied()
+                    .ok_or_else(|| UdfError::UnknownProperty(array.clone()))
+            }
+            Expr::CurrentVertex => Ok(Ty::Vertex),
+            Expr::CurrentNeighbor => {
+                if in_loop {
+                    Ok(Ty::Vertex)
+                } else {
+                    Err(UdfError::OutsideLoop("u".into()))
+                }
+            }
+            Expr::Unary(op, a) => {
+                let t = self.type_of(a, in_loop)?;
+                match op {
+                    UnOp::Not => {
+                        self.expect(Ty::Bool, t, "operand of `!`")?;
+                        Ok(Ty::Bool)
+                    }
+                    UnOp::Neg => match t {
+                        Ty::Int | Ty::Float => Ok(t),
+                        other => Err(UdfError::TypeMismatch {
+                            context: "operand of unary `-`".into(),
+                            expected: Ty::Float,
+                            found: other,
+                        }),
+                    },
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let ta = self.type_of(a, in_loop)?;
+                let tb = self.type_of(b, in_loop)?;
+                match op {
+                    BinOp::And | BinOp::Or => {
+                        self.expect(Ty::Bool, ta, "logical operand")?;
+                        self.expect(Ty::Bool, tb, "logical operand")?;
+                        Ok(Ty::Bool)
+                    }
+                    BinOp::Add | BinOp::Sub | BinOp::Mul => match (ta, tb) {
+                        (Ty::Int, Ty::Int) => Ok(Ty::Int),
+                        (Ty::Float | Ty::Int, Ty::Float | Ty::Int) => Ok(Ty::Float),
+                        _ => Err(UdfError::TypeMismatch {
+                            context: "arithmetic operand".into(),
+                            expected: Ty::Float,
+                            found: if matches!(ta, Ty::Int | Ty::Float) { tb } else { ta },
+                        }),
+                    },
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
+                        let comparable = matches!(
+                            (ta, tb),
+                            (Ty::Int | Ty::Float, Ty::Int | Ty::Float)
+                                | (Ty::Vertex, Ty::Vertex)
+                                | (Ty::Bool, Ty::Bool)
+                        );
+                        if comparable {
+                            Ok(Ty::Bool)
+                        } else {
+                            Err(UdfError::TypeMismatch {
+                                context: "comparison operand".into(),
+                                expected: ta,
+                                found: tb,
+                            })
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_udfs;
+
+    fn schema(entries: &[(&str, Ty)]) -> BTreeMap<String, Ty> {
+        entries
+            .iter()
+            .map(|(n, t)| (n.to_string(), *t))
+            .collect()
+    }
+
+    #[test]
+    fn paper_udfs_typecheck() {
+        check(&paper_udfs::bfs_udf(), &schema(&[("frontier", Ty::Bool)])).unwrap();
+        check(
+            &paper_udfs::mis_udf(),
+            &schema(&[("active", Ty::Bool), ("color", Ty::Int)]),
+        )
+        .unwrap();
+        check(&paper_udfs::kcore_udf(3), &schema(&[("active", Ty::Bool)])).unwrap();
+        check(
+            &paper_udfs::kmeans_udf(),
+            &schema(&[("assigned", Ty::Bool), ("cluster", Ty::Int)]),
+        )
+        .unwrap();
+        check(
+            &paper_udfs::sampling_udf(),
+            &schema(&[("weight", Ty::Float), ("r", Ty::Float)]),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_property_rejected() {
+        let err = check(&paper_udfs::bfs_udf(), &schema(&[])).unwrap_err();
+        assert_eq!(err, UdfError::UnknownProperty("frontier".into()));
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        let udf = UdfFn::new("bad", Ty::Bool, vec![Stmt::Break]);
+        assert_eq!(
+            check(&udf, &schema(&[])),
+            Err(UdfError::OutsideLoop("break".into()))
+        );
+    }
+
+    #[test]
+    fn neighbor_outside_loop_rejected() {
+        let udf = UdfFn::new("bad", Ty::Vertex, vec![Stmt::Emit(Expr::CurrentNeighbor)]);
+        assert_eq!(
+            check(&udf, &schema(&[])),
+            Err(UdfError::OutsideLoop("u".into()))
+        );
+    }
+
+    #[test]
+    fn type_mismatch_in_condition() {
+        let udf = UdfFn::new(
+            "bad",
+            Ty::Bool,
+            vec![Stmt::for_neighbors(vec![Stmt::if_(
+                Expr::i(1),
+                vec![Stmt::Break],
+            )])],
+        );
+        assert!(matches!(
+            check(&udf, &schema(&[])),
+            Err(UdfError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn undefined_local_rejected() {
+        let udf = UdfFn::new(
+            "bad",
+            Ty::Int,
+            vec![Stmt::assign("x", Expr::i(1))],
+        );
+        assert_eq!(
+            check(&udf, &schema(&[])),
+            Err(UdfError::UndefinedLocal("x".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_local_rejected() {
+        let udf = UdfFn::new(
+            "bad",
+            Ty::Int,
+            vec![
+                Stmt::let_("x", Ty::Int, Expr::i(1)),
+                Stmt::let_("x", Ty::Int, Expr::i(2)),
+            ],
+        );
+        assert_eq!(
+            check(&udf, &schema(&[])),
+            Err(UdfError::DuplicateLocal("x".into()))
+        );
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        let udf = UdfFn::new(
+            "ok",
+            Ty::Float,
+            vec![
+                Stmt::let_("x", Ty::Float, Expr::i(1)),
+                Stmt::Emit(Expr::local("x").add(Expr::i(2))),
+            ],
+        );
+        check(&udf, &schema(&[])).unwrap();
+    }
+}

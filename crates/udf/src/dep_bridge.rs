@@ -1,0 +1,205 @@
+//! Bridge between interpreted UDFs and the engine's dependency machinery.
+//!
+//! [`UdfDep`] is a [`symple_core::DepState`] whose per-slot contents are
+//! derived from the analysis result: one skip bit (control dependency)
+//! plus the carried locals' values (data dependency). On the wire each
+//! message carries the packed skip bits followed by 8 bytes per carried
+//! value — the generic layout a compiler-produced `DepMessage` struct
+//! (§4.1) would have.
+
+use crate::types::{Ty, Value};
+use std::ops::Range;
+use symple_core::DepState;
+
+/// Generic dependency state for interpreted UDFs.
+#[derive(Debug, Clone)]
+pub struct UdfDep {
+    tys: Vec<Ty>,
+    skip: Vec<bool>,
+    /// Slot-major: `vals[slot * arity + i]`.
+    vals: Vec<Value>,
+}
+
+impl UdfDep {
+    /// Creates state for `slots` slots carrying one value per entry of
+    /// `carried_tys` (empty for control-only dependency).
+    pub fn new(slots: usize, carried_tys: Vec<Ty>) -> Self {
+        let vals = carried_tys
+            .iter()
+            .cycle()
+            .take(slots * carried_tys.len())
+            .map(|&t| Value::zero(t))
+            .collect();
+        UdfDep {
+            skip: vec![false; slots],
+            vals,
+            tys: carried_tys,
+        }
+    }
+
+    /// Number of carried values per slot.
+    pub fn arity(&self) -> usize {
+        self.tys.len()
+    }
+
+    /// Marks the skip bit of `slot`.
+    pub fn mark(&mut self, slot: usize) {
+        self.skip[slot] = true;
+    }
+
+    /// Reads carried value `i` of `slot`.
+    pub fn value(&self, slot: usize, i: usize) -> Value {
+        self.vals[slot * self.arity() + i]
+    }
+
+    /// Writes carried value `i` of `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value's type differs from the declared carried type.
+    pub fn set_value(&mut self, slot: usize, i: usize, v: Value) {
+        assert_eq!(v.ty(), self.tys[i], "carried value type changed");
+        let a = self.arity();
+        self.vals[slot * a + i] = v;
+    }
+}
+
+impl DepState for UdfDep {
+    fn reset_range(&mut self, range: Range<usize>) {
+        self.skip[range.clone()].fill(false);
+        let a = self.arity();
+        for slot in range {
+            for i in 0..a {
+                self.vals[slot * a + i] = Value::zero(self.tys[i]);
+            }
+        }
+    }
+
+    fn should_skip(&self, slot: usize) -> bool {
+        self.skip[slot]
+    }
+
+    fn encode_range(&self, range: Range<usize>, out: &mut Vec<u8>) {
+        let slice = &self.skip[range.clone()];
+        let mut byte = 0u8;
+        for (i, &b) in slice.iter().enumerate() {
+            if b {
+                byte |= 1 << (i % 8);
+            }
+            if i % 8 == 7 {
+                out.push(byte);
+                byte = 0;
+            }
+        }
+        if !slice.len().is_multiple_of(8) {
+            out.push(byte);
+        }
+        let a = self.arity();
+        for slot in range {
+            for i in 0..a {
+                out.extend_from_slice(&self.vals[slot * a + i].to_bits().to_le_bytes());
+            }
+        }
+    }
+
+    fn decode_range(&mut self, range: Range<usize>, buf: &[u8]) {
+        let len = range.len();
+        let bits_len = len.div_ceil(8);
+        assert!(
+            buf.len() >= Self::wire_bytes_for(len, self.arity()),
+            "dependency buffer too short"
+        );
+        for i in 0..len {
+            self.skip[range.start + i] = (buf[i / 8] >> (i % 8)) & 1 == 1;
+        }
+        let a = self.arity();
+        for (j, slot) in range.into_iter().enumerate() {
+            for i in 0..a {
+                let off = bits_len + (j * a + i) * 8;
+                let bits = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+                self.vals[slot * a + i] = Value::from_bits(self.tys[i], bits);
+            }
+        }
+    }
+
+    fn wire_bytes(_len: usize) -> usize {
+        // arity is per-instance; this associated fn cannot know it. Use
+        // `wire_bytes_for` instead.
+        unimplemented!("use UdfDep::wire_bytes_for(len, arity)")
+    }
+}
+
+impl UdfDep {
+    /// Wire bytes for `len` slots at the given carried arity.
+    pub fn wire_bytes_for(len: usize, arity: usize) -> usize {
+        len.div_ceil(8) + len * arity * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_only_roundtrip() {
+        let mut d = UdfDep::new(10, vec![]);
+        d.mark(3);
+        d.mark(9);
+        let mut buf = Vec::new();
+        d.encode_range(2..10, &mut buf);
+        assert_eq!(buf.len(), UdfDep::wire_bytes_for(8, 0));
+        let mut d2 = UdfDep::new(10, vec![]);
+        d2.decode_range(2..10, &buf);
+        assert!(d2.should_skip(3) && d2.should_skip(9));
+        assert!(!d2.should_skip(2));
+    }
+
+    #[test]
+    fn carried_values_roundtrip() {
+        let mut d = UdfDep::new(4, vec![Ty::Int, Ty::Float]);
+        assert_eq!(d.arity(), 2);
+        d.set_value(1, 0, Value::Int(42));
+        d.set_value(1, 1, Value::Float(2.5));
+        d.mark(1);
+        let mut buf = Vec::new();
+        d.encode_range(0..4, &mut buf);
+        assert_eq!(buf.len(), UdfDep::wire_bytes_for(4, 2));
+        let mut d2 = UdfDep::new(4, vec![Ty::Int, Ty::Float]);
+        d2.decode_range(0..4, &buf);
+        assert_eq!(d2.value(1, 0), Value::Int(42));
+        assert_eq!(d2.value(1, 1), Value::Float(2.5));
+        assert!(d2.should_skip(1));
+        assert_eq!(d2.value(0, 0), Value::Int(0));
+    }
+
+    #[test]
+    fn reset_clears_slots() {
+        let mut d = UdfDep::new(3, vec![Ty::Float]);
+        d.mark(2);
+        d.set_value(2, 0, Value::Float(1.0));
+        d.reset_range(2..3);
+        assert!(!d.should_skip(2));
+        assert_eq!(d.value(2, 0), Value::Float(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "type changed")]
+    fn type_confusion_rejected() {
+        let mut d = UdfDep::new(1, vec![Ty::Int]);
+        d.set_value(0, 0, Value::Float(1.0));
+    }
+
+    #[test]
+    fn partial_range_decode() {
+        let mut d = UdfDep::new(8, vec![Ty::Int]);
+        d.set_value(5, 0, Value::Int(7));
+        d.mark(6);
+        let mut buf = Vec::new();
+        d.encode_range(4..8, &mut buf);
+        let mut d2 = UdfDep::new(8, vec![Ty::Int]);
+        d2.decode_range(4..8, &buf);
+        assert_eq!(d2.value(5, 0), Value::Int(7));
+        assert!(d2.should_skip(6));
+        assert_eq!(d2.value(0, 0), Value::Int(0), "outside range untouched");
+    }
+}

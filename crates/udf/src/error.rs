@@ -1,0 +1,69 @@
+//! Errors reported by the checker, analyzer and interpreter.
+
+use crate::types::Ty;
+use std::fmt;
+
+/// Static or dynamic UDF errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UdfError {
+    /// A variable was read or assigned before declaration.
+    UndefinedLocal(String),
+    /// A property array is not present in the property store / schema.
+    UnknownProperty(String),
+    /// An expression had the wrong type.
+    TypeMismatch {
+        /// Where it happened.
+        context: String,
+        /// Expected type.
+        expected: Ty,
+        /// Found type.
+        found: Ty,
+    },
+    /// `break` or `u` used outside a neighbour loop.
+    OutsideLoop(String),
+    /// A second declaration of the same local.
+    DuplicateLocal(String),
+    /// Nested neighbour loops are not part of the language.
+    NestedLoop,
+    /// The function was already instrumented.
+    AlreadyInstrumented,
+}
+
+impl fmt::Display for UdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UdfError::UndefinedLocal(n) => write!(f, "undefined local `{n}`"),
+            UdfError::UnknownProperty(n) => write!(f, "unknown property array `{n}`"),
+            UdfError::TypeMismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            UdfError::OutsideLoop(what) => {
+                write!(f, "`{what}` used outside a neighbour loop")
+            }
+            UdfError::DuplicateLocal(n) => write!(f, "duplicate local `{n}`"),
+            UdfError::NestedLoop => write!(f, "nested neighbour loops are not supported"),
+            UdfError::AlreadyInstrumented => write!(f, "function is already instrumented"),
+        }
+    }
+}
+
+impl std::error::Error for UdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        assert!(UdfError::UndefinedLocal("x".into()).to_string().contains("`x`"));
+        let e = UdfError::TypeMismatch {
+            context: "if condition".into(),
+            expected: Ty::Bool,
+            found: Ty::Int,
+        };
+        assert!(e.to_string().contains("expected bool"));
+        assert!(UdfError::NestedLoop.to_string().contains("nested"));
+    }
+}

@@ -1,0 +1,153 @@
+//! The `fold_while` functional DSL (paper §4.3).
+//!
+//! Instead of having the analyzer reverse-engineer a `for`/`break` loop,
+//! the programmer can state the state machine directly: initial
+//! dependency state, a compose step folding the next neighbour into the
+//! state, an exit condition, and the actions to take on exit. The DSL
+//! lowers to the same AST, so "the compiler can easily determine the
+//! dependency state" — it is the declared fold state by construction.
+
+use crate::ast::{Expr, Stmt, UdfFn};
+use crate::types::Ty;
+
+/// A declarative neighbour fold.
+///
+/// # Example
+///
+/// K-core as a fold: carry `cnt`, add active neighbours, exit at `k`.
+///
+/// ```
+/// use symple_udf::{analyze, DepKind, FoldWhile};
+/// use symple_udf::ast::{Expr, Stmt};
+/// use symple_udf::types::Ty;
+///
+/// let udf = FoldWhile::new("kcore_fold", Ty::Int)
+///     .state("cnt", Ty::Int, Expr::i(0))
+///     .compose(vec![Stmt::if_(
+///         Expr::prop_u("active"),
+///         vec![Stmt::assign("cnt", Expr::local("cnt").add(Expr::i(1)))],
+///     )])
+///     .until(Expr::local("cnt").ge(Expr::i(8)))
+///     .on_exit(vec![Stmt::Emit(Expr::local("cnt"))])
+///     .lower();
+/// let info = analyze(&udf).unwrap();
+/// assert_eq!(info.kind, DepKind::Data);
+/// assert_eq!(info.carried[0].0, "cnt");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FoldWhile {
+    name: String,
+    update_ty: Ty,
+    state: Vec<(String, Ty, Expr)>,
+    compose: Vec<Stmt>,
+    until: Option<Expr>,
+    on_exit: Vec<Stmt>,
+}
+
+impl FoldWhile {
+    /// Starts a fold producing updates of `update_ty`.
+    pub fn new(name: &str, update_ty: Ty) -> Self {
+        FoldWhile {
+            name: name.to_string(),
+            update_ty,
+            state: Vec::new(),
+            compose: Vec::new(),
+            until: None,
+            on_exit: Vec::new(),
+        }
+    }
+
+    /// Declares a piece of fold state (becomes a carried local).
+    pub fn state(mut self, name: &str, ty: Ty, init: Expr) -> Self {
+        self.state.push((name.to_string(), ty, init));
+        self
+    }
+
+    /// The compose step: folds the current neighbour `u` into the state.
+    pub fn compose(mut self, body: Vec<Stmt>) -> Self {
+        self.compose = body;
+        self
+    }
+
+    /// The exit condition, checked after each compose step.
+    pub fn until(mut self, cond: Expr) -> Self {
+        self.until = Some(cond);
+        self
+    }
+
+    /// Actions performed when the exit condition fires (typically an
+    /// `Emit`), just before the generated `break`.
+    pub fn on_exit(mut self, body: Vec<Stmt>) -> Self {
+        self.on_exit = body;
+        self
+    }
+
+    /// Lowers to the equivalent `for`/`break` UDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`FoldWhile::until`] was never set.
+    pub fn lower(self) -> UdfFn {
+        let until = self.until.expect("fold_while requires an exit condition");
+        let mut body: Vec<Stmt> = self
+            .state
+            .iter()
+            .map(|(n, t, e)| Stmt::let_(n, *t, e.clone()))
+            .collect();
+        let mut loop_body = self.compose.clone();
+        let mut exit_block = self.on_exit.clone();
+        exit_block.push(Stmt::Break);
+        loop_body.push(Stmt::if_(until, exit_block));
+        body.push(Stmt::for_neighbors(loop_body));
+        UdfFn::new(&self.name, self.update_ty, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, DepKind};
+    use crate::{instrument, pretty};
+
+    fn bfs_fold() -> UdfFn {
+        // carry "found"; exit as soon as a frontier neighbour is seen
+        FoldWhile::new("bfs_fold", Ty::Vertex)
+            .state("found", Ty::Bool, Expr::b(false))
+            .compose(vec![Stmt::if_(
+                Expr::prop_u("frontier"),
+                vec![Stmt::assign("found", Expr::b(true))],
+            )])
+            .until(Expr::local("found"))
+            .on_exit(vec![Stmt::Emit(Expr::CurrentNeighbor)])
+            .lower()
+    }
+
+    #[test]
+    fn lowered_fold_has_loop_and_break() {
+        let udf = bfs_fold();
+        let text = pretty(&udf);
+        assert!(text.contains("for u in nbrs"));
+        assert!(text.contains("break;"));
+    }
+
+    #[test]
+    fn fold_state_is_detected_as_carried() {
+        let info = analyze(&bfs_fold()).unwrap();
+        assert_eq!(info.kind, DepKind::Data);
+        assert_eq!(info.carried, vec![("found".to_string(), Ty::Bool)]);
+    }
+
+    #[test]
+    fn lowered_fold_instruments_cleanly() {
+        let inst = instrument(&bfs_fold()).unwrap();
+        let text = pretty(&inst.udf);
+        assert!(text.contains("receive_dep"));
+        assert!(text.contains("emit_dep"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exit condition")]
+    fn missing_until_panics() {
+        let _ = FoldWhile::new("bad", Ty::Bool).lower();
+    }
+}

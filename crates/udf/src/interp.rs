@@ -1,0 +1,491 @@
+//! Tree-walking interpreter that runs instrumented UDFs as engine pull
+//! programs.
+//!
+//! [`UdfProgram`] implements [`symple_core::PullProgram`], so an analyzed
+//! UDF executes under the exact same circulant/dependency machinery as a
+//! hand-written native program. The instrumentation nodes map to the
+//! runtime like this:
+//!
+//! * `ReceiveDepGuard` — on the dependency-carried path: early-return if
+//!   the skip bit is set, otherwise stage the carried locals' restored
+//!   values so their `let` declarations pick them up (the paper stores
+//!   dependency data "in capture variables of lambda expressions"; here
+//!   the declaration *is* the capture point).
+//! * `EmitDep` — set the skip bit and snapshot the carried locals into
+//!   the dependency payload.
+//! * On normal segment exit (no break) the carried locals are snapshotted
+//!   too, so data dependency (counters, prefix sums) flows to the next
+//!   machine even without a break.
+//!
+//! Run [`crate::check`] before interpreting: the interpreter assumes a
+//! well-typed program and panics on type confusion.
+
+use crate::analysis::DepInfo;
+use crate::ast::{BinOp, Expr, Stmt, UnOp};
+use crate::dep_bridge::UdfDep;
+use crate::props::PropertyStore;
+use crate::transform::InstrumentedUdf;
+use crate::types::Value;
+use std::collections::HashMap;
+use symple_core::{DepState, PullProgram, SignalOutcome};
+use symple_graph::Vid;
+
+/// An instrumented UDF bound to a property store, executable as a pull
+/// program.
+pub struct UdfProgram<'a> {
+    inst: &'a InstrumentedUdf,
+    props: &'a PropertyStore,
+    active: Option<(String, bool)>,
+}
+
+impl<'a> UdfProgram<'a> {
+    /// Binds `inst` to `props`. All vertices are considered dense-active
+    /// unless [`UdfProgram::active_when`] is set.
+    pub fn new(inst: &'a InstrumentedUdf, props: &'a PropertyStore) -> Self {
+        UdfProgram {
+            inst,
+            props,
+            active: None,
+        }
+    }
+
+    /// Restricts dense activity to vertices where boolean property
+    /// `prop` equals `value` (Gemini's dense frontier predicate).
+    pub fn active_when(mut self, prop: &str, value: bool) -> Self {
+        self.active = Some((prop.to_string(), value));
+        self
+    }
+
+    /// Allocates dependency state with the right carried layout for this
+    /// UDF (`slots` from [`symple_core::Worker::dep_slots_needed`]).
+    pub fn make_dep(&self, slots: usize) -> UdfDep {
+        UdfDep::new(
+            slots,
+            self.inst.info.carried.iter().map(|&(_, t)| t).collect(),
+        )
+    }
+}
+
+enum Flow {
+    Normal,
+    Broke,
+    Returned,
+}
+
+struct Env {
+    locals: HashMap<String, Value>,
+    v: Vid,
+    u: Option<Vid>,
+}
+
+struct Ctx<'e> {
+    props: &'e PropertyStore,
+    info: &'e DepInfo,
+    dep: &'e mut UdfDep,
+    slot: usize,
+    carried: bool,
+    emit: &'e mut dyn FnMut(u64),
+    edges: u64,
+    broke: bool,
+    /// Values staged by `ReceiveDepGuard` for carried locals' `let`s.
+    pending: HashMap<String, Value>,
+}
+
+impl Ctx<'_> {
+    fn exec_block(&mut self, block: &[Stmt], env: &mut Env, srcs: &[Vid]) -> Flow {
+        for s in block {
+            match self.exec_stmt(s, env, srcs) {
+                Flow::Normal => {}
+                other => return other,
+            }
+        }
+        Flow::Normal
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt, env: &mut Env, srcs: &[Vid]) -> Flow {
+        match s {
+            Stmt::Let { name, init, .. } => {
+                let val = match self.pending.remove(name) {
+                    Some(restored) => restored,
+                    None => self.eval(init, env),
+                };
+                env.locals.insert(name.clone(), val);
+                Flow::Normal
+            }
+            Stmt::Assign { name, value } => {
+                let val = self.eval(value, env);
+                let slot = env
+                    .locals
+                    .get_mut(name)
+                    .unwrap_or_else(|| panic!("undefined local `{name}` (run check first)"));
+                *slot = val;
+                Flow::Normal
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if self.eval(cond, env).as_bool() {
+                    self.exec_block(then_branch, env, srcs)
+                } else {
+                    self.exec_block(else_branch, env, srcs)
+                }
+            }
+            Stmt::ForNeighbors { body } => {
+                for &u in srcs {
+                    self.edges += 1;
+                    env.u = Some(u);
+                    match self.exec_block(body, env, srcs) {
+                        Flow::Normal => {}
+                        Flow::Broke => {
+                            self.broke = true;
+                            break;
+                        }
+                        Flow::Returned => {
+                            env.u = None;
+                            return Flow::Returned;
+                        }
+                    }
+                }
+                env.u = None;
+                Flow::Normal
+            }
+            Stmt::Break => Flow::Broke,
+            Stmt::Emit(e) => {
+                let val = self.eval(e, env);
+                (self.emit)(val.to_bits());
+                Flow::Normal
+            }
+            Stmt::Return => Flow::Returned,
+            Stmt::ReceiveDepGuard => {
+                if self.carried {
+                    if self.dep.should_skip(self.slot) {
+                        return Flow::Returned;
+                    }
+                    for (i, (name, _ty)) in self.info.carried.iter().enumerate() {
+                        self.pending
+                            .insert(name.clone(), self.dep.value(self.slot, i));
+                    }
+                }
+                Flow::Normal
+            }
+            Stmt::EmitDep => {
+                self.dep.mark(self.slot);
+                self.snapshot_carried(env);
+                Flow::Normal
+            }
+        }
+    }
+
+    /// Copies the carried locals' current values into the dependency slot.
+    fn snapshot_carried(&mut self, env: &Env) {
+        for (i, (name, _ty)) in self.info.carried.iter().enumerate() {
+            if let Some(&val) = env.locals.get(name) {
+                self.dep.set_value(self.slot, i, val);
+            }
+        }
+    }
+
+    fn eval(&mut self, e: &Expr, env: &Env) -> Value {
+        match e {
+            Expr::Lit(v) => *v,
+            Expr::Local(name) => *env
+                .locals
+                .get(name)
+                .unwrap_or_else(|| panic!("undefined local `{name}` (run check first)")),
+            Expr::Prop { array, index } => {
+                let idx = self.eval(index, env).as_vertex();
+                self.props
+                    .read(array, idx)
+                    .unwrap_or_else(|e| panic!("property read failed: {e}"))
+            }
+            Expr::CurrentVertex => Value::Vertex(env.v),
+            Expr::CurrentNeighbor => Value::Vertex(
+                env.u
+                    .expect("`u` outside the neighbour loop (run check first)"),
+            ),
+            Expr::Unary(op, a) => {
+                let v = self.eval(a, env);
+                match op {
+                    UnOp::Not => Value::Bool(!v.as_bool()),
+                    UnOp::Neg => match v {
+                        Value::Int(i) => Value::Int(-i),
+                        other => Value::Float(-other.as_float()),
+                    },
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                // short-circuit logical operators
+                match op {
+                    BinOp::And => {
+                        return Value::Bool(
+                            self.eval(a, env).as_bool() && self.eval(b, env).as_bool(),
+                        )
+                    }
+                    BinOp::Or => {
+                        return Value::Bool(
+                            self.eval(a, env).as_bool() || self.eval(b, env).as_bool(),
+                        )
+                    }
+                    _ => {}
+                }
+                let va = self.eval(a, env);
+                let vb = self.eval(b, env);
+                match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Mul => arith(*op, va, vb),
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
+                        Value::Bool(compare(*op, va, vb))
+                    }
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+}
+
+fn arith(op: BinOp, a: Value, b: Value) -> Value {
+    if let (Value::Int(x), Value::Int(y)) = (a, b) {
+        return Value::Int(match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            _ => unreachable!(),
+        });
+    }
+    let (x, y) = (a.as_float(), b.as_float());
+    Value::Float(match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        _ => unreachable!(),
+    })
+}
+
+fn compare(op: BinOp, a: Value, b: Value) -> bool {
+    let ord = match (a, b) {
+        (Value::Vertex(x), Value::Vertex(y)) => x.cmp(&y),
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(&y),
+        (Value::Int(x), Value::Int(y)) => x.cmp(&y),
+        (x, y) => x
+            .as_float()
+            .partial_cmp(&y.as_float())
+            .expect("NaN in comparison"),
+    };
+    match op {
+        BinOp::Lt => ord.is_lt(),
+        BinOp::Le => ord.is_le(),
+        BinOp::Gt => ord.is_gt(),
+        BinOp::Ge => ord.is_ge(),
+        BinOp::Eq => ord.is_eq(),
+        BinOp::Ne => ord.is_ne(),
+        _ => unreachable!(),
+    }
+}
+
+impl PullProgram for UdfProgram<'_> {
+    type Update = u64;
+    type Dep = UdfDep;
+
+    fn dense_active(&self, v: Vid) -> bool {
+        match &self.active {
+            None => true,
+            Some((prop, want)) => {
+                self.props
+                    .read(prop, v)
+                    .unwrap_or_else(|e| panic!("active predicate failed: {e}"))
+                    .as_bool()
+                    == *want
+            }
+        }
+    }
+
+    fn signal(
+        &self,
+        v: Vid,
+        srcs: &[Vid],
+        dep: &mut UdfDep,
+        slot: usize,
+        carried: bool,
+        emit: &mut dyn FnMut(u64),
+    ) -> SignalOutcome {
+        let mut env = Env {
+            locals: HashMap::new(),
+            v,
+            u: None,
+        };
+        let mut ctx = Ctx {
+            props: self.props,
+            info: &self.inst.info,
+            dep,
+            slot,
+            carried,
+            emit,
+            edges: 0,
+            broke: false,
+            pending: HashMap::new(),
+        };
+        let _ = ctx.exec_block(&self.inst.udf.body, &mut env, srcs);
+        // Data dependency flows onward even without a break.
+        if !ctx.broke && !ctx.info.carried.is_empty() {
+            ctx.snapshot_carried(&env);
+        }
+        SignalOutcome {
+            edges: ctx.edges,
+            broke: ctx.broke,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::PropArray;
+    use crate::{instrument, paper_udfs};
+    use symple_graph::Bitmap;
+
+    fn bfs_setup(frontier_bits: &[u32], n: usize) -> (InstrumentedUdf, PropertyStore) {
+        let inst = instrument(&paper_udfs::bfs_udf()).unwrap();
+        let mut frontier = Bitmap::new(n);
+        for &b in frontier_bits {
+            frontier.set(b as usize);
+        }
+        let mut visited = Bitmap::new(n);
+        for &b in frontier_bits {
+            visited.set(b as usize);
+        }
+        let mut props = PropertyStore::new();
+        props.insert("frontier", PropArray::Bools(frontier));
+        props.insert("visited", PropArray::Bools(visited));
+        (inst, props)
+    }
+
+    #[test]
+    fn bfs_signal_breaks_at_first_frontier_neighbor() {
+        let (inst, props) = bfs_setup(&[5], 10);
+        let prog = UdfProgram::new(&inst, &props).active_when("visited", false);
+        let mut dep = prog.make_dep(4);
+        let mut got = Vec::new();
+        let srcs = [Vid::new(2), Vid::new(5), Vid::new(7)];
+        let out = prog.signal(Vid::new(0), &srcs, &mut dep, 1, true, &mut |u| got.push(u));
+        assert_eq!(out.edges, 2, "breaks at the second neighbour");
+        assert!(out.broke);
+        assert_eq!(got, [5], "emitted the frontier parent");
+        assert!(dep.should_skip(1), "emit_dep set the skip bit");
+    }
+
+    #[test]
+    fn bfs_signal_respects_incoming_skip() {
+        let (inst, props) = bfs_setup(&[5], 10);
+        let prog = UdfProgram::new(&inst, &props).active_when("visited", false);
+        let mut dep = prog.make_dep(4);
+        dep.mark(1);
+        let mut got = Vec::new();
+        let srcs = [Vid::new(5)];
+        let out = prog.signal(Vid::new(0), &srcs, &mut dep, 1, true, &mut |u| got.push(u));
+        assert_eq!(out.edges, 0, "receive_dep guard returns before the loop");
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn bfs_dense_active_tracks_visited() {
+        let (inst, props) = bfs_setup(&[5], 10);
+        let prog = UdfProgram::new(&inst, &props).active_when("visited", false);
+        assert!(!prog.dense_active(Vid::new(5)), "visited vertex inactive");
+        assert!(prog.dense_active(Vid::new(0)));
+    }
+
+    #[test]
+    fn kcore_counter_carries_across_segments() {
+        let inst = instrument(&paper_udfs::kcore_udf(4)).unwrap();
+        let mut active = Bitmap::new(10);
+        active.set_all();
+        let mut props = PropertyStore::new();
+        props.insert("active", PropArray::Bools(active));
+        let prog = UdfProgram::new(&inst, &props).active_when("active", true);
+        let mut dep = prog.make_dep(2);
+
+        // segment 1: three active neighbours -> cnt 3, no break, emits 3
+        let mut got = Vec::new();
+        let srcs1 = [Vid::new(1), Vid::new(2), Vid::new(3)];
+        let o1 = prog.signal(Vid::new(0), &srcs1, &mut dep, 0, true, &mut |x| got.push(x));
+        assert!(!o1.broke);
+        assert_eq!(got, [3]);
+        assert_eq!(dep.value(0, 0), Value::Int(3), "counter carried onward");
+
+        // segment 2 (next machine): restores cnt=3, breaks on first active
+        got.clear();
+        let srcs2 = [Vid::new(4), Vid::new(5)];
+        let o2 = prog.signal(Vid::new(0), &srcs2, &mut dep, 0, true, &mut |x| got.push(x));
+        assert!(o2.broke);
+        assert_eq!(o2.edges, 1);
+        assert_eq!(got, [1], "delta since restore, not the cumulative count");
+        assert!(dep.should_skip(0));
+    }
+
+    #[test]
+    fn kcore_scratch_mode_counts_locally() {
+        let inst = instrument(&paper_udfs::kcore_udf(4)).unwrap();
+        let mut active = Bitmap::new(10);
+        active.set_all();
+        let mut props = PropertyStore::new();
+        props.insert("active", PropArray::Bools(active));
+        let prog = UdfProgram::new(&inst, &props);
+        let mut dep = prog.make_dep(2);
+        // same two segments but carried = false: each starts from zero
+        let mut got = Vec::new();
+        let srcs1 = [Vid::new(1), Vid::new(2), Vid::new(3)];
+        dep.reset_range(1..2);
+        prog.signal(Vid::new(0), &srcs1, &mut dep, 1, false, &mut |x| got.push(x));
+        dep.reset_range(1..2);
+        let srcs2 = [Vid::new(4), Vid::new(5)];
+        prog.signal(Vid::new(0), &srcs2, &mut dep, 1, false, &mut |x| got.push(x));
+        assert_eq!(got, [3, 2], "per-machine partial counts");
+    }
+
+    #[test]
+    fn sampling_prefix_carries() {
+        let inst = instrument(&paper_udfs::sampling_udf()).unwrap();
+        let mut props = PropertyStore::new();
+        props.insert("weight", PropArray::Floats(vec![1.0; 8]));
+        props.insert("r", PropArray::Floats(vec![4.5; 8]));
+        let prog = UdfProgram::new(&inst, &props);
+        let mut dep = prog.make_dep(1);
+        let mut got = Vec::new();
+        // segment 1: weights 1+1+1 = 3 < 4.5, no selection
+        let srcs1 = [Vid::new(1), Vid::new(2), Vid::new(3)];
+        let o1 = prog.signal(Vid::new(0), &srcs1, &mut dep, 0, true, &mut |x| got.push(x));
+        assert!(!o1.broke);
+        assert!(got.is_empty());
+        // segment 2: continues at 3.0; crosses 4.5 at the second neighbour
+        let srcs2 = [Vid::new(4), Vid::new(5), Vid::new(6)];
+        let o2 = prog.signal(Vid::new(0), &srcs2, &mut dep, 0, true, &mut |x| got.push(x));
+        assert!(o2.broke);
+        assert_eq!(o2.edges, 2);
+        assert_eq!(got, [5], "selected the prefix-crossing neighbour");
+    }
+
+    #[test]
+    fn interpreter_arithmetic_and_logic() {
+        use crate::ast::{Expr, Stmt, UdfFn};
+        use crate::types::Ty;
+        // emit((1 + 2) * 3) with a short-circuit guard
+        let udf = UdfFn::new(
+            "math",
+            Ty::Int,
+            vec![Stmt::if_(
+                Expr::b(true).bin(BinOp::Or, Expr::b(false)),
+                vec![Stmt::Emit(
+                    Expr::i(1).add(Expr::i(2)).bin(BinOp::Mul, Expr::i(3)),
+                )],
+            )],
+        );
+        let inst = instrument(&udf).unwrap();
+        let props = PropertyStore::new();
+        let prog = UdfProgram::new(&inst, &props);
+        let mut dep = prog.make_dep(1);
+        let mut got = Vec::new();
+        prog.signal(Vid::new(0), &[], &mut dep, 0, false, &mut |x| got.push(x));
+        assert_eq!(got, [9]);
+    }
+}

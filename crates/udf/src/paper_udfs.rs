@@ -1,0 +1,141 @@
+//! The five evaluation kernels (paper Figures 1b and 3) as UDF ASTs, in
+//! Gemini's dense-signal form — exactly what the analyzer consumes.
+
+use crate::ast::{BinOp, Expr, Stmt, UdfFn};
+use crate::types::Ty;
+
+/// Bottom-up BFS signal (Figure 1b): emit the first frontier
+/// in-neighbour as the parent, then break.
+///
+/// Properties: `frontier: bool`. Update: the parent vertex.
+pub fn bfs_udf() -> UdfFn {
+    UdfFn::new(
+        "bfs",
+        Ty::Vertex,
+        vec![Stmt::for_neighbors(vec![Stmt::if_(
+            Expr::prop_u("frontier"),
+            vec![Stmt::Emit(Expr::CurrentNeighbor), Stmt::Break],
+        )])],
+    )
+}
+
+/// MIS signal (Figure 3a, signal form): notify the master as soon as an
+/// active in-neighbour with a smaller color is seen.
+///
+/// Properties: `active: bool`, `color: int`. Update: a "loser" flag.
+pub fn mis_udf() -> UdfFn {
+    UdfFn::new(
+        "mis",
+        Ty::Bool,
+        vec![Stmt::for_neighbors(vec![Stmt::if_(
+            Expr::prop_u("active").and(
+                Expr::prop_u("color").lt(Expr::prop_v("color")),
+            ),
+            vec![Stmt::Emit(Expr::b(true)), Stmt::Break],
+        )])],
+    )
+}
+
+/// K-core signal (Figure 3b): count active in-neighbours into the carried
+/// counter `cnt`; break at `k`; emit the machine-local delta
+/// (`cnt − start`, where `start` snapshots the restored carried value).
+///
+/// Properties: `active: bool`. Update: the local count delta.
+pub fn kcore_udf(k: i64) -> UdfFn {
+    UdfFn::new(
+        "kcore",
+        Ty::Int,
+        vec![
+            Stmt::let_("cnt", Ty::Int, Expr::i(0)),
+            Stmt::let_("start", Ty::Int, Expr::local("cnt")),
+            Stmt::let_("done", Ty::Bool, Expr::b(false)),
+            Stmt::for_neighbors(vec![Stmt::if_(
+                Expr::prop_u("active"),
+                vec![
+                    Stmt::assign("cnt", Expr::local("cnt").add(Expr::i(1))),
+                    Stmt::if_(
+                        Expr::local("cnt").ge(Expr::i(k)),
+                        vec![
+                            Stmt::Emit(
+                                Expr::local("cnt").bin(BinOp::Sub, Expr::local("start")),
+                            ),
+                            Stmt::assign("done", Expr::b(true)),
+                            Stmt::Break,
+                        ],
+                    ),
+                ],
+            )]),
+            Stmt::if_(
+                Expr::local("done")
+                    .not()
+                    .and(Expr::local("cnt").bin(BinOp::Gt, Expr::local("start"))),
+                vec![Stmt::Emit(
+                    Expr::local("cnt").bin(BinOp::Sub, Expr::local("start")),
+                )],
+            ),
+        ],
+    )
+}
+
+/// Graph K-means signal (Figure 3c): adopt the cluster of the first
+/// assigned in-neighbour.
+///
+/// Properties: `assigned: bool`, `cluster: int`. Update: the cluster id.
+pub fn kmeans_udf() -> UdfFn {
+    UdfFn::new(
+        "kmeans",
+        Ty::Int,
+        vec![Stmt::for_neighbors(vec![Stmt::if_(
+            Expr::prop_u("assigned"),
+            vec![Stmt::Emit(Expr::prop_u("cluster")), Stmt::Break],
+        )])],
+    )
+}
+
+/// Weighted sampling signal (Figure 3d): accumulate in-neighbour weights
+/// into the carried prefix sum `acc`; select the first neighbour whose
+/// prefix reaches the per-vertex threshold `r[v]`.
+///
+/// Properties: `weight: float`, `r: float`. Update: the selected vertex.
+///
+/// As discussed in `symple-algos::sampling`, the prefix formulation is
+/// only exact when the dependency is fully propagated; run it with
+/// differentiated propagation disabled.
+pub fn sampling_udf() -> UdfFn {
+    UdfFn::new(
+        "sample",
+        Ty::Vertex,
+        vec![
+            Stmt::let_("acc", Ty::Float, Expr::f(0.0)),
+            Stmt::for_neighbors(vec![
+                Stmt::assign("acc", Expr::local("acc").add(Expr::prop_u("weight"))),
+                Stmt::if_(
+                    Expr::local("acc").ge(Expr::prop_v("r")),
+                    vec![Stmt::Emit(Expr::CurrentNeighbor), Stmt::Break],
+                ),
+            ]),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty;
+
+    #[test]
+    fn udfs_render_their_figures() {
+        let bfs = pretty(&bfs_udf());
+        assert!(bfs.contains("if (frontier[u])"));
+        let mis = pretty(&mis_udf());
+        assert!(mis.contains("color[u]"));
+        assert!(mis.contains("color[v]"));
+        let kc = pretty(&kcore_udf(4));
+        assert!(kc.contains("int cnt = 0;"));
+        let km = pretty(&kmeans_udf());
+        assert!(km.contains("cluster[u]"));
+        let sa = pretty(&sampling_udf());
+        assert!(sa.contains("weight[u]"));
+        assert!(sa.contains("r[v]"));
+    }
+}

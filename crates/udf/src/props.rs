@@ -1,0 +1,160 @@
+//! Typed per-vertex property arrays read by UDFs.
+//!
+//! The paper's UDFs capture framework-managed vertex state ("frontier",
+//! "visited", "color", …). [`PropertyStore`] is the interpreter's view of
+//! that state: named, typed, vertex-indexed arrays. The engine keeps them
+//! synchronised exactly as it does for native programs (the algorithm
+//! driver owns them; the store only borrows shape).
+
+use crate::types::{Ty, Value};
+use crate::UdfError;
+use std::collections::BTreeMap;
+use symple_graph::{Bitmap, Vid};
+
+/// One property array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropArray {
+    /// Booleans, stored densely.
+    Bools(Bitmap),
+    /// Integers.
+    Ints(Vec<i64>),
+    /// Floats.
+    Floats(Vec<f64>),
+    /// Vertex ids.
+    Vertices(Vec<u32>),
+}
+
+impl PropArray {
+    /// The element type.
+    pub fn ty(&self) -> Ty {
+        match self {
+            PropArray::Bools(_) => Ty::Bool,
+            PropArray::Ints(_) => Ty::Int,
+            PropArray::Floats(_) => Ty::Float,
+            PropArray::Vertices(_) => Ty::Vertex,
+        }
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        match self {
+            PropArray::Bools(b) => b.len(),
+            PropArray::Ints(v) => v.len(),
+            PropArray::Floats(v) => v.len(),
+            PropArray::Vertices(v) => v.len(),
+        }
+    }
+
+    /// Returns `true` if the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads the value at `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn get(&self, v: Vid) -> Value {
+        match self {
+            PropArray::Bools(b) => Value::Bool(b.get_vid(v)),
+            PropArray::Ints(a) => Value::Int(a[v.index()]),
+            PropArray::Floats(a) => Value::Float(a[v.index()]),
+            PropArray::Vertices(a) => Value::Vertex(Vid::new(a[v.index()])),
+        }
+    }
+}
+
+/// A set of named property arrays (the UDF's read environment).
+#[derive(Debug, Clone, Default)]
+pub struct PropertyStore {
+    arrays: BTreeMap<String, PropArray>,
+}
+
+impl PropertyStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        PropertyStore::default()
+    }
+
+    /// Inserts (or replaces) an array under `name`.
+    pub fn insert(&mut self, name: &str, array: PropArray) -> &mut Self {
+        self.arrays.insert(name.to_string(), array);
+        self
+    }
+
+    /// Looks up an array.
+    pub fn get(&self, name: &str) -> Option<&PropArray> {
+        self.arrays.get(name)
+    }
+
+    /// Reads `name[v]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UdfError::UnknownProperty`] for missing arrays.
+    pub fn read(&self, name: &str, v: Vid) -> Result<Value, UdfError> {
+        self.arrays
+            .get(name)
+            .map(|a| a.get(v))
+            .ok_or_else(|| UdfError::UnknownProperty(name.to_string()))
+    }
+
+    /// The schema: name → element type (used by the checker).
+    pub fn schema(&self) -> BTreeMap<String, Ty> {
+        self.arrays
+            .iter()
+            .map(|(k, v)| (k.clone(), v.ty()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_reads() {
+        let mut bits = Bitmap::new(4);
+        bits.set(2);
+        let mut store = PropertyStore::new();
+        store
+            .insert("frontier", PropArray::Bools(bits))
+            .insert("color", PropArray::Ints(vec![5, 6, 7, 8]))
+            .insert("weight", PropArray::Floats(vec![0.5; 4]))
+            .insert("parent", PropArray::Vertices(vec![0, 0, 1, 2]));
+        assert_eq!(store.read("frontier", Vid::new(2)).unwrap(), Value::Bool(true));
+        assert_eq!(store.read("frontier", Vid::new(1)).unwrap(), Value::Bool(false));
+        assert_eq!(store.read("color", Vid::new(3)).unwrap(), Value::Int(8));
+        assert_eq!(store.read("weight", Vid::new(0)).unwrap(), Value::Float(0.5));
+        assert_eq!(
+            store.read("parent", Vid::new(3)).unwrap(),
+            Value::Vertex(Vid::new(2))
+        );
+    }
+
+    #[test]
+    fn unknown_property_is_an_error() {
+        let store = PropertyStore::new();
+        assert_eq!(
+            store.read("nope", Vid::new(0)),
+            Err(UdfError::UnknownProperty("nope".into()))
+        );
+    }
+
+    #[test]
+    fn schema_reports_types() {
+        let mut store = PropertyStore::new();
+        store.insert("active", PropArray::Bools(Bitmap::new(2)));
+        let schema = store.schema();
+        assert_eq!(schema.get("active"), Some(&Ty::Bool));
+    }
+
+    #[test]
+    fn array_lens() {
+        let a = PropArray::Ints(vec![1, 2, 3]);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert_eq!(a.ty(), Ty::Int);
+    }
+}

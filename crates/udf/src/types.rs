@@ -1,0 +1,198 @@
+//! Types and runtime values of the vertex-UDF language.
+
+use std::fmt;
+use symple_graph::Vid;
+
+/// The language's types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// Booleans.
+    Bool,
+    /// 64-bit signed integers.
+    Int,
+    /// 64-bit floats.
+    Float,
+    /// Vertex identifiers.
+    Vertex,
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::Bool => "bool",
+            Ty::Int => "int",
+            Ty::Float => "float",
+            Ty::Vertex => "vertex",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Runtime values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A vertex id.
+    Vertex(Vid),
+}
+
+impl Value {
+    /// This value's type.
+    pub fn ty(&self) -> Ty {
+        match self {
+            Value::Bool(_) => Ty::Bool,
+            Value::Int(_) => Ty::Int,
+            Value::Float(_) => Ty::Float,
+            Value::Vertex(_) => Ty::Vertex,
+        }
+    }
+
+    /// Reads a boolean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value has a different type (the checker rules this
+    /// out for checked programs).
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("expected bool, got {other:?}"),
+        }
+    }
+
+    /// Reads an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on type mismatch.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(i) => *i,
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+
+    /// Reads a float (integers widen implicitly).
+    ///
+    /// # Panics
+    ///
+    /// Panics on type mismatch.
+    pub fn as_float(&self) -> f64 {
+        match self {
+            Value::Float(x) => *x,
+            Value::Int(i) => *i as f64,
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    /// Reads a vertex id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on type mismatch.
+    pub fn as_vertex(&self) -> Vid {
+        match self {
+            Value::Vertex(v) => *v,
+            other => panic!("expected vertex, got {other:?}"),
+        }
+    }
+
+    /// The default (zero) value of a type.
+    pub fn zero(ty: Ty) -> Value {
+        match ty {
+            Ty::Bool => Value::Bool(false),
+            Ty::Int => Value::Int(0),
+            Ty::Float => Value::Float(0.0),
+            Ty::Vertex => Value::Vertex(Vid::new(0)),
+        }
+    }
+
+    /// Encodes into a `u64` for transport as an engine update payload.
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Value::Bool(b) => u64::from(b),
+            Value::Int(i) => i as u64,
+            Value::Float(x) => x.to_bits(),
+            Value::Vertex(v) => u64::from(v.raw()),
+        }
+    }
+
+    /// Decodes from [`Value::to_bits`], given the type.
+    pub fn from_bits(ty: Ty, bits: u64) -> Value {
+        match ty {
+            Ty::Bool => Value::Bool(bits != 0),
+            Ty::Int => Value::Int(bits as i64),
+            Ty::Float => Value::Float(f64::from_bits(bits)),
+            Ty::Vertex => Value::Vertex(Vid::new(bits as u32)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Vertex(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_of_values() {
+        assert_eq!(Value::Bool(true).ty(), Ty::Bool);
+        assert_eq!(Value::Int(3).ty(), Ty::Int);
+        assert_eq!(Value::Float(1.5).ty(), Ty::Float);
+        assert_eq!(Value::Vertex(Vid::new(2)).ty(), Ty::Vertex);
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(Value::Bool(true).as_bool());
+        assert_eq!(Value::Int(-4).as_int(), -4);
+        assert_eq!(Value::Float(2.5).as_float(), 2.5);
+        assert_eq!(Value::Int(2).as_float(), 2.0, "ints widen to float");
+        assert_eq!(Value::Vertex(Vid::new(9)).as_vertex(), Vid::new(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected bool")]
+    fn wrong_accessor_panics() {
+        Value::Int(1).as_bool();
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        for v in [
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-123456),
+            Value::Float(-2.75),
+            Value::Vertex(Vid::new(4_000_000_000)),
+        ] {
+            assert_eq!(Value::from_bits(v.ty(), v.to_bits()), v);
+        }
+    }
+
+    #[test]
+    fn zeros() {
+        assert_eq!(Value::zero(Ty::Int), Value::Int(0));
+        assert_eq!(Value::zero(Ty::Bool), Value::Bool(false));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ty::Vertex.to_string(), "vertex");
+        assert_eq!(Value::Int(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property: `parse(pretty(udf)) == udf` for arbitrary well-formed ASTs.
+//! This pins the printer and parser to each other, so UDFs can live as
+//! source text without drift.
+
+use proptest::prelude::*;
+use symple_udf::ast::{BinOp, Expr, Stmt, UdfFn, UnOp};
+use symple_udf::parser::parse_udf;
+use symple_udf::pretty;
+use symple_udf::types::{Ty, Value};
+
+const KEYWORDS: [&str; 23] = [
+    "def", "if", "else", "for", "in", "nbrs", "break", "return", "emit", "emit_dep",
+    "receive_dep", "true", "false", "int", "float", "bool", "vertex", "DepMessage", "skip",
+    "Vertex", "Array", "d", "u",
+];
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("no keywords or vertex literals", |s| {
+        !KEYWORDS.contains(&s.as_str())
+            && !(s.starts_with('v') && (s.len() == 1 || s[1..].chars().all(|c| c.is_ascii_digit())))
+    })
+}
+
+fn literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0i64..10_000).prop_map(|i| Expr::Lit(Value::Int(i))),
+        (0.0f64..1000.0).prop_map(|f| Expr::Lit(Value::Float(f))),
+        any::<bool>().prop_map(|b| Expr::Lit(Value::Bool(b))),
+        (0u32..1000).prop_map(|r| Expr::Lit(Value::Vertex(symple_graph::Vid::new(r)))),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal(),
+        ident().prop_map(Expr::Local),
+        Just(Expr::CurrentVertex),
+        Just(Expr::CurrentNeighbor),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        let binop = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Lt),
+            Just(BinOp::Le),
+            Just(BinOp::Gt),
+            Just(BinOp::Ge),
+            Just(BinOp::Eq),
+            Just(BinOp::Ne),
+            Just(BinOp::And),
+            Just(BinOp::Or),
+        ];
+        prop_oneof![
+            (ident(), inner.clone()).prop_map(|(array, index)| Expr::Prop {
+                array,
+                index: Box::new(index),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            // negation only of non-literals (the parser folds `-literal`)
+            ident().prop_map(|n| Expr::Unary(UnOp::Neg, Box::new(Expr::Local(n)))),
+            (binop, inner.clone(), inner).prop_map(|(op, a, b)| a.bin(op, b)),
+        ]
+    })
+}
+
+fn arb_ty() -> impl Strategy<Value = Ty> {
+    prop_oneof![
+        Just(Ty::Bool),
+        Just(Ty::Int),
+        Just(Ty::Float),
+        Just(Ty::Vertex)
+    ]
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (ident(), arb_ty(), arb_expr()).prop_map(|(name, ty, init)| Stmt::Let {
+            name,
+            ty,
+            init
+        }),
+        (ident(), arb_expr()).prop_map(|(name, value)| Stmt::Assign { name, value }),
+        Just(Stmt::Break),
+        Just(Stmt::Return),
+        Just(Stmt::EmitDep),
+        arb_expr().prop_map(Stmt::Emit),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (
+                arb_expr(),
+                proptest::collection::vec(inner.clone(), 0..3),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(cond, then_branch, else_branch)| Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                }),
+            proptest::collection::vec(inner, 0..3)
+                .prop_map(|body| Stmt::ForNeighbors { body }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_pretty_roundtrip(
+        name in ident(),
+        update_ty in arb_ty(),
+        body in proptest::collection::vec(arb_stmt(), 0..6),
+    ) {
+        let udf = UdfFn { name, update_ty, body };
+        let text = pretty(&udf);
+        let parsed = parse_udf(&text)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        prop_assert_eq!(parsed, udf, "roundtrip mismatch for:\n{}", text);
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: run direction-optimizing BFS on a simulated 8-machine
+//! cluster, under both SympleGraph and the Gemini baseline, and compare
+//! the work and communication the two policies perform.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use symplegraph::algos::{bfs, validate_bfs};
+use symplegraph::core::{EngineConfig, Policy};
+use symplegraph::graph::{GraphStats, RmatConfig, Vid};
+use symplegraph::net::{CommKind, CostModel};
+
+fn main() {
+    // A Graph500-parameterised R-MAT graph, symmetrized (like the paper's
+    // directed<->undirected conversion).
+    let graph = RmatConfig::graph500(13, 16).seed(42).cleaned(true).generate();
+    println!("graph: {}", GraphStats::of(&graph));
+
+    // Fixed network costs scaled to the miniature workload, preserving
+    // the real cluster's compute : latency balance (see DESIGN.md).
+    let cost = CostModel::cluster_a().scale_fixed_costs(1e-3);
+    let root = Vid::new(1);
+    for (name, policy) in [("Gemini  ", Policy::Gemini), ("SympleG.", Policy::symple())] {
+        let cfg = EngineConfig::new(8, policy).cost(cost);
+        let (out, stats) = bfs(&graph, &cfg, root);
+        validate_bfs(&graph, root, &out);
+        println!(
+            "{name}: reached {:>6} vertices | edges traversed {:>9} | \
+             update {:>9} B | dependency {:>7} B | modelled {:>8.3} ms",
+            out.reached(),
+            stats.work.edges_traversed,
+            stats.comm.bytes(CommKind::Update),
+            stats.comm.bytes(CommKind::Dependency),
+            stats.virtual_time * 1e3,
+        );
+    }
+    println!(
+        "\nBoth runs produce identical BFS trees; SympleGraph skips the\n\
+         neighbours after a break on *other* machines, which is exactly\n\
+         the paper's eliminated redundancy."
+    );
+}

@@ -1,0 +1,79 @@
+//! The paper's kernels as building blocks (§2.1: "they all share the
+//! basic code pattern, which can be used as the building blocks of other
+//! more complicated algorithms", citing strongly-connected-component
+//! detection where 2-core is a standard trimming subroutine).
+//!
+//! This example assembles a forward–backward SCC extraction for one pivot
+//! vertex out of the framework's primitives:
+//!
+//! 1. **2-core trim** (K-core kernel, loop-carried counter): vertices not
+//!    in the 2-core of the symmetrized graph are trivial SCCs;
+//! 2. **forward reachability** from a pivot (BFS kernel, loop-carried
+//!    break);
+//! 3. **backward reachability** = BFS on the transpose;
+//! 4. the pivot's SCC is the intersection.
+//!
+//! ```text
+//! cargo run --release --example scc_building_blocks
+//! ```
+
+use symplegraph::algos::{bfs, kcore};
+use symplegraph::core::{EngineConfig, Policy};
+use symplegraph::graph::{GraphBuilder, GraphStats, RmatConfig, Vid};
+
+fn main() {
+    let graph = RmatConfig::graph500(12, 12).seed(5).generate(); // directed
+    println!("directed graph: {}", GraphStats::of(&graph));
+    let cfg = EngineConfig::new(8, Policy::symple());
+
+    // 1. trim: 2-core of the symmetrized view
+    let sym = {
+        let mut b = GraphBuilder::new(graph.num_vertices());
+        b.extend_edges(graph.edges());
+        b.symmetrize(true).dedup(true).drop_self_loops(true).build()
+    };
+    let (core2, trim_stats) = kcore(&sym, &cfg, 2);
+    println!(
+        "2-core trim: {} of {} vertices survive ({} edges examined)",
+        core2.len(),
+        graph.num_vertices(),
+        trim_stats.work.edges_traversed,
+    );
+
+    // 2–3. forward + backward reachability from a surviving pivot
+    let pivot = graph
+        .vertices()
+        .find(|&v| core2.in_core.get_vid(v) && graph.out_degree(v) > 0)
+        .expect("non-trivial pivot");
+    let (fwd, fwd_stats) = bfs(&graph, &cfg, pivot);
+    let transpose = graph.transpose();
+    let (bwd, bwd_stats) = bfs(&transpose, &cfg, pivot);
+
+    // 4. intersection = the pivot's SCC
+    let scc: Vec<Vid> = graph
+        .vertices()
+        .filter(|&v| {
+            fwd.depth[v.index()] != symplegraph::algos::bfs::NONE
+                && bwd.depth[v.index()] != symplegraph::algos::bfs::NONE
+        })
+        .collect();
+    println!(
+        "pivot {pivot}: forward reach {}, backward reach {}, SCC size {}",
+        fwd.reached(),
+        bwd.reached(),
+        scc.len(),
+    );
+
+    // sanity: every SCC member reaches and is reached by the pivot
+    for &v in scc.iter().take(50) {
+        assert_ne!(fwd.depth[v.index()], symplegraph::algos::bfs::NONE);
+        assert_ne!(bwd.depth[v.index()], symplegraph::algos::bfs::NONE);
+    }
+    println!(
+        "\nall three phases ran on the dependency-enforcing engine: trim \
+         {:.3} ms, fwd {:.3} ms, bwd {:.3} ms (modelled)",
+        trim_stats.virtual_time * 1e3,
+        fwd_stats.virtual_time * 1e3,
+        bwd_stats.virtual_time * 1e3,
+    );
+}

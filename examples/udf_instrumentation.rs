@@ -1,0 +1,75 @@
+//! The compiler pipeline, end to end (paper §4, Figures 1b and 5):
+//! take the bottom-up BFS UDF exactly as a Gemini programmer writes it,
+//! analyze it for loop-carried dependency, instrument it with
+//! `receive_dep` / `emit_dep`, and *run the instrumented UDF* on the
+//! distributed engine through the interpreter.
+//!
+//! ```text
+//! cargo run --release --example udf_instrumentation
+//! ```
+
+use symplegraph::udf::{analyze, instrument, paper_udfs, pretty, DepKind};
+
+fn main() {
+    for (udf, note) in [
+        (paper_udfs::bfs_udf(), "control dependency (Figure 1b)"),
+        (paper_udfs::kcore_udf(8), "data dependency: carried counter"),
+        (paper_udfs::sampling_udf(), "data dependency: carried prefix sum"),
+    ] {
+        println!("==== input UDF — {note} ====");
+        println!("{}", pretty(&udf));
+
+        let info = analyze(&udf).expect("analysis");
+        println!(
+            "analysis: kind = {:?}, breaks = {}, carried = {:?}",
+            info.kind,
+            info.breaks,
+            info.carried
+                .iter()
+                .map(|(n, t)| format!("{n}: {t}"))
+                .collect::<Vec<_>>(),
+        );
+        assert_ne!(info.kind, DepKind::None);
+
+        let inst = instrument(&udf).expect("instrumentation");
+        println!("\n---- instrumented (paper Figure 5) ----");
+        println!("{}", pretty(&inst.udf));
+    }
+
+    // And prove the instrumented BFS actually runs: one pull level on a
+    // star graph with the hub in the frontier.
+    use symplegraph::core::{run_spmd, EngineConfig, Policy};
+    use symplegraph::graph::{star, Bitmap, Vid};
+    use symplegraph::udf::{types::Ty, types::Value, PropArray, PropertyStore, UdfProgram};
+
+    let graph = star(500);
+    let inst = instrument(&paper_udfs::bfs_udf()).unwrap();
+    let cfg = EngineConfig::new(4, Policy::symple());
+    let res = run_spmd(&graph, &cfg, |w| {
+        let n = graph.num_vertices();
+        let mut frontier = Bitmap::new(n);
+        frontier.set_vid(Vid::new(0)); // hub in frontier
+        let mut visited = frontier.clone();
+        let mut props = PropertyStore::new();
+        props.insert("frontier", PropArray::Bools(frontier));
+        props.insert("visited", PropArray::Bools(visited.clone()));
+        let prog = UdfProgram::new(&inst, &props).active_when("visited", false);
+        let mut dep = prog.make_dep(w.dep_slots_needed());
+        let mut found = 0u64;
+        let mut apply = |v: Vid, bits: u64| {
+            let parent = Value::from_bits(Ty::Vertex, bits).as_vertex();
+            visited.set_vid(v);
+            found += 1;
+            parent == Vid::new(0)
+        };
+        w.pull(&prog, &mut dep, &mut apply);
+        w.allreduce_sum(found)
+    });
+    println!(
+        "interpreted BFS level on star(500): {} leaves adopted the hub as \
+         parent\n(edges traversed: {}, modelled {:.4} ms)",
+        res.outputs[0],
+        res.stats.work.edges_traversed,
+        res.stats.virtual_time * 1e3,
+    );
+}

@@ -1,0 +1,83 @@
+//! Shape assertions over the three systems — the coarse relationships the
+//! paper's evaluation rests on, pinned as tests so regressions in any
+//! engine path surface immediately.
+
+use symplegraph::algos::{bfs, kcore, mis};
+use symplegraph::core::{EngineConfig, Policy};
+use symplegraph::graph::{RmatConfig, Vid};
+
+#[test]
+fn galois_pays_more_communication_than_gemini() {
+    // Gluon-style reduce+broadcast must cost strictly more data bytes
+    // than Gemini's one-way updates, for every algorithm.
+    let g = RmatConfig::graph500(9, 8).cleaned(true).generate();
+    let gem = EngineConfig::new(4, Policy::Gemini);
+    let gal = EngineConfig::new(4, Policy::Galois);
+
+    let (_, a) = bfs(&g, &gem, Vid::new(0));
+    let (_, b) = bfs(&g, &gal, Vid::new(0));
+    assert!(b.comm.data_bytes() > a.comm.data_bytes(), "bfs");
+
+    let (_, a) = mis(&g, &gem, 1);
+    let (_, b) = mis(&g, &gal, 1);
+    assert!(b.comm.data_bytes() > a.comm.data_bytes(), "mis");
+
+    let (_, a) = kcore(&g, &gem, 4);
+    let (_, b) = kcore(&g, &gal, 4);
+    assert!(b.comm.data_bytes() > a.comm.data_bytes(), "kcore");
+}
+
+#[test]
+fn galois_and_gemini_do_identical_compute() {
+    // The D-Galois stand-in differs only in synchronisation, never in
+    // edge work — deltas in Table 4 are attributable to communication.
+    let g = RmatConfig::graph500(9, 8).cleaned(true).generate();
+    let (_, a) = mis(&g, &EngineConfig::new(4, Policy::Gemini), 1);
+    let (_, b) = mis(&g, &EngineConfig::new(4, Policy::Galois), 1);
+    assert_eq!(a.work.edges_traversed, b.work.edges_traversed);
+    assert_eq!(a.work.skipped_by_dep, 0);
+    assert_eq!(b.work.skipped_by_dep, 0);
+}
+
+#[test]
+fn dependency_savings_grow_with_machine_count() {
+    // With one machine everything is local (breaks already apply), so
+    // symple == gemini; the gap opens as mirrors spread across machines.
+    let g = RmatConfig::graph500(10, 16).cleaned(true).generate();
+    let mut prev_saving = 0i64;
+    for machines in [1usize, 2, 4, 8] {
+        let (_, gem) = mis(&g, &EngineConfig::new(machines, Policy::Gemini), 1);
+        let (_, sym) = mis(&g, &EngineConfig::new(machines, Policy::symple()), 1);
+        let saving = gem.work.edges_traversed as i64 - sym.work.edges_traversed as i64;
+        if machines == 1 {
+            assert_eq!(saving, 0, "single machine: nothing to propagate");
+        } else {
+            assert!(saving > 0, "m={machines}");
+            assert!(
+                saving >= prev_saving,
+                "saving should not shrink as machines grow (m={machines}: {saving} < {prev_saving})"
+            );
+        }
+        prev_saving = saving;
+    }
+}
+
+#[test]
+fn single_machine_policies_are_indistinguishable() {
+    // p = 1 collapses all three systems onto the same local execution:
+    // identical results, identical work, zero update/dependency traffic.
+    let g = RmatConfig::graph500(9, 8).cleaned(true).generate();
+    let mut baseline = None;
+    for policy in [Policy::Gemini, Policy::symple(), Policy::Galois] {
+        let (out, stats) = kcore(&g, &EngineConfig::new(1, policy), 4);
+        assert_eq!(stats.comm.bytes(symplegraph::net::CommKind::Update), 0);
+        assert_eq!(stats.comm.bytes(symplegraph::net::CommKind::Dependency), 0);
+        match &baseline {
+            None => baseline = Some((out, stats.work.edges_traversed)),
+            Some((b_out, b_edges)) => {
+                assert_eq!(out.in_core, b_out.in_core);
+                assert_eq!(stats.work.edges_traversed, *b_edges);
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Cross-crate integration: every algorithm must produce equivalent
+//! results under every execution policy and machine count — the paper's
+//! core correctness claim (precise dependency enforcement changes *work*,
+//! never *results*) — and SympleGraph must never traverse more edges than
+//! Gemini.
+
+use symplegraph::algos::{
+    bfs, kcore, kmeans, mis, sampling, validate_bfs, validate_kcore, validate_kmeans,
+    validate_mis, validate_sampling,
+};
+use symplegraph::core::{EngineConfig, Policy};
+use symplegraph::graph::{barabasi_albert, RmatConfig, Vid};
+
+const POLICIES: [Policy; 6] = [
+    Policy::Gemini,
+    Policy::Galois,
+    Policy::SympleGraph {
+        differentiated: false,
+        double_buffering: false,
+    },
+    Policy::SympleGraph {
+        differentiated: true,
+        double_buffering: false,
+    },
+    Policy::SympleGraph {
+        differentiated: false,
+        double_buffering: true,
+    },
+    Policy::SympleGraph {
+        differentiated: true,
+        double_buffering: true,
+    },
+];
+
+#[test]
+fn bfs_equivalence_grid() {
+    let g = RmatConfig::graph500(9, 8).cleaned(true).generate();
+    let root = Vid::new(2);
+    let (reference, _) = bfs(&g, &EngineConfig::new(1, Policy::Gemini), root);
+    for machines in [2usize, 3, 5, 8] {
+        for policy in POLICIES {
+            let cfg = EngineConfig::new(machines, policy).degree_threshold(16);
+            let (out, _) = bfs(&g, &cfg, root);
+            validate_bfs(&g, root, &out);
+            assert_eq!(
+                out.depth, reference.depth,
+                "depths differ at {machines} machines under {policy:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mis_equivalence_grid() {
+    let g = barabasi_albert(600, 4, 5);
+    let (reference, _) = mis(&g, &EngineConfig::new(1, Policy::Gemini), 9);
+    for machines in [2usize, 4, 7] {
+        for policy in POLICIES {
+            let cfg = EngineConfig::new(machines, policy).degree_threshold(8);
+            let (out, _) = mis(&g, &cfg, 9);
+            validate_mis(&g, &out, 9);
+            assert_eq!(out.in_mis, reference.in_mis);
+        }
+    }
+}
+
+#[test]
+fn kcore_equivalence_grid() {
+    let g = RmatConfig::graph500(9, 8).cleaned(true).generate();
+    for k in [2u32, 5, 16] {
+        let (reference, _) = kcore(&g, &EngineConfig::new(1, Policy::Gemini), k);
+        for machines in [3usize, 6] {
+            for policy in POLICIES {
+                let cfg = EngineConfig::new(machines, policy);
+                let (out, _) = kcore(&g, &cfg, k);
+                validate_kcore(&g, k, &out);
+                assert_eq!(out.in_core, reference.in_core, "k={k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn kmeans_equivalence_grid() {
+    let g = RmatConfig::graph500(8, 8).cleaned(true).generate();
+    let (reference, _) = kmeans(&g, &EngineConfig::new(1, Policy::Gemini), 3, 2);
+    for machines in [2usize, 5] {
+        for policy in POLICIES {
+            let cfg = EngineConfig::new(machines, policy);
+            let (out, _) = kmeans(&g, &cfg, 3, 2);
+            validate_kmeans(&g, &out);
+            assert_eq!(out.centers, reference.centers);
+            assert_eq!(out.total_distance, reference.total_distance);
+        }
+    }
+}
+
+#[test]
+fn sampling_validity_grid() {
+    let g = RmatConfig::graph500(9, 8).generate();
+    for machines in [2usize, 4, 8] {
+        for policy in POLICIES {
+            let cfg = EngineConfig::new(machines, policy);
+            let (out, _) = sampling(&g, &cfg, 11);
+            validate_sampling(&g, &out);
+        }
+    }
+}
+
+#[test]
+fn symple_never_traverses_more_than_gemini() {
+    let g = RmatConfig::graph500(10, 16).cleaned(true).generate();
+    let machines = 6;
+    let gem = EngineConfig::new(machines, Policy::Gemini);
+    let sym = EngineConfig::new(machines, Policy::symple());
+    let root = Vid::new(0);
+
+    let (_, a) = bfs(&g, &gem, root);
+    let (_, b) = bfs(&g, &sym, root);
+    assert!(b.work.edges_traversed <= a.work.edges_traversed, "bfs");
+
+    let (_, a) = kcore(&g, &gem, 8);
+    let (_, b) = kcore(&g, &sym, 8);
+    assert!(b.work.edges_traversed <= a.work.edges_traversed, "kcore");
+
+    let (_, a) = mis(&g, &gem, 1);
+    let (_, b) = mis(&g, &sym, 1);
+    assert!(b.work.edges_traversed <= a.work.edges_traversed, "mis");
+
+    let (_, a) = kmeans(&g, &gem, 1, 2);
+    let (_, b) = kmeans(&g, &sym, 1, 2);
+    assert!(b.work.edges_traversed <= a.work.edges_traversed, "kmeans");
+
+    let (_, a) = sampling(&g, &gem, 1);
+    let (_, b) = sampling(&g, &sym, 1);
+    assert!(b.work.edges_traversed <= a.work.edges_traversed, "sampling");
+}
+
+#[test]
+fn full_dependency_beats_gemini_update_traffic() {
+    use symplegraph::net::CommKind;
+    let g = RmatConfig::graph500(10, 16).cleaned(true).generate();
+    let gem = EngineConfig::new(8, Policy::Gemini);
+    let sym = EngineConfig::new(8, Policy::symple_basic());
+    let (_, a) = mis(&g, &gem, 1);
+    let (_, b) = mis(&g, &sym, 1);
+    assert!(
+        b.comm.bytes(CommKind::Update) < a.comm.bytes(CommKind::Update),
+        "dependency propagation must cut mirror->master updates ({} vs {})",
+        b.comm.bytes(CommKind::Update),
+        a.comm.bytes(CommKind::Update)
+    );
+    assert!(a.comm.bytes(CommKind::Dependency) == 0);
+    assert!(b.comm.bytes(CommKind::Dependency) > 0);
+}

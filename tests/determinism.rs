@@ -1,0 +1,63 @@
+//! Determinism guarantees: repeated runs are bit-identical (including
+//! every statistic), and virtual time is a pure function of the run —
+//! independent of host scheduling. These properties are what make the
+//! simulated cluster a sound measurement instrument.
+
+use symplegraph::algos::{bfs, mis, sampling};
+use symplegraph::core::{EngineConfig, Policy};
+use symplegraph::graph::{RmatConfig, Vid};
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let g = RmatConfig::graph500(9, 8).cleaned(true).generate();
+    let cfg = EngineConfig::new(5, Policy::symple());
+    let (out1, st1) = bfs(&g, &cfg, Vid::new(7));
+    let (out2, st2) = bfs(&g, &cfg, Vid::new(7));
+    assert_eq!(out1, out2);
+    assert_eq!(st1.work, st2.work);
+    assert_eq!(st1.comm, st2.comm);
+    assert_eq!(st1.virtual_time, st2.virtual_time, "virtual time is exact");
+}
+
+#[test]
+fn mis_deterministic_across_runs_and_policies() {
+    let g = RmatConfig::graph500(9, 8).cleaned(true).generate();
+    let mut results = Vec::new();
+    for _ in 0..2 {
+        for policy in [Policy::Gemini, Policy::symple()] {
+            let (out, _) = mis(&g, &EngineConfig::new(4, policy), 3);
+            results.push(out.in_mis);
+        }
+    }
+    for r in &results[1..] {
+        assert_eq!(*r, results[0]);
+    }
+}
+
+#[test]
+fn sampling_deterministic_per_seed_and_machine_count() {
+    let g = RmatConfig::graph500(9, 8).generate();
+    // Same machine count -> identical selection (same segment order).
+    let cfg = EngineConfig::new(4, Policy::symple_basic());
+    let (a, _) = sampling(&g, &cfg, 5);
+    let (b, _) = sampling(&g, &cfg, 5);
+    assert_eq!(a, b);
+    // Different seed -> (almost surely) different selection.
+    let (c, _) = sampling(&g, &cfg, 6);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn stats_scale_down_with_dependency_enforcement() {
+    // Not strictly determinism, but a stable regression guard for the
+    // mechanism: the symple/gemini edge ratio on this fixed graph stays
+    // in a band. If this moves, the engine's skip behaviour changed.
+    let g = RmatConfig::graph500(10, 16).cleaned(true).generate();
+    let (_, gem) = mis(&g, &EngineConfig::new(8, Policy::Gemini), 1);
+    let (_, sym) = mis(&g, &EngineConfig::new(8, Policy::symple()), 1);
+    let ratio = sym.work.edges_traversed as f64 / gem.work.edges_traversed as f64;
+    assert!(
+        (0.2..0.95).contains(&ratio),
+        "symple/gemini MIS edge ratio drifted to {ratio:.3}"
+    );
+}

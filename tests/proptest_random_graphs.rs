@@ -1,0 +1,84 @@
+//! Property-based integration tests: on arbitrary random graphs, every
+//! policy must validate and agree. Uses proptest over (graph shape,
+//! machine count, seeds).
+
+use proptest::prelude::*;
+use symplegraph::algos::{
+    bfs, kcore, mis, sampling, validate_bfs, validate_kcore, validate_mis, validate_sampling,
+};
+use symplegraph::core::{EngineConfig, Policy};
+use symplegraph::graph::{Graph, GraphBuilder, Vid};
+
+/// An arbitrary symmetric graph from an edge list over `n` vertices.
+fn arb_graph(max_n: usize, max_edges: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..max_edges).prop_map(
+            move |edges| {
+                let mut b = GraphBuilder::new(n);
+                for (s, d) in edges {
+                    b.add_edge(Vid::new(s), Vid::new(d));
+                }
+                b.symmetrize(true).dedup(true).drop_self_loops(true).build()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn bfs_valid_on_random_graphs(
+        g in arb_graph(120, 400),
+        machines in 1usize..5,
+        root_raw in 0u32..120,
+    ) {
+        let root = Vid::new(root_raw % g.num_vertices() as u32);
+        let (reference, _) = bfs(&g, &EngineConfig::new(1, Policy::Gemini), root);
+        for policy in [Policy::Gemini, Policy::symple(), Policy::Galois] {
+            let cfg = EngineConfig::new(machines, policy).degree_threshold(4);
+            let (out, _) = bfs(&g, &cfg, root);
+            validate_bfs(&g, root, &out);
+            prop_assert_eq!(&out.depth, &reference.depth);
+        }
+    }
+
+    #[test]
+    fn mis_valid_on_random_graphs(
+        g in arb_graph(100, 300),
+        machines in 1usize..5,
+        seed in 0u64..50,
+    ) {
+        for policy in [Policy::Gemini, Policy::symple()] {
+            let cfg = EngineConfig::new(machines, policy).degree_threshold(4);
+            let (out, _) = mis(&g, &cfg, seed);
+            validate_mis(&g, &out, seed);
+        }
+    }
+
+    #[test]
+    fn kcore_valid_on_random_graphs(
+        g in arb_graph(100, 300),
+        machines in 1usize..5,
+        k in 1u32..6,
+    ) {
+        for policy in [Policy::Gemini, Policy::symple()] {
+            let cfg = EngineConfig::new(machines, policy).degree_threshold(4);
+            let (out, _) = kcore(&g, &cfg, k);
+            validate_kcore(&g, k, &out);
+        }
+    }
+
+    #[test]
+    fn sampling_valid_on_random_graphs(
+        g in arb_graph(100, 300),
+        machines in 1usize..5,
+        seed in 0u64..50,
+    ) {
+        for policy in [Policy::Gemini, Policy::symple()] {
+            let cfg = EngineConfig::new(machines, policy).degree_threshold(4);
+            let (out, _) = sampling(&g, &cfg, seed);
+            validate_sampling(&g, &out);
+        }
+    }
+}
