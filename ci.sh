@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus lint checks. Run from the repository root.
+#
+#   ./ci.sh            # build, test, fmt, clippy
+#   ./ci.sh --quick    # skip the release build
+set -euo pipefail
+cd "$(dirname "$0")"
+
+QUICK=0
+[ "${1:-}" = "--quick" ] && QUICK=1
+
+echo "== build (release) =="
+if [ "$QUICK" = 0 ]; then
+  cargo build --release --offline --workspace
+fi
+
+echo "== tests (workspace) =="
+cargo test -q --offline --workspace
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "ci.sh: all checks passed"

@@ -51,7 +51,13 @@ pub fn sampling_threshold(seed: u64, v: Vid, total: f32) -> f32 {
 pub fn total_in_weights(graph: &Graph, seed: u64) -> Vec<f32> {
     graph
         .vertices()
-        .map(|v| graph.in_neighbors(v).iter().map(|&u| vertex_weight(seed, u)).sum())
+        .map(|v| {
+            graph
+                .in_neighbors(v)
+                .iter()
+                .map(|&u| vertex_weight(seed, u))
+                .sum()
+        })
         .collect()
 }
 
@@ -111,9 +117,7 @@ mod tests {
     fn total_in_weights_match_neighbor_sum() {
         let g = symple_graph::star(10);
         let tw = total_in_weights(&g, 5);
-        let hub_expect: f32 = (1..10u32)
-            .map(|i| vertex_weight(5, Vid::new(i)))
-            .sum();
+        let hub_expect: f32 = (1..10u32).map(|i| vertex_weight(5, Vid::new(i))).sum();
         assert!((tw[0] - hub_expect).abs() < 1e-6);
     }
 

@@ -8,9 +8,7 @@
 //!
 //! Expects a symmetrized graph (see crate docs).
 
-use symple_core::{
-    run_spmd, CountDep, EngineConfig, PullProgram, RunStats, SignalOutcome, Worker,
-};
+use symple_core::{run_spmd, CountDep, EngineConfig, PullProgram, RunStats, SignalOutcome, Worker};
 use symple_graph::{Bitmap, Graph, Vid};
 
 /// Result of a K-core run.
@@ -107,7 +105,7 @@ fn kcore_body(w: &mut Worker, k: u32) -> (Bitmap, u32) {
             }
         }
         w.sync_bitmap(&mut active);
-        if w.allreduce_sum(removed) == 0 {
+        if w.allreduce(removed, |a, b| a + b) == 0 {
             break;
         }
     }
@@ -267,7 +265,7 @@ mod tests {
         let (out_g, st_g) = kcore(&g, &EngineConfig::new(4, Policy::Gemini), 8);
         let (out_s, st_s) = kcore(&g, &EngineConfig::new(4, Policy::symple()), 8);
         assert_eq!(out_g.in_core, out_s.in_core);
-        assert!(st_s.work.edges_traversed < st_g.work.edges_traversed);
+        assert!(st_s.work.edges_traversed() < st_g.work.edges_traversed());
     }
 
     #[test]

@@ -11,9 +11,7 @@
 //! Expects a symmetrized graph (see crate docs).
 
 use crate::common::select_distinct;
-use symple_core::{
-    run_spmd, BitDep, EngineConfig, PullProgram, RunStats, SignalOutcome, Worker,
-};
+use symple_core::{run_spmd, BitDep, EngineConfig, PullProgram, RunStats, SignalOutcome, Worker};
 use symple_graph::{Bitmap, Graph, Vid};
 
 /// Marker for "unassigned" in cluster arrays.
@@ -77,11 +75,7 @@ impl PullProgram for KmeansPull<'_> {
 
 /// One assignment wavefront from the given centers. Returns
 /// `(cluster, total_distance)`.
-fn assign_from_centers(
-    w: &mut Worker,
-    centers: &[Vid],
-    dep: &mut BitDep,
-) -> (Vec<u32>, u64) {
+fn assign_from_centers(w: &mut Worker, centers: &[Vid], dep: &mut BitDep) -> (Vec<u32>, u64) {
     let graph = w.graph();
     let n = graph.num_vertices();
     let mut cluster = vec![NONE; n];
@@ -119,7 +113,7 @@ fn assign_from_centers(
         }
         w.sync_changed(&mut cluster, &newly);
         w.sync_bitmap(&mut assigned);
-        if w.allreduce_sum(newly.len() as u64) == 0 {
+        if w.allreduce(newly.len() as u64, |a, b| a + b) == 0 {
             break;
         }
     }
@@ -135,15 +129,11 @@ fn assign_from_centers(
             }
         })
         .sum();
-    let total = w.allreduce_sum(local);
+    let total = w.allreduce(local, |a, b| a + b);
     (cluster, total)
 }
 
-fn kmeans_body(
-    w: &mut Worker,
-    seed: u64,
-    outer_iters: u32,
-) -> (Vec<u32>, Vec<Vid>, u64) {
+fn kmeans_body(w: &mut Worker, seed: u64, outer_iters: u32) -> (Vec<u32>, Vec<Vid>, u64) {
     let n = w.graph().num_vertices();
     let c = (n as f64).sqrt().floor().max(1.0) as usize;
     let mut dep = BitDep::new(w.dep_slots_needed());
@@ -231,7 +221,10 @@ pub fn validate_kmeans(graph: &Graph, out: &KmeansOutput) {
                     .in_neighbors(v)
                     .iter()
                     .any(|&u| out.cluster[u.index()] == cid);
-                assert!(witness, "{v} in cluster {cid} without a same-cluster in-neighbour");
+                assert!(
+                    witness,
+                    "{v} in cluster {cid} without a same-cluster in-neighbour"
+                );
             }
         }
     }
@@ -291,7 +284,7 @@ mod tests {
         let g = RmatConfig::graph500(9, 16).cleaned(true).generate();
         let (_, st_g) = kmeans(&g, &EngineConfig::new(4, Policy::Gemini), 3, 2);
         let (_, st_s) = kmeans(&g, &EngineConfig::new(4, Policy::symple()), 3, 2);
-        assert!(st_s.work.edges_traversed < st_g.work.edges_traversed);
+        assert!(st_s.work.edges_traversed() < st_g.work.edges_traversed());
     }
 
     #[test]

@@ -14,8 +14,7 @@
 
 use crate::common::vertex_color;
 use symple_core::{
-    run_spmd, BitDep, EngineConfig, PullProgram, PushProgram, RunStats, SignalOutcome,
-    Worker,
+    run_spmd, BitDep, EngineConfig, PullProgram, PushProgram, RunStats, SignalOutcome, Worker,
 };
 use symple_graph::{Bitmap, Graph, Vid};
 
@@ -101,7 +100,9 @@ impl PushProgram for MisDeactivate<'_> {
 fn mis_body(w: &mut Worker, seed: u64) -> (Bitmap, u32) {
     let graph = w.graph();
     let n = graph.num_vertices();
-    let colors: Vec<u64> = (0..n as u32).map(|i| vertex_color(seed, Vid::new(i))).collect();
+    let colors: Vec<u64> = (0..n as u32)
+        .map(|i| vertex_color(seed, Vid::new(i)))
+        .collect();
     let mut active = Bitmap::new(n);
     active.set_all();
     let mut in_mis = Bitmap::new(n);
@@ -150,7 +151,7 @@ fn mis_body(w: &mut Worker, seed: u64) -> (Bitmap, u32) {
         }
         w.sync_bitmap(&mut active);
         let local_active = w.masters().filter(|&v| active.get_vid(v)).count() as u64;
-        remaining = w.allreduce_sum(local_active);
+        remaining = w.allreduce(local_active, |a, b| a + b);
     }
     w.sync_bitmap(&mut in_mis);
     (in_mis, rounds)
@@ -298,8 +299,8 @@ mod tests {
         let (out_g, st_g) = mis(&g, &EngineConfig::new(4, Policy::Gemini), 2);
         let (out_s, st_s) = mis(&g, &EngineConfig::new(4, Policy::symple()), 2);
         assert_eq!(out_g.in_mis, out_s.in_mis);
-        assert!(st_s.work.edges_traversed < st_g.work.edges_traversed);
-        assert!(st_s.work.skipped_by_dep > 0);
-        assert_eq!(st_g.work.skipped_by_dep, 0, "gemini never skips via dep");
+        assert!(st_s.work.edges_traversed() < st_g.work.edges_traversed());
+        assert!(st_s.work.skipped_by_dep() > 0);
+        assert_eq!(st_g.work.skipped_by_dep(), 0, "gemini never skips via dep");
     }
 }

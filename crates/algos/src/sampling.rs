@@ -94,8 +94,7 @@ impl PullProgram for SamplingPull<'_> {
                     0x5e5e,
                     (u64::from(v.raw()) << 32) | u64::from(u.raw()),
                 );
-                let key =
-                    u01.powf(1.0 / f64::from(vertex_weight(self.seed, u))) as f32;
+                let key = u01.powf(1.0 / f64::from(vertex_weight(self.seed, u))) as f32;
                 if key > best_key {
                     best_key = key;
                     best = Some(u);
@@ -269,21 +268,21 @@ mod tests {
         let g = RmatConfig::graph500(9, 16).generate();
         let (_, st_g) = sampling(&g, &EngineConfig::new(4, Policy::Gemini), 7);
         // reservoir scans everything
-        assert_eq!(st_g.work.edges_traversed, g.num_edges() as u64);
+        assert_eq!(st_g.work.edges_traversed(), g.num_edges() as u64);
         // full dependency propagation: expected prefix position ≈ half of
         // each neighbour list
         let (_, st_b) = sampling(&g, &EngineConfig::new(4, Policy::symple_basic()), 7);
         assert!(
-            st_b.work.edges_traversed < g.num_edges() as u64 * 7 / 10,
+            st_b.work.edges_traversed() < g.num_edges() as u64 * 7 / 10,
             "full-dep prefix scan too large: {} of {}",
-            st_b.work.edges_traversed,
+            st_b.work.edges_traversed(),
             g.num_edges()
         );
         // differentiated propagation falls back to reservoir for
         // low-degree vertices, so it sits between the two
         let (_, st_s) = sampling(&g, &EngineConfig::new(4, Policy::symple()), 7);
-        assert!(st_s.work.edges_traversed < st_g.work.edges_traversed);
-        assert!(st_s.work.edges_traversed >= st_b.work.edges_traversed);
+        assert!(st_s.work.edges_traversed() < st_g.work.edges_traversed());
+        assert!(st_s.work.edges_traversed() >= st_b.work.edges_traversed());
     }
 
     /// Over many seeds, the fraction of picks that land on

@@ -68,7 +68,12 @@ fn bench(c: &mut Criterion) {
                     ctx.recv(1, Tag::new(TagKind::User, 1, 0)).len()
                 } else {
                     let n = ctx.recv(0, tag).len();
-                    ctx.send(0, Tag::new(TagKind::User, 1, 0), CommKind::Update, vec![0; 64]);
+                    ctx.send(
+                        0,
+                        Tag::new(TagKind::User, 1, 0),
+                        CommKind::Update,
+                        vec![0; 64],
+                    );
                     n
                 }
             })

@@ -26,9 +26,7 @@ fn bench(c: &mut Criterion) {
         group.bench_function(format!("kcore/{pname}"), |b| {
             b.iter(|| kcore(&graph, &cfg, 4))
         });
-        group.bench_function(format!("mis/{pname}"), |b| {
-            b.iter(|| mis(&graph, &cfg, 1))
-        });
+        group.bench_function(format!("mis/{pname}"), |b| b.iter(|| mis(&graph, &cfg, 1)));
         group.bench_function(format!("kmeans/{pname}"), |b| {
             b.iter(|| kmeans(&graph, &cfg, 1, 2))
         });

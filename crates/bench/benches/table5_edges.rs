@@ -17,10 +17,10 @@ fn bench(c: &mut Criterion) {
     let (_, gem) = mis(&graph, &gem_cfg, 1);
     let (_, sym) = mis(&graph, &sym_cfg, 1);
     assert!(
-        sym.work.edges_traversed <= gem.work.edges_traversed,
+        sym.work.edges_traversed() <= gem.work.edges_traversed(),
         "table5 invariant violated: {} > {}",
-        sym.work.edges_traversed,
-        gem.work.edges_traversed
+        sym.work.edges_traversed(),
+        gem.work.edges_traversed()
     );
     let mut group = c.benchmark_group("table5_edges");
     group.bench_function("mis/gemini", |b| b.iter(|| mis(&graph, &gem_cfg, 1)));

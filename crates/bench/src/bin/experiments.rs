@@ -3,25 +3,67 @@
 //! ```text
 //! cargo run --release -p symple-bench --bin experiments -- all
 //! cargo run --release -p symple-bench --bin experiments -- table4 fig11
+//! cargo run --release -p symple-bench --bin experiments -- --chrome-trace trace.json
+//! cargo run --release -p symple-bench --bin experiments -- --metrics-json metrics.json table6
 //! ```
+//!
+//! `--chrome-trace FILE` and `--metrics-json FILE` run one fully-traced
+//! BFS (4 machines) and export the virtual-time timeline (open in
+//! `chrome://tracing` or <https://ui.perfetto.dev>) or the structured
+//! metrics report.
 
 use std::time::Instant;
 use symple_bench::experiments;
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [--chrome-trace FILE] [--metrics-json FILE] [<id>... | all]\n  ids: table1..table7, fig10, fig11, cost, ablation_threshold,\n       ablation_groups, direction, replication"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        eprintln!(
-            "usage: experiments <id>... | all\n  ids: table1..table7, fig10, fig11, cost"
-        );
-        std::process::exit(2);
+    let mut chrome_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--chrome-trace" => chrome_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--metrics-json" => metrics_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            _ => ids.push(arg),
+        }
     }
+    if ids.is_empty() && chrome_path.is_none() && metrics_path.is_none() {
+        usage();
+    }
+
     let start = Instant::now();
-    let reports = if args.iter().any(|a| a == "all") {
+    if chrome_path.is_some() || metrics_path.is_some() {
+        let stats = experiments::traced_probe();
+        if let Some(path) = &chrome_path {
+            stats.trace.write_chrome_json(path).unwrap_or_else(|e| {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("[chrome trace written to {path} — open in chrome://tracing]");
+        }
+        if let Some(path) = &metrics_path {
+            std::fs::write(path, stats.metrics().to_json()).unwrap_or_else(|e| {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("[metrics report written to {path}]");
+        }
+    }
+
+    let reports = if ids.iter().any(|a| a == "all") {
         experiments::all()
     } else {
         let mut out = Vec::new();
-        for id in &args {
+        for id in &ids {
             match experiments::by_id(id) {
                 Some(runner) => out.push(runner()),
                 None => {

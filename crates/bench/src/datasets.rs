@@ -152,7 +152,10 @@ mod tests {
 
     #[test]
     fn names_are_the_papers() {
-        assert_eq!(dataset_names(), ["tw", "fr", "s27", "s28", "s29", "cl", "gsh"]);
+        assert_eq!(
+            dataset_names(),
+            ["tw", "fr", "s27", "s28", "s29", "cl", "gsh"]
+        );
     }
 
     #[test]

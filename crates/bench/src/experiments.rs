@@ -9,9 +9,9 @@
 use crate::datasets::dataset;
 use crate::fmt::{geomean, secs, speedup, table};
 use symple_algos::{bfs, kcore, kmeans, mis, sampling};
-use symple_core::{EngineConfig, Policy, RunStats};
+use symple_core::{EngineConfig, Policy, RunStats, TraceLevel};
 use symple_graph::{Graph, GraphStats, Vid};
-use symple_net::{CommKind, CostModel};
+use symple_net::{CommKind, CostModel, COMM_KINDS};
 
 /// A rendered experiment.
 #[derive(Debug, Clone)]
@@ -77,7 +77,7 @@ fn bfs_roots(graph: &Graph, count: u64) -> Vec<Vid> {
 }
 
 /// One measured configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct Measured {
     /// Mean modelled seconds.
     pub time: f64,
@@ -87,13 +87,39 @@ pub struct Measured {
     pub upd_bytes: u64,
     /// Dependency bytes.
     pub dep_bytes: u64,
+    /// Collective/sync bytes.
+    pub coll_bytes: u64,
+    /// Whether the trace's categorized byte totals reconciled exactly with
+    /// the raw `CommStats` counters on every accumulated run.
+    pub reconciled: bool,
+}
+
+impl Default for Measured {
+    fn default() -> Self {
+        Measured {
+            time: 0.0,
+            edges: 0,
+            upd_bytes: 0,
+            dep_bytes: 0,
+            coll_bytes: 0,
+            reconciled: true,
+        }
+    }
 }
 
 fn accumulate(acc: &mut Measured, stats: &RunStats, reps: u64) {
-    acc.time += stats.virtual_time / reps as f64;
-    acc.edges += stats.work.edges_traversed / reps;
+    acc.time += stats.virtual_time() / reps as f64;
+    acc.edges += stats.work.edges_traversed() / reps;
     acc.upd_bytes += stats.comm.bytes(CommKind::Update) / reps;
     acc.dep_bytes += stats.comm.bytes(CommKind::Dependency) / reps;
+    acc.coll_bytes += stats.comm.bytes(CommKind::Sync) / reps;
+    // Cross-check the observability layer against the engine's own
+    // accounting: per-category bytes from the trace must equal the raw
+    // CommStats counters exactly (Table 6 depends on this invariant).
+    let report = stats.metrics();
+    acc.reconciled &= COMM_KINDS
+        .iter()
+        .all(|&k| report.bytes(k.byte_category()) == stats.comm.bytes(k));
 }
 
 /// Runs `algo` on `graph` under `cfg` and returns the aggregate.
@@ -128,7 +154,6 @@ pub fn measure(algo: Algo, graph: &Graph, cfg: &EngineConfig) -> Measured {
     }
     acc
 }
-
 
 /// The cluster model for a dataset: the base testbed with fixed costs
 /// scaled to the stand-in's size (see `CostModel::scale_fixed_costs`).
@@ -292,6 +317,10 @@ pub fn table5() -> Report {
 }
 
 /// Table 6: communication breakdown normalised to Gemini's data bytes.
+///
+/// Every measured cell also cross-checks the trace's per-category byte
+/// totals against the engine's raw `CommStats` — the table refuses to
+/// render from irreconcilable numbers.
 pub fn table6() -> Report {
     let mut rows = Vec::new();
     for (algo_name, algo) in GRID_ALGOS {
@@ -300,6 +329,10 @@ pub fn table6() -> Report {
             let cost = model_for(name, CostModel::cluster_a());
             let gem = measure(algo, g, &cfg(16, Policy::Gemini, cost));
             let sym = measure(algo, g, &cfg(16, Policy::symple(), cost));
+            assert!(
+                gem.reconciled && sym.reconciled,
+                "table6 {algo_name}/{name}: trace-categorized bytes diverged from CommStats"
+            );
             let base = (gem.upd_bytes + gem.dep_bytes) as f64;
             rows.push(vec![
                 algo_name.to_string(),
@@ -311,13 +344,26 @@ pub fn table6() -> Report {
         }
     }
     let text = format!(
-        "{}\nPaper: total below 1.0 everywhere except sampling (dependency\nmessages carry f32 prefix sums); average reduction 40.95%.\n",
+        "{}\nPaper: total below 1.0 everywhere except sampling (dependency\nmessages carry f32 prefix sums); average reduction 40.95%.\nPer-category bytes verified against trace categorization (exact).\n",
         table(
             &["app", "graph", "SymG.upt", "SymG.dep", "SymG.total"],
             &rows
         )
     );
     Report::new("table6", "Communication breakdown (Table 6)", text)
+}
+
+/// Runs one fully-traced workload (BFS on s27, 4 machines, SympleGraph
+/// policy, `TraceLevel::Full`) and returns its stats — the data source
+/// behind the CLI's `--chrome-trace` and `--metrics-json` flags.
+pub fn traced_probe() -> RunStats {
+    let name = "s27";
+    let g = dataset(name);
+    let cost = model_for(name, CostModel::cluster_a());
+    let config = cfg(4, Policy::symple(), cost).trace_level(TraceLevel::Full);
+    let root = bfs_roots(g, 1)[0];
+    let (_, stats) = bfs(g, &config, root);
+    stats
 }
 
 /// Table 7: best-performing machine count, MIS, Cluster-B model.
@@ -577,17 +623,18 @@ pub fn direction_study() -> Report {
             ("pull-only", Direction::PullOnly),
             ("adaptive", Direction::Adaptive),
         ] {
-            let (_, gem) =
-                bfs_with_direction(g, &cfg(16, Policy::Gemini, cost), root, dir);
-            let (_, sym) =
-                bfs_with_direction(g, &cfg(16, Policy::symple(), cost), root, dir);
+            let (_, gem) = bfs_with_direction(g, &cfg(16, Policy::Gemini, cost), root, dir);
+            let (_, sym) = bfs_with_direction(g, &cfg(16, Policy::symple(), cost), root, dir);
             rows.push(vec![
                 name.to_string(),
                 dname.to_string(),
-                secs(gem.virtual_time),
-                secs(sym.virtual_time),
-                speedup(gem.virtual_time / sym.virtual_time),
-                format!("{:.3}", sym.work.edges_traversed as f64 / gem.work.edges_traversed.max(1) as f64),
+                secs(gem.virtual_time()),
+                secs(sym.virtual_time()),
+                speedup(gem.virtual_time() / sym.virtual_time()),
+                format!(
+                    "{:.3}",
+                    sym.work.edges_traversed() as f64 / gem.work.edges_traversed().max(1) as f64
+                ),
             ]);
         }
     }
@@ -630,7 +677,11 @@ pub fn replication() -> Report {
         "{}\nReplication factor = (masters + mirrors) / |V|. Every mirror is\na potential mirror->master update per iteration; the replication\ngrowth with machine count is exactly why Table 4's dependency savings\ngrow with scale (see tests/baseline_shapes.rs).\n",
         table(&["graph", "machines", "mirrors", "replication"], &rows)
     );
-    Report::new("replication", "Partition replication factor (extension)", text)
+    Report::new(
+        "replication",
+        "Partition replication factor (extension)",
+        text,
+    )
 }
 
 /// Runs every experiment in paper order.
@@ -681,8 +732,19 @@ mod tests {
     #[test]
     fn ids_resolve() {
         for id in [
-            "table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig10",
-            "fig11", "cost", "ablation_threshold", "ablation_groups", "direction",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "fig10",
+            "fig11",
+            "cost",
+            "ablation_threshold",
+            "ablation_groups",
+            "direction",
             "replication",
         ] {
             assert!(by_id(id).is_some(), "missing {id}");
@@ -712,6 +774,22 @@ mod tests {
         for (_, algo) in GRID_ALGOS {
             let m = measure(algo, g, &c);
             assert!(m.edges > 0, "{algo:?} traversed nothing");
+            assert!(m.reconciled, "{algo:?} trace bytes diverged from CommStats");
         }
+    }
+
+    #[test]
+    fn traced_probe_produces_spans_and_reconciled_metrics() {
+        let stats = traced_probe();
+        let report = stats.metrics();
+        assert_eq!(report.machines, 4);
+        assert!(report.total_bytes() > 0);
+        for k in COMM_KINDS {
+            assert_eq!(report.bytes(k.byte_category()), stats.comm.bytes(k));
+        }
+        // Full tracing keeps individual spans for the chrome export.
+        assert!(stats.trace.nodes.iter().all(|n| !n.spans.is_empty()));
+        let chrome = stats.trace.to_chrome_json();
+        assert!(chrome.contains("\"traceEvents\""));
     }
 }

@@ -90,10 +90,7 @@ mod tests {
 
     #[test]
     fn table_aligns_columns() {
-        let t = table(
-            &["a", "long-header"],
-            &[vec!["xxxxx".into(), "1".into()]],
-        );
+        let t = table(&["a", "long-header"], &[vec!["xxxxx".into(), "1".into()]]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 5);
         // all lines same width

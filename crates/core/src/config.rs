@@ -1,6 +1,31 @@
 //! Engine configuration and execution policies.
 
-use symple_net::CostModel;
+use std::fmt;
+use symple_net::{CostModel, TraceLevel};
+
+/// Why an [`EngineConfig`] failed [`EngineConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `machines` was 0 — a cluster needs at least one machine.
+    ZeroMachines,
+    /// `buffer_groups` was 0 — double buffering needs at least one group.
+    ZeroBufferGroups,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroMachines => {
+                write!(f, "machines must be at least 1 (got 0)")
+            }
+            ConfigError::ZeroBufferGroups => {
+                write!(f, "buffer_groups must be at least 1 (got 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Which of the paper's three evaluated systems the engine emulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +102,10 @@ pub struct EngineConfig {
     /// Extra per-vertex weight when balancing the partition by
     /// `alpha · |V_i| + |E_i|` (Gemini's locality-aware chunking).
     pub partition_alpha: f64,
+    /// How much the run records about itself: `Off` (nothing),
+    /// `Metrics` (categorized counters, the default — negligible cost), or
+    /// `Full` (also per-event spans for chrome://tracing export).
+    pub trace_level: TraceLevel,
 }
 
 impl EngineConfig {
@@ -90,6 +119,7 @@ impl EngineConfig {
             buffer_groups: 2,
             cost: CostModel::cluster_a(),
             partition_alpha: 8.0,
+            trace_level: TraceLevel::Metrics,
         }
     }
 
@@ -111,14 +141,32 @@ impl EngineConfig {
         self
     }
 
-    /// Validates the configuration.
+    /// Sets the trace level.
+    pub fn trace_level(mut self, level: TraceLevel) -> Self {
+        self.trace_level = level;
+        self
+    }
+
+    /// Validates the configuration, reporting the first problem found.
     ///
-    /// # Panics
+    /// [`crate::run_spmd`] calls this before spawning the cluster and
+    /// surfaces any error in its panic message; call it yourself to handle
+    /// invalid configurations gracefully.
     ///
-    /// Panics on zero machines or zero buffer groups.
-    pub fn validate(&self) {
-        assert!(self.machines > 0, "need at least one machine");
-        assert!(self.buffer_groups > 0, "need at least one buffer group");
+    /// ```
+    /// use symple_core::{ConfigError, EngineConfig, Policy};
+    /// let bad = EngineConfig::new(0, Policy::Gemini);
+    /// assert_eq!(bad.validate(), Err(ConfigError::ZeroMachines));
+    /// assert!(EngineConfig::new(4, Policy::Gemini).validate().is_ok());
+    /// ```
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.machines == 0 {
+            return Err(ConfigError::ZeroMachines);
+        }
+        if self.buffer_groups == 0 {
+            return Err(ConfigError::ZeroBufferGroups);
+        }
+        Ok(())
     }
 
     /// Effective group count for a step: 1 unless double buffering is on.
@@ -177,15 +225,27 @@ mod tests {
     fn builder_setters() {
         let cfg = EngineConfig::new(2, Policy::Gemini)
             .degree_threshold(8)
-            .buffer_groups(4);
+            .buffer_groups(4)
+            .trace_level(TraceLevel::Full);
         assert_eq!(cfg.degree_threshold, 8);
         assert_eq!(cfg.buffer_groups, 4);
-        cfg.validate();
+        assert_eq!(cfg.trace_level, TraceLevel::Full);
+        assert_eq!(cfg.validate(), Ok(()));
     }
 
     #[test]
-    #[should_panic(expected = "at least one machine")]
     fn zero_machines_invalid() {
-        EngineConfig::new(0, Policy::Gemini).validate();
+        let err = EngineConfig::new(0, Policy::Gemini).validate().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroMachines);
+        assert!(err.to_string().contains("machines"));
+    }
+
+    #[test]
+    fn zero_buffer_groups_invalid() {
+        let err = EngineConfig::new(2, Policy::Gemini)
+            .buffer_groups(0)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroBufferGroups);
     }
 }

@@ -250,8 +250,7 @@ impl DepState for WeightDep {
         );
         for i in 0..len {
             let off = i * 4;
-            self.acc[range.start + i] =
-                f32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+            self.acc[range.start + i] = f32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
         }
         let bits = &buf[len * 4..];
         for i in 0..len {

@@ -103,12 +103,7 @@ pub struct LocalGraph {
 impl LocalGraph {
     /// Builds machine `rank`'s buckets. Deterministic: every machine
     /// derives the same global structures from the shared graph.
-    pub fn build(
-        graph: &Graph,
-        part: &Partition,
-        layout: &DepLayout,
-        rank: usize,
-    ) -> Self {
+    pub fn build(graph: &Graph, part: &Partition, layout: &DepLayout, rank: usize) -> Self {
         let p = part.num_parts();
         let (my_lo, my_hi) = part.range(rank);
         let mut buckets = Vec::with_capacity(p);

@@ -1,6 +1,6 @@
 //! Top-level driver: spawn the cluster, run the SPMD closure, aggregate.
 
-use crate::{EngineConfig, RunStats, Worker, WorkerStats};
+use crate::{EngineConfig, RunStats, TimeStats, WorkStats, Worker};
 use symple_graph::Graph;
 use symple_net::Cluster;
 
@@ -9,13 +9,28 @@ use symple_net::Cluster;
 pub struct DistResult<T> {
     /// Per-machine return values, indexed by rank.
     pub outputs: Vec<T>,
-    /// Aggregated execution statistics.
+    /// Aggregated execution statistics (with the per-machine trace).
     pub stats: RunStats,
 }
 
 impl<T> DistResult<T> {
-    /// The rank-0 output (convenient when all machines return the same
-    /// globally-reduced answer).
+    /// The rank-0 output, if any machine ran.
+    ///
+    /// By convention SPMD closures either return the same globally-reduced
+    /// answer on every machine or put the interesting value on rank 0, so
+    /// this is the output consumers usually want. Returns `None` for a
+    /// zero-machine result (which [`run_spmd`] itself never produces, but
+    /// hand-built results may).
+    pub fn output(&self) -> Option<&T> {
+        self.outputs.first()
+    }
+
+    /// The rank-0 output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs` is empty; prefer [`DistResult::output`].
+    #[deprecated(since = "0.2.0", note = "use output(), which returns Option")]
     pub fn first(&self) -> &T {
         &self.outputs[0]
     }
@@ -25,7 +40,9 @@ impl<T> DistResult<T> {
 ///
 /// Every machine builds its own [`Worker`] (partition, dependency layout,
 /// local buckets) and runs the same closure — exactly how a Gemini
-/// application binary runs under `mpiexec`.
+/// application binary runs under `mpiexec`. Tracing is controlled by
+/// `cfg.trace_level`; the collected [`symple_net::Trace`] is returned on
+/// `stats.trace`.
 ///
 /// # Example
 ///
@@ -35,26 +52,29 @@ impl<T> DistResult<T> {
 ///
 /// let g = path(100);
 /// let cfg = EngineConfig::new(2, Policy::symple());
-/// let res = run_spmd(&g, &cfg, |w| w.allreduce_sum(w.masters().count() as u64));
-/// assert_eq!(*res.first(), 100);
+/// let res = run_spmd(&g, &cfg, |w| w.allreduce(w.masters().count() as u64, |a, b| a + b));
+/// assert_eq!(res.output(), Some(&100));
 /// ```
 ///
 /// # Panics
 ///
-/// Panics if the configuration is invalid or a machine panics.
+/// Panics if the configuration fails [`EngineConfig::validate`] (the panic
+/// message carries the [`crate::ConfigError`]) or if a machine panics.
 pub fn run_spmd<T, F>(graph: &Graph, cfg: &EngineConfig, f: F) -> DistResult<T>
 where
     T: Send,
     F: Fn(&mut Worker) -> T + Sync,
 {
-    cfg.validate();
-    let cluster = Cluster::new(cfg.machines, cfg.cost);
+    if let Err(e) = cfg.validate() {
+        panic!("invalid engine config: {e}");
+    }
+    let cluster = Cluster::new(cfg.machines, cfg.cost).trace_level(cfg.trace_level);
     let res = cluster.run(|ctx| {
         let mut worker = Worker::new(ctx, graph, cfg);
         let out = f(&mut worker);
         (out, worker.stats())
     });
-    let mut work = WorkerStats::default();
+    let mut work = WorkStats::default();
     let mut outputs = Vec::with_capacity(res.outputs.len());
     for (out, st) in res.outputs {
         work.merge(&st);
@@ -63,10 +83,10 @@ where
     DistResult {
         outputs,
         stats: RunStats {
-            virtual_time: res.virtual_time,
-            wall: res.wall,
+            time: TimeStats::from_trace(res.virtual_time, res.wall, &res.traces),
             work,
             comm: res.stats,
+            trace: res.traces,
         },
     }
 }
@@ -76,6 +96,7 @@ mod tests {
     use super::*;
     use crate::Policy;
     use symple_graph::RmatConfig;
+    use symple_net::{ByteCategory, CommKind, SpanCategory, TraceLevel};
 
     #[test]
     fn workers_cover_all_masters() {
@@ -141,7 +162,66 @@ mod tests {
         let cfg = EngineConfig::new(2, Policy::Gemini);
         let res = run_spmd(&g, &cfg, |w| w.rank());
         assert_eq!(res.outputs, vec![0, 1]);
-        assert_eq!(res.stats.work.edges_traversed, 0);
-        assert!(res.stats.wall.as_nanos() > 0);
+        assert_eq!(res.stats.work.edges_traversed(), 0);
+        assert!(res.stats.wall().as_nanos() > 0);
+    }
+
+    #[test]
+    fn output_is_rank_zero_and_none_when_empty() {
+        let g = RmatConfig::graph500(7, 4).generate();
+        let cfg = EngineConfig::new(3, Policy::Gemini);
+        let res = run_spmd(&g, &cfg, |w| w.rank() * 10);
+        assert_eq!(res.output(), Some(&0));
+        let empty: DistResult<u64> = DistResult {
+            outputs: vec![],
+            stats: RunStats::default(),
+        };
+        assert_eq!(empty.output(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid engine config: machines must be at least 1")]
+    fn run_spmd_reports_config_error() {
+        let g = RmatConfig::graph500(6, 4).generate();
+        let cfg = EngineConfig::new(0, Policy::Gemini);
+        run_spmd(&g, &cfg, |w| w.rank());
+    }
+
+    #[test]
+    fn trace_rides_along_and_reconciles_with_comm() {
+        let g = RmatConfig::graph500(8, 4).generate();
+        let cfg = EngineConfig::new(3, Policy::Gemini);
+        let res = run_spmd(&g, &cfg, |w| {
+            let n = w.graph().num_vertices();
+            let mut arr = vec![0u32; n];
+            for v in w.masters() {
+                arr[v.index()] = v.raw();
+            }
+            w.sync_values(&mut arr);
+        });
+        let stats = &res.stats;
+        assert_eq!(stats.trace.nodes.len(), 3);
+        for (kind, cat) in [
+            (CommKind::Update, ByteCategory::Update),
+            (CommKind::Dependency, ByteCategory::Dependency),
+            (CommKind::Sync, ByteCategory::Collective),
+        ] {
+            assert_eq!(stats.trace.bytes(cat), stats.comm.bytes(kind));
+            assert_eq!(stats.trace.messages(cat), stats.comm.messages(kind));
+        }
+        assert!(stats.metrics().total_bytes() > 0);
+    }
+
+    #[test]
+    fn trace_level_off_disables_collection() {
+        let g = RmatConfig::graph500(7, 4).generate();
+        let cfg = EngineConfig::new(2, Policy::Gemini).trace_level(TraceLevel::Off);
+        let res = run_spmd(&g, &cfg, |w| {
+            w.allreduce(1u64, |a, b| a + b);
+        });
+        assert_eq!(res.stats.trace.bytes(ByteCategory::Collective), 0);
+        assert_eq!(res.stats.time.category(SpanCategory::Compute), 0.0);
+        // raw CommStats accounting is independent of the trace level
+        assert!(res.stats.comm.bytes(CommKind::Sync) > 0);
     }
 }

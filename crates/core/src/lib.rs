@@ -44,11 +44,18 @@ mod stats;
 mod worker;
 
 pub use circulant::{dst_partition, processing_order, src_machine};
-pub use config::{EngineConfig, Policy};
+pub use config::{ConfigError, EngineConfig, Policy};
 pub use dep::{BitDep, CountDep, DepLayout, DepState, WeightDep};
 pub use dist_graph::{Bucket, BucketPart, LocalGraph};
 pub use driver::{run_spmd, DistResult};
 pub use partition::Partition;
 pub use program::{PullProgram, PushProgram, SignalOutcome};
-pub use stats::{RunStats, WorkerStats};
+#[allow(deprecated)]
+pub use stats::WorkerStats;
+pub use stats::{RunStats, TimeStats, WorkMetric, WorkStats};
 pub use worker::Worker;
+
+// Tracing vocabulary, re-exported so algorithm and application crates can
+// configure `EngineConfig::trace_level` and consume `RunStats::trace`
+// without depending on symple-net directly.
+pub use symple_net::{ByteCategory, MetricsReport, SpanCategory, Trace, TraceLevel};

@@ -43,8 +43,7 @@ impl Partition {
     pub fn chunked(graph: &Graph, p: usize, alpha: f64) -> Self {
         assert!(p > 0, "need at least one partition");
         let n = graph.num_vertices();
-        let total_weight: f64 =
-            alpha * n as f64 + graph.num_edges() as f64;
+        let total_weight: f64 = alpha * n as f64 + graph.num_edges() as f64;
         let target = total_weight / p as f64;
         let mut starts = Vec::with_capacity(p + 1);
         starts.push(0u32);
@@ -184,11 +183,7 @@ mod tests {
         let p = 4;
         let part = Partition::chunked(&g, p, 8.0);
         let weights: Vec<f64> = (0..p)
-            .map(|i| {
-                part.vertices(i)
-                    .map(|v| 8.0 + g.in_degree(v) as f64)
-                    .sum()
-            })
+            .map(|i| part.vertices(i).map(|v| 8.0 + g.in_degree(v) as f64).sum())
             .collect();
         let avg: f64 = weights.iter().sum::<f64>() / p as f64;
         for w in &weights {

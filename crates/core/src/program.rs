@@ -94,12 +94,7 @@ pub trait PushProgram {
     /// Process the out-neighbours `dsts` of frontier vertex `u`.
     /// `emit(dst, update)` queues an update for `dst`'s master.
     /// Returns the number of edges examined.
-    fn signal(
-        &self,
-        u: Vid,
-        dsts: &[Vid],
-        emit: &mut dyn FnMut(Vid, Self::Update),
-    ) -> u64;
+    fn signal(&self, u: Vid, dsts: &[Vid], emit: &mut dyn FnMut(Vid, Self::Update)) -> u64;
 }
 
 #[cfg(test)]

@@ -1,63 +1,252 @@
 //! Per-run execution statistics.
+//!
+//! One coherent [`RunStats`] bundles the three facets of a distributed
+//! run: **time** ([`TimeStats`]: virtual makespan, wall clock, and the
+//! per-category virtual-time breakdown), **work** ([`WorkStats`]: typed
+//! computation counters keyed by [`WorkMetric`]), and **comm**
+//! (`symple_net::CommStats`: bytes and messages per kind). The raw
+//! per-machine [`Trace`] rides along, so any consumer can derive a
+//! [`MetricsReport`] or a chrome://tracing dump without re-running.
 
 use std::fmt;
 use std::time::Duration;
 use symple_net::CommStats;
+use symple_trace::{MetricsReport, SpanCategory, Trace};
 
-/// Counters accumulated by one machine's [`crate::Worker`] during a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct WorkerStats {
+/// A typed computation counter of the engine.
+///
+/// The iteration counts aggregate differently from the work counters: work
+/// sums across machines, iterations are SPMD-wide (every machine executes
+/// the same ones), so [`WorkStats::merge`] takes their maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WorkMetric {
     /// Edges actually examined by signal functions (Table 5's metric).
-    pub edges_traversed: u64,
+    EdgesTraversed,
     /// Destination entries examined (active-check granularity).
-    pub vertices_examined: u64,
+    VerticesExamined,
     /// Destinations skipped because received dependency said so — the
     /// paper's "eliminated unnecessary computation".
-    pub skipped_by_dep: u64,
+    SkippedByDep,
     /// Update messages emitted by signals.
-    pub updates_emitted: u64,
+    UpdatesEmitted,
     /// Pull iterations executed.
-    pub pull_iterations: u64,
+    PullIterations,
     /// Push iterations executed.
-    pub push_iterations: u64,
+    PushIterations,
 }
 
-impl WorkerStats {
-    /// Componentwise sum.
-    pub fn merge(&mut self, other: &WorkerStats) {
-        self.edges_traversed += other.edges_traversed;
-        self.vertices_examined += other.vertices_examined;
-        self.skipped_by_dep += other.skipped_by_dep;
-        self.updates_emitted += other.updates_emitted;
-        self.pull_iterations = self.pull_iterations.max(other.pull_iterations);
-        self.push_iterations = self.push_iterations.max(other.push_iterations);
+impl WorkMetric {
+    /// All metrics, in display order.
+    pub const ALL: [WorkMetric; 6] = [
+        WorkMetric::EdgesTraversed,
+        WorkMetric::VerticesExamined,
+        WorkMetric::SkippedByDep,
+        WorkMetric::UpdatesEmitted,
+        WorkMetric::PullIterations,
+        WorkMetric::PushIterations,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            WorkMetric::EdgesTraversed => 0,
+            WorkMetric::VerticesExamined => 1,
+            WorkMetric::SkippedByDep => 2,
+            WorkMetric::UpdatesEmitted => 3,
+            WorkMetric::PullIterations => 4,
+            WorkMetric::PushIterations => 5,
+        }
+    }
+
+    /// Whether this metric counts SPMD-wide iterations (merged by max)
+    /// rather than per-machine work (merged by sum).
+    pub fn is_iteration_count(self) -> bool {
+        matches!(
+            self,
+            WorkMetric::PullIterations | WorkMetric::PushIterations
+        )
+    }
+
+    /// Stable lower-case name (used in exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkMetric::EdgesTraversed => "edges_traversed",
+            WorkMetric::VerticesExamined => "vertices_examined",
+            WorkMetric::SkippedByDep => "skipped_by_dep",
+            WorkMetric::UpdatesEmitted => "updates_emitted",
+            WorkMetric::PullIterations => "pull_iterations",
+            WorkMetric::PushIterations => "push_iterations",
+        }
     }
 }
 
-/// Aggregated result of a distributed run: modelled and measured time plus
-/// exact computation/communication counters.
-#[derive(Debug, Clone, Default)]
-pub struct RunStats {
-    /// Modelled makespan on the emulated cluster (seconds of virtual time).
-    pub virtual_time: f64,
+impl fmt::Display for WorkMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Typed computation counters accumulated by one machine's
+/// [`crate::Worker`] (and merged across machines by [`crate::run_spmd`]).
+///
+/// # Example
+///
+/// ```
+/// use symple_core::{WorkMetric, WorkStats};
+/// let mut w = WorkStats::default();
+/// w.add(WorkMetric::EdgesTraversed, 10);
+/// assert_eq!(w.edges_traversed(), 10);
+/// assert_eq!(w.get(WorkMetric::EdgesTraversed), 10);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkStats {
+    counts: [u64; 6],
+}
+
+impl WorkStats {
+    /// The counter for `metric`.
+    pub fn get(&self, metric: WorkMetric) -> u64 {
+        self.counts[metric.index()]
+    }
+
+    /// Adds `n` to the counter for `metric`.
+    pub fn add(&mut self, metric: WorkMetric, n: u64) {
+        self.counts[metric.index()] += n;
+    }
+
+    /// Edges examined by signal functions.
+    pub fn edges_traversed(&self) -> u64 {
+        self.get(WorkMetric::EdgesTraversed)
+    }
+
+    /// Destination entries examined.
+    pub fn vertices_examined(&self) -> u64 {
+        self.get(WorkMetric::VerticesExamined)
+    }
+
+    /// Destinations skipped on received dependency.
+    pub fn skipped_by_dep(&self) -> u64 {
+        self.get(WorkMetric::SkippedByDep)
+    }
+
+    /// Update messages emitted by signals.
+    pub fn updates_emitted(&self) -> u64 {
+        self.get(WorkMetric::UpdatesEmitted)
+    }
+
+    /// Pull iterations executed.
+    pub fn pull_iterations(&self) -> u64 {
+        self.get(WorkMetric::PullIterations)
+    }
+
+    /// Push iterations executed.
+    pub fn push_iterations(&self) -> u64 {
+        self.get(WorkMetric::PushIterations)
+    }
+
+    /// Merges another machine's counters into this one: work counters sum,
+    /// iteration counts take the max (they are SPMD-wide).
+    pub fn merge(&mut self, other: &WorkStats) {
+        for metric in WorkMetric::ALL {
+            let i = metric.index();
+            if metric.is_iteration_count() {
+                self.counts[i] = self.counts[i].max(other.counts[i]);
+            } else {
+                self.counts[i] += other.counts[i];
+            }
+        }
+    }
+}
+
+/// Deprecated name for [`WorkStats`].
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to WorkStats; the loose pub u64 fields became typed WorkMetric accessors"
+)]
+pub type WorkerStats = WorkStats;
+
+/// Time facet of a run: the modelled makespan, the host wall clock, and
+/// the per-category virtual-time breakdown (summed across machines).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimeStats {
+    /// Modelled makespan on the emulated cluster (seconds of virtual
+    /// time; the maximum machine clock).
+    pub virtual_secs: f64,
     /// Host wall-clock time of the simulation (not comparable to paper
     /// numbers; see DESIGN.md).
     pub wall: Duration,
-    /// Sum of all machines' worker counters.
-    pub work: WorkerStats,
+    breakdown: [f64; 6],
+}
+
+impl TimeStats {
+    /// Builds the time facet from a finished trace.
+    pub fn from_trace(virtual_secs: f64, wall: Duration, trace: &Trace) -> Self {
+        let mut breakdown = [0.0; 6];
+        for cat in SpanCategory::ALL {
+            breakdown[cat.index()] = trace.time(cat);
+        }
+        TimeStats {
+            virtual_secs,
+            wall,
+            breakdown,
+        }
+    }
+
+    /// Virtual seconds attributed to `cat`, summed across machines.
+    ///
+    /// Note the sum over machines of *all* categories is roughly
+    /// `machines × virtual_secs`, not `virtual_secs`: every machine's full
+    /// timeline is categorized.
+    pub fn category(&self, cat: SpanCategory) -> f64 {
+        self.breakdown[cat.index()]
+    }
+
+    /// Total categorized virtual seconds (all machines, all categories).
+    pub fn accounted(&self) -> f64 {
+        self.breakdown.iter().sum()
+    }
+}
+
+/// Aggregated result of a distributed run: time, work, and communication,
+/// plus the raw per-machine trace they were derived from.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Time facet: virtual makespan, wall clock, category breakdown.
+    pub time: TimeStats,
+    /// Sum of all machines' typed work counters.
+    pub work: WorkStats,
     /// Sum of all machines' communication.
     pub comm: CommStats,
+    /// Per-machine categorized attribution (export with
+    /// [`Trace::to_chrome_json`], summarise with [`RunStats::metrics`]).
+    pub trace: Trace,
 }
 
 impl RunStats {
+    /// Modelled makespan in virtual seconds (shorthand for
+    /// `self.time.virtual_secs`).
+    pub fn virtual_time(&self) -> f64 {
+        self.time.virtual_secs
+    }
+
+    /// Host wall-clock time (shorthand for `self.time.wall`).
+    pub fn wall(&self) -> Duration {
+        self.time.wall
+    }
+
     /// Edges traversed normalised to a graph's edge count — Table 5's
     /// reporting unit.
     pub fn edges_normalized(&self, num_edges: usize) -> f64 {
         if num_edges == 0 {
             0.0
         } else {
-            self.work.edges_traversed as f64 / num_edges as f64
+            self.work.edges_traversed() as f64 / num_edges as f64
         }
+    }
+
+    /// The structured metrics report for this run (categorized totals per
+    /// machine and per (iteration, step, group) cell).
+    pub fn metrics(&self) -> MetricsReport {
+        MetricsReport::from_trace(&self.trace, self.time.virtual_secs)
     }
 }
 
@@ -66,10 +255,10 @@ impl fmt::Display for RunStats {
         write!(
             f,
             "virtual {:.4}s, wall {:?}, edges {}, skips {}, comm [{}]",
-            self.virtual_time,
-            self.wall,
-            self.work.edges_traversed,
-            self.work.skipped_by_dep,
+            self.time.virtual_secs,
+            self.time.wall,
+            self.work.edges_traversed(),
+            self.work.skipped_by_dep(),
             self.comm
         )
     }
@@ -78,45 +267,67 @@ impl fmt::Display for RunStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use symple_trace::{ByteCategory, TraceLevel, TraceRecorder};
 
     #[test]
     fn merge_sums_counters_and_maxes_iterations() {
-        let mut a = WorkerStats {
-            edges_traversed: 10,
-            vertices_examined: 4,
-            skipped_by_dep: 1,
-            updates_emitted: 2,
-            pull_iterations: 3,
-            push_iterations: 0,
-        };
-        let b = WorkerStats {
-            edges_traversed: 5,
-            vertices_examined: 6,
-            skipped_by_dep: 2,
-            updates_emitted: 1,
-            pull_iterations: 3,
-            push_iterations: 1,
-        };
+        let mut a = WorkStats::default();
+        a.add(WorkMetric::EdgesTraversed, 10);
+        a.add(WorkMetric::VerticesExamined, 4);
+        a.add(WorkMetric::SkippedByDep, 1);
+        a.add(WorkMetric::UpdatesEmitted, 2);
+        a.add(WorkMetric::PullIterations, 3);
+        let mut b = WorkStats::default();
+        b.add(WorkMetric::EdgesTraversed, 5);
+        b.add(WorkMetric::VerticesExamined, 6);
+        b.add(WorkMetric::SkippedByDep, 2);
+        b.add(WorkMetric::UpdatesEmitted, 1);
+        b.add(WorkMetric::PullIterations, 3);
+        b.add(WorkMetric::PushIterations, 1);
         a.merge(&b);
-        assert_eq!(a.edges_traversed, 15);
-        assert_eq!(a.vertices_examined, 10);
-        assert_eq!(a.skipped_by_dep, 3);
-        assert_eq!(a.updates_emitted, 3);
-        assert_eq!(a.pull_iterations, 3, "iterations are SPMD-max, not sum");
-        assert_eq!(a.push_iterations, 1);
+        assert_eq!(a.edges_traversed(), 15);
+        assert_eq!(a.vertices_examined(), 10);
+        assert_eq!(a.skipped_by_dep(), 3);
+        assert_eq!(a.updates_emitted(), 3);
+        assert_eq!(a.pull_iterations(), 3, "iterations are SPMD-max, not sum");
+        assert_eq!(a.push_iterations(), 1);
     }
 
     #[test]
     fn normalization() {
+        let mut work = WorkStats::default();
+        work.add(WorkMetric::EdgesTraversed, 50);
         let stats = RunStats {
-            work: WorkerStats {
-                edges_traversed: 50,
-                ..Default::default()
-            },
+            work,
             ..Default::default()
         };
         assert!((stats.edges_normalized(100) - 0.5).abs() < 1e-12);
         assert_eq!(stats.edges_normalized(0), 0.0);
+    }
+
+    #[test]
+    fn time_breakdown_from_trace() {
+        let mut rec = TraceRecorder::new(0, TraceLevel::Metrics);
+        rec.record_span(SpanCategory::Compute, 0.0, 2.0);
+        rec.record_span(SpanCategory::DepWait, 2.0, 2.5);
+        let trace = Trace::new(vec![rec.finish()]);
+        let time = TimeStats::from_trace(2.5, Duration::from_millis(1), &trace);
+        assert_eq!(time.category(SpanCategory::Compute), 2.0);
+        assert_eq!(time.category(SpanCategory::DepWait), 0.5);
+        assert!((time.accounted() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_report_reflects_trace() {
+        let mut rec = TraceRecorder::new(0, TraceLevel::Metrics);
+        rec.record_bytes(ByteCategory::Dependency, 64, 2);
+        let stats = RunStats {
+            trace: Trace::new(vec![rec.finish()]),
+            ..Default::default()
+        };
+        let report = stats.metrics();
+        assert_eq!(report.bytes(ByteCategory::Dependency), 64);
+        assert_eq!(report.machines, 1);
     }
 
     #[test]

@@ -12,11 +12,23 @@
 //!   only within the machine-local segment;
 //! * **Galois** — Gemini compute plus a Gluon-style broadcast phase
 //!   (masters push applied updates back to all peers) and a BSP barrier.
+//!
+//! # Collectives
+//!
+//! Two families, both collective (every machine must participate):
+//!
+//! * **Reductions** — [`Worker::allreduce`] combines one value per machine
+//!   with a caller-supplied operator; every machine gets the result.
+//! * **Owner-wins sync** — [`Worker::sync_bitmap`],
+//!   [`Worker::sync_values`], and [`Worker::sync_changed`] reconcile a
+//!   replicated per-vertex array by letting each vertex's *owner* (master)
+//!   overwrite everyone else's copy. They differ only in payload shape:
+//!   packed bit-words, a dense slice, or sparse `(vid, value)` deltas.
 
 use crate::circulant::{dst_partition, processing_order};
 use crate::{
-    DepLayout, DepState, EngineConfig, LocalGraph, Partition, Policy, PullProgram,
-    PushProgram, WorkerStats,
+    DepLayout, DepState, EngineConfig, LocalGraph, Partition, Policy, PullProgram, PushProgram,
+    WorkMetric, WorkStats,
 };
 use std::ops::Range;
 use symple_graph::{Bitmap, Graph, Vid};
@@ -31,7 +43,7 @@ pub struct Worker<'a> {
     part: Partition,
     layout: DepLayout,
     local: LocalGraph,
-    stats: WorkerStats,
+    stats: WorkStats,
     iter_seq: u64,
 }
 
@@ -50,7 +62,9 @@ impl<'a> Worker<'a> {
     /// Panics if the configuration is invalid or its machine count differs
     /// from the cluster's.
     pub fn new(ctx: &'a mut NodeCtx, graph: &'a Graph, cfg: &'a EngineConfig) -> Self {
-        cfg.validate();
+        if let Err(e) = cfg.validate() {
+            panic!("invalid engine config: {e}");
+        }
         assert_eq!(
             cfg.machines,
             ctx.world(),
@@ -70,7 +84,7 @@ impl<'a> Worker<'a> {
             part,
             layout,
             local,
-            stats: WorkerStats::default(),
+            stats: WorkStats::default(),
             iter_seq: 0,
         }
     }
@@ -125,7 +139,7 @@ impl<'a> Worker<'a> {
     }
 
     /// This machine's accumulated counters.
-    pub fn stats(&self) -> WorkerStats {
+    pub fn stats(&self) -> WorkStats {
         self.stats
     }
 
@@ -134,25 +148,57 @@ impl<'a> Worker<'a> {
         self.ctx.virtual_clock()
     }
 
+    /// Reduces one value per machine with `op`; every machine gets the
+    /// result. `op` must be associative and commutative (values are folded
+    /// in rank order, so merely-associative operators are also fine).
+    /// Collective.
+    ///
+    /// ```no_run
+    /// # fn demo(w: &mut symple_core::Worker) {
+    /// let total = w.allreduce(w.masters().count() as u64, |a, b| a + b);
+    /// let any_active = w.allreduce(total > 0, |a, b| a | b);
+    /// let coldest = w.allreduce(w.virtual_clock(), f64::min);
+    /// # }
+    /// ```
+    pub fn allreduce<T, F>(&mut self, v: T, op: F) -> T
+    where
+        T: Wire + Copy,
+        F: Fn(T, T) -> T,
+    {
+        let all = self
+            .ctx
+            .allgather_bytes(symple_net::encode_slice(&[v]), CommKind::Sync);
+        all.iter()
+            .map(|bytes| T::read(bytes))
+            .reduce(op)
+            .expect("allgather returns one value per machine")
+    }
+
     /// Sums `v` across machines. Collective.
+    #[deprecated(since = "0.2.0", note = "use allreduce(v, |a, b| a + b)")]
     pub fn allreduce_sum(&mut self, v: u64) -> u64 {
-        self.ctx.allreduce_u64_sum(v)
+        self.allreduce(v, |a, b| a + b)
     }
 
     /// ORs `v` across machines. Collective.
+    #[deprecated(since = "0.2.0", note = "use allreduce(v, |a, b| a | b)")]
     pub fn allreduce_or(&mut self, v: bool) -> bool {
-        self.ctx.allreduce_bool_or(v)
+        self.allreduce(v, |a, b| a | b)
     }
 
     /// Synchronises a full-length bitmap: every machine's master slice
-    /// *overwrites* the others' copies (cleared bits propagate).
-    /// Collective.
+    /// *overwrites* the others' copies (cleared bits propagate). Part of
+    /// the owner-wins sync family (see the module docs). Collective.
     ///
     /// # Panics
     ///
     /// Panics if `bm.len()` differs from the graph's vertex count.
     pub fn sync_bitmap(&mut self, bm: &mut Bitmap) {
-        assert_eq!(bm.len(), self.graph.num_vertices(), "bitmap length mismatch");
+        assert_eq!(
+            bm.len(),
+            self.graph.num_vertices(),
+            "bitmap length mismatch"
+        );
         let rank = self.ctx.rank();
         let (lo, hi) = self.part.range(rank);
         let payload = if lo == hi {
@@ -175,13 +221,18 @@ impl<'a> Worker<'a> {
     }
 
     /// Synchronises a full-length per-vertex value array: every machine's
-    /// master slice overwrites the others' copies. Collective.
+    /// master slice overwrites the others' copies. Part of the owner-wins
+    /// sync family (see the module docs). Collective.
     ///
     /// # Panics
     ///
     /// Panics if `arr.len()` differs from the graph's vertex count.
     pub fn sync_values<T: Wire + Copy>(&mut self, arr: &mut [T]) {
-        assert_eq!(arr.len(), self.graph.num_vertices(), "array length mismatch");
+        assert_eq!(
+            arr.len(),
+            self.graph.num_vertices(),
+            "array length mismatch"
+        );
         let rank = self.ctx.rank();
         let (lo, hi) = self.part.range(rank);
         let payload = symple_net::encode_slice(&arr[lo.index()..hi.index()]);
@@ -198,8 +249,9 @@ impl<'a> Worker<'a> {
 
     /// Sparse delta-sync of a per-vertex array: each machine broadcasts
     /// `(vid, value)` pairs for its `changed` master vertices; receivers
-    /// patch their copies. Collective. This is how iteration state whose
-    /// active set is small (e.g. newly clustered vertices) is kept in sync
+    /// patch their copies. Part of the owner-wins sync family (see the
+    /// module docs). Collective. This is how iteration state whose active
+    /// set is small (e.g. newly clustered vertices) is kept in sync
     /// without shipping whole arrays.
     ///
     /// # Panics
@@ -252,7 +304,7 @@ impl<'a> Worker<'a> {
         let rank = self.ctx.rank();
         self.iter_seq += 1;
         let iter = self.iter_seq;
-        self.stats.pull_iterations += 1;
+        self.stats.add(WorkMetric::PullIterations, 1);
         let scratch = self.layout.max_slots();
         let symple = self.cfg.policy.propagates_dependency();
         let galois = matches!(self.cfg.policy, Policy::Galois);
@@ -262,6 +314,7 @@ impl<'a> Worker<'a> {
         let mut local_updates: Vec<u8> = Vec::new();
 
         for s in 0..p {
+            self.ctx.set_trace_scope(iter as u32, s as u32, 0);
             let j = dst_partition(rank, s, p);
             let first = s == 0;
             let last = s + 1 == p;
@@ -366,16 +419,14 @@ impl<'a> Worker<'a> {
                     self.ctx.compute(lo_edges, bucket.lo.len() as u64);
                 }
                 for g in 0..groups {
+                    self.ctx.set_trace_scope(iter as u32, s as u32, g as u32);
                     let slot_range = group_range(g, groups, n_slots);
                     if !slot_range.is_empty() {
                         if first {
                             dep.reset_range(slot_range.clone());
                         } else {
-                            let tag = Tag::new(
-                                TagKind::Dep,
-                                iter * p as u64 + (s as u64 - 1),
-                                g as u32,
-                            );
+                            let tag =
+                                Tag::new(TagKind::Dep, iter * p as u64 + (s as u64 - 1), g as u32);
                             let buf = self.ctx.recv(right, tag);
                             dep.decode_range(slot_range.clone(), &buf);
                         }
@@ -410,18 +461,18 @@ impl<'a> Worker<'a> {
                     if !last && !slot_range.is_empty() {
                         let mut payload = Vec::new();
                         dep.encode_range(slot_range, &mut payload);
-                        let tag =
-                            Tag::new(TagKind::Dep, iter * p as u64 + s as u64, g as u32);
+                        let tag = Tag::new(TagKind::Dep, iter * p as u64 + s as u64, g as u32);
                         self.ctx.send(left, tag, CommKind::Dependency, payload);
                     }
                 }
             }
 
-            self.stats.edges_traversed += edges;
-            self.stats.vertices_examined += verts;
-            self.stats.skipped_by_dep += skipped;
-            self.stats.updates_emitted += emitted;
+            self.stats.add(WorkMetric::EdgesTraversed, edges);
+            self.stats.add(WorkMetric::VerticesExamined, verts);
+            self.stats.add(WorkMetric::SkippedByDep, skipped);
+            self.stats.add(WorkMetric::UpdatesEmitted, emitted);
 
+            self.ctx.set_trace_scope(iter as u32, s as u32, 0);
             if j == rank {
                 local_updates = outbox;
             } else {
@@ -438,10 +489,13 @@ impl<'a> Worker<'a> {
         let mut activated = 0u64;
         let mut feedback: Vec<u8> = Vec::new();
         for m in processing_order(rank, p) {
+            // Attribute apply-phase time to the step at which machine `m`
+            // produced (and sent) the buffer being consumed.
+            let s = (rank + p - 1 - m) % p;
+            self.ctx.set_trace_scope(iter as u32, s as u32, 0);
             let buf = if m == rank {
                 std::mem::take(&mut local_updates)
             } else {
-                let s = (rank + p - 1 - m) % p;
                 let tag = Tag::new(TagKind::Update, iter * p as u64 + s as u64, 0);
                 self.ctx.recv(m, tag)
             };
@@ -490,7 +544,8 @@ impl<'a> Worker<'a> {
         let rank = self.ctx.rank();
         self.iter_seq += 1;
         let iter = self.iter_seq;
-        self.stats.push_iterations += 1;
+        self.stats.add(WorkMetric::PushIterations, 1);
+        self.ctx.set_trace_scope(iter as u32, 0, 0);
         let galois = matches!(self.cfg.policy, Policy::Galois);
 
         let mut outboxes: Vec<Vec<u8>> = vec![Vec::new(); p];
@@ -506,15 +561,17 @@ impl<'a> Worker<'a> {
                 emitted += 1;
             });
         }
-        self.stats.edges_traversed += edges;
-        self.stats.vertices_examined += frontier.len() as u64;
-        self.stats.updates_emitted += emitted;
+        self.stats.add(WorkMetric::EdgesTraversed, edges);
+        self.stats
+            .add(WorkMetric::VerticesExamined, frontier.len() as u64);
+        self.stats.add(WorkMetric::UpdatesEmitted, emitted);
         self.ctx.compute(edges, frontier.len() as u64);
 
         let tag = Tag::new(TagKind::Update, iter * p as u64, 0);
         for (m, outbox) in outboxes.iter_mut().enumerate() {
             if m != rank {
-                self.ctx.send(m, tag, CommKind::Update, std::mem::take(outbox));
+                self.ctx
+                    .send(m, tag, CommKind::Update, std::mem::take(outbox));
             }
         }
 

@@ -137,7 +137,7 @@ fn update_bytes_equal_emissions_times_pair_size() {
         });
         // every emission is applied exactly once...
         let applied: u64 = res.outputs.iter().sum();
-        assert_eq!(applied, res.stats.work.updates_emitted);
+        assert_eq!(applied, res.stats.work.updates_emitted());
         // ...and the bytes on the wire are (vid + u32) per *remote*
         // emission; local-bucket emissions never hit the network, so
         // wire bytes are at most emissions × 8 and divisible by 8.

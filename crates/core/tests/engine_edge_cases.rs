@@ -85,7 +85,10 @@ fn more_machines_than_occupied_partitions() {
     assert!(gem > 0 && sym > 0);
     // ToyProgram breaks, so dependency propagation may only reduce
     // deliveries — never change the protocol's ability to terminate.
-    assert!(sym <= gem, "dependency must not add deliveries ({sym} vs {gem})");
+    assert!(
+        sym <= gem,
+        "dependency must not add deliveries ({sym} vs {gem})"
+    );
 }
 
 #[test]
@@ -171,11 +174,11 @@ fn virtual_time_increases_with_machines_for_fixed_latency_share() {
             let mut dep = BitDep::new(w.dep_slots_needed());
             w.pull(&ToyProgram, &mut dep, &mut |_, _| true)
         });
-        assert!(res.stats.virtual_time.is_finite());
+        assert!(res.stats.virtual_time().is_finite());
         if machines > 1 {
-            assert!(res.stats.virtual_time > 0.0);
+            assert!(res.stats.virtual_time() > 0.0);
         }
-        last = Some(res.stats.virtual_time);
+        last = Some(res.stats.virtual_time());
     }
     assert!(last.unwrap() > 0.0);
 }

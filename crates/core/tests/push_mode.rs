@@ -42,7 +42,7 @@ fn push_delivers_every_edge_once_to_the_master() {
             let mut expect: Vec<(Vid, Vid)> = g.edges().collect();
             expect.sort();
             assert_eq!(got, expect, "p={p}, {policy:?}");
-            assert_eq!(res.stats.work.edges_traversed, g.num_edges() as u64);
+            assert_eq!(res.stats.work.edges_traversed(), g.num_edges() as u64);
         }
     }
 }

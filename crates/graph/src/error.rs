@@ -63,9 +63,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = GraphError::VertexOutOfBounds { vid: 9, num_vertices: 4 };
+        let e = GraphError::VertexOutOfBounds {
+            vid: 9,
+            num_vertices: 4,
+        };
         assert!(e.to_string().contains("vertex id 9"));
-        let e = GraphError::ParseEdge { line: 3, content: "a b".into() };
+        let e = GraphError::ParseEdge {
+            line: 3,
+            content: "a b".into(),
+        };
         assert!(e.to_string().contains("line 3"));
         let e = GraphError::from(io::Error::other("x"));
         assert!(e.to_string().contains("i/o error"));
@@ -76,7 +82,10 @@ mod tests {
         use std::error::Error;
         let e = GraphError::from(io::Error::other("x"));
         assert!(e.source().is_some());
-        let e = GraphError::ParseEdge { line: 1, content: String::new() };
+        let e = GraphError::ParseEdge {
+            line: 1,
+            content: String::new(),
+        };
         assert!(e.source().is_none());
     }
 }

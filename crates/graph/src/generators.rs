@@ -6,9 +6,7 @@
 //! Barabási–Albert generators provide non-R-MAT random graphs for shape
 //! checks.
 
-use crate::{Graph, GraphBuilder, Vid};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::{Graph, GraphBuilder, Rng64, Vid};
 
 /// Undirected path `0 – 1 – … – (n−1)` (each edge in both directions).
 pub fn path(n: usize) -> Graph {
@@ -88,11 +86,11 @@ pub fn complete(n: usize) -> Graph {
 /// Panics if `p` is not in `[0, 1]`.
 pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
     assert!((0.0..=1.0).contains(&p), "probability out of range");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     for i in 0..n {
         for j in 0..n {
-            if i != j && rng.gen::<f64>() < p {
+            if i != j && rng.gen_f64() < p {
                 b.add_edge(Vid::from_index(i), Vid::from_index(j));
             }
         }
@@ -111,7 +109,7 @@ pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
 pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
     assert!(m > 0, "attachment count must be positive");
     assert!(n > m, "need more vertices than the attachment count");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     // Repeated-endpoint list: sampling uniformly from it is sampling
     // proportionally to degree.
@@ -127,7 +125,7 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
     for v in (m + 1)..n {
         let mut chosen = Vec::with_capacity(m);
         while chosen.len() < m {
-            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            let t = endpoints[rng.gen_index(endpoints.len())];
             if !chosen.contains(&t) {
                 chosen.push(t);
             }

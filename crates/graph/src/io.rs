@@ -112,14 +112,20 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<Graph> {
         content: what.to_string(),
     };
     let mut magic = [0u8; 8];
-    reader.read_exact(&mut magic).map_err(|_| bad("missing magic"))?;
+    reader
+        .read_exact(&mut magic)
+        .map_err(|_| bad("missing magic"))?;
     if &magic != BINARY_MAGIC {
         return Err(bad("bad magic header"));
     }
     let mut word = [0u8; 8];
-    reader.read_exact(&mut word).map_err(|_| bad("missing vertex count"))?;
+    reader
+        .read_exact(&mut word)
+        .map_err(|_| bad("missing vertex count"))?;
     let n = u64::from_le_bytes(word) as usize;
-    reader.read_exact(&mut word).map_err(|_| bad("missing edge count"))?;
+    reader
+        .read_exact(&mut word)
+        .map_err(|_| bad("missing edge count"))?;
     let m = u64::from_le_bytes(word) as usize;
     let mut payload = vec![0u8; m * 8];
     reader

@@ -38,6 +38,7 @@ mod generators;
 mod graph;
 mod io;
 mod rmat;
+mod rng;
 mod stats;
 mod vertex_set;
 mod vid;
@@ -46,12 +47,11 @@ pub use bitmap::{Bitmap, IterOnes};
 pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use error::{GraphError, Result};
-pub use generators::{
-    barabasi_albert, complete, cycle, erdos_renyi, grid, path, star,
-};
+pub use generators::{barabasi_albert, complete, cycle, erdos_renyi, grid, path, star};
 pub use graph::Graph;
 pub use io::{read_binary, read_edge_list, write_binary, write_edge_list};
 pub use rmat::{rmat, RmatConfig};
+pub use rng::Rng64;
 pub use stats::{high_degree_vertices, in_degree_histogram, DegreeStats, GraphStats};
 pub use vertex_set::VertexSubset;
 pub use vid::{Vid, VidRange};

@@ -8,9 +8,7 @@
 //! Our stand-ins for the real-world datasets (Twitter-2010 etc.) are also
 //! R-MAT graphs with matching edge factors; see `DESIGN.md` §2.
 
-use crate::{Graph, GraphBuilder, Vid};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::{Graph, GraphBuilder, Rng64, Vid};
 
 /// Configuration for the R-MAT generator.
 ///
@@ -91,7 +89,7 @@ pub fn rmat(config: RmatConfig) -> Graph {
     );
     let n = 1usize << config.scale;
     let m = n * config.edge_factor as usize;
-    let mut rng = StdRng::seed_from_u64(config.rng_seed);
+    let mut rng = Rng64::seed_from_u64(config.rng_seed);
     let mut builder = GraphBuilder::new(n);
     for _ in 0..m {
         let (src, dst) = sample_edge(config.scale, a, b, c, &mut rng);
@@ -104,13 +102,13 @@ pub fn rmat(config: RmatConfig) -> Graph {
 }
 
 /// Draws one edge by descending `scale` levels of the recursive matrix.
-fn sample_edge(scale: u32, a: f64, b: f64, c: f64, rng: &mut StdRng) -> (u32, u32) {
+fn sample_edge(scale: u32, a: f64, b: f64, c: f64, rng: &mut Rng64) -> (u32, u32) {
     let mut src = 0u32;
     let mut dst = 0u32;
     for _ in 0..scale {
         src <<= 1;
         dst <<= 1;
-        let r: f64 = rng.gen();
+        let r = rng.gen_f64();
         if r < a {
             // top-left: neither bit set
         } else if r < a + b {

@@ -1,0 +1,132 @@
+//! Minimal deterministic pseudo-random number generator.
+//!
+//! The container this reproduction builds in has no network access, so the
+//! `rand` crate is unavailable; the generators only ever needed a seedable
+//! uniform source, which this module provides. The core is SplitMix64
+//! (Steele, Lea & Flood 2014) — a tiny, well-mixed 64-bit generator whose
+//! streams are fully determined by the seed, which is exactly the
+//! determinism guarantee the test suites and the virtual-time engine rely
+//! on (DESIGN.md §6). Not cryptographic; never used for security.
+
+/// A seedable deterministic 64-bit PRNG (SplitMix64).
+///
+/// # Example
+///
+/// ```
+/// use symple_graph::Rng64;
+/// let mut a = Rng64::seed_from_u64(7);
+/// let mut b = Rng64::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.gen_f64();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator whose entire stream is determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // Pre-advance once so seed 0 doesn't start at the fixed point.
+        let mut rng = Rng64 { state: seed };
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[0, bound)` via rejection sampling (no modulo
+    /// bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "gen_index bound must be positive");
+        let bound = bound as u64;
+        // Lemire-style rejection: draw until the value falls inside the
+        // largest multiple of `bound`.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return (v % bound) as usize;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = Rng64::seed_from_u64(42);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng64::seed_from_u64(42);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut r = Rng64::seed_from_u64(43);
+        assert_ne!(a[0], r.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng64::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_is_roughly_uniform() {
+        let mut r = Rng64::seed_from_u64(9);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.gen_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn index_respects_bound() {
+        let mut r = Rng64::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let i = r.gen_index(7);
+            assert!(i < 7);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bound_panics() {
+        Rng64::seed_from_u64(0).gen_index(0);
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = Rng64::seed_from_u64(0);
+        assert_ne!(r.next_u64(), 0);
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+}

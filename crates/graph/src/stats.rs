@@ -83,10 +83,7 @@ impl GraphStats {
         GraphStats {
             num_vertices: n,
             num_edges: graph.num_edges(),
-            in_degrees: DegreeStats::from_degrees(
-                graph.vertices().map(|v| graph.in_degree(v)),
-                n,
-            ),
+            in_degrees: DegreeStats::from_degrees(graph.vertices().map(|v| graph.in_degree(v)), n),
             out_degrees: DegreeStats::from_degrees(
                 graph.vertices().map(|v| graph.out_degree(v)),
                 n,

@@ -145,9 +145,7 @@ impl VertexSubset {
                 m.sort_unstable();
                 m
             }
-            VertexSubset::Dense { bits, .. } => {
-                bits.iter_ones().map(Vid::from_index).collect()
-            }
+            VertexSubset::Dense { bits, .. } => bits.iter_ones().map(Vid::from_index).collect(),
         }
     }
 

@@ -6,12 +6,7 @@ use proptest::prelude::*;
 use symple_graph::{read_edge_list, write_edge_list, Bitmap, GraphBuilder, Vid};
 
 fn arb_edges(max_n: u32, max_m: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
-    (2..max_n).prop_flat_map(move |n| {
-        (
-            Just(n),
-            proptest::collection::vec((0..n, 0..n), 0..max_m),
-        )
-    })
+    (2..max_n).prop_flat_map(move |n| (Just(n), proptest::collection::vec((0..n, 0..n), 0..max_m)))
 }
 
 proptest! {

@@ -8,8 +8,9 @@
 //! hangs.
 
 use crate::{CommKind, CommStats, CostModel};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::time::{Duration, Instant};
+use symple_trace::{SpanCategory, Trace, TraceLevel, TraceRecorder};
 
 /// Message tag kinds. The engine uses [`TagKind::Dep`] for dependency
 /// messages, [`TagKind::Update`] for signal/slot updates; collectives use
@@ -69,6 +70,8 @@ pub struct NodeCtx {
     stats: CommStats,
     coll_epoch: u64,
     recv_timeout: Duration,
+    trace: TraceRecorder,
+    in_barrier: bool,
 }
 
 impl NodeCtx {
@@ -100,12 +103,42 @@ impl NodeCtx {
     /// Advances the virtual clock by the modelled cost of visiting
     /// `edges` edges and `vertices` vertex headers.
     pub fn compute(&mut self, edges: u64, vertices: u64) {
+        let start = self.clock;
         self.clock += self.cost.compute_time(edges, vertices);
+        self.trace
+            .record_span(SpanCategory::Compute, start, self.clock);
     }
 
     /// Advances the virtual clock by `seconds` of arbitrary modelled work.
     pub fn advance(&mut self, seconds: f64) {
+        let start = self.clock;
         self.clock += seconds;
+        self.trace
+            .record_span(SpanCategory::Compute, start, self.clock);
+    }
+
+    /// The trace recorder attributing this node's virtual time and bytes.
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// Sets the (iteration, circulant step, buffer group) scope that
+    /// subsequent clock advances and byte movements are attributed to.
+    pub fn set_trace_scope(&mut self, iteration: u32, step: u32, group: u32) {
+        self.trace.set_scope(iteration, step, group);
+    }
+
+    /// The span category charged for time spent waiting on a message of
+    /// `kind`: dependency messages are the loop-carried chain
+    /// ([`SpanCategory::DepWait`]), collectives split into barrier wait vs
+    /// other collectives, and everything else is update traffic.
+    fn wait_category(&self, kind: TagKind) -> SpanCategory {
+        match kind {
+            TagKind::Dep => SpanCategory::DepWait,
+            TagKind::Collective if self.in_barrier => SpanCategory::Barrier,
+            TagKind::Collective => SpanCategory::Collective,
+            TagKind::Update | TagKind::User => SpanCategory::Send,
+        }
     }
 
     /// Sends `payload` to `dst` with the given tag, accounted under `kind`.
@@ -117,8 +150,13 @@ impl NodeCtx {
     pub fn send(&mut self, dst: usize, tag: Tag, kind: CommKind, payload: Vec<u8>) {
         assert!(dst < self.world, "destination rank {dst} out of range");
         assert_ne!(dst, self.rank, "self-send is a protocol error");
+        let start = self.clock;
         self.clock += self.cost.msg_overhead_sec;
+        self.trace
+            .record_span(SpanCategory::Serialize, start, self.clock);
         self.stats.record(kind, payload.len() as u64);
+        self.trace
+            .record_bytes(kind.byte_category(), payload.len() as u64, 1);
         let env = Envelope {
             src: self.rank,
             tag,
@@ -174,7 +212,10 @@ impl NodeCtx {
     fn arrive(&mut self, env: Envelope) -> Vec<u8> {
         let arrival = env.depart + self.cost.transfer_time(env.payload.len() as u64);
         if arrival > self.clock {
+            let start = self.clock;
+            let category = self.wait_category(env.tag.kind);
             self.clock = arrival;
+            self.trace.record_span(category, start, self.clock);
         }
         env.payload
     }
@@ -212,13 +253,18 @@ impl NodeCtx {
     pub fn barrier(&mut self) {
         let mut buf = Vec::with_capacity(8);
         crate::Wire::write(&self.clock, &mut buf);
+        self.in_barrier = true;
         let all = self.allgather_bytes(buf, CommKind::Sync);
+        self.in_barrier = false;
         let max = all
             .iter()
             .map(|b| <f64 as crate::Wire>::read(b))
             .fold(f64::NEG_INFINITY, f64::max);
         if max > self.clock {
+            let start = self.clock;
             self.clock = max;
+            self.trace
+                .record_span(SpanCategory::Barrier, start, self.clock);
         }
     }
 
@@ -261,6 +307,9 @@ pub struct ClusterResult<T> {
     pub virtual_time: f64,
     /// Host wall-clock duration of the run.
     pub wall: Duration,
+    /// Categorized virtual-time and traffic attribution, one track per
+    /// machine (empty cells at [`TraceLevel::Off`]).
+    pub traces: Trace,
 }
 
 /// A simulated cluster: `p` nodes with a shared cost model.
@@ -287,6 +336,7 @@ pub struct Cluster {
     nodes: usize,
     cost: CostModel,
     recv_timeout: Duration,
+    trace_level: TraceLevel,
 }
 
 impl Cluster {
@@ -301,12 +351,19 @@ impl Cluster {
             nodes,
             cost,
             recv_timeout: Duration::from_secs(120),
+            trace_level: TraceLevel::default(),
         }
     }
 
     /// Overrides the deadlock-detection receive timeout.
     pub fn recv_timeout(mut self, timeout: Duration) -> Self {
         self.recv_timeout = timeout;
+        self
+    }
+
+    /// Sets how much each node records (default [`TraceLevel::Metrics`]).
+    pub fn trace_level(mut self, level: TraceLevel) -> Self {
+        self.trace_level = level;
         self
     }
 
@@ -329,12 +386,13 @@ impl Cluster {
         let mut txs: Vec<Sender<Envelope>> = Vec::with_capacity(p);
         let mut rxs: Vec<Receiver<Envelope>> = Vec::with_capacity(p);
         for _ in 0..p {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             txs.push(tx);
             rxs.push(rx);
         }
         let start = Instant::now();
-        let mut slots: Vec<Option<(T, CommStats, f64)>> = (0..p).map(|_| None).collect();
+        type Slot<T> = Option<(T, CommStats, f64, symple_trace::NodeTrace)>;
+        let mut slots: Vec<Slot<T>> = (0..p).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
             for (rank, (rx, slot)) in rxs.drain(..).zip(slots.iter_mut()).enumerate() {
@@ -342,6 +400,7 @@ impl Cluster {
                 let f = &f;
                 let cost = self.cost;
                 let recv_timeout = self.recv_timeout;
+                let trace_level = self.trace_level;
                 handles.push(scope.spawn(move || {
                     let mut ctx = NodeCtx {
                         rank,
@@ -354,11 +413,13 @@ impl Cluster {
                         stats: CommStats::default(),
                         coll_epoch: 0,
                         recv_timeout,
+                        trace: TraceRecorder::new(rank, trace_level),
+                        in_barrier: false,
                     };
                     let result =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
                     match result {
-                        Ok(out) => *slot = Some((out, ctx.stats, ctx.clock)),
+                        Ok(out) => *slot = Some((out, ctx.stats, ctx.clock, ctx.trace.finish())),
                         Err(e) => {
                             // fail fast: poison every peer so they don't
                             // wait out their receive timeouts
@@ -401,12 +462,14 @@ impl Cluster {
         let wall = start.elapsed();
         let mut outputs = Vec::with_capacity(p);
         let mut per_node_stats = Vec::with_capacity(p);
+        let mut node_traces = Vec::with_capacity(p);
         let mut total = CommStats::default();
         let mut virtual_time: f64 = 0.0;
         for slot in slots {
-            let (out, stats, clock) = slot.expect("node completed without result");
+            let (out, stats, clock, trace) = slot.expect("node completed without result");
             outputs.push(out);
             per_node_stats.push(stats);
+            node_traces.push(trace);
             total += stats;
             virtual_time = virtual_time.max(clock);
         }
@@ -416,6 +479,7 @@ impl Cluster {
             stats: total,
             virtual_time,
             wall,
+            traces: Trace::new(node_traces),
         }
     }
 }
@@ -441,12 +505,7 @@ mod tests {
             // ring: rank sends its rank to rank+1
             let next = (ctx.rank() + 1) % 3;
             let prev = (ctx.rank() + 2) % 3;
-            ctx.send(
-                next,
-                user_tag(0),
-                CommKind::Update,
-                vec![ctx.rank() as u8],
-            );
+            ctx.send(next, user_tag(0), CommKind::Update, vec![ctx.rank() as u8]);
             ctx.recv(prev, user_tag(0))[0]
         });
         assert_eq!(r.outputs, vec![2, 0, 1]);
@@ -599,5 +658,87 @@ mod tests {
     fn wall_time_recorded() {
         let r = Cluster::new(1, CostModel::zero()).run(|_| ());
         assert!(r.wall.as_nanos() > 0);
+    }
+
+    #[test]
+    fn trace_attributes_send_and_wait_categories() {
+        let cost = CostModel {
+            per_edge_sec: 2.0,
+            per_vertex_sec: 0.0,
+            msg_latency_sec: 1.0,
+            per_byte_sec: 0.5,
+            msg_overhead_sec: 0.25,
+        };
+        let r = Cluster::new(2, cost)
+            .trace_level(TraceLevel::Full)
+            .run(|ctx| {
+                ctx.set_trace_scope(0, ctx.rank() as u32, 0);
+                if ctx.rank() == 0 {
+                    ctx.compute(3, 0);
+                    ctx.send(
+                        1,
+                        Tag::new(TagKind::Dep, 7, 0),
+                        CommKind::Dependency,
+                        vec![0; 4],
+                    );
+                } else {
+                    ctx.recv(0, Tag::new(TagKind::Dep, 7, 0));
+                }
+            });
+        let sender = &r.traces.nodes[0];
+        let receiver = &r.traces.nodes[1];
+        assert!((sender.time(SpanCategory::Compute) - 6.0).abs() < 1e-12);
+        assert!((sender.time(SpanCategory::Serialize) - 0.25).abs() < 1e-12);
+        assert_eq!(sender.bytes(symple_trace::ByteCategory::Dependency), 4);
+        assert_eq!(sender.messages(symple_trace::ByteCategory::Dependency), 1);
+        // Receiver sat idle from 0 until arrival at 6.25 + 1.0 + 4*0.5.
+        assert!((receiver.time(SpanCategory::DepWait) - 9.25).abs() < 1e-12);
+        // Spans carry the scope the node set.
+        assert!(sender
+            .spans
+            .iter()
+            .all(|s| s.scope.step == 0 && s.scope.iteration == 0));
+        assert!(receiver.spans.iter().all(|s| s.scope.step == 1));
+        // Categorized bytes reconcile exactly with CommStats.
+        assert_eq!(
+            r.traces.bytes(symple_trace::ByteCategory::Dependency),
+            r.stats.bytes(CommKind::Dependency)
+        );
+    }
+
+    #[test]
+    fn trace_splits_barrier_from_other_collectives() {
+        let r = Cluster::new(2, CostModel::cluster_a())
+            .trace_level(TraceLevel::Metrics)
+            .run(|ctx| {
+                if ctx.rank() == 1 {
+                    ctx.advance(1.0);
+                }
+                ctx.barrier();
+                ctx.allreduce_u64_sum(1);
+            });
+        let lagging = &r.traces.nodes[0];
+        assert!(
+            lagging.time(SpanCategory::Barrier) > 0.9,
+            "rank 0 should wait out rank 1's head start in the barrier"
+        );
+        // Collective traffic is tagged as such.
+        assert_eq!(
+            r.traces.bytes(symple_trace::ByteCategory::Collective),
+            r.stats.bytes(CommKind::Sync)
+        );
+    }
+
+    #[test]
+    fn trace_level_off_records_nothing() {
+        let r = Cluster::new(2, CostModel::cluster_a())
+            .trace_level(TraceLevel::Off)
+            .run(|ctx| {
+                ctx.compute(100, 10);
+                ctx.barrier();
+            });
+        assert!(r.traces.nodes.iter().all(|n| n.cells.is_empty()));
+        // Raw stats still count.
+        assert!(r.stats.total_bytes() > 0);
     }
 }

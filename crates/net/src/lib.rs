@@ -3,7 +3,7 @@
 //! The paper evaluates on real clusters (16 × dual-Xeon nodes over 56 Gb/s
 //! InfiniBand, MPI one-sided RDMA). This crate substitutes an **in-process
 //! cluster**: each simulated machine is a thread, every inter-machine
-//! message travels through a crossbeam channel, and — crucially — every
+//! message travels through an in-process channel, and — crucially — every
 //! node maintains a **virtual clock** advanced by a configurable
 //! [`CostModel`]. Sends stamp the sender's clock; receives advance the
 //! receiver's clock to the modelled arrival time. Because the engine's
@@ -48,3 +48,9 @@ pub use cost::CostModel;
 pub use error::NetError;
 pub use stats::{CommKind, CommStats, COMM_KINDS};
 pub use wire::{decode_vec, encode_slice, Wire};
+
+// The tracing vocabulary is part of this crate's API surface
+// (`NodeCtx::trace`, `Cluster::trace_level`, `ClusterResult::traces`).
+pub use symple_trace::{
+    ByteCategory, MetricsReport, NodeTrace, Span, SpanCategory, Trace, TraceLevel, TraceRecorder,
+};

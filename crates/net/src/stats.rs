@@ -32,6 +32,16 @@ impl CommKind {
             CommKind::Sync => 2,
         }
     }
+
+    /// The trace byte category every message of this kind is tagged with
+    /// (sync traffic is collective traffic).
+    pub fn byte_category(self) -> symple_trace::ByteCategory {
+        match self {
+            CommKind::Update => symple_trace::ByteCategory::Update,
+            CommKind::Dependency => symple_trace::ByteCategory::Dependency,
+            CommKind::Sync => symple_trace::ByteCategory::Collective,
+        }
+    }
 }
 
 impl fmt::Display for CommKind {

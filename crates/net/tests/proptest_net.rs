@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use symple_graph::Vid;
-use symple_net::{
-    decode_vec, encode_slice, Cluster, CommKind, CostModel, Tag, TagKind,
-};
+use symple_net::{decode_vec, encode_slice, Cluster, CommKind, CostModel, Tag, TagKind};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -115,7 +113,12 @@ fn fifo_departure_order() {
         if ctx.rank() == 0 {
             for i in 0..20u64 {
                 ctx.advance(0.5);
-                ctx.send(1, Tag::new(TagKind::User, i, 0), CommKind::Update, vec![0; 8]);
+                ctx.send(
+                    1,
+                    Tag::new(TagKind::User, i, 0),
+                    CommKind::Update,
+                    vec![0; 8],
+                );
             }
             0.0
         } else {

@@ -1,0 +1,99 @@
+//! chrome://tracing (Trace Event Format) exporter.
+//!
+//! Produces the JSON-object form (`{"traceEvents": [...]}`), with virtual
+//! time on the x-axis (microseconds, as the format requires), one thread
+//! track per machine, and complete (`"ph":"X"`) events carrying the
+//! (iteration, step, group) scope in `args`. Load the output in
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+
+use crate::json::JsonWriter;
+use crate::Trace;
+
+impl Trace {
+    /// Renders the trace in Trace Event Format.
+    ///
+    /// Only materialised spans appear, so exporting a run recorded below
+    /// [`crate::TraceLevel::Full`] yields metadata-only output.
+    pub fn to_chrome_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("displayTimeUnit").string("ms");
+        w.key("traceEvents").begin_array();
+        for node in &self.nodes {
+            // Name the per-machine track.
+            w.begin_object();
+            w.key("name").string("thread_name");
+            w.key("ph").string("M");
+            w.key("pid").u64(0);
+            w.key("tid").u64(node.machine as u64);
+            w.key("args")
+                .begin_object()
+                .key("name")
+                .string(&format!("machine {}", node.machine))
+                .end_object();
+            w.end_object();
+            for span in &node.spans {
+                w.begin_object();
+                w.key("name").string(span.category.name());
+                w.key("cat").string(span.category.name());
+                w.key("ph").string("X");
+                w.key("ts").f64(span.start * 1e6);
+                w.key("dur").f64(span.duration() * 1e6);
+                w.key("pid").u64(0);
+                w.key("tid").u64(node.machine as u64);
+                w.key("args")
+                    .begin_object()
+                    .key("iteration")
+                    .u64(span.scope.iteration as u64)
+                    .key("step")
+                    .u64(span.scope.step as u64)
+                    .key("group")
+                    .u64(span.scope.group as u64)
+                    .end_object();
+                w.end_object();
+            }
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Writes [`Trace::to_chrome_json`] to `path`.
+    pub fn write_chrome_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SpanCategory, Trace, TraceLevel, TraceRecorder};
+
+    #[test]
+    fn export_contains_tracks_and_spans() {
+        let mut a = TraceRecorder::new(0, TraceLevel::Full);
+        a.set_scope(1, 2, 0);
+        a.record_span(SpanCategory::Compute, 0.0, 1e-3);
+        let mut b = TraceRecorder::new(1, TraceLevel::Full);
+        b.set_scope(1, 2, 0);
+        b.record_span(SpanCategory::DepWait, 1e-3, 3e-3);
+        let json = Trace::new(vec![a.finish(), b.finish()]).to_chrome_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("machine 0") && json.contains("machine 1"));
+        assert!(json.contains("\"name\":\"compute\""));
+        assert!(json.contains("\"name\":\"dep-wait\""));
+        // 1 ms compute span → ts 0, dur 1000 µs on track 0.
+        assert!(json.contains("\"ts\":0"));
+        assert!(json.contains("\"dur\":1000"));
+        assert!(json.contains("\"iteration\":1"));
+    }
+
+    #[test]
+    fn metrics_level_exports_metadata_only() {
+        let mut rec = TraceRecorder::new(0, TraceLevel::Metrics);
+        rec.record_span(SpanCategory::Compute, 0.0, 1.0);
+        let json = Trace::new(vec![rec.finish()]).to_chrome_json();
+        assert!(json.contains("thread_name"));
+        assert!(!json.contains("\"ph\":\"X\""));
+    }
+}

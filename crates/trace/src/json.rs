@@ -1,0 +1,175 @@
+//! A tiny JSON writer.
+//!
+//! The offline build cannot use `serde_json`, and the exporters only need
+//! to *produce* JSON, never parse it; this module provides just enough —
+//! string escaping, locale-independent number formatting, and a
+//! push-based object/array builder — for the chrome trace and metrics
+//! report exporters.
+
+/// Escapes `s` as the *contents* of a JSON string (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats `x` as a JSON number (finite floats only; non-finite values
+/// become `null`, which JSON cannot represent as numbers).
+pub fn number(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x}");
+        // `{}` on f64 never produces exponents for typical magnitudes and
+        // is round-trippable; good enough for an export format.
+        s
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Push-based writer producing compact JSON.
+///
+/// The caller is responsible for calling methods in a valid order; the
+/// writer tracks only comma placement.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    fn before_value(&mut self) {
+        if let Some(last) = self.needs_comma.last_mut() {
+            if *last {
+                self.buf.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    /// Opens `{`.
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.before_value();
+        self.buf.push('{');
+        self.needs_comma.push(false);
+        self
+    }
+
+    /// Closes `}`.
+    pub fn end_object(&mut self) -> &mut Self {
+        self.needs_comma.pop();
+        self.buf.push('}');
+        self
+    }
+
+    /// Opens `[`.
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.before_value();
+        self.buf.push('[');
+        self.needs_comma.push(false);
+        self
+    }
+
+    /// Closes `]`.
+    pub fn end_array(&mut self) -> &mut Self {
+        self.needs_comma.pop();
+        self.buf.push(']');
+        self
+    }
+
+    /// Writes `"key":` (must be inside an object).
+    pub fn key(&mut self, key: &str) -> &mut Self {
+        self.before_value();
+        self.buf.push('"');
+        self.buf.push_str(&escape(key));
+        self.buf.push_str("\":");
+        // The upcoming value must not emit its own comma.
+        if let Some(last) = self.needs_comma.last_mut() {
+            *last = false;
+        }
+        self
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.before_value();
+        self.buf.push('"');
+        self.buf.push_str(&escape(s));
+        self.buf.push('"');
+        self
+    }
+
+    /// Writes an integer value.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.before_value();
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Writes a float value.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.before_value();
+        self.buf.push_str(&number(v));
+        self
+    }
+
+    /// Writes a bool value.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.before_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Consumes the writer, returning the JSON text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn writer_produces_valid_shape() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("name").string("bfs");
+        w.key("machines").u64(4);
+        w.key("ok").bool(true);
+        w.key("times").begin_array().f64(1.5).f64(2.0).end_array();
+        w.key("nested").begin_object().key("x").u64(1).end_object();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"bfs","machines":4,"ok":true,"times":[1.5,2],"nested":{"x":1}}"#
+        );
+    }
+
+    #[test]
+    fn numbers_are_json_safe() {
+        assert_eq!(number(0.5), "0.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+}

@@ -1,0 +1,175 @@
+//! Virtual-time tracing and metrics for the SympleGraph reproduction.
+//!
+//! The simulated cluster (`symple-net`) advances a per-machine *virtual
+//! clock* for every modelled action — edge processing, message
+//! serialization, transfer waits, collectives. This crate gives every one
+//! of those clock advances a name. Each machine owns a [`TraceRecorder`];
+//! the engine attributes time to a [`SpanCategory`] and bytes to a
+//! [`ByteCategory`], keyed by the current [`Scope`] (iteration, circulant
+//! step, buffer group). The per-machine results combine into a [`Trace`],
+//! which exports to the `chrome://tracing` JSON format ([`Trace::to_chrome_json`],
+//! virtual time on the x-axis, one track per machine) and aggregates into
+//! a structured [`MetricsReport`] that the bench harness embeds.
+//!
+//! Recording is always available and cheap: at [`TraceLevel::Metrics`]
+//! (the default) only O(categories × cells) counters are touched; spans
+//! are materialised only at [`TraceLevel::Full`].
+//!
+//! # Example
+//!
+//! ```
+//! use symple_trace::{ByteCategory, SpanCategory, Trace, TraceLevel, TraceRecorder};
+//!
+//! let mut rec = TraceRecorder::new(0, TraceLevel::Full);
+//! rec.set_scope(0, 1, 0); // iteration 0, circulant step 1, group 0
+//! rec.record_span(SpanCategory::Compute, 0.0, 2.5e-3);
+//! rec.record_bytes(ByteCategory::Update, 128, 1);
+//! let trace = Trace::new(vec![rec.finish()]);
+//! assert_eq!(trace.nodes[0].time(SpanCategory::Compute), 2.5e-3);
+//! assert!(trace.to_chrome_json().contains("\"ph\":\"X\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+pub mod json;
+mod recorder;
+mod report;
+
+pub use recorder::{CellKey, CellStats, NodeTrace, Scope, Span, Trace, TraceRecorder};
+pub use report::{MachineReport, MetricsReport};
+
+/// How much the engine records.
+///
+/// The levels are strictly ordered: everything recorded at a level is also
+/// recorded at the levels above it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TraceLevel {
+    /// Record nothing beyond what the engine's own stats already count.
+    Off,
+    /// Accumulate categorized time and byte counters per
+    /// (iteration, step, group) cell. Cheap; the default.
+    #[default]
+    Metrics,
+    /// Additionally materialise every interval as a [`Span`] for the
+    /// chrome://tracing export.
+    Full,
+}
+
+impl TraceLevel {
+    /// Whether categorized counters are being accumulated.
+    pub fn metrics(self) -> bool {
+        self >= TraceLevel::Metrics
+    }
+
+    /// Whether individual spans are being materialised.
+    pub fn spans(self) -> bool {
+        self >= TraceLevel::Full
+    }
+}
+
+/// What a slice of virtual time was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpanCategory {
+    /// Modelled local work: edge traversals and vertex examinations.
+    Compute,
+    /// Fixed per-message sender-side overhead (packing / syscall).
+    Serialize,
+    /// Waiting for an update-carrying message to arrive.
+    Send,
+    /// Waiting for a dependency message to arrive (the loop-carried
+    /// dependency chain of the circulant schedule).
+    DepWait,
+    /// Waiting inside a barrier for the slowest machine.
+    Barrier,
+    /// Waiting inside a non-barrier collective (allgather / allreduce).
+    Collective,
+}
+
+impl SpanCategory {
+    /// All categories, in display order.
+    pub const ALL: [SpanCategory; 6] = [
+        SpanCategory::Compute,
+        SpanCategory::Serialize,
+        SpanCategory::Send,
+        SpanCategory::DepWait,
+        SpanCategory::Barrier,
+        SpanCategory::Collective,
+    ];
+
+    /// Dense index into per-category arrays.
+    pub fn index(self) -> usize {
+        match self {
+            SpanCategory::Compute => 0,
+            SpanCategory::Serialize => 1,
+            SpanCategory::Send => 2,
+            SpanCategory::DepWait => 3,
+            SpanCategory::Barrier => 4,
+            SpanCategory::Collective => 5,
+        }
+    }
+
+    /// Stable lower-case name (used in exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanCategory::Compute => "compute",
+            SpanCategory::Serialize => "serialize",
+            SpanCategory::Send => "send",
+            SpanCategory::DepWait => "dep-wait",
+            SpanCategory::Barrier => "barrier",
+            SpanCategory::Collective => "collective",
+        }
+    }
+}
+
+impl std::fmt::Display for SpanCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What kind of payload a counted byte belonged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ByteCategory {
+    /// Vertex-update payloads (the bulk data of pull/push).
+    Update,
+    /// Dependency messages of the circulant schedule.
+    Dependency,
+    /// Collective traffic: barriers, allgathers, allreduces, owner-wins
+    /// syncs.
+    Collective,
+}
+
+impl ByteCategory {
+    /// All categories, in display order.
+    pub const ALL: [ByteCategory; 3] = [
+        ByteCategory::Update,
+        ByteCategory::Dependency,
+        ByteCategory::Collective,
+    ];
+
+    /// Dense index into per-category arrays.
+    pub fn index(self) -> usize {
+        match self {
+            ByteCategory::Update => 0,
+            ByteCategory::Dependency => 1,
+            ByteCategory::Collective => 2,
+        }
+    }
+
+    /// Stable lower-case name (used in exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ByteCategory::Update => "update",
+            ByteCategory::Dependency => "dependency",
+            ByteCategory::Collective => "collective",
+        }
+    }
+}
+
+impl std::fmt::Display for ByteCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}

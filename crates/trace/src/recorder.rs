@@ -1,0 +1,311 @@
+//! Per-machine recording of spans and categorized counters.
+
+use std::collections::BTreeMap;
+
+use crate::{ByteCategory, SpanCategory, TraceLevel};
+
+/// The engine context a recorded event is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Scope {
+    /// Algorithm iteration (super-step).
+    pub iteration: u32,
+    /// Circulant step within the iteration.
+    pub step: u32,
+    /// Double-buffering group within the step.
+    pub group: u32,
+}
+
+/// Accounting key: one cell per (iteration, step, group).
+pub type CellKey = Scope;
+
+/// Categorized totals for one (iteration, step, group) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CellStats {
+    /// Virtual seconds per [`SpanCategory`] (indexed by
+    /// [`SpanCategory::index`]).
+    pub time: [f64; 6],
+    /// Bytes per [`ByteCategory`] (indexed by [`ByteCategory::index`]).
+    pub bytes: [u64; 3],
+    /// Messages per [`ByteCategory`].
+    pub messages: [u64; 3],
+}
+
+impl CellStats {
+    /// Virtual seconds attributed to `cat` in this cell.
+    pub fn time(&self, cat: SpanCategory) -> f64 {
+        self.time[cat.index()]
+    }
+
+    /// Bytes attributed to `cat` in this cell.
+    pub fn bytes(&self, cat: ByteCategory) -> u64 {
+        self.bytes[cat.index()]
+    }
+
+    /// Messages attributed to `cat` in this cell.
+    pub fn messages(&self, cat: ByteCategory) -> u64 {
+        self.messages[cat.index()]
+    }
+
+    fn absorb(&mut self, other: &CellStats) {
+        for i in 0..6 {
+            self.time[i] += other.time[i];
+        }
+        for i in 0..3 {
+            self.bytes[i] += other.bytes[i];
+            self.messages[i] += other.messages[i];
+        }
+    }
+}
+
+/// One categorized interval of virtual time on one machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// What the time was spent on.
+    pub category: SpanCategory,
+    /// Virtual start time (seconds).
+    pub start: f64,
+    /// Virtual end time (seconds); `end >= start`.
+    pub end: f64,
+    /// Engine context at record time.
+    pub scope: Scope,
+}
+
+impl Span {
+    /// Span length in virtual seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Records spans and counters for one machine while the engine runs.
+///
+/// The engine sets the attribution [`Scope`] as it enters each
+/// (iteration, step, group) and then reports clock advances and byte
+/// movements; the recorder files them under the current scope.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    machine: usize,
+    level: TraceLevel,
+    scope: Scope,
+    spans: Vec<Span>,
+    cells: BTreeMap<CellKey, CellStats>,
+}
+
+impl TraceRecorder {
+    /// A recorder for `machine` at the given level.
+    pub fn new(machine: usize, level: TraceLevel) -> Self {
+        TraceRecorder {
+            machine,
+            level,
+            scope: Scope::default(),
+            spans: Vec::new(),
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// The recording level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// The machine rank this recorder belongs to.
+    pub fn machine(&self) -> usize {
+        self.machine
+    }
+
+    /// Sets the attribution scope for subsequent events.
+    pub fn set_scope(&mut self, iteration: u32, step: u32, group: u32) {
+        self.scope = Scope {
+            iteration,
+            step,
+            group,
+        };
+    }
+
+    /// The current attribution scope.
+    pub fn scope(&self) -> Scope {
+        self.scope
+    }
+
+    /// Attributes the virtual interval `[start, end]` to `category` under
+    /// the current scope. Zero-length intervals are counted (they
+    /// contribute nothing) but produce no span.
+    pub fn record_span(&mut self, category: SpanCategory, start: f64, end: f64) {
+        debug_assert!(end >= start, "span ends before it starts");
+        if !self.level.metrics() {
+            return;
+        }
+        self.cells.entry(self.scope).or_default().time[category.index()] += end - start;
+        if self.level.spans() && end > start {
+            self.spans.push(Span {
+                category,
+                start,
+                end,
+                scope: self.scope,
+            });
+        }
+    }
+
+    /// Attributes `bytes` over `messages` messages to `category` under
+    /// the current scope.
+    pub fn record_bytes(&mut self, category: ByteCategory, bytes: u64, messages: u64) {
+        if !self.level.metrics() {
+            return;
+        }
+        let cell = self.cells.entry(self.scope).or_default();
+        cell.bytes[category.index()] += bytes;
+        cell.messages[category.index()] += messages;
+    }
+
+    /// Finalises recording into an immutable per-machine trace.
+    pub fn finish(self) -> NodeTrace {
+        NodeTrace {
+            machine: self.machine,
+            spans: self.spans,
+            cells: self.cells,
+        }
+    }
+}
+
+/// Everything recorded on one machine.
+#[derive(Debug, Clone, Default)]
+pub struct NodeTrace {
+    /// Machine rank (chrome track id).
+    pub machine: usize,
+    /// Materialised spans (empty below [`TraceLevel::Full`]).
+    pub spans: Vec<Span>,
+    /// Categorized counters per (iteration, step, group) cell.
+    pub cells: BTreeMap<CellKey, CellStats>,
+}
+
+impl NodeTrace {
+    /// Total virtual seconds attributed to `cat` across all cells.
+    pub fn time(&self, cat: SpanCategory) -> f64 {
+        self.cells.values().map(|c| c.time(cat)).sum()
+    }
+
+    /// Total bytes attributed to `cat` across all cells.
+    pub fn bytes(&self, cat: ByteCategory) -> u64 {
+        self.cells.values().map(|c| c.bytes(cat)).sum()
+    }
+
+    /// Total messages attributed to `cat` across all cells.
+    pub fn messages(&self, cat: ByteCategory) -> u64 {
+        self.cells.values().map(|c| c.messages(cat)).sum()
+    }
+
+    /// Sum of all categorized bytes on this machine.
+    pub fn total_bytes(&self) -> u64 {
+        ByteCategory::ALL.iter().map(|&c| self.bytes(c)).sum()
+    }
+}
+
+/// The combined trace of a run: one [`NodeTrace`] per machine.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Per-machine traces, indexed by rank.
+    pub nodes: Vec<NodeTrace>,
+}
+
+impl Trace {
+    /// Combines per-machine traces (sorted by rank).
+    pub fn new(mut nodes: Vec<NodeTrace>) -> Self {
+        nodes.sort_by_key(|n| n.machine);
+        Trace { nodes }
+    }
+
+    /// Total bytes attributed to `cat` across all machines.
+    pub fn bytes(&self, cat: ByteCategory) -> u64 {
+        self.nodes.iter().map(|n| n.bytes(cat)).sum()
+    }
+
+    /// Total messages attributed to `cat` across all machines.
+    pub fn messages(&self, cat: ByteCategory) -> u64 {
+        self.nodes.iter().map(|n| n.messages(cat)).sum()
+    }
+
+    /// Total virtual seconds attributed to `cat`, summed over machines.
+    pub fn time(&self, cat: SpanCategory) -> f64 {
+        self.nodes.iter().map(|n| n.time(cat)).sum()
+    }
+
+    /// Cell totals merged across machines (keyed by iteration/step/group).
+    pub fn merged_cells(&self) -> BTreeMap<CellKey, CellStats> {
+        let mut merged: BTreeMap<CellKey, CellStats> = BTreeMap::new();
+        for node in &self.nodes {
+            for (key, cell) in &node.cells {
+                merged.entry(*key).or_default().absorb(cell);
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_attribution_routes_to_cells() {
+        let mut rec = TraceRecorder::new(2, TraceLevel::Metrics);
+        rec.set_scope(0, 0, 0);
+        rec.record_span(SpanCategory::Compute, 0.0, 1.0);
+        rec.record_bytes(ByteCategory::Update, 100, 2);
+        rec.set_scope(0, 1, 0);
+        rec.record_span(SpanCategory::DepWait, 1.0, 1.5);
+        rec.record_bytes(ByteCategory::Dependency, 8, 1);
+        let node = rec.finish();
+        assert_eq!(node.machine, 2);
+        assert_eq!(node.cells.len(), 2);
+        assert_eq!(node.time(SpanCategory::Compute), 1.0);
+        assert_eq!(node.time(SpanCategory::DepWait), 0.5);
+        assert_eq!(node.bytes(ByteCategory::Update), 100);
+        assert_eq!(node.messages(ByteCategory::Dependency), 1);
+        assert_eq!(node.total_bytes(), 108);
+        // Metrics level materialises no spans.
+        assert!(node.spans.is_empty());
+    }
+
+    #[test]
+    fn full_level_materialises_spans() {
+        let mut rec = TraceRecorder::new(0, TraceLevel::Full);
+        rec.set_scope(3, 1, 0);
+        rec.record_span(SpanCategory::Barrier, 2.0, 2.25);
+        rec.record_span(SpanCategory::Compute, 2.25, 2.25); // zero-length
+        let node = rec.finish();
+        assert_eq!(node.spans.len(), 1);
+        let span = node.spans[0];
+        assert_eq!(span.category, SpanCategory::Barrier);
+        assert_eq!(span.scope.iteration, 3);
+        assert!((span.duration() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn off_level_records_nothing() {
+        let mut rec = TraceRecorder::new(0, TraceLevel::Off);
+        rec.record_span(SpanCategory::Compute, 0.0, 1.0);
+        rec.record_bytes(ByteCategory::Update, 10, 1);
+        let node = rec.finish();
+        assert!(node.cells.is_empty() && node.spans.is_empty());
+    }
+
+    #[test]
+    fn trace_aggregates_and_merges() {
+        let mut a = TraceRecorder::new(0, TraceLevel::Metrics);
+        a.set_scope(0, 0, 0);
+        a.record_bytes(ByteCategory::Collective, 16, 2);
+        let mut b = TraceRecorder::new(1, TraceLevel::Metrics);
+        b.set_scope(0, 0, 0);
+        b.record_bytes(ByteCategory::Collective, 24, 3);
+        b.record_span(SpanCategory::Collective, 0.0, 0.5);
+        let trace = Trace::new(vec![b.finish(), a.finish()]);
+        assert_eq!(trace.nodes[0].machine, 0);
+        assert_eq!(trace.bytes(ByteCategory::Collective), 40);
+        assert_eq!(trace.messages(ByteCategory::Collective), 5);
+        let merged = trace.merged_cells();
+        assert_eq!(merged.len(), 1);
+        let cell = merged.values().next().unwrap();
+        assert_eq!(cell.bytes(ByteCategory::Collective), 40);
+        assert_eq!(cell.time(SpanCategory::Collective), 0.5);
+    }
+}

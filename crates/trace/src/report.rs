@@ -1,0 +1,244 @@
+//! Structured metrics report assembled from a [`Trace`].
+//!
+//! Where the chrome export is for eyes, [`MetricsReport`] is for
+//! programs: the bench harness embeds it, tests reconcile its categorized
+//! totals against the engine's raw `CommStats`, and [`MetricsReport::to_json`]
+//! gives a machine-readable dump without any serialization dependency.
+
+use std::collections::BTreeMap;
+
+use crate::json::JsonWriter;
+use crate::{ByteCategory, CellKey, CellStats, SpanCategory, Trace};
+
+/// Categorized totals for one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MachineReport {
+    /// Machine rank.
+    pub machine: usize,
+    /// Virtual seconds per [`SpanCategory`] (by [`SpanCategory::index`]).
+    pub time: [f64; 6],
+    /// Bytes per [`ByteCategory`] (by [`ByteCategory::index`]).
+    pub bytes: [u64; 3],
+    /// Messages per [`ByteCategory`].
+    pub messages: [u64; 3],
+}
+
+impl MachineReport {
+    /// Virtual seconds attributed to `cat` on this machine.
+    pub fn time(&self, cat: SpanCategory) -> f64 {
+        self.time[cat.index()]
+    }
+
+    /// Bytes attributed to `cat` on this machine.
+    pub fn bytes(&self, cat: ByteCategory) -> u64 {
+        self.bytes[cat.index()]
+    }
+
+    /// Messages attributed to `cat` on this machine.
+    pub fn messages(&self, cat: ByteCategory) -> u64 {
+        self.messages[cat.index()]
+    }
+}
+
+/// Categorized virtual-time and traffic totals for a whole run.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsReport {
+    /// Number of machines in the run.
+    pub machines: usize,
+    /// The run's virtual makespan in seconds (max over machines).
+    pub virtual_time: f64,
+    /// Per-machine categorized totals, indexed by rank.
+    pub per_machine: Vec<MachineReport>,
+    /// Cell totals merged across machines, keyed by
+    /// (iteration, step, group).
+    pub cells: BTreeMap<CellKey, CellStats>,
+}
+
+impl MetricsReport {
+    /// Builds a report from a finished trace and the run's makespan.
+    pub fn from_trace(trace: &Trace, virtual_time: f64) -> Self {
+        let per_machine = trace
+            .nodes
+            .iter()
+            .map(|node| {
+                let mut m = MachineReport {
+                    machine: node.machine,
+                    ..Default::default()
+                };
+                for cell in node.cells.values() {
+                    for i in 0..6 {
+                        m.time[i] += cell.time[i];
+                    }
+                    for i in 0..3 {
+                        m.bytes[i] += cell.bytes[i];
+                        m.messages[i] += cell.messages[i];
+                    }
+                }
+                m
+            })
+            .collect::<Vec<_>>();
+        MetricsReport {
+            machines: per_machine.len(),
+            virtual_time,
+            per_machine,
+            cells: trace.merged_cells(),
+        }
+    }
+
+    /// Total bytes attributed to `cat` across machines.
+    pub fn bytes(&self, cat: ByteCategory) -> u64 {
+        self.per_machine.iter().map(|m| m.bytes(cat)).sum()
+    }
+
+    /// Total messages attributed to `cat` across machines.
+    pub fn messages(&self, cat: ByteCategory) -> u64 {
+        self.per_machine.iter().map(|m| m.messages(cat)).sum()
+    }
+
+    /// Total virtual seconds attributed to `cat`, summed across machines.
+    pub fn time(&self, cat: SpanCategory) -> f64 {
+        self.per_machine.iter().map(|m| m.time(cat)).sum()
+    }
+
+    /// Sum of all categorized bytes.
+    pub fn total_bytes(&self) -> u64 {
+        ByteCategory::ALL.iter().map(|&c| self.bytes(c)).sum()
+    }
+
+    /// Machine-readable JSON dump of the whole report.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("machines").u64(self.machines as u64);
+        w.key("virtual_time").f64(self.virtual_time);
+        w.key("time").begin_object();
+        for cat in SpanCategory::ALL {
+            w.key(cat.name()).f64(self.time(cat));
+        }
+        w.end_object();
+        w.key("bytes").begin_object();
+        for cat in ByteCategory::ALL {
+            w.key(cat.name()).u64(self.bytes(cat));
+        }
+        w.end_object();
+        w.key("messages").begin_object();
+        for cat in ByteCategory::ALL {
+            w.key(cat.name()).u64(self.messages(cat));
+        }
+        w.end_object();
+        w.key("per_machine").begin_array();
+        for m in &self.per_machine {
+            w.begin_object();
+            w.key("machine").u64(m.machine as u64);
+            w.key("time").begin_object();
+            for cat in SpanCategory::ALL {
+                w.key(cat.name()).f64(m.time(cat));
+            }
+            w.end_object();
+            w.key("bytes").begin_object();
+            for cat in ByteCategory::ALL {
+                w.key(cat.name()).u64(m.bytes(cat));
+            }
+            w.end_object();
+            w.end_object();
+        }
+        w.end_array();
+        w.key("cells").begin_array();
+        for (key, cell) in &self.cells {
+            w.begin_object();
+            w.key("iteration").u64(key.iteration as u64);
+            w.key("step").u64(key.step as u64);
+            w.key("group").u64(key.group as u64);
+            w.key("time").begin_object();
+            for cat in SpanCategory::ALL {
+                w.key(cat.name()).f64(cell.time(cat));
+            }
+            w.end_object();
+            w.key("bytes").begin_object();
+            for cat in ByteCategory::ALL {
+                w.key(cat.name()).u64(cell.bytes(cat));
+            }
+            w.end_object();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+}
+
+impl std::fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "metrics: {} machine(s), virtual time {:.6}s",
+            self.machines, self.virtual_time
+        )?;
+        write!(f, "  time  ")?;
+        for cat in SpanCategory::ALL {
+            write!(f, " {}={:.6}s", cat, self.time(cat))?;
+        }
+        writeln!(f)?;
+        write!(f, "  bytes ")?;
+        for cat in ByteCategory::ALL {
+            write!(f, " {}={}", cat, self.bytes(cat))?;
+        }
+        writeln!(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceLevel, TraceRecorder};
+
+    fn sample_trace() -> Trace {
+        let mut a = TraceRecorder::new(0, TraceLevel::Metrics);
+        a.set_scope(0, 0, 0);
+        a.record_span(SpanCategory::Compute, 0.0, 2.0);
+        a.record_bytes(ByteCategory::Update, 100, 2);
+        a.set_scope(1, 0, 0);
+        a.record_bytes(ByteCategory::Dependency, 10, 1);
+        let mut b = TraceRecorder::new(1, TraceLevel::Metrics);
+        b.set_scope(0, 0, 0);
+        b.record_span(SpanCategory::DepWait, 0.0, 0.5);
+        b.record_bytes(ByteCategory::Update, 60, 1);
+        Trace::new(vec![a.finish(), b.finish()])
+    }
+
+    #[test]
+    fn report_aggregates_trace() {
+        let report = MetricsReport::from_trace(&sample_trace(), 2.5);
+        assert_eq!(report.machines, 2);
+        assert_eq!(report.bytes(ByteCategory::Update), 160);
+        assert_eq!(report.bytes(ByteCategory::Dependency), 10);
+        assert_eq!(report.total_bytes(), 170);
+        assert_eq!(report.messages(ByteCategory::Update), 3);
+        assert_eq!(report.time(SpanCategory::Compute), 2.0);
+        assert_eq!(report.time(SpanCategory::DepWait), 0.5);
+        assert_eq!(report.cells.len(), 2);
+    }
+
+    #[test]
+    fn json_dump_is_well_formed_enough() {
+        let report = MetricsReport::from_trace(&sample_trace(), 2.5);
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"virtual_time\":2.5"));
+        assert!(json.contains("\"update\":160"));
+        assert!(json.contains("\"per_machine\""));
+        assert!(json.contains("\"cells\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+    }
+
+    #[test]
+    fn display_mentions_categories() {
+        let report = MetricsReport::from_trace(&sample_trace(), 2.5);
+        let text = report.to_string();
+        assert!(text.contains("compute") && text.contains("dependency"));
+    }
+}

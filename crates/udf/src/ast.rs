@@ -298,11 +298,7 @@ mod tests {
 
     #[test]
     fn udf_construction() {
-        let udf = UdfFn::new(
-            "noop",
-            Ty::Bool,
-            vec![Stmt::for_neighbors(vec![])],
-        );
+        let udf = UdfFn::new("noop", Ty::Bool, vec![Stmt::for_neighbors(vec![])]);
         assert_eq!(udf.name, "noop");
         assert_eq!(udf.body.len(), 1);
     }

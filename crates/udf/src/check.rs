@@ -167,7 +167,11 @@ impl Checker<'_> {
                         _ => Err(UdfError::TypeMismatch {
                             context: "arithmetic operand".into(),
                             expected: Ty::Float,
-                            found: if matches!(ta, Ty::Int | Ty::Float) { tb } else { ta },
+                            found: if matches!(ta, Ty::Int | Ty::Float) {
+                                tb
+                            } else {
+                                ta
+                            },
                         }),
                     },
                     BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
@@ -199,10 +203,7 @@ mod tests {
     use crate::paper_udfs;
 
     fn schema(entries: &[(&str, Ty)]) -> BTreeMap<String, Ty> {
-        entries
-            .iter()
-            .map(|(n, t)| (n.to_string(), *t))
-            .collect()
+        entries.iter().map(|(n, t)| (n.to_string(), *t)).collect()
     }
 
     #[test]
@@ -268,11 +269,7 @@ mod tests {
 
     #[test]
     fn undefined_local_rejected() {
-        let udf = UdfFn::new(
-            "bad",
-            Ty::Int,
-            vec![Stmt::assign("x", Expr::i(1))],
-        );
+        let udf = UdfFn::new("bad", Ty::Int, vec![Stmt::assign("x", Expr::i(1))]);
         assert_eq!(
             check(&udf, &schema(&[])),
             Err(UdfError::UndefinedLocal("x".into()))

@@ -38,7 +38,10 @@ impl fmt::Display for UdfError {
                 context,
                 expected,
                 found,
-            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {found}"
+            ),
             UdfError::OutsideLoop(what) => {
                 write!(f, "`{what}` used outside a neighbour loop")
             }
@@ -57,7 +60,9 @@ mod tests {
 
     #[test]
     fn messages_are_specific() {
-        assert!(UdfError::UndefinedLocal("x".into()).to_string().contains("`x`"));
+        assert!(UdfError::UndefinedLocal("x".into())
+            .to_string()
+            .contains("`x`"));
         let e = UdfError::TypeMismatch {
             context: "if condition".into(),
             expected: Ty::Bool,

@@ -436,10 +436,14 @@ mod tests {
         let mut got = Vec::new();
         let srcs1 = [Vid::new(1), Vid::new(2), Vid::new(3)];
         dep.reset_range(1..2);
-        prog.signal(Vid::new(0), &srcs1, &mut dep, 1, false, &mut |x| got.push(x));
+        prog.signal(Vid::new(0), &srcs1, &mut dep, 1, false, &mut |x| {
+            got.push(x)
+        });
         dep.reset_range(1..2);
         let srcs2 = [Vid::new(4), Vid::new(5)];
-        prog.signal(Vid::new(0), &srcs2, &mut dep, 1, false, &mut |x| got.push(x));
+        prog.signal(Vid::new(0), &srcs2, &mut dep, 1, false, &mut |x| {
+            got.push(x)
+        });
         assert_eq!(got, [3, 2], "per-machine partial counts");
     }
 

@@ -28,9 +28,7 @@ pub fn mis_udf() -> UdfFn {
         "mis",
         Ty::Bool,
         vec![Stmt::for_neighbors(vec![Stmt::if_(
-            Expr::prop_u("active").and(
-                Expr::prop_u("color").lt(Expr::prop_v("color")),
-            ),
+            Expr::prop_u("active").and(Expr::prop_u("color").lt(Expr::prop_v("color"))),
             vec![Stmt::Emit(Expr::b(true)), Stmt::Break],
         )])],
     )
@@ -56,9 +54,7 @@ pub fn kcore_udf(k: i64) -> UdfFn {
                     Stmt::if_(
                         Expr::local("cnt").ge(Expr::i(k)),
                         vec![
-                            Stmt::Emit(
-                                Expr::local("cnt").bin(BinOp::Sub, Expr::local("start")),
-                            ),
+                            Stmt::Emit(Expr::local("cnt").bin(BinOp::Sub, Expr::local("start"))),
                             Stmt::assign("done", Expr::b(true)),
                             Stmt::Break,
                         ],

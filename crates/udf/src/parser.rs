@@ -50,8 +50,8 @@ struct Lexer<'a> {
 }
 
 const PUNCTS: [&str; 22] = [
-    "&&", "||", "<=", ">=", "==", "!=", "->", "{", "}", "(", ")", "[", "]", ";", ",", "=",
-    "<", ">", "+", "-", "*", ".",
+    "&&", "||", "<=", ">=", "==", "!=", "->", "{", "}", "(", ")", "[", "]", ";", ",", "=", "<",
+    ">", "+", "-", "*", ".",
 ];
 
 impl<'a> Lexer<'a> {
@@ -554,10 +554,8 @@ mod tests {
 
     #[test]
     fn operator_precedence() {
-        let udf = parse_udf(
-            "def t(Vertex v, Array[Vertex] nbrs) -> int { emit(v, 1 + 2 * 3); }",
-        )
-        .unwrap();
+        let udf = parse_udf("def t(Vertex v, Array[Vertex] nbrs) -> int { emit(v, 1 + 2 * 3); }")
+            .unwrap();
         match &udf.body[0] {
             Stmt::Emit(Expr::Binary(BinOp::Add, _, rhs)) => {
                 assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
@@ -568,8 +566,7 @@ mod tests {
 
     #[test]
     fn negative_literals_fold() {
-        let udf =
-            parse_udf("def t(Vertex v, Array[Vertex] nbrs) -> int { emit(v, -4); }").unwrap();
+        let udf = parse_udf("def t(Vertex v, Array[Vertex] nbrs) -> int { emit(v, -4); }").unwrap();
         assert_eq!(udf.body[0], Stmt::Emit(Expr::i(-4)));
     }
 
@@ -577,7 +574,10 @@ mod tests {
     fn vertex_literals_parse() {
         let udf =
             parse_udf("def t(Vertex v, Array[Vertex] nbrs) -> vertex { emit(v, v7); }").unwrap();
-        assert_eq!(udf.body[0], Stmt::Emit(Expr::Lit(Value::Vertex(Vid::new(7)))));
+        assert_eq!(
+            udf.body[0],
+            Stmt::Emit(Expr::Lit(Value::Vertex(Vid::new(7))))
+        );
     }
 
     #[test]
@@ -591,10 +591,7 @@ mod tests {
 
     #[test]
     fn trailing_tokens_rejected() {
-        let err = parse_udf(
-            "def t(Vertex v, Array[Vertex] nbrs) -> bool { } extra",
-        )
-        .unwrap_err();
+        let err = parse_udf("def t(Vertex v, Array[Vertex] nbrs) -> bool { } extra").unwrap_err();
         assert!(err.message.contains("trailing"));
     }
 

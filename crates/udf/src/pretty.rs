@@ -130,7 +130,10 @@ mod tests {
         assert!(text.contains("if (frontier[u])"));
         assert!(text.contains("emit(v, u);"));
         assert!(text.contains("break;"));
-        assert!(!text.contains("receive_dep"), "uninstrumented: no primitives");
+        assert!(
+            !text.contains("receive_dep"),
+            "uninstrumented: no primitives"
+        );
     }
 
     #[test]

@@ -123,10 +123,19 @@ mod tests {
             .insert("color", PropArray::Ints(vec![5, 6, 7, 8]))
             .insert("weight", PropArray::Floats(vec![0.5; 4]))
             .insert("parent", PropArray::Vertices(vec![0, 0, 1, 2]));
-        assert_eq!(store.read("frontier", Vid::new(2)).unwrap(), Value::Bool(true));
-        assert_eq!(store.read("frontier", Vid::new(1)).unwrap(), Value::Bool(false));
+        assert_eq!(
+            store.read("frontier", Vid::new(2)).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            store.read("frontier", Vid::new(1)).unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(store.read("color", Vid::new(3)).unwrap(), Value::Int(8));
-        assert_eq!(store.read("weight", Vid::new(0)).unwrap(), Value::Float(0.5));
+        assert_eq!(
+            store.read("weight", Vid::new(0)).unwrap(),
+            Value::Float(0.5)
+        );
         assert_eq!(
             store.read("parent", Vid::new(3)).unwrap(),
             Value::Vertex(Vid::new(2))

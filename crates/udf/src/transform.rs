@@ -167,7 +167,11 @@ mod tests {
             paper_udfs::sampling_udf(),
         ] {
             let inst = instrument(&udf).unwrap();
-            assert!(inst.info.has_dependency(), "{} lost its dependency", udf.name);
+            assert!(
+                inst.info.has_dependency(),
+                "{} lost its dependency",
+                udf.name
+            );
             assert!(matches!(inst.udf.body[0], Stmt::ReceiveDepGuard));
         }
     }

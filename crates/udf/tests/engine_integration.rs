@@ -61,7 +61,7 @@ where
             }
             w.sync_bitmap(&mut visited);
             w.sync_bitmap(&mut frontier);
-            if w.allreduce_sum(new_frontier.len() as u64) == 0 {
+            if w.allreduce(new_frontier.len() as u64, |a, b| a + b) == 0 {
                 break;
             }
         }
@@ -95,9 +95,8 @@ fn interp_level(
     props.insert("visited", PropArray::Bools(visited.clone()));
     let prog = UdfProgram::new(&inst, &props).active_when("visited", false);
     let mut dep = prog.make_dep(w.dep_slots_needed());
-    let mut apply64 = |v: Vid, bits: u64| -> bool {
-        apply(v, Value::from_bits(Ty::Vertex, bits).as_vertex())
-    };
+    let mut apply64 =
+        |v: Vid, bits: u64| -> bool { apply(v, Value::from_bits(Ty::Vertex, bits).as_vertex()) };
     w.pull(&prog, &mut dep, &mut apply64);
 }
 
@@ -111,11 +110,13 @@ fn interpreted_bfs_matches_native_exactly() {
         let (d_interp, s_interp) = bfs_pull_only(&graph, &cfg, root, interp_level);
         assert_eq!(d_native, d_interp, "depths differ under {policy:?}");
         assert_eq!(
-            s_native.work.edges_traversed, s_interp.work.edges_traversed,
+            s_native.work.edges_traversed(),
+            s_interp.work.edges_traversed(),
             "edge traversals differ under {policy:?}"
         );
         assert_eq!(
-            s_native.work.skipped_by_dep, s_interp.work.skipped_by_dep,
+            s_native.work.skipped_by_dep(),
+            s_interp.work.skipped_by_dep(),
             "dependency skips differ under {policy:?}"
         );
     }
@@ -128,9 +129,9 @@ fn interpreted_bfs_skips_under_symple_only() {
     let cfg_gemini = EngineConfig::new(4, Policy::Gemini);
     let (_, s_symple) = bfs_pull_only(&graph, &cfg_symple, Vid::new(0), interp_level);
     let (_, s_gemini) = bfs_pull_only(&graph, &cfg_gemini, Vid::new(0), interp_level);
-    assert!(s_symple.work.skipped_by_dep > 0);
-    assert_eq!(s_gemini.work.skipped_by_dep, 0);
-    assert!(s_symple.work.edges_traversed < s_gemini.work.edges_traversed);
+    assert!(s_symple.work.skipped_by_dep() > 0);
+    assert_eq!(s_gemini.work.skipped_by_dep(), 0);
+    assert!(s_symple.work.edges_traversed() < s_gemini.work.edges_traversed());
 }
 
 #[test]
@@ -168,7 +169,7 @@ fn interpreted_kcore_matches_native() {
                 }
             }
             w.sync_bitmap(&mut active);
-            if w.allreduce_sum(removed) == 0 {
+            if w.allreduce(removed, |a, b| a + b) == 0 {
                 break;
             }
         }
@@ -180,7 +181,8 @@ fn interpreted_kcore_matches_native() {
         "interpreted k-core differs from native"
     );
     assert_eq!(
-        res.stats.work.edges_traversed, native_stats.work.edges_traversed,
+        res.stats.work.edges_traversed(),
+        native_stats.work.edges_traversed(),
         "edge traversals differ"
     );
 }

@@ -6,7 +6,9 @@ use symple_core::{DepState, PullProgram};
 use symple_graph::{Bitmap, Vid};
 use symple_udf::ast::{Expr, Stmt};
 use symple_udf::types::Ty;
-use symple_udf::{analyze, instrument, paper_udfs, FoldWhile, PropArray, PropertyStore, UdfProgram};
+use symple_udf::{
+    analyze, instrument, paper_udfs, FoldWhile, PropArray, PropertyStore, UdfProgram,
+};
 
 /// BFS as a fold: carry a found-flag, exit when a frontier neighbour is
 /// seen.

@@ -9,9 +9,29 @@ use symple_udf::pretty;
 use symple_udf::types::{Ty, Value};
 
 const KEYWORDS: [&str; 23] = [
-    "def", "if", "else", "for", "in", "nbrs", "break", "return", "emit", "emit_dep",
-    "receive_dep", "true", "false", "int", "float", "bool", "vertex", "DepMessage", "skip",
-    "Vertex", "Array", "d", "u",
+    "def",
+    "if",
+    "else",
+    "for",
+    "in",
+    "nbrs",
+    "break",
+    "return",
+    "emit",
+    "emit_dep",
+    "receive_dep",
+    "true",
+    "false",
+    "int",
+    "float",
+    "bool",
+    "vertex",
+    "DepMessage",
+    "skip",
+    "Vertex",
+    "Array",
+    "d",
+    "u",
 ];
 
 fn ident() -> impl Strategy<Value = String> {
@@ -56,7 +76,9 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 array,
                 index: Box::new(index),
             }),
-            inner.clone().prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
             // negation only of non-literals (the parser folds `-literal`)
             ident().prop_map(|n| Expr::Unary(UnOp::Neg, Box::new(Expr::Local(n)))),
             (binop, inner.clone(), inner).prop_map(|(op, a, b)| a.bin(op, b)),
@@ -75,11 +97,7 @@ fn arb_ty() -> impl Strategy<Value = Ty> {
 
 fn arb_stmt() -> impl Strategy<Value = Stmt> {
     let leaf = prop_oneof![
-        (ident(), arb_ty(), arb_expr()).prop_map(|(name, ty, init)| Stmt::Let {
-            name,
-            ty,
-            init
-        }),
+        (ident(), arb_ty(), arb_expr()).prop_map(|(name, ty, init)| Stmt::Let { name, ty, init }),
         (ident(), arb_expr()).prop_map(|(name, value)| Stmt::Assign { name, value }),
         Just(Stmt::Break),
         Just(Stmt::Return),
@@ -98,8 +116,7 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
                     then_branch,
                     else_branch,
                 }),
-            proptest::collection::vec(inner, 0..3)
-                .prop_map(|body| Stmt::ForNeighbors { body }),
+            proptest::collection::vec(inner, 0..3).prop_map(|body| Stmt::ForNeighbors { body }),
         ]
     })
 }

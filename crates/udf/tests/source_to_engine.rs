@@ -10,8 +10,7 @@ use symple_core::{run_spmd, EngineConfig, Policy};
 use symple_graph::{Bitmap, RmatConfig, Vid};
 use symple_udf::types::{Ty, Value};
 use symple_udf::{
-    analyze, check, instrument, parse_udf, pretty, DepKind, PropArray, PropertyStore,
-    UdfProgram,
+    analyze, check, instrument, parse_udf, pretty, DepKind, PropArray, PropertyStore, UdfProgram,
 };
 
 const BFS_SOURCE: &str = r#"

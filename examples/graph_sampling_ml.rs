@@ -34,7 +34,7 @@ fn main() {
     for step in 0..WALK_LEN as u64 {
         let (out, stats) = sampling(&graph, &cfg, 100 + step);
         validate_sampling(&graph, &out);
-        total_edges += stats.work.edges_traversed;
+        total_edges += stats.work.edges_traversed();
         dep_bytes += stats.comm.bytes(CommKind::Dependency);
         passes.push(out);
     }
@@ -67,6 +67,6 @@ fn main() {
          formulation scans all {} edges.",
         total_edges as usize / WALK_LEN,
         dep_bytes as usize / WALK_LEN,
-        gstats.work.edges_traversed,
+        gstats.work.edges_traversed(),
     );
 }

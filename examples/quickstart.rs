@@ -14,7 +14,10 @@ use symplegraph::net::{CommKind, CostModel};
 fn main() {
     // A Graph500-parameterised R-MAT graph, symmetrized (like the paper's
     // directed<->undirected conversion).
-    let graph = RmatConfig::graph500(13, 16).seed(42).cleaned(true).generate();
+    let graph = RmatConfig::graph500(13, 16)
+        .seed(42)
+        .cleaned(true)
+        .generate();
     println!("graph: {}", GraphStats::of(&graph));
 
     // Fixed network costs scaled to the miniature workload, preserving
@@ -29,10 +32,10 @@ fn main() {
             "{name}: reached {:>6} vertices | edges traversed {:>9} | \
              update {:>9} B | dependency {:>7} B | modelled {:>8.3} ms",
             out.reached(),
-            stats.work.edges_traversed,
+            stats.work.edges_traversed(),
             stats.comm.bytes(CommKind::Update),
             stats.comm.bytes(CommKind::Dependency),
-            stats.virtual_time * 1e3,
+            stats.virtual_time() * 1e3,
         );
     }
     println!(

@@ -12,7 +12,10 @@ use symplegraph::graph::{GraphStats, RmatConfig};
 use symplegraph::net::CostModel;
 
 fn main() {
-    let graph = RmatConfig::graph500(13, 16).seed(27).cleaned(true).generate();
+    let graph = RmatConfig::graph500(13, 16)
+        .seed(27)
+        .cleaned(true)
+        .generate();
     println!("graph: {}\n", GraphStats::of(&graph));
     // Scale fixed network costs to the miniature workload (see
     // CostModel::scale_fixed_costs).
@@ -30,7 +33,7 @@ fn main() {
             let (_, stats) = mis(&graph, &cfg, 5);
             cells.push(format!(
                 "{:8.3} ms {:>7} kB",
-                stats.virtual_time * 1e3,
+                stats.virtual_time() * 1e3,
                 stats.comm.data_bytes() / 1024,
             ));
         }

@@ -37,7 +37,7 @@ fn main() {
         "2-core trim: {} of {} vertices survive ({} edges examined)",
         core2.len(),
         graph.num_vertices(),
-        trim_stats.work.edges_traversed,
+        trim_stats.work.edges_traversed(),
     );
 
     // 2–3. forward + backward reachability from a surviving pivot
@@ -72,8 +72,8 @@ fn main() {
     println!(
         "\nall three phases ran on the dependency-enforcing engine: trim \
          {:.3} ms, fwd {:.3} ms, bwd {:.3} ms (modelled)",
-        trim_stats.virtual_time * 1e3,
-        fwd_stats.virtual_time * 1e3,
-        bwd_stats.virtual_time * 1e3,
+        trim_stats.virtual_time() * 1e3,
+        fwd_stats.virtual_time() * 1e3,
+        bwd_stats.virtual_time() * 1e3,
     );
 }

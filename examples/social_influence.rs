@@ -32,8 +32,8 @@ fn main() {
          (edges: symple {} vs gemini {})",
         seeds.len(),
         seeds.rounds,
-        stats_s.work.edges_traversed,
-        stats_g.work.edges_traversed,
+        stats_s.work.edges_traversed(),
+        stats_g.work.edges_traversed(),
     );
 
     // 2. densely-engaged community (attachment degree is 6, so the
@@ -45,7 +45,7 @@ fn main() {
         "{k}-core: {} users survive peeling ({} rounds, {} edges)",
         core.len(),
         core.rounds,
-        stats_core.work.edges_traversed,
+        stats_core.work.edges_traversed(),
     );
 
     // 3. cluster around hubs
@@ -57,14 +57,14 @@ fn main() {
         clusters.centers.len(),
         clusters.assigned(),
         clusters.total_distance,
-        stats_km.work.edges_traversed,
+        stats_km.work.edges_traversed(),
     );
 
     println!(
         "\nmodelled time (8 machines): MIS {:.3} ms, {k}-core {:.3} ms, \
          K-means {:.3} ms",
-        stats_s.virtual_time * 1e3,
-        stats_core.virtual_time * 1e3,
-        stats_km.virtual_time * 1e3,
+        stats_s.virtual_time() * 1e3,
+        stats_core.virtual_time() * 1e3,
+        stats_km.virtual_time() * 1e3,
     );
 }

@@ -14,7 +14,10 @@ fn main() {
     for (udf, note) in [
         (paper_udfs::bfs_udf(), "control dependency (Figure 1b)"),
         (paper_udfs::kcore_udf(8), "data dependency: carried counter"),
-        (paper_udfs::sampling_udf(), "data dependency: carried prefix sum"),
+        (
+            paper_udfs::sampling_udf(),
+            "data dependency: carried prefix sum",
+        ),
     ] {
         println!("==== input UDF — {note} ====");
         println!("{}", pretty(&udf));
@@ -63,13 +66,13 @@ fn main() {
             parent == Vid::new(0)
         };
         w.pull(&prog, &mut dep, &mut apply);
-        w.allreduce_sum(found)
+        w.allreduce(found, |a, b| a + b)
     });
     println!(
         "interpreted BFS level on star(500): {} leaves adopted the hub as \
          parent\n(edges traversed: {}, modelled {:.4} ms)",
         res.outputs[0],
-        res.stats.work.edges_traversed,
-        res.stats.virtual_time * 1e3,
+        res.stats.work.edges_traversed(),
+        res.stats.virtual_time() * 1e3,
     );
 }

@@ -18,7 +18,11 @@
 //!   propagation, differentiated propagation, double buffering, plus the
 //!   Gemini and D-Galois-style baselines;
 //! * [`algos`] — the five evaluated algorithms with references and
-//!   validators.
+//!   validators;
+//! * [`trace`] — the always-on observability layer: categorized
+//!   virtual-time spans and byte counters, chrome://tracing export, and
+//!   the structured metrics report (see `RunStats::trace` /
+//!   `RunStats::metrics`).
 //!
 //! # Quickstart
 //!
@@ -35,8 +39,8 @@
 //! println!(
 //!     "reached {} vertices, traversed {} edges, modelled {:.3} ms",
 //!     out.reached(),
-//!     stats.work.edges_traversed,
-//!     stats.virtual_time * 1e3,
+//!     stats.work.edges_traversed(),
+//!     stats.virtual_time() * 1e3,
 //! );
 //! ```
 
@@ -46,4 +50,5 @@ pub use symple_algos as algos;
 pub use symple_core as core;
 pub use symple_graph as graph;
 pub use symple_net as net;
+pub use symple_trace as trace;
 pub use symple_udf as udf;

@@ -34,9 +34,9 @@ fn galois_and_gemini_do_identical_compute() {
     let g = RmatConfig::graph500(9, 8).cleaned(true).generate();
     let (_, a) = mis(&g, &EngineConfig::new(4, Policy::Gemini), 1);
     let (_, b) = mis(&g, &EngineConfig::new(4, Policy::Galois), 1);
-    assert_eq!(a.work.edges_traversed, b.work.edges_traversed);
-    assert_eq!(a.work.skipped_by_dep, 0);
-    assert_eq!(b.work.skipped_by_dep, 0);
+    assert_eq!(a.work.edges_traversed(), b.work.edges_traversed());
+    assert_eq!(a.work.skipped_by_dep(), 0);
+    assert_eq!(b.work.skipped_by_dep(), 0);
 }
 
 #[test]
@@ -48,7 +48,7 @@ fn dependency_savings_grow_with_machine_count() {
     for machines in [1usize, 2, 4, 8] {
         let (_, gem) = mis(&g, &EngineConfig::new(machines, Policy::Gemini), 1);
         let (_, sym) = mis(&g, &EngineConfig::new(machines, Policy::symple()), 1);
-        let saving = gem.work.edges_traversed as i64 - sym.work.edges_traversed as i64;
+        let saving = gem.work.edges_traversed() as i64 - sym.work.edges_traversed() as i64;
         if machines == 1 {
             assert_eq!(saving, 0, "single machine: nothing to propagate");
         } else {
@@ -73,10 +73,10 @@ fn single_machine_policies_are_indistinguishable() {
         assert_eq!(stats.comm.bytes(symplegraph::net::CommKind::Update), 0);
         assert_eq!(stats.comm.bytes(symplegraph::net::CommKind::Dependency), 0);
         match &baseline {
-            None => baseline = Some((out, stats.work.edges_traversed)),
+            None => baseline = Some((out, stats.work.edges_traversed())),
             Some((b_out, b_edges)) => {
                 assert_eq!(out.in_core, b_out.in_core);
-                assert_eq!(stats.work.edges_traversed, *b_edges);
+                assert_eq!(stats.work.edges_traversed(), *b_edges);
             }
         }
     }

@@ -5,8 +5,8 @@
 //! Gemini.
 
 use symplegraph::algos::{
-    bfs, kcore, kmeans, mis, sampling, validate_bfs, validate_kcore, validate_kmeans,
-    validate_mis, validate_sampling,
+    bfs, kcore, kmeans, mis, sampling, validate_bfs, validate_kcore, validate_kmeans, validate_mis,
+    validate_sampling,
 };
 use symplegraph::core::{EngineConfig, Policy};
 use symplegraph::graph::{barabasi_albert, RmatConfig, Vid};
@@ -117,23 +117,32 @@ fn symple_never_traverses_more_than_gemini() {
 
     let (_, a) = bfs(&g, &gem, root);
     let (_, b) = bfs(&g, &sym, root);
-    assert!(b.work.edges_traversed <= a.work.edges_traversed, "bfs");
+    assert!(b.work.edges_traversed() <= a.work.edges_traversed(), "bfs");
 
     let (_, a) = kcore(&g, &gem, 8);
     let (_, b) = kcore(&g, &sym, 8);
-    assert!(b.work.edges_traversed <= a.work.edges_traversed, "kcore");
+    assert!(
+        b.work.edges_traversed() <= a.work.edges_traversed(),
+        "kcore"
+    );
 
     let (_, a) = mis(&g, &gem, 1);
     let (_, b) = mis(&g, &sym, 1);
-    assert!(b.work.edges_traversed <= a.work.edges_traversed, "mis");
+    assert!(b.work.edges_traversed() <= a.work.edges_traversed(), "mis");
 
     let (_, a) = kmeans(&g, &gem, 1, 2);
     let (_, b) = kmeans(&g, &sym, 1, 2);
-    assert!(b.work.edges_traversed <= a.work.edges_traversed, "kmeans");
+    assert!(
+        b.work.edges_traversed() <= a.work.edges_traversed(),
+        "kmeans"
+    );
 
     let (_, a) = sampling(&g, &gem, 1);
     let (_, b) = sampling(&g, &sym, 1);
-    assert!(b.work.edges_traversed <= a.work.edges_traversed, "sampling");
+    assert!(
+        b.work.edges_traversed() <= a.work.edges_traversed(),
+        "sampling"
+    );
 }
 
 #[test]

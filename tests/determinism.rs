@@ -16,7 +16,11 @@ fn repeated_runs_are_bit_identical() {
     assert_eq!(out1, out2);
     assert_eq!(st1.work, st2.work);
     assert_eq!(st1.comm, st2.comm);
-    assert_eq!(st1.virtual_time, st2.virtual_time, "virtual time is exact");
+    assert_eq!(
+        st1.virtual_time(),
+        st2.virtual_time(),
+        "virtual time is exact"
+    );
 }
 
 #[test]
@@ -55,7 +59,7 @@ fn stats_scale_down_with_dependency_enforcement() {
     let g = RmatConfig::graph500(10, 16).cleaned(true).generate();
     let (_, gem) = mis(&g, &EngineConfig::new(8, Policy::Gemini), 1);
     let (_, sym) = mis(&g, &EngineConfig::new(8, Policy::symple()), 1);
-    let ratio = sym.work.edges_traversed as f64 / gem.work.edges_traversed as f64;
+    let ratio = sym.work.edges_traversed() as f64 / gem.work.edges_traversed() as f64;
     assert!(
         (0.2..0.95).contains(&ratio),
         "symple/gemini MIS edge ratio drifted to {ratio:.3}"

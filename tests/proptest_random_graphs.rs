@@ -12,15 +12,13 @@ use symplegraph::graph::{Graph, GraphBuilder, Vid};
 /// An arbitrary symmetric graph from an edge list over `n` vertices.
 fn arb_graph(max_n: usize, max_edges: usize) -> impl Strategy<Value = Graph> {
     (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 1..max_edges).prop_map(
-            move |edges| {
-                let mut b = GraphBuilder::new(n);
-                for (s, d) in edges {
-                    b.add_edge(Vid::new(s), Vid::new(d));
-                }
-                b.symmetrize(true).dedup(true).drop_self_loops(true).build()
-            },
-        )
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..max_edges).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (s, d) in edges {
+                b.add_edge(Vid::new(s), Vid::new(d));
+            }
+            b.symmetrize(true).dedup(true).drop_self_loops(true).build()
+        })
     })
 }
 

@@ -1,0 +1,707 @@
+//! Generation-only stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched from the registry. This shim implements exactly the
+//! API surface the workspace's property tests use — the `proptest!` macro,
+//! the [`Strategy`] trait with `prop_map` / `prop_flat_map` / `prop_filter`
+//! / `prop_recursive`, `prop_oneof!`, `Just`, `any`, range / tuple /
+//! pattern strategies, and `proptest::collection::vec` — backed by a
+//! deterministic SplitMix64 generator.
+//!
+//! It deliberately does **not** implement shrinking, failure persistence,
+//! or `prop_assume`; a failing case simply panics with the generated
+//! values' assertion message. Each test function derives its RNG stream
+//! from its own name plus the case index, so runs are reproducible.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator seeded with `seed` (pre-advanced once so a zero
+    /// seed is not a fixed point).
+    pub fn new(seed: u64) -> Self {
+        let mut rng = TestRng { state: seed };
+        rng.next_u64();
+        rng
+    }
+
+    /// Seeds a generator for test `name`, case number `case`.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::new(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` in `[0, bound)` via rejection sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_below bound must be positive");
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        self.gen_below(bound as u64) as usize
+    }
+}
+
+/// Per-test configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a pure
+/// function from an RNG to a value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `func`.
+    fn prop_map<U, F>(self, func: F) -> Map<Self, F, U>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map {
+            source: self,
+            func,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Generates a value, then generates from the strategy `func` builds
+    /// out of it.
+    fn prop_flat_map<S, F>(self, func: F) -> FlatMap<Self, F, S>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap {
+            source: self,
+            func,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Rejects generated values failing `pred`, retrying with fresh draws.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf case and `recurse`
+    /// wraps an inner strategy into a deeper one, nested at most `depth`
+    /// times. `_desired_size` and `_expected_branch_size` are accepted for
+    /// API compatibility but only bias the leaf/recurse coin.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for level in 0..depth {
+            let rec = recurse(current).boxed();
+            let leaf = leaf.clone();
+            // Bias toward leaves as nesting deepens so generated trees
+            // stay small.
+            let leaf_weight = 1 + level as u64;
+            current = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                if rng.gen_below(leaf_weight + 1) == 0 {
+                    rec.generate(rng)
+                } else {
+                    leaf.generate(rng)
+                }
+            }));
+        }
+        current
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F, U> {
+    source: S,
+    func: F,
+    _marker: std::marker::PhantomData<fn() -> U>,
+}
+
+impl<S: Clone, F: Clone, U> Clone for Map<S, F, U> {
+    fn clone(&self) -> Self {
+        Map {
+            source: self.source.clone(),
+            func: self.func.clone(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<S, F, U> Strategy for Map<S, F, U>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.func)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F, S2> {
+    source: S,
+    func: F,
+    _marker: std::marker::PhantomData<fn() -> S2>,
+}
+
+impl<S: Clone, F: Clone, S2> Clone for FlatMap<S, F, S2> {
+    fn clone(&self) -> Self {
+        FlatMap {
+            source: self.source.clone(),
+            func: self.func.clone(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F, S2>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        let inner = (self.func)(self.source.generate(rng));
+        inner.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.source.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.reason);
+    }
+}
+
+/// Uniform choice between type-erased arms; built by `prop_oneof!`.
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<V> Union<V> {
+    /// A union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.arms[rng.gen_index(self.arms.len())].generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary {
+    /// Draws an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// Floats are drawn finite (magnitude-varied, both signs) rather than from
+// raw bit patterns: the tests round-trip floats through wire encoding and
+// compare with `==`, which NaN would spuriously fail.
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        let mantissa = rng.gen_f64() * 2.0 - 1.0;
+        let exponent = rng.gen_index(121) as i32 - 60;
+        mantissa * 2f64.powi(exponent)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        let mantissa = rng.gen_f64() * 2.0 - 1.0;
+        let exponent = rng.gen_index(61) as i32 - 30;
+        (mantissa * 2f64.powi(exponent)) as f32
+    }
+}
+
+/// The canonical strategy for `T` ([`Arbitrary`] types only).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                let offset = rng.gen_below(width);
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.gen_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, G)
+}
+
+/// `&str` strategies: a small regex-like pattern language covering the
+/// forms the workspace uses (literals, `[a-z0-9_]`-style classes with
+/// ranges, and `{m,n}` / `{n}` / `?` / `*` / `+` quantifiers).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+mod pattern {
+    use super::TestRng;
+
+    pub fn generate(pat: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let (choices, next) = parse_atom(&chars, i, pat);
+            let (lo, hi, after) = parse_quantifier(&chars, next, pat);
+            i = after;
+            let count = lo + rng.gen_index(hi - lo + 1);
+            for _ in 0..count {
+                out.push(choices[rng.gen_index(choices.len())]);
+            }
+        }
+        out
+    }
+
+    /// Parses one atom starting at `i`; returns its candidate characters
+    /// and the index just past it.
+    fn parse_atom(chars: &[char], i: usize, pat: &str) -> (Vec<char>, usize) {
+        match chars[i] {
+            '[' => {
+                let mut choices = Vec::new();
+                let mut j = i + 1;
+                while j < chars.len() && chars[j] != ']' {
+                    if j + 2 < chars.len() && chars[j + 1] == '-' && chars[j + 2] != ']' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad class range in pattern {pat:?}");
+                        for c in lo..=hi {
+                            choices.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        choices.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(j < chars.len(), "unclosed [ in pattern {pat:?}");
+                assert!(!choices.is_empty(), "empty class in pattern {pat:?}");
+                (choices, j + 1)
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "dangling \\ in pattern {pat:?}");
+                (vec![chars[i + 1]], i + 2)
+            }
+            c => (vec![c], i + 1),
+        }
+    }
+
+    /// Parses an optional quantifier at `i`; returns (min, max, next index).
+    fn parse_quantifier(chars: &[char], i: usize, pat: &str) -> (usize, usize, usize) {
+        match chars.get(i) {
+            Some('?') => (0, 1, i + 1),
+            Some('*') => (0, 8, i + 1),
+            Some('+') => (1, 8, i + 1),
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pat:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = match body.split_once(',') {
+                    Some((l, h)) => (
+                        l.trim().parse().expect("bad quantifier"),
+                        h.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                };
+                assert!(lo <= hi, "bad quantifier in pattern {pat:?}");
+                (lo, hi, close + 1)
+            }
+            _ => (1, 1, i),
+        }
+    }
+}
+
+/// Collection strategies (only `vec` is provided).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s of `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.start + rng.gen_index(self.size.end - self.size.start);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Declares property tests. Each `#[test] fn name(pat in strategy, ...)`
+/// item becomes a normal test that generates `cases` inputs (from the
+/// optional leading `#![proptest_config(...)]`) and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let __strategy = ($($strat,)+);
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case as u64,
+                );
+                let ($($pat,)+) = $crate::Strategy::generate(&__strategy, &mut __rng);
+                $body
+            }
+        }
+    )*};
+}
+
+/// Assertion macros; without shrinking these are plain `assert!`s.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..200 {
+            let v = (3u32..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (0.5f64..2.5).generate(&mut rng);
+            assert!((0.5..2.5).contains(&f));
+            let i = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let strat = crate::collection::vec((0u32..100, any::<bool>()), 0..20);
+        let a = strat.generate(&mut crate::TestRng::for_case("t", 3));
+        let b = strat.generate(&mut crate::TestRng::for_case("t", 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pattern_generates_idents() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,6}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u32),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = (0u32..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 16, 3, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        });
+        let mut rng = crate::TestRng::new(11);
+        for _ in 0..100 {
+            assert!(depth(&strat.generate(&mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_patterns((a, b) in (0u32..10, 0u32..10), c in any::<bool>()) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(c, c);
+        }
+    }
+}
