@@ -17,6 +17,13 @@ fi
 echo "== tests (workspace) =="
 cargo test -q --offline --workspace
 
+if [ "$QUICK" = 0 ]; then
+  echo "== executor smoke (threads=4) =="
+  cargo run --release --offline -p symple-bench --bin experiments -- \
+    --threads 1,4 --scale 13 --scaling-json BENCH_scaling_smoke.json
+  rm -f BENCH_scaling_smoke.json
+fi
+
 echo "== rustfmt =="
 cargo fmt --check
 

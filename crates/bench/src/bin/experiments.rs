@@ -17,7 +17,7 @@ use symple_bench::experiments;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--chrome-trace FILE] [--metrics-json FILE] [<id>... | all]\n  ids: table1..table7, fig10, fig11, cost, ablation_threshold,\n       ablation_groups, direction, replication"
+        "usage: experiments [--chrome-trace FILE] [--metrics-json FILE]\n                   [--threads LIST [--scale N] [--scaling-json FILE]] [<id>... | all]\n  ids: table1..table7, fig10, fig11, cost, ablation_threshold,\n       ablation_groups, direction, replication\n  --threads LIST   comma-separated executor thread counts (e.g. 1,2,4);\n                   runs the intra-machine scaling sweep on an RMAT graph\n                   of 2^N vertices (--scale N, default 18) and writes the\n                   points to --scaling-json (default BENCH_scaling.json)"
     );
     std::process::exit(2);
 }
@@ -26,21 +26,52 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut chrome_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut threads_list: Option<Vec<usize>> = None;
+    let mut scale: u32 = 18;
+    let mut scaling_path = String::from("BENCH_scaling.json");
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--chrome-trace" => chrome_path = Some(it.next().unwrap_or_else(|| usage())),
             "--metrics-json" => metrics_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--threads" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(|t| t.trim().parse()).collect();
+                match parsed {
+                    Ok(v) if !v.is_empty() && !v.contains(&0) => threads_list = Some(v),
+                    _ => usage(),
+                }
+            }
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--scaling-json" => scaling_path = it.next().unwrap_or_else(|| usage()),
             "--help" | "-h" => usage(),
             _ => ids.push(arg),
         }
     }
-    if ids.is_empty() && chrome_path.is_none() && metrics_path.is_none() {
+    if ids.is_empty() && chrome_path.is_none() && metrics_path.is_none() && threads_list.is_none() {
         usage();
     }
 
     let start = Instant::now();
+    if let Some(threads) = &threads_list {
+        let points = experiments::scaling_sweep(scale, threads);
+        let report = experiments::scaling_report(scale, &points);
+        println!("=== {} — {} ===", report.id, report.title);
+        println!("{}", report.text);
+        let json = experiments::scaling_json(scale, &points);
+        std::fs::write(&scaling_path, json).unwrap_or_else(|e| {
+            eprintln!("error: writing {scaling_path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[scaling sweep written to {scaling_path}]");
+    }
     if chrome_path.is_some() || metrics_path.is_some() {
         let stats = experiments::traced_probe();
         if let Some(path) = &chrome_path {

@@ -684,6 +684,101 @@ pub fn replication() -> Report {
     )
 }
 
+/// One point of the intra-machine executor scaling sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Executor threads per simulated machine.
+    pub threads: usize,
+    /// Host wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+    /// Modelled virtual seconds (critical-path compute charging).
+    pub virtual_secs: f64,
+}
+
+/// Sweeps `EngineConfig::threads` on a pull-only BFS over an RMAT graph
+/// (`graph500(scale, 16)`, one simulated machine so the measurement is
+/// pure intra-machine compute). Outputs are asserted identical across
+/// points — the executor is a performance knob only.
+pub fn scaling_sweep(scale: u32, threads_list: &[usize]) -> Vec<ScalingPoint> {
+    use symple_algos::{bfs_with_direction, Direction};
+    use symple_graph::RmatConfig;
+    let graph = RmatConfig::graph500(scale, 16).cleaned(true).generate();
+    let root = bfs_roots(&graph, 1)[0];
+    let mut reference = None;
+    threads_list
+        .iter()
+        .map(|&threads| {
+            let cfg = EngineConfig::new(1, Policy::Gemini).threads(threads);
+            let start = std::time::Instant::now();
+            let (out, stats) = bfs_with_direction(&graph, &cfg, root, Direction::PullOnly);
+            let wall_secs = start.elapsed().as_secs_f64();
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(&out, r, "thread count changed the BFS output"),
+            }
+            ScalingPoint {
+                threads,
+                wall_secs,
+                virtual_secs: stats.virtual_time(),
+            }
+        })
+        .collect()
+}
+
+/// Renders a scaling sweep as a machine-readable JSON document
+/// (`BENCH_scaling.json`).
+pub fn scaling_json(scale: u32, points: &[ScalingPoint]) -> String {
+    let mut w = symple_trace::json::JsonWriter::new();
+    w.begin_object();
+    w.key("bench").string("intra_machine_scaling");
+    w.key("graph").string(&format!("rmat graph500({scale},16)"));
+    w.key("algo")
+        .string("bfs pull-only, 1 machine, Gemini policy");
+    w.key("points").begin_array();
+    for p in points {
+        w.begin_object();
+        w.key("threads").u64(p.threads as u64);
+        w.key("wall_secs").f64(p.wall_secs);
+        w.key("virtual_secs").f64(p.virtual_secs);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Renders a scaling sweep as a report table. Virtual-time speedup is
+/// deterministic (the modelled critical path shrinks with lanes); wall
+/// speedup depends on the host's physical core count.
+pub fn scaling_report(scale: u32, points: &[ScalingPoint]) -> Report {
+    let base = points.first().copied();
+    let rows = points
+        .iter()
+        .map(|p| {
+            let (w0, v0) = base.map(|b| (b.wall_secs, b.virtual_secs)).unwrap();
+            vec![
+                p.threads.to_string(),
+                secs(p.wall_secs),
+                speedup(w0 / p.wall_secs),
+                secs(p.virtual_secs),
+                speedup(v0 / p.virtual_secs),
+            ]
+        })
+        .collect::<Vec<_>>();
+    let text = format!(
+        "{}\nPull-only BFS on rmat graph500({scale},16), 1 machine, Gemini policy.\nVirtual speedup is the modelled critical-path gain (deterministic);\nwall speedup saturates at the host's physical core count.\n",
+        table(
+            &["threads", "wall", "wall x", "virtual", "virtual x"],
+            &rows
+        )
+    );
+    Report::new(
+        "scaling",
+        "Intra-machine executor scaling (extension)",
+        text,
+    )
+}
+
 /// Runs every experiment in paper order.
 pub fn all() -> Vec<Report> {
     vec![

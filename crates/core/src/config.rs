@@ -10,6 +10,10 @@ pub enum ConfigError {
     ZeroMachines,
     /// `buffer_groups` was 0 — double buffering needs at least one group.
     ZeroBufferGroups,
+    /// `threads` was 0 — the intra-machine executor needs at least one.
+    ZeroThreads,
+    /// `chunk_size` was 0 — chunks must contain at least one entry.
+    ZeroChunkSize,
 }
 
 impl fmt::Display for ConfigError {
@@ -20,6 +24,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroBufferGroups => {
                 write!(f, "buffer_groups must be at least 1 (got 0)")
+            }
+            ConfigError::ZeroThreads => {
+                write!(f, "threads must be at least 1 (got 0)")
+            }
+            ConfigError::ZeroChunkSize => {
+                write!(f, "chunk_size must be at least 1 (got 0)")
             }
         }
     }
@@ -102,6 +112,14 @@ pub struct EngineConfig {
     /// Extra per-vertex weight when balancing the partition by
     /// `alpha · |V_i| + |E_i|` (Gemini's locality-aware chunking).
     pub partition_alpha: f64,
+    /// Worker threads per simulated machine for the chunked intra-machine
+    /// executor (Gemini's multicore edge loop). Outputs, `WorkStats`, and
+    /// byte streams are bit-identical for any value — only host wall time
+    /// and the modelled critical-path compute charge change.
+    pub threads: usize,
+    /// Destination entries per executor chunk: the work-stealing granule
+    /// and the unit the virtual-time critical path is computed over.
+    pub chunk_size: usize,
     /// How much the run records about itself: `Off` (nothing),
     /// `Metrics` (categorized counters, the default — negligible cost), or
     /// `Full` (also per-event spans for chrome://tracing export).
@@ -119,6 +137,8 @@ impl EngineConfig {
             buffer_groups: 2,
             cost: CostModel::cluster_a(),
             partition_alpha: 8.0,
+            threads: 1,
+            chunk_size: 1024,
             trace_level: TraceLevel::Metrics,
         }
     }
@@ -147,6 +167,18 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the intra-machine executor thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the executor chunk size (entries per work-stealing granule).
+    pub fn chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size;
+        self
+    }
+
     /// Validates the configuration, reporting the first problem found.
     ///
     /// [`crate::run_spmd`] calls this before spawning the cluster and
@@ -165,6 +197,12 @@ impl EngineConfig {
         }
         if self.buffer_groups == 0 {
             return Err(ConfigError::ZeroBufferGroups);
+        }
+        if self.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        if self.chunk_size == 0 {
+            return Err(ConfigError::ZeroChunkSize);
         }
         Ok(())
     }
@@ -247,5 +285,31 @@ mod tests {
             .validate()
             .unwrap_err();
         assert_eq!(err, ConfigError::ZeroBufferGroups);
+    }
+
+    #[test]
+    fn executor_defaults_are_sequential() {
+        let cfg = EngineConfig::new(4, Policy::symple());
+        assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.chunk_size, 1024);
+        let cfg = cfg.threads(8).chunk_size(256);
+        assert_eq!(cfg.threads, 8);
+        assert_eq!(cfg.chunk_size, 256);
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_threads_and_chunk_invalid() {
+        let err = EngineConfig::new(2, Policy::Gemini)
+            .threads(0)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroThreads);
+        assert!(err.to_string().contains("threads"));
+        let err = EngineConfig::new(2, Policy::Gemini)
+            .chunk_size(0)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroChunkSize);
     }
 }

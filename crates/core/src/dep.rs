@@ -52,6 +52,46 @@ pub trait DepState: Send {
     fn wire_bytes(len: usize) -> usize
     where
         Self: Sized;
+
+    /// A fresh, reset state with `slots` slots sharing this instance's
+    /// configuration (threshold, arity, …) but none of its values — the
+    /// constructor the chunked executor uses to build disjoint shard
+    /// views and per-chunk scratch slots.
+    fn detach(&self, slots: usize) -> Self
+    where
+        Self: Sized;
+
+    /// Copies the slots in `range` into a detached state of its own,
+    /// re-based so shard slot `i` mirrors slot `range.start + i` here.
+    ///
+    /// Together with [`DepState::merge_shard`] this is the engine's
+    /// `split_at_mut` substitute: the high-degree pass hands each chunk a
+    /// shard over its (disjoint, contiguous) slot sub-range, chunks
+    /// mutate their shards concurrently, and merging the shards back in
+    /// any order reproduces sequential execution exactly — slot values
+    /// travel through the same wire codec used between machines, so the
+    /// round trip is bit-exact.
+    fn extract_shard(&self, range: Range<usize>) -> Self
+    where
+        Self: Sized,
+    {
+        let mut shard = self.detach(range.len());
+        let mut buf = Vec::new();
+        self.encode_range(range.clone(), &mut buf);
+        shard.decode_range(0..range.len(), &buf);
+        shard
+    }
+
+    /// Writes a shard produced by [`DepState::extract_shard`] over
+    /// `range` back into this state.
+    fn merge_shard(&mut self, range: Range<usize>, shard: &Self)
+    where
+        Self: Sized,
+    {
+        let mut buf = Vec::new();
+        shard.encode_range(0..range.len(), &mut buf);
+        self.decode_range(range, &buf);
+    }
 }
 
 /// Control-only dependency: one skip bit per slot.
@@ -110,6 +150,10 @@ impl DepState for BitDep {
 
     fn wire_bytes(len: usize) -> usize {
         len.div_ceil(8)
+    }
+
+    fn detach(&self, slots: usize) -> Self {
+        BitDep::new(slots)
     }
 }
 
@@ -175,6 +219,10 @@ impl DepState for CountDep {
 
     fn wire_bytes(len: usize) -> usize {
         len
+    }
+
+    fn detach(&self, slots: usize) -> Self {
+        CountDep::new(slots, self.k)
     }
 }
 
@@ -260,6 +308,10 @@ impl DepState for WeightDep {
 
     fn wire_bytes(len: usize) -> usize {
         len * 4 + len.div_ceil(8)
+    }
+
+    fn detach(&self, slots: usize) -> Self {
+        WeightDep::new(slots)
     }
 }
 
@@ -407,6 +459,47 @@ mod tests {
         assert_eq!(d2.accumulated(5), 9.0);
         assert!(d2.should_skip(6));
         assert_eq!(d2.accumulated(9), 0.0);
+    }
+
+    #[test]
+    fn shard_roundtrip_reproduces_sequential_state() {
+        let mut d = CountDep::new(10, 3);
+        d.increment(4);
+        d.increment(4);
+        d.increment(7);
+        // Split 3..8 off, mutate it shard-locally, merge back.
+        let mut shard = d.extract_shard(3..8);
+        assert_eq!(shard.k(), 3, "detach carries the threshold");
+        assert_eq!(shard.count(1), 2, "shard slot 1 mirrors parent slot 4");
+        assert_eq!(shard.count(4), 1, "shard slot 4 mirrors parent slot 7");
+        shard.increment(1); // parent slot 4 → saturated
+        shard.increment(0); // parent slot 3
+        d.merge_shard(3..8, &shard);
+        assert!(d.should_skip(4));
+        assert_eq!(d.count(3), 1);
+        assert_eq!(d.count(7), 1, "inside-range slots come back unchanged");
+        assert_eq!(d.count(8), 0, "outside the range nothing moves");
+    }
+
+    #[test]
+    fn weight_shard_is_bit_exact() {
+        let mut d = WeightDep::new(6);
+        d.add_weight(2, 0.1); // 0.1 is not exactly representable: the
+        d.select(3); // round trip must preserve the f32 bits, not the value
+        let shard = d.extract_shard(2..5);
+        assert_eq!(shard.accumulated(0).to_bits(), d.accumulated(2).to_bits());
+        let mut d2 = WeightDep::new(6);
+        d2.merge_shard(2..5, &shard);
+        assert_eq!(d2.accumulated(2).to_bits(), d.accumulated(2).to_bits());
+        assert!(d2.should_skip(3));
+    }
+
+    #[test]
+    fn detach_is_reset_regardless_of_parent_values() {
+        let mut d = BitDep::new(4);
+        d.mark(0);
+        let fresh = d.detach(2);
+        assert!(!fresh.should_skip(0) && !fresh.should_skip(1));
     }
 
     #[test]

@@ -38,6 +38,7 @@ mod config;
 mod dep;
 mod dist_graph;
 mod driver;
+pub mod par;
 mod partition;
 mod program;
 mod stats;

@@ -46,14 +46,20 @@ impl SignalOutcome {
 ///
 /// Implementations borrow the algorithm's read-only iteration state
 /// (frontiers, colors, weights) and are constructed fresh each iteration.
-pub trait PullProgram {
+/// `Sync` because the chunked executor calls [`PullProgram::signal`] from
+/// several worker threads at once (with disjoint dependency shards);
+/// programs hold shared references to iteration state, so this costs
+/// nothing in practice.
+pub trait PullProgram: Sync {
     /// Payload of update messages sent to the master (paired with the
-    /// destination vertex id on the wire).
-    type Update: Wire + Copy;
+    /// destination vertex id on the wire). `Send` so chunks can serialize
+    /// updates on executor threads.
+    type Update: Wire + Copy + Send;
 
     /// Dependency state type (choose [`crate::BitDep`],
     /// [`crate::CountDep`], [`crate::WeightDep`], or a custom impl).
-    type Dep: DepState;
+    /// `Send` so the executor can move detached shards onto its workers.
+    type Dep: DepState + Send;
 
     /// Is `v` a candidate destination this iteration? (Gemini's dense
     /// frontier predicate — e.g. "not yet visited" for bottom-up BFS.)
@@ -86,10 +92,11 @@ pub trait PullProgram {
 
 /// A sparse (push-mode) vertex program. Push mode has no loop-carried
 /// dependency (each out-edge is independent), so there is no dependency
-/// state.
-pub trait PushProgram {
+/// state. `Sync` for the same reason as [`PullProgram`]: the chunked
+/// executor fans the frontier walk out over worker threads.
+pub trait PushProgram: Sync {
     /// Payload of update messages (paired with the destination id).
-    type Update: Wire + Copy;
+    type Update: Wire + Copy + Send;
 
     /// Process the out-neighbours `dsts` of frontier vertex `u`.
     /// `emit(dst, update)` queues an update for `dst`'s master.

@@ -26,6 +26,7 @@
 //!   packed bit-words, a dense slice, or sparse `(vid, value)` deltas.
 
 use crate::circulant::{dst_partition, processing_order};
+use crate::par::{self, ParCfg, PassOutput};
 use crate::{
     DepLayout, DepState, EngineConfig, LocalGraph, Partition, Policy, PullProgram, PushProgram,
     WorkMetric, WorkStats,
@@ -141,6 +142,14 @@ impl<'a> Worker<'a> {
     /// This machine's accumulated counters.
     pub fn stats(&self) -> WorkStats {
         self.stats
+    }
+
+    /// Executor parameters for the chunked intra-machine passes.
+    fn par_cfg(&self) -> ParCfg {
+        ParCfg {
+            threads: self.cfg.threads,
+            chunk: self.cfg.chunk_size,
+        }
     }
 
     /// Current virtual time on this machine.
@@ -305,12 +314,12 @@ impl<'a> Worker<'a> {
         self.iter_seq += 1;
         let iter = self.iter_seq;
         self.stats.add(WorkMetric::PullIterations, 1);
-        let scratch = self.layout.max_slots();
         let symple = self.cfg.policy.propagates_dependency();
         let galois = matches!(self.cfg.policy, Policy::Galois);
         let groups = self.cfg.effective_groups();
         let right = (rank + 1) % p;
         let left = (rank + p - 1) % p;
+        let pc = self.par_cfg();
         let mut local_updates: Vec<u8> = Vec::new();
 
         for s in 0..p {
@@ -319,32 +328,15 @@ impl<'a> Worker<'a> {
             let first = s == 0;
             let last = s + 1 == p;
             let n_slots = self.layout.slots(j);
-            let mut outbox: Vec<u8> = Vec::new();
-            let mut edges = 0u64;
-            let mut verts = 0u64;
-            let mut skipped = 0u64;
-            let mut emitted = 0u64;
+            let mut step = PassOutput::default();
 
             if !symple {
-                // Gemini/Galois: every destination uses the scratch slot;
-                // breaks act locally only.
+                // Gemini/Galois: every destination uses a detached scratch
+                // slot; breaks act locally only.
                 let bucket = self.local.bucket(j);
-                for part_ref in [&bucket.hi, &bucket.lo] {
-                    for (v, _slot, srcs) in part_ref.iter() {
-                        verts += 1;
-                        if !prog.dense_active(v) {
-                            continue;
-                        }
-                        dep.reset_range(scratch..scratch + 1);
-                        let out = prog.signal(v, srcs, dep, scratch, false, &mut |upd| {
-                            v.write(&mut outbox);
-                            upd.write(&mut outbox);
-                            emitted += 1;
-                        });
-                        edges += out.edges;
-                    }
-                }
-                self.ctx.compute(edges, verts);
+                step = par::scratch_pass(prog, &bucket.hi, dep, pc);
+                step.absorb(par::scratch_pass(prog, &bucket.lo, dep, pc));
+                self.ctx.compute_sharded(&step.chunk_costs, pc.threads);
             } else if groups == 1 {
                 // Plain circulant (with or without differentiated
                 // propagation, but no double buffering): wait for the whole
@@ -359,36 +351,9 @@ impl<'a> Worker<'a> {
                     }
                 }
                 let bucket = self.local.bucket(j);
-                for (v, slot, srcs) in bucket.hi.iter() {
-                    verts += 1;
-                    if !prog.dense_active(v) {
-                        continue;
-                    }
-                    if dep.should_skip(slot) {
-                        skipped += 1;
-                        continue;
-                    }
-                    let out = prog.signal(v, srcs, dep, slot, true, &mut |upd| {
-                        v.write(&mut outbox);
-                        upd.write(&mut outbox);
-                        emitted += 1;
-                    });
-                    edges += out.edges;
-                }
-                for (v, _slot, srcs) in bucket.lo.iter() {
-                    verts += 1;
-                    if !prog.dense_active(v) {
-                        continue;
-                    }
-                    dep.reset_range(scratch..scratch + 1);
-                    let out = prog.signal(v, srcs, dep, scratch, false, &mut |upd| {
-                        v.write(&mut outbox);
-                        upd.write(&mut outbox);
-                        emitted += 1;
-                    });
-                    edges += out.edges;
-                }
-                self.ctx.compute(edges, verts);
+                step = par::hi_pass(prog, &bucket.hi, 0..bucket.hi.len(), dep, pc);
+                step.absorb(par::scratch_pass(prog, &bucket.lo, dep, pc));
+                self.ctx.compute_sharded(&step.chunk_costs, pc.threads);
                 if !last && n_slots > 0 {
                     let mut payload = Vec::new();
                     dep.encode_range(0..n_slots, &mut payload);
@@ -401,22 +366,9 @@ impl<'a> Worker<'a> {
                 // receive → process → send.
                 {
                     let bucket = self.local.bucket(j);
-                    let mut lo_edges = 0u64;
-                    for (v, _slot, srcs) in bucket.lo.iter() {
-                        verts += 1;
-                        if !prog.dense_active(v) {
-                            continue;
-                        }
-                        dep.reset_range(scratch..scratch + 1);
-                        let out = prog.signal(v, srcs, dep, scratch, false, &mut |upd| {
-                            v.write(&mut outbox);
-                            upd.write(&mut outbox);
-                            emitted += 1;
-                        });
-                        lo_edges += out.edges;
-                    }
-                    edges += lo_edges;
-                    self.ctx.compute(lo_edges, bucket.lo.len() as u64);
+                    let lo = par::scratch_pass(prog, &bucket.lo, dep, pc);
+                    self.ctx.compute_sharded(&lo.chunk_costs, pc.threads);
+                    step.absorb(lo);
                 }
                 for g in 0..groups {
                     self.ctx.set_trace_scope(iter as u32, s as u32, g as u32);
@@ -431,33 +383,14 @@ impl<'a> Worker<'a> {
                             dep.decode_range(slot_range.clone(), &buf);
                         }
                     }
-                    let mut g_edges = 0u64;
-                    let mut g_verts = 0u64;
-                    {
+                    let gp = {
                         let bucket = self.local.bucket(j);
                         let e0 = bucket.hi.first_entry_with_slot(slot_range.start);
                         let e1 = bucket.hi.first_entry_with_slot(slot_range.end);
-                        for idx in e0..e1 {
-                            let (v, slot, srcs) = bucket.hi.entry(idx);
-                            g_verts += 1;
-                            if !prog.dense_active(v) {
-                                continue;
-                            }
-                            if dep.should_skip(slot) {
-                                skipped += 1;
-                                continue;
-                            }
-                            let out = prog.signal(v, srcs, dep, slot, true, &mut |upd| {
-                                v.write(&mut outbox);
-                                upd.write(&mut outbox);
-                                emitted += 1;
-                            });
-                            g_edges += out.edges;
-                        }
-                    }
-                    edges += g_edges;
-                    verts += g_verts;
-                    self.ctx.compute(g_edges, g_verts);
+                        par::hi_pass(prog, &bucket.hi, e0..e1, dep, pc)
+                    };
+                    self.ctx.compute_sharded(&gp.chunk_costs, pc.threads);
+                    step.absorb(gp);
                     if !last && !slot_range.is_empty() {
                         let mut payload = Vec::new();
                         dep.encode_range(slot_range, &mut payload);
@@ -467,25 +400,26 @@ impl<'a> Worker<'a> {
                 }
             }
 
-            self.stats.add(WorkMetric::EdgesTraversed, edges);
-            self.stats.add(WorkMetric::VerticesExamined, verts);
-            self.stats.add(WorkMetric::SkippedByDep, skipped);
-            self.stats.add(WorkMetric::UpdatesEmitted, emitted);
+            self.stats.add(WorkMetric::EdgesTraversed, step.edges);
+            self.stats.add(WorkMetric::VerticesExamined, step.verts);
+            self.stats.add(WorkMetric::SkippedByDep, step.skipped);
+            self.stats.add(WorkMetric::UpdatesEmitted, step.emitted);
 
             self.ctx.set_trace_scope(iter as u32, s as u32, 0);
             if j == rank {
-                local_updates = outbox;
+                local_updates = step.bytes;
             } else {
                 let tag = Tag::new(TagKind::Update, iter * p as u64 + s as u64, 0);
-                self.ctx.send(j, tag, CommKind::Update, outbox);
+                self.ctx.send(j, tag, CommKind::Update, step.bytes);
             }
         }
 
         // Apply phase: consume update buffers in the circulant processing
         // order of this partition (…, rank−2, rank−1 first; local last), so
         // the master folds partial results in exactly the sequential
-        // neighbour order the dependency semantics define.
-        let pair = 4 + P::Update::SIZE;
+        // neighbour order the dependency semantics define. Decoding is
+        // chunked; `apply` itself runs sequentially in stream order (it is
+        // a `FnMut` over caller state).
         let mut activated = 0u64;
         let mut feedback: Vec<u8> = Vec::new();
         for m in processing_order(rank, p) {
@@ -499,10 +433,8 @@ impl<'a> Worker<'a> {
                 let tag = Tag::new(TagKind::Update, iter * p as u64 + s as u64, 0);
                 self.ctx.recv(m, tag)
             };
-            let n_pairs = buf.len() / pair;
-            for c in buf.chunks_exact(pair) {
-                let v = Vid::read(c);
-                let upd = P::Update::read(&c[4..]);
+            let (pairs, costs) = par::decode_pass::<P::Update>(&buf, pc);
+            for (v, upd) in pairs {
                 debug_assert!(self.is_master(v), "update routed to wrong master");
                 if apply(v, upd) {
                     activated += 1;
@@ -514,7 +446,7 @@ impl<'a> Worker<'a> {
                     upd.write(&mut feedback);
                 }
             }
-            self.ctx.compute(0, n_pairs as u64);
+            self.ctx.compute_sharded(&costs, pc.threads);
         }
 
         if galois {
@@ -548,25 +480,19 @@ impl<'a> Worker<'a> {
         self.ctx.set_trace_scope(iter as u32, 0, 0);
         let galois = matches!(self.cfg.policy, Policy::Galois);
 
-        let mut outboxes: Vec<Vec<u8>> = vec![Vec::new(); p];
-        let mut edges = 0u64;
-        let mut emitted = 0u64;
-        for &u in frontier {
-            debug_assert!(self.is_master(u), "push frontier must be local masters");
-            let part = &self.part;
-            edges += prog.signal(u, self.graph.out_neighbors(u), &mut |dst, upd| {
-                let owner = part.owner(dst);
-                dst.write(&mut outboxes[owner]);
-                upd.write(&mut outboxes[owner]);
-                emitted += 1;
-            });
-        }
-        self.stats.add(WorkMetric::EdgesTraversed, edges);
+        debug_assert!(
+            frontier.iter().all(|&u| self.is_master(u)),
+            "push frontier must be local masters"
+        );
+        let pc = self.par_cfg();
+        let pass = par::push_pass(prog, self.graph, &self.part, frontier, pc);
+        self.stats.add(WorkMetric::EdgesTraversed, pass.edges);
         self.stats
             .add(WorkMetric::VerticesExamined, frontier.len() as u64);
-        self.stats.add(WorkMetric::UpdatesEmitted, emitted);
-        self.ctx.compute(edges, frontier.len() as u64);
+        self.stats.add(WorkMetric::UpdatesEmitted, pass.emitted);
+        self.ctx.compute_sharded(&pass.chunk_costs, pc.threads);
 
+        let mut outboxes = pass.outboxes;
         let tag = Tag::new(TagKind::Update, iter * p as u64, 0);
         for (m, outbox) in outboxes.iter_mut().enumerate() {
             if m != rank {
@@ -575,7 +501,6 @@ impl<'a> Worker<'a> {
             }
         }
 
-        let pair = 4 + P::Update::SIZE;
         let mut activated = 0u64;
         let mut feedback: Vec<u8> = Vec::new();
         for m in 0..p {
@@ -584,10 +509,8 @@ impl<'a> Worker<'a> {
             } else {
                 self.ctx.recv(m, tag)
             };
-            let n_pairs = buf.len() / pair;
-            for c in buf.chunks_exact(pair) {
-                let v = Vid::read(c);
-                let upd = P::Update::read(&c[4..]);
+            let (pairs, costs) = par::decode_pass::<P::Update>(&buf, pc);
+            for (v, upd) in pairs {
                 debug_assert!(self.is_master(v), "update routed to wrong master");
                 if apply(v, upd) {
                     activated += 1;
@@ -599,7 +522,7 @@ impl<'a> Worker<'a> {
                     upd.write(&mut feedback);
                 }
             }
-            self.ctx.compute(0, n_pairs as u64);
+            self.ctx.compute_sharded(&costs, pc.threads);
         }
         if galois {
             let _ = self.ctx.allgather_bytes(feedback, CommKind::Update);

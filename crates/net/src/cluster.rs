@@ -8,7 +8,9 @@
 //! hangs.
 
 use crate::{CommKind, CommStats, CostModel};
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use symple_trace::{SpanCategory, Trace, TraceLevel, TraceRecorder};
 
@@ -51,7 +53,10 @@ struct Envelope {
     src: usize,
     tag: Tag,
     depart: f64,
-    payload: Vec<u8>,
+    /// Shared so collectives can broadcast one buffer without one clone
+    /// per destination; the receiver unwraps it (or clones, if other
+    /// references are still live) on arrival.
+    payload: Arc<Vec<u8>>,
     /// Set when the sending node panicked: receivers fail fast instead of
     /// waiting out the deadlock timeout.
     poison: bool,
@@ -66,7 +71,10 @@ pub struct NodeCtx {
     cost: CostModel,
     senders: Vec<Sender<Envelope>>,
     inbox: Receiver<Envelope>,
-    pending: Vec<Envelope>,
+    /// Out-of-order messages, indexed by (source, tag) so heavily
+    /// reordered steps match in O(1) instead of rescanning a flat list.
+    /// Messages with the same key stay FIFO in their queue.
+    pending: HashMap<(usize, Tag), VecDeque<Envelope>>,
     stats: CommStats,
     coll_epoch: u64,
     recv_timeout: Duration,
@@ -109,6 +117,36 @@ impl NodeCtx {
             .record_span(SpanCategory::Compute, start, self.clock);
     }
 
+    /// Advances the virtual clock by the *critical path* of a chunked
+    /// compute pass: per-chunk `(edges, vertices)` costs are scheduled
+    /// onto `threads` lanes with [`CostModel::schedule_lanes`] and the
+    /// busiest lane's time is charged — the modelled makespan of the
+    /// intra-machine executor, not the total work.
+    ///
+    /// With `threads <= 1` (or a single chunk) this is exactly
+    /// [`NodeCtx::compute`] on the summed chunks, bit for bit; otherwise
+    /// each lane's integer totals go through one `compute_time` call so
+    /// the charge is deterministic regardless of how the real thread pool
+    /// interleaved. Per-lane busy times are traced as parallel compute
+    /// spans (see `TraceRecorder::record_compute_lanes`).
+    pub fn compute_sharded(&mut self, chunks: &[(u64, u64)], threads: usize) {
+        if threads <= 1 || chunks.len() <= 1 {
+            let (edges, verts) = chunks
+                .iter()
+                .fold((0u64, 0u64), |a, &(e, v)| (a.0 + e, a.1 + v));
+            self.compute(edges, verts);
+            return;
+        }
+        let lane_secs: Vec<f64> = self
+            .cost
+            .schedule_lanes(chunks, threads)
+            .iter()
+            .map(|&(e, v)| self.cost.compute_time(e, v))
+            .collect();
+        let start = self.clock;
+        self.clock += self.trace.record_compute_lanes(start, &lane_secs);
+    }
+
     /// Advances the virtual clock by `seconds` of arbitrary modelled work.
     pub fn advance(&mut self, seconds: f64) {
         let start = self.clock;
@@ -148,6 +186,13 @@ impl NodeCtx {
     /// Panics on self-send (a protocol error: local work needs no message)
     /// or if `dst` is out of range.
     pub fn send(&mut self, dst: usize, tag: Tag, kind: CommKind, payload: Vec<u8>) {
+        self.send_shared(dst, tag, kind, Arc::new(payload));
+    }
+
+    /// [`NodeCtx::send`] on an already-shared buffer: collectives
+    /// broadcast one allocation to every peer instead of cloning per
+    /// destination. Accounting is identical to `send`.
+    fn send_shared(&mut self, dst: usize, tag: Tag, kind: CommKind, payload: Arc<Vec<u8>>) {
         assert!(dst < self.world, "destination rank {dst} out of range");
         assert_ne!(dst, self.rank, "self-send is a protocol error");
         let start = self.clock;
@@ -178,12 +223,11 @@ impl NodeCtx {
     /// Panics if nothing matching arrives within the timeout (protocol
     /// deadlock) — the panic message names the rank, source and tag.
     pub fn recv(&mut self, src: usize, tag: Tag) -> Vec<u8> {
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|e| e.src == src && e.tag == tag)
-        {
-            let env = self.pending.swap_remove(pos);
+        if let Some(queue) = self.pending.get_mut(&(src, tag)) {
+            let env = queue.pop_front().expect("pending queues are never empty");
+            if queue.is_empty() {
+                self.pending.remove(&(src, tag));
+            }
             return self.arrive(env);
         }
         let deadline = Instant::now() + self.recv_timeout;
@@ -194,7 +238,11 @@ impl NodeCtx {
                     panic!("node {} aborting: peer {} panicked", self.rank, env.src)
                 }
                 Ok(env) if env.src == src && env.tag == tag => return self.arrive(env),
-                Ok(env) => self.pending.push(env),
+                Ok(env) => self
+                    .pending
+                    .entry((env.src, env.tag))
+                    .or_default()
+                    .push_back(env),
                 Err(_) => panic!(
                     "node {} timed out waiting for {:?} from {} (pending: {:?})",
                     self.rank,
@@ -202,7 +250,7 @@ impl NodeCtx {
                     src,
                     self.pending
                         .iter()
-                        .map(|e| (e.src, e.tag))
+                        .map(|(&(s, t), q)| (s, t, q.len()))
                         .collect::<Vec<_>>()
                 ),
             }
@@ -217,7 +265,10 @@ impl NodeCtx {
             self.clock = arrival;
             self.trace.record_span(category, start, self.clock);
         }
-        env.payload
+        // Usually the last reference by now — take the buffer without
+        // copying; fall back to one clone while the broadcast source (or a
+        // slower sibling) still holds it.
+        Arc::try_unwrap(env.payload).unwrap_or_else(|shared| (*shared).clone())
     }
 
     fn next_epoch(&mut self) -> u64 {
@@ -231,20 +282,28 @@ impl NodeCtx {
     pub fn allgather_bytes(&mut self, payload: Vec<u8>, kind: CommKind) -> Vec<Vec<u8>> {
         let epoch = self.next_epoch();
         let tag = Tag::new(TagKind::Collective, epoch, 0);
+        // One shared buffer for the whole broadcast: peers consume (or
+        // clone on arrival if needed) the same allocation, and the local
+        // slot clones at most once — if every peer has already taken its
+        // copy, even that clone is skipped.
+        let shared = Arc::new(payload);
         for dst in 0..self.world {
             if dst != self.rank {
-                self.send(dst, tag, kind, payload.clone());
+                self.send_shared(dst, tag, kind, Arc::clone(&shared));
             }
         }
         let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.world);
         for src in 0..self.world {
             if src == self.rank {
-                out.push(payload.clone());
+                // Reserve the slot; filled from `shared` after the
+                // receives so peers get a chance to drop their references.
+                out.push(Vec::new());
             } else {
                 let buf = self.recv(src, tag);
                 out.push(buf);
             }
         }
+        out[self.rank] = Arc::try_unwrap(shared).unwrap_or_else(|s| (*s).clone());
         out
     }
 
@@ -409,7 +468,7 @@ impl Cluster {
                         cost,
                         senders,
                         inbox: rx,
-                        pending: Vec::new(),
+                        pending: HashMap::new(),
                         stats: CommStats::default(),
                         coll_epoch: 0,
                         recv_timeout,
@@ -429,7 +488,7 @@ impl Cluster {
                                         src: rank,
                                         tag: Tag::new(TagKind::Collective, u64::MAX, 0),
                                         depart: 0.0,
-                                        payload: Vec::new(),
+                                        payload: Arc::new(Vec::new()),
                                         poison: true,
                                     });
                                 }
@@ -526,6 +585,73 @@ mod tests {
             }
         });
         assert_eq!(r.outputs[1], 12);
+    }
+
+    #[test]
+    fn same_tag_messages_stay_fifo_when_buffered() {
+        let r = Cluster::new(2, CostModel::zero()).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, user_tag(7), CommKind::Update, vec![1]);
+                ctx.send(1, user_tag(7), CommKind::Update, vec![2]);
+                ctx.send(1, user_tag(7), CommKind::Update, vec![3]);
+                // Force rank 1 to buffer all three before draining them.
+                ctx.send(1, user_tag(8), CommKind::Update, vec![9]);
+                0
+            } else {
+                let gate = ctx.recv(0, user_tag(8))[0];
+                assert_eq!(gate, 9);
+                let a = ctx.recv(0, user_tag(7))[0];
+                let b = ctx.recv(0, user_tag(7))[0];
+                let c = ctx.recv(0, user_tag(7))[0];
+                (100 * a + 10 * b + c) as usize
+            }
+        });
+        assert_eq!(r.outputs[1], 123);
+    }
+
+    #[test]
+    fn compute_sharded_matches_sequential_on_one_thread() {
+        let cost = CostModel {
+            per_edge_sec: 2.0,
+            per_vertex_sec: 1.0,
+            ..CostModel::zero()
+        };
+        let r = Cluster::new(1, cost).run(|ctx| {
+            ctx.compute_sharded(&[(1, 2), (2, 2)], 1);
+            ctx.virtual_clock()
+        });
+        // Same charge as compute(3, 4).
+        assert!((r.outputs[0] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_sharded_charges_critical_path_on_many_threads() {
+        let cost = CostModel {
+            per_edge_sec: 1.0,
+            per_vertex_sec: 0.0,
+            ..CostModel::zero()
+        };
+        let chunks = [(10, 0), (1, 0), (1, 0), (1, 0)];
+        let r = Cluster::new(1, cost)
+            .trace_level(TraceLevel::Full)
+            .run(|ctx| {
+                ctx.compute_sharded(&chunks, 2);
+                ctx.virtual_clock()
+            });
+        // Greedy 2-lane schedule: lane 0 = [10], lane 1 = [1, 1, 1].
+        assert_eq!(r.outputs[0], cost.critical_path(&chunks, 2));
+        assert_eq!(r.outputs[0], 10.0, "max lane, not the 13.0 sum");
+        let node = &r.traces.nodes[0];
+        assert_eq!(
+            node.time(SpanCategory::Compute),
+            10.0,
+            "cell charges the makespan"
+        );
+        assert_eq!(node.compute_cpu(), 13.0, "cpu keeps the full work");
+        assert_eq!(node.max_lanes(), 2);
+        // Both lanes show up as overlapping spans starting together.
+        assert_eq!(node.spans.len(), 2);
+        assert!(node.spans.iter().all(|s| s.start == 0.0));
     }
 
     #[test]

@@ -123,6 +123,49 @@ impl CostModel {
     pub fn single_core_of(node_cores: u32) -> f64 {
         f64::from(node_cores)
     }
+
+    /// Deterministically schedules per-chunk `(edges, vertices)` costs
+    /// onto `lanes` executor lanes and returns each lane's integer
+    /// totals.
+    ///
+    /// Chunks are assigned in chunk order to the currently least-loaded
+    /// lane (ties break to the lowest lane index) — a greedy
+    /// list-scheduling simulation of the engine's atomic-cursor
+    /// work-stealing pool. Because the assignment depends only on the
+    /// chunk sequence and the model, the resulting charge is independent
+    /// of how the OS actually interleaved the real threads. Lane loads
+    /// accumulate as integers, so downstream [`CostModel::compute_time`]
+    /// calls are bit-deterministic.
+    pub fn schedule_lanes(&self, chunks: &[(u64, u64)], lanes: usize) -> Vec<(u64, u64)> {
+        assert!(lanes > 0, "need at least one lane");
+        let n = lanes.min(chunks.len()).max(1);
+        let mut totals = vec![(0u64, 0u64); n];
+        let mut loads = vec![0.0f64; n];
+        for &(edges, vertices) in chunks {
+            let mut best = 0;
+            for i in 1..n {
+                if loads[i] < loads[best] {
+                    best = i;
+                }
+            }
+            totals[best].0 += edges;
+            totals[best].1 += vertices;
+            loads[best] += self.compute_time(edges, vertices);
+        }
+        totals
+    }
+
+    /// The critical path of [`CostModel::schedule_lanes`]: the busiest
+    /// lane's compute time. This is what a chunked multi-threaded pass is
+    /// charged on the virtual clock — the makespan of the simulated
+    /// schedule, not the total work. With one lane it degenerates to the
+    /// plain [`CostModel::compute_time`] of the summed chunks.
+    pub fn critical_path(&self, chunks: &[(u64, u64)], lanes: usize) -> f64 {
+        self.schedule_lanes(chunks, lanes)
+            .iter()
+            .map(|&(e, v)| self.compute_time(e, v))
+            .fold(0.0, f64::max)
+    }
 }
 
 impl Default for CostModel {
@@ -185,5 +228,54 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_scale_rejected() {
         let _ = CostModel::cluster_a().scale_fixed_costs(0.0);
+    }
+
+    fn unit_edge_model() -> CostModel {
+        CostModel {
+            per_edge_sec: 1.0,
+            per_vertex_sec: 0.0,
+            ..CostModel::zero()
+        }
+    }
+
+    #[test]
+    fn schedule_is_greedy_least_loaded_with_low_index_ties() {
+        let m = unit_edge_model();
+        // 5 lands on lane 0 (empty tie → lowest index); each 1 and the
+        // final 2 land on lane 1, which stays the lighter lane throughout.
+        let lanes = m.schedule_lanes(&[(5, 0), (1, 0), (1, 0), (1, 0), (2, 0)], 2);
+        assert_eq!(lanes, vec![(5, 0), (5, 0)]);
+        assert_eq!(
+            m.critical_path(&[(5, 0), (1, 0), (1, 0), (1, 0), (2, 0)], 2),
+            5.0
+        );
+    }
+
+    #[test]
+    fn critical_path_is_max_not_sum() {
+        let m = unit_edge_model();
+        let chunks = [(10, 0), (1, 0), (1, 0), (1, 0)];
+        assert_eq!(m.critical_path(&chunks, 1), 13.0, "one lane = plain sum");
+        assert_eq!(
+            m.critical_path(&chunks, 2),
+            10.0,
+            "imbalance hides on lane 0"
+        );
+        assert_eq!(
+            m.critical_path(&chunks, 8),
+            10.0,
+            "extra lanes cannot beat the big chunk"
+        );
+    }
+
+    #[test]
+    fn lanes_cap_at_chunk_count_and_accumulate_integers() {
+        let m = CostModel::cluster_a();
+        let chunks = [(3, 7), (4, 1)];
+        let lanes = m.schedule_lanes(&chunks, 16);
+        assert_eq!(lanes.len(), 2, "no more lanes than chunks");
+        let total: (u64, u64) = lanes.iter().fold((0, 0), |a, &(e, v)| (a.0 + e, a.1 + v));
+        assert_eq!(total, (7, 8), "lane totals partition the work exactly");
+        assert!(m.critical_path(&[], 4) == 0.0, "empty pass costs nothing");
     }
 }

@@ -3,11 +3,26 @@
 //! Produces the JSON-object form (`{"traceEvents": [...]}`), with virtual
 //! time on the x-axis (microseconds, as the format requires), one thread
 //! track per machine, and complete (`"ph":"X"`) events carrying the
-//! (iteration, step, group) scope in `args`. Load the output in
-//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//! (iteration, step, group) scope in `args`. Spans from extra executor
+//! lanes (`Span::thread > 0`) get auxiliary tracks next to their
+//! machine's main track so intra-node imbalance is visible. Load the
+//! output in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+
+use std::collections::BTreeSet;
 
 use crate::json::JsonWriter;
 use crate::Trace;
+
+/// Chrome track id for one (machine, executor lane) pair. Lane 0 keeps
+/// the machine rank as its tid (the main per-machine track); other lanes
+/// map to a disjoint high range grouped by machine.
+fn track_id(machine: usize, thread: u32) -> u64 {
+    if thread == 0 {
+        machine as u64
+    } else {
+        (machine as u64 + 1) * 1000 + thread as u64
+    }
+}
 
 impl Trace {
     /// Renders the trace in Trace Event Format.
@@ -32,6 +47,26 @@ impl Trace {
                 .string(&format!("machine {}", node.machine))
                 .end_object();
             w.end_object();
+            // Name one auxiliary track per extra executor lane seen.
+            let aux: BTreeSet<u32> = node
+                .spans
+                .iter()
+                .filter(|s| s.thread > 0)
+                .map(|s| s.thread)
+                .collect();
+            for lane in aux {
+                w.begin_object();
+                w.key("name").string("thread_name");
+                w.key("ph").string("M");
+                w.key("pid").u64(0);
+                w.key("tid").u64(track_id(node.machine, lane));
+                w.key("args")
+                    .begin_object()
+                    .key("name")
+                    .string(&format!("machine {} · lane {}", node.machine, lane))
+                    .end_object();
+                w.end_object();
+            }
             for span in &node.spans {
                 w.begin_object();
                 w.key("name").string(span.category.name());
@@ -40,7 +75,7 @@ impl Trace {
                 w.key("ts").f64(span.start * 1e6);
                 w.key("dur").f64(span.duration() * 1e6);
                 w.key("pid").u64(0);
-                w.key("tid").u64(node.machine as u64);
+                w.key("tid").u64(track_id(node.machine, span.thread));
                 w.key("args")
                     .begin_object()
                     .key("iteration")
@@ -86,6 +121,18 @@ mod tests {
         assert!(json.contains("\"ts\":0"));
         assert!(json.contains("\"dur\":1000"));
         assert!(json.contains("\"iteration\":1"));
+    }
+
+    #[test]
+    fn executor_lanes_get_auxiliary_tracks() {
+        let mut rec = TraceRecorder::new(2, TraceLevel::Full);
+        rec.set_scope(0, 1, 0);
+        rec.record_compute_lanes(0.0, &[2e-3, 1e-3]);
+        let json = Trace::new(vec![rec.finish()]).to_chrome_json();
+        // Lane 0 stays on the machine's main track; lane 1 gets its own.
+        assert!(json.contains("\"tid\":2"));
+        assert!(json.contains("\"tid\":3001"));
+        assert!(json.contains("machine 2 · lane 1"));
     }
 
     #[test]

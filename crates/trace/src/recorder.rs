@@ -22,12 +22,23 @@ pub type CellKey = Scope;
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CellStats {
     /// Virtual seconds per [`SpanCategory`] (indexed by
-    /// [`SpanCategory::index`]).
+    /// [`SpanCategory::index`]). For compute this is the *charged*
+    /// (critical-path) time: with a multi-threaded executor it is the
+    /// longest per-thread lane, not the sum.
     pub time: [f64; 6],
     /// Bytes per [`ByteCategory`] (indexed by [`ByteCategory::index`]).
     pub bytes: [u64; 3],
     /// Messages per [`ByteCategory`].
     pub messages: [u64; 3],
+    /// Total busy compute seconds summed over executor threads
+    /// (core-seconds). Equals the charged compute time when everything ran
+    /// on one lane; the ratio `compute_cpu / (lanes × charged)` is the
+    /// cell's parallel efficiency, its complement the intra-node
+    /// imbalance.
+    pub compute_cpu: f64,
+    /// Largest number of executor lanes that contributed compute time to
+    /// this cell (1 for purely sequential execution, 0 if no compute).
+    pub lanes: u32,
 }
 
 impl CellStats {
@@ -54,6 +65,8 @@ impl CellStats {
             self.bytes[i] += other.bytes[i];
             self.messages[i] += other.messages[i];
         }
+        self.compute_cpu += other.compute_cpu;
+        self.lanes = self.lanes.max(other.lanes);
     }
 }
 
@@ -68,6 +81,9 @@ pub struct Span {
     pub end: f64,
     /// Engine context at record time.
     pub scope: Scope,
+    /// Executor lane the span ran on (0 for the worker's main thread;
+    /// compute spans from the chunked executor use their lane index).
+    pub thread: u32,
 }
 
 impl Span {
@@ -135,15 +151,55 @@ impl TraceRecorder {
         if !self.level.metrics() {
             return;
         }
-        self.cells.entry(self.scope).or_default().time[category.index()] += end - start;
+        let cell = self.cells.entry(self.scope).or_default();
+        cell.time[category.index()] += end - start;
+        if category == SpanCategory::Compute {
+            cell.compute_cpu += end - start;
+            cell.lanes = cell.lanes.max(1);
+        }
         if self.level.spans() && end > start {
             self.spans.push(Span {
                 category,
                 start,
                 end,
                 scope: self.scope,
+                thread: 0,
             });
         }
+    }
+
+    /// Attributes one chunked-executor compute phase starting at `start`
+    /// with the given per-lane busy seconds. The *charged* (critical-path)
+    /// time — the longest lane — is added to the cell's compute time and
+    /// returned; the lane sum goes to [`CellStats::compute_cpu`]. At
+    /// [`TraceLevel::Full`] each busy lane becomes its own span tagged
+    /// with its lane index, so timelines expose intra-node imbalance.
+    ///
+    /// The charged time is computed and returned even when tracing is off,
+    /// so the virtual clock does not depend on the trace level.
+    pub fn record_compute_lanes(&mut self, start: f64, lane_secs: &[f64]) -> f64 {
+        let charged = lane_secs.iter().fold(0.0_f64, |a, &b| a.max(b));
+        if !self.level.metrics() {
+            return charged;
+        }
+        let cell = self.cells.entry(self.scope).or_default();
+        cell.time[SpanCategory::Compute.index()] += charged;
+        cell.compute_cpu += lane_secs.iter().sum::<f64>();
+        cell.lanes = cell.lanes.max(lane_secs.len() as u32);
+        if self.level.spans() {
+            for (lane, &secs) in lane_secs.iter().enumerate() {
+                if secs > 0.0 {
+                    self.spans.push(Span {
+                        category: SpanCategory::Compute,
+                        start,
+                        end: start + secs,
+                        scope: self.scope,
+                        thread: lane as u32,
+                    });
+                }
+            }
+        }
+        charged
     }
 
     /// Attributes `bytes` over `messages` messages to `category` under
@@ -198,6 +254,18 @@ impl NodeTrace {
     pub fn total_bytes(&self) -> u64 {
         ByteCategory::ALL.iter().map(|&c| self.bytes(c)).sum()
     }
+
+    /// Total busy compute core-seconds across executor lanes. Equals
+    /// `time(Compute)` for sequential execution; larger when multiple
+    /// lanes overlapped.
+    pub fn compute_cpu(&self) -> f64 {
+        self.cells.values().map(|c| c.compute_cpu).sum()
+    }
+
+    /// The widest executor fan-out observed in any cell on this machine.
+    pub fn max_lanes(&self) -> u32 {
+        self.cells.values().map(|c| c.lanes).max().unwrap_or(0)
+    }
 }
 
 /// The combined trace of a run: one [`NodeTrace`] per machine.
@@ -227,6 +295,11 @@ impl Trace {
     /// Total virtual seconds attributed to `cat`, summed over machines.
     pub fn time(&self, cat: SpanCategory) -> f64 {
         self.nodes.iter().map(|n| n.time(cat)).sum()
+    }
+
+    /// Total busy compute core-seconds summed over machines and lanes.
+    pub fn compute_cpu(&self) -> f64 {
+        self.nodes.iter().map(|n| n.compute_cpu()).sum()
     }
 
     /// Cell totals merged across machines (keyed by iteration/step/group).
@@ -287,6 +360,47 @@ mod tests {
         rec.record_bytes(ByteCategory::Update, 10, 1);
         let node = rec.finish();
         assert!(node.cells.is_empty() && node.spans.is_empty());
+    }
+
+    #[test]
+    fn compute_lanes_charge_critical_path_and_track_cpu() {
+        let mut rec = TraceRecorder::new(0, TraceLevel::Full);
+        rec.set_scope(1, 0, 0);
+        let charged = rec.record_compute_lanes(2.0, &[0.5, 2.0, 0.0, 1.0]);
+        assert_eq!(charged, 2.0, "charged time is the longest lane");
+        let node = rec.finish();
+        let cell = node.cells.values().next().unwrap();
+        assert_eq!(cell.time(SpanCategory::Compute), 2.0);
+        assert!(
+            (cell.compute_cpu - 3.5).abs() < 1e-12,
+            "cpu is the lane sum"
+        );
+        assert_eq!(cell.lanes, 4);
+        // Idle lanes produce no spans; busy lanes carry their index.
+        assert_eq!(node.spans.len(), 3);
+        assert_eq!(
+            node.spans.iter().map(|s| s.thread).collect::<Vec<_>>(),
+            vec![0, 1, 3]
+        );
+        assert!(node.spans.iter().all(|s| s.start == 2.0));
+        assert_eq!(node.max_lanes(), 4);
+    }
+
+    #[test]
+    fn compute_lanes_return_charge_even_when_off() {
+        let mut rec = TraceRecorder::new(0, TraceLevel::Off);
+        assert_eq!(rec.record_compute_lanes(0.0, &[1.0, 3.0]), 3.0);
+        assert!(rec.finish().cells.is_empty());
+    }
+
+    #[test]
+    fn sequential_compute_span_counts_as_one_lane_of_cpu() {
+        let mut rec = TraceRecorder::new(0, TraceLevel::Metrics);
+        rec.record_span(SpanCategory::Compute, 0.0, 1.5);
+        rec.record_span(SpanCategory::Barrier, 1.5, 2.0);
+        let node = rec.finish();
+        assert_eq!(node.compute_cpu(), 1.5);
+        assert_eq!(node.max_lanes(), 1);
     }
 
     #[test]

@@ -21,6 +21,11 @@ pub struct MachineReport {
     pub bytes: [u64; 3],
     /// Messages per [`ByteCategory`].
     pub messages: [u64; 3],
+    /// Busy compute core-seconds summed over executor lanes (≥ the
+    /// charged compute time whenever lanes overlapped).
+    pub compute_cpu: f64,
+    /// Widest executor fan-out observed in any cell on this machine.
+    pub lanes: u32,
 }
 
 impl MachineReport {
@@ -73,6 +78,8 @@ impl MetricsReport {
                         m.bytes[i] += cell.bytes[i];
                         m.messages[i] += cell.messages[i];
                     }
+                    m.compute_cpu += cell.compute_cpu;
+                    m.lanes = m.lanes.max(cell.lanes);
                 }
                 m
             })
@@ -105,12 +112,18 @@ impl MetricsReport {
         ByteCategory::ALL.iter().map(|&c| self.bytes(c)).sum()
     }
 
+    /// Total busy compute core-seconds across machines and lanes.
+    pub fn compute_cpu(&self) -> f64 {
+        self.per_machine.iter().map(|m| m.compute_cpu).sum()
+    }
+
     /// Machine-readable JSON dump of the whole report.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
         w.key("machines").u64(self.machines as u64);
         w.key("virtual_time").f64(self.virtual_time);
+        w.key("compute_cpu").f64(self.compute_cpu());
         w.key("time").begin_object();
         for cat in SpanCategory::ALL {
             w.key(cat.name()).f64(self.time(cat));
@@ -140,6 +153,8 @@ impl MetricsReport {
                 w.key(cat.name()).u64(m.bytes(cat));
             }
             w.end_object();
+            w.key("compute_cpu").f64(m.compute_cpu);
+            w.key("lanes").u64(m.lanes as u64);
             w.end_object();
         }
         w.end_array();
@@ -159,6 +174,8 @@ impl MetricsReport {
                 w.key(cat.name()).u64(cell.bytes(cat));
             }
             w.end_object();
+            w.key("compute_cpu").f64(cell.compute_cpu);
+            w.key("lanes").u64(cell.lanes as u64);
             w.end_object();
         }
         w.end_array();
@@ -217,6 +234,25 @@ mod tests {
         assert_eq!(report.time(SpanCategory::Compute), 2.0);
         assert_eq!(report.time(SpanCategory::DepWait), 0.5);
         assert_eq!(report.cells.len(), 2);
+    }
+
+    #[test]
+    fn report_carries_lane_cpu_accounting() {
+        let mut rec = TraceRecorder::new(0, TraceLevel::Metrics);
+        rec.set_scope(0, 0, 0);
+        rec.record_compute_lanes(0.0, &[3.0, 1.0]);
+        let trace = Trace::new(vec![rec.finish()]);
+        let report = MetricsReport::from_trace(&trace, 3.0);
+        assert_eq!(
+            report.time(SpanCategory::Compute),
+            3.0,
+            "charged = max lane"
+        );
+        assert_eq!(report.compute_cpu(), 4.0, "cpu = lane sum");
+        assert_eq!(report.per_machine[0].lanes, 2);
+        let json = report.to_json();
+        assert!(json.contains("\"compute_cpu\":4"));
+        assert!(json.contains("\"lanes\":2"));
     }
 
     #[test]

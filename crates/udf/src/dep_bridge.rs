@@ -127,6 +127,10 @@ impl DepState for UdfDep {
         // `wire_bytes_for` instead.
         unimplemented!("use UdfDep::wire_bytes_for(len, arity)")
     }
+
+    fn detach(&self, slots: usize) -> Self {
+        UdfDep::new(slots, self.tys.clone())
+    }
 }
 
 impl UdfDep {
@@ -187,6 +191,22 @@ mod tests {
     fn type_confusion_rejected() {
         let mut d = UdfDep::new(1, vec![Ty::Int]);
         d.set_value(0, 0, Value::Float(1.0));
+    }
+
+    #[test]
+    fn shard_view_preserves_arity_and_values() {
+        let mut d = UdfDep::new(6, vec![Ty::Int, Ty::Float]);
+        d.set_value(3, 1, Value::Float(0.1));
+        d.mark(4);
+        let mut shard = d.extract_shard(2..5);
+        assert_eq!(shard.arity(), 2, "detach keeps the carried types");
+        assert_eq!(shard.value(1, 1), Value::Float(0.1));
+        assert!(shard.should_skip(2));
+        shard.set_value(0, 0, Value::Int(9));
+        d.merge_shard(2..5, &shard);
+        assert_eq!(d.value(2, 0), Value::Int(9));
+        assert!(d.should_skip(4));
+        assert_eq!(d.value(5, 0), Value::Int(0), "outside range untouched");
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Thread-count invariance: the chunked intra-machine executor must be a
+//! pure performance knob. For any `threads`, a run produces bit-identical
+//! outputs, work counters, and per-category communication totals; only
+//! host wall time and the modelled critical-path compute charge change.
+//! These tests are the contract that makes `threads > 1` safe to enable
+//! on every experiment without re-validating results.
+
+use proptest::prelude::*;
+use symplegraph::algos::{bfs, kcore, sampling};
+use symplegraph::core::{EngineConfig, Policy, SpanCategory};
+use symplegraph::graph::{Graph, GraphBuilder, RmatConfig, Vid};
+
+/// The policies whose pull paths differ (baseline walk, plain circulant,
+/// differentiated + double-buffered circulant, Gluon-style sync).
+fn policies() -> [Policy; 4] {
+    [
+        Policy::Gemini,
+        Policy::Galois,
+        Policy::symple(),
+        Policy::symple_basic(),
+    ]
+}
+
+/// A config with a deliberately tiny chunk so that even small test graphs
+/// split into many chunks per bucket part.
+fn cfg(machines: usize, policy: Policy, threads: usize) -> EngineConfig {
+    EngineConfig::new(machines, policy)
+        .degree_threshold(4)
+        .chunk_size(16)
+        .threads(threads)
+}
+
+#[test]
+fn bfs_identical_for_any_thread_count() {
+    let g = RmatConfig::graph500(9, 8).cleaned(true).generate();
+    for policy in policies() {
+        let (base_out, base_st) = bfs(&g, &cfg(4, policy, 1), Vid::new(7));
+        for threads in [2, 8] {
+            let (out, st) = bfs(&g, &cfg(4, policy, threads), Vid::new(7));
+            assert_eq!(out, base_out, "{policy:?} threads={threads}: output");
+            assert_eq!(st.work, base_st.work, "{policy:?} threads={threads}: work");
+            assert_eq!(st.comm, base_st.comm, "{policy:?} threads={threads}: comm");
+        }
+    }
+}
+
+#[test]
+fn kcore_identical_for_any_thread_count() {
+    let g = RmatConfig::graph500(9, 8).cleaned(true).generate();
+    for policy in policies() {
+        let (base_out, base_st) = kcore(&g, &cfg(3, policy, 1), 3);
+        for threads in [2, 8] {
+            let (out, st) = kcore(&g, &cfg(3, policy, threads), 3);
+            assert_eq!(out, base_out, "{policy:?} threads={threads}: output");
+            assert_eq!(st.work, base_st.work, "{policy:?} threads={threads}: work");
+            assert_eq!(st.comm, base_st.comm, "{policy:?} threads={threads}: comm");
+        }
+    }
+}
+
+#[test]
+fn sampling_identical_for_any_thread_count() {
+    // Sampling exercises the data-carried (prefix sum) dependency path,
+    // the one most sensitive to slot-range sharding mistakes.
+    let g = RmatConfig::graph500(9, 8).cleaned(true).generate();
+    for policy in policies() {
+        let (base_out, base_st) = sampling(&g, &cfg(4, policy, 1), 5);
+        for threads in [2, 8] {
+            let (out, st) = sampling(&g, &cfg(4, policy, threads), 5);
+            assert_eq!(out, base_out, "{policy:?} threads={threads}: output");
+            assert_eq!(st.work, base_st.work, "{policy:?} threads={threads}: work");
+            assert_eq!(st.comm, base_st.comm, "{policy:?} threads={threads}: comm");
+        }
+    }
+}
+
+#[test]
+fn comm_byte_categories_identical_across_threads() {
+    use symplegraph::core::ByteCategory;
+    let g = RmatConfig::graph500(9, 8).cleaned(true).generate();
+    let (_, st1) = bfs(&g, &cfg(4, Policy::symple(), 1), Vid::new(3));
+    let (_, st8) = bfs(&g, &cfg(4, Policy::symple(), 8), Vid::new(3));
+    let (m1, m8) = (st1.metrics(), st8.metrics());
+    for cat in ByteCategory::ALL {
+        assert_eq!(m1.bytes(cat), m8.bytes(cat), "{cat:?} bytes");
+        assert_eq!(m1.messages(cat), m8.messages(cat), "{cat:?} messages");
+    }
+}
+
+/// A star: vertex 0 joined to all others. As a pull destination the hub is
+/// one entry with `n-1` in-edges while every leaf entry has one — maximal
+/// intra-node imbalance, so the critical path is far below the serial sum.
+fn star(n: u32) -> Graph {
+    let mut b = GraphBuilder::new(n as usize);
+    for v in 1..n {
+        b.add_edge(Vid::new(0), Vid::new(v));
+    }
+    b.symmetrize(true).build()
+}
+
+#[test]
+fn compute_charge_is_critical_path_not_sum() {
+    let g = star(600);
+    // One machine, Gemini: virtual time is pure compute (no comm waits),
+    // so the makespan change isolates the critical-path charging.
+    let (out1, st1) = bfs(&g, &cfg(1, Policy::Gemini, 1), Vid::new(0));
+    let (out4, st4) = bfs(&g, &cfg(1, Policy::Gemini, 4), Vid::new(0));
+    assert_eq!(out1, out4);
+    assert_eq!(st1.work, st4.work);
+
+    let (m1, m4) = (st1.metrics(), st4.metrics());
+    let compute1 = m1.time(SpanCategory::Compute);
+    let compute4 = m4.time(SpanCategory::Compute);
+    assert!(
+        compute4 < compute1,
+        "critical path ({compute4:.3e}s) must be strictly below the \
+         single-thread sum ({compute1:.3e}s) on an imbalanced graph"
+    );
+    assert!(
+        st4.virtual_time() < st1.virtual_time(),
+        "pure-compute makespan must shrink with it"
+    );
+
+    // Busy core-seconds are conserved: lanes redistribute the same work.
+    let (cpu1, cpu4) = (m1.compute_cpu(), m4.compute_cpu());
+    assert!(
+        (cpu1 - cpu4).abs() <= 1e-9 * cpu1.max(1.0),
+        "lane-summed cpu {cpu4:.6e} != sequential compute {cpu1:.6e}"
+    );
+    // And the charge stays sound: max lane <= charge bounds.
+    assert!(
+        compute4 >= cpu4 / 4.0 - 1e-12,
+        "charge below perfect speedup"
+    );
+    assert_eq!(m1.per_machine[0].lanes, 1);
+    assert!(
+        m4.per_machine[0].lanes >= 2,
+        "trace must show executor fan-out"
+    );
+}
+
+/// An arbitrary symmetric graph from an edge list over `n` vertices.
+fn arb_graph(max_n: usize, max_edges: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..max_edges).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (s, d) in edges {
+                b.add_edge(Vid::new(s), Vid::new(d));
+            }
+            b.symmetrize(true).dedup(true).drop_self_loops(true).build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn threaded_runs_match_sequential_on_random_graphs(
+        g in arb_graph(100, 300),
+        machines in 1usize..5,
+        threads in 2usize..9,
+        policy_idx in 0usize..4,
+        root_raw in 0u32..100,
+    ) {
+        let policy = policies()[policy_idx];
+        let root = Vid::new(root_raw % g.num_vertices() as u32);
+        let (base_out, base_st) = bfs(&g, &cfg(machines, policy, 1), root);
+        let (out, st) = bfs(&g, &cfg(machines, policy, threads), root);
+        prop_assert_eq!(out, base_out);
+        prop_assert_eq!(st.work, base_st.work);
+        prop_assert_eq!(st.comm, base_st.comm);
+    }
+}
