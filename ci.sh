@@ -22,6 +22,11 @@ if [ "$QUICK" = 0 ]; then
   cargo run --release --offline -p symple-bench --bin experiments -- \
     --threads 1,4 --scale 13 --scaling-json BENCH_scaling_smoke.json
   rm -f BENCH_scaling_smoke.json
+
+  echo "== wire-codec smoke (flat vs adaptive) =="
+  cargo run --release --offline -p symple-bench --bin experiments -- \
+    --comm-json BENCH_comm_smoke.json --comm-graph s27 --comm-machines 4
+  rm -f BENCH_comm_smoke.json
 fi
 
 echo "== rustfmt =="

@@ -17,7 +17,7 @@ use symple_bench::experiments;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--chrome-trace FILE] [--metrics-json FILE]\n                   [--threads LIST [--scale N] [--scaling-json FILE]] [<id>... | all]\n  ids: table1..table7, fig10, fig11, cost, ablation_threshold,\n       ablation_groups, direction, replication\n  --threads LIST   comma-separated executor thread counts (e.g. 1,2,4);\n                   runs the intra-machine scaling sweep on an RMAT graph\n                   of 2^N vertices (--scale N, default 18) and writes the\n                   points to --scaling-json (default BENCH_scaling.json)"
+        "usage: experiments [--chrome-trace FILE] [--metrics-json FILE]\n                   [--threads LIST [--scale N] [--scaling-json FILE]]\n                   [--comm-json FILE [--comm-graph NAME] [--comm-machines N]]\n                   [<id>... | all]\n  ids: table1..table7, fig10, fig11, cost, ablation_threshold,\n       ablation_groups, direction, replication, comm\n  --threads LIST   comma-separated executor thread counts (e.g. 1,2,4);\n                   runs the intra-machine scaling sweep on an RMAT graph\n                   of 2^N vertices (--scale N, default 18) and writes the\n                   points to --scaling-json (default BENCH_scaling.json)\n  --comm-json FILE runs the wire-codec byte study (flat vs adaptive,\n                   Gemini vs SympleGraph) on --comm-graph (default s27)\n                   at --comm-machines (default 8) and writes the grid"
     );
     std::process::exit(2);
 }
@@ -29,6 +29,9 @@ fn main() {
     let mut threads_list: Option<Vec<usize>> = None;
     let mut scale: u32 = 18;
     let mut scaling_path = String::from("BENCH_scaling.json");
+    let mut comm_path: Option<String> = None;
+    let mut comm_graph = String::from("s27");
+    let mut comm_machines: usize = 8;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -51,11 +54,25 @@ fn main() {
                     .unwrap_or_else(|| usage());
             }
             "--scaling-json" => scaling_path = it.next().unwrap_or_else(|| usage()),
+            "--comm-json" => comm_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--comm-graph" => comm_graph = it.next().unwrap_or_else(|| usage()),
+            "--comm-machines" => {
+                comm_machines = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&m| m > 0)
+                    .unwrap_or_else(|| usage());
+            }
             "--help" | "-h" => usage(),
             _ => ids.push(arg),
         }
     }
-    if ids.is_empty() && chrome_path.is_none() && metrics_path.is_none() && threads_list.is_none() {
+    if ids.is_empty()
+        && chrome_path.is_none()
+        && metrics_path.is_none()
+        && threads_list.is_none()
+        && comm_path.is_none()
+    {
         usage();
     }
 
@@ -71,6 +88,15 @@ fn main() {
             std::process::exit(1);
         });
         eprintln!("[scaling sweep written to {scaling_path}]");
+    }
+    if let Some(path) = &comm_path {
+        let points = experiments::comm_study(&comm_graph, comm_machines);
+        let json = experiments::comm_json(&comm_graph, comm_machines, &points);
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[wire-codec byte study written to {path}]");
     }
     if chrome_path.is_some() || metrics_path.is_some() {
         let stats = experiments::traced_probe();

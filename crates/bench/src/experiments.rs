@@ -9,9 +9,9 @@
 use crate::datasets::dataset;
 use crate::fmt::{geomean, secs, speedup, table};
 use symple_algos::{bfs, kcore, kmeans, mis, sampling};
-use symple_core::{EngineConfig, Policy, RunStats, TraceLevel};
+use symple_core::{EngineConfig, Policy, RunStats, TraceLevel, WireCodec};
 use symple_graph::{Graph, GraphStats, Vid};
-use symple_net::{CommKind, CostModel, COMM_KINDS};
+use symple_net::{CommKind, CostModel, WireFormat, COMM_KINDS};
 
 /// A rendered experiment.
 #[derive(Debug, Clone)]
@@ -43,6 +43,10 @@ pub enum Algo {
     Kmeans,
     /// Weighted neighbour sampling (averaged over seeds).
     Sampling,
+    /// Pull-only BFS (averaged over roots): every iteration walks the
+    /// dense bottom-up direction — the dense-frontier datapoint of the
+    /// wire-codec byte study.
+    BfsPull,
 }
 
 /// Algorithm list for the main grids (paper order).
@@ -89,6 +93,10 @@ pub struct Measured {
     pub dep_bytes: u64,
     /// Collective/sync bytes.
     pub coll_bytes: u64,
+    /// Wire bytes per chosen codec format (indexed by
+    /// [`WireFormat::index`]); all attributed to flat under the default
+    /// codec.
+    pub fmt_bytes: [u64; 3],
     /// Whether the trace's categorized byte totals reconciled exactly with
     /// the raw `CommStats` counters on every accumulated run.
     pub reconciled: bool,
@@ -102,6 +110,7 @@ impl Default for Measured {
             upd_bytes: 0,
             dep_bytes: 0,
             coll_bytes: 0,
+            fmt_bytes: [0; 3],
             reconciled: true,
         }
     }
@@ -113,6 +122,9 @@ fn accumulate(acc: &mut Measured, stats: &RunStats, reps: u64) {
     acc.upd_bytes += stats.comm.bytes(CommKind::Update) / reps;
     acc.dep_bytes += stats.comm.bytes(CommKind::Dependency) / reps;
     acc.coll_bytes += stats.comm.bytes(CommKind::Sync) / reps;
+    for f in WireFormat::ALL {
+        acc.fmt_bytes[f.index()] += stats.comm.format_bytes(f) / reps;
+    }
     // Cross-check the observability layer against the engine's own
     // accounting: per-category bytes from the trace must equal the raw
     // CommStats counters exactly (Table 6 depends on this invariant).
@@ -149,6 +161,14 @@ pub fn measure(algo: Algo, graph: &Graph, cfg: &EngineConfig) -> Measured {
             for seed in 0..SAMPLING_SEEDS {
                 let (_, stats) = sampling(graph, cfg, seed);
                 accumulate(&mut acc, &stats, SAMPLING_SEEDS);
+            }
+        }
+        Algo::BfsPull => {
+            use symple_algos::{bfs_with_direction, Direction};
+            let roots = bfs_roots(graph, BFS_ROOTS);
+            for root in roots {
+                let (_, stats) = bfs_with_direction(graph, cfg, root, Direction::PullOnly);
+                accumulate(&mut acc, &stats, BFS_ROOTS);
             }
         }
     }
@@ -351,6 +371,146 @@ pub fn table6() -> Report {
         )
     );
     Report::new("table6", "Communication breakdown (Table 6)", text)
+}
+
+/// Workloads of the wire-codec byte study (`comm` / `BENCH_comm.json`):
+/// the five paper algorithms plus a pull-only BFS whose frontier is dense
+/// every iteration — the codec's best case alongside K-core.
+pub const COMM_ALGOS: [(&str, Algo); 6] = [
+    ("BFS", Algo::Bfs),
+    ("BFS-dense", Algo::BfsPull),
+    ("K-core", Algo::Kcore(4)),
+    ("MIS", Algo::Mis),
+    ("K-means", Algo::Kmeans),
+    ("Sampling", Algo::Sampling),
+];
+
+/// One (workload, policy) cell of the byte study, measured under both
+/// wire codecs.
+#[derive(Debug, Clone)]
+pub struct CommPoint {
+    /// Workload label.
+    pub algo: &'static str,
+    /// System label (`Gemini` or `SympleGraph`).
+    pub policy: &'static str,
+    /// Measured under the seed-identical flat encoding.
+    pub flat: Measured,
+    /// Measured under `WireCodec::Adaptive`.
+    pub adaptive: Measured,
+}
+
+impl CommPoint {
+    /// Adaptive/flat byte ratio over the data the codec touches (update +
+    /// dependency). Collective sync traffic is never encoded and is
+    /// reported separately — the same normalisation Table 6 uses.
+    pub fn data_ratio(&self) -> f64 {
+        let flat = self.flat.upd_bytes + self.flat.dep_bytes;
+        let adaptive = self.adaptive.upd_bytes + self.adaptive.dep_bytes;
+        adaptive as f64 / flat.max(1) as f64
+    }
+}
+
+/// Measures every study workload under Gemini and SympleGraph with both
+/// codecs on dataset `name` at `machines`. Asserts along the way that the
+/// codec is invisible to the computation (same traversed-edge counts) and
+/// that trace byte categorization reconciles exactly.
+pub fn comm_study(name: &str, machines: usize) -> Vec<CommPoint> {
+    let g = dataset(name);
+    let cost = model_for(name, CostModel::cluster_a());
+    let mut points = Vec::new();
+    for (algo_name, algo) in COMM_ALGOS {
+        for (pname, policy) in [
+            ("Gemini", Policy::Gemini),
+            ("SympleGraph", Policy::symple()),
+        ] {
+            let flat = measure(algo, g, &cfg(machines, policy, cost));
+            let adaptive = measure(
+                algo,
+                g,
+                &cfg(machines, policy, cost).wire_codec(WireCodec::Adaptive),
+            );
+            assert!(
+                flat.reconciled && adaptive.reconciled,
+                "comm {algo_name}/{pname}: trace-categorized bytes diverged from CommStats"
+            );
+            assert_eq!(
+                flat.edges, adaptive.edges,
+                "comm {algo_name}/{pname}: the wire codec changed the computation"
+            );
+            points.push(CommPoint {
+                algo: algo_name,
+                policy: pname,
+                flat,
+                adaptive,
+            });
+        }
+    }
+    points
+}
+
+/// Renders a byte study as a machine-readable JSON document
+/// (`BENCH_comm.json`).
+pub fn comm_json(name: &str, machines: usize, points: &[CommPoint]) -> String {
+    let mut w = symple_trace::json::JsonWriter::new();
+    w.begin_object();
+    w.key("bench").string("wire_codec_bytes");
+    w.key("graph").string(name);
+    w.key("machines").u64(machines as u64);
+    w.key("note").string(
+        "exact modelled wire bytes; data_ratio = adaptive/flat over \
+         update+dependency (collective sync is never codec-encoded)",
+    );
+    w.key("points").begin_array();
+    for p in points {
+        w.begin_object();
+        w.key("algo").string(p.algo);
+        w.key("policy").string(p.policy);
+        for (key, m) in [("flat", &p.flat), ("adaptive", &p.adaptive)] {
+            w.key(key).begin_object();
+            w.key("update_bytes").u64(m.upd_bytes);
+            w.key("dependency_bytes").u64(m.dep_bytes);
+            w.key("collective_bytes").u64(m.coll_bytes);
+            w.end_object();
+        }
+        w.key("adaptive_format_bytes").begin_object();
+        for f in WireFormat::ALL {
+            w.key(f.name()).u64(p.adaptive.fmt_bytes[f.index()]);
+        }
+        w.end_object();
+        w.key("data_ratio").f64(p.data_ratio());
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// The byte study as a report table (id `comm`). Uses the small s27
+/// stand-in at 8 machines so the smoke invocation in `ci.sh` stays cheap;
+/// `--comm-json` re-runs it and writes `BENCH_comm.json`.
+pub fn comm_report() -> Report {
+    let (name, machines) = ("s27", 8);
+    let points = comm_study(name, machines);
+    let rows = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.algo.to_string(),
+                p.policy.to_string(),
+                ((p.flat.upd_bytes + p.flat.dep_bytes) / 1024).to_string(),
+                ((p.adaptive.upd_bytes + p.adaptive.dep_bytes) / 1024).to_string(),
+                format!("{:.3}", p.data_ratio()),
+            ]
+        })
+        .collect::<Vec<_>>();
+    let text = format!(
+        "{}\nExact update+dependency bytes on {name}, {machines} machines, flat vs\nadaptive wire codec (outputs are bit-identical by construction; the\ncodec picks per payload among flat/dense-bitmap/sparse-varint by exact\nsize). Dense-frontier workloads (BFS-dense, K-core) show the largest\nwins; see BENCH_comm.json for the raw grid.\n",
+        table(
+            &["app", "system", "flat kB", "adaptive kB", "ratio"],
+            &rows
+        )
+    );
+    Report::new("comm", "Wire-codec byte budget (extension)", text)
 }
 
 /// Runs one fully-traced workload (BFS on s27, 4 machines, SympleGraph
@@ -796,6 +956,7 @@ pub fn all() -> Vec<Report> {
         ablation_groups(),
         direction_study(),
         replication(),
+        comm_report(),
     ]
 }
 
@@ -816,6 +977,7 @@ pub fn by_id(id: &str) -> Option<fn() -> Report> {
         "ablation_groups" => ablation_groups,
         "direction" => direction_study,
         "replication" => replication,
+        "comm" => comm_report,
         _ => return None,
     })
 }
@@ -841,6 +1003,7 @@ mod tests {
             "ablation_groups",
             "direction",
             "replication",
+            "comm",
         ] {
             assert!(by_id(id).is_some(), "missing {id}");
         }
@@ -871,6 +1034,33 @@ mod tests {
             assert!(m.edges > 0, "{algo:?} traversed nothing");
             assert!(m.reconciled, "{algo:?} trace bytes diverged from CommStats");
         }
+    }
+
+    #[test]
+    fn adaptive_codec_meets_the_dense_frontier_byte_budget() {
+        // The acceptance bar of the adaptive wire encoding: dense-frontier
+        // workloads must ship at most 60% of the flat data bytes.
+        let points = comm_study("s27", 4);
+        for p in &points {
+            assert!(
+                p.data_ratio() <= 1.01,
+                "{}/{}: adaptive should never cost more than the +1-tag worst case",
+                p.algo,
+                p.policy
+            );
+            if matches!(p.algo, "BFS-dense" | "K-core") {
+                assert!(
+                    p.data_ratio() <= 0.60,
+                    "{}/{}: adaptive/flat = {:.3}",
+                    p.algo,
+                    p.policy,
+                    p.data_ratio()
+                );
+            }
+        }
+        let json = comm_json("s27", 4, &points);
+        assert!(json.contains("\"data_ratio\""));
+        assert!(json.contains("\"BFS-dense\""));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Engine configuration and execution policies.
 
 use std::fmt;
-use symple_net::{CostModel, TraceLevel};
+use symple_net::{CostModel, TraceLevel, WireCodec};
 
 /// Why an [`EngineConfig`] failed [`EngineConfig::validate`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +124,14 @@ pub struct EngineConfig {
     /// `Metrics` (categorized counters, the default — negligible cost), or
     /// `Full` (also per-event spans for chrome://tracing export).
     pub trace_level: TraceLevel,
+    /// Encoding applied to remote update and dependency messages:
+    /// `Flat` (the seed's fixed-size record layouts, byte-compatible
+    /// default) or `Adaptive` (per message, the byte-minimal of flat /
+    /// dense bitmap / sparse delta-varint). The choice is a pure function
+    /// of each payload's content, so outputs and `WorkStats` are
+    /// bit-identical across codecs — only wire bytes (and the virtual
+    /// time they cost) change.
+    pub wire_codec: WireCodec,
 }
 
 impl EngineConfig {
@@ -140,6 +148,7 @@ impl EngineConfig {
             threads: 1,
             chunk_size: 1024,
             trace_level: TraceLevel::Metrics,
+            wire_codec: WireCodec::Flat,
         }
     }
 
@@ -177,6 +186,17 @@ impl EngineConfig {
     pub fn chunk_size(mut self, chunk_size: usize) -> Self {
         self.chunk_size = chunk_size;
         self
+    }
+
+    /// Sets the wire codec for remote update and dependency messages.
+    pub fn wire_codec(mut self, codec: WireCodec) -> Self {
+        self.wire_codec = codec;
+        self
+    }
+
+    /// Does this run adaptively re-encode remote messages?
+    pub fn adaptive_wire(&self) -> bool {
+        self.wire_codec == WireCodec::Adaptive
     }
 
     /// Validates the configuration, reporting the first problem found.
@@ -268,6 +288,16 @@ mod tests {
         assert_eq!(cfg.degree_threshold, 8);
         assert_eq!(cfg.buffer_groups, 4);
         assert_eq!(cfg.trace_level, TraceLevel::Full);
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn wire_codec_defaults_to_flat() {
+        let cfg = EngineConfig::new(4, Policy::symple());
+        assert_eq!(cfg.wire_codec, WireCodec::Flat);
+        assert!(!cfg.adaptive_wire());
+        let cfg = cfg.wire_codec(WireCodec::Adaptive);
+        assert!(cfg.adaptive_wire());
         assert_eq!(cfg.validate(), Ok(()));
     }
 

@@ -21,6 +21,7 @@
 
 use std::ops::Range;
 use symple_graph::{Graph, Vid};
+use symple_net::{dep_records, encode_dep_range, WireFormat};
 
 use crate::Partition;
 
@@ -52,6 +53,32 @@ pub trait DepState: Send {
     fn wire_bytes(len: usize) -> usize
     where
         Self: Sized;
+
+    /// Appends the *adaptively coded* encoding of the slots in `range`
+    /// (1-byte format tag + body) and returns the chosen format.
+    ///
+    /// The default ships the flat [`DepState::encode_range`] body behind
+    /// a flat tag; implementations override it to offer the dense-bitmap
+    /// and sparse-delta-varint alternatives and let the codec pick the
+    /// byte-minimal one. The choice must be a pure function of the slot
+    /// values so runs stay bit-identical across thread counts.
+    fn encode_range_coded(&self, range: Range<usize>, out: &mut Vec<u8>) -> WireFormat {
+        out.push(WireFormat::Flat as u8);
+        self.encode_range(range, out);
+        WireFormat::Flat
+    }
+
+    /// Overwrites the slots in `range` from a buffer produced by
+    /// [`DepState::encode_range_coded`] over the same range. Slots the
+    /// packed formats do not list are reset to their default value.
+    fn decode_range_coded(&mut self, range: Range<usize>, buf: &[u8]) {
+        assert_eq!(
+            buf[0],
+            WireFormat::Flat as u8,
+            "default decoder only understands flat-tagged messages"
+        );
+        self.decode_range(range, &buf[1..]);
+    }
 
     /// A fresh, reset state with `slots` slots sharing this instance's
     /// configuration (threshold, arity, …) but none of its values — the
@@ -152,6 +179,38 @@ impl DepState for BitDep {
         len.div_ceil(8)
     }
 
+    fn encode_range_coded(&self, range: Range<usize>, out: &mut Vec<u8>) -> WireFormat {
+        let n = range.len();
+        let slots: Vec<u32> = self.bits[range.clone()]
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i as u32)
+            .collect();
+        // The flat body *is* a bitmap, so dense never beats it; sparse
+        // wins when set bits are rare enough to varint below n/8 bytes.
+        encode_dep_range(
+            n,
+            0,
+            &slots,
+            Self::wire_bytes(n),
+            &mut |out| self.encode_range(range.clone(), out),
+            &mut |_, _| {},
+            out,
+        )
+    }
+
+    fn decode_range_coded(&mut self, range: Range<usize>, buf: &[u8]) {
+        if buf[0] == WireFormat::Flat as u8 {
+            self.decode_range(range, &buf[1..]);
+            return;
+        }
+        self.reset_range(range.clone());
+        for (slot, _) in dep_records(range.len(), 0, buf) {
+            self.bits[range.start + slot as usize] = true;
+        }
+    }
+
     fn detach(&self, slots: usize) -> Self {
         BitDep::new(slots)
     }
@@ -219,6 +278,37 @@ impl DepState for CountDep {
 
     fn wire_bytes(len: usize) -> usize {
         len
+    }
+
+    fn encode_range_coded(&self, range: Range<usize>, out: &mut Vec<u8>) -> WireFormat {
+        let n = range.len();
+        let counts = &self.counts[range.clone()];
+        let slots: Vec<u32> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        encode_dep_range(
+            n,
+            1,
+            &slots,
+            Self::wire_bytes(n),
+            &mut |out| self.encode_range(range.clone(), out),
+            &mut |slot, out| out.push(counts[slot as usize]),
+            out,
+        )
+    }
+
+    fn decode_range_coded(&mut self, range: Range<usize>, buf: &[u8]) {
+        if buf[0] == WireFormat::Flat as u8 {
+            self.decode_range(range, &buf[1..]);
+            return;
+        }
+        self.reset_range(range.clone());
+        for (slot, payload) in dep_records(range.len(), 1, buf) {
+            self.counts[range.start + slot as usize] = payload[0];
+        }
     }
 
     fn detach(&self, slots: usize) -> Self {
@@ -308,6 +398,44 @@ impl DepState for WeightDep {
 
     fn wire_bytes(len: usize) -> usize {
         len * 4 + len.div_ceil(8)
+    }
+
+    fn encode_range_coded(&self, range: Range<usize>, out: &mut Vec<u8>) -> WireFormat {
+        let n = range.len();
+        let acc = &self.acc[range.clone()];
+        let sel = &self.selected[range.clone()];
+        // A slot is non-default when its accumulator bits differ from
+        // +0.0 or its selected bit is set (bit comparison, not ==, so
+        // -0.0 round-trips exactly).
+        let slots: Vec<u32> = (0..n)
+            .filter(|&i| acc[i].to_bits() != 0 || sel[i])
+            .map(|i| i as u32)
+            .collect();
+        encode_dep_range(
+            n,
+            5,
+            &slots,
+            Self::wire_bytes(n),
+            &mut |out| self.encode_range(range.clone(), out),
+            &mut |slot, out| {
+                out.extend_from_slice(&acc[slot as usize].to_le_bytes());
+                out.push(u8::from(sel[slot as usize]));
+            },
+            out,
+        )
+    }
+
+    fn decode_range_coded(&mut self, range: Range<usize>, buf: &[u8]) {
+        if buf[0] == WireFormat::Flat as u8 {
+            self.decode_range(range, &buf[1..]);
+            return;
+        }
+        self.reset_range(range.clone());
+        for (slot, payload) in dep_records(range.len(), 5, buf) {
+            let i = range.start + slot as usize;
+            self.acc[i] = f32::from_le_bytes(payload[..4].try_into().unwrap());
+            self.selected[i] = payload[4] != 0;
+        }
     }
 
     fn detach(&self, slots: usize) -> Self {
@@ -459,6 +587,151 @@ mod tests {
         assert_eq!(d2.accumulated(5), 9.0);
         assert!(d2.should_skip(6));
         assert_eq!(d2.accumulated(9), 0.0);
+    }
+
+    #[test]
+    fn bit_dep_coded_sparse_roundtrip() {
+        // 3 set bits in 512 slots: sparse deltas beat the 64-byte bitmap.
+        let mut d = BitDep::new(512);
+        d.mark(10);
+        d.mark(11);
+        d.mark(400);
+        let mut wire = Vec::new();
+        let fmt = d.encode_range_coded(0..512, &mut wire);
+        assert_eq!(fmt, WireFormat::Sparse);
+        assert!(wire.len() < 1 + BitDep::wire_bytes(512));
+        let mut d2 = BitDep::new(512);
+        d2.mark(5); // stale state the packed decode must reset
+        d2.decode_range_coded(0..512, &wire);
+        assert!((0..512).all(|s| d2.should_skip(s) == d.should_skip(s)));
+    }
+
+    #[test]
+    fn bit_dep_coded_dense_case_is_flat_bitmap() {
+        // Every bit set: the flat body is already a bitmap, so the codec
+        // keeps it (dense ties flat and the lower tag wins).
+        let mut d = BitDep::new(64);
+        for s in 0..64 {
+            d.mark(s);
+        }
+        let mut wire = Vec::new();
+        let fmt = d.encode_range_coded(0..64, &mut wire);
+        assert_eq!(fmt, WireFormat::Flat);
+        assert_eq!(wire.len(), 1 + BitDep::wire_bytes(64));
+        let mut d2 = BitDep::new(64);
+        d2.decode_range_coded(0..64, &wire);
+        assert!((0..64).all(|s| d2.should_skip(s)));
+    }
+
+    #[test]
+    fn count_dep_coded_roundtrips_across_densities() {
+        for touched in [0usize, 2, 40, 256] {
+            let mut d = CountDep::new(256, 3);
+            for s in 0..touched {
+                d.increment(s);
+                if s % 2 == 0 {
+                    d.increment(s);
+                }
+            }
+            let mut wire = Vec::new();
+            let fmt = d.encode_range_coded(0..256, &mut wire);
+            assert!(
+                wire.len() <= 1 + CountDep::wire_bytes(256),
+                "{touched} touched: coded must never beat flat by losing"
+            );
+            if touched <= 2 {
+                assert_eq!(fmt, WireFormat::Sparse, "{touched} touched");
+            }
+            if touched == 40 {
+                // Mid density: bitmap + 1 B/count beats both 1 B/slot
+                // flat and per-slot varint deltas.
+                assert_eq!(fmt, WireFormat::Dense, "{touched} touched");
+            }
+            if touched == 256 {
+                // Every slot non-default: the bitmap is pure overhead on
+                // top of the same payload bytes, so flat wins.
+                assert_eq!(fmt, WireFormat::Flat, "{touched} touched");
+            }
+            let mut d2 = CountDep::new(256, 3);
+            d2.increment(200); // stale
+            d2.decode_range_coded(0..256, &wire);
+            for s in 0..256 {
+                assert_eq!(d2.count(s), d.count(s), "slot {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_dep_coded_roundtrip_is_bit_exact() {
+        let mut d = WeightDep::new(300);
+        d.add_weight(7, 0.1);
+        d.add_weight(7, 0.2);
+        d.add_weight(250, -0.0); // -0.0 has nonzero bits: must travel
+        d.select(100);
+        let mut wire = Vec::new();
+        let fmt = d.encode_range_coded(0..300, &mut wire);
+        assert_eq!(fmt, WireFormat::Sparse);
+        assert!(wire.len() < 1 + WeightDep::wire_bytes(300));
+        let mut d2 = WeightDep::new(300);
+        d2.add_weight(3, 9.0); // stale
+        d2.decode_range_coded(0..300, &wire);
+        for s in 0..300 {
+            assert_eq!(
+                d2.accumulated(s).to_bits(),
+                d.accumulated(s).to_bits(),
+                "slot {s} acc bits"
+            );
+            assert_eq!(d2.should_skip(s), d.should_skip(s), "slot {s} selected");
+        }
+    }
+
+    #[test]
+    fn coded_partial_ranges_leave_outside_slots_alone() {
+        let mut d = CountDep::new(20, 2);
+        d.increment(6);
+        let mut wire = Vec::new();
+        d.encode_range_coded(4..12, &mut wire);
+        let mut d2 = CountDep::new(20, 2);
+        d2.increment(0); // outside the range: must survive
+        d2.increment(8); // inside: must be reset by the packed decode
+        d2.decode_range_coded(4..12, &wire);
+        assert_eq!(d2.count(0), 1);
+        assert_eq!(d2.count(6), 1);
+        assert_eq!(d2.count(8), 0);
+    }
+
+    #[test]
+    fn default_coded_methods_ship_flat() {
+        // Exercise the trait defaults through a minimal impl.
+        struct Plain(Vec<u8>);
+        impl DepState for Plain {
+            fn reset_range(&mut self, range: Range<usize>) {
+                self.0[range].fill(0);
+            }
+            fn should_skip(&self, slot: usize) -> bool {
+                self.0[slot] != 0
+            }
+            fn encode_range(&self, range: Range<usize>, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.0[range]);
+            }
+            fn decode_range(&mut self, range: Range<usize>, buf: &[u8]) {
+                let len = range.len();
+                self.0[range].copy_from_slice(&buf[..len]);
+            }
+            fn wire_bytes(len: usize) -> usize {
+                len
+            }
+            fn detach(&self, slots: usize) -> Self {
+                Plain(vec![0; slots])
+            }
+        }
+        let d = Plain(vec![0, 9, 0]);
+        let mut wire = Vec::new();
+        assert_eq!(d.encode_range_coded(0..3, &mut wire), WireFormat::Flat);
+        assert_eq!(wire, vec![0u8, 0, 9, 0]);
+        let mut d2 = Plain(vec![0; 3]);
+        d2.decode_range_coded(0..3, &wire);
+        assert_eq!(d2.0, vec![0, 9, 0]);
     }
 
     #[test]

@@ -56,7 +56,9 @@ pub use stats::WorkerStats;
 pub use stats::{RunStats, TimeStats, WorkMetric, WorkStats};
 pub use worker::Worker;
 
-// Tracing vocabulary, re-exported so algorithm and application crates can
-// configure `EngineConfig::trace_level` and consume `RunStats::trace`
-// without depending on symple-net directly.
-pub use symple_net::{ByteCategory, MetricsReport, SpanCategory, Trace, TraceLevel};
+// Tracing and codec vocabulary, re-exported so algorithm and application
+// crates can configure `EngineConfig::{trace_level,wire_codec}` and
+// consume `RunStats::trace` without depending on symple-net directly.
+pub use symple_net::{
+    ByteCategory, MetricsReport, SpanCategory, Trace, TraceLevel, WireCodec, WireFormat,
+};

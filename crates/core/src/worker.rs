@@ -33,7 +33,7 @@ use crate::{
 };
 use std::ops::Range;
 use symple_graph::{Bitmap, Graph, Vid};
-use symple_net::{CommKind, NodeCtx, Tag, TagKind, Wire};
+use symple_net::{CodecStats, CommKind, NodeCtx, Tag, TagKind, Wire, WireFormat};
 
 /// Per-machine engine handle. Created by [`crate::run_spmd`] on each
 /// simulated machine.
@@ -46,6 +46,11 @@ pub struct Worker<'a> {
     local: LocalGraph,
     stats: WorkStats,
     iter_seq: u64,
+    /// One scratch encode buffer per peer rank. `send` moves its payload
+    /// into the channel, so the pool is replenished with decoded receive
+    /// buffers — allocations circulate between machines instead of being
+    /// made fresh every step. Capacity only; never observable on the wire.
+    enc_pool: Vec<Vec<u8>>,
 }
 
 /// The slot range of double-buffering group `g` out of `groups` over a
@@ -87,7 +92,39 @@ impl<'a> Worker<'a> {
             local,
             stats: WorkStats::default(),
             iter_seq: 0,
+            enc_pool: vec![Vec::new(); cfg.machines],
         }
+    }
+
+    /// Takes the pooled scratch buffer for peer `rank`, cleared.
+    fn take_buf(&mut self, rank: usize) -> Vec<u8> {
+        let mut buf = std::mem::take(&mut self.enc_pool[rank]);
+        buf.clear();
+        buf
+    }
+
+    /// Returns a spent buffer (typically a decoded receive buffer) to the
+    /// pool slot for peer `rank`, keeping the larger capacity.
+    fn recycle_buf(&mut self, rank: usize, buf: Vec<u8>) {
+        if buf.capacity() > self.enc_pool[rank].capacity() {
+            self.enc_pool[rank] = buf;
+        }
+    }
+
+    /// Notes a payload encoded as `fmt` in the wire-format histogram, so
+    /// the flat/adaptive byte split is visible in [`CommStats`] and the
+    /// trace under either codec. Empty payloads never hit the wire and are
+    /// not counted.
+    ///
+    /// [`CommStats`]: symple_net::CommStats
+    fn note_format(&mut self, fmt: WireFormat, bytes: usize) {
+        if bytes == 0 {
+            return;
+        }
+        let mut formats = CodecStats::default();
+        formats.bytes[fmt.index()] += bytes as u64;
+        formats.blocks[fmt.index()] += 1;
+        self.ctx.record_wire_formats(&formats);
     }
 
     /// This machine's rank.
@@ -142,6 +179,62 @@ impl<'a> Worker<'a> {
     /// This machine's accumulated counters.
     pub fn stats(&self) -> WorkStats {
         self.stats
+    }
+
+    /// Encodes `dep` over `range` — adaptive codec or seed-flat layout per
+    /// the configured [`crate::WireCodec`] — and ships it to `dst`.
+    fn send_dep<D: DepState>(&mut self, dst: usize, tag: Tag, dep: &D, range: Range<usize>) {
+        let mut payload = self.take_buf(dst);
+        let fmt = if self.cfg.adaptive_wire() {
+            dep.encode_range_coded(range, &mut payload)
+        } else {
+            dep.encode_range(range, &mut payload);
+            WireFormat::Flat
+        };
+        self.note_format(fmt, payload.len());
+        self.ctx.send(dst, tag, CommKind::Dependency, payload);
+    }
+
+    /// Receives the dependency message from `src` and decodes it into
+    /// `dep` over `range`. Both sides dispatch on the same config, so the
+    /// decoder always matches what the peer encoded.
+    fn recv_dep<D: DepState>(&mut self, src: usize, tag: Tag, dep: &mut D, range: Range<usize>) {
+        let buf = self.ctx.recv(src, tag);
+        if self.cfg.adaptive_wire() {
+            dep.decode_range_coded(range, &buf);
+        } else {
+            dep.decode_range(range, &buf);
+        }
+        self.recycle_buf(src, buf);
+    }
+
+    /// Ships a flat `(vid, payload)` update stream to `dst`, re-encoding
+    /// it through the adaptive codec when configured (the flat stream is
+    /// then recycled as future scratch).
+    fn send_updates(&mut self, dst: usize, tag: Tag, psize: usize, flat: Vec<u8>) {
+        if self.cfg.adaptive_wire() {
+            let mut wire = self.take_buf(dst);
+            let formats = symple_net::encode_updates(&flat, psize, &mut wire);
+            self.ctx.record_wire_formats(&formats);
+            self.ctx.send(dst, tag, CommKind::Update, wire);
+            self.recycle_buf(dst, flat);
+        } else {
+            self.note_format(WireFormat::Flat, flat.len());
+            self.ctx.send(dst, tag, CommKind::Update, flat);
+        }
+    }
+
+    /// Receives an update message from `src` and returns the flat record
+    /// stream it carries, undoing the adaptive framing when configured.
+    fn recv_updates(&mut self, src: usize, tag: Tag, psize: usize) -> Vec<u8> {
+        let buf = self.ctx.recv(src, tag);
+        if !self.cfg.adaptive_wire() {
+            return buf;
+        }
+        let mut flat = self.take_buf(src);
+        symple_net::decode_updates(&buf, psize, &mut flat);
+        self.recycle_buf(src, buf);
+        flat
     }
 
     /// Executor parameters for the chunked intra-machine passes.
@@ -346,8 +439,7 @@ impl<'a> Worker<'a> {
                         dep.reset_range(0..n_slots);
                     } else {
                         let tag = Tag::new(TagKind::Dep, iter * p as u64 + (s as u64 - 1), 0);
-                        let buf = self.ctx.recv(right, tag);
-                        dep.decode_range(0..n_slots, &buf);
+                        self.recv_dep(right, tag, dep, 0..n_slots);
                     }
                 }
                 let bucket = self.local.bucket(j);
@@ -355,10 +447,8 @@ impl<'a> Worker<'a> {
                 step.absorb(par::scratch_pass(prog, &bucket.lo, dep, pc));
                 self.ctx.compute_sharded(&step.chunk_costs, pc.threads);
                 if !last && n_slots > 0 {
-                    let mut payload = Vec::new();
-                    dep.encode_range(0..n_slots, &mut payload);
                     let tag = Tag::new(TagKind::Dep, iter * p as u64 + s as u64, 0);
-                    self.ctx.send(left, tag, CommKind::Dependency, payload);
+                    self.send_dep(left, tag, dep, 0..n_slots);
                 }
             } else {
                 // Double buffering: low-degree work first (it needs no
@@ -379,8 +469,7 @@ impl<'a> Worker<'a> {
                         } else {
                             let tag =
                                 Tag::new(TagKind::Dep, iter * p as u64 + (s as u64 - 1), g as u32);
-                            let buf = self.ctx.recv(right, tag);
-                            dep.decode_range(slot_range.clone(), &buf);
+                            self.recv_dep(right, tag, dep, slot_range.clone());
                         }
                     }
                     let gp = {
@@ -392,10 +481,8 @@ impl<'a> Worker<'a> {
                     self.ctx.compute_sharded(&gp.chunk_costs, pc.threads);
                     step.absorb(gp);
                     if !last && !slot_range.is_empty() {
-                        let mut payload = Vec::new();
-                        dep.encode_range(slot_range, &mut payload);
                         let tag = Tag::new(TagKind::Dep, iter * p as u64 + s as u64, g as u32);
-                        self.ctx.send(left, tag, CommKind::Dependency, payload);
+                        self.send_dep(left, tag, dep, slot_range);
                     }
                 }
             }
@@ -410,7 +497,7 @@ impl<'a> Worker<'a> {
                 local_updates = step.bytes;
             } else {
                 let tag = Tag::new(TagKind::Update, iter * p as u64 + s as u64, 0);
-                self.ctx.send(j, tag, CommKind::Update, step.bytes);
+                self.send_updates(j, tag, P::Update::SIZE, step.bytes);
             }
         }
 
@@ -431,7 +518,7 @@ impl<'a> Worker<'a> {
                 std::mem::take(&mut local_updates)
             } else {
                 let tag = Tag::new(TagKind::Update, iter * p as u64 + s as u64, 0);
-                self.ctx.recv(m, tag)
+                self.recv_updates(m, tag, P::Update::SIZE)
             };
             let (pairs, costs) = par::decode_pass::<P::Update>(&buf, pc);
             for (v, upd) in pairs {
@@ -447,15 +534,34 @@ impl<'a> Worker<'a> {
                 }
             }
             self.ctx.compute_sharded(&costs, pc.threads);
+            self.recycle_buf(m, buf);
         }
 
         if galois {
             // Gluon-style second phase: masters broadcast applied values
             // back to every machine's mirrors, then a BSP barrier.
-            let _ = self.ctx.allgather_bytes(feedback, CommKind::Update);
-            self.ctx.barrier();
+            self.galois_broadcast(P::Update::SIZE, feedback);
         }
         activated
+    }
+
+    /// The Gluon-style broadcast half of the Galois policy: masters ship
+    /// every applied `(vid, value)` back to all mirrors, then a BSP
+    /// barrier. Under the adaptive codec the feedback stream is re-encoded
+    /// before the allgather (receivers discard payloads, so there is no
+    /// decode side).
+    fn galois_broadcast(&mut self, psize: usize, feedback: Vec<u8>) {
+        let payload = if self.cfg.adaptive_wire() {
+            let mut wire = Vec::new();
+            let formats = symple_net::encode_updates(&feedback, psize, &mut wire);
+            self.ctx.record_wire_formats(&formats);
+            wire
+        } else {
+            self.note_format(WireFormat::Flat, feedback.len());
+            feedback
+        };
+        let _ = self.ctx.allgather_bytes(payload, CommKind::Update);
+        self.ctx.barrier();
     }
 
     /// Runs one sparse (push) iteration: walks the out-edges of the given
@@ -496,8 +602,8 @@ impl<'a> Worker<'a> {
         let tag = Tag::new(TagKind::Update, iter * p as u64, 0);
         for (m, outbox) in outboxes.iter_mut().enumerate() {
             if m != rank {
-                self.ctx
-                    .send(m, tag, CommKind::Update, std::mem::take(outbox));
+                let payload = std::mem::take(outbox);
+                self.send_updates(m, tag, P::Update::SIZE, payload);
             }
         }
 
@@ -507,7 +613,7 @@ impl<'a> Worker<'a> {
             let buf = if m == rank {
                 std::mem::take(&mut outboxes[rank])
             } else {
-                self.ctx.recv(m, tag)
+                self.recv_updates(m, tag, P::Update::SIZE)
             };
             let (pairs, costs) = par::decode_pass::<P::Update>(&buf, pc);
             for (v, upd) in pairs {
@@ -523,10 +629,10 @@ impl<'a> Worker<'a> {
                 }
             }
             self.ctx.compute_sharded(&costs, pc.threads);
+            self.recycle_buf(m, buf);
         }
         if galois {
-            let _ = self.ctx.allgather_bytes(feedback, CommKind::Update);
-            self.ctx.barrier();
+            self.galois_broadcast(P::Update::SIZE, feedback);
         }
         activated
     }

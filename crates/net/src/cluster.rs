@@ -108,6 +108,13 @@ impl NodeCtx {
         self.stats
     }
 
+    /// Merges an encode's chosen-format histogram into this node's
+    /// [`CommStats`] and, at metrics trace levels, the current trace cell.
+    pub fn record_wire_formats(&mut self, formats: &crate::CodecStats) {
+        self.stats.record_formats(formats);
+        self.trace.record_wire_formats(&formats.bytes);
+    }
+
     /// Advances the virtual clock by the modelled cost of visiting
     /// `edges` edges and `vertices` vertex headers.
     pub fn compute(&mut self, edges: u64, vertices: u64) {
@@ -195,13 +202,18 @@ impl NodeCtx {
     fn send_shared(&mut self, dst: usize, tag: Tag, kind: CommKind, payload: Arc<Vec<u8>>) {
         assert!(dst < self.world, "destination rank {dst} out of range");
         assert_ne!(dst, self.rank, "self-send is a protocol error");
-        let start = self.clock;
-        self.clock += self.cost.msg_overhead_sec;
-        self.trace
-            .record_span(SpanCategory::Serialize, start, self.clock);
-        self.stats.record(kind, payload.len() as u64);
-        self.trace
-            .record_bytes(kind.byte_category(), payload.len() as u64, 1);
+        // Empty payloads are protocol placeholders (the receiver still
+        // blocks on the tag): they ship zero bytes and are charged zero
+        // header cost, and they do not count as traffic.
+        if !payload.is_empty() {
+            let start = self.clock;
+            self.clock += self.cost.send_overhead(payload.len() as u64);
+            self.trace
+                .record_span(SpanCategory::Serialize, start, self.clock);
+            self.stats.record(kind, payload.len() as u64);
+            self.trace
+                .record_bytes(kind.byte_category(), payload.len() as u64, 1);
+        }
         let env = Envelope {
             src: self.rank,
             tag,
@@ -258,7 +270,7 @@ impl NodeCtx {
     }
 
     fn arrive(&mut self, env: Envelope) -> Vec<u8> {
-        let arrival = env.depart + self.cost.transfer_time(env.payload.len() as u64);
+        let arrival = env.depart + self.cost.arrival_delay(env.payload.len() as u64);
         if arrival > self.clock {
             let start = self.clock;
             let category = self.wait_category(env.tag.kind);

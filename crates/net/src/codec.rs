@@ -1,0 +1,789 @@
+//! Adaptive sparse/dense wire encodings for record-stream messages.
+//!
+//! The seed engine ships every message as a **flat** array of fixed-size
+//! records — `(u32 key, payload)` pairs for update signals, one byte (or
+//! word) per slot for dependency state. That is 8–9 B per update entry and
+//! 1 B per slot regardless of density, far from what communication-tuned
+//! frameworks ship (bitmap-assisted sparse messages, delta-compressed
+//! indices). This module adds two cheaper encodings and a deterministic
+//! chooser:
+//!
+//! * **Dense bitmap** ([`WireFormat::Dense`]): one bit per key in the
+//!   block's contiguous key span, followed by the payloads of set keys in
+//!   ascending order. Wins when most keys in the span are present — the
+//!   4 B key shrinks to ~1 bit.
+//! * **Sparse delta-varint** ([`WireFormat::Sparse`]): keys as LEB128
+//!   deltas from their predecessor (the first delta is the absolute key),
+//!   each followed by its payload. Wins on sparse, clustered keys — the
+//!   4 B key shrinks to 1–2 B.
+//! * **Flat** ([`WireFormat::Flat`]): the original fixed-size layout,
+//!   kept for incompressible or unsorted data and as the decode fallback.
+//!
+//! The chooser computes the **exact** encoded size of each candidate and
+//! picks the minimum (ties go to the lowest format tag), so the choice is
+//! a pure function of the payload bytes: bit-identical across thread
+//! counts, machine counts, and host scheduling. Decoding reconstructs the
+//! sender's flat byte stream exactly, so downstream apply loops observe
+//! the same bytes in the same order as without the codec.
+//!
+//! Two entry points cover the engine's message shapes:
+//!
+//! * [`encode_updates`] / [`decode_updates`] — self-describing messages of
+//!   `(u32 LE key, payload)` records. The encoder splits the stream into
+//!   maximal non-decreasing key runs and encodes each run as its own
+//!   block, because engine update streams are concatenations of a few
+//!   ascending runs (hi-pass then lo-pass; per-source feedback runs), not
+//!   globally sorted.
+//! * [`encode_dep_range`] / [`decode_dep_range`] — dependency slot-range
+//!   messages where both sides already know the slot count `n`, so the
+//!   dense bitmap needs no span header. Payload extraction/application is
+//!   delegated to closures so `DepState` implementations keep ownership of
+//!   their in-memory layout.
+
+use std::fmt;
+
+/// On-the-wire encoding of one message (or block). The discriminant is the
+/// 1-byte format tag written to the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WireFormat {
+    /// Fixed-size records, exactly the pre-codec layout.
+    Flat = 0,
+    /// Bitmap over a contiguous key span + packed payloads of set keys.
+    Dense = 1,
+    /// LEB128 key deltas + payloads.
+    Sparse = 2,
+}
+
+impl WireFormat {
+    /// All formats, in tag order.
+    pub const ALL: [WireFormat; 3] = [WireFormat::Flat, WireFormat::Dense, WireFormat::Sparse];
+
+    /// Stable index for per-format arrays (= the wire tag).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Lower-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireFormat::Flat => "flat",
+            WireFormat::Dense => "dense",
+            WireFormat::Sparse => "sparse",
+        }
+    }
+
+    fn from_tag(tag: u8) -> WireFormat {
+        match tag {
+            0 => WireFormat::Flat,
+            1 => WireFormat::Dense,
+            2 => WireFormat::Sparse,
+            other => panic!("corrupt codec stream: unknown format tag {other}"),
+        }
+    }
+}
+
+impl fmt::Display for WireFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which codec the engine applies to remote messages. This is the
+/// `EngineConfig::wire_codec` knob's value type; it lives here so the net
+/// crate can be exercised without the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireCodec {
+    /// Ship the seed's flat layouts unchanged (byte-compatible default).
+    #[default]
+    Flat,
+    /// Per message, pick the byte-minimal of flat/dense/sparse.
+    Adaptive,
+}
+
+/// Per-format byte and block counters produced by one or more encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CodecStats {
+    /// Encoded bytes attributed to each chosen format (block framing
+    /// included, message framing excluded), indexed by
+    /// [`WireFormat::index`].
+    pub bytes: [u64; 3],
+    /// Number of blocks (whole messages count as one block) encoded in
+    /// each format.
+    pub blocks: [u64; 3],
+}
+
+impl CodecStats {
+    fn note(&mut self, fmt: WireFormat, bytes: u64) {
+        self.bytes[fmt.index()] += bytes;
+        self.blocks[fmt.index()] += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LEB128 varints
+// ---------------------------------------------------------------------------
+
+/// Encoded length of `v` as an unsigned LEB128 varint (1–10 bytes).
+pub fn varint_len(v: u64) -> usize {
+    let bits = 64 - v.max(1).leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+/// Appends `v` as an unsigned LEB128 varint.
+pub fn write_varint(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint at `*pos`, advancing the cursor.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let byte = buf[*pos];
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+        assert!(shift < 64, "corrupt codec stream: varint overruns 64 bits");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Update-stream codec: self-describing (u32 key, payload) record messages
+// ---------------------------------------------------------------------------
+
+/// One maximal non-decreasing key run of the input stream.
+struct Run {
+    /// Record index range in the flat input.
+    start: usize,
+    len: usize,
+    first: u32,
+    last: u32,
+    /// Strictly ascending (no duplicate keys) — required for dense.
+    strict: bool,
+    delta_bytes: u64,
+}
+
+fn split_runs(flat: &[u8], rec: usize) -> Vec<Run> {
+    let n = flat.len() / rec;
+    let key = |i: usize| u32::from_le_bytes(flat[i * rec..i * rec + 4].try_into().unwrap());
+    let mut runs: Vec<Run> = Vec::new();
+    for i in 0..n {
+        let k = key(i);
+        match runs.last_mut() {
+            Some(run) if k >= run.last => {
+                run.strict &= k > run.last;
+                run.delta_bytes += varint_len(u64::from(k - run.last)) as u64;
+                run.last = k;
+                run.len += 1;
+            }
+            _ => runs.push(Run {
+                start: i,
+                len: 1,
+                first: k,
+                last: k,
+                strict: true,
+                delta_bytes: varint_len(u64::from(k)) as u64,
+            }),
+        }
+    }
+    runs
+}
+
+/// Exact encoded sizes of one run as (flat, dense, sparse) blocks, each
+/// including its 1-byte block tag. Dense is `u64::MAX` when ineligible
+/// (duplicate keys cannot be bitmapped).
+fn run_sizes(run: &Run, rec: usize) -> [u64; 3] {
+    let psize = rec - 4;
+    let k = run.len as u64;
+    let flat = 1 + varint_len(k) as u64 + k * rec as u64;
+    let dense = if run.strict {
+        let span = u64::from(run.last - run.first) + 1;
+        1 + varint_len(u64::from(run.first)) as u64
+            + varint_len(span) as u64
+            + span.div_ceil(8)
+            + k * psize as u64
+    } else {
+        u64::MAX
+    };
+    let sparse = 1 + varint_len(k) as u64 + run.delta_bytes + k * psize as u64;
+    [flat, dense, sparse]
+}
+
+/// Byte-minimal format among `sizes`; ties go to the lowest tag.
+fn argmin(sizes: &[u64; 3]) -> WireFormat {
+    let mut best = WireFormat::Flat;
+    for f in WireFormat::ALL {
+        if sizes[f.index()] < sizes[best.index()] {
+            best = f;
+        }
+    }
+    best
+}
+
+/// Encodes a flat stream of `(u32 LE key, payload)` records (payloads of
+/// `psize` bytes) into the byte-minimal adaptive message, appended to
+/// `out`. Returns the per-format histogram of what was chosen.
+///
+/// Message layout: empty input encodes to zero bytes. Otherwise the first
+/// byte is a message tag: `0` = the rest is the untouched flat stream
+/// (chosen when blocking would not save anything); `1` = `varint(#blocks)`
+/// followed by blocks, one per maximal non-decreasing key run of the
+/// input, each `block tag (1 B) + body`:
+///
+/// * flat block: `varint(k)`, then `k` raw records;
+/// * dense block: `varint(first)`, `varint(span)`, `ceil(span/8)` bitmap
+///   bytes (LSB-first), then the payloads of set keys in ascending order;
+/// * sparse block: `varint(k)`, then `k` × (`varint(key delta)`,
+///   payload) — the first delta is the absolute key.
+///
+/// Every size is computed exactly before anything is written, so the
+/// chosen layout is a pure function of the input bytes.
+pub fn encode_updates(flat: &[u8], psize: usize, out: &mut Vec<u8>) -> CodecStats {
+    let rec = 4 + psize;
+    assert!(
+        flat.len().is_multiple_of(rec),
+        "flat stream length {} is not a multiple of record size {rec}",
+        flat.len()
+    );
+    let mut stats = CodecStats::default();
+    if flat.is_empty() {
+        return stats;
+    }
+    let runs = split_runs(flat, rec);
+    let sizes: Vec<[u64; 3]> = runs.iter().map(|r| run_sizes(r, rec)).collect();
+    let blocked: u64 = 1
+        + varint_len(runs.len() as u64) as u64
+        + sizes.iter().map(|s| s[argmin(s).index()]).sum::<u64>();
+    let flat_whole = 1 + flat.len() as u64;
+    if flat_whole <= blocked {
+        out.push(0);
+        out.extend_from_slice(flat);
+        stats.note(WireFormat::Flat, flat_whole);
+        return stats;
+    }
+    out.push(1);
+    write_varint(runs.len() as u64, out);
+    for (run, sizes) in runs.iter().zip(&sizes) {
+        let fmt = argmin(sizes);
+        let before = out.len();
+        out.push(fmt as u8);
+        let records = &flat[run.start * rec..(run.start + run.len) * rec];
+        match fmt {
+            WireFormat::Flat => {
+                write_varint(run.len as u64, out);
+                out.extend_from_slice(records);
+            }
+            WireFormat::Dense => {
+                let span = (run.last - run.first) as usize + 1;
+                write_varint(u64::from(run.first), out);
+                write_varint(span as u64, out);
+                let bitmap_at = out.len();
+                out.resize(bitmap_at + span.div_ceil(8), 0);
+                for r in records.chunks_exact(rec) {
+                    let key = u32::from_le_bytes(r[..4].try_into().unwrap());
+                    let bit = (key - run.first) as usize;
+                    out[bitmap_at + bit / 8] |= 1 << (bit % 8);
+                }
+                for r in records.chunks_exact(rec) {
+                    out.extend_from_slice(&r[4..]);
+                }
+            }
+            WireFormat::Sparse => {
+                write_varint(run.len as u64, out);
+                let mut prev = 0u32;
+                for r in records.chunks_exact(rec) {
+                    let key = u32::from_le_bytes(r[..4].try_into().unwrap());
+                    write_varint(u64::from(key - prev), out);
+                    prev = key;
+                    out.extend_from_slice(&r[4..]);
+                }
+            }
+        }
+        debug_assert_eq!((out.len() - before) as u64, sizes[fmt.index()]);
+        stats.note(fmt, sizes[fmt.index()]);
+    }
+    stats
+}
+
+/// Decodes a message produced by [`encode_updates`] back into the exact
+/// flat record stream, appended to `out`.
+pub fn decode_updates(buf: &[u8], psize: usize, out: &mut Vec<u8>) {
+    if buf.is_empty() {
+        return;
+    }
+    match buf[0] {
+        0 => out.extend_from_slice(&buf[1..]),
+        1 => {
+            let mut pos = 1;
+            let blocks = read_varint(buf, &mut pos);
+            for _ in 0..blocks {
+                let fmt = WireFormat::from_tag(buf[pos]);
+                pos += 1;
+                match fmt {
+                    WireFormat::Flat => {
+                        let k = read_varint(buf, &mut pos) as usize;
+                        let len = k * (4 + psize);
+                        out.extend_from_slice(&buf[pos..pos + len]);
+                        pos += len;
+                    }
+                    WireFormat::Dense => {
+                        let first = read_varint(buf, &mut pos) as u32;
+                        let span = read_varint(buf, &mut pos) as usize;
+                        let bitmap = &buf[pos..pos + span.div_ceil(8)];
+                        let mut payload = pos + bitmap.len();
+                        for bit in 0..span {
+                            if bitmap[bit / 8] & (1 << (bit % 8)) != 0 {
+                                let key = first + bit as u32;
+                                out.extend_from_slice(&key.to_le_bytes());
+                                out.extend_from_slice(&buf[payload..payload + psize]);
+                                payload += psize;
+                            }
+                        }
+                        pos = payload;
+                    }
+                    WireFormat::Sparse => {
+                        let k = read_varint(buf, &mut pos);
+                        let mut prev = 0u32;
+                        for _ in 0..k {
+                            let key = prev + read_varint(buf, &mut pos) as u32;
+                            prev = key;
+                            out.extend_from_slice(&key.to_le_bytes());
+                            out.extend_from_slice(&buf[pos..pos + psize]);
+                            pos += psize;
+                        }
+                    }
+                }
+            }
+            assert_eq!(pos, buf.len(), "corrupt codec stream: trailing bytes");
+        }
+        other => panic!("corrupt codec stream: unknown message tag {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dependency slot-range codec
+// ---------------------------------------------------------------------------
+
+/// Exact candidate sizes (tag byte included) for a dep-range message over
+/// `n` slots with `slots.len()` non-default entries of `psize` payload
+/// bytes each, given the flat body costs `flat_len` bytes. `slots` must be
+/// strictly ascending offsets into the range.
+pub fn dep_range_sizes(n: usize, psize: usize, slots: &[u32], flat_len: usize) -> [u64; 3] {
+    let k = slots.len() as u64;
+    let flat = 1 + flat_len as u64;
+    let dense = 1 + (n as u64).div_ceil(8) + k * psize as u64;
+    let mut prev = 0u32;
+    let mut deltas = 0u64;
+    for &s in slots {
+        deltas += varint_len(u64::from(s - prev)) as u64;
+        prev = s;
+    }
+    let sparse = 1 + varint_len(k) as u64 + deltas + k * psize as u64;
+    [flat, dense, sparse]
+}
+
+/// Encodes a dependency slot-range message, appended to `out`, choosing
+/// the byte-minimal of flat/dense/sparse (ties to the lowest tag).
+///
+/// Unlike [`encode_updates`], both sides know the slot count `n` from the
+/// protocol (it is the current bucket's range), so the dense bitmap
+/// carries no span header and slot indices are offsets relative to the
+/// range start. `write_flat` must append the implementation's pre-codec
+/// flat body; `write_payload(slot, out)` must append exactly `psize`
+/// bytes describing that slot's non-default state.
+pub fn encode_dep_range(
+    n: usize,
+    psize: usize,
+    slots: &[u32],
+    flat_len: usize,
+    write_flat: &mut dyn FnMut(&mut Vec<u8>),
+    write_payload: &mut dyn FnMut(u32, &mut Vec<u8>),
+    out: &mut Vec<u8>,
+) -> WireFormat {
+    debug_assert!(slots.windows(2).all(|w| w[0] < w[1]), "slots must ascend");
+    debug_assert!(slots.last().is_none_or(|&s| (s as usize) < n));
+    let sizes = dep_range_sizes(n, psize, slots, flat_len);
+    let fmt = argmin(&sizes);
+    let before = out.len();
+    out.push(fmt as u8);
+    match fmt {
+        WireFormat::Flat => write_flat(out),
+        WireFormat::Dense => {
+            let bitmap_at = out.len();
+            out.resize(bitmap_at + n.div_ceil(8), 0);
+            for &s in slots {
+                out[bitmap_at + s as usize / 8] |= 1 << (s % 8);
+            }
+            for &s in slots {
+                write_payload(s, out);
+            }
+        }
+        WireFormat::Sparse => {
+            write_varint(slots.len() as u64, out);
+            let mut prev = 0u32;
+            for &s in slots {
+                write_varint(u64::from(s - prev), out);
+                prev = s;
+                write_payload(s, out);
+            }
+        }
+    }
+    debug_assert_eq!((out.len() - before) as u64, sizes[fmt.index()]);
+    fmt
+}
+
+/// Decodes a message produced by [`encode_dep_range`]. `decode_flat`
+/// receives the flat body verbatim; for the packed formats `reset` is
+/// called once (restore every slot in the range to its default), then
+/// `apply(slot, payload)` once per encoded slot in ascending order.
+pub fn decode_dep_range(
+    n: usize,
+    psize: usize,
+    buf: &[u8],
+    decode_flat: &mut dyn FnMut(&[u8]),
+    reset: &mut dyn FnMut(),
+    apply: &mut dyn FnMut(u32, &[u8]),
+) {
+    if WireFormat::from_tag(buf[0]) == WireFormat::Flat {
+        decode_flat(&buf[1..]);
+        return;
+    }
+    reset();
+    for (slot, payload) in dep_records(n, psize, buf) {
+        apply(slot, payload);
+    }
+}
+
+/// Iterator over the `(slot, payload)` records of a *packed* (dense or
+/// sparse) message produced by [`encode_dep_range`], in ascending slot
+/// order. An iterator rather than callbacks so `DepState` decoders can
+/// apply records while holding `&mut self`.
+///
+/// # Panics
+///
+/// Panics on a flat-tagged message — the caller dispatches that case to
+/// its own flat decoder first.
+pub fn dep_records(n: usize, psize: usize, buf: &[u8]) -> DepRecords<'_> {
+    let state = match WireFormat::from_tag(buf[0]) {
+        WireFormat::Flat => panic!("dep_records only walks packed (dense/sparse) messages"),
+        WireFormat::Dense => {
+            let bitmap_len = n.div_ceil(8);
+            DepCursor::Dense {
+                bit: 0,
+                payload: 1 + bitmap_len,
+            }
+        }
+        WireFormat::Sparse => {
+            let mut pos = 1;
+            let remaining = read_varint(buf, &mut pos);
+            DepCursor::Sparse {
+                pos,
+                remaining,
+                prev: 0,
+            }
+        }
+    };
+    DepRecords {
+        buf,
+        n,
+        psize,
+        state,
+    }
+}
+
+/// See [`dep_records`].
+pub struct DepRecords<'a> {
+    buf: &'a [u8],
+    n: usize,
+    psize: usize,
+    state: DepCursor,
+}
+
+enum DepCursor {
+    Dense {
+        bit: usize,
+        payload: usize,
+    },
+    Sparse {
+        pos: usize,
+        remaining: u64,
+        prev: u32,
+    },
+}
+
+impl<'a> Iterator for DepRecords<'a> {
+    type Item = (u32, &'a [u8]);
+
+    fn next(&mut self) -> Option<(u32, &'a [u8])> {
+        match &mut self.state {
+            DepCursor::Dense { bit, payload } => {
+                while *bit < self.n {
+                    let i = *bit;
+                    *bit += 1;
+                    if self.buf[1 + i / 8] & (1 << (i % 8)) != 0 {
+                        let p = &self.buf[*payload..*payload + self.psize];
+                        *payload += self.psize;
+                        return Some((i as u32, p));
+                    }
+                }
+                assert_eq!(*payload, self.buf.len(), "corrupt dep stream");
+                None
+            }
+            DepCursor::Sparse {
+                pos,
+                remaining,
+                prev,
+            } => {
+                if *remaining == 0 {
+                    assert_eq!(*pos, self.buf.len(), "corrupt dep stream");
+                    return None;
+                }
+                *remaining -= 1;
+                let slot = *prev + read_varint(self.buf, pos) as u32;
+                *prev = slot;
+                let p = &self.buf[*pos..*pos + self.psize];
+                *pos += self.psize;
+                Some((slot, p))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_stream(recs: &[(u32, &[u8])]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (k, p) in recs {
+            out.extend_from_slice(&k.to_le_bytes());
+            out.extend_from_slice(p);
+        }
+        out
+    }
+
+    fn roundtrip(flat: &[u8], psize: usize) -> (Vec<u8>, CodecStats) {
+        let mut wire = Vec::new();
+        let stats = encode_updates(flat, psize, &mut wire);
+        let mut back = Vec::new();
+        decode_updates(&wire, psize, &mut back);
+        assert_eq!(back, flat, "decode ∘ encode must be the identity");
+        (wire, stats)
+    }
+
+    #[test]
+    fn varint_roundtrip_and_len() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_varint(v, &mut buf);
+            assert_eq!(buf.len(), varint_len(v), "len of {v}");
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn empty_stream_encodes_to_zero_bytes() {
+        let (wire, stats) = roundtrip(&[], 4);
+        assert!(wire.is_empty());
+        assert_eq!(stats, CodecStats::default());
+    }
+
+    #[test]
+    fn dense_run_uses_bitmap_and_beats_flat() {
+        // 64 consecutive keys, no payload: dense is a tag + 2 varints +
+        // 8 bitmap bytes vs 1 + 256 flat.
+        let recs: Vec<(u32, &[u8])> = (0..64).map(|k| (k, &[] as &[u8])).collect();
+        let flat = flat_stream(&recs);
+        let (wire, stats) = roundtrip(&flat, 0);
+        assert_eq!(stats.blocks[WireFormat::Dense.index()], 1);
+        assert!(
+            wire.len() < flat.len() / 8,
+            "{} vs {}",
+            wire.len(),
+            flat.len()
+        );
+    }
+
+    #[test]
+    fn sparse_run_uses_deltas() {
+        // Few clustered keys with 4-byte payloads: sparse (≈1 B delta + 4)
+        // beats flat (8) and dense (huge span bitmap).
+        let recs: Vec<(u32, &[u8])> = vec![
+            (1000, b"aaaa"),
+            (1003, b"bbbb"),
+            (1009, b"cccc"),
+            (500_000, b"dddd"),
+        ];
+        let flat = flat_stream(&recs);
+        let (wire, stats) = roundtrip(&flat, 4);
+        assert_eq!(stats.blocks[WireFormat::Sparse.index()], 1);
+        assert!(wire.len() < flat.len());
+    }
+
+    #[test]
+    fn incompressible_stream_falls_back_to_whole_flat() {
+        // Strictly descending keys: every record is its own run, so
+        // blocking pays per-run overhead and whole-message flat wins.
+        let recs: Vec<(u32, &[u8])> = (0..50).map(|i| (1000 - i, &[] as &[u8])).collect();
+        let flat = flat_stream(&recs);
+        let (wire, stats) = roundtrip(&flat, 0);
+        assert_eq!(wire[0], 0, "message tag 0 = flat passthrough");
+        assert_eq!(wire.len(), flat.len() + 1);
+        assert_eq!(stats.blocks[WireFormat::Flat.index()], 1);
+        assert_eq!(stats.bytes[WireFormat::Flat.index()], wire.len() as u64);
+    }
+
+    #[test]
+    fn duplicate_keys_survive_roundtrip() {
+        // Duplicates keep the run non-strict → dense ineligible, but the
+        // non-decreasing run still sparse-encodes (delta 0).
+        let recs: Vec<(u32, &[u8])> = vec![(7, b"x"), (7, b"y"), (7, b"z"), (9, b"w")];
+        let flat = flat_stream(&recs);
+        let (_, stats) = roundtrip(&flat, 1);
+        assert_eq!(stats.blocks[WireFormat::Dense.index()], 0);
+    }
+
+    #[test]
+    fn multi_run_streams_block_independently() {
+        // Hi-pass (slot-ascending) followed by lo-pass (vid-ascending):
+        // two ascending runs, each encoded as its own block.
+        let mut recs: Vec<(u32, &[u8])> = (100..160).map(|k| (k, &[] as &[u8])).collect();
+        recs.extend((0..60).map(|k| (k, &[] as &[u8])));
+        let flat = flat_stream(&recs);
+        let (wire, stats) = roundtrip(&flat, 0);
+        assert_eq!(wire[0], 1, "blocked message");
+        assert_eq!(stats.blocks.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn ties_prefer_the_lowest_tag() {
+        assert_eq!(argmin(&[5, 5, 5]), WireFormat::Flat);
+        assert_eq!(argmin(&[6, 5, 5]), WireFormat::Dense);
+        assert_eq!(argmin(&[6, 6, 5]), WireFormat::Sparse);
+    }
+
+    #[test]
+    fn unsorted_mixed_payload_roundtrip() {
+        let recs: Vec<(u32, &[u8])> = vec![
+            (42, b"12345678"),
+            (41, b"abcdefgh"),
+            (41, b"ABCDEFGH"),
+            (100_000, b"qwertyui"),
+        ];
+        roundtrip(&flat_stream(&recs), 8);
+    }
+
+    fn dep_roundtrip(n: usize, psize: usize, slots: &[u32], payloads: &[Vec<u8>]) -> WireFormat {
+        // Flat body stand-in: one marker byte per slot (1 = listed), plus
+        // payloads appended — enough to exercise arbitrary flat lengths.
+        let flat_len = n + slots.len() * psize;
+        let mut wire = Vec::new();
+        let fmt = encode_dep_range(
+            n,
+            psize,
+            slots,
+            flat_len,
+            &mut |out: &mut Vec<u8>| {
+                let mark_at = out.len();
+                out.resize(mark_at + n, 0);
+                for &s in slots {
+                    out[mark_at + s as usize] = 1;
+                }
+                for p in payloads {
+                    out.extend_from_slice(p);
+                }
+            },
+            &mut |slot, out: &mut Vec<u8>| {
+                let i = slots.iter().position(|&s| s == slot).unwrap();
+                out.extend_from_slice(&payloads[i]);
+            },
+            &mut wire,
+        );
+        let sizes = dep_range_sizes(n, psize, slots, flat_len);
+        assert_eq!(
+            wire.len() as u64,
+            *sizes.iter().min().unwrap(),
+            "chosen format must be byte-minimal"
+        );
+        // Reconstruct and compare against the ground truth.
+        let got: std::cell::RefCell<Vec<Option<Vec<u8>>>> = std::cell::RefCell::new(vec![None; n]);
+        let mut was_reset = false;
+        decode_dep_range(
+            n,
+            psize,
+            &wire,
+            &mut |body: &[u8]| {
+                assert_eq!(body.len(), flat_len);
+                for (s, p) in slots.iter().zip(payloads) {
+                    assert_eq!(body[*s as usize], 1);
+                    got.borrow_mut()[*s as usize] = Some(p.clone());
+                }
+            },
+            &mut || was_reset = true,
+            &mut |slot, payload: &[u8]| got.borrow_mut()[slot as usize] = Some(payload.to_vec()),
+        );
+        if fmt != WireFormat::Flat {
+            assert!(was_reset, "packed decode must reset the range first");
+        }
+        for (i, g) in got.borrow().iter().enumerate() {
+            match slots.iter().position(|&s| s as usize == i) {
+                Some(j) => assert_eq!(g.as_deref(), Some(payloads[j].as_slice())),
+                None => assert!(g.is_none()),
+            }
+        }
+        fmt
+    }
+
+    #[test]
+    fn dep_dense_wins_on_full_ranges() {
+        let slots: Vec<u32> = (0..100).collect();
+        let payloads: Vec<Vec<u8>> = (0..100u8).map(|i| vec![i]).collect();
+        assert_eq!(dep_roundtrip(100, 1, &slots, &payloads), WireFormat::Dense);
+    }
+
+    #[test]
+    fn dep_sparse_wins_on_nearly_empty_ranges() {
+        let payloads = vec![vec![9u8]];
+        assert_eq!(dep_roundtrip(4096, 1, &[77], &payloads), WireFormat::Sparse);
+    }
+
+    #[test]
+    fn dep_empty_slot_set_is_tiny() {
+        let fmt = dep_roundtrip(4096, 1, &[], &[]);
+        assert_eq!(fmt, WireFormat::Sparse, "varint(0) beats any bitmap");
+    }
+
+    #[test]
+    fn dep_zero_payload_bitmap_ties_to_flat() {
+        // psize 0 with flat_len == bitmap bytes (BitDep's own layout):
+        // dense equals flat, tie goes to flat.
+        let slots: Vec<u32> = (0..64).step_by(2).collect();
+        let flat_len = 8;
+        let sizes = dep_range_sizes(64, 0, &slots, flat_len);
+        assert_eq!(sizes[0], sizes[1]);
+        assert_eq!(argmin(&sizes), WireFormat::Flat);
+    }
+}

@@ -111,6 +111,32 @@ impl CostModel {
         self.msg_latency_sec + bytes as f64 * self.per_byte_sec
     }
 
+    /// Sender-side software overhead actually charged for a message of
+    /// `bytes` payload bytes. Empty messages are pure protocol
+    /// placeholders (a step/group that produced nothing still completes
+    /// the tagged handshake) — they serialize nothing, so no header cost
+    /// is charged for them. Header cost applies only to messages that
+    /// carry data.
+    pub fn send_overhead(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            0.0
+        } else {
+            self.msg_overhead_sec
+        }
+    }
+
+    /// Receiver-visible delay between a message's departure and its
+    /// arrival. Empty placeholder messages arrive instantly (no wire
+    /// traffic is modelled for them); everything else pays
+    /// [`CostModel::transfer_time`].
+    pub fn arrival_delay(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            0.0
+        } else {
+            self.transfer_time(bytes)
+        }
+    }
+
     /// Compute time for visiting `edges` edges and `vertices` vertex
     /// headers.
     pub fn compute_time(&self, edges: u64, vertices: u64) -> f64 {
@@ -192,6 +218,18 @@ mod tests {
         assert!(m.transfer_time(2000) > m.transfer_time(1000));
         // Small messages are latency-dominated.
         assert!(m.transfer_time(8) < 2.0 * m.msg_latency_sec);
+    }
+
+    #[test]
+    fn empty_messages_are_free_of_header_and_transfer_cost() {
+        let m = CostModel::cluster_a();
+        // The satellite contract: header cost is only charged for
+        // messages that actually carry bytes onto the wire.
+        assert_eq!(m.send_overhead(0), 0.0);
+        assert_eq!(m.arrival_delay(0), 0.0);
+        assert_eq!(m.send_overhead(1), m.msg_overhead_sec);
+        assert_eq!(m.arrival_delay(1), m.transfer_time(1));
+        assert!(m.arrival_delay(1) >= m.msg_latency_sec);
     }
 
     #[test]

@@ -38,12 +38,18 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod codec;
 mod cost;
 mod error;
 mod stats;
 mod wire;
 
 pub use cluster::{Cluster, ClusterResult, NodeCtx, Tag, TagKind};
+pub use codec::{
+    decode_dep_range, decode_updates, dep_range_sizes, dep_records, encode_dep_range,
+    encode_updates, read_varint, varint_len, write_varint, CodecStats, DepRecords, WireCodec,
+    WireFormat,
+};
 pub use cost::CostModel;
 pub use error::NetError;
 pub use stats::{CommKind, CommStats, COMM_KINDS};

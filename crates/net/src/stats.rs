@@ -10,6 +10,8 @@
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
+use crate::codec::{CodecStats, WireFormat};
+
 /// Category of a message for accounting purposes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CommKind {
@@ -72,6 +74,11 @@ impl fmt::Display for CommKind {
 pub struct CommStats {
     bytes: [u64; 3],
     messages: [u64; 3],
+    /// Chosen-format histogram from the adaptive codec (bytes and encoded
+    /// blocks per [`WireFormat`]). Flat-codec runs attribute every sent
+    /// payload to [`WireFormat::Flat`], so the histogram always accounts
+    /// for the engine's data traffic.
+    formats: CodecStats,
 }
 
 impl CommStats {
@@ -79,6 +86,24 @@ impl CommStats {
     pub fn record(&mut self, kind: CommKind, bytes: u64) {
         self.bytes[kind.index()] += bytes;
         self.messages[kind.index()] += 1;
+    }
+
+    /// Merges a codec encode's chosen-format histogram.
+    pub fn record_formats(&mut self, formats: &CodecStats) {
+        for f in WireFormat::ALL {
+            self.formats.bytes[f.index()] += formats.bytes[f.index()];
+            self.formats.blocks[f.index()] += formats.blocks[f.index()];
+        }
+    }
+
+    /// Encoded bytes attributed to `fmt` by the codec.
+    pub fn format_bytes(&self, fmt: WireFormat) -> u64 {
+        self.formats.bytes[fmt.index()]
+    }
+
+    /// Encoded blocks (whole messages count as one) chosen in `fmt`.
+    pub fn format_blocks(&self, fmt: WireFormat) -> u64 {
+        self.formats.blocks[fmt.index()]
     }
 
     /// Payload bytes sent in `kind`.
@@ -121,6 +146,7 @@ impl AddAssign for CommStats {
             self.bytes[i] += rhs.bytes[i];
             self.messages[i] += rhs.messages[i];
         }
+        self.record_formats(&rhs.formats);
     }
 }
 
@@ -167,6 +193,23 @@ mod tests {
         assert_eq!(c.bytes(CommKind::Dependency), 12);
         assert_eq!(c.bytes(CommKind::Update), 2);
         assert_eq!(c.messages(CommKind::Dependency), 2);
+    }
+
+    #[test]
+    fn format_histogram_merges_and_sums() {
+        let mut cs = CodecStats::default();
+        cs.bytes[WireFormat::Dense.index()] = 40;
+        cs.blocks[WireFormat::Dense.index()] = 2;
+        cs.bytes[WireFormat::Sparse.index()] = 7;
+        cs.blocks[WireFormat::Sparse.index()] = 1;
+        let mut a = CommStats::default();
+        a.record_formats(&cs);
+        a.record_formats(&cs);
+        assert_eq!(a.format_bytes(WireFormat::Dense), 80);
+        assert_eq!(a.format_blocks(WireFormat::Sparse), 2);
+        let b = a + CommStats::default();
+        assert_eq!(b.format_bytes(WireFormat::Sparse), 14);
+        assert_eq!(b.format_bytes(WireFormat::Flat), 0);
     }
 
     #[test]

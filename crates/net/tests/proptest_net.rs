@@ -35,6 +35,9 @@ proptest! {
         sizes in proptest::collection::vec(0usize..2000, 1..10),
     ) {
         let total: usize = sizes.iter().sum();
+        // Empty payloads are protocol placeholders: they still complete
+        // the tagged handshake but ship nothing and are not counted.
+        let nonempty = sizes.iter().filter(|&&s| s > 0).count();
         let r = Cluster::new(2, CostModel::zero()).run(|ctx| {
             if ctx.rank() == 0 {
                 for (i, &s) in sizes.iter().enumerate() {
@@ -47,7 +50,32 @@ proptest! {
             }
         });
         prop_assert_eq!(r.stats.bytes(CommKind::Update), total as u64);
-        prop_assert_eq!(r.stats.messages(CommKind::Update), sizes.len() as u64);
+        prop_assert_eq!(r.stats.messages(CommKind::Update), nonempty as u64);
+    }
+
+    #[test]
+    fn empty_messages_cost_no_virtual_time(n in 1usize..8) {
+        // A stream of empty placeholder messages must leave every clock at
+        // zero under a model with nonzero latency/overhead: no header
+        // charge at the sender, no transfer delay at the receiver.
+        let r = Cluster::new(2, CostModel::cluster_a()).run(move |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..n {
+                    ctx.send(1, Tag::new(TagKind::User, i as u64, 0), CommKind::Update, Vec::new());
+                }
+            } else {
+                for i in 0..n {
+                    let buf = ctx.recv(0, Tag::new(TagKind::User, i as u64, 0));
+                    assert!(buf.is_empty());
+                }
+            }
+            ctx.virtual_clock()
+        });
+        prop_assert_eq!(r.stats.total_bytes(), 0);
+        prop_assert_eq!(r.stats.total_messages(), 0);
+        for clock in r.outputs {
+            prop_assert_eq!(clock, 0.0);
+        }
     }
 
     #[test]

@@ -39,6 +39,10 @@ pub struct CellStats {
     /// Largest number of executor lanes that contributed compute time to
     /// this cell (1 for purely sequential execution, 0 if no compute).
     pub lanes: u32,
+    /// Encoded bytes per wire format chosen by the adaptive codec
+    /// (flat / dense / sparse, in tag order). Complements `bytes`: that
+    /// array answers *what* was shipped, this one *how* it was encoded.
+    pub wire_format_bytes: [u64; 3],
 }
 
 impl CellStats {
@@ -64,6 +68,7 @@ impl CellStats {
         for i in 0..3 {
             self.bytes[i] += other.bytes[i];
             self.messages[i] += other.messages[i];
+            self.wire_format_bytes[i] += other.wire_format_bytes[i];
         }
         self.compute_cpu += other.compute_cpu;
         self.lanes = self.lanes.max(other.lanes);
@@ -213,6 +218,18 @@ impl TraceRecorder {
         cell.messages[category.index()] += messages;
     }
 
+    /// Attributes encoded bytes per chosen wire format (flat / dense /
+    /// sparse, in tag order) under the current scope.
+    pub fn record_wire_formats(&mut self, format_bytes: &[u64; 3]) {
+        if !self.level.metrics() {
+            return;
+        }
+        let cell = self.cells.entry(self.scope).or_default();
+        for (acc, &b) in cell.wire_format_bytes.iter_mut().zip(format_bytes) {
+            *acc += b;
+        }
+    }
+
     /// Finalises recording into an immutable per-machine trace.
     pub fn finish(self) -> NodeTrace {
         NodeTrace {
@@ -265,6 +282,12 @@ impl NodeTrace {
     /// The widest executor fan-out observed in any cell on this machine.
     pub fn max_lanes(&self) -> u32 {
         self.cells.values().map(|c| c.lanes).max().unwrap_or(0)
+    }
+
+    /// Encoded bytes attributed to wire format index `fmt` (tag order:
+    /// flat, dense, sparse) across all cells.
+    pub fn wire_format_bytes(&self, fmt: usize) -> u64 {
+        self.cells.values().map(|c| c.wire_format_bytes[fmt]).sum()
     }
 }
 
@@ -401,6 +424,23 @@ mod tests {
         let node = rec.finish();
         assert_eq!(node.compute_cpu(), 1.5);
         assert_eq!(node.max_lanes(), 1);
+    }
+
+    #[test]
+    fn wire_format_bytes_accumulate_per_cell() {
+        let mut rec = TraceRecorder::new(0, TraceLevel::Metrics);
+        rec.set_scope(0, 0, 0);
+        rec.record_wire_formats(&[10, 0, 3]);
+        rec.set_scope(0, 1, 0);
+        rec.record_wire_formats(&[0, 20, 0]);
+        let node = rec.finish();
+        assert_eq!(node.wire_format_bytes(0), 10);
+        assert_eq!(node.wire_format_bytes(1), 20);
+        assert_eq!(node.wire_format_bytes(2), 3);
+
+        let mut off = TraceRecorder::new(0, TraceLevel::Off);
+        off.record_wire_formats(&[1, 1, 1]);
+        assert!(off.finish().cells.is_empty());
     }
 
     #[test]

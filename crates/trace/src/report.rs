@@ -26,6 +26,9 @@ pub struct MachineReport {
     pub compute_cpu: f64,
     /// Widest executor fan-out observed in any cell on this machine.
     pub lanes: u32,
+    /// Encoded bytes per chosen wire format (flat / dense / sparse, in
+    /// codec tag order).
+    pub wire_format_bytes: [u64; 3],
 }
 
 impl MachineReport {
@@ -77,6 +80,7 @@ impl MetricsReport {
                     for i in 0..3 {
                         m.bytes[i] += cell.bytes[i];
                         m.messages[i] += cell.messages[i];
+                        m.wire_format_bytes[i] += cell.wire_format_bytes[i];
                     }
                     m.compute_cpu += cell.compute_cpu;
                     m.lanes = m.lanes.max(cell.lanes);
@@ -117,6 +121,15 @@ impl MetricsReport {
         self.per_machine.iter().map(|m| m.compute_cpu).sum()
     }
 
+    /// Total encoded bytes attributed to wire format index `fmt`
+    /// (codec tag order: 0 flat, 1 dense, 2 sparse).
+    pub fn wire_format_bytes(&self, fmt: usize) -> u64 {
+        self.per_machine
+            .iter()
+            .map(|m| m.wire_format_bytes[fmt])
+            .sum()
+    }
+
     /// Machine-readable JSON dump of the whole report.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
@@ -137,6 +150,11 @@ impl MetricsReport {
         w.key("messages").begin_object();
         for cat in ByteCategory::ALL {
             w.key(cat.name()).u64(self.messages(cat));
+        }
+        w.end_object();
+        w.key("wire_format_bytes").begin_object();
+        for (i, name) in ["flat", "dense", "sparse"].into_iter().enumerate() {
+            w.key(name).u64(self.wire_format_bytes(i));
         }
         w.end_object();
         w.key("per_machine").begin_array();

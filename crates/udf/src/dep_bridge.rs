@@ -9,7 +9,8 @@
 
 use crate::types::{Ty, Value};
 use std::ops::Range;
-use symple_core::DepState;
+use symple_core::{DepState, WireFormat};
+use symple_net::{dep_records, encode_dep_range};
 
 /// Generic dependency state for interpreted UDFs.
 #[derive(Debug, Clone)]
@@ -128,6 +129,55 @@ impl DepState for UdfDep {
         unimplemented!("use UdfDep::wire_bytes_for(len, arity)")
     }
 
+    fn encode_range_coded(&self, range: Range<usize>, out: &mut Vec<u8>) -> WireFormat {
+        let n = range.len();
+        let a = self.arity();
+        // A slot is non-default when its skip bit is set or any carried
+        // value's bits differ from the type's zero (bit comparison so
+        // float payloads stay exact).
+        let zeros: Vec<u64> = self.tys.iter().map(|&t| Value::zero(t).to_bits()).collect();
+        let slots: Vec<u32> = range
+            .clone()
+            .filter(|&slot| {
+                self.skip[slot] || (0..a).any(|i| self.vals[slot * a + i].to_bits() != zeros[i])
+            })
+            .map(|slot| (slot - range.start) as u32)
+            .collect();
+        encode_dep_range(
+            n,
+            1 + 8 * a,
+            &slots,
+            Self::wire_bytes_for(n, a),
+            &mut |out| self.encode_range(range.clone(), out),
+            &mut |rel, out| {
+                let slot = range.start + rel as usize;
+                out.push(u8::from(self.skip[slot]));
+                for i in 0..a {
+                    out.extend_from_slice(&self.vals[slot * a + i].to_bits().to_le_bytes());
+                }
+            },
+            out,
+        )
+    }
+
+    fn decode_range_coded(&mut self, range: Range<usize>, buf: &[u8]) {
+        if buf[0] == WireFormat::Flat as u8 {
+            self.decode_range(range, &buf[1..]);
+            return;
+        }
+        self.reset_range(range.clone());
+        let a = self.arity();
+        for (rel, payload) in dep_records(range.len(), 1 + 8 * a, buf) {
+            let slot = range.start + rel as usize;
+            self.skip[slot] = payload[0] != 0;
+            for i in 0..a {
+                let off = 1 + i * 8;
+                let bits = u64::from_le_bytes(payload[off..off + 8].try_into().unwrap());
+                self.vals[slot * a + i] = Value::from_bits(self.tys[i], bits);
+            }
+        }
+    }
+
     fn detach(&self, slots: usize) -> Self {
         UdfDep::new(slots, self.tys.clone())
     }
@@ -207,6 +257,46 @@ mod tests {
         assert_eq!(d.value(2, 0), Value::Int(9));
         assert!(d.should_skip(4));
         assert_eq!(d.value(5, 0), Value::Int(0), "outside range untouched");
+    }
+
+    #[test]
+    fn coded_roundtrip_matches_flat_state() {
+        let mut d = UdfDep::new(200, vec![Ty::Int, Ty::Float]);
+        d.mark(3);
+        d.set_value(3, 0, Value::Int(-7));
+        d.set_value(90, 1, Value::Float(0.25));
+        let mut wire = Vec::new();
+        let fmt = d.encode_range_coded(0..200, &mut wire);
+        assert_eq!(fmt, WireFormat::Sparse, "2 of 200 slots: deltas win");
+        assert!(wire.len() < 1 + UdfDep::wire_bytes_for(200, 2));
+        let mut d2 = UdfDep::new(200, vec![Ty::Int, Ty::Float]);
+        d2.mark(50); // stale state the packed decode must reset
+        d2.decode_range_coded(0..200, &wire);
+        for slot in 0..200 {
+            assert_eq!(d2.should_skip(slot), d.should_skip(slot), "slot {slot}");
+            for i in 0..2 {
+                assert_eq!(
+                    d2.value(slot, i).to_bits(),
+                    d.value(slot, i).to_bits(),
+                    "slot {slot} value {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coded_control_only_udf_matches_bit_semantics() {
+        let mut d = UdfDep::new(64, vec![]);
+        for s in [0usize, 1, 2, 3, 60] {
+            d.mark(s);
+        }
+        let mut wire = Vec::new();
+        d.encode_range_coded(0..64, &mut wire);
+        let mut d2 = UdfDep::new(64, vec![]);
+        d2.decode_range_coded(0..64, &wire);
+        for s in 0..64 {
+            assert_eq!(d2.should_skip(s), d.should_skip(s));
+        }
     }
 
     #[test]

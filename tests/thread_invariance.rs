@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use symplegraph::algos::{bfs, kcore, sampling};
-use symplegraph::core::{EngineConfig, Policy, SpanCategory};
+use symplegraph::core::{EngineConfig, Policy, SpanCategory, WireCodec};
 use symplegraph::graph::{Graph, GraphBuilder, RmatConfig, Vid};
 
 /// The policies whose pull paths differ (baseline walk, plain circulant,
@@ -84,6 +84,59 @@ fn comm_byte_categories_identical_across_threads() {
     for cat in ByteCategory::ALL {
         assert_eq!(m1.bytes(cat), m8.bytes(cat), "{cat:?} bytes");
         assert_eq!(m1.messages(cat), m8.messages(cat), "{cat:?} messages");
+    }
+}
+
+#[test]
+fn wire_codec_is_invisible_to_outputs_and_work() {
+    // The adaptive codec must be a pure byte-layout knob: same outputs and
+    // work counters as the flat seed encoding, at any thread count.
+    let g = RmatConfig::graph500(9, 8).cleaned(true).generate();
+    for policy in policies() {
+        let (flat_out, flat_st) = kcore(&g, &cfg(3, policy, 1), 3);
+        for threads in [1, 8] {
+            let c = cfg(3, policy, threads).wire_codec(WireCodec::Adaptive);
+            let (out, st) = kcore(&g, &c, 3);
+            assert_eq!(out, flat_out, "{policy:?} threads={threads}: output");
+            assert_eq!(st.work, flat_st.work, "{policy:?} threads={threads}: work");
+        }
+        let (bfs_flat, _) = bfs(&g, &cfg(4, policy, 1), Vid::new(7));
+        let c = cfg(4, policy, 8).wire_codec(WireCodec::Adaptive);
+        let (bfs_adaptive, _) = bfs(&g, &c, Vid::new(7));
+        assert_eq!(
+            bfs_adaptive, bfs_flat,
+            "{policy:?}: bfs output across codecs"
+        );
+    }
+}
+
+#[test]
+fn adaptive_comm_is_thread_invariant_and_never_larger() {
+    use symplegraph::core::ByteCategory;
+    let g = RmatConfig::graph500(9, 8).cleaned(true).generate();
+    for policy in policies() {
+        let adaptive = |threads| cfg(4, policy, threads).wire_codec(WireCodec::Adaptive);
+        let (_, a1) = bfs(&g, &adaptive(1), Vid::new(3));
+        let (_, a8) = bfs(&g, &adaptive(8), Vid::new(3));
+        // Covers the format histogram too: CommStats equality includes it.
+        assert_eq!(a1.comm, a8.comm, "{policy:?}: adaptive comm across threads");
+
+        let (_, f1) = bfs(&g, &cfg(4, policy, 1), Vid::new(3));
+        let (mf, ma) = (f1.metrics(), a1.metrics());
+        for cat in [ByteCategory::Update, ByteCategory::Dependency] {
+            assert!(
+                ma.bytes(cat) <= mf.bytes(cat),
+                "{policy:?} {cat:?}: adaptive {} > flat {}",
+                ma.bytes(cat),
+                mf.bytes(cat)
+            );
+        }
+        // Collective sync traffic does not go through the codec.
+        assert_eq!(
+            ma.bytes(ByteCategory::Collective),
+            mf.bytes(ByteCategory::Collective),
+            "{policy:?}: collective bytes must not depend on the codec"
+        );
     }
 }
 
