@@ -23,10 +23,17 @@ if [ "$QUICK" = 0 ]; then
     --threads 1,4 --scale 13 --scaling-json BENCH_scaling_smoke.json
   rm -f BENCH_scaling_smoke.json
 
-  echo "== wire-codec smoke (flat vs adaptive) =="
+  echo "== wire-codec regression guard (vs committed BENCH_comm.json) =="
+  # Re-runs the byte study at the baseline's graph/machine count and fails
+  # if any adaptive/flat data ratio regressed by more than 10%.
   cargo run --release --offline -p symple-bench --bin experiments -- \
-    --comm-json BENCH_comm_smoke.json --comm-graph s27 --comm-machines 4
-  rm -f BENCH_comm_smoke.json
+    --comm-check BENCH_comm.json
+
+  echo "== fault-injection smoke (chaos plan, outputs bit-identical) =="
+  # BFS / K-core / MIS on s27, 4 machines, under a seeded drop+dup+delay+
+  # reorder plan; the sweep itself asserts outputs, work counters, and
+  # logical traffic match the fault-free run bit for bit.
+  cargo run --release --offline -p symple-bench --bin experiments -- --faults
 fi
 
 echo "== rustfmt =="

@@ -9,7 +9,9 @@
 use crate::datasets::dataset;
 use crate::fmt::{geomean, secs, speedup, table};
 use symple_algos::{bfs, kcore, kmeans, mis, sampling};
-use symple_core::{EngineConfig, Policy, RunStats, TraceLevel, WireCodec};
+use symple_core::{
+    EngineConfig, FaultPlan, Policy, ReliableStats, RunStats, TraceLevel, WireCodec,
+};
 use symple_graph::{Graph, GraphStats, Vid};
 use symple_net::{CommKind, CostModel, WireFormat, COMM_KINDS};
 
@@ -513,6 +515,283 @@ pub fn comm_report() -> Report {
     Report::new("comm", "Wire-codec byte budget (extension)", text)
 }
 
+/// One (workload, policy) cell of the fault-injection study: the same run
+/// fault-free and under a seeded chaos plan, with the reliable-delivery
+/// overlay it took to absorb the injected faults. Output and work-counter
+/// equality is asserted inside [`fault_study`] — a point only exists if
+/// the faulted run was bit-identical above the net layer.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPoint {
+    /// Workload label.
+    pub algo: &'static str,
+    /// System label (`Gemini` or `SympleGraph`).
+    pub policy: &'static str,
+    /// Modelled seconds of the fault-free run.
+    pub clean_time: f64,
+    /// Modelled seconds under the fault plan (retries and delays included).
+    pub faulted_time: f64,
+    /// The reliable layer's counters for the faulted run.
+    pub reliable: ReliableStats,
+}
+
+/// Workloads of the fault study: the three dependency-sensitive
+/// algorithms, whose correctness hinges on loop-carried messages arriving
+/// exactly once and in order.
+pub const FAULT_ALGOS: [(&str, Algo); 3] = [
+    ("BFS", Algo::Bfs),
+    ("K-core", Algo::Kcore(4)),
+    ("MIS", Algo::Mis),
+];
+
+/// Runs each fault-study workload under Gemini and SympleGraph on dataset
+/// `name`, fault-free and under `FaultPlan::chaos(seed)`, asserting along
+/// the way that outputs, work counters, and logical traffic are
+/// bit-identical — the acceptance bar that makes the fault plan a pure
+/// robustness knob.
+pub fn fault_study(name: &str, machines: usize, seed: u64) -> Vec<FaultPoint> {
+    let g = dataset(name);
+    let cost = model_for(name, CostModel::cluster_a());
+    let plan = FaultPlan::chaos(seed);
+    let mut points = Vec::new();
+    for (algo_name, algo) in FAULT_ALGOS {
+        for (pname, policy) in [
+            ("Gemini", Policy::Gemini),
+            ("SympleGraph", Policy::symple()),
+        ] {
+            let clean_cfg = cfg(machines, policy, cost);
+            let fault_cfg = cfg(machines, policy, cost).fault_plan(plan);
+            let (clean, faulted) = match algo {
+                Algo::Bfs => {
+                    let root = bfs_roots(g, 1)[0];
+                    let (co, cs) = bfs(g, &clean_cfg, root);
+                    let (fo, fs) = bfs(g, &fault_cfg, root);
+                    assert_eq!(co, fo, "faults {algo_name}/{pname}: output changed");
+                    (cs, fs)
+                }
+                Algo::Kcore(k) => {
+                    let (co, cs) = kcore(g, &clean_cfg, k);
+                    let (fo, fs) = kcore(g, &fault_cfg, k);
+                    assert_eq!(co, fo, "faults {algo_name}/{pname}: output changed");
+                    (cs, fs)
+                }
+                Algo::Mis => {
+                    let (co, cs) = mis(g, &clean_cfg, 1);
+                    let (fo, fs) = mis(g, &fault_cfg, 1);
+                    assert_eq!(co, fo, "faults {algo_name}/{pname}: output changed");
+                    (cs, fs)
+                }
+                _ => unreachable!("not a fault-study workload"),
+            };
+            assert_eq!(
+                clean.work, faulted.work,
+                "faults {algo_name}/{pname}: work counters changed"
+            );
+            assert_eq!(
+                clean.comm.total_bytes(),
+                faulted.comm.total_bytes(),
+                "faults {algo_name}/{pname}: logical bytes changed"
+            );
+            assert_eq!(
+                clean.comm.total_messages(),
+                faulted.comm.total_messages(),
+                "faults {algo_name}/{pname}: logical messages changed"
+            );
+            assert!(
+                !clean.comm.reliable().any(),
+                "faults {algo_name}/{pname}: fault-free run has a reliable overlay"
+            );
+            let rel = faulted.comm.reliable();
+            assert!(
+                machines < 2 || rel.retransmits > 0,
+                "faults {algo_name}/{pname}: the chaos plan injected nothing"
+            );
+            points.push(FaultPoint {
+                algo: algo_name,
+                policy: pname,
+                clean_time: clean.virtual_time(),
+                faulted_time: faulted.virtual_time(),
+                reliable: rel,
+            });
+        }
+    }
+    points
+}
+
+/// Renders a fault study as a machine-readable JSON document.
+pub fn fault_json(name: &str, machines: usize, seed: u64, points: &[FaultPoint]) -> String {
+    let mut w = symple_trace::json::JsonWriter::new();
+    w.begin_object();
+    w.key("bench").string("fault_injection");
+    w.key("graph").string(name);
+    w.key("machines").u64(machines as u64);
+    w.key("seed").u64(seed);
+    w.key("note").string(
+        "outputs, work counters, and logical traffic asserted bit-identical \
+         to fault-free; only the reliable overlay and virtual time differ",
+    );
+    w.key("points").begin_array();
+    for p in points {
+        w.begin_object();
+        w.key("algo").string(p.algo);
+        w.key("policy").string(p.policy);
+        w.key("clean_virtual_secs").f64(p.clean_time);
+        w.key("faulted_virtual_secs").f64(p.faulted_time);
+        w.key("timeouts").u64(p.reliable.timeouts);
+        w.key("retransmits").u64(p.reliable.retransmits);
+        w.key("retransmit_bytes").u64(p.reliable.retransmit_bytes);
+        w.key("dup_drops").u64(p.reliable.dup_drops);
+        w.key("acks").u64(p.reliable.acks);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// The fault study as a report table (id `faults`). Uses the small s27
+/// stand-in at 4 machines so the smoke invocation in `ci.sh` stays cheap.
+pub fn fault_report() -> Report {
+    let (name, machines, seed) = ("s27", 4, 42);
+    let points = fault_study(name, machines, seed);
+    let rows = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.algo.to_string(),
+                p.policy.to_string(),
+                p.reliable.retransmits.to_string(),
+                p.reliable.dup_drops.to_string(),
+                p.reliable.acks.to_string(),
+                format!(
+                    "{:.3}",
+                    p.faulted_time / p.clean_time.max(f64::MIN_POSITIVE)
+                ),
+            ]
+        })
+        .collect::<Vec<_>>();
+    let text = format!(
+        "{}\nSeeded chaos plan (drop/dup/delay/reorder) on {name}, {machines} machines,\nseed {seed}. Outputs, work counters, and logical traffic are asserted\nbit-identical to the fault-free run before a row is printed; the\ncolumns show what the ack/retry layer absorbed and the virtual-time\nslowdown it cost.\n",
+        table(
+            &["app", "system", "retrans", "dups", "acks", "slowdown"],
+            &rows
+        )
+    );
+    Report::new("faults", "Fault-injection absorption (extension)", text)
+}
+
+/// A parsed `BENCH_comm.json` baseline: where the study ran and the
+/// adaptive/flat data ratio of every (workload, policy) cell.
+#[derive(Debug, Clone)]
+pub struct CommBaseline {
+    /// Dataset name the baseline was measured on.
+    pub graph: String,
+    /// Machine count the baseline was measured at.
+    pub machines: usize,
+    /// `(algo, policy, data_ratio)` per point.
+    pub ratios: Vec<(String, String, f64)>,
+}
+
+fn scan_str<'a>(s: &'a str, key: &str) -> Option<&'a str> {
+    let rest = &s[s.find(key)? + key.len()..];
+    rest.split('"').next()
+}
+
+/// Parses a `BENCH_comm.json` document as written by [`comm_json`] (no
+/// whitespace, known key order) without a JSON dependency.
+pub fn parse_comm_baseline(json: &str) -> Result<CommBaseline, String> {
+    let graph = scan_str(json, "\"graph\":\"")
+        .ok_or("baseline: missing \"graph\"")?
+        .to_string();
+    let machines = json
+        .find("\"machines\":")
+        .map(|i| &json[i + "\"machines\":".len()..])
+        .and_then(|rest| {
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            digits.parse::<usize>().ok()
+        })
+        .ok_or("baseline: missing \"machines\"")?;
+    let mut ratios = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find("\"algo\":\"") {
+        let point = &rest[i..];
+        let algo = scan_str(point, "\"algo\":\"")
+            .ok_or("baseline: unterminated \"algo\"")?
+            .to_string();
+        let policy = scan_str(point, "\"policy\":\"")
+            .ok_or("baseline: point missing \"policy\"")?
+            .to_string();
+        let ratio = point
+            .find("\"data_ratio\":")
+            .map(|j| &point[j + "\"data_ratio\":".len()..])
+            .and_then(|r| {
+                let end = r.find([',', '}']).unwrap_or(r.len());
+                r[..end].parse::<f64>().ok()
+            })
+            .ok_or_else(|| format!("baseline: point {algo}/{policy} missing \"data_ratio\""))?;
+        ratios.push((algo, policy, ratio));
+        rest = &point["\"algo\":\"".len()..];
+    }
+    if ratios.is_empty() {
+        return Err("baseline: no points found".into());
+    }
+    Ok(CommBaseline {
+        graph,
+        machines,
+        ratios,
+    })
+}
+
+/// Compares freshly measured study points against a parsed baseline.
+/// A cell regresses when its adaptive/flat data ratio exceeds the
+/// baseline's by more than `tolerance` (relative); missing cells fail
+/// too. Returns a per-cell summary on success, the list of regressions
+/// on failure.
+pub fn comm_check_points(
+    baseline: &CommBaseline,
+    points: &[CommPoint],
+    tolerance: f64,
+) -> Result<String, String> {
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for (algo, policy, base) in &baseline.ratios {
+        match points.iter().find(|p| p.algo == algo && p.policy == policy) {
+            None => failures.push(format!(
+                "{algo}/{policy}: cell missing from the current study"
+            )),
+            Some(p) => {
+                let cur = p.data_ratio();
+                let bound = base * (1.0 + tolerance) + 1e-12;
+                if cur > bound {
+                    failures.push(format!(
+                        "{algo}/{policy}: data_ratio {cur:.4} exceeds baseline {base:.4} \
+                         by more than {:.0}%",
+                        tolerance * 100.0
+                    ));
+                } else {
+                    lines.push(format!(
+                        "{algo}/{policy}: data_ratio {cur:.4} (baseline {base:.4}) ok"
+                    ));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(lines.join("\n"))
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+/// The `--comm-check` entry point: parses the committed baseline, re-runs
+/// the wire-codec byte study at the baseline's graph and machine count,
+/// and fails if any cell's adaptive/flat data ratio regressed by more
+/// than 10% relative.
+pub fn comm_check(baseline_json: &str) -> Result<String, String> {
+    let baseline = parse_comm_baseline(baseline_json)?;
+    let points = comm_study(&baseline.graph, baseline.machines);
+    comm_check_points(&baseline, &points, 0.10)
+}
+
 /// Runs one fully-traced workload (BFS on s27, 4 machines, SympleGraph
 /// policy, `TraceLevel::Full`) and returns its stats — the data source
 /// behind the CLI's `--chrome-trace` and `--metrics-json` flags.
@@ -957,6 +1236,7 @@ pub fn all() -> Vec<Report> {
         direction_study(),
         replication(),
         comm_report(),
+        fault_report(),
     ]
 }
 
@@ -978,6 +1258,7 @@ pub fn by_id(id: &str) -> Option<fn() -> Report> {
         "direction" => direction_study,
         "replication" => replication,
         "comm" => comm_report,
+        "faults" => fault_report,
         _ => return None,
     })
 }
@@ -1004,6 +1285,7 @@ mod tests {
             "direction",
             "replication",
             "comm",
+            "faults",
         ] {
             assert!(by_id(id).is_some(), "missing {id}");
         }
@@ -1061,6 +1343,82 @@ mod tests {
         let json = comm_json("s27", 4, &points);
         assert!(json.contains("\"data_ratio\""));
         assert!(json.contains("\"BFS-dense\""));
+    }
+
+    #[test]
+    fn fault_study_absorbs_chaos_and_counts_it() {
+        // The study itself asserts output/work/traffic bit-identity; here
+        // we additionally pin the shape of what it reports.
+        let points = fault_study("s27", 2, 7);
+        assert_eq!(points.len(), FAULT_ALGOS.len() * 2);
+        for p in &points {
+            assert!(p.reliable.retransmits > 0, "{}/{}", p.algo, p.policy);
+            assert!(p.reliable.acks > 0, "{}/{}", p.algo, p.policy);
+            assert!(
+                p.faulted_time >= p.clean_time,
+                "{}/{}: retries cannot make the run faster",
+                p.algo,
+                p.policy
+            );
+        }
+        let json = fault_json("s27", 2, 7, &points);
+        assert!(json.contains("\"bench\":\"fault_injection\""));
+        assert!(json.contains("\"retransmits\""));
+        assert!(json.contains("\"seed\":7"));
+    }
+
+    fn fake_points() -> Vec<CommPoint> {
+        let m = |upd: u64| Measured {
+            upd_bytes: upd,
+            ..Measured::default()
+        };
+        vec![
+            CommPoint {
+                algo: "BFS",
+                policy: "Gemini",
+                flat: m(1000),
+                adaptive: m(400),
+            },
+            CommPoint {
+                algo: "BFS",
+                policy: "SympleGraph",
+                flat: m(1000),
+                adaptive: m(900),
+            },
+        ]
+    }
+
+    #[test]
+    fn comm_baseline_roundtrips_through_json() {
+        let points = fake_points();
+        let json = comm_json("s27", 4, &points);
+        let base = parse_comm_baseline(&json).unwrap();
+        assert_eq!(base.graph, "s27");
+        assert_eq!(base.machines, 4);
+        assert_eq!(base.ratios.len(), 2);
+        assert_eq!(base.ratios[0].0, "BFS");
+        assert_eq!(base.ratios[0].1, "Gemini");
+        assert!((base.ratios[0].2 - 0.4).abs() < 1e-12);
+        // Identical measurements always pass their own baseline.
+        assert!(comm_check_points(&base, &points, 0.10).is_ok());
+    }
+
+    #[test]
+    fn comm_check_flags_regressions_and_missing_cells() {
+        let points = fake_points();
+        let mut base = parse_comm_baseline(&comm_json("s27", 4, &points)).unwrap();
+        // Shrink one baseline ratio below the measured value: regression.
+        base.ratios[0].2 = 0.2;
+        let err = comm_check_points(&base, &points, 0.10).unwrap_err();
+        assert!(err.contains("BFS/Gemini"), "{err}");
+        assert!(err.contains("exceeds baseline"), "{err}");
+        // A baseline cell the study no longer produces also fails.
+        base.ratios[0].2 = 0.4;
+        base.ratios.push(("K-core".into(), "Gemini".into(), 0.5));
+        let err = comm_check_points(&base, &points, 0.10).unwrap_err();
+        assert!(err.contains("cell missing"), "{err}");
+        // Garbage documents are rejected with a reason.
+        assert!(parse_comm_baseline("{}").is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Engine configuration and execution policies.
 
 use std::fmt;
-use symple_net::{CostModel, TraceLevel, WireCodec};
+use symple_net::{CostModel, FaultPlan, RetryConfig, TraceLevel, WireCodec};
 
 /// Why an [`EngineConfig`] failed [`EngineConfig::validate`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,6 +14,12 @@ pub enum ConfigError {
     ZeroThreads,
     /// `chunk_size` was 0 — chunks must contain at least one entry.
     ZeroChunkSize,
+    /// The fault plan's rates were not probabilities; carries the
+    /// offending knob's message.
+    InvalidFaultPlan(&'static str),
+    /// The retry protocol knobs were out of range; carries the offending
+    /// knob's message.
+    InvalidRetry(&'static str),
 }
 
 impl fmt::Display for ConfigError {
@@ -31,6 +37,7 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroChunkSize => {
                 write!(f, "chunk_size must be at least 1 (got 0)")
             }
+            ConfigError::InvalidFaultPlan(why) | ConfigError::InvalidRetry(why) => f.write_str(why),
         }
     }
 }
@@ -132,6 +139,15 @@ pub struct EngineConfig {
     /// bit-identical across codecs — only wire bytes (and the virtual
     /// time they cost) change.
     pub wire_codec: WireCodec,
+    /// Deterministic fault plan injected below the engine (default:
+    /// `None`, a perfect network). With a plan installed the reliable
+    /// delivery layer keeps outputs, `WorkStats`, and trace structure
+    /// bit-identical to the fault-free run — only the retransmit/ack
+    /// counters in `CommStats` and the virtual clock absorb the faults.
+    pub fault_plan: Option<FaultPlan>,
+    /// Ack/retry protocol knobs for the reliable-delivery layer (used
+    /// only when `fault_plan` is set).
+    pub retry: RetryConfig,
 }
 
 impl EngineConfig {
@@ -149,6 +165,8 @@ impl EngineConfig {
             chunk_size: 1024,
             trace_level: TraceLevel::Metrics,
             wire_codec: WireCodec::Flat,
+            fault_plan: None,
+            retry: RetryConfig::default(),
         }
     }
 
@@ -194,6 +212,18 @@ impl EngineConfig {
         self
     }
 
+    /// Installs (or clears, with `None`) a deterministic fault plan.
+    pub fn fault_plan(mut self, plan: impl Into<Option<FaultPlan>>) -> Self {
+        self.fault_plan = plan.into();
+        self
+    }
+
+    /// Sets the ack/retry protocol knobs.
+    pub fn retry(mut self, retry: RetryConfig) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Does this run adaptively re-encode remote messages?
     pub fn adaptive_wire(&self) -> bool {
         self.wire_codec == WireCodec::Adaptive
@@ -223,6 +253,10 @@ impl EngineConfig {
         }
         if self.chunk_size == 0 {
             return Err(ConfigError::ZeroChunkSize);
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate().map_err(ConfigError::InvalidFaultPlan)?;
+            self.retry.validate().map_err(ConfigError::InvalidRetry)?;
         }
         Ok(())
     }
@@ -326,6 +360,51 @@ mod tests {
         assert_eq!(cfg.threads, 8);
         assert_eq!(cfg.chunk_size, 256);
         assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn fault_knobs_default_off_and_validate() {
+        let cfg = EngineConfig::new(4, Policy::symple());
+        assert!(cfg.fault_plan.is_none());
+        assert_eq!(cfg.retry, RetryConfig::default());
+        let cfg = cfg.fault_plan(FaultPlan::chaos(42)).retry(RetryConfig {
+            timeout_steps: 3,
+            backoff: 1.5,
+            max_attempts: 10,
+        });
+        assert!(cfg.fault_plan.unwrap().injects());
+        assert_eq!(cfg.validate(), Ok(()));
+        let cleared = cfg.fault_plan(None);
+        assert!(cleared.fault_plan.is_none());
+    }
+
+    #[test]
+    fn bad_fault_knobs_are_rejected() {
+        let err = EngineConfig::new(2, Policy::Gemini)
+            .fault_plan(FaultPlan::new(0).drop_rate(1.5))
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidFaultPlan(_)));
+        assert!(err.to_string().contains("drop_rate"));
+        let err = EngineConfig::new(2, Policy::Gemini)
+            .fault_plan(FaultPlan::chaos(0))
+            .retry(RetryConfig {
+                max_attempts: 0,
+                ..RetryConfig::default()
+            })
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidRetry(_)));
+        // Bad retry knobs without a plan are inert — the layer is off.
+        assert_eq!(
+            EngineConfig::new(2, Policy::Gemini)
+                .retry(RetryConfig {
+                    max_attempts: 0,
+                    ..RetryConfig::default()
+                })
+                .validate(),
+            Ok(())
+        );
     }
 
     #[test]

@@ -68,7 +68,10 @@ where
     if let Err(e) = cfg.validate() {
         panic!("invalid engine config: {e}");
     }
-    let cluster = Cluster::new(cfg.machines, cfg.cost).trace_level(cfg.trace_level);
+    let cluster = Cluster::new(cfg.machines, cfg.cost)
+        .trace_level(cfg.trace_level)
+        .fault_plan(cfg.fault_plan)
+        .retry(cfg.retry);
     let res = cluster.run(|ctx| {
         let mut worker = Worker::new(ctx, graph, cfg);
         let out = f(&mut worker);
@@ -210,6 +213,40 @@ mod tests {
             assert_eq!(stats.trace.messages(cat), stats.comm.messages(kind));
         }
         assert!(stats.metrics().total_bytes() > 0);
+    }
+
+    #[test]
+    fn fault_plan_is_invisible_above_the_net_layer() {
+        let g = RmatConfig::graph500(8, 4).generate();
+        let job = |cfg: &EngineConfig| {
+            run_spmd(&g, cfg, |w| {
+                let n = w.graph().num_vertices();
+                let mut arr = vec![0u32; n];
+                for v in w.masters() {
+                    arr[v.index()] = v.raw() * 7;
+                }
+                w.sync_values(&mut arr);
+                (arr, w.allreduce(w.rank() as u64, |a, b| a + b))
+            })
+        };
+        let clean = job(&EngineConfig::new(3, Policy::Gemini));
+        let faulted =
+            job(&EngineConfig::new(3, Policy::Gemini).fault_plan(symple_net::FaultPlan::chaos(21)));
+        assert_eq!(clean.outputs, faulted.outputs);
+        assert_eq!(clean.stats.work, faulted.stats.work);
+        let rel = faulted.stats.comm.reliable();
+        assert!(rel.retransmits > 0, "chaos must actually injure traffic");
+        assert!(rel.acks > 0);
+        assert!(!clean.stats.comm.reliable().any());
+        // Logical traffic is accounted identically either way.
+        assert_eq!(
+            clean.stats.comm.total_bytes(),
+            faulted.stats.comm.total_bytes()
+        );
+        assert_eq!(
+            clean.stats.comm.total_messages(),
+            faulted.stats.comm.total_messages()
+        );
     }
 
     #[test]

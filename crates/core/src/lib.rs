@@ -56,9 +56,11 @@ pub use stats::WorkerStats;
 pub use stats::{RunStats, TimeStats, WorkMetric, WorkStats};
 pub use worker::Worker;
 
-// Tracing and codec vocabulary, re-exported so algorithm and application
-// crates can configure `EngineConfig::{trace_level,wire_codec}` and
-// consume `RunStats::trace` without depending on symple-net directly.
+// Tracing, codec, and fault-injection vocabulary, re-exported so
+// algorithm and application crates can configure
+// `EngineConfig::{trace_level,wire_codec,fault_plan,retry}` and consume
+// `RunStats::{trace,comm}` without depending on symple-net directly.
 pub use symple_net::{
-    ByteCategory, MetricsReport, SpanCategory, Trace, TraceLevel, WireCodec, WireFormat,
+    ByteCategory, FaultPlan, MetricsReport, NetError, ReliableStats, RetryConfig, SpanCategory,
+    Trace, TraceLevel, WireCodec, WireFormat,
 };

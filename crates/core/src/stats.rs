@@ -174,13 +174,13 @@ pub struct TimeStats {
     /// Host wall-clock time of the simulation (not comparable to paper
     /// numbers; see DESIGN.md).
     pub wall: Duration,
-    breakdown: [f64; 6],
+    breakdown: [f64; 7],
 }
 
 impl TimeStats {
     /// Builds the time facet from a finished trace.
     pub fn from_trace(virtual_secs: f64, wall: Duration, trace: &Trace) -> Self {
-        let mut breakdown = [0.0; 6];
+        let mut breakdown = [0.0; 7];
         for cat in SpanCategory::ALL {
             breakdown[cat.index()] = trace.time(cat);
         }

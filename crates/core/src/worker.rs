@@ -181,6 +181,16 @@ impl<'a> Worker<'a> {
         self.stats
     }
 
+    /// This machine's communication counters so far, including the
+    /// reliable-delivery tallies (`symple_net::ReliableStats`) when a
+    /// fault plan is active. The engine never sees injected faults —
+    /// outputs and [`WorkStats`] match the fault-free run bit for bit —
+    /// so these counters are the only place a worker can observe that
+    /// retransmission happened beneath it.
+    pub fn comm_stats(&self) -> symple_net::CommStats {
+        self.ctx.comm_stats()
+    }
+
     /// Encodes `dep` over `range` — adaptive codec or seed-flat layout per
     /// the configured [`crate::WireCodec`] — and ships it to `dst`.
     fn send_dep<D: DepState>(&mut self, dst: usize, tag: Tag, dep: &D, range: Range<usize>) {

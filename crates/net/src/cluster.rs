@@ -6,9 +6,19 @@
 //! receives name their source and tag. Receives are blocking with a
 //! generous timeout so protocol bugs surface as diagnostics instead of
 //! hangs.
+//!
+//! With a [`FaultPlan`] installed ([`Cluster::fault_plan`]), every message
+//! additionally runs through a reliable-delivery layer: copies can be
+//! dropped (retransmitted after an RTO, charged as
+//! [`SpanCategory::Retry`]), delayed, duplicated (discarded by sequence
+//! number on the receiver), or physically reordered (held back by the
+//! sender and flushed behind younger traffic). The engine above sees
+//! exactly-once FIFO delivery either way — outputs, work counters, and
+//! trace structure stay bit-identical to the fault-free run; only
+//! [`crate::ReliableStats`] and the virtual clock absorb the damage.
 
-use crate::{CommKind, CommStats, CostModel};
-use std::collections::{HashMap, VecDeque};
+use crate::{CommKind, CommStats, CostModel, FaultPlan, NetError, RetryConfig};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -60,6 +70,24 @@ struct Envelope {
     /// Set when the sending node panicked: receivers fail fast instead of
     /// waiting out the deadlock timeout.
     poison: bool,
+    /// Position in the per-(src, tag) stream, assigned by the reliable
+    /// layer (always 0 when no fault plan is active). Duplicated copies
+    /// share the original's number, which is how the receiver spots them.
+    seq: u64,
+}
+
+/// Per-node state of the reliable-delivery protocol (present only when a
+/// fault plan is installed). Sequence numbers are per (peer, tag) stream
+/// and assigned in the node's deterministic send order, so the whole
+/// protocol — fates, retransmits, duplicate drops — is a pure function of
+/// the plan, independent of host scheduling or thread count.
+struct ReliableLink {
+    plan: FaultPlan,
+    retry: RetryConfig,
+    /// Next sequence number per outgoing (dst, tag) stream.
+    next_seq: HashMap<(usize, Tag), u64>,
+    /// Next expected sequence number per incoming (src, tag) stream.
+    expected: HashMap<(usize, Tag), u64>,
 }
 
 /// Per-node handle passed to the node closure: message passing, collectives,
@@ -73,13 +101,24 @@ pub struct NodeCtx {
     inbox: Receiver<Envelope>,
     /// Out-of-order messages, indexed by (source, tag) so heavily
     /// reordered steps match in O(1) instead of rescanning a flat list.
-    /// Messages with the same key stay FIFO in their queue.
+    /// Without faults, messages with the same key stay FIFO in their
+    /// queue; under a fault plan the queue may hold out-of-order and
+    /// duplicated sequence numbers, which the reliable receive path sorts
+    /// out.
     pending: HashMap<(usize, Tag), VecDeque<Envelope>>,
     stats: CommStats,
     coll_epoch: u64,
     recv_timeout: Duration,
     trace: TraceRecorder,
     in_barrier: bool,
+    /// Reliable-delivery protocol state; `None` without a fault plan.
+    reliable: Option<ReliableLink>,
+    /// Envelopes the fault plan marked for physical reordering, held back
+    /// per destination until younger traffic has overtaken them. Flushed
+    /// behind the next undeferred send to the same peer, at every receive
+    /// (so a fully-deferred exchange cannot deadlock), and when the node
+    /// closure returns. BTreeMap so the flush order is deterministic.
+    deferred: BTreeMap<usize, VecDeque<Envelope>>,
 }
 
 impl NodeCtx {
@@ -190,21 +229,53 @@ impl NodeCtx {
     ///
     /// # Panics
     ///
-    /// Panics on self-send (a protocol error: local work needs no message)
-    /// or if `dst` is out of range.
+    /// Panics on self-send (a protocol error: local work needs no message),
+    /// if `dst` is out of range, or if an active fault plan drops all
+    /// retransmission attempts ([`NetError::Unreachable`]; use
+    /// [`NodeCtx::try_send`] to handle that case).
     pub fn send(&mut self, dst: usize, tag: Tag, kind: CommKind, payload: Vec<u8>) {
-        self.send_shared(dst, tag, kind, Arc::new(payload));
+        if let Err(e) = self.try_send(dst, tag, kind, payload) {
+            panic!("{e}");
+        }
+    }
+
+    /// [`NodeCtx::send`], but surfacing reliable-delivery exhaustion as
+    /// [`NetError::Unreachable`] instead of panicking. Without a fault
+    /// plan (or with enough `max_attempts`) this never fails.
+    pub fn try_send(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        kind: CommKind,
+        payload: Vec<u8>,
+    ) -> Result<(), NetError> {
+        self.try_send_shared(dst, tag, kind, Arc::new(payload))
     }
 
     /// [`NodeCtx::send`] on an already-shared buffer: collectives
     /// broadcast one allocation to every peer instead of cloning per
     /// destination. Accounting is identical to `send`.
     fn send_shared(&mut self, dst: usize, tag: Tag, kind: CommKind, payload: Arc<Vec<u8>>) {
+        if let Err(e) = self.try_send_shared(dst, tag, kind, payload) {
+            panic!("{e}");
+        }
+    }
+
+    fn try_send_shared(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        kind: CommKind,
+        payload: Arc<Vec<u8>>,
+    ) -> Result<(), NetError> {
         assert!(dst < self.world, "destination rank {dst} out of range");
         assert_ne!(dst, self.rank, "self-send is a protocol error");
         // Empty payloads are protocol placeholders (the receiver still
         // blocks on the tag): they ship zero bytes and are charged zero
-        // header cost, and they do not count as traffic.
+        // header cost, and they do not count as traffic. Either way the
+        // logical message is accounted exactly once, here — the reliable
+        // layer below only ever adds to the separate retry counters, so
+        // byte/message accounting matches the fault-free run bit for bit.
         if !payload.is_empty() {
             let start = self.clock;
             self.clock += self.cost.send_overhead(payload.len() as u64);
@@ -214,27 +285,145 @@ impl NodeCtx {
             self.trace
                 .record_bytes(kind.byte_category(), payload.len() as u64, 1);
         }
+        let (plan, retry, seq) = match &mut self.reliable {
+            None => {
+                let env = Envelope {
+                    src: self.rank,
+                    tag,
+                    depart: self.clock,
+                    payload,
+                    poison: false,
+                    seq: 0,
+                };
+                // Receiver side may have already exited on panic; dropping
+                // the message then is fine — the cluster is being torn down.
+                let _ = self.senders[dst].send(env);
+                return Ok(());
+            }
+            Some(link) => {
+                let next = link.next_seq.entry((dst, tag)).or_insert(0);
+                let seq = *next;
+                *next += 1;
+                (link.plan, link.retry, seq)
+            }
+        };
+        let bytes = payload.len() as u64;
+        let quantum = self.cost.retry_timeout(bytes);
+        let schedule = plan.schedule(&retry, quantum, self.rank, dst, tag, seq);
+        // Copies resent after an ack timeout: the sender pays one header
+        // overhead per resend (charged to the Retry category) and the
+        // resent traffic is tallied in the reliable counters — never in
+        // the per-kind byte/message arrays.
+        let (timeouts, retransmits) = match &schedule {
+            Ok(d) => (d.retransmits, d.retransmits),
+            Err(attempts) => (*attempts, attempts - 1),
+        };
+        if retransmits > 0 {
+            let start = self.clock;
+            self.clock += f64::from(retransmits) * self.cost.send_overhead(bytes);
+            self.trace
+                .record_span(SpanCategory::Retry, start, self.clock);
+            self.stats.reliable.retransmits += u64::from(retransmits);
+            self.stats.reliable.retransmit_bytes += u64::from(retransmits) * bytes;
+            self.trace
+                .record_retransmits(dst, u64::from(retransmits), bytes);
+        }
+        self.stats.reliable.timeouts += u64::from(timeouts);
+        let delivery = match schedule {
+            Ok(d) => d,
+            Err(attempts) => {
+                return Err(NetError::Unreachable {
+                    src: self.rank,
+                    dst,
+                    attempts,
+                })
+            }
+        };
+        // The surviving copy departs after the expired timers and any
+        // injected transit delay; only the resend overhead above touched
+        // the sender's clock (the protocol does not block on acks).
         let env = Envelope {
             src: self.rank,
             tag,
-            depart: self.clock,
+            depart: self.clock + delivery.extra_delay,
             payload,
             poison: false,
+            seq,
         };
-        // Receiver side may have already exited on panic; dropping the
-        // message then is fine — the cluster is being torn down.
-        let _ = self.senders[dst].send(env);
+        let duplicate = delivery.duplicate_delay.map(|extra| Envelope {
+            src: env.src,
+            tag: env.tag,
+            depart: env.depart + extra,
+            payload: Arc::clone(&env.payload),
+            poison: false,
+            seq,
+        });
+        if duplicate.is_some() {
+            // Counted here, at injection, not where the receiver discards
+            // the copy: whether a stale duplicate is ever drained from the
+            // receiver's channel depends on host timing (one trailing the
+            // last message a node consumes never is), while the injection
+            // itself is a pure function of the plan — so this is the spot
+            // that keeps the counter deterministic and thread-invariant.
+            self.stats.reliable.dup_drops += 1;
+            self.trace.record_dup_drop();
+        }
+        if delivery.reorder {
+            // Held back: this copy goes on the wire only after younger
+            // traffic to the same peer has physically overtaken it.
+            let held = self.deferred.entry(dst).or_default();
+            held.push_back(env);
+            held.extend(duplicate);
+        } else {
+            let _ = self.senders[dst].send(env);
+            if let Some(dup) = duplicate {
+                let _ = self.senders[dst].send(dup);
+            }
+            self.flush_deferred(dst);
+        }
+        Ok(())
+    }
+
+    /// Puts every envelope held back for `dst` on the wire (in their
+    /// original order, but physically behind whatever was sent meanwhile).
+    fn flush_deferred(&mut self, dst: usize) {
+        if let Some(held) = self.deferred.remove(&dst) {
+            for env in held {
+                let _ = self.senders[dst].send(env);
+            }
+        }
+    }
+
+    /// Flushes every held-back envelope to every peer. Called before
+    /// blocking on a receive — a node must not sit on traffic its peers
+    /// may need to make progress — and when the node closure returns.
+    fn flush_all_deferred(&mut self) {
+        while let Some((&dst, _)) = self.deferred.iter().next() {
+            self.flush_deferred(dst);
+        }
     }
 
     /// Receives the message with exactly `tag` from `src`, blocking until it
     /// arrives. Advances the virtual clock to the modelled arrival time.
     /// Returns the payload.
     ///
+    /// Under a fault plan this is where the reliable layer re-establishes
+    /// exactly-once FIFO delivery: stale sequence numbers (duplicates and
+    /// late retransmitted copies) are discarded, younger-seq copies that
+    /// physically overtook the expected one are buffered, and the accepted
+    /// message is acknowledged (acks are zero-byte and free).
+    ///
     /// # Panics
     ///
     /// Panics if nothing matching arrives within the timeout (protocol
     /// deadlock) — the panic message names the rank, source and tag.
     pub fn recv(&mut self, src: usize, tag: Tag) -> Vec<u8> {
+        // Release anything we are holding back before blocking: a peer may
+        // be waiting on a deferred envelope of ours.
+        self.flush_all_deferred();
+        if self.reliable.is_some() {
+            return self.recv_reliable(src, tag);
+        }
         if let Some(queue) = self.pending.get_mut(&(src, tag)) {
             let env = queue.pop_front().expect("pending queues are never empty");
             if queue.is_empty() {
@@ -255,18 +444,102 @@ impl NodeCtx {
                     .entry((env.src, env.tag))
                     .or_default()
                     .push_back(env),
-                Err(_) => panic!(
-                    "node {} timed out waiting for {:?} from {} (pending: {:?})",
-                    self.rank,
-                    tag,
-                    src,
-                    self.pending
-                        .iter()
-                        .map(|(&(s, t), q)| (s, t, q.len()))
-                        .collect::<Vec<_>>()
-                ),
+                Err(_) => self.recv_timeout_panic(src, tag),
             }
         }
+    }
+
+    fn recv_timeout_panic(&self, src: usize, tag: Tag) -> ! {
+        panic!(
+            "node {} timed out waiting for {:?} from {} (pending: {:?})",
+            self.rank,
+            tag,
+            src,
+            self.pending
+                .iter()
+                .map(|(&(s, t), q)| (s, t, q.len()))
+                .collect::<Vec<_>>()
+        )
+    }
+
+    /// The receive path with an active fault plan: accept exactly the next
+    /// sequence number of the (src, tag) stream, dropping stale copies and
+    /// buffering overtakers.
+    fn recv_reliable(&mut self, src: usize, tag: Tag) -> Vec<u8> {
+        let link = self
+            .reliable
+            .as_mut()
+            .expect("reliable receive needs a link");
+        let expected = *link.expected.entry((src, tag)).or_insert(0);
+        if let Some(env) = self.take_pending_seq(src, tag, expected) {
+            return self.accept(src, tag, env);
+        }
+        let deadline = Instant::now() + self.recv_timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.inbox.recv_timeout(remaining) {
+                Ok(env) if env.poison => {
+                    panic!("node {} aborting: peer {} panicked", self.rank, env.src)
+                }
+                Ok(env) if env.src == src && env.tag == tag && env.seq == expected => {
+                    return self.accept(src, tag, env);
+                }
+                Ok(env) => self.stash(env),
+                Err(_) => self.recv_timeout_panic(src, tag),
+            }
+        }
+    }
+
+    /// Accepts the expected copy: bump the stream cursor, count the
+    /// (zero-byte, free) acknowledgement, and advance the clock to the
+    /// modelled arrival.
+    fn accept(&mut self, src: usize, tag: Tag, env: Envelope) -> Vec<u8> {
+        let link = self.reliable.as_mut().expect("accept needs a link");
+        *link.expected.get_mut(&(src, tag)).expect("cursor exists") += 1;
+        self.stats.reliable.acks += 1;
+        self.arrive(env)
+    }
+
+    /// Buffers an envelope that is not the one being waited on, discarding
+    /// it right away if its stream has already moved past its sequence
+    /// number (a duplicate or a late retransmitted copy). The discard is
+    /// silent — injected duplicates are already tallied at the sender,
+    /// where the count is deterministic.
+    fn stash(&mut self, env: Envelope) {
+        if let Some(link) = &self.reliable {
+            let expected = link.expected.get(&(env.src, env.tag)).copied().unwrap_or(0);
+            if env.seq < expected {
+                return;
+            }
+        }
+        self.pending
+            .entry((env.src, env.tag))
+            .or_default()
+            .push_back(env);
+    }
+
+    /// Takes the envelope with sequence number `expected` out of the
+    /// pending buffer for (src, tag), if present, silently purging any
+    /// stale copies encountered on the way (already counted at their
+    /// sender).
+    fn take_pending_seq(&mut self, src: usize, tag: Tag, expected: u64) -> Option<Envelope> {
+        let mut queue = self.pending.remove(&(src, tag))?;
+        let mut found = None;
+        let mut kept = VecDeque::with_capacity(queue.len());
+        for env in queue.drain(..) {
+            if env.seq < expected {
+                continue;
+            }
+            if env.seq == expected && found.is_none() {
+                found = Some(env);
+            } else {
+                kept.push_back(env);
+            }
+        }
+        if !kept.is_empty() {
+            self.pending.insert((src, tag), kept);
+        }
+        found
     }
 
     fn arrive(&mut self, env: Envelope) -> Vec<u8> {
@@ -408,6 +681,8 @@ pub struct Cluster {
     cost: CostModel,
     recv_timeout: Duration,
     trace_level: TraceLevel,
+    fault_plan: Option<FaultPlan>,
+    retry: RetryConfig,
 }
 
 impl Cluster {
@@ -423,6 +698,8 @@ impl Cluster {
             cost,
             recv_timeout: Duration::from_secs(120),
             trace_level: TraceLevel::default(),
+            fault_plan: None,
+            retry: RetryConfig::default(),
         }
     }
 
@@ -435,6 +712,22 @@ impl Cluster {
     /// Sets how much each node records (default [`TraceLevel::Metrics`]).
     pub fn trace_level(mut self, level: TraceLevel) -> Self {
         self.trace_level = level;
+        self
+    }
+
+    /// Installs a deterministic fault plan (default: none). Every message
+    /// then runs through the reliable-delivery layer; node outputs stay
+    /// identical to the fault-free run while [`crate::ReliableStats`]
+    /// records the absorbed faults.
+    pub fn fault_plan(mut self, plan: impl Into<Option<FaultPlan>>) -> Self {
+        self.fault_plan = plan.into();
+        self
+    }
+
+    /// Overrides the retry protocol knobs (only meaningful together with
+    /// [`Cluster::fault_plan`]).
+    pub fn retry(mut self, retry: RetryConfig) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -454,6 +747,14 @@ impl Cluster {
         F: Fn(&mut NodeCtx) -> T + Sync,
     {
         let p = self.nodes;
+        if let Some(plan) = &self.fault_plan {
+            if let Err(e) = plan.validate() {
+                panic!("invalid fault plan: {e}");
+            }
+            if let Err(e) = self.retry.validate() {
+                panic!("invalid retry config: {e}");
+            }
+        }
         let mut txs: Vec<Sender<Envelope>> = Vec::with_capacity(p);
         let mut rxs: Vec<Receiver<Envelope>> = Vec::with_capacity(p);
         for _ in 0..p {
@@ -472,6 +773,12 @@ impl Cluster {
                 let cost = self.cost;
                 let recv_timeout = self.recv_timeout;
                 let trace_level = self.trace_level;
+                let reliable = self.fault_plan.map(|plan| ReliableLink {
+                    plan,
+                    retry: self.retry,
+                    next_seq: HashMap::new(),
+                    expected: HashMap::new(),
+                });
                 handles.push(scope.spawn(move || {
                     let mut ctx = NodeCtx {
                         rank,
@@ -486,9 +793,16 @@ impl Cluster {
                         recv_timeout,
                         trace: TraceRecorder::new(rank, trace_level),
                         in_barrier: false,
+                        reliable,
+                        deferred: BTreeMap::new(),
                     };
                     let result =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
+                    if result.is_ok() {
+                        // Anything still held back for reordering must hit
+                        // the wire before peers stop receiving.
+                        ctx.flush_all_deferred();
+                    }
                     match result {
                         Ok(out) => *slot = Some((out, ctx.stats, ctx.clock, ctx.trace.finish())),
                         Err(e) => {
@@ -502,6 +816,7 @@ impl Cluster {
                                         depart: 0.0,
                                         payload: Arc::new(Vec::new()),
                                         poison: true,
+                                        seq: 0,
                                     });
                                 }
                             }
@@ -865,6 +1180,198 @@ mod tests {
             r.traces.bytes(symple_trace::ByteCategory::Collective),
             r.stats.bytes(CommKind::Sync)
         );
+    }
+
+    fn ring_exchange(cluster: Cluster, rounds: u64) -> ClusterResult<Vec<u8>> {
+        cluster.run(|ctx| {
+            let next = (ctx.rank() + 1) % ctx.world();
+            let prev = (ctx.rank() + ctx.world() - 1) % ctx.world();
+            let mut seen = Vec::new();
+            for round in 0..rounds {
+                ctx.send(
+                    next,
+                    user_tag(round),
+                    CommKind::Update,
+                    vec![ctx.rank() as u8, round as u8],
+                );
+                seen.extend(ctx.recv(prev, user_tag(round)));
+            }
+            seen
+        })
+    }
+
+    #[test]
+    fn zero_rate_plan_only_adds_acks() {
+        let clean = ring_exchange(Cluster::new(3, CostModel::cluster_a()), 4);
+        let faulted = ring_exchange(
+            Cluster::new(3, CostModel::cluster_a()).fault_plan(FaultPlan::new(1)),
+            4,
+        );
+        assert_eq!(clean.outputs, faulted.outputs);
+        assert_eq!(clean.virtual_time, faulted.virtual_time);
+        let r = faulted.stats.reliable();
+        assert_eq!(r.acks, 12, "every delivered message is acknowledged");
+        assert_eq!(r.timeouts, 0);
+        assert_eq!(r.retransmits, 0);
+        assert_eq!(r.dup_drops, 0);
+        assert_eq!(clean.stats.reliable().acks, 0, "no plan, no protocol");
+    }
+
+    #[test]
+    fn chaos_is_absorbed_below_the_engine() {
+        let clean = ring_exchange(Cluster::new(4, CostModel::cluster_a()), 16);
+        let faulted = ring_exchange(
+            Cluster::new(4, CostModel::cluster_a()).fault_plan(FaultPlan::chaos(7)),
+            16,
+        );
+        assert_eq!(clean.outputs, faulted.outputs, "payloads survive chaos");
+        let r = faulted.stats.reliable();
+        assert!(
+            r.retransmits > 0,
+            "chaos(7) must drop something in 64 sends"
+        );
+        assert!(r.dup_drops > 0, "chaos(7) must duplicate something");
+        assert_eq!(r.timeouts, r.retransmits, "each timeout caused one resend");
+        // Logical traffic accounting is untouched by the faults.
+        assert_eq!(
+            clean.stats.bytes(CommKind::Update),
+            faulted.stats.bytes(CommKind::Update)
+        );
+        assert_eq!(
+            clean.stats.messages(CommKind::Update),
+            faulted.stats.messages(CommKind::Update)
+        );
+        assert!(
+            faulted.virtual_time > clean.virtual_time,
+            "retransmission timers cost virtual time"
+        );
+        // Determinism: the same plan injures the same copies.
+        let again = ring_exchange(
+            Cluster::new(4, CostModel::cluster_a()).fault_plan(FaultPlan::chaos(7)),
+            16,
+        );
+        assert_eq!(again.stats, faulted.stats);
+        assert_eq!(again.virtual_time, faulted.virtual_time);
+    }
+
+    #[test]
+    fn reordered_same_tag_messages_are_resequenced() {
+        // Every copy is physically reordered; the seq protocol must
+        // restore the send order within the (src, tag) stream.
+        let plan = FaultPlan::new(3).reorder_rate(1.0);
+        let r = Cluster::new(2, CostModel::zero())
+            .fault_plan(plan)
+            .run(|ctx| {
+                if ctx.rank() == 0 {
+                    for v in [1u8, 2, 3] {
+                        ctx.send(1, user_tag(7), CommKind::Update, vec![v]);
+                    }
+                    ctx.send(1, user_tag(8), CommKind::Update, vec![9]);
+                    0
+                } else {
+                    assert_eq!(ctx.recv(0, user_tag(8))[0], 9);
+                    let a = ctx.recv(0, user_tag(7))[0];
+                    let b = ctx.recv(0, user_tag(7))[0];
+                    let c = ctx.recv(0, user_tag(7))[0];
+                    (100 * a + 10 * b + c) as usize
+                }
+            });
+        assert_eq!(r.outputs[1], 123);
+    }
+
+    #[test]
+    fn collectives_survive_chaos() {
+        let r = Cluster::new(4, CostModel::cluster_a())
+            .fault_plan(FaultPlan::chaos(11))
+            .run(|ctx| {
+                ctx.barrier();
+                let sum = ctx.allreduce_u64_sum(ctx.rank() as u64 + 1);
+                let gathered = ctx.allgather_bytes(vec![ctx.rank() as u8], CommKind::Sync);
+                (sum, gathered.iter().map(|b| b[0]).collect::<Vec<_>>())
+            });
+        for (sum, ranks) in r.outputs {
+            assert_eq!(sum, 10);
+            assert_eq!(ranks, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn exhaustion_is_a_typed_error_not_a_hang() {
+        let plan = FaultPlan::new(0).drop_rate(1.0);
+        let retry = RetryConfig {
+            max_attempts: 3,
+            ..RetryConfig::default()
+        };
+        let r = Cluster::new(2, CostModel::zero())
+            .fault_plan(plan)
+            .retry(retry)
+            .run(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.try_send(1, user_tag(0), CommKind::Update, vec![1])
+                } else {
+                    Ok(())
+                }
+            });
+        assert_eq!(
+            r.outputs[0],
+            Err(NetError::Unreachable {
+                src: 0,
+                dst: 1,
+                attempts: 3
+            })
+        );
+        // The attempted traffic is still visible in the counters.
+        assert_eq!(r.stats.reliable().timeouts, 3);
+        assert_eq!(r.stats.reliable().retransmits, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "all 2 attempts dropped")]
+    fn send_panics_on_exhaustion() {
+        let plan = FaultPlan::new(0).drop_rate(1.0);
+        let retry = RetryConfig {
+            max_attempts: 2,
+            ..RetryConfig::default()
+        };
+        Cluster::new(2, CostModel::zero())
+            .fault_plan(plan)
+            .retry(retry)
+            .recv_timeout(Duration::from_millis(200))
+            .run(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, user_tag(0), CommKind::Update, vec![1]);
+                }
+            });
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn invalid_plan_is_rejected_up_front() {
+        Cluster::new(1, CostModel::zero())
+            .fault_plan(FaultPlan::new(0).drop_rate(2.0))
+            .run(|_| ());
+    }
+
+    #[test]
+    fn retry_accounting_reaches_the_trace() {
+        let plan = FaultPlan::new(9).drop_rate(0.5).dup_rate(0.5);
+        let r = ring_exchange(
+            Cluster::new(2, CostModel::cluster_a())
+                .fault_plan(plan)
+                .trace_level(TraceLevel::Full),
+            24,
+        );
+        let rel = r.stats.reliable();
+        assert!(rel.retransmits > 0 && rel.dup_drops > 0);
+        assert_eq!(r.traces.retransmits(), rel.retransmits);
+        assert_eq!(r.traces.dup_drops(), rel.dup_drops);
+        let retry_time: f64 = r
+            .traces
+            .nodes
+            .iter()
+            .map(|n| n.time(SpanCategory::Retry))
+            .sum();
+        assert!(retry_time > 0.0, "resend overhead is charged as Retry");
     }
 
     #[test]

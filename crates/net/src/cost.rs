@@ -137,6 +137,16 @@ impl CostModel {
         }
     }
 
+    /// The modelled round trip the reliable layer's retransmission timer
+    /// scales from: the data copy's [`CostModel::transfer_time`] out plus
+    /// the zero-byte ack's latency back. `RetryConfig::timeout_steps`
+    /// multiples of this are waited before each resend. Acks themselves
+    /// are empty messages and therefore free on the sender
+    /// ([`CostModel::send_overhead`] of 0 bytes is 0).
+    pub fn retry_timeout(&self, bytes: u64) -> f64 {
+        self.transfer_time(bytes) + self.msg_latency_sec
+    }
+
     /// Compute time for visiting `edges` edges and `vertices` vertex
     /// headers.
     pub fn compute_time(&self, edges: u64, vertices: u64) -> f64 {
@@ -230,6 +240,18 @@ mod tests {
         assert_eq!(m.send_overhead(1), m.msg_overhead_sec);
         assert_eq!(m.arrival_delay(1), m.transfer_time(1));
         assert!(m.arrival_delay(1) >= m.msg_latency_sec);
+    }
+
+    #[test]
+    fn retry_timeout_is_a_round_trip() {
+        let m = CostModel::cluster_a();
+        assert_eq!(
+            m.retry_timeout(100),
+            m.transfer_time(100) + m.msg_latency_sec
+        );
+        // Even a zero-byte message pays two latencies: data out, ack back.
+        assert_eq!(m.retry_timeout(0), 2.0 * m.msg_latency_sec);
+        assert_eq!(CostModel::zero().retry_timeout(1 << 20), 0.0);
     }
 
     #[test]

@@ -19,6 +19,17 @@ pub enum NetError {
     },
     /// Cluster was configured with zero nodes.
     EmptyCluster,
+    /// The reliable-delivery layer exhausted its retransmission budget:
+    /// every one of `attempts` copies of a message was dropped by the
+    /// active fault plan. Deterministic per (plan, message).
+    Unreachable {
+        /// Sending rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+        /// Transmission attempts made (the configured `max_attempts`).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -28,6 +39,10 @@ impl fmt::Display for NetError {
                 write!(f, "node {rank} timed out waiting for {waiting_for}")
             }
             NetError::EmptyCluster => write!(f, "cluster must have at least one node"),
+            NetError::Unreachable { src, dst, attempts } => write!(
+                f,
+                "node {src} could not deliver to node {dst}: all {attempts} attempts dropped by the fault plan"
+            ),
         }
     }
 }
@@ -46,5 +61,12 @@ mod tests {
         };
         assert!(e.to_string().contains("node 3"));
         assert!(NetError::EmptyCluster.to_string().contains("at least one"));
+        let u = NetError::Unreachable {
+            src: 0,
+            dst: 2,
+            attempts: 20,
+        };
+        assert!(u.to_string().contains("node 0"));
+        assert!(u.to_string().contains("20 attempts"));
     }
 }

@@ -41,6 +41,7 @@ mod cluster;
 mod codec;
 mod cost;
 mod error;
+mod reliable;
 mod stats;
 mod wire;
 
@@ -52,7 +53,8 @@ pub use codec::{
 };
 pub use cost::CostModel;
 pub use error::NetError;
-pub use stats::{CommKind, CommStats, COMM_KINDS};
+pub use reliable::{Delivery, FaultPlan, RetryConfig};
+pub use stats::{CommKind, CommStats, ReliableStats, COMM_KINDS};
 pub use wire::{decode_vec, encode_slice, Wire};
 
 // The tracing vocabulary is part of this crate's API surface

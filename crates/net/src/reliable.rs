@@ -1,0 +1,476 @@
+//! Deterministic fault injection and the reliable-delivery schedule.
+//!
+//! The simulated cluster's engine contract is exactly-once, per-stream
+//! FIFO delivery. A [`FaultPlan`] breaks that contract *below* the engine
+//! — dropping, delaying, duplicating, and reordering individual message
+//! copies — and the ack/sequence-number/retry protocol in `cluster.rs`
+//! restores it, so the engine's outputs stay bit-identical while the new
+//! `CommStats` counters and the virtual clock absorb the damage.
+//!
+//! Everything here is an **oracle**: the fate of every transmission
+//! attempt is a pure function of `(seed, src, dst, tag, seq, attempt)`
+//! through a splitmix64-style hash, so the sender can compute the entire
+//! retransmission schedule of a message at send time — which attempts
+//! time out, when the first surviving copy departs, whether the network
+//! duplicates it — without timer threads or randomness. Two runs with the
+//! same plan are bit-identical; reruns with `attempt` bumped model the
+//! independent fate of each retransmitted copy.
+//!
+//! # Example
+//!
+//! ```
+//! use symple_net::{FaultPlan, RetryConfig, Tag, TagKind};
+//!
+//! let plan = FaultPlan::new(42).drop_rate(0.3).dup_rate(0.2);
+//! let retry = RetryConfig::default();
+//! let tag = Tag::new(TagKind::User, 0, 0);
+//! // The schedule for one message is deterministic: same inputs, same
+//! // retransmit count and delivery delay, forever.
+//! let a = plan.schedule(&retry, 1.0, 0, 1, tag, 0).unwrap();
+//! let b = plan.schedule(&retry, 1.0, 0, 1, tag, 0).unwrap();
+//! assert_eq!(a.retransmits, b.retransmits);
+//! assert_eq!(a.extra_delay, b.extra_delay);
+//! ```
+
+use crate::{Tag, TagKind};
+
+/// Ack/retry protocol knobs, in virtual time.
+///
+/// The retransmission timeout (RTO) for a message of `n` payload bytes is
+/// `timeout_steps ×` the cost model's modelled round trip
+/// ([`crate::CostModel::retry_timeout`]); each expiry multiplies the next
+/// RTO by `backoff`. After `max_attempts` unacknowledged copies the send
+/// surfaces [`crate::NetError::Unreachable`] instead of retrying forever.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryConfig {
+    /// RTO as a multiple of the modelled round-trip time (default 2).
+    pub timeout_steps: u32,
+    /// Multiplicative backoff applied to the RTO per expiry (default 2.0).
+    pub backoff: f64,
+    /// Total transmission attempts before giving up (default 20).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            timeout_steps: 2,
+            backoff: 2.0,
+            max_attempts: 20,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// Validates the knobs: at least one attempt, a positive timeout, and
+    /// a backoff that never shrinks the timer.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.max_attempts == 0 {
+            return Err("retry.max_attempts must be at least 1");
+        }
+        if self.timeout_steps == 0 {
+            return Err("retry.timeout_steps must be at least 1");
+        }
+        if self.backoff.is_nan() || self.backoff < 1.0 {
+            return Err("retry.backoff must be at least 1.0");
+        }
+        Ok(())
+    }
+}
+
+/// A seeded, deterministic fault plan for the simulated network.
+///
+/// Each transmission attempt on each `(src, dst, tag, seq)` stream
+/// position rolls its fate from the plan's hash: dropped in transit,
+/// delivered late (by whole RTO-sized steps, or by a sub-step "reorder"
+/// nudge that lands it behind younger traffic), and/or duplicated by the
+/// network. Rates are probabilities in `[0, 1]` over the hash space; the
+/// same plan always injures the same copies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed mixed into every fate roll.
+    pub seed: u64,
+    /// Probability a copy is dropped in transit (triggering the sender's
+    /// ack timeout and a retransmit).
+    pub drop_rate: f64,
+    /// Probability a delivered copy is duplicated by the network (the
+    /// receiver discards the extra copy by sequence number).
+    pub dup_rate: f64,
+    /// Probability a delivered copy is delayed by `1..=max_delay_steps`
+    /// RTO-sized steps.
+    pub delay_rate: f64,
+    /// Upper bound on the delay step count (default 4).
+    pub max_delay_steps: u32,
+    /// Probability a delivered copy is physically reordered behind the
+    /// traffic sent just after it (plus a half-step arrival delay).
+    pub reorder_rate: f64,
+}
+
+/// Fate of a single transmission attempt, rolled from the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AttemptFate {
+    /// Lost in transit: the sender's ack timer will expire.
+    Dropped,
+    /// Delivered, possibly late, possibly twice.
+    Delivered {
+        /// Whole RTO-sized steps of extra arrival delay.
+        delay_steps: u32,
+        /// Physically reordered behind younger traffic.
+        reorder: bool,
+        /// The network emits a second copy.
+        duplicate: bool,
+    },
+}
+
+/// The resolved delivery schedule of one message under a plan: how many
+/// copies timed out before one survived, how late the surviving copy
+/// departs, and whether a duplicate trails it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// Copies resent after an ack timeout (0 when the first copy lands).
+    pub retransmits: u32,
+    /// Virtual seconds added to the surviving copy's departure: the sum of
+    /// expired RTOs plus any injected delay.
+    pub extra_delay: f64,
+    /// If the network duplicated the surviving copy, the duplicate's extra
+    /// departure delay relative to the original.
+    pub duplicate_delay: Option<f64>,
+    /// Whether the surviving copy is physically reordered behind the
+    /// sender's subsequent traffic.
+    pub reorder: bool,
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn tag_code(kind: TagKind) -> u64 {
+    match kind {
+        TagKind::Dep => 0,
+        TagKind::Update => 1,
+        TagKind::Collective => 2,
+        TagKind::User => 3,
+    }
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults; stack the rate builders
+    /// on top.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay_steps: 4,
+            reorder_rate: 0.0,
+        }
+    }
+
+    /// A canonical drop + duplicate + delay + reorder mix for smoke tests:
+    /// every fault class is exercised at rates the default
+    /// [`RetryConfig`] absorbs with margin.
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan::new(seed)
+            .drop_rate(0.2)
+            .dup_rate(0.2)
+            .delay_rate(0.15)
+            .reorder_rate(0.2)
+    }
+
+    /// Sets the drop probability.
+    pub fn drop_rate(mut self, p: f64) -> Self {
+        self.drop_rate = p;
+        self
+    }
+
+    /// Sets the duplication probability.
+    pub fn dup_rate(mut self, p: f64) -> Self {
+        self.dup_rate = p;
+        self
+    }
+
+    /// Sets the delay probability.
+    pub fn delay_rate(mut self, p: f64) -> Self {
+        self.delay_rate = p;
+        self
+    }
+
+    /// Sets the maximum delay in RTO-sized steps.
+    pub fn max_delay_steps(mut self, steps: u32) -> Self {
+        self.max_delay_steps = steps;
+        self
+    }
+
+    /// Sets the reorder probability.
+    pub fn reorder_rate(mut self, p: f64) -> Self {
+        self.reorder_rate = p;
+        self
+    }
+
+    /// Validates the plan: every rate must be a probability.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        for (rate, what) in [
+            (self.drop_rate, "fault_plan.drop_rate must be in [0, 1]"),
+            (self.dup_rate, "fault_plan.dup_rate must be in [0, 1]"),
+            (self.delay_rate, "fault_plan.delay_rate must be in [0, 1]"),
+            (
+                self.reorder_rate,
+                "fault_plan.reorder_rate must be in [0, 1]",
+            ),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(what);
+            }
+        }
+        Ok(())
+    }
+
+    /// Does this plan ever injure a message?
+    pub fn injects(&self) -> bool {
+        self.drop_rate > 0.0
+            || self.dup_rate > 0.0
+            || self.delay_rate > 0.0
+            || self.reorder_rate > 0.0
+    }
+
+    /// A uniform roll in `[0, 1)` for one (attempt, aspect) of a message.
+    fn roll(&self, src: usize, dst: usize, tag: Tag, seq: u64, attempt: u32, salt: u64) -> f64 {
+        let mut h = splitmix64(self.seed ^ salt.wrapping_mul(0xA076_1D64_78BD_642F));
+        for field in [
+            src as u64,
+            dst as u64,
+            tag_code(tag.kind),
+            tag.a,
+            tag.b as u64,
+            seq,
+            attempt as u64,
+        ] {
+            h = splitmix64(h ^ field);
+        }
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The fate of transmission attempt `attempt` of message `seq` on the
+    /// `(src, dst, tag)` stream.
+    pub(crate) fn fate(
+        &self,
+        src: usize,
+        dst: usize,
+        tag: Tag,
+        seq: u64,
+        attempt: u32,
+    ) -> AttemptFate {
+        if self.roll(src, dst, tag, seq, attempt, 0) < self.drop_rate {
+            return AttemptFate::Dropped;
+        }
+        let delay_steps = if self.max_delay_steps > 0
+            && self.roll(src, dst, tag, seq, attempt, 1) < self.delay_rate
+        {
+            let spread = self.roll(src, dst, tag, seq, attempt, 2);
+            1 + (spread * self.max_delay_steps as f64) as u32
+        } else {
+            0
+        };
+        AttemptFate::Delivered {
+            delay_steps: delay_steps.min(self.max_delay_steps),
+            reorder: self.roll(src, dst, tag, seq, attempt, 3) < self.reorder_rate,
+            duplicate: self.roll(src, dst, tag, seq, attempt, 4) < self.dup_rate,
+        }
+    }
+
+    /// Resolves the whole retransmission schedule of message `seq` on the
+    /// `(src, dst, tag)` stream. `quantum` is the modelled round-trip time
+    /// the RTO scales from ([`crate::CostModel::retry_timeout`]). Returns
+    /// the attempt count on exhaustion (every copy dropped).
+    pub fn schedule(
+        &self,
+        retry: &RetryConfig,
+        quantum: f64,
+        src: usize,
+        dst: usize,
+        tag: Tag,
+        seq: u64,
+    ) -> Result<Delivery, u32> {
+        let mut waited = 0.0_f64;
+        let mut rto = retry.timeout_steps as f64 * quantum;
+        for attempt in 0..retry.max_attempts {
+            match self.fate(src, dst, tag, seq, attempt) {
+                AttemptFate::Dropped => {
+                    waited += rto;
+                    rto *= retry.backoff;
+                }
+                AttemptFate::Delivered {
+                    delay_steps,
+                    reorder,
+                    duplicate,
+                } => {
+                    let mut extra = waited + delay_steps as f64 * quantum;
+                    if reorder {
+                        extra += 0.5 * quantum;
+                    }
+                    return Ok(Delivery {
+                        retransmits: attempt,
+                        extra_delay: extra,
+                        duplicate_delay: duplicate.then_some(0.25 * quantum),
+                        reorder,
+                    });
+                }
+            }
+        }
+        Err(retry.max_attempts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user_tag(a: u64) -> Tag {
+        Tag::new(TagKind::User, a, 0)
+    }
+
+    #[test]
+    fn defaults_are_faultless_and_valid() {
+        let plan = FaultPlan::new(7);
+        assert!(!plan.injects());
+        assert_eq!(plan.validate(), Ok(()));
+        assert_eq!(RetryConfig::default().validate(), Ok(()));
+        let d = plan
+            .schedule(&RetryConfig::default(), 1.0, 0, 1, user_tag(0), 0)
+            .unwrap();
+        assert_eq!(d.retransmits, 0);
+        assert_eq!(d.extra_delay, 0.0);
+        assert_eq!(d.duplicate_delay, None);
+        assert!(!d.reorder);
+    }
+
+    #[test]
+    fn rates_are_validated() {
+        assert!(FaultPlan::new(0).drop_rate(1.5).validate().is_err());
+        assert!(FaultPlan::new(0).dup_rate(-0.1).validate().is_err());
+        assert!(FaultPlan::new(0).delay_rate(2.0).validate().is_err());
+        assert!(FaultPlan::new(0).reorder_rate(f64::NAN).validate().is_err());
+        assert!(FaultPlan::chaos(0).validate().is_ok());
+        assert!(FaultPlan::chaos(0).injects());
+        let bad = RetryConfig {
+            max_attempts: 0,
+            ..RetryConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = RetryConfig {
+            backoff: 0.5,
+            ..RetryConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = RetryConfig {
+            timeout_steps: 0,
+            ..RetryConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn fates_are_deterministic_and_attempt_independent() {
+        let plan = FaultPlan::chaos(1234);
+        let tag = user_tag(3);
+        for seq in 0..50 {
+            for attempt in 0..4 {
+                assert_eq!(
+                    plan.fate(0, 1, tag, seq, attempt),
+                    plan.fate(0, 1, tag, seq, attempt),
+                    "same roll must give the same fate"
+                );
+            }
+        }
+        // Different streams and different seeds roll different fates at
+        // least somewhere over 50 sequence numbers.
+        let other_seed = FaultPlan::chaos(99);
+        assert!((0..50).any(|s| plan.fate(0, 1, tag, s, 0) != plan.fate(1, 0, tag, s, 0)));
+        assert!((0..50).any(|s| plan.fate(0, 1, tag, s, 0) != other_seed.fate(0, 1, tag, s, 0)));
+    }
+
+    #[test]
+    fn always_drop_exhausts_attempts() {
+        let plan = FaultPlan::new(5).drop_rate(1.0);
+        let retry = RetryConfig {
+            max_attempts: 3,
+            ..RetryConfig::default()
+        };
+        assert_eq!(
+            plan.schedule(&retry, 1.0, 0, 1, user_tag(0), 0),
+            Err(3),
+            "every copy dropped: the schedule reports exhaustion"
+        );
+    }
+
+    #[test]
+    fn retransmit_waits_follow_exponential_backoff() {
+        // Half the copies drop; find a message whose first two attempts
+        // both dropped and check the accumulated timer delay.
+        let plan = FaultPlan::new(17).drop_rate(0.5);
+        let retry = RetryConfig {
+            timeout_steps: 2,
+            backoff: 2.0,
+            max_attempts: 10,
+        };
+        let quantum = 0.5;
+        let tag = user_tag(0);
+        let mut seen_two = false;
+        for seq in 0..200 {
+            let d = plan.schedule(&retry, quantum, 0, 1, tag, seq).unwrap();
+            if d.retransmits == 2 {
+                // rto0 + rto1 = 2q·ts + 2q·ts·backoff = 1.0 + 2.0
+                let base = retry.timeout_steps as f64 * quantum;
+                assert!(d.extra_delay >= base * (1.0 + 2.0) - 1e-12);
+                seen_two = true;
+                break;
+            }
+        }
+        assert!(seen_two, "0.5 drop rate must double-drop within 200 tries");
+    }
+
+    #[test]
+    fn delay_steps_are_bounded() {
+        let plan = FaultPlan::new(3).delay_rate(1.0).max_delay_steps(2);
+        let retry = RetryConfig::default();
+        for seq in 0..100 {
+            let d = plan.schedule(&retry, 1.0, 0, 1, user_tag(0), seq).unwrap();
+            assert_eq!(d.retransmits, 0);
+            assert!(
+                d.extra_delay >= 1.0 - 1e-12 && d.extra_delay <= 2.5 + 1e-12,
+                "delay {} outside 1..=2 steps (+ possible reorder half)",
+                d.extra_delay
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_trail_the_original() {
+        let plan = FaultPlan::new(11).dup_rate(1.0);
+        let d = plan
+            .schedule(&RetryConfig::default(), 2.0, 0, 1, user_tag(0), 0)
+            .unwrap();
+        assert_eq!(d.duplicate_delay, Some(0.5));
+    }
+
+    #[test]
+    fn zero_quantum_still_counts_faults() {
+        // Under CostModel::zero the timers are instantaneous but the
+        // retransmit/dup structure is unchanged.
+        let plan = FaultPlan::chaos(8);
+        let retry = RetryConfig::default();
+        let mut rts = 0u32;
+        let mut dups = 0u32;
+        for seq in 0..100 {
+            let d = plan.schedule(&retry, 0.0, 0, 1, user_tag(0), seq).unwrap();
+            assert_eq!(d.extra_delay, 0.0);
+            rts += d.retransmits;
+            dups += u32::from(d.duplicate_delay.is_some());
+        }
+        assert!(rts > 0 && dups > 0);
+    }
+}

@@ -57,6 +57,47 @@ impl fmt::Display for CommKind {
     }
 }
 
+/// Counters of the reliable-delivery layer (see `symple_net::FaultPlan`).
+///
+/// These are the only statistics allowed to differ between a faulted run
+/// and its fault-free twin: the ack/retry protocol absorbs every injected
+/// drop, duplicate, and reordering below the engine, and this is where
+/// the absorbed damage is tallied. All zero when no fault plan is active.
+/// Timeouts, retransmits, and duplicate injections are counted on the
+/// sending node, where they are a pure function of the plan (and hence
+/// deterministic); acks are counted on the receiving node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliableStats {
+    /// Retransmission timers that expired (one per dropped copy).
+    pub timeouts: u64,
+    /// Message copies resent after an ack timeout.
+    pub retransmits: u64,
+    /// Payload bytes carried by those resent copies.
+    pub retransmit_bytes: u64,
+    /// Duplicate copies injected by the plan (each is later discarded by
+    /// the receiver's sequence-number filter).
+    pub dup_drops: u64,
+    /// Messages accepted and acknowledged by the receiver.
+    pub acks: u64,
+}
+
+impl ReliableStats {
+    /// Whether the reliable layer did any visible work.
+    pub fn any(&self) -> bool {
+        self.timeouts > 0 || self.retransmits > 0 || self.dup_drops > 0 || self.acks > 0
+    }
+}
+
+impl AddAssign for ReliableStats {
+    fn add_assign(&mut self, rhs: ReliableStats) {
+        self.timeouts += rhs.timeouts;
+        self.retransmits += rhs.retransmits;
+        self.retransmit_bytes += rhs.retransmit_bytes;
+        self.dup_drops += rhs.dup_drops;
+        self.acks += rhs.acks;
+    }
+}
+
 /// Byte and message counters per [`CommKind`].
 ///
 /// # Example
@@ -79,6 +120,11 @@ pub struct CommStats {
     /// payload to [`WireFormat::Flat`], so the histogram always accounts
     /// for the engine's data traffic.
     formats: CodecStats,
+    /// Reliable-delivery counters; all zero without a fault plan. Note the
+    /// byte/message arrays above count each logical message exactly once,
+    /// as in a fault-free run — retransmitted copies are tallied here, not
+    /// there, which is what keeps comm accounting comparable across plans.
+    pub(crate) reliable: ReliableStats,
 }
 
 impl CommStats {
@@ -130,6 +176,11 @@ impl CommStats {
     pub fn total_messages(&self) -> u64 {
         self.messages.iter().sum()
     }
+
+    /// Reliable-delivery counters (all zero without a fault plan).
+    pub fn reliable(&self) -> ReliableStats {
+        self.reliable
+    }
 }
 
 impl Add for CommStats {
@@ -147,6 +198,7 @@ impl AddAssign for CommStats {
             self.messages[i] += rhs.messages[i];
         }
         self.record_formats(&rhs.formats);
+        self.reliable += rhs.reliable;
     }
 }
 
@@ -161,7 +213,19 @@ impl fmt::Display for CommStats {
             self.messages[1],
             self.bytes[2],
             self.messages[2]
-        )
+        )?;
+        if self.reliable.any() {
+            write!(
+                f,
+                ", reliable [{} timeouts, {} retrans/{}B, {} dups, {} acks]",
+                self.reliable.timeouts,
+                self.reliable.retransmits,
+                self.reliable.retransmit_bytes,
+                self.reliable.dup_drops,
+                self.reliable.acks
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -223,5 +287,29 @@ mod tests {
     fn kind_display() {
         assert_eq!(CommKind::Update.to_string(), "update");
         assert_eq!(COMM_KINDS.len(), 3);
+    }
+
+    #[test]
+    fn reliable_counters_merge_and_display() {
+        let mut a = CommStats::default();
+        a.reliable.timeouts = 2;
+        a.reliable.retransmits = 2;
+        a.reliable.retransmit_bytes = 64;
+        let mut b = CommStats::default();
+        b.reliable.dup_drops = 1;
+        b.reliable.acks = 5;
+        let c = a + b;
+        assert_eq!(c.reliable().timeouts, 2);
+        assert_eq!(c.reliable().retransmits, 2);
+        assert_eq!(c.reliable().retransmit_bytes, 64);
+        assert_eq!(c.reliable().dup_drops, 1);
+        assert_eq!(c.reliable().acks, 5);
+        assert!(c.reliable().any());
+        let shown = c.to_string();
+        assert!(shown.contains("2 retrans/64B"));
+        assert!(shown.contains("1 dups"));
+        // Fault-free stats keep the historical display shape.
+        assert!(!CommStats::default().reliable().any());
+        assert!(!CommStats::default().to_string().contains("reliable"));
     }
 }

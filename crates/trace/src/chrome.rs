@@ -136,6 +136,16 @@ mod tests {
     }
 
     #[test]
+    fn retry_spans_export_like_any_category() {
+        let mut rec = TraceRecorder::new(0, TraceLevel::Full);
+        rec.set_scope(0, 0, 0);
+        rec.record_span(SpanCategory::Retry, 1e-3, 2e-3);
+        let json = Trace::new(vec![rec.finish()]).to_chrome_json();
+        assert!(json.contains("\"name\":\"retry\""));
+        assert!(json.contains("\"cat\":\"retry\""));
+    }
+
+    #[test]
     fn metrics_level_exports_metadata_only() {
         let mut rec = TraceRecorder::new(0, TraceLevel::Metrics);
         rec.record_span(SpanCategory::Compute, 0.0, 1.0);

@@ -85,17 +85,23 @@ pub enum SpanCategory {
     Barrier,
     /// Waiting inside a non-barrier collective (allgather / allreduce).
     Collective,
+    /// Sender-side overhead of the reliable-delivery layer: retransmitting
+    /// copies whose ack timer expired under an injected fault plan. Zero in
+    /// fault-free runs — the category exists so fault recovery is visible
+    /// without polluting the six fault-free categories.
+    Retry,
 }
 
 impl SpanCategory {
     /// All categories, in display order.
-    pub const ALL: [SpanCategory; 6] = [
+    pub const ALL: [SpanCategory; 7] = [
         SpanCategory::Compute,
         SpanCategory::Serialize,
         SpanCategory::Send,
         SpanCategory::DepWait,
         SpanCategory::Barrier,
         SpanCategory::Collective,
+        SpanCategory::Retry,
     ];
 
     /// Dense index into per-category arrays.
@@ -107,6 +113,7 @@ impl SpanCategory {
             SpanCategory::DepWait => 3,
             SpanCategory::Barrier => 4,
             SpanCategory::Collective => 5,
+            SpanCategory::Retry => 6,
         }
     }
 
@@ -119,6 +126,7 @@ impl SpanCategory {
             SpanCategory::DepWait => "dep-wait",
             SpanCategory::Barrier => "barrier",
             SpanCategory::Collective => "collective",
+            SpanCategory::Retry => "retry",
         }
     }
 }

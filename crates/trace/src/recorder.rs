@@ -25,7 +25,7 @@ pub struct CellStats {
     /// [`SpanCategory::index`]). For compute this is the *charged*
     /// (critical-path) time: with a multi-threaded executor it is the
     /// longest per-thread lane, not the sum.
-    pub time: [f64; 6],
+    pub time: [f64; 7],
     /// Bytes per [`ByteCategory`] (indexed by [`ByteCategory::index`]).
     pub bytes: [u64; 3],
     /// Messages per [`ByteCategory`].
@@ -43,6 +43,15 @@ pub struct CellStats {
     /// (flat / dense / sparse, in tag order). Complements `bytes`: that
     /// array answers *what* was shipped, this one *how* it was encoded.
     pub wire_format_bytes: [u64; 3],
+    /// Copies retransmitted by the reliable-delivery layer from this cell
+    /// (ack timer expired under an injected fault plan). Retransmitted
+    /// traffic is *not* folded into `bytes`/`messages` — those stay
+    /// bit-identical to the fault-free run; this counter is the overlay.
+    pub retransmits: u64,
+    /// Payload bytes carried by those retransmitted copies.
+    pub retransmit_bytes: u64,
+    /// Duplicate copies this machine received and discarded in this cell.
+    pub dup_drops: u64,
 }
 
 impl CellStats {
@@ -62,7 +71,7 @@ impl CellStats {
     }
 
     fn absorb(&mut self, other: &CellStats) {
-        for i in 0..6 {
+        for i in 0..7 {
             self.time[i] += other.time[i];
         }
         for i in 0..3 {
@@ -72,6 +81,9 @@ impl CellStats {
         }
         self.compute_cpu += other.compute_cpu;
         self.lanes = self.lanes.max(other.lanes);
+        self.retransmits += other.retransmits;
+        self.retransmit_bytes += other.retransmit_bytes;
+        self.dup_drops += other.dup_drops;
     }
 }
 
@@ -110,6 +122,7 @@ pub struct TraceRecorder {
     scope: Scope,
     spans: Vec<Span>,
     cells: BTreeMap<CellKey, CellStats>,
+    retransmit_peers: BTreeMap<usize, u64>,
 }
 
 impl TraceRecorder {
@@ -121,6 +134,7 @@ impl TraceRecorder {
             scope: Scope::default(),
             spans: Vec::new(),
             cells: BTreeMap::new(),
+            retransmit_peers: BTreeMap::new(),
         }
     }
 
@@ -230,12 +244,37 @@ impl TraceRecorder {
         }
     }
 
+    /// Attributes `copies` retransmitted copies of `bytes` payload bytes
+    /// each towards `peer` under the current scope: the sender-side record
+    /// of the reliable-delivery layer resending after an ack timeout.
+    /// Tracked separately from [`TraceRecorder::record_bytes`] so the
+    /// regular byte cells stay bit-identical to the fault-free run.
+    pub fn record_retransmits(&mut self, peer: usize, copies: u64, bytes: u64) {
+        if !self.level.metrics() || copies == 0 {
+            return;
+        }
+        let cell = self.cells.entry(self.scope).or_default();
+        cell.retransmits += copies;
+        cell.retransmit_bytes += copies * bytes;
+        *self.retransmit_peers.entry(peer).or_default() += copies;
+    }
+
+    /// Records one duplicate copy received and discarded under the current
+    /// scope (the receiver half of the reliable-delivery overlay).
+    pub fn record_dup_drop(&mut self) {
+        if !self.level.metrics() {
+            return;
+        }
+        self.cells.entry(self.scope).or_default().dup_drops += 1;
+    }
+
     /// Finalises recording into an immutable per-machine trace.
     pub fn finish(self) -> NodeTrace {
         NodeTrace {
             machine: self.machine,
             spans: self.spans,
             cells: self.cells,
+            retransmit_peers: self.retransmit_peers,
         }
     }
 }
@@ -249,6 +288,9 @@ pub struct NodeTrace {
     pub spans: Vec<Span>,
     /// Categorized counters per (iteration, step, group) cell.
     pub cells: BTreeMap<CellKey, CellStats>,
+    /// Retransmitted copies this machine sent, per destination peer
+    /// (empty for fault-free runs).
+    pub retransmit_peers: BTreeMap<usize, u64>,
 }
 
 impl NodeTrace {
@@ -289,6 +331,16 @@ impl NodeTrace {
     pub fn wire_format_bytes(&self, fmt: usize) -> u64 {
         self.cells.values().map(|c| c.wire_format_bytes[fmt]).sum()
     }
+
+    /// Total retransmitted copies this machine sent across all cells.
+    pub fn retransmits(&self) -> u64 {
+        self.cells.values().map(|c| c.retransmits).sum()
+    }
+
+    /// Total duplicate copies this machine discarded across all cells.
+    pub fn dup_drops(&self) -> u64 {
+        self.cells.values().map(|c| c.dup_drops).sum()
+    }
 }
 
 /// The combined trace of a run: one [`NodeTrace`] per machine.
@@ -323,6 +375,17 @@ impl Trace {
     /// Total busy compute core-seconds summed over machines and lanes.
     pub fn compute_cpu(&self) -> f64 {
         self.nodes.iter().map(|n| n.compute_cpu()).sum()
+    }
+
+    /// Total retransmitted copies across all machines (the
+    /// reliable-delivery overlay; zero for fault-free runs).
+    pub fn retransmits(&self) -> u64 {
+        self.nodes.iter().map(|n| n.retransmits()).sum()
+    }
+
+    /// Total discarded duplicate copies across all machines.
+    pub fn dup_drops(&self) -> u64 {
+        self.nodes.iter().map(|n| n.dup_drops()).sum()
     }
 
     /// Cell totals merged across machines (keyed by iteration/step/group).
@@ -441,6 +504,36 @@ mod tests {
         let mut off = TraceRecorder::new(0, TraceLevel::Off);
         off.record_wire_formats(&[1, 1, 1]);
         assert!(off.finish().cells.is_empty());
+    }
+
+    #[test]
+    fn retransmit_overlay_accumulates_without_touching_byte_cells() {
+        let mut rec = TraceRecorder::new(0, TraceLevel::Metrics);
+        rec.set_scope(0, 0, 0);
+        rec.record_bytes(ByteCategory::Update, 100, 1);
+        rec.record_retransmits(2, 3, 40);
+        rec.record_retransmits(1, 1, 40);
+        rec.record_dup_drop();
+        rec.set_scope(0, 1, 0);
+        rec.record_retransmits(2, 1, 8);
+        let node = rec.finish();
+        assert_eq!(node.retransmits(), 5);
+        assert_eq!(node.dup_drops(), 1);
+        assert_eq!(node.retransmit_peers.get(&2), Some(&4));
+        assert_eq!(node.retransmit_peers.get(&1), Some(&1));
+        // The regular byte cells are untouched by the overlay.
+        assert_eq!(node.bytes(ByteCategory::Update), 100);
+        assert_eq!(node.messages(ByteCategory::Update), 1);
+        let cell = node.cells.values().next().unwrap();
+        assert_eq!(cell.retransmit_bytes, 3 * 40 + 40);
+        // Zero-copy records and the Off level are no-ops.
+        let mut off = TraceRecorder::new(0, TraceLevel::Off);
+        off.record_retransmits(1, 2, 10);
+        off.record_dup_drop();
+        assert!(off.finish().cells.is_empty());
+        let mut none = TraceRecorder::new(0, TraceLevel::Metrics);
+        none.record_retransmits(1, 0, 10);
+        assert!(none.finish().cells.is_empty());
     }
 
     #[test]

@@ -11,12 +11,12 @@ use crate::json::JsonWriter;
 use crate::{ByteCategory, CellKey, CellStats, SpanCategory, Trace};
 
 /// Categorized totals for one machine.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MachineReport {
     /// Machine rank.
     pub machine: usize,
     /// Virtual seconds per [`SpanCategory`] (by [`SpanCategory::index`]).
-    pub time: [f64; 6],
+    pub time: [f64; 7],
     /// Bytes per [`ByteCategory`] (by [`ByteCategory::index`]).
     pub bytes: [u64; 3],
     /// Messages per [`ByteCategory`].
@@ -29,6 +29,15 @@ pub struct MachineReport {
     /// Encoded bytes per chosen wire format (flat / dense / sparse, in
     /// codec tag order).
     pub wire_format_bytes: [u64; 3],
+    /// Copies the reliable-delivery layer resent from this machine (ack
+    /// timeout under an injected fault plan; zero when fault-free).
+    pub retransmits: u64,
+    /// Payload bytes those resent copies carried.
+    pub retransmit_bytes: u64,
+    /// Duplicate copies this machine received and discarded.
+    pub dup_drops: u64,
+    /// Resent copies broken down by destination peer.
+    pub retransmit_peers: BTreeMap<usize, u64>,
 }
 
 impl MachineReport {
@@ -74,7 +83,7 @@ impl MetricsReport {
                     ..Default::default()
                 };
                 for cell in node.cells.values() {
-                    for i in 0..6 {
+                    for i in 0..7 {
                         m.time[i] += cell.time[i];
                     }
                     for i in 0..3 {
@@ -84,7 +93,11 @@ impl MetricsReport {
                     }
                     m.compute_cpu += cell.compute_cpu;
                     m.lanes = m.lanes.max(cell.lanes);
+                    m.retransmits += cell.retransmits;
+                    m.retransmit_bytes += cell.retransmit_bytes;
+                    m.dup_drops += cell.dup_drops;
                 }
+                m.retransmit_peers = node.retransmit_peers.clone();
                 m
             })
             .collect::<Vec<_>>();
@@ -130,6 +143,17 @@ impl MetricsReport {
             .sum()
     }
 
+    /// Total copies resent by the reliable-delivery layer across machines
+    /// (zero in fault-free runs).
+    pub fn retransmits(&self) -> u64 {
+        self.per_machine.iter().map(|m| m.retransmits).sum()
+    }
+
+    /// Total duplicate copies discarded across machines.
+    pub fn dup_drops(&self) -> u64 {
+        self.per_machine.iter().map(|m| m.dup_drops).sum()
+    }
+
     /// Machine-readable JSON dump of the whole report.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
@@ -137,6 +161,8 @@ impl MetricsReport {
         w.key("machines").u64(self.machines as u64);
         w.key("virtual_time").f64(self.virtual_time);
         w.key("compute_cpu").f64(self.compute_cpu());
+        w.key("retransmits").u64(self.retransmits());
+        w.key("dup_drops").u64(self.dup_drops());
         w.key("time").begin_object();
         for cat in SpanCategory::ALL {
             w.key(cat.name()).f64(self.time(cat));
@@ -173,6 +199,14 @@ impl MetricsReport {
             w.end_object();
             w.key("compute_cpu").f64(m.compute_cpu);
             w.key("lanes").u64(m.lanes as u64);
+            w.key("retransmits").u64(m.retransmits);
+            w.key("retransmit_bytes").u64(m.retransmit_bytes);
+            w.key("dup_drops").u64(m.dup_drops);
+            w.key("retransmit_peers").begin_object();
+            for (peer, copies) in &m.retransmit_peers {
+                w.key(&peer.to_string()).u64(*copies);
+            }
+            w.end_object();
             w.end_object();
         }
         w.end_array();
@@ -271,6 +305,27 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"compute_cpu\":4"));
         assert!(json.contains("\"lanes\":2"));
+    }
+
+    #[test]
+    fn report_surfaces_retransmit_overlay() {
+        let mut rec = TraceRecorder::new(0, TraceLevel::Metrics);
+        rec.set_scope(0, 0, 0);
+        rec.record_span(SpanCategory::Retry, 0.0, 0.5);
+        rec.record_retransmits(1, 2, 16);
+        rec.record_dup_drop();
+        let trace = Trace::new(vec![rec.finish()]);
+        let report = MetricsReport::from_trace(&trace, 1.0);
+        assert_eq!(report.retransmits(), 2);
+        assert_eq!(report.dup_drops(), 1);
+        assert_eq!(report.time(SpanCategory::Retry), 0.5);
+        assert_eq!(report.per_machine[0].retransmit_bytes, 32);
+        assert_eq!(report.per_machine[0].retransmit_peers.get(&1), Some(&2));
+        let json = report.to_json();
+        assert!(json.contains("\"retransmits\":2"));
+        assert!(json.contains("\"dup_drops\":1"));
+        assert!(json.contains("\"retransmit_peers\":{\"1\":2}"));
+        assert!(json.contains("\"retry\":0.5"));
     }
 
     #[test]
