@@ -36,6 +36,11 @@ if [ "$QUICK" = 0 ]; then
   cargo run --release --offline -p symple-bench --bin experiments -- --faults
 fi
 
+echo "== symple-lint (paper UDFs + example corpus) =="
+# Lints the five paper kernels (pretty-printed to source so spans exercise
+# the full parser path); exits nonzero on any error-severity diagnostic.
+cargo run --offline --example symple_lint
+
 echo "== rustfmt =="
 cargo fmt --check
 

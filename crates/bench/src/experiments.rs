@@ -1218,6 +1218,280 @@ pub fn scaling_report(scale: u32, points: &[ScalingPoint]) -> Report {
     )
 }
 
+/// One kernel of the carried-state minimization study: the same UDF
+/// instrumented by the naive syntactic analysis and by the
+/// dataflow-minimized analysis, run back to back on the engine. Outputs
+/// and work counters are asserted bit-identical inside [`udf_study`];
+/// only the dependency payload may shrink.
+#[derive(Debug, Clone)]
+pub struct UdfPoint {
+    /// Kernel label.
+    pub kernel: &'static str,
+    /// Dependency kind under the naive analysis (`data`/`control`).
+    pub naive_kind: &'static str,
+    /// Dependency kind after minimization (`data`/`control`/`none`).
+    pub min_kind: &'static str,
+    /// Carried locals under the naive analysis.
+    pub naive_arity: usize,
+    /// Carried locals after minimization.
+    pub min_arity: usize,
+    /// `UdfDep` wire bytes for one 64-vertex block, naive.
+    pub naive_block_bytes: usize,
+    /// `UdfDep` wire bytes for one 64-vertex block, minimized.
+    pub min_block_bytes: usize,
+    /// Measured dependency bytes on the engine, naive instrumentation.
+    pub naive_dep_bytes: u64,
+    /// Measured dependency bytes, minimized instrumentation.
+    pub min_dep_bytes: u64,
+    /// Measured dependency messages, naive instrumentation.
+    pub naive_dep_msgs: u64,
+    /// Measured dependency messages, minimized instrumentation.
+    pub min_dep_msgs: u64,
+}
+
+fn dep_kind_label(kind: symple_udf::DepKind) -> &'static str {
+    match kind {
+        symple_udf::DepKind::None => "none",
+        symple_udf::DepKind::Control => "control",
+        symple_udf::DepKind::Data => "data",
+    }
+}
+
+/// Runs the six study kernels (the five paper UDFs plus a `bounded`
+/// kernel whose only break is provably unreachable) instrumented naive vs
+/// minimized on a small RMAT graph, asserting bit-identical outputs and
+/// work counters, and returns the payload comparison per kernel.
+///
+/// Policy is `Policy::symple_basic()` (no differentiated propagation) so
+/// every kernel circulates its full dependency traffic; each
+/// instrumentation still runs under [`symple_udf::effective_policy`], which
+/// is what downgrades the dead-dependency `bounded` kernel to zero
+/// dependency messages.
+pub fn udf_study(scale: u32) -> Vec<UdfPoint> {
+    use symple_graph::{Bitmap, RmatConfig};
+    use symple_udf::types::Ty;
+    use symple_udf::{
+        ast::{Expr, Stmt},
+        effective_policy, instrument, instrument_naive, paper_udfs, PropArray, PropertyStore,
+        UdfDep, UdfFn, UdfProgram,
+    };
+
+    let graph = RmatConfig::graph500(scale, 8).cleaned(true).generate();
+    let n = graph.num_vertices();
+    let mut props = PropertyStore::new();
+    let mut frontier = Bitmap::new(n);
+    let mut active = Bitmap::new(n);
+    let mut assigned = Bitmap::new(n);
+    for i in 0..n {
+        if i % 5 == 0 {
+            frontier.set(i);
+        }
+        if i % 3 != 0 {
+            active.set(i);
+        }
+        if i % 4 == 0 {
+            assigned.set(i);
+        }
+    }
+    props.insert("frontier", PropArray::Bools(frontier));
+    props.insert("active", PropArray::Bools(active));
+    props.insert("assigned", PropArray::Bools(assigned));
+    props.insert(
+        "color",
+        PropArray::Ints((0..n).map(|i| (i * 7 % 31) as i64).collect()),
+    );
+    props.insert(
+        "cluster",
+        PropArray::Ints((0..n).map(|i| (i % 6) as i64).collect()),
+    );
+    props.insert(
+        "weight",
+        PropArray::Floats((0..n).map(|i| (i % 9) as f64 * 0.25).collect()),
+    );
+    props.insert(
+        "r",
+        PropArray::Floats((0..n).map(|i| (i % 13) as f64).collect()),
+    );
+
+    // A k-sampling-style kernel whose only break is dead: the guard flag
+    // is provably false, so the minimized analysis removes the dependency
+    // entirely and `effective_policy` downgrades to Gemini.
+    let bounded = UdfFn::new(
+        "bounded",
+        Ty::Int,
+        vec![
+            Stmt::let_("dbg", Ty::Bool, Expr::b(false)),
+            Stmt::let_("done", Ty::Bool, Expr::b(false)),
+            Stmt::for_neighbors(vec![
+                Stmt::if_(Expr::prop_u("active"), vec![Stmt::Emit(Expr::i(1))]),
+                Stmt::if_(
+                    Expr::local("dbg"),
+                    vec![Stmt::assign("done", Expr::b(true)), Stmt::Break],
+                ),
+            ]),
+            Stmt::if_(Expr::local("done").not(), vec![Stmt::Emit(Expr::i(0))]),
+        ],
+    );
+
+    let kernels: Vec<(&'static str, UdfFn)> = vec![
+        ("bfs", paper_udfs::bfs_udf()),
+        ("mis", paper_udfs::mis_udf()),
+        ("kcore", paper_udfs::kcore_udf(4)),
+        ("kmeans", paper_udfs::kmeans_udf()),
+        ("sampling", paper_udfs::sampling_udf()),
+        ("bounded", bounded),
+    ];
+
+    let mut points = Vec::new();
+    for (kernel, udf) in &kernels {
+        let min = instrument(udf).expect("minimized instrumentation");
+        let naive = instrument_naive(udf).expect("naive instrumentation");
+        let run = |inst: &symple_udf::InstrumentedUdf| {
+            let policy = effective_policy(&inst.info, Policy::symple_basic());
+            let engine = EngineConfig::new(4, policy).threads(2);
+            let res = symple_core::run_spmd(&graph, &engine, |w| {
+                let prog = UdfProgram::new(inst, &props);
+                let mut dep = prog.make_dep(w.dep_slots_needed());
+                let mut acc: Vec<(u64, u64)> = vec![(0, 0); n];
+                let mut apply = |v: Vid, bits: u64| -> bool {
+                    let e = &mut acc[v.index()];
+                    e.0 += 1;
+                    e.1 = e.1.wrapping_add(bits);
+                    false
+                };
+                w.pull(&prog, &mut dep, &mut apply);
+                acc
+            });
+            (res.outputs, res.stats)
+        };
+        let (out_min, stats_min) = run(&min);
+        let (out_naive, stats_naive) = run(&naive);
+        assert_eq!(
+            out_min, out_naive,
+            "udf {kernel}: minimization changed the outputs"
+        );
+        assert_eq!(
+            stats_min.work.edges_traversed(),
+            stats_naive.work.edges_traversed(),
+            "udf {kernel}: minimization changed the work"
+        );
+        assert_eq!(
+            stats_min.work.skipped_by_dep(),
+            stats_naive.work.skipped_by_dep(),
+            "udf {kernel}: minimization changed the skip behaviour"
+        );
+        let min_dep_bytes = stats_min.comm.bytes(CommKind::Dependency);
+        let naive_dep_bytes = stats_naive.comm.bytes(CommKind::Dependency);
+        assert!(
+            min_dep_bytes <= naive_dep_bytes,
+            "udf {kernel}: minimization grew dependency traffic"
+        );
+        points.push(UdfPoint {
+            kernel,
+            naive_kind: dep_kind_label(naive.info.kind),
+            min_kind: dep_kind_label(min.info.kind),
+            naive_arity: naive.info.carried.len(),
+            min_arity: min.info.carried.len(),
+            naive_block_bytes: UdfDep::wire_bytes_for(64, naive.info.carried.len()),
+            min_block_bytes: UdfDep::wire_bytes_for(64, min.info.carried.len()),
+            naive_dep_bytes,
+            min_dep_bytes,
+            naive_dep_msgs: stats_naive.comm.messages(CommKind::Dependency),
+            min_dep_msgs: stats_min.comm.messages(CommKind::Dependency),
+        });
+    }
+    points
+}
+
+/// Renders the carried-state study as a machine-readable JSON document
+/// (`BENCH_udf.json`).
+pub fn udf_json(scale: u32, points: &[UdfPoint]) -> String {
+    let mut w = symple_trace::json::JsonWriter::new();
+    w.begin_object();
+    w.key("bench").string("udf_carried_state");
+    w.key("graph").string("rmat");
+    w.key("scale").u64(u64::from(scale));
+    w.key("note").string(
+        "naive = syntactic dependency analysis; min = CFG/dataflow \
+         minimization. Outputs and work counters are asserted bit-identical; \
+         block_bytes = UdfDep wire bytes for one 64-vertex block; dep_bytes/\
+         dep_msgs are measured engine dependency traffic under the effective \
+         policy for each instrumentation",
+    );
+    w.key("kernels").begin_array();
+    for p in points {
+        w.begin_object();
+        w.key("kernel").string(p.kernel);
+        w.key("naive").begin_object();
+        w.key("kind").string(p.naive_kind);
+        w.key("carried_arity").u64(p.naive_arity as u64);
+        w.key("block_bytes").u64(p.naive_block_bytes as u64);
+        w.key("dep_bytes").u64(p.naive_dep_bytes);
+        w.key("dep_msgs").u64(p.naive_dep_msgs);
+        w.end_object();
+        w.key("min").begin_object();
+        w.key("kind").string(p.min_kind);
+        w.key("carried_arity").u64(p.min_arity as u64);
+        w.key("block_bytes").u64(p.min_block_bytes as u64);
+        w.key("dep_bytes").u64(p.min_dep_bytes);
+        w.key("dep_msgs").u64(p.min_dep_msgs);
+        w.end_object();
+        w.key("byte_ratio")
+            .f64(p.min_dep_bytes as f64 / p.naive_dep_bytes.max(1) as f64);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// The carried-state study as a report table (id `udf`).
+pub fn udf_report() -> Report {
+    let scale = 8;
+    let points = udf_study(scale);
+    assert!(
+        points.iter().all(|p| p.min_dep_bytes <= p.naive_dep_bytes),
+        "minimized dependency traffic must never exceed naive"
+    );
+    assert!(
+        points.iter().any(|p| p.min_dep_bytes < p.naive_dep_bytes),
+        "at least one kernel must strictly shrink"
+    );
+    let rows = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.kernel.to_string(),
+                format!("{}/{}", p.naive_kind, p.min_kind),
+                format!("{}→{}", p.naive_arity, p.min_arity),
+                format!("{}→{}", p.naive_block_bytes, p.min_block_bytes),
+                p.naive_dep_bytes.to_string(),
+                p.min_dep_bytes.to_string(),
+                format!(
+                    "{:.3}",
+                    p.min_dep_bytes as f64 / p.naive_dep_bytes.max(1) as f64
+                ),
+            ]
+        })
+        .collect::<Vec<_>>();
+    let text = format!(
+        "{}\nCarried-state minimization (static analysis over the UDF CFG) vs the\nnaive syntactic analysis, RMAT scale {scale}, 4 machines, symple_basic\npolicy. Outputs and work counters are asserted bit-identical per kernel;\nonly the dependency payload shrinks. `bounded` has a provably-unreachable\nbreak: the dependency is eliminated outright and zero dependency messages\nare sent. See BENCH_udf.json for the raw grid.\n",
+        table(
+            &[
+                "kernel",
+                "kind n/m",
+                "arity",
+                "block B",
+                "naive dep B",
+                "min dep B",
+                "ratio"
+            ],
+            &rows
+        )
+    );
+    Report::new("udf", "Carried-state minimization (static analysis)", text)
+}
+
 /// Runs every experiment in paper order.
 pub fn all() -> Vec<Report> {
     vec![
@@ -1237,6 +1511,7 @@ pub fn all() -> Vec<Report> {
         replication(),
         comm_report(),
         fault_report(),
+        udf_report(),
     ]
 }
 
@@ -1259,6 +1534,7 @@ pub fn by_id(id: &str) -> Option<fn() -> Report> {
         "replication" => replication,
         "comm" => comm_report,
         "faults" => fault_report,
+        "udf" => udf_report,
         _ => return None,
     })
 }
@@ -1286,6 +1562,7 @@ mod tests {
             "replication",
             "comm",
             "faults",
+            "udf",
         ] {
             assert!(by_id(id).is_some(), "missing {id}");
         }

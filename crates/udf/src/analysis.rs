@@ -9,15 +9,37 @@
 //!   flow across iterations — assigned inside the loop and read again
 //!   (inside the loop or after it). These become the `DepMessage` data
 //!   members (§4.1): K-core's counter, sampling's prefix sum.
+//!
+//! Two analyzers are exposed. [`analyze_naive`] is the paper's purely
+//! syntactic rule. [`analyze`] refines it with the dataflow engine in
+//! [`crate::cfg`]/[`crate::dataflow`]:
+//!
+//! * **Carried-state minimization.** A syntactically carried local is
+//!   dropped from the wire when shipping it cannot change any observable
+//!   value. `x` stays carried only if it is *live* at its restore point
+//!   (the `let` the instrumentation rewrites) **and** either some
+//!   assignment to it survives to a break-free exit (reaching definitions
+//!   over the break-pruned CFG) or its initialiser is not the zero value
+//!   the first segment restores. See DESIGN.md §11 for the soundness
+//!   argument under circulant scheduling.
+//! * **Dead-dependency elimination.** Constant propagation plus branch
+//!   pruning can prove every `break` unreachable, in which case the UDF is
+//!   downgraded to [`DepKind::None`] and no dependency is circulated at
+//!   all ([`effective_policy`] then drops the SympleGraph machinery).
+
+use std::collections::BTreeSet;
 
 use crate::ast::{Expr, Stmt, UdfFn};
-use crate::types::Ty;
+use crate::cfg::Cfg;
+use crate::dataflow::{const_eval, solve, Const, ConstProp, Liveness, ReachingDefs};
+use crate::types::{Ty, Value};
 use crate::UdfError;
+use symple_core::Policy;
 
 /// What kind of loop-carried dependency a UDF has.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DepKind {
-    /// No neighbour loop, or no break: nothing to enforce.
+    /// No neighbour loop, or no (reachable) break: nothing to enforce.
     None,
     /// Break only — the dependency message is a single skip bit.
     Control,
@@ -32,8 +54,12 @@ pub struct DepInfo {
     pub kind: DepKind,
     /// Carried locals `(name, type)`, in declaration order.
     pub carried: Vec<(String, Ty)>,
-    /// Number of `break` statements inside the neighbour loop.
+    /// Number of `break` statements inside the neighbour loop
+    /// (syntactic count, independent of reachability).
     pub breaks: usize,
+    /// Breaks the dataflow analysis could not prove unreachable. When this
+    /// is zero the dependency is dead and `kind` is [`DepKind::None`].
+    pub reachable_breaks: usize,
 }
 
 impl DepInfo {
@@ -41,9 +67,39 @@ impl DepInfo {
     pub fn has_dependency(&self) -> bool {
         self.kind != DepKind::None
     }
+
+    fn none(breaks: usize) -> Self {
+        DepInfo {
+            kind: DepKind::None,
+            carried: Vec::new(),
+            breaks,
+            reachable_breaks: 0,
+        }
+    }
 }
 
-/// Analyzes a UDF for loop-carried dependency.
+/// The scheduling policy a dependency analysis actually requires.
+///
+/// SympleGraph's circulant scheduling and mirror→mirror dependency
+/// circulation only pay off when the UDF has a loop-carried dependency; for
+/// a [`DepKind::None`] UDF the whole apparatus is dead weight (and dep
+/// messages would still be exchanged every round). This helper downgrades a
+/// SympleGraph policy to plain Gemini-style edge placement in that case and
+/// leaves every other request untouched.
+pub fn effective_policy(info: &DepInfo, requested: Policy) -> Policy {
+    if info.has_dependency() || !requested.propagates_dependency() {
+        requested
+    } else {
+        Policy::Gemini
+    }
+}
+
+/// Analyzes a UDF for loop-carried dependency, with dataflow-based
+/// carried-state minimization and dead-dependency elimination.
+///
+/// The carried set is a subset of [`analyze_naive`]'s: instrumenting with
+/// either produces bit-identical outputs and work counters, but this one
+/// ships fewer bytes per `DepMessage`.
 ///
 /// # Errors
 ///
@@ -60,6 +116,121 @@ impl DepInfo {
 /// assert_eq!(info.breaks, 1);
 /// ```
 pub fn analyze(udf: &UdfFn) -> Result<DepInfo, UdfError> {
+    let naive = analyze_naive(udf)?;
+    if !naive.has_dependency() {
+        return Ok(naive);
+    }
+
+    let cfg = Cfg::build(udf);
+    let carried_names: BTreeSet<String> = naive.carried.iter().map(|(n, _)| n.clone()).collect();
+
+    // Constant propagation, distrusting the initialisers of carried locals:
+    // instrumentation rewrites those `let`s into wire restores, so their
+    // run-time value is whatever the previous machine shipped.
+    let consts = solve(
+        &cfg,
+        &ConstProp {
+            untrusted_lets: carried_names.clone(),
+        },
+    );
+    let const_branch = |node| match cfg.stmt_of(node).map(|id| cfg.stmt(id)) {
+        Some(Stmt::If { cond, .. }) => match const_eval(cond, &consts.before[node]) {
+            Some(Const::Val(Value::Bool(b))) => Some(b),
+            _ => None,
+        },
+        _ => None,
+    };
+
+    // Dead-dependency elimination, step 1: a break pruned away by constant
+    // branches (or plain unreachability) can never fire, so the *skip*
+    // half of the dependency is dead. Whether circulation can stop
+    // entirely also depends on the carried state being unobservable — see
+    // below.
+    let reachable = cfg.reachable(const_branch);
+    let reachable_breaks = cfg.breaks().iter().filter(|&&b| reachable[b]).count();
+
+    // Carried-state minimization. Keep x iff
+    //   Live(x at its restore point)  ∧  (Mod(x) ∨ ¬InitZero(x))
+    // where Mod means an assignment to x reaches a break-free exit (the only
+    // exits whose snapshot downstream machines observe) and InitZero means
+    // the initialiser provably equals the zero value the first segment's
+    // restore produces.
+    let live = solve(
+        &cfg,
+        &Liveness {
+            exit_live: carried_names,
+        },
+    );
+    let pruned = cfg.prune_breaks();
+    let rd = solve(&pruned, &ReachingDefs);
+    let rd_exit = &rd.before[crate::cfg::EXIT];
+
+    let carried = naive
+        .carried
+        .iter()
+        .filter(|(name, ty)| {
+            let Some(let_id) = (0..cfg.num_stmts())
+                .find(|&id| matches!(cfg.stmt(id), Stmt::Let { name: n, .. } if n == name))
+            else {
+                return true; // defensive: no declaration found, keep it
+            };
+            let node = cfg.node_of(let_id);
+            let is_live = live.after[node].contains(name);
+            let modified = rd_exit
+                .iter()
+                .any(|(n, d)| n == name && matches!(cfg.stmt(*d), Stmt::Assign { .. }));
+            let init_zero = match cfg.stmt(let_id) {
+                Stmt::Let { init, .. } => init_is_zero(init, &consts.before[node], *ty),
+                _ => false,
+            };
+            is_live && (modified || !init_zero)
+        })
+        .cloned()
+        .collect::<Vec<_>>();
+
+    // Dead-dependency elimination, step 2: circulation may stop entirely
+    // only if no break can fire (no machine ever skips) AND the minimized
+    // carried set is empty (the restore writes only values that are dead
+    // or bit-identical to the zero-init, so downstream segments cannot
+    // observe whether circulation happened). A UDF that accumulates into a
+    // live local keeps its Data dependency even with all breaks dead:
+    // under circulant scheduling later segments observe the prefix value.
+    if reachable_breaks == 0 && carried.is_empty() {
+        return Ok(DepInfo::none(naive.breaks));
+    }
+
+    Ok(DepInfo {
+        kind: if carried.is_empty() {
+            DepKind::Control
+        } else {
+            DepKind::Data
+        },
+        carried,
+        breaks: naive.breaks,
+        reachable_breaks,
+    })
+}
+
+/// Does `init` provably evaluate to `Value::zero(ty)` — the value the first
+/// circulant segment's restore produces for a carried local?
+fn init_is_zero(init: &Expr, env: &std::collections::BTreeMap<String, Const>, ty: Ty) -> bool {
+    match const_eval(init, env) {
+        Some(Const::Val(v)) => {
+            let zero = Value::zero(ty);
+            v.ty() == zero.ty() && v.to_bits() == zero.to_bits()
+        }
+        _ => false,
+    }
+}
+
+/// The paper's purely syntactic dependency analysis (§4.2): every pre-loop
+/// local assigned inside the loop and read again is carried, and any
+/// syntactic `break` makes the dependency real.
+///
+/// # Errors
+///
+/// Same contract as [`analyze`].
+pub fn analyze_naive(udf: &UdfFn) -> Result<DepInfo, UdfError> {
     // refuse pre-instrumented input
     if block_contains(&udf.body, &|s| {
         matches!(s, Stmt::ReceiveDepGuard | Stmt::EmitDep)
@@ -69,19 +240,11 @@ pub fn analyze(udf: &UdfFn) -> Result<DepInfo, UdfError> {
     check_no_nesting(&udf.body, false)?;
 
     let Some(loop_body) = find_loop(&udf.body) else {
-        return Ok(DepInfo {
-            kind: DepKind::None,
-            carried: Vec::new(),
-            breaks: 0,
-        });
+        return Ok(DepInfo::none(0));
     };
     let breaks = count_breaks(loop_body);
     if breaks == 0 {
-        return Ok(DepInfo {
-            kind: DepKind::None,
-            carried: Vec::new(),
-            breaks: 0,
-        });
+        return Ok(DepInfo::none(0));
     }
 
     // locals declared before the loop, in declaration order
@@ -110,6 +273,7 @@ pub fn analyze(udf: &UdfFn) -> Result<DepInfo, UdfError> {
         },
         carried,
         breaks,
+        reachable_breaks: breaks,
     })
 }
 
@@ -259,6 +423,7 @@ mod tests {
         assert_eq!(info.kind, DepKind::Control);
         assert!(info.carried.is_empty());
         assert_eq!(info.breaks, 1);
+        assert_eq!(info.reachable_breaks, 1);
     }
 
     #[test]
@@ -286,11 +451,49 @@ mod tests {
     }
 
     #[test]
+    fn kcore_done_flag_is_minimized_away() {
+        // Naively, `done` is carried: assigned in the loop and read in the
+        // suffix. But the only assignment is immediately followed by
+        // `break`, so its value can never survive to a no-break snapshot —
+        // downstream machines always observe `false`, which is also what
+        // the first segment restores. The dataflow analyzer drops it.
+        let naive = analyze_naive(&paper_udfs::kcore_udf(4)).unwrap();
+        let min = analyze(&paper_udfs::kcore_udf(4)).unwrap();
+        let naive_names: Vec<&str> = naive.carried.iter().map(|(n, _)| n.as_str()).collect();
+        let min_names: Vec<&str> = min.carried.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(naive_names.contains(&"done"), "naive: {naive_names:?}");
+        assert!(!min_names.contains(&"done"), "minimized: {min_names:?}");
+        assert_eq!(min_names, vec!["cnt"]);
+    }
+
+    #[test]
     fn sampling_carries_the_prefix_sum() {
         let info = analyze(&paper_udfs::sampling_udf()).unwrap();
         assert_eq!(info.kind, DepKind::Data);
         assert_eq!(info.carried[0].0, "acc");
         assert_eq!(info.carried[0].1, Ty::Float);
+    }
+
+    #[test]
+    fn minimized_carried_is_subset_of_naive() {
+        for udf in [
+            paper_udfs::bfs_udf(),
+            paper_udfs::mis_udf(),
+            paper_udfs::kmeans_udf(),
+            paper_udfs::kcore_udf(4),
+            paper_udfs::sampling_udf(),
+        ] {
+            let naive = analyze_naive(&udf).unwrap();
+            let min = analyze(&udf).unwrap();
+            for c in &min.carried {
+                assert!(
+                    naive.carried.contains(c),
+                    "{}: {c:?} not in naive",
+                    udf.name
+                );
+            }
+            assert!(min.carried.len() <= naive.carried.len());
+        }
     }
 
     #[test]
@@ -312,6 +515,78 @@ mod tests {
         let info = analyze(&udf).unwrap();
         assert_eq!(info.kind, DepKind::None);
         assert!(!info.has_dependency());
+    }
+
+    #[test]
+    fn provably_unreachable_break_kills_the_dependency() {
+        use crate::ast::{Expr, Stmt, UdfFn};
+        // The break is guarded by a flag that is never set: constant
+        // propagation proves `if (dbg)` always false, so the dependency is
+        // dead even though a break exists syntactically. The carried flag
+        // `done` is only assigned on the dead break path and is zero-init,
+        // so the minimized carried set is empty and circulation can stop.
+        let udf = UdfFn::new(
+            "bounded",
+            Ty::Int,
+            vec![
+                Stmt::let_("dbg", Ty::Bool, Expr::b(false)),
+                Stmt::let_("done", Ty::Bool, Expr::b(false)),
+                Stmt::for_neighbors(vec![
+                    Stmt::Emit(Expr::i(1)),
+                    Stmt::if_(
+                        Expr::local("dbg"),
+                        vec![Stmt::assign("done", Expr::b(true)), Stmt::Break],
+                    ),
+                ]),
+                Stmt::if_(Expr::local("done").not(), vec![Stmt::Emit(Expr::i(0))]),
+            ],
+        );
+        let naive = analyze_naive(&udf).unwrap();
+        assert_eq!(naive.kind, DepKind::Data, "syntactically a dependency");
+        let info = analyze(&udf).unwrap();
+        assert_eq!(info.kind, DepKind::None);
+        assert_eq!(info.breaks, 1, "syntactic count preserved");
+        assert_eq!(info.reachable_breaks, 0);
+        assert!(info.carried.is_empty());
+    }
+
+    #[test]
+    fn dead_break_with_observable_accumulator_keeps_data_dependency() {
+        use crate::ast::{Expr, Stmt, UdfFn};
+        // All breaks are dead, but `s` accumulates across the loop and is
+        // emitted afterwards: under circulant scheduling later segments
+        // observe the restored prefix value, so circulation must continue.
+        let udf = UdfFn::new(
+            "prefix",
+            Ty::Int,
+            vec![
+                Stmt::let_("dbg", Ty::Bool, Expr::b(false)),
+                Stmt::let_("s", Ty::Int, Expr::i(0)),
+                Stmt::for_neighbors(vec![
+                    Stmt::assign("s", Expr::local("s").add(Expr::i(1))),
+                    Stmt::if_(Expr::local("dbg"), vec![Stmt::Break]),
+                ]),
+                Stmt::Emit(Expr::local("s")),
+            ],
+        );
+        let info = analyze(&udf).unwrap();
+        assert_eq!(info.kind, DepKind::Data);
+        assert_eq!(info.reachable_breaks, 0);
+        assert_eq!(info.carried, vec![("s".to_string(), Ty::Int)]);
+    }
+
+    #[test]
+    fn effective_policy_downgrades_dead_dependency() {
+        let dead = DepInfo::none(1);
+        assert_eq!(effective_policy(&dead, Policy::symple()), Policy::Gemini);
+        assert_eq!(effective_policy(&dead, Policy::Galois), Policy::Galois);
+        let live = DepInfo {
+            kind: DepKind::Control,
+            carried: Vec::new(),
+            breaks: 1,
+            reachable_breaks: 1,
+        };
+        assert_eq!(effective_policy(&live, Policy::symple()), Policy::symple());
     }
 
     #[test]
@@ -337,5 +612,28 @@ mod tests {
         use crate::ast::{Stmt, UdfFn};
         let udf = UdfFn::new("x", Ty::Bool, vec![Stmt::ReceiveDepGuard]);
         assert_eq!(analyze(&udf), Err(UdfError::AlreadyInstrumented));
+    }
+
+    #[test]
+    fn non_zero_init_stays_carried_even_if_unmodified_on_no_break_paths() {
+        use crate::ast::{Expr, Stmt, UdfFn};
+        // `lim` starts at 5 and is only zeroed right before breaking. No
+        // assignment reaches a break-free exit, but its init is non-zero —
+        // dropping it would make the first segment see 0 instead of 5.
+        let udf = UdfFn::new(
+            "t",
+            Ty::Int,
+            vec![
+                Stmt::let_("lim", Ty::Int, Expr::i(5)),
+                Stmt::for_neighbors(vec![Stmt::if_(
+                    Expr::prop_u("p").and(Expr::local("lim").ge(Expr::i(1))),
+                    vec![Stmt::assign("lim", Expr::i(0)), Stmt::Break],
+                )]),
+                Stmt::Emit(Expr::local("lim")),
+            ],
+        );
+        let info = analyze(&udf).unwrap();
+        let names: Vec<&str> = info.carried.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["lim"]);
     }
 }

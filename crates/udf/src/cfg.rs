@@ -1,0 +1,378 @@
+//! Control-flow graph over a UDF body.
+//!
+//! One node per statement plus synthetic `Entry`/`Exit` nodes. Statements are
+//! numbered in *pre-order* (a statement before its children, `then` before
+//! `else`), the same order in which the parser produces them, so [`StmtId`]s
+//! here line up with the parser's [`crate::SpanMap`] and the collecting
+//! checker's diagnostics.
+//!
+//! Edge shape (paper §4.2 control flow, one neighbour loop, no nesting):
+//!
+//! * `If` → entry of the `then` branch and entry of the `else` branch; both
+//!   branches fall through to the statement after the `If`.
+//! * `ForNeighbors` is the loop head: an edge into the body (iterate) and an
+//!   edge to the statement after the loop (zero iterations / exhausted). The
+//!   last body statement has a *back edge* to the head.
+//! * `Break` → the statement after the enclosing loop (the interpreter runs
+//!   the suffix even on the breaking machine). Break nodes are flagged so the
+//!   analyses can reason about break-free paths.
+//! * `Return` → `Exit`. `ReceiveDepGuard` → fall-through *and* `Exit` (the
+//!   guard returns early when the incoming dependency says skip).
+
+use crate::ast::{Stmt, UdfFn};
+use crate::diag::StmtId;
+
+/// Index of a CFG node. `0` is [`ENTRY`], `1` is [`EXIT`], and statement `s`
+/// lives at node `s + 2`.
+pub type NodeId = usize;
+
+/// The synthetic entry node.
+pub const ENTRY: NodeId = 0;
+/// The synthetic exit node. Reached by falling off the end of the body, by
+/// `return`, and by the skip arm of `ReceiveDepGuard`.
+pub const EXIT: NodeId = 1;
+
+/// Control-flow graph borrowing the statements of a [`UdfFn`].
+#[derive(Debug, Clone)]
+pub struct Cfg<'a> {
+    stmts: Vec<&'a Stmt>,
+    succs: Vec<Vec<NodeId>>,
+    preds: Vec<Vec<NodeId>>,
+    /// For `If` nodes: `(then_entry, else_entry)`; used for branch pruning
+    /// under constant propagation.
+    branch_targets: Vec<Option<(NodeId, NodeId)>>,
+    loop_head: Option<NodeId>,
+    breaks: Vec<NodeId>,
+}
+
+/// Number of statements in the pre-order subtree rooted at `s` (including
+/// `s` itself).
+fn subtree_size(s: &Stmt) -> usize {
+    match s {
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => 1 + block_size(then_branch) + block_size(else_branch),
+        Stmt::ForNeighbors { body } => 1 + block_size(body),
+        _ => 1,
+    }
+}
+
+fn block_size(block: &[Stmt]) -> usize {
+    block.iter().map(subtree_size).sum()
+}
+
+/// Flattens a body into pre-order, the numbering shared with the parser's
+/// span map.
+fn flatten<'a>(block: &'a [Stmt], out: &mut Vec<&'a Stmt>) {
+    for s in block {
+        out.push(s);
+        match s {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                flatten(then_branch, out);
+                flatten(else_branch, out);
+            }
+            Stmt::ForNeighbors { body } => flatten(body, out),
+            _ => {}
+        }
+    }
+}
+
+impl<'a> Cfg<'a> {
+    /// Builds the CFG for `udf`'s body.
+    pub fn build(udf: &'a UdfFn) -> Self {
+        let mut stmts = Vec::new();
+        flatten(&udf.body, &mut stmts);
+        let n = stmts.len() + 2;
+        let mut cfg = Cfg {
+            stmts,
+            succs: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
+            branch_targets: vec![None; n],
+            loop_head: None,
+            breaks: Vec::new(),
+        };
+        let entry = cfg.wire_block(&udf.body, 0, EXIT, None);
+        cfg.add_edge(ENTRY, entry);
+        cfg
+    }
+
+    /// Wires edges for `block`, whose first statement has pre-order id
+    /// `base`. `follow` is the node control reaches after the block; `brk`
+    /// is the break target of the enclosing loop, if any. Returns the entry
+    /// node of the block (`follow` when the block is empty).
+    fn wire_block(
+        &mut self,
+        block: &'a [Stmt],
+        base: StmtId,
+        follow: NodeId,
+        brk: Option<NodeId>,
+    ) -> NodeId {
+        let mut ids = Vec::with_capacity(block.len());
+        let mut id = base;
+        for s in block {
+            ids.push(id);
+            id += subtree_size(s);
+        }
+        let entry = if block.is_empty() { follow } else { ids[0] + 2 };
+        for (i, s) in block.iter().enumerate() {
+            let node = ids[i] + 2;
+            let next = if i + 1 < block.len() {
+                ids[i + 1] + 2
+            } else {
+                follow
+            };
+            match s {
+                Stmt::Let { .. } | Stmt::Assign { .. } | Stmt::Emit(_) | Stmt::EmitDep => {
+                    self.add_edge(node, next);
+                }
+                Stmt::Return => self.add_edge(node, EXIT),
+                Stmt::ReceiveDepGuard => {
+                    self.add_edge(node, next);
+                    self.add_edge(node, EXIT);
+                }
+                Stmt::Break => {
+                    // Outside a loop (ill-formed, rejected by the checker)
+                    // treat it as a return so lint still gets a graph.
+                    self.add_edge(node, brk.unwrap_or(EXIT));
+                    self.breaks.push(node);
+                }
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    let then_entry = self.wire_block(then_branch, ids[i] + 1, next, brk);
+                    let else_entry = self.wire_block(
+                        else_branch,
+                        ids[i] + 1 + block_size(then_branch),
+                        next,
+                        brk,
+                    );
+                    self.add_edge(node, then_entry);
+                    self.add_edge(node, else_entry);
+                    self.branch_targets[node] = Some((then_entry, else_entry));
+                }
+                Stmt::ForNeighbors { body } => {
+                    // Body falls through to the head (back edge); `break`
+                    // jumps past the loop to `next`.
+                    let body_entry = self.wire_block(body, ids[i] + 1, node, Some(next));
+                    self.add_edge(node, body_entry);
+                    self.add_edge(node, next);
+                    if self.loop_head.is_none() {
+                        self.loop_head = Some(node);
+                    }
+                }
+            }
+        }
+        entry
+    }
+
+    fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        if !self.succs[from].contains(&to) {
+            self.succs[from].push(to);
+            self.preds[to].push(from);
+        }
+    }
+
+    /// Total node count, including `Entry` and `Exit`.
+    pub fn node_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Number of statements (pre-order ids run `0..num_stmts()`).
+    pub fn num_stmts(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// The statement with pre-order id `id`.
+    pub fn stmt(&self, id: StmtId) -> &'a Stmt {
+        self.stmts[id]
+    }
+
+    /// CFG node of statement `id`.
+    pub fn node_of(&self, id: StmtId) -> NodeId {
+        id + 2
+    }
+
+    /// Statement id of `node`, unless it is `Entry`/`Exit`.
+    pub fn stmt_of(&self, node: NodeId) -> Option<StmtId> {
+        node.checked_sub(2)
+    }
+
+    /// Successor nodes of `node`.
+    pub fn succs(&self, node: NodeId) -> &[NodeId] {
+        &self.succs[node]
+    }
+
+    /// Predecessor nodes of `node`.
+    pub fn preds(&self, node: NodeId) -> &[NodeId] {
+        &self.preds[node]
+    }
+
+    /// `(then_entry, else_entry)` for an `If` node.
+    pub fn branch_targets(&self, node: NodeId) -> Option<(NodeId, NodeId)> {
+        self.branch_targets[node]
+    }
+
+    /// Node of the (single) neighbour loop head, if the body has one.
+    pub fn loop_head(&self) -> Option<NodeId> {
+        self.loop_head
+    }
+
+    /// Nodes of all `Break` statements.
+    pub fn breaks(&self) -> &[NodeId] {
+        &self.breaks
+    }
+
+    /// Whether `node` is a `Break` statement.
+    pub fn is_break(&self, node: NodeId) -> bool {
+        self.breaks.contains(&node)
+    }
+
+    /// A copy of the graph with every edge *out of* `Break` nodes removed.
+    ///
+    /// Paths in the pruned graph are exactly the break-free paths of the
+    /// original: a definition that reaches `Exit` here does so on an
+    /// execution where no break fired — the only executions whose carried
+    /// snapshot downstream machines ever observe.
+    pub fn prune_breaks(&self) -> Cfg<'a> {
+        let mut pruned = self.clone();
+        for &b in &self.breaks {
+            pruned.succs[b].clear();
+        }
+        pruned.preds = vec![Vec::new(); pruned.succs.len()];
+        for from in 0..pruned.succs.len() {
+            for i in 0..pruned.succs[from].len() {
+                let to = pruned.succs[from][i];
+                pruned.preds[to].push(from);
+            }
+        }
+        pruned
+    }
+
+    /// Forward reachability from `Entry`, pruning constant branches.
+    ///
+    /// `const_cond(node)` reports whether the `If` at `node` has a condition
+    /// proven constant (by [`crate::dataflow::ConstProp`]); `Some(true)`
+    /// takes only the `then` edge, `Some(false)` only the `else` edge,
+    /// `None` both. Returns a per-node reachability mask.
+    pub fn reachable(&self, const_cond: impl Fn(NodeId) -> Option<bool>) -> Vec<bool> {
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![ENTRY];
+        seen[ENTRY] = true;
+        while let Some(n) = stack.pop() {
+            let targets: Vec<NodeId> = match (self.branch_targets[n], const_cond(n)) {
+                (Some((t, _)), Some(true)) => vec![t],
+                (Some((_, e)), Some(false)) => vec![e],
+                _ => self.succs[n].to_vec(),
+            };
+            for t in targets {
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Expr, Stmt};
+    use crate::types::Ty;
+
+    fn sample() -> UdfFn {
+        // 0: let x = 0
+        // 1: for nbrs {
+        // 2:   if (p[u]) {
+        // 3:     x = x + 1
+        // 4:     break
+        //      }
+        //    }
+        // 5: emit(x)
+        UdfFn::new(
+            "t",
+            Ty::Int,
+            vec![
+                Stmt::let_("x", Ty::Int, Expr::i(0)),
+                Stmt::for_neighbors(vec![Stmt::if_(
+                    Expr::prop_u("p"),
+                    vec![
+                        Stmt::assign("x", Expr::local("x").add(Expr::i(1))),
+                        Stmt::Break,
+                    ],
+                )]),
+                Stmt::Emit(Expr::local("x")),
+            ],
+        )
+    }
+
+    #[test]
+    fn preorder_numbering_matches_structure() {
+        let udf = sample();
+        let cfg = Cfg::build(&udf);
+        assert_eq!(cfg.num_stmts(), 6);
+        assert!(matches!(cfg.stmt(0), Stmt::Let { .. }));
+        assert!(matches!(cfg.stmt(1), Stmt::ForNeighbors { .. }));
+        assert!(matches!(cfg.stmt(2), Stmt::If { .. }));
+        assert!(matches!(cfg.stmt(3), Stmt::Assign { .. }));
+        assert!(matches!(cfg.stmt(4), Stmt::Break));
+        assert!(matches!(cfg.stmt(5), Stmt::Emit(_)));
+    }
+
+    #[test]
+    fn loop_edges_and_break_target() {
+        let udf = sample();
+        let cfg = Cfg::build(&udf);
+        let head = cfg.loop_head().unwrap();
+        assert_eq!(head, cfg.node_of(1));
+        // Head branches into the body and past the loop.
+        assert!(cfg.succs(head).contains(&cfg.node_of(2)));
+        assert!(cfg.succs(head).contains(&cfg.node_of(5)));
+        // If's else-arm is the back edge to the head.
+        assert!(cfg.succs(cfg.node_of(2)).contains(&head));
+        // Break jumps to the suffix, not to Exit.
+        assert_eq!(cfg.succs(cfg.node_of(4)), &[cfg.node_of(5)]);
+        assert!(cfg.is_break(cfg.node_of(4)));
+    }
+
+    #[test]
+    fn prune_breaks_cuts_break_paths() {
+        let udf = sample();
+        let cfg = Cfg::build(&udf);
+        let pruned = cfg.prune_breaks();
+        assert!(pruned.succs(cfg.node_of(4)).is_empty());
+        // The suffix is still reachable through the loop-exhausted edge.
+        let seen = pruned.reachable(|_| None);
+        assert!(seen[cfg.node_of(5)]);
+        assert!(seen[EXIT]);
+    }
+
+    #[test]
+    fn constant_branch_pruning_hides_arm() {
+        // if (false) { break } — the break is unreachable when the
+        // condition is known.
+        let udf = UdfFn::new(
+            "t",
+            Ty::Int,
+            vec![
+                Stmt::for_neighbors(vec![Stmt::if_(Expr::b(false), vec![Stmt::Break])]),
+                Stmt::Emit(Expr::i(1)),
+            ],
+        );
+        let cfg = Cfg::build(&udf);
+        let if_node = cfg.node_of(1);
+        let seen = cfg.reachable(|n| if n == if_node { Some(false) } else { None });
+        assert!(!seen[cfg.node_of(2)], "break behind if(false) is pruned");
+        let all = cfg.reachable(|_| None);
+        assert!(all[cfg.node_of(2)]);
+    }
+}

@@ -1,15 +1,38 @@
 //! Static checker for UDFs: name resolution and type checking against a
 //! property schema.
+//!
+//! The checker *collects* every error it can recover from rather than
+//! stopping at the first one: [`check_all`] returns the full list as
+//! [`Diagnostic`]s anchored to pre-order statement ids (so spans from
+//! [`crate::parser::parse_udf_with_spans`] attach directly), while
+//! [`check`] keeps the original fail-fast contract and reports only the
+//! first error, in the same traversal order as before.
 
 use crate::ast::{BinOp, Expr, Stmt, UdfFn, UnOp};
+use crate::diag::{Diagnostic, StmtId};
 use crate::types::Ty;
 use crate::UdfError;
 use std::collections::BTreeMap;
+
+/// Stable diagnostic code for a checker error.
+pub fn error_code(err: &UdfError) -> &'static str {
+    match err {
+        UdfError::UndefinedLocal(_) => "E001",
+        UdfError::UnknownProperty(_) => "E002",
+        UdfError::TypeMismatch { .. } => "E003",
+        UdfError::OutsideLoop(_) => "E004",
+        UdfError::DuplicateLocal(_) => "E005",
+        UdfError::NestedLoop => "E006",
+        UdfError::AlreadyInstrumented => "E007",
+    }
+}
 
 struct Checker<'a> {
     schema: &'a BTreeMap<String, Ty>,
     locals: BTreeMap<String, Ty>,
     update_ty: Ty,
+    errors: Vec<(StmtId, UdfError)>,
+    next_id: StmtId,
 }
 
 /// Checks `udf` against the property `schema` (array name → element type).
@@ -28,72 +51,132 @@ struct Checker<'a> {
 /// check(&paper_udfs::bfs_udf(), &schema).unwrap();
 /// ```
 pub fn check(udf: &UdfFn, schema: &BTreeMap<String, Ty>) -> Result<(), UdfError> {
+    match collect_errors(udf, schema).into_iter().next() {
+        Some((_, err)) => Err(err),
+        None => Ok(()),
+    }
+}
+
+/// Checks `udf` and returns *every* error as a [`Diagnostic`], each anchored
+/// to the offending statement's pre-order id. Attach a
+/// [`crate::SpanMap`] (see [`crate::diag::attach_spans`]) to get source
+/// locations.
+pub fn check_all(udf: &UdfFn, schema: &BTreeMap<String, Ty>) -> Vec<Diagnostic> {
+    collect_errors(udf, schema)
+        .into_iter()
+        .map(|(id, err)| Diagnostic::error(error_code(&err), err.to_string()).with_stmt(id))
+        .collect()
+}
+
+/// Runs the collecting checker; errors come back in traversal (pre-)order,
+/// so the first element is exactly what the fail-fast checker used to
+/// return.
+fn collect_errors(udf: &UdfFn, schema: &BTreeMap<String, Ty>) -> Vec<(StmtId, UdfError)> {
     let mut c = Checker {
         schema,
         locals: BTreeMap::new(),
         update_ty: udf.update_ty,
+        errors: Vec::new(),
+        next_id: 0,
     };
-    c.check_block(&udf.body, false)
+    c.check_block(&udf.body, false);
+    c.errors
 }
 
 impl Checker<'_> {
-    fn check_block(&mut self, block: &[Stmt], in_loop: bool) -> Result<(), UdfError> {
-        for s in block {
-            self.check_stmt(s, in_loop)?;
-        }
-        Ok(())
+    fn err(&mut self, id: StmtId, e: UdfError) {
+        self.errors.push((id, e));
     }
 
-    fn check_stmt(&mut self, s: &Stmt, in_loop: bool) -> Result<(), UdfError> {
+    fn check_block(&mut self, block: &[Stmt], in_loop: bool) {
+        for s in block {
+            self.check_stmt(s, in_loop);
+        }
+    }
+
+    fn check_stmt(&mut self, s: &Stmt, in_loop: bool) {
+        let id = self.next_id;
+        self.next_id += 1;
         match s {
             Stmt::Let { name, ty, init } => {
-                let found = self.type_of(init, in_loop)?;
-                self.expect(*ty, found, &format!("initialiser of `{name}`"))?;
-                if self.locals.insert(name.clone(), *ty).is_some() && !in_loop {
-                    return Err(UdfError::DuplicateLocal(name.clone()));
+                match self.type_of(init, in_loop) {
+                    Ok(found) => {
+                        if let Err(e) = self.expect(*ty, found, &format!("initialiser of `{name}`"))
+                        {
+                            self.err(id, e);
+                        }
+                    }
+                    Err(e) => self.err(id, e),
                 }
-                Ok(())
+                // Re-declaring a local is an error everywhere. Inside the
+                // loop it used to be silently allowed, shadowing the carried
+                // state the analyzer extracts — the restore at the top of a
+                // segment and the shadowing `let` would disagree about the
+                // local's value.
+                if self.locals.insert(name.clone(), *ty).is_some() {
+                    self.err(id, UdfError::DuplicateLocal(name.clone()));
+                }
             }
             Stmt::Assign { name, value } => {
-                let Some(&declared) = self.locals.get(name) else {
-                    return Err(UdfError::UndefinedLocal(name.clone()));
+                let declared = match self.locals.get(name) {
+                    Some(&d) => Some(d),
+                    None => {
+                        self.err(id, UdfError::UndefinedLocal(name.clone()));
+                        None
+                    }
                 };
-                let found = self.type_of(value, in_loop)?;
-                self.expect(declared, found, &format!("assignment to `{name}`"))
+                match self.type_of(value, in_loop) {
+                    Ok(found) => {
+                        if let Some(declared) = declared {
+                            if let Err(e) =
+                                self.expect(declared, found, &format!("assignment to `{name}`"))
+                            {
+                                self.err(id, e);
+                            }
+                        }
+                    }
+                    Err(e) => self.err(id, e),
+                }
             }
             Stmt::If {
                 cond,
                 then_branch,
                 else_branch,
             } => {
-                let t = self.type_of(cond, in_loop)?;
-                self.expect(Ty::Bool, t, "if condition")?;
-                self.check_block(then_branch, in_loop)?;
-                self.check_block(else_branch, in_loop)
+                match self.type_of(cond, in_loop) {
+                    Ok(t) => {
+                        if let Err(e) = self.expect(Ty::Bool, t, "if condition") {
+                            self.err(id, e);
+                        }
+                    }
+                    Err(e) => self.err(id, e),
+                }
+                self.check_block(then_branch, in_loop);
+                self.check_block(else_branch, in_loop);
             }
             Stmt::ForNeighbors { body } => {
                 if in_loop {
-                    return Err(UdfError::NestedLoop);
+                    self.err(id, UdfError::NestedLoop);
                 }
-                self.check_block(body, true)
+                self.check_block(body, true);
             }
             Stmt::Break => {
-                if in_loop {
-                    Ok(())
-                } else {
-                    Err(UdfError::OutsideLoop("break".into()))
+                if !in_loop {
+                    self.err(id, UdfError::OutsideLoop("break".into()));
                 }
             }
-            Stmt::Emit(e) => {
-                let t = self.type_of(e, in_loop)?;
-                self.expect(self.update_ty, t, "emit")
-            }
-            Stmt::Return | Stmt::ReceiveDepGuard => Ok(()),
+            Stmt::Emit(e) => match self.type_of(e, in_loop) {
+                Ok(t) => {
+                    if let Err(err) = self.expect(self.update_ty, t, "emit") {
+                        self.err(id, err);
+                    }
+                }
+                Err(err) => self.err(id, err),
+            },
+            Stmt::Return | Stmt::ReceiveDepGuard => {}
             Stmt::EmitDep => {
-                if in_loop {
-                    Ok(())
-                } else {
-                    Err(UdfError::OutsideLoop("emit_dep".into()))
+                if !in_loop {
+                    self.err(id, UdfError::OutsideLoop("emit_dep".into()));
                 }
             }
         }
@@ -289,6 +372,59 @@ mod tests {
         assert_eq!(
             check(&udf, &schema(&[])),
             Err(UdfError::DuplicateLocal("x".into()))
+        );
+    }
+
+    #[test]
+    fn in_loop_redeclaration_rejected() {
+        // Used to be silently allowed (`is_some() && !in_loop`), shadowing
+        // the carried local the analyzer extracts.
+        let udf = UdfFn::new(
+            "bad",
+            Ty::Int,
+            vec![
+                Stmt::let_("cnt", Ty::Int, Expr::i(0)),
+                Stmt::for_neighbors(vec![
+                    Stmt::let_("cnt", Ty::Int, Expr::i(7)),
+                    Stmt::assign("cnt", Expr::local("cnt").add(Expr::i(1))),
+                    Stmt::if_(Expr::local("cnt").ge(Expr::i(3)), vec![Stmt::Break]),
+                ]),
+                Stmt::Emit(Expr::local("cnt")),
+            ],
+        );
+        assert_eq!(
+            check(&udf, &schema(&[])),
+            Err(UdfError::DuplicateLocal("cnt".into()))
+        );
+        // And the collecting checker anchors it to the shadowing statement
+        // (pre-order id 2: let, for, inner let).
+        let diags = check_all(&udf, &schema(&[]));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "E005");
+        assert_eq!(diags[0].stmt, Some(2));
+    }
+
+    #[test]
+    fn check_all_collects_multiple_errors_in_order() {
+        let udf = UdfFn::new(
+            "bad",
+            Ty::Int,
+            vec![
+                Stmt::assign("x", Expr::i(1)),       // 0: undefined local
+                Stmt::Break,                         // 1: break outside loop
+                Stmt::Emit(Expr::prop_v("missing")), // 2: unknown property
+            ],
+        );
+        let diags = check_all(&udf, &schema(&[]));
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["E001", "E004", "E002"]);
+        assert_eq!(diags[0].stmt, Some(0));
+        assert_eq!(diags[1].stmt, Some(1));
+        assert_eq!(diags[2].stmt, Some(2));
+        // the fail-fast wrapper reports the first of these
+        assert_eq!(
+            check(&udf, &schema(&[])),
+            Err(UdfError::UndefinedLocal("x".into()))
         );
     }
 

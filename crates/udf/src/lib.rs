@@ -25,17 +25,30 @@
 //! UDFs are built with the [`ast`] constructors or the higher-level
 //! [`fold_while`] functional DSL (the paper's alternative interface,
 //! §4.3); the five paper kernels ship ready-made in [`paper_udfs`].
+//!
+//! On top of the syntactic analysis sits a small static-analysis engine: a
+//! per-statement control-flow graph ([`cfg`]), a generic forward/backward
+//! dataflow solver with liveness, reaching-definitions and
+//! constant-propagation instances ([`dataflow`]), and a diagnostics layer
+//! ([`diag`]) fed by byte-offset spans from the parser. It powers
+//! carried-state minimization and dead-dependency elimination inside
+//! [`analyze`], the collecting checker [`check_all`], and the
+//! clippy-style [`lint`] pass (`examples/symple_lint.rs` is the CLI).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
 pub mod ast;
+pub mod cfg;
 mod check;
+pub mod dataflow;
 mod dep_bridge;
+pub mod diag;
 mod error;
 pub mod fold_while;
 mod interp;
+pub mod lint;
 pub mod paper_udfs;
 pub mod parser;
 mod pretty;
@@ -43,15 +56,17 @@ mod props;
 mod transform;
 pub mod types;
 
-pub use analysis::{analyze, DepInfo, DepKind};
+pub use analysis::{analyze, analyze_naive, effective_policy, DepInfo, DepKind};
 pub use ast::{BinOp, Expr, Stmt, UdfFn, UnOp};
-pub use check::check;
+pub use check::{check, check_all, error_code};
 pub use dep_bridge::UdfDep;
+pub use diag::{render_diagnostics, Diagnostic, Severity, Span, SpanMap, StmtId};
 pub use error::UdfError;
 pub use fold_while::FoldWhile;
 pub use interp::UdfProgram;
-pub use parser::{parse_udf, ParseError};
+pub use lint::{lint, lint_source};
+pub use parser::{parse_udf, parse_udf_with_spans, ParseError};
 pub use pretty::pretty;
 pub use props::{PropArray, PropertyStore};
-pub use transform::{instrument, InstrumentedUdf};
+pub use transform::{instrument, instrument_naive, InstrumentedUdf};
 pub use types::{Ty, Value};

@@ -8,6 +8,7 @@
 //! to how the original system consumes C++ sources.
 
 use crate::ast::{BinOp, Expr, Stmt, UdfFn, UnOp};
+use crate::diag::SpanMap;
 use crate::types::{Ty, Value};
 use crate::UdfError;
 use std::fmt;
@@ -137,6 +138,9 @@ struct Parser {
     toks: Vec<Tok>,
     offsets: Vec<usize>,
     idx: usize,
+    /// Byte spans per statement, recorded in pre-order as statements are
+    /// produced — the same numbering the CFG and checker use.
+    spans: SpanMap,
 }
 
 impl Parser {
@@ -145,6 +149,10 @@ impl Parser {
         let mut toks = Vec::new();
         let mut offsets = Vec::new();
         loop {
+            // Record the offset of the token itself, not the trivia
+            // (whitespace/comments) preceding it, so spans start exactly at
+            // the statement's first character.
+            lex.skip_trivia();
             let at = lex.pos;
             match lex.next()? {
                 Some(t) => {
@@ -159,7 +167,13 @@ impl Parser {
             toks,
             offsets,
             idx: 0,
+            spans: SpanMap::empty(),
         })
+    }
+
+    /// Byte offset of the next unconsumed token (or end of input).
+    fn here(&self) -> usize {
+        self.offsets[self.idx.min(self.offsets.len() - 1)]
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
@@ -274,6 +288,15 @@ impl Parser {
     }
 
     fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        // Reserve the pre-order span slot before descending so nested
+        // statements number after their parent, matching the CFG walk.
+        let id = self.spans.reserve(self.here());
+        let stmt = self.parse_stmt_inner()?;
+        self.spans.finish(id, self.here());
+        Ok(stmt)
+    }
+
+    fn parse_stmt_inner(&mut self) -> Result<Stmt, ParseError> {
         // instrumentation lines
         if self.eat_ident("DepMessage") {
             // DepMessage d = receive_dep(v); if (d.skip) return;
@@ -509,6 +532,21 @@ pub fn parse_udf(src: &str) -> Result<UdfFn, ParseError> {
     Parser::new(src)?.parse_udf()
 }
 
+/// Like [`parse_udf`], but also returns the byte-offset [`SpanMap`] mapping
+/// each statement's pre-order id to its source range. The AST itself stays
+/// span-free (structural equality is part of the language's contract); the
+/// side table is what lets [`crate::check_all`] and [`crate::lint`] render
+/// findings with line/column carets.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a byte offset on malformed input.
+pub fn parse_udf_with_spans(src: &str) -> Result<(UdfFn, SpanMap), ParseError> {
+    let mut p = Parser::new(src)?;
+    let udf = p.parse_udf()?;
+    Ok((udf, p.spans))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -593,6 +631,22 @@ mod tests {
     fn trailing_tokens_rejected() {
         let err = parse_udf("def t(Vertex v, Array[Vertex] nbrs) -> bool { } extra").unwrap_err();
         assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn spans_follow_preorder_statements() {
+        let src = "def t(Vertex v, Array[Vertex] nbrs) -> int {\n  int x = 0;\n  for u in nbrs {\n    x = x + 1;\n    if (x >= 2) {\n      break;\n    }\n  }\n  emit(v, x);\n}";
+        let (udf, spans) = parse_udf_with_spans(src).unwrap();
+        // pre-order: 0 let, 1 for, 2 assign, 3 if, 4 break, 5 emit
+        assert_eq!(spans.len(), 6);
+        let let_span = spans.get(0).unwrap();
+        assert!(src[let_span.start..].starts_with("int x = 0;"));
+        let brk = spans.get(4).unwrap();
+        assert!(src[brk.start..].starts_with("break;"));
+        assert!(brk.end >= brk.start + "break;".len());
+        let emit = spans.get(5).unwrap();
+        assert!(src[emit.start..].starts_with("emit(v, x);"));
+        assert_eq!(udf.body.len(), 3);
     }
 
     #[test]

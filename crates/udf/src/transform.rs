@@ -11,7 +11,7 @@
 //!
 //! UDFs without dependency come back unchanged (with `DepKind::None`).
 
-use crate::analysis::{analyze, DepInfo, DepKind};
+use crate::analysis::{analyze, analyze_naive, DepInfo, DepKind};
 use crate::ast::{Stmt, UdfFn};
 use crate::UdfError;
 
@@ -42,7 +42,23 @@ pub struct InstrumentedUdf {
 /// assert!(text.contains("emit_dep"));
 /// ```
 pub fn instrument(udf: &UdfFn) -> Result<InstrumentedUdf, UdfError> {
-    let info = analyze(udf)?;
+    instrument_with(udf, analyze(udf)?)
+}
+
+/// Like [`instrument`], but driven by the purely syntactic
+/// [`analyze_naive`] — no carried-state minimization, no dead-dependency
+/// elimination. Exists so benchmarks and tests can compare the two
+/// instrumentations; outputs and work counters are bit-identical, only the
+/// dependency payload differs.
+///
+/// # Errors
+///
+/// Same contract as [`instrument`].
+pub fn instrument_naive(udf: &UdfFn) -> Result<InstrumentedUdf, UdfError> {
+    instrument_with(udf, analyze_naive(udf)?)
+}
+
+fn instrument_with(udf: &UdfFn, info: DepInfo) -> Result<InstrumentedUdf, UdfError> {
     if info.kind == DepKind::None {
         return Ok(InstrumentedUdf {
             udf: udf.clone(),

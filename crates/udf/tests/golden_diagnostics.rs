@@ -1,0 +1,236 @@
+//! Golden tests for the diagnostics pipeline: source text in, rendered
+//! diagnostics out. Pins the whole chain — parser span recording,
+//! collecting checker, CFG/dataflow warning lints, and the renderer — so a
+//! change anywhere in it shows up as a readable diff here.
+
+use std::collections::BTreeMap;
+use symple_udf::types::Ty;
+use symple_udf::{lint_source, render_diagnostics, Severity};
+
+fn schema(entries: &[(&str, Ty)]) -> BTreeMap<String, Ty> {
+    entries.iter().map(|(n, t)| (n.to_string(), *t)).collect()
+}
+
+/// The acceptance-criteria case: a known-bad UDF producing multiple
+/// error diagnostics whose spans point at the offending statements.
+#[test]
+fn known_bad_udf_yields_multiple_errors_with_correct_spans() {
+    let src = "\
+def bad(Vertex v, Array[Vertex] nbrs) -> int {
+  x = 1;
+  break;
+  for u in nbrs {
+    if (missing[u]) {
+      emit(v, 1);
+    }
+  }
+}";
+    let diags = lint_source(src, &schema(&[]));
+    let errors: Vec<_> = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect();
+    assert!(errors.len() >= 2, "want >= 2 errors, got {diags:?}");
+
+    // E001: assignment to undeclared local, anchored at `x = 1;`
+    let e001 = errors.iter().find(|d| d.code == "E001").expect("E001");
+    let span = e001.span.expect("span");
+    assert!(src[span.start..].starts_with("x = 1;"), "{span:?}");
+
+    // E004: break outside the neighbour loop, anchored at `break;`
+    let e004 = errors.iter().find(|d| d.code == "E004").expect("E004");
+    let span = e004.span.expect("span");
+    assert!(src[span.start..].starts_with("break;"), "{span:?}");
+
+    // E002: unknown property, anchored at the `if` that reads it
+    let e002 = errors.iter().find(|d| d.code == "E002").expect("E002");
+    let span = e002.span.expect("span");
+    assert!(src[span.start..].starts_with("if (missing[u])"), "{span:?}");
+}
+
+#[test]
+fn golden_render_undeclared_and_outside_loop() {
+    let src = "\
+def bad(Vertex v, Array[Vertex] nbrs) -> int {
+  x = 1;
+  break;
+}";
+    let diags = lint_source(src, &schema(&[]));
+    let errors: Vec<_> = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .cloned()
+        .collect();
+    let rendered = render_diagnostics(src, &errors);
+    let expected = "\
+error[E001]: undefined local `x`
+  --> line 2, col 3
+  |
+2 |   x = 1;
+  |   ^^^^^^
+
+error[E004]: `break` used outside a neighbour loop
+  --> line 3, col 3
+  |
+3 |   break;
+  |   ^^^^^^";
+    assert_eq!(rendered, expected, "\n--- got ---\n{rendered}\n-----------");
+}
+
+#[test]
+fn golden_render_duplicate_local_in_loop() {
+    // The satellite bugfix: re-declaring a pre-loop local inside the loop
+    // used to be silently permitted.
+    let src = "\
+def dup(Vertex v, Array[Vertex] nbrs) -> int {
+  int cnt = 0;
+  for u in nbrs {
+    int cnt = 1;
+    break;
+  }
+}";
+    let diags = lint_source(src, &schema(&[]));
+    let errors: Vec<_> = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .cloned()
+        .collect();
+    let rendered = render_diagnostics(src, &errors);
+    let expected = "\
+error[E005]: duplicate local `cnt`
+  --> line 4, col 5
+  |
+4 |     int cnt = 1;
+  |     ^^^^^^^^^^^^";
+    assert_eq!(rendered, expected, "\n--- got ---\n{rendered}\n-----------");
+}
+
+#[test]
+fn golden_render_parse_error() {
+    let src = "def broken(Vertex v, Array[Vertex] nbrs) -> int { int = 3; }";
+    let diags = lint_source(src, &schema(&[]));
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, "E000");
+    let rendered = render_diagnostics(src, &diags);
+    assert!(
+        rendered.starts_with("error[E000]: parse error:"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("--> line 1"), "{rendered}");
+}
+
+/// Every warning lint fires on a crafted source, with spans on the right
+/// statements.
+#[test]
+fn warning_lints_cover_w001_through_w005() {
+    // W001 (unused local), W002 (constant condition), W003 (unreachable
+    // statement / write-after-break) in one UDF:
+    let src = "\
+def warn(Vertex v, Array[Vertex] nbrs) -> int {
+  bool dbg = false;
+  int unused = 7;
+  int cnt = 0;
+  for u in nbrs {
+    cnt = cnt + 1;
+    if (dbg) {
+      break;
+    }
+    if (cnt >= 3) {
+      break;
+      cnt = 0;
+    }
+  }
+  emit(v, cnt);
+}";
+    let diags = lint_source(src, &schema(&[]));
+    assert!(
+        diags.iter().all(|d| d.severity == Severity::Warning),
+        "{diags:?}"
+    );
+    let w001 = diags.iter().find(|d| d.code == "W001").expect("W001");
+    assert!(src[w001.span.unwrap().start..].starts_with("int unused = 7;"));
+    let w002 = diags.iter().find(|d| d.code == "W002").expect("W002");
+    assert!(src[w002.span.unwrap().start..].starts_with("if (dbg)"));
+    assert!(w002.message.contains("always false"));
+    let w003: Vec<_> = diags.iter().filter(|d| d.code == "W003").collect();
+    assert!(
+        w003.iter()
+            .any(|d| src[d.span.unwrap().start..].starts_with("cnt = 0;")),
+        "write-after-break not flagged: {w003:?}"
+    );
+
+    // W004 (dead carried state) on the k-core shape:
+    let kcore = "\
+def kcore(Vertex v, Array[Vertex] nbrs) -> int {
+  int cnt = 0;
+  bool done = false;
+  for u in nbrs {
+    if (active[u]) {
+      cnt = cnt + 1;
+      if (cnt >= 4) {
+        emit(v, cnt);
+        done = true;
+        break;
+      }
+    }
+  }
+  if (!done && (cnt > 0)) {
+    emit(v, cnt);
+  }
+}";
+    let diags = lint_source(kcore, &schema(&[("active", Ty::Bool)]));
+    let w004 = diags.iter().find(|d| d.code == "W004").expect("W004");
+    assert!(w004.message.contains("`done`"));
+    assert!(kcore[w004.span.unwrap().start..].starts_with("bool done = false;"));
+
+    // W005 (order-sensitive float accumulation) on the sampling shape:
+    let sampling = "\
+def sample(Vertex v, Array[Vertex] nbrs) -> vertex {
+  float acc = 0.0;
+  for u in nbrs {
+    acc = acc + weight[u];
+    if (acc >= r[v]) {
+      emit(v, u);
+      break;
+    }
+  }
+}";
+    let diags = lint_source(
+        sampling,
+        &schema(&[("weight", Ty::Float), ("r", Ty::Float)]),
+    );
+    let w005 = diags.iter().find(|d| d.code == "W005").expect("W005");
+    assert!(w005.message.contains("`acc`"));
+    assert!(sampling[w005.span.unwrap().start..].starts_with("acc = acc + weight[u];"));
+}
+
+/// The five paper kernels are lint-*error*-free (warnings are fine and
+/// expected — k-core's dead `done` flag, sampling's float accumulation).
+#[test]
+fn paper_kernels_have_no_error_diagnostics() {
+    use symple_udf::{lint, paper_udfs};
+    let cases: Vec<(symple_udf::UdfFn, BTreeMap<String, Ty>)> = vec![
+        (paper_udfs::bfs_udf(), schema(&[("frontier", Ty::Bool)])),
+        (
+            paper_udfs::mis_udf(),
+            schema(&[("active", Ty::Bool), ("color", Ty::Int)]),
+        ),
+        (paper_udfs::kcore_udf(4), schema(&[("active", Ty::Bool)])),
+        (
+            paper_udfs::kmeans_udf(),
+            schema(&[("assigned", Ty::Bool), ("cluster", Ty::Int)]),
+        ),
+        (
+            paper_udfs::sampling_udf(),
+            schema(&[("weight", Ty::Float), ("r", Ty::Float)]),
+        ),
+    ];
+    for (udf, sch) in &cases {
+        let diags = lint(udf, sch);
+        assert!(
+            diags.iter().all(|d| d.severity != Severity::Error),
+            "{}: {diags:?}",
+            udf.name
+        );
+    }
+}

@@ -1,0 +1,356 @@
+//! Carried-state minimization must be *observationally invisible*: for any
+//! UDF — the paper kernels and randomly generated ones — instrumenting with
+//! the minimized analysis ([`symple_udf::instrument`]) and with the naive
+//! syntactic analysis ([`symple_udf::instrument_naive`]) must produce
+//! bit-identical outputs and identical work counters on the engine, across
+//! policies and thread counts. Only the dependency payload on the wire is
+//! allowed to differ, and only downwards.
+//!
+//! Also pins dead-dependency elimination end-to-end: a UDF whose only
+//! `break` is provably unreachable runs with `DepKind::None` under the
+//! downgraded policy and produces **zero** dependency messages.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use symple_core::{run_spmd, EngineConfig, Policy, RunStats};
+use symple_graph::{Bitmap, Graph, RmatConfig, Vid};
+use symple_net::CommKind;
+use symple_udf::ast::{Expr, Stmt, UdfFn};
+use symple_udf::types::Ty;
+use symple_udf::{
+    analyze, check, effective_policy, instrument, instrument_naive, DepKind, InstrumentedUdf,
+    PropArray, PropertyStore, UdfProgram,
+};
+
+/// The fixed property environment every generated UDF runs against.
+fn schema() -> BTreeMap<String, Ty> {
+    [
+        ("active".to_string(), Ty::Bool),
+        ("weight".to_string(), Ty::Float),
+        ("score".to_string(), Ty::Int),
+    ]
+    .into()
+}
+
+fn props_for(n: usize) -> PropertyStore {
+    let mut active = Bitmap::new(n);
+    for i in 0..n {
+        if i % 3 != 0 {
+            active.set(i);
+        }
+    }
+    let weight: Vec<f64> = (0..n).map(|i| (i % 7) as f64 * 0.5).collect();
+    let score: Vec<i64> = (0..n).map(|i| (i % 5) as i64).collect();
+    let mut props = PropertyStore::new();
+    props.insert("active", PropArray::Bools(active));
+    props.insert("weight", PropArray::Floats(weight));
+    props.insert("score", PropArray::Ints(score));
+    props
+}
+
+/// Per-machine, per-vertex order-insensitive fold of emitted updates:
+/// count + wrapping sum + xor, so only the *set* of updates matters,
+/// not thread interleaving.
+type UpdateFolds = Vec<Vec<(u64, u64, u64)>>;
+
+/// One distributed pull sweep.
+fn run_once(graph: &Graph, cfg: &EngineConfig, inst: &InstrumentedUdf) -> (UpdateFolds, RunStats) {
+    let res = run_spmd(graph, cfg, |w| {
+        let n = graph.num_vertices();
+        let props = props_for(n);
+        let prog = UdfProgram::new(inst, &props);
+        let mut dep = prog.make_dep(w.dep_slots_needed());
+        let mut acc: Vec<(u64, u64, u64)> = vec![(0, 0, 0); n];
+        let mut apply = |v: Vid, bits: u64| -> bool {
+            let e = &mut acc[v.index()];
+            e.0 += 1;
+            e.1 = e.1.wrapping_add(bits);
+            e.2 ^= bits;
+            false
+        };
+        w.pull(&prog, &mut dep, &mut apply);
+        acc
+    });
+    (res.outputs, res.stats)
+}
+
+/// Runs `udf` instrumented both ways under every (policy, threads) combo
+/// and asserts observational equivalence plus payload shrinkage.
+fn assert_equivalent(udf: &UdfFn, graph: &Graph) {
+    check(udf, &schema()).expect("generated UDF must typecheck");
+    let min = instrument(udf).expect("minimized instrumentation");
+    let naive = instrument_naive(udf).expect("naive instrumentation");
+    assert!(
+        min.info
+            .carried
+            .iter()
+            .all(|c| naive.info.carried.contains(c)),
+        "minimized carried set must be a subset of naive"
+    );
+    for policy in [Policy::symple(), Policy::symple_basic(), Policy::Gemini] {
+        for threads in [1usize, 2] {
+            let cfg = EngineConfig::new(4, policy).threads(threads);
+            let (out_min, stats_min) = run_once(graph, &cfg, &min);
+            let (out_naive, stats_naive) = run_once(graph, &cfg, &naive);
+            assert_eq!(
+                out_min,
+                out_naive,
+                "outputs differ under {policy:?} x{threads} for {}",
+                symple_udf::pretty(udf)
+            );
+            let w_min = &stats_min.work;
+            let w_naive = &stats_naive.work;
+            assert_eq!(w_min.edges_traversed(), w_naive.edges_traversed());
+            assert_eq!(w_min.vertices_examined(), w_naive.vertices_examined());
+            assert_eq!(w_min.skipped_by_dep(), w_naive.skipped_by_dep());
+            assert_eq!(w_min.updates_emitted(), w_naive.updates_emitted());
+            assert!(
+                stats_min.comm.bytes(CommKind::Dependency)
+                    <= stats_naive.comm.bytes(CommKind::Dependency),
+                "minimization must never grow dependency traffic"
+            );
+        }
+    }
+}
+
+/// Builds a type-correct UDF from generator knobs. `cnt` always exists and
+/// drives a threshold break; the other pieces are optional and reorderable
+/// enough to exercise minimization (dead flags, float accumulators,
+/// constant guards, unused locals, suffix reads).
+#[allow(clippy::too_many_arguments, clippy::fn_params_excessive_bools)]
+fn build_udf(
+    cnt_init: i64,
+    threshold: i64,
+    has_acc: bool,
+    acc_break: bool,
+    has_flag: bool,
+    flag_break: bool,
+    dead_guard: bool,
+    unused_local: bool,
+    guard_count_on_active: bool,
+    count_scores: bool,
+    emit_in_loop: bool,
+    suffix_guarded: bool,
+) -> UdfFn {
+    let mut body = vec![Stmt::let_("cnt", Ty::Int, Expr::i(cnt_init))];
+    if has_acc {
+        body.push(Stmt::let_("acc", Ty::Float, Expr::f(0.0)));
+    }
+    if has_flag {
+        body.push(Stmt::let_("flag", Ty::Bool, Expr::b(false)));
+    }
+    if dead_guard {
+        body.push(Stmt::let_("dbg", Ty::Bool, Expr::b(false)));
+    }
+    if unused_local {
+        body.push(Stmt::let_(
+            "tmp",
+            Ty::Int,
+            Expr::local("cnt").add(Expr::i(1)),
+        ));
+    }
+
+    let mut lp = Vec::new();
+    let bump = if count_scores {
+        Stmt::assign("cnt", Expr::local("cnt").add(Expr::prop_u("score")))
+    } else {
+        Stmt::assign("cnt", Expr::local("cnt").add(Expr::i(1)))
+    };
+    if guard_count_on_active {
+        lp.push(Stmt::if_(Expr::prop_u("active"), vec![bump]));
+    } else {
+        lp.push(bump);
+    }
+    if has_acc {
+        lp.push(Stmt::assign(
+            "acc",
+            Expr::local("acc").add(Expr::prop_u("weight")),
+        ));
+    }
+    if dead_guard {
+        // provably-false guard: `dbg` is never assigned, so the break dies
+        lp.push(Stmt::if_(Expr::local("dbg"), vec![Stmt::Break]));
+    }
+    if emit_in_loop {
+        lp.push(Stmt::Emit(Expr::local("cnt")));
+    }
+    let mut break_body = Vec::new();
+    if has_flag {
+        break_body.push(Stmt::assign("flag", Expr::b(true)));
+    }
+    break_body.push(Stmt::Emit(Expr::local("cnt").add(Expr::i(100))));
+    break_body.push(Stmt::Break);
+    lp.push(Stmt::if_(
+        Expr::local("cnt").ge(Expr::i(threshold)),
+        break_body,
+    ));
+    if has_acc && acc_break {
+        lp.push(Stmt::if_(
+            Expr::local("acc").ge(Expr::f(3.0)),
+            vec![Stmt::Break],
+        ));
+    }
+    if has_flag && flag_break {
+        lp.push(Stmt::if_(Expr::local("flag"), vec![Stmt::Break]));
+    }
+    body.push(Stmt::for_neighbors(lp));
+
+    if suffix_guarded {
+        body.push(Stmt::if_(
+            Expr::local("cnt").ge(Expr::i(1)),
+            vec![Stmt::Emit(Expr::local("cnt"))],
+        ));
+    } else {
+        body.push(Stmt::Emit(Expr::local("cnt")));
+    }
+    UdfFn::new("generated", Ty::Int, body)
+}
+
+#[test]
+fn paper_udfs_minimized_equals_naive_on_engine() {
+    // kcore and sampling are the data-dependency kernels where minimization
+    // actually changes the payload; run them end to end both ways.
+    let graph = RmatConfig::graph500(7, 8).cleaned(true).generate();
+    let n = graph.num_vertices();
+
+    for (udf, sch) in [
+        (
+            symple_udf::paper_udfs::kcore_udf(4),
+            BTreeMap::from([("active".to_string(), Ty::Bool)]),
+        ),
+        (
+            symple_udf::paper_udfs::sampling_udf(),
+            BTreeMap::from([
+                ("weight".to_string(), Ty::Float),
+                ("r".to_string(), Ty::Float),
+            ]),
+        ),
+    ] {
+        check(&udf, &sch).expect("typecheck");
+        let min = instrument(&udf).unwrap();
+        let naive = instrument_naive(&udf).unwrap();
+        assert!(
+            min.info.carried.len() < naive.info.carried.len()
+                || min.info.carried == naive.info.carried
+        );
+
+        let mut props = PropertyStore::new();
+        let mut active = Bitmap::new(n);
+        active.set_all();
+        props.insert("active", PropArray::Bools(active));
+        props.insert(
+            "weight",
+            PropArray::Floats((0..n).map(|i| (i % 9) as f64 * 0.25).collect()),
+        );
+        props.insert(
+            "r",
+            PropArray::Floats((0..n).map(|i| (i % 13) as f64).collect()),
+        );
+
+        for policy in [Policy::symple(), Policy::symple_basic()] {
+            let cfg = EngineConfig::new(4, policy).threads(2);
+            let run = |inst: &InstrumentedUdf| {
+                let res = run_spmd(&graph, &cfg, |w| {
+                    let prog = UdfProgram::new(inst, &props);
+                    let mut dep = prog.make_dep(w.dep_slots_needed());
+                    let mut acc: Vec<(u64, u64)> = vec![(0, 0); n];
+                    let mut apply = |v: Vid, bits: u64| -> bool {
+                        let e = &mut acc[v.index()];
+                        e.0 += 1;
+                        e.1 = e.1.wrapping_add(bits);
+                        false
+                    };
+                    w.pull(&prog, &mut dep, &mut apply);
+                    acc
+                });
+                (res.outputs, res.stats)
+            };
+            let (out_min, stats_min) = run(&min);
+            let (out_naive, stats_naive) = run(&naive);
+            assert_eq!(out_min, out_naive, "{} under {policy:?}", udf.name);
+            assert_eq!(
+                stats_min.work.edges_traversed(),
+                stats_naive.work.edges_traversed()
+            );
+            assert_eq!(
+                stats_min.work.skipped_by_dep(),
+                stats_naive.work.skipped_by_dep()
+            );
+            assert!(
+                stats_min.comm.bytes(CommKind::Dependency)
+                    <= stats_naive.comm.bytes(CommKind::Dependency)
+            );
+        }
+    }
+}
+
+#[test]
+fn unreachable_break_runs_without_dependency_traffic() {
+    // `dbg` is constant false, so the only break is dead: the minimized
+    // analysis degrades to DepKind::None and `effective_policy` downgrades
+    // SympleGraph scheduling to Gemini — zero dependency messages.
+    // `done` is assigned only on the dead break path and is zero-init, so
+    // the minimized carried set is empty — both halves of the dependency
+    // (skip and restore) are unobservable and circulation can stop.
+    let udf = UdfFn::new(
+        "dead_break",
+        Ty::Int,
+        vec![
+            Stmt::let_("dbg", Ty::Bool, Expr::b(false)),
+            Stmt::let_("done", Ty::Bool, Expr::b(false)),
+            Stmt::for_neighbors(vec![
+                Stmt::if_(Expr::prop_u("active"), vec![Stmt::Emit(Expr::i(1))]),
+                Stmt::if_(
+                    Expr::local("dbg"),
+                    vec![Stmt::assign("done", Expr::b(true)), Stmt::Break],
+                ),
+            ]),
+            Stmt::if_(Expr::local("done").not(), vec![Stmt::Emit(Expr::i(0))]),
+        ],
+    );
+    let info = analyze(&udf).unwrap();
+    assert_eq!(info.kind, DepKind::None);
+    assert_eq!(info.reachable_breaks, 0);
+    assert!(info.breaks > 0, "the break is only *dynamically* dead");
+
+    let graph = RmatConfig::graph500(7, 8).cleaned(true).generate();
+    let min = instrument(&udf).unwrap();
+    let cfg = EngineConfig::new(4, effective_policy(&min.info, Policy::symple())).threads(2);
+    let (_, stats) = run_once(&graph, &cfg, &min);
+    assert_eq!(stats.comm.messages(CommKind::Dependency), 0);
+    assert_eq!(stats.comm.bytes(CommKind::Dependency), 0);
+
+    // the naive pipeline ships dependency state for the same UDF
+    let naive = instrument_naive(&udf).unwrap();
+    assert_eq!(naive.info.kind, DepKind::Data); // `cnt` looks carried syntactically
+    let cfg_naive =
+        EngineConfig::new(4, effective_policy(&naive.info, Policy::symple())).threads(2);
+    let (out_naive, stats_naive) = run_once(&graph, &cfg_naive, &naive);
+    assert!(stats_naive.comm.messages(CommKind::Dependency) > 0);
+    // and the outputs still agree
+    let (out_min, _) = run_once(&graph, &cfg, &min);
+    assert_eq!(out_min, out_naive);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_udfs_minimized_equals_naive(
+        (cnt_init, threshold) in (0i64..3, 1i64..6),
+        (has_acc, acc_break, has_flag, flag_break) in
+            (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()),
+        (dead_guard, unused_local, guard_count_on_active, count_scores) in
+            (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()),
+        (emit_in_loop, suffix_guarded) in (any::<bool>(), any::<bool>()),
+        (scale, edge_factor) in prop_oneof![Just((6u32, 4u32)), Just((7u32, 6u32))],
+    ) {
+        let udf = build_udf(
+            cnt_init, threshold, has_acc, acc_break, has_flag, flag_break,
+            dead_guard, unused_local, guard_count_on_active, count_scores,
+            emit_in_loop, suffix_guarded,
+        );
+        let graph = RmatConfig::graph500(scale, edge_factor).cleaned(true).generate();
+        assert_equivalent(&udf, &graph);
+    }
+}
