@@ -17,7 +17,20 @@ fi
 echo "== tests (workspace) =="
 cargo test -q --offline --workspace
 
+echo "== backend equivalence gate (sim vs thread transport) =="
+# Bit-identical outputs, work, CommStats, and virtual time across the
+# deterministic simulator and the OS-thread backend, for the algorithm
+# suite and a proptest over random graphs. Runs under --quick so the
+# GitHub workflow enforces it on every push.
+cargo test -q --offline --test backend_equivalence
+
 if [ "$QUICK" = 0 ]; then
+  echo "== thread-transport smoke (modelled vs measured wall) =="
+  # Runs the transport study (BFS / K-core / MIS on both backends; the
+  # study asserts logical bit-identity) and writes a throwaway grid.
+  cargo run --release --offline -p symple-bench --bin experiments -- \
+    --transport-json BENCH_transport_smoke.json
+  rm -f BENCH_transport_smoke.json
   echo "== executor smoke (threads=4) =="
   cargo run --release --offline -p symple-bench --bin experiments -- \
     --threads 1,4 --scale 13 --scaling-json BENCH_scaling_smoke.json

@@ -17,7 +17,7 @@ use symple_bench::experiments;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--chrome-trace FILE] [--metrics-json FILE]\n                   [--threads LIST [--scale N] [--scaling-json FILE]]\n                   [--comm-json FILE [--comm-graph NAME] [--comm-machines N]]\n                   [--comm-check FILE] [--faults] [--fault-json FILE]\n                   [--udf-report FILE]\n                   [<id>... | all]\n  ids: table1..table7, fig10, fig11, cost, ablation_threshold,\n       ablation_groups, direction, replication, comm, faults, udf\n  --threads LIST   comma-separated executor thread counts (e.g. 1,2,4);\n                   runs the intra-machine scaling sweep on an RMAT graph\n                   of 2^N vertices (--scale N, default 18) and writes the\n                   points to --scaling-json (default BENCH_scaling.json)\n  --comm-json FILE runs the wire-codec byte study (flat vs adaptive,\n                   Gemini vs SympleGraph) on --comm-graph (default s27)\n                   at --comm-machines (default 8) and writes the grid\n  --comm-check FILE  re-runs the byte study at the graph/machine count\n                   recorded in FILE (a committed BENCH_comm.json) and\n                   exits nonzero if any adaptive/flat data ratio\n                   regressed by more than 10%\n  --faults         runs the fault-injection absorption sweep (same as\n                   the `faults` id): seeded chaos plan, outputs and work\n                   asserted bit-identical to fault-free\n  --fault-json FILE  runs the sweep and also writes the raw grid\n  --udf-report FILE  runs the UDF carried-state minimization study\n                   (naive vs dataflow-minimized instrumentation) and\n                   writes the per-kernel payload grid (BENCH_udf.json)"
+        "usage: experiments [--chrome-trace FILE] [--metrics-json FILE]\n                   [--threads LIST [--scale N] [--scaling-json FILE]]\n                   [--comm-json FILE [--comm-graph NAME] [--comm-machines N]]\n                   [--comm-check FILE] [--faults] [--fault-json FILE]\n                   [--udf-report FILE] [--transport-json FILE]\n                   [<id>... | all]\n  ids: table1..table7, fig10, fig11, cost, ablation_threshold,\n       ablation_groups, direction, replication, comm, transport,\n       faults, udf\n  --threads LIST   comma-separated executor thread counts (e.g. 1,2,4);\n                   runs the intra-machine scaling sweep on an RMAT graph\n                   of 2^N vertices (--scale N, default 18) and writes the\n                   points to --scaling-json (default BENCH_scaling.json)\n  --comm-json FILE runs the wire-codec byte study (flat vs adaptive,\n                   Gemini vs SympleGraph) on --comm-graph (default s27)\n                   at --comm-machines (default 8) and writes the grid\n  --comm-check FILE  re-runs the byte study at the graph/machine count\n                   recorded in FILE (a committed BENCH_comm.json) and\n                   exits nonzero if any adaptive/flat data ratio\n                   regressed by more than 10%\n  --faults         runs the fault-injection absorption sweep (same as\n                   the `faults` id): seeded chaos plan, outputs and work\n                   asserted bit-identical to fault-free\n  --fault-json FILE  runs the sweep and also writes the raw grid\n  --udf-report FILE  runs the UDF carried-state minimization study\n                   (naive vs dataflow-minimized instrumentation) and\n                   writes the per-kernel payload grid (BENCH_udf.json)\n  --transport-json FILE  runs the transport backend study (simulator vs\n                   OS-thread transport; outputs asserted bit-identical,\n                   modelled virtual vs measured wall time per algorithm)\n                   and writes the grid (BENCH_transport.json)"
     );
     std::process::exit(2);
 }
@@ -35,6 +35,7 @@ fn main() {
     let mut comm_check_path: Option<String> = None;
     let mut fault_json_path: Option<String> = None;
     let mut udf_path: Option<String> = None;
+    let mut transport_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -70,6 +71,7 @@ fn main() {
             "--faults" => ids.push("faults".into()),
             "--fault-json" => fault_json_path = Some(it.next().unwrap_or_else(|| usage())),
             "--udf-report" => udf_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--transport-json" => transport_path = Some(it.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             _ => ids.push(arg),
         }
@@ -82,6 +84,7 @@ fn main() {
         && comm_check_path.is_none()
         && fault_json_path.is_none()
         && udf_path.is_none()
+        && transport_path.is_none()
     {
         usage();
     }
@@ -133,6 +136,16 @@ fn main() {
             std::process::exit(1);
         });
         eprintln!("[udf carried-state study written to {path}]");
+    }
+    if let Some(path) = &transport_path {
+        let (name, machines) = ("s27", 4);
+        let points = experiments::transport_study(name, machines);
+        let json = experiments::transport_json(name, machines, &points);
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[transport backend study written to {path}]");
     }
     if let Some(path) = &fault_json_path {
         let (name, machines, seed) = ("s27", 4, 42);

@@ -10,7 +10,7 @@ use crate::datasets::dataset;
 use crate::fmt::{geomean, secs, speedup, table};
 use symple_algos::{bfs, kcore, kmeans, mis, sampling};
 use symple_core::{
-    EngineConfig, FaultPlan, Policy, ReliableStats, RunStats, TraceLevel, WireCodec,
+    Backend, EngineConfig, FaultPlan, Policy, ReliableStats, RunStats, TraceLevel, WireCodec,
 };
 use symple_graph::{Graph, GraphStats, Vid};
 use symple_net::{CommKind, CostModel, WireFormat, COMM_KINDS};
@@ -513,6 +513,166 @@ pub fn comm_report() -> Report {
         )
     );
     Report::new("comm", "Wire-codec byte budget (extension)", text)
+}
+
+/// One workload of the transport study: the same run on the deterministic
+/// simulator and on the OS-thread backend. A point only exists if the two
+/// backends were bit-identical in everything logical (asserted inside
+/// [`transport_study`]); the wall columns are the *measured* signal the
+/// thread backend adds next to the modelled virtual clock.
+#[derive(Debug, Clone, Copy)]
+pub struct TransportPoint {
+    /// Workload label.
+    pub algo: &'static str,
+    /// Modelled virtual seconds — identical on both backends by
+    /// construction (asserted).
+    pub modelled_secs: f64,
+    /// Measured critical-path wall seconds (slowest machine) on the
+    /// simulator backend.
+    pub sim_wall_secs: f64,
+    /// Measured critical-path wall seconds on the thread backend.
+    pub thread_wall_secs: f64,
+    /// Measured wall seconds the slowest thread-backend machine spent
+    /// blocked in transport operations (real communication wait).
+    pub thread_comm_wall_secs: f64,
+}
+
+/// Workloads of the transport study (the acceptance criteria ask for at
+/// least three algorithms with both modelled and measured wall time).
+pub const TRANSPORT_ALGOS: [(&str, Algo); 3] = [
+    ("BFS", Algo::Bfs),
+    ("K-core", Algo::Kcore(4)),
+    ("MIS", Algo::Mis),
+];
+
+/// Runs `algo` once (single root/seed) and returns the raw stats — the
+/// transport study wants per-run wall measurements, not the averaged
+/// [`Measured`] aggregate.
+fn run_algo_once(algo: Algo, graph: &Graph, cfg: &EngineConfig) -> RunStats {
+    match algo {
+        Algo::Bfs => bfs(graph, cfg, bfs_roots(graph, 1)[0]).1,
+        Algo::Kcore(k) => kcore(graph, cfg, k).1,
+        Algo::Mis => mis(graph, cfg, 1).1,
+        Algo::Kmeans => kmeans(graph, cfg, 1, KMEANS_ITERS).1,
+        Algo::Sampling => sampling(graph, cfg, 0).1,
+        Algo::BfsPull => {
+            use symple_algos::{bfs_with_direction, Direction};
+            bfs_with_direction(graph, cfg, bfs_roots(graph, 1)[0], Direction::PullOnly).1
+        }
+    }
+}
+
+/// Measures every transport-study workload on both backends on dataset
+/// `name` at `machines`, asserting along the way that the backend is
+/// invisible to the computation: identical work counters, identical
+/// logical byte/message accounting, identical virtual time.
+pub fn transport_study(name: &str, machines: usize) -> Vec<TransportPoint> {
+    let g = dataset(name);
+    let cost = model_for(name, CostModel::cluster_a());
+    let mut points = Vec::new();
+    for (algo_name, algo) in TRANSPORT_ALGOS {
+        let sim = run_algo_once(algo, g, &cfg(machines, Policy::symple(), cost));
+        let thread = run_algo_once(
+            algo,
+            g,
+            &cfg(machines, Policy::symple(), cost).backend(Backend::Thread),
+        );
+        assert_eq!(
+            sim.work, thread.work,
+            "transport {algo_name}: work counters diverged across backends"
+        );
+        assert_eq!(
+            sim.comm, thread.comm,
+            "transport {algo_name}: CommStats diverged across backends"
+        );
+        assert_eq!(
+            sim.virtual_time(),
+            thread.virtual_time(),
+            "transport {algo_name}: virtual time diverged across backends"
+        );
+        let thread_comm_wall = thread
+            .metrics()
+            .per_machine
+            .iter()
+            .map(|m| m.comm_wall_secs)
+            .fold(0.0, f64::max);
+        points.push(TransportPoint {
+            algo: algo_name,
+            modelled_secs: sim.virtual_time(),
+            sim_wall_secs: sim.max_node_wall().as_secs_f64(),
+            thread_wall_secs: thread.max_node_wall().as_secs_f64(),
+            thread_comm_wall_secs: thread_comm_wall,
+        });
+    }
+    points
+}
+
+/// Renders the transport study as a machine-readable JSON document
+/// (`BENCH_transport.json`).
+pub fn transport_json(name: &str, machines: usize, points: &[TransportPoint]) -> String {
+    let mut w = symple_trace::json::JsonWriter::new();
+    w.begin_object();
+    w.key("bench").string("transport_backends");
+    w.key("graph").string(name);
+    w.key("machines").u64(machines as u64);
+    w.key("note").string(
+        "modelled = virtual seconds on the emulated cluster (bit-identical \
+         across backends, asserted); wall = measured critical-path seconds \
+         on this host (sim backend: unbounded channels; thread backend: \
+         bounded channels with real backpressure)",
+    );
+    w.key("points").begin_array();
+    for p in points {
+        w.begin_object();
+        w.key("algo").string(p.algo);
+        w.key("policy").string("SympleGraph");
+        w.key("modelled_virtual_secs").f64(p.modelled_secs);
+        w.key("sim_max_node_wall_secs").f64(p.sim_wall_secs);
+        w.key("thread_max_node_wall_secs").f64(p.thread_wall_secs);
+        w.key("thread_comm_wall_secs").f64(p.thread_comm_wall_secs);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// The transport study as a report table (id `transport`). Uses the small
+/// s27 stand-in at 4 machines so the smoke invocation in `ci.sh` stays
+/// cheap; `--transport-json` re-runs it and writes `BENCH_transport.json`.
+pub fn transport_report() -> Report {
+    let (name, machines) = ("s27", 4);
+    let points = transport_study(name, machines);
+    let rows = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.algo.to_string(),
+                secs(p.modelled_secs),
+                secs(p.sim_wall_secs),
+                secs(p.thread_wall_secs),
+                secs(p.thread_comm_wall_secs),
+            ]
+        })
+        .collect::<Vec<_>>();
+    let text = format!(
+        "{}\nSame computation on {name}, {machines} machines, simulator vs\nOS-thread transport. Modelled virtual time is asserted bit-identical\nacross backends; the wall columns are measured on this host and are the\nsignal the thread backend adds (absolute values depend on the machine\nrunning this — see BENCH_transport.json for the raw grid).\n",
+        table(
+            &[
+                "app",
+                "modelled",
+                "sim wall",
+                "thread wall",
+                "thread comm wall"
+            ],
+            &rows
+        )
+    );
+    Report::new(
+        "transport",
+        "Transport backends: modelled vs measured",
+        text,
+    )
 }
 
 /// One (workload, policy) cell of the fault-injection study: the same run
@@ -1510,6 +1670,7 @@ pub fn all() -> Vec<Report> {
         direction_study(),
         replication(),
         comm_report(),
+        transport_report(),
         fault_report(),
         udf_report(),
     ]
@@ -1533,6 +1694,7 @@ pub fn by_id(id: &str) -> Option<fn() -> Report> {
         "direction" => direction_study,
         "replication" => replication,
         "comm" => comm_report,
+        "transport" => transport_report,
         "faults" => fault_report,
         "udf" => udf_report,
         _ => return None,
@@ -1561,6 +1723,7 @@ mod tests {
             "direction",
             "replication",
             "comm",
+            "transport",
             "faults",
             "udf",
         ] {
@@ -1620,6 +1783,29 @@ mod tests {
         let json = comm_json("s27", 4, &points);
         assert!(json.contains("\"data_ratio\""));
         assert!(json.contains("\"BFS-dense\""));
+    }
+
+    #[test]
+    fn transport_study_measures_wall_and_stays_logical() {
+        // The study itself asserts backend bit-identity; here we pin the
+        // shape of what it reports.
+        let points = transport_study("s27", 2);
+        assert_eq!(points.len(), TRANSPORT_ALGOS.len());
+        for p in &points {
+            assert!(p.modelled_secs > 0.0, "{}", p.algo);
+            assert!(p.sim_wall_secs > 0.0, "{}", p.algo);
+            assert!(p.thread_wall_secs > 0.0, "{}", p.algo);
+            assert!(p.thread_comm_wall_secs >= 0.0, "{}", p.algo);
+        }
+        let json = transport_json("s27", 2, &points);
+        assert!(json.contains("\"bench\":\"transport_backends\""));
+        assert!(json.contains("\"modelled_virtual_secs\""));
+        assert!(json.contains("\"thread_max_node_wall_secs\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Engine configuration and execution policies.
 
 use std::fmt;
-use symple_net::{CostModel, FaultPlan, RetryConfig, TraceLevel, WireCodec};
+use symple_net::{Backend, CostModel, FaultPlan, RetryConfig, TraceLevel, WireCodec};
 
 /// Why an [`EngineConfig`] failed [`EngineConfig::validate`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +148,13 @@ pub struct EngineConfig {
     /// Ack/retry protocol knobs for the reliable-delivery layer (used
     /// only when `fault_plan` is set).
     pub retry: RetryConfig,
+    /// Which transport carries inter-machine messages: `Sim` (unbounded
+    /// channels, the bit-deterministic default) or `Thread` (bounded
+    /// channels with real backpressure and measured per-machine wall
+    /// time). Outputs, `WorkStats`, `CommStats`, and virtual time are
+    /// bit-identical across backends — only wall-clock measurements
+    /// change.
+    pub backend: Backend,
 }
 
 impl EngineConfig {
@@ -167,6 +174,7 @@ impl EngineConfig {
             wire_codec: WireCodec::Flat,
             fault_plan: None,
             retry: RetryConfig::default(),
+            backend: Backend::Sim,
         }
     }
 
@@ -221,6 +229,12 @@ impl EngineConfig {
     /// Sets the ack/retry protocol knobs.
     pub fn retry(mut self, retry: RetryConfig) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Sets the transport backend carrying inter-machine messages.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -405,6 +419,16 @@ mod tests {
                 .validate(),
             Ok(())
         );
+    }
+
+    #[test]
+    fn backend_defaults_to_sim() {
+        let cfg = EngineConfig::new(4, Policy::symple());
+        assert_eq!(cfg.backend, Backend::Sim);
+        let cfg = cfg.backend(Backend::Thread);
+        assert_eq!(cfg.backend, Backend::Thread);
+        assert_eq!(cfg.validate(), Ok(()));
+        assert_eq!("thread".parse::<Backend>(), Ok(Backend::Thread));
     }
 
     #[test]

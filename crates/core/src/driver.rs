@@ -68,25 +68,32 @@ where
     if let Err(e) = cfg.validate() {
         panic!("invalid engine config: {e}");
     }
-    let cluster = Cluster::new(cfg.machines, cfg.cost)
+    let cluster = Cluster::builder(cfg.machines)
+        .cost(cfg.cost)
+        .backend(cfg.backend)
         .trace_level(cfg.trace_level)
         .fault_plan(cfg.fault_plan)
-        .retry(cfg.retry);
+        .retry(cfg.retry)
+        .build()
+        .unwrap_or_else(|e| panic!("invalid engine config: {e}"));
     let res = cluster.run(|ctx| {
         let mut worker = Worker::new(ctx, graph, cfg);
         let out = f(&mut worker);
         (out, worker.stats())
     });
+    let max_node_wall = res.max_node_wall();
     let mut work = WorkStats::default();
     let mut outputs = Vec::with_capacity(res.outputs.len());
     for (out, st) in res.outputs {
         work.merge(&st);
         outputs.push(out);
     }
+    let mut time = TimeStats::from_trace(res.virtual_time, res.wall, &res.traces);
+    time.max_node_wall = max_node_wall;
     DistResult {
         outputs,
         stats: RunStats {
-            time: TimeStats::from_trace(res.virtual_time, res.wall, &res.traces),
+            time,
             work,
             comm: res.stats,
             trace: res.traces,
@@ -98,6 +105,7 @@ where
 mod tests {
     use super::*;
     use crate::Policy;
+    use std::time::Duration;
     use symple_graph::RmatConfig;
     use symple_net::{ByteCategory, CommKind, SpanCategory, TraceLevel};
 
@@ -247,6 +255,33 @@ mod tests {
             clean.stats.comm.total_messages(),
             faulted.stats.comm.total_messages()
         );
+    }
+
+    #[test]
+    fn thread_backend_matches_sim_and_measures_wall() {
+        let g = RmatConfig::graph500(8, 4).generate();
+        let job = |backend| {
+            let cfg = EngineConfig::new(3, Policy::symple()).backend(backend);
+            run_spmd(&g, &cfg, |w| {
+                let n = w.graph().num_vertices();
+                let mut arr = vec![0u32; n];
+                for v in w.masters() {
+                    arr[v.index()] = v.raw() * 5;
+                }
+                w.sync_values(&mut arr);
+                (arr, w.allreduce(w.rank() as u64, |a, b| a + b))
+            })
+        };
+        let sim = job(symple_net::Backend::Sim);
+        let thread = job(symple_net::Backend::Thread);
+        assert_eq!(sim.outputs, thread.outputs);
+        assert_eq!(sim.stats.work, thread.stats.work);
+        assert_eq!(sim.stats.comm, thread.stats.comm);
+        assert_eq!(sim.stats.virtual_time(), thread.stats.virtual_time());
+        // Both backends measure a per-machine critical path.
+        assert!(sim.stats.max_node_wall() > Duration::ZERO);
+        assert!(thread.stats.max_node_wall() > Duration::ZERO);
+        assert!(thread.stats.max_node_wall() <= thread.stats.wall());
     }
 
     #[test]

@@ -58,9 +58,10 @@ pub use worker::Worker;
 
 // Tracing, codec, and fault-injection vocabulary, re-exported so
 // algorithm and application crates can configure
-// `EngineConfig::{trace_level,wire_codec,fault_plan,retry}` and consume
-// `RunStats::{trace,comm}` without depending on symple-net directly.
+// `EngineConfig::{trace_level,wire_codec,fault_plan,retry,backend}` and
+// consume `RunStats::{trace,comm}` without depending on symple-net
+// directly.
 pub use symple_net::{
-    ByteCategory, FaultPlan, MetricsReport, NetError, ReliableStats, RetryConfig, SpanCategory,
-    Trace, TraceLevel, WireCodec, WireFormat,
+    Backend, ByteCategory, FaultPlan, MetricsReport, NetError, ReliableStats, RetryConfig,
+    SpanCategory, Trace, TraceLevel, WireCodec, WireFormat,
 };

@@ -171,9 +171,14 @@ pub struct TimeStats {
     /// Modelled makespan on the emulated cluster (seconds of virtual
     /// time; the maximum machine clock).
     pub virtual_secs: f64,
-    /// Host wall-clock time of the simulation (not comparable to paper
-    /// numbers; see DESIGN.md).
+    /// Host wall-clock time of the whole run, as observed by the driver
+    /// (not comparable to paper numbers; see DESIGN.md).
     pub wall: Duration,
+    /// Measured critical-path wall time: the slowest machine's own
+    /// wall-clock, excluding cluster setup and teardown. On the thread
+    /// backend this is the measured counterpart of `virtual_secs`; on the
+    /// simulator it only reflects host scheduling.
+    pub max_node_wall: Duration,
     breakdown: [f64; 7],
 }
 
@@ -187,6 +192,7 @@ impl TimeStats {
         TimeStats {
             virtual_secs,
             wall,
+            max_node_wall: Duration::ZERO,
             breakdown,
         }
     }
@@ -231,6 +237,12 @@ impl RunStats {
     /// Host wall-clock time (shorthand for `self.time.wall`).
     pub fn wall(&self) -> Duration {
         self.time.wall
+    }
+
+    /// Measured critical-path wall time — the slowest machine's wall
+    /// clock (shorthand for `self.time.max_node_wall`).
+    pub fn max_node_wall(&self) -> Duration {
+        self.time.max_node_wall
     }
 
     /// Edges traversed normalised to a graph's edge count — Table 5's

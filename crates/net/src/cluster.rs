@@ -1,11 +1,19 @@
-//! The simulated cluster: nodes, tagged point-to-point messages, and
-//! collectives, all with virtual-time accounting.
+//! The cluster: nodes, tagged point-to-point messages, and collectives,
+//! all with virtual-time accounting, over a pluggable [`Transport`].
 //!
 //! Protocol contract (SPMD, like MPI): every node runs the same closure;
 //! collectives must be called by all nodes in the same order; point-to-point
 //! receives name their source and tag. Receives are blocking with a
 //! generous timeout so protocol bugs surface as diagnostics instead of
 //! hangs.
+//!
+//! The message protocol is written against [`Transport`]/[`TransportPort`]
+//! (see [`crate::transport`]): everything in this module — tag matching,
+//! clock accounting, collectives, reliable delivery, tracing — is shared
+//! by every backend, which is why outputs, `CommStats`, virtual time, and
+//! traces are bit-identical between [`Backend::Sim`] and
+//! [`Backend::Thread`]. Construct clusters through [`ClusterBuilder`]
+//! (or the [`Cluster::new`] shorthand for defaults).
 //!
 //! With a [`FaultPlan`] installed ([`Cluster::fault_plan`]), every message
 //! additionally runs through a reliable-delivery layer: copies can be
@@ -17,9 +25,12 @@
 //! trace structure stay bit-identical to the fault-free run; only
 //! [`crate::ReliableStats`] and the virtual clock absorb the damage.
 
+use crate::transport::{
+    Backend, Envelope, SimTransport, ThreadTransport, Transport, TransportPort,
+    DEFAULT_CHANNEL_CAPACITY,
+};
 use crate::{CommKind, CommStats, CostModel, FaultPlan, NetError, RetryConfig};
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use symple_trace::{SpanCategory, Trace, TraceLevel, TraceRecorder};
@@ -58,24 +69,6 @@ impl Tag {
     }
 }
 
-#[derive(Debug)]
-struct Envelope {
-    src: usize,
-    tag: Tag,
-    depart: f64,
-    /// Shared so collectives can broadcast one buffer without one clone
-    /// per destination; the receiver unwraps it (or clones, if other
-    /// references are still live) on arrival.
-    payload: Arc<Vec<u8>>,
-    /// Set when the sending node panicked: receivers fail fast instead of
-    /// waiting out the deadlock timeout.
-    poison: bool,
-    /// Position in the per-(src, tag) stream, assigned by the reliable
-    /// layer (always 0 when no fault plan is active). Duplicated copies
-    /// share the original's number, which is how the receiver spots them.
-    seq: u64,
-}
-
 /// Per-node state of the reliable-delivery protocol (present only when a
 /// fault plan is installed). Sequence numbers are per (peer, tag) stream
 /// and assigned in the node's deterministic send order, so the whole
@@ -97,8 +90,9 @@ pub struct NodeCtx {
     world: usize,
     clock: f64,
     cost: CostModel,
-    senders: Vec<Sender<Envelope>>,
-    inbox: Receiver<Envelope>,
+    /// The transport endpoint carrying this node's traffic; everything
+    /// above it (tag matching, clocks, reliability) is backend-agnostic.
+    port: Box<dyn TransportPort>,
     /// Out-of-order messages, indexed by (source, tag) so heavily
     /// reordered steps match in O(1) instead of rescanning a flat list.
     /// Without faults, messages with the same key stay FIFO in their
@@ -130,6 +124,18 @@ impl NodeCtx {
     /// Number of nodes in the cluster.
     pub fn world(&self) -> usize {
         self.world
+    }
+
+    /// Which transport backend carries this node's messages.
+    pub fn backend(&self) -> Backend {
+        self.port.backend()
+    }
+
+    /// Wall-clock time this node has spent blocked in transport
+    /// operations (the *measured* communication wait, as opposed to the
+    /// modelled waits on the virtual clock).
+    pub fn comm_wall(&self) -> Duration {
+        self.port.comm_wall()
     }
 
     /// Current virtual time in seconds.
@@ -295,9 +301,7 @@ impl NodeCtx {
                     poison: false,
                     seq: 0,
                 };
-                // Receiver side may have already exited on panic; dropping
-                // the message then is fine — the cluster is being torn down.
-                let _ = self.senders[dst].send(env);
+                self.port.send(dst, env);
                 return Ok(());
             }
             Some(link) => {
@@ -375,9 +379,9 @@ impl NodeCtx {
             held.push_back(env);
             held.extend(duplicate);
         } else {
-            let _ = self.senders[dst].send(env);
+            self.port.send(dst, env);
             if let Some(dup) = duplicate {
-                let _ = self.senders[dst].send(dup);
+                self.port.send(dst, dup);
             }
             self.flush_deferred(dst);
         }
@@ -389,7 +393,7 @@ impl NodeCtx {
     fn flush_deferred(&mut self, dst: usize) {
         if let Some(held) = self.deferred.remove(&dst) {
             for env in held {
-                let _ = self.senders[dst].send(env);
+                self.port.send(dst, env);
             }
         }
     }
@@ -434,17 +438,17 @@ impl NodeCtx {
         let deadline = Instant::now() + self.recv_timeout;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
-            match self.inbox.recv_timeout(remaining) {
-                Ok(env) if env.poison => {
+            match self.port.recv(remaining) {
+                Some(env) if env.poison => {
                     panic!("node {} aborting: peer {} panicked", self.rank, env.src)
                 }
-                Ok(env) if env.src == src && env.tag == tag => return self.arrive(env),
-                Ok(env) => self
+                Some(env) if env.src == src && env.tag == tag => return self.arrive(env),
+                Some(env) => self
                     .pending
                     .entry((env.src, env.tag))
                     .or_default()
                     .push_back(env),
-                Err(_) => self.recv_timeout_panic(src, tag),
+                None => self.recv_timeout_panic(src, tag),
             }
         }
     }
@@ -477,15 +481,15 @@ impl NodeCtx {
         let deadline = Instant::now() + self.recv_timeout;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
-            match self.inbox.recv_timeout(remaining) {
-                Ok(env) if env.poison => {
+            match self.port.recv(remaining) {
+                Some(env) if env.poison => {
                     panic!("node {} aborting: peer {} panicked", self.rank, env.src)
                 }
-                Ok(env) if env.src == src && env.tag == tag && env.seq == expected => {
+                Some(env) if env.src == src && env.tag == tag && env.seq == expected => {
                     return self.accept(src, tag, env);
                 }
-                Ok(env) => self.stash(env),
-                Err(_) => self.recv_timeout_panic(src, tag),
+                Some(env) => self.stash(env),
+                None => self.recv_timeout_panic(src, tag),
             }
         }
     }
@@ -649,14 +653,178 @@ pub struct ClusterResult<T> {
     pub stats: CommStats,
     /// Final virtual time: the maximum node clock (modelled makespan).
     pub virtual_time: f64,
-    /// Host wall-clock duration of the run.
+    /// Host wall-clock duration of the whole run (includes spawn/join
+    /// overhead; see [`ClusterResult::node_wall`] for per-node figures).
     pub wall: Duration,
+    /// Measured wall-clock duration of each node's closure, indexed by
+    /// rank — the per-node counterpart of `wall`, and the number to
+    /// compare against per-node virtual clocks.
+    pub node_wall: Vec<Duration>,
+    /// Which transport backend carried the run's messages.
+    pub backend: Backend,
     /// Categorized virtual-time and traffic attribution, one track per
     /// machine (empty cells at [`TraceLevel::Off`]).
     pub traces: Trace,
 }
 
-/// A simulated cluster: `p` nodes with a shared cost model.
+impl<T> ClusterResult<T> {
+    /// The critical-path wall time: the slowest node's measured
+    /// wall-clock duration. This — not [`ClusterResult::wall`], which
+    /// also counts spawn/join overhead — is the measured analogue of
+    /// [`ClusterResult::virtual_time`] (itself the max node clock).
+    pub fn max_node_wall(&self) -> Duration {
+        self.node_wall.iter().copied().max().unwrap_or_default()
+    }
+}
+
+/// Validated construction of a [`Cluster`]: one coherent path shared by
+/// the engine driver, tests, benches, and examples (replacing the old
+/// scattered `Cluster` setter chain).
+///
+/// # Example
+///
+/// ```
+/// use symple_net::{Backend, Cluster, CostModel, TraceLevel};
+/// use std::time::Duration;
+///
+/// let cluster = Cluster::builder(4)
+///     .cost(CostModel::cluster_a())
+///     .backend(Backend::Thread)
+///     .trace_level(TraceLevel::Metrics)
+///     .recv_timeout(Duration::from_secs(30))
+///     .build()
+///     .unwrap();
+/// let r = cluster.run(|ctx| ctx.allreduce_u64_sum(1));
+/// assert_eq!(r.outputs, vec![4; 4]);
+/// assert_eq!(r.backend, Backend::Thread);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    nodes: usize,
+    cost: CostModel,
+    backend: Backend,
+    channel_capacity: usize,
+    custom: Option<Arc<dyn Transport>>,
+    recv_timeout: Duration,
+    trace_level: TraceLevel,
+    fault_plan: Option<FaultPlan>,
+    retry: RetryConfig,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder for `nodes` nodes with the defaults: Cluster-A
+    /// cost model, [`Backend::Sim`], 120 s deadlock timeout,
+    /// [`TraceLevel::Metrics`], no fault plan.
+    pub fn new(nodes: usize) -> Self {
+        ClusterBuilder {
+            nodes,
+            cost: CostModel::cluster_a(),
+            backend: Backend::Sim,
+            channel_capacity: DEFAULT_CHANNEL_CAPACITY,
+            custom: None,
+            recv_timeout: Duration::from_secs(120),
+            trace_level: TraceLevel::default(),
+            fault_plan: None,
+            retry: RetryConfig::default(),
+        }
+    }
+
+    /// Sets the virtual-time cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Selects the built-in transport backend (default [`Backend::Sim`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the bounded-inbox capacity used by [`Backend::Thread`]
+    /// (ignored by the simulator; default
+    /// [`DEFAULT_CHANNEL_CAPACITY`]).
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        self.channel_capacity = capacity;
+        self
+    }
+
+    /// Plugs in a custom [`Transport`], overriding
+    /// [`ClusterBuilder::backend`].
+    pub fn transport(mut self, transport: impl Transport + 'static) -> Self {
+        self.custom = Some(Arc::new(transport));
+        self
+    }
+
+    /// Overrides the deadlock-detection receive timeout.
+    pub fn recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout;
+        self
+    }
+
+    /// Sets how much each node records (default [`TraceLevel::Metrics`]).
+    pub fn trace_level(mut self, level: TraceLevel) -> Self {
+        self.trace_level = level;
+        self
+    }
+
+    /// Installs a deterministic fault plan (default: none). Every message
+    /// then runs through the reliable-delivery layer; node outputs stay
+    /// identical to the fault-free run while [`crate::ReliableStats`]
+    /// records the absorbed faults.
+    pub fn fault_plan(mut self, plan: impl Into<Option<FaultPlan>>) -> Self {
+        self.fault_plan = plan.into();
+        self
+    }
+
+    /// Overrides the retry protocol knobs (only meaningful together with
+    /// [`ClusterBuilder::fault_plan`]).
+    pub fn retry(mut self, retry: RetryConfig) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Validates the configuration and builds the cluster.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::EmptyCluster`] for zero nodes,
+    /// [`NetError::ZeroChannelCapacity`] for a zero thread-backend inbox,
+    /// [`NetError::InvalidFaultPlan`] / [`NetError::InvalidRetry`] when a
+    /// fault plan is installed with out-of-range knobs.
+    pub fn build(self) -> Result<Cluster, NetError> {
+        if self.nodes == 0 {
+            return Err(NetError::EmptyCluster);
+        }
+        if self.channel_capacity == 0 {
+            return Err(NetError::ZeroChannelCapacity);
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate().map_err(NetError::InvalidFaultPlan)?;
+            self.retry.validate().map_err(NetError::InvalidRetry)?;
+        }
+        let transport: Arc<dyn Transport> = match self.custom {
+            Some(custom) => custom,
+            None => match self.backend {
+                Backend::Sim => Arc::new(SimTransport),
+                Backend::Thread => Arc::new(ThreadTransport::new(self.channel_capacity)),
+            },
+        };
+        Ok(Cluster {
+            nodes: self.nodes,
+            cost: self.cost,
+            recv_timeout: self.recv_timeout,
+            trace_level: self.trace_level,
+            fault_plan: self.fault_plan,
+            retry: self.retry,
+            transport,
+        })
+    }
+}
+
+/// A cluster: `p` nodes with a shared cost model over a pluggable
+/// [`Transport`]. Build with [`Cluster::builder`] (validated) or
+/// [`Cluster::new`] (defaults shorthand).
 ///
 /// # Example
 ///
@@ -683,57 +851,38 @@ pub struct Cluster {
     trace_level: TraceLevel,
     fault_plan: Option<FaultPlan>,
     retry: RetryConfig,
+    transport: Arc<dyn Transport>,
 }
 
 impl Cluster {
-    /// Creates a cluster of `nodes` nodes.
+    /// Starts a validated [`ClusterBuilder`] for `nodes` nodes.
+    pub fn builder(nodes: usize) -> ClusterBuilder {
+        ClusterBuilder::new(nodes)
+    }
+
+    /// Creates a default cluster of `nodes` nodes on the simulator
+    /// backend — shorthand for `Cluster::builder(nodes).cost(cost)
+    /// .build()`.
     ///
     /// # Panics
     ///
-    /// Panics if `nodes == 0`.
+    /// Panics if `nodes == 0`; use [`Cluster::builder`] to handle
+    /// configuration errors gracefully.
     pub fn new(nodes: usize, cost: CostModel) -> Self {
-        assert!(nodes > 0, "cluster must have at least one node");
-        Cluster {
-            nodes,
-            cost,
-            recv_timeout: Duration::from_secs(120),
-            trace_level: TraceLevel::default(),
-            fault_plan: None,
-            retry: RetryConfig::default(),
+        match Cluster::builder(nodes).cost(cost).build() {
+            Ok(cluster) => cluster,
+            Err(e) => panic!("{e}"),
         }
-    }
-
-    /// Overrides the deadlock-detection receive timeout.
-    pub fn recv_timeout(mut self, timeout: Duration) -> Self {
-        self.recv_timeout = timeout;
-        self
-    }
-
-    /// Sets how much each node records (default [`TraceLevel::Metrics`]).
-    pub fn trace_level(mut self, level: TraceLevel) -> Self {
-        self.trace_level = level;
-        self
-    }
-
-    /// Installs a deterministic fault plan (default: none). Every message
-    /// then runs through the reliable-delivery layer; node outputs stay
-    /// identical to the fault-free run while [`crate::ReliableStats`]
-    /// records the absorbed faults.
-    pub fn fault_plan(mut self, plan: impl Into<Option<FaultPlan>>) -> Self {
-        self.fault_plan = plan.into();
-        self
-    }
-
-    /// Overrides the retry protocol knobs (only meaningful together with
-    /// [`Cluster::fault_plan`]).
-    pub fn retry(mut self, retry: RetryConfig) -> Self {
-        self.retry = retry;
-        self
     }
 
     /// Number of nodes.
     pub fn nodes(&self) -> usize {
         self.nodes
+    }
+
+    /// Which transport backend this cluster runs on.
+    pub fn backend(&self) -> Backend {
+        self.transport.backend()
     }
 
     /// Runs `f` on every node (as a thread) and collects the results.
@@ -747,28 +896,18 @@ impl Cluster {
         F: Fn(&mut NodeCtx) -> T + Sync,
     {
         let p = self.nodes;
-        if let Some(plan) = &self.fault_plan {
-            if let Err(e) = plan.validate() {
-                panic!("invalid fault plan: {e}");
-            }
-            if let Err(e) = self.retry.validate() {
-                panic!("invalid retry config: {e}");
-            }
-        }
-        let mut txs: Vec<Sender<Envelope>> = Vec::with_capacity(p);
-        let mut rxs: Vec<Receiver<Envelope>> = Vec::with_capacity(p);
-        for _ in 0..p {
-            let (tx, rx) = channel();
-            txs.push(tx);
-            rxs.push(rx);
-        }
+        let mut ports = self.transport.connect(p, self.recv_timeout);
+        assert_eq!(
+            ports.len(),
+            p,
+            "transport must wire exactly one port per rank"
+        );
         let start = Instant::now();
-        type Slot<T> = Option<(T, CommStats, f64, symple_trace::NodeTrace)>;
+        type Slot<T> = Option<(T, CommStats, f64, symple_trace::NodeTrace, Duration)>;
         let mut slots: Vec<Slot<T>> = (0..p).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
-            for (rank, (rx, slot)) in rxs.drain(..).zip(slots.iter_mut()).enumerate() {
-                let senders = txs.clone();
+            for (rank, (port, slot)) in ports.drain(..).zip(slots.iter_mut()).enumerate() {
                 let f = &f;
                 let cost = self.cost;
                 let recv_timeout = self.recv_timeout;
@@ -780,13 +919,13 @@ impl Cluster {
                     expected: HashMap::new(),
                 });
                 handles.push(scope.spawn(move || {
+                    let node_start = Instant::now();
                     let mut ctx = NodeCtx {
                         rank,
                         world: p,
                         clock: 0.0,
                         cost,
-                        senders,
-                        inbox: rx,
+                        port,
                         pending: HashMap::new(),
                         stats: CommStats::default(),
                         coll_epoch: 0,
@@ -804,20 +943,29 @@ impl Cluster {
                         ctx.flush_all_deferred();
                     }
                     match result {
-                        Ok(out) => *slot = Some((out, ctx.stats, ctx.clock, ctx.trace.finish())),
+                        Ok(out) => {
+                            let wall = node_start.elapsed();
+                            let mut trace = ctx.trace.finish();
+                            trace.wall_secs = wall.as_secs_f64();
+                            trace.comm_wall_secs = ctx.port.comm_wall().as_secs_f64();
+                            *slot = Some((out, ctx.stats, ctx.clock, trace, wall));
+                        }
                         Err(e) => {
                             // fail fast: poison every peer so they don't
                             // wait out their receive timeouts
                             for dst in 0..p {
                                 if dst != rank {
-                                    let _ = ctx.senders[dst].send(Envelope {
-                                        src: rank,
-                                        tag: Tag::new(TagKind::Collective, u64::MAX, 0),
-                                        depart: 0.0,
-                                        payload: Arc::new(Vec::new()),
-                                        poison: true,
-                                        seq: 0,
-                                    });
+                                    ctx.port.poison(
+                                        dst,
+                                        Envelope {
+                                            src: rank,
+                                            tag: Tag::new(TagKind::Collective, u64::MAX, 0),
+                                            depart: 0.0,
+                                            payload: Arc::new(Vec::new()),
+                                            poison: true,
+                                            seq: 0,
+                                        },
+                                    );
                                 }
                             }
                             std::panic::resume_unwind(e);
@@ -849,13 +997,15 @@ impl Cluster {
         let mut outputs = Vec::with_capacity(p);
         let mut per_node_stats = Vec::with_capacity(p);
         let mut node_traces = Vec::with_capacity(p);
+        let mut node_wall = Vec::with_capacity(p);
         let mut total = CommStats::default();
         let mut virtual_time: f64 = 0.0;
         for slot in slots {
-            let (out, stats, clock, trace) = slot.expect("node completed without result");
+            let (out, stats, clock, trace, wall) = slot.expect("node completed without result");
             outputs.push(out);
             per_node_stats.push(stats);
             node_traces.push(trace);
+            node_wall.push(wall);
             total += stats;
             virtual_time = virtual_time.max(clock);
         }
@@ -865,6 +1015,8 @@ impl Cluster {
             stats: total,
             virtual_time,
             wall,
+            node_wall,
+            backend: self.transport.backend(),
             traces: Trace::new(node_traces),
         }
     }
@@ -876,6 +1028,11 @@ mod tests {
 
     fn user_tag(a: u64) -> Tag {
         Tag::new(TagKind::User, a, 0)
+    }
+
+    /// Builder shorthand used throughout the tests.
+    fn cluster(nodes: usize, cost: CostModel) -> ClusterBuilder {
+        Cluster::builder(nodes).cost(cost)
     }
 
     #[test]
@@ -959,8 +1116,10 @@ mod tests {
             ..CostModel::zero()
         };
         let chunks = [(10, 0), (1, 0), (1, 0), (1, 0)];
-        let r = Cluster::new(1, cost)
+        let r = cluster(1, cost)
             .trace_level(TraceLevel::Full)
+            .build()
+            .unwrap()
             .run(|ctx| {
                 ctx.compute_sharded(&chunks, 2);
                 ctx.virtual_clock()
@@ -1070,8 +1229,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "node 1 panicked")]
     fn node_panic_is_reported_with_rank() {
-        Cluster::new(2, CostModel::zero())
+        cluster(2, CostModel::zero())
             .recv_timeout(Duration::from_millis(200))
+            .build()
+            .unwrap()
             .run(|ctx| {
                 if ctx.rank() == 1 {
                     panic!("boom");
@@ -1082,8 +1243,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "timed out")]
     fn deadlock_is_diagnosed() {
-        Cluster::new(2, CostModel::zero())
+        cluster(2, CostModel::zero())
             .recv_timeout(Duration::from_millis(100))
+            .build()
+            .unwrap()
             .run(|ctx| {
                 if ctx.rank() == 0 {
                     // nothing ever sent
@@ -1122,8 +1285,10 @@ mod tests {
             per_byte_sec: 0.5,
             msg_overhead_sec: 0.25,
         };
-        let r = Cluster::new(2, cost)
+        let r = cluster(2, cost)
             .trace_level(TraceLevel::Full)
+            .build()
+            .unwrap()
             .run(|ctx| {
                 ctx.set_trace_scope(0, ctx.rank() as u32, 0);
                 if ctx.rank() == 0 {
@@ -1161,8 +1326,10 @@ mod tests {
 
     #[test]
     fn trace_splits_barrier_from_other_collectives() {
-        let r = Cluster::new(2, CostModel::cluster_a())
+        let r = cluster(2, CostModel::cluster_a())
             .trace_level(TraceLevel::Metrics)
+            .build()
+            .unwrap()
             .run(|ctx| {
                 if ctx.rank() == 1 {
                     ctx.advance(1.0);
@@ -1204,7 +1371,10 @@ mod tests {
     fn zero_rate_plan_only_adds_acks() {
         let clean = ring_exchange(Cluster::new(3, CostModel::cluster_a()), 4);
         let faulted = ring_exchange(
-            Cluster::new(3, CostModel::cluster_a()).fault_plan(FaultPlan::new(1)),
+            cluster(3, CostModel::cluster_a())
+                .fault_plan(FaultPlan::new(1))
+                .build()
+                .unwrap(),
             4,
         );
         assert_eq!(clean.outputs, faulted.outputs);
@@ -1221,7 +1391,10 @@ mod tests {
     fn chaos_is_absorbed_below_the_engine() {
         let clean = ring_exchange(Cluster::new(4, CostModel::cluster_a()), 16);
         let faulted = ring_exchange(
-            Cluster::new(4, CostModel::cluster_a()).fault_plan(FaultPlan::chaos(7)),
+            cluster(4, CostModel::cluster_a())
+                .fault_plan(FaultPlan::chaos(7))
+                .build()
+                .unwrap(),
             16,
         );
         assert_eq!(clean.outputs, faulted.outputs, "payloads survive chaos");
@@ -1247,7 +1420,10 @@ mod tests {
         );
         // Determinism: the same plan injures the same copies.
         let again = ring_exchange(
-            Cluster::new(4, CostModel::cluster_a()).fault_plan(FaultPlan::chaos(7)),
+            cluster(4, CostModel::cluster_a())
+                .fault_plan(FaultPlan::chaos(7))
+                .build()
+                .unwrap(),
             16,
         );
         assert_eq!(again.stats, faulted.stats);
@@ -1259,8 +1435,10 @@ mod tests {
         // Every copy is physically reordered; the seq protocol must
         // restore the send order within the (src, tag) stream.
         let plan = FaultPlan::new(3).reorder_rate(1.0);
-        let r = Cluster::new(2, CostModel::zero())
+        let r = cluster(2, CostModel::zero())
             .fault_plan(plan)
+            .build()
+            .unwrap()
             .run(|ctx| {
                 if ctx.rank() == 0 {
                     for v in [1u8, 2, 3] {
@@ -1281,8 +1459,10 @@ mod tests {
 
     #[test]
     fn collectives_survive_chaos() {
-        let r = Cluster::new(4, CostModel::cluster_a())
+        let r = cluster(4, CostModel::cluster_a())
             .fault_plan(FaultPlan::chaos(11))
+            .build()
+            .unwrap()
             .run(|ctx| {
                 ctx.barrier();
                 let sum = ctx.allreduce_u64_sum(ctx.rank() as u64 + 1);
@@ -1302,9 +1482,11 @@ mod tests {
             max_attempts: 3,
             ..RetryConfig::default()
         };
-        let r = Cluster::new(2, CostModel::zero())
+        let r = cluster(2, CostModel::zero())
             .fault_plan(plan)
             .retry(retry)
+            .build()
+            .unwrap()
             .run(|ctx| {
                 if ctx.rank() == 0 {
                     ctx.try_send(1, user_tag(0), CommKind::Update, vec![1])
@@ -1333,10 +1515,12 @@ mod tests {
             max_attempts: 2,
             ..RetryConfig::default()
         };
-        Cluster::new(2, CostModel::zero())
+        cluster(2, CostModel::zero())
             .fault_plan(plan)
             .retry(retry)
             .recv_timeout(Duration::from_millis(200))
+            .build()
+            .unwrap()
             .run(|ctx| {
                 if ctx.rank() == 0 {
                     ctx.send(1, user_tag(0), CommKind::Update, vec![1]);
@@ -1345,20 +1529,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid fault plan")]
-    fn invalid_plan_is_rejected_up_front() {
-        Cluster::new(1, CostModel::zero())
+    fn invalid_plan_is_a_typed_builder_error() {
+        let err = cluster(1, CostModel::zero())
             .fault_plan(FaultPlan::new(0).drop_rate(2.0))
-            .run(|_| ());
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NetError::InvalidFaultPlan(_)));
+        assert!(err.to_string().contains("invalid fault plan"));
+        let err = Cluster::builder(0).build().unwrap_err();
+        assert_eq!(err, NetError::EmptyCluster);
+        let err = Cluster::builder(2).channel_capacity(0).build().unwrap_err();
+        assert_eq!(err, NetError::ZeroChannelCapacity);
     }
 
     #[test]
     fn retry_accounting_reaches_the_trace() {
         let plan = FaultPlan::new(9).drop_rate(0.5).dup_rate(0.5);
         let r = ring_exchange(
-            Cluster::new(2, CostModel::cluster_a())
+            cluster(2, CostModel::cluster_a())
                 .fault_plan(plan)
-                .trace_level(TraceLevel::Full),
+                .trace_level(TraceLevel::Full)
+                .build()
+                .unwrap(),
             24,
         );
         let rel = r.stats.reliable();
@@ -1376,8 +1568,10 @@ mod tests {
 
     #[test]
     fn trace_level_off_records_nothing() {
-        let r = Cluster::new(2, CostModel::cluster_a())
+        let r = cluster(2, CostModel::cluster_a())
             .trace_level(TraceLevel::Off)
+            .build()
+            .unwrap()
             .run(|ctx| {
                 ctx.compute(100, 10);
                 ctx.barrier();
@@ -1385,5 +1579,113 @@ mod tests {
         assert!(r.traces.nodes.iter().all(|n| n.cells.is_empty()));
         // Raw stats still count.
         assert!(r.stats.total_bytes() > 0);
+    }
+
+    #[test]
+    fn thread_backend_matches_sim_bit_for_bit() {
+        let run = |backend: Backend| {
+            cluster(4, CostModel::cluster_a())
+                .backend(backend)
+                .trace_level(TraceLevel::Metrics)
+                .build()
+                .unwrap()
+                .run(|ctx| {
+                    ctx.compute(1000, 100);
+                    let next = (ctx.rank() + 1) % ctx.world();
+                    let prev = (ctx.rank() + ctx.world() - 1) % ctx.world();
+                    ctx.send(
+                        next,
+                        user_tag(0),
+                        CommKind::Update,
+                        vec![ctx.rank() as u8; 64],
+                    );
+                    let got = ctx.recv(prev, user_tag(0));
+                    let sum = ctx.allreduce_u64_sum(got[0] as u64);
+                    ctx.barrier();
+                    (
+                        got,
+                        sum,
+                        ctx.allgather_bytes(vec![ctx.rank() as u8], CommKind::Sync),
+                    )
+                })
+        };
+        let sim = run(Backend::Sim);
+        let thread = run(Backend::Thread);
+        assert_eq!(sim.backend, Backend::Sim);
+        assert_eq!(thread.backend, Backend::Thread);
+        // Everything logical is bit-identical; only wall-clock measurements
+        // may differ between backends.
+        assert_eq!(sim.outputs, thread.outputs);
+        assert_eq!(sim.stats, thread.stats);
+        assert_eq!(sim.per_node_stats, thread.per_node_stats);
+        assert_eq!(sim.virtual_time, thread.virtual_time);
+        assert_eq!(sim.traces.to_chrome_json(), thread.traces.to_chrome_json());
+    }
+
+    #[test]
+    fn node_wall_is_recorded_per_node() {
+        for backend in Backend::ALL {
+            let r = cluster(3, CostModel::cluster_a())
+                .backend(backend)
+                .trace_level(TraceLevel::Metrics)
+                .build()
+                .unwrap()
+                .run(|ctx| {
+                    ctx.barrier();
+                    ctx.allreduce_u64_sum(1)
+                });
+            assert_eq!(r.node_wall.len(), 3);
+            assert!(r.node_wall.iter().all(|w| *w > Duration::ZERO));
+            assert!(r.max_node_wall() >= *r.node_wall.iter().max().unwrap());
+            // The measured wall times also land in the per-node traces.
+            for (trace, wall) in r.traces.nodes.iter().zip(&r.node_wall) {
+                assert_eq!(trace.wall_secs, wall.as_secs_f64());
+                assert!(trace.comm_wall_secs >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_plan_is_absorbed_on_the_thread_backend() {
+        let clean = ring_exchange(Cluster::new(3, CostModel::cluster_a()), 8);
+        let faulted = ring_exchange(
+            cluster(3, CostModel::cluster_a())
+                .backend(Backend::Thread)
+                .fault_plan(FaultPlan::chaos(5))
+                .build()
+                .unwrap(),
+            8,
+        );
+        assert_eq!(clean.outputs, faulted.outputs);
+        assert!(faulted.stats.reliable().acks > 0);
+    }
+
+    #[test]
+    fn thread_backend_survives_tiny_channel_capacity() {
+        // Capacity 1 forces constant backpressure: every rank sends a
+        // burst before receiving, which would deadlock without the
+        // drain-while-blocked progress rule in `ThreadPort::send`.
+        let r = cluster(3, CostModel::zero())
+            .backend(Backend::Thread)
+            .channel_capacity(1)
+            .build()
+            .unwrap()
+            .run(|ctx| {
+                let mut seen = Vec::new();
+                for round in 0..16u64 {
+                    for peer in 0..ctx.world() {
+                        if peer != ctx.rank() {
+                            ctx.send(peer, user_tag(round), CommKind::Update, vec![0u8; 128]);
+                        }
+                    }
+                    for peer in 0..ctx.world() {
+                        if peer != ctx.rank() {
+                            seen.push(ctx.recv(peer, user_tag(round)).len());
+                        }
+                    }
+                }
+                seen.iter().sum::<usize>()
+            });
+        assert!(r.outputs.iter().all(|&n| n == 2 * 16 * 128));
     }
 }

@@ -19,6 +19,16 @@ pub enum NetError {
     },
     /// Cluster was configured with zero nodes.
     EmptyCluster,
+    /// `ClusterBuilder` rejected an invalid fault plan; carries the
+    /// offending knob's message.
+    InvalidFaultPlan(&'static str),
+    /// `ClusterBuilder` rejected invalid retry protocol knobs; carries
+    /// the offending knob's message.
+    InvalidRetry(&'static str),
+    /// `ClusterBuilder` was given a zero channel capacity for the thread
+    /// backend (a rendezvous channel would deadlock the blocking
+    /// tag-matched protocol).
+    ZeroChannelCapacity,
     /// The reliable-delivery layer exhausted its retransmission budget:
     /// every one of `attempts` copies of a message was dropped by the
     /// active fault plan. Deterministic per (plan, message).
@@ -39,6 +49,11 @@ impl fmt::Display for NetError {
                 write!(f, "node {rank} timed out waiting for {waiting_for}")
             }
             NetError::EmptyCluster => write!(f, "cluster must have at least one node"),
+            NetError::InvalidFaultPlan(why) => write!(f, "invalid fault plan: {why}"),
+            NetError::InvalidRetry(why) => write!(f, "invalid retry config: {why}"),
+            NetError::ZeroChannelCapacity => {
+                write!(f, "channel capacity must be at least 1 (got 0)")
+            }
             NetError::Unreachable { src, dst, attempts } => write!(
                 f,
                 "node {src} could not deliver to node {dst}: all {attempts} attempts dropped by the fault plan"

@@ -1,15 +1,26 @@
-//! Simulated distributed cluster for the SympleGraph reproduction.
+//! In-process distributed cluster for the SympleGraph reproduction, with
+//! a pluggable [`Transport`].
 //!
 //! The paper evaluates on real clusters (16 × dual-Xeon nodes over 56 Gb/s
 //! InfiniBand, MPI one-sided RDMA). This crate substitutes an **in-process
-//! cluster**: each simulated machine is a thread, every inter-machine
-//! message travels through an in-process channel, and — crucially — every
-//! node maintains a **virtual clock** advanced by a configurable
-//! [`CostModel`]. Sends stamp the sender's clock; receives advance the
-//! receiver's clock to the modelled arrival time. Because the engine's
-//! message protocol is deterministic (blocking, point-to-point, tagged),
-//! the resulting virtual times are an exact conservative simulation of the
-//! modelled network, independent of host scheduling.
+//! cluster**: each machine is a thread, every inter-machine message
+//! travels through a [`Transport`] backend, and — crucially — every node
+//! maintains a **virtual clock** advanced by a configurable [`CostModel`].
+//! Sends stamp the sender's clock; receives advance the receiver's clock
+//! to the modelled arrival time. Because the engine's message protocol is
+//! deterministic (blocking, point-to-point, tagged), the resulting virtual
+//! times are an exact conservative simulation of the modelled network,
+//! independent of host scheduling.
+//!
+//! Two backends ship ([`Backend`]):
+//! * [`SimTransport`] — unbounded channels, the bit-deterministic
+//!   reference;
+//! * [`ThreadTransport`] — bounded channels with real backpressure, so
+//!   compute and communication genuinely overlap and per-node wall time
+//!   becomes a *measured* signal next to the modelled virtual clock.
+//!
+//! Outputs, [`CommStats`], virtual time, and traces are bit-identical
+//! across backends; only wall-clock measurements differ.
 //!
 //! What this preserves from the paper's testbed:
 //! * exact byte counts per communication category (update vs dependency vs
@@ -43,9 +54,10 @@ mod cost;
 mod error;
 mod reliable;
 mod stats;
+mod transport;
 mod wire;
 
-pub use cluster::{Cluster, ClusterResult, NodeCtx, Tag, TagKind};
+pub use cluster::{Cluster, ClusterBuilder, ClusterResult, NodeCtx, Tag, TagKind};
 pub use codec::{
     decode_dep_range, decode_updates, dep_range_sizes, dep_records, encode_dep_range,
     encode_updates, read_varint, varint_len, write_varint, CodecStats, DepRecords, WireCodec,
@@ -55,6 +67,10 @@ pub use cost::CostModel;
 pub use error::NetError;
 pub use reliable::{Delivery, FaultPlan, RetryConfig};
 pub use stats::{CommKind, CommStats, ReliableStats, COMM_KINDS};
+pub use transport::{
+    Backend, Envelope, SimTransport, ThreadTransport, Transport, TransportPort,
+    DEFAULT_CHANNEL_CAPACITY,
+};
 pub use wire::{decode_vec, encode_slice, Wire};
 
 // The tracing vocabulary is part of this crate's API surface

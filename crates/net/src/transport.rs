@@ -1,0 +1,466 @@
+//! Pluggable transport layer: how cluster nodes exchange [`Envelope`]s.
+//!
+//! The cluster's message protocol ([`crate::NodeCtx`]) is written against
+//! two small traits instead of a concrete channel type:
+//!
+//! * [`Transport`] — the cluster-wide factory. Called once per run, it
+//!   wires `world` nodes together and hands each rank its endpoint.
+//! * [`TransportPort`] — one rank's endpoint: put an envelope on the wire,
+//!   take the next one off, and account for the wall-clock time spent
+//!   blocked doing either.
+//!
+//! Everything above the port — tag matching, virtual-clock accounting,
+//! collectives, the reliable-delivery protocol, tracing — lives in
+//! [`crate::NodeCtx`] and is **identical across backends**. That is the
+//! contract that makes the backends comparable: outputs, `CommStats`,
+//! virtual time, and trace cells are bit-identical for any transport that
+//! delivers every envelope (per-source FIFO not required; the tag/seq
+//! machinery restores order). What differs per backend is *how* envelopes
+//! physically move and what the measured wall-clock numbers mean.
+//!
+//! Two implementations ship:
+//!
+//! * [`SimTransport`] — the deterministic reference. Unbounded in-process
+//!   queues: a send never blocks, so host wall time stays decoupled from
+//!   the modelled virtual time (DESIGN.md §6). This is the seed behavior,
+//!   bit for bit.
+//! * [`ThreadTransport`] — the "real machine" backend. Every node is
+//!   still an OS thread, but inboxes are **bounded** channels: senders experience
+//!   real backpressure, compute and communication genuinely overlap in
+//!   wall-clock time, and the port records how long it sat blocked. A
+//!   sender stuck on a full peer inbox keeps draining its own inbox (the
+//!   MPI progress rule) so cyclic exchanges of full inboxes cannot
+//!   deadlock.
+
+use crate::Tag;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default bounded-inbox capacity (envelopes) of [`ThreadTransport`].
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 256;
+
+/// How long a blocked bounded send waits between drain attempts.
+const SEND_POLL: Duration = Duration::from_micros(200);
+
+/// Which built-in [`Transport`] implementation carries a cluster's
+/// messages. Selected through `ClusterBuilder::backend` (or
+/// `EngineConfig::backend` one layer up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// The deterministic virtual-time simulator (unbounded queues); the
+    /// reference every other backend is validated against.
+    #[default]
+    Sim,
+    /// Real OS threads over bounded channels: real backpressure and
+    /// measured wall-clock overlap of compute and communication.
+    Thread,
+}
+
+impl Backend {
+    /// Both built-in backends, in validation order.
+    pub const ALL: [Backend; 2] = [Backend::Sim, Backend::Thread];
+
+    /// Stable lower-case name (used in exports and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Thread => "thread",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sim" => Ok(Backend::Sim),
+            "thread" => Ok(Backend::Thread),
+            other => Err(format!("unknown backend `{other}` (sim|thread)")),
+        }
+    }
+}
+
+/// One message on the wire: payload plus the routing and protocol
+/// metadata the cluster layers need. Transports move envelopes opaquely —
+/// every field is written and interpreted above the port.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Sending rank.
+    pub src: usize,
+    /// Message tag (kind + discriminators); see [`crate::Tag`].
+    pub tag: Tag,
+    /// Sender's virtual clock at departure (modelled seconds).
+    pub depart: f64,
+    /// Shared so collectives can broadcast one buffer without one clone
+    /// per destination; the receiver unwraps it (or clones, if other
+    /// references are still live) on arrival.
+    pub payload: Arc<Vec<u8>>,
+    /// Set when the sending node panicked: receivers fail fast instead of
+    /// waiting out the deadlock timeout.
+    pub poison: bool,
+    /// Position in the per-(src, tag) stream, assigned by the reliable
+    /// layer (always 0 when no fault plan is active).
+    pub seq: u64,
+}
+
+/// One rank's endpoint into a [`Transport`].
+///
+/// The contract `NodeCtx` relies on:
+///
+/// * [`TransportPort::send`] must eventually deliver the envelope to
+///   `dst`'s port (it may block under backpressure, but must keep
+///   draining its own inbox while blocked so cyclic exchanges make
+///   progress);
+/// * [`TransportPort::recv`] returns envelopes from this rank's inbox —
+///   any order across sources is fine, per-(src, seq) content must be
+///   unaltered;
+/// * [`TransportPort::comm_wall`] accumulates the real time the port
+///   spent blocked inside `send`/`recv` (the measured communication wait,
+///   as opposed to the modelled one on the virtual clock).
+pub trait TransportPort: Send {
+    /// Which backend this port belongs to.
+    fn backend(&self) -> Backend;
+
+    /// Puts `env` on the wire towards `dst`. May block under
+    /// backpressure; silently drops the envelope if `dst` has already
+    /// torn down (the cluster is unwinding).
+    fn send(&mut self, dst: usize, env: Envelope);
+
+    /// Best-effort non-blocking send used to poison peers during panic
+    /// unwinding — must never block, may drop the envelope.
+    fn poison(&mut self, dst: usize, env: Envelope);
+
+    /// Takes the next envelope off this rank's inbox, blocking up to
+    /// `timeout`. `None` means nothing arrived in time (the caller
+    /// diagnoses the deadlock).
+    fn recv(&mut self, timeout: Duration) -> Option<Envelope>;
+
+    /// Total wall-clock time this port has spent blocked in
+    /// [`TransportPort::send`] / [`TransportPort::recv`].
+    fn comm_wall(&self) -> Duration;
+}
+
+/// Cluster-wide transport factory: wires `world` ranks together and
+/// hands out one [`TransportPort`] per rank, indexed by rank.
+pub trait Transport: Send + Sync + fmt::Debug {
+    /// Which built-in backend this transport implements (custom
+    /// transports report the built-in they are closest to; the value is
+    /// informational — it tags results and traces).
+    fn backend(&self) -> Backend;
+
+    /// Builds the connected ports. `deadline` is the cluster's receive
+    /// timeout — ports may use it to bound their own blocking operations.
+    fn connect(&self, world: usize, deadline: Duration) -> Vec<Box<dyn TransportPort>>;
+}
+
+/// The deterministic virtual-time reference backend.
+///
+/// Unbounded in-process queues: sends never block, receives block until
+/// matched. All timing lives on the virtual clock; host wall time is an
+/// artifact of the simulation and carries no modelled meaning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimTransport;
+
+struct SimPort {
+    senders: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    blocked: Duration,
+}
+
+impl Transport for SimTransport {
+    fn backend(&self) -> Backend {
+        Backend::Sim
+    }
+
+    fn connect(&self, world: usize, _deadline: Duration) -> Vec<Box<dyn TransportPort>> {
+        let mut txs = Vec::with_capacity(world);
+        let mut rxs = Vec::with_capacity(world);
+        for _ in 0..world {
+            let (tx, rx) = channel();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        rxs.into_iter()
+            .map(|rx| {
+                Box::new(SimPort {
+                    senders: txs.clone(),
+                    inbox: rx,
+                    blocked: Duration::ZERO,
+                }) as Box<dyn TransportPort>
+            })
+            .collect()
+    }
+}
+
+impl TransportPort for SimPort {
+    fn backend(&self) -> Backend {
+        Backend::Sim
+    }
+
+    fn send(&mut self, dst: usize, env: Envelope) {
+        // Receiver side may have already exited on panic; dropping the
+        // message then is fine — the cluster is being torn down.
+        let _ = self.senders[dst].send(env);
+    }
+
+    fn poison(&mut self, dst: usize, env: Envelope) {
+        let _ = self.senders[dst].send(env);
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Option<Envelope> {
+        let start = Instant::now();
+        let got = self.inbox.recv_timeout(timeout).ok();
+        self.blocked += start.elapsed();
+        got
+    }
+
+    fn comm_wall(&self) -> Duration {
+        self.blocked
+    }
+}
+
+/// The real OS-thread backend: bounded per-rank inboxes.
+///
+/// Senders block when a peer's inbox is full (real backpressure); while
+/// blocked they keep draining their own inbox into a local stash so a
+/// cycle of mutually-full inboxes cannot deadlock. All *logical*
+/// accounting (outputs, `CommStats`, virtual clock, traces) is identical
+/// to [`SimTransport`]; what this backend adds is **measured** wall-clock
+/// behavior — per-node wall time and blocked-communication time — under
+/// genuine compute/communication overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadTransport {
+    /// Inbox capacity in envelopes (> 0). Smaller values mean tighter
+    /// backpressure; [`DEFAULT_CHANNEL_CAPACITY`] by default.
+    pub capacity: usize,
+}
+
+impl ThreadTransport {
+    /// A thread transport with the given inbox capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` (a rendezvous channel would deadlock the
+    /// blocking tag-matched protocol; use `ClusterBuilder`, which rejects
+    /// it as a typed error instead).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "channel capacity must be at least 1");
+        ThreadTransport { capacity }
+    }
+}
+
+impl Default for ThreadTransport {
+    fn default() -> Self {
+        ThreadTransport {
+            capacity: DEFAULT_CHANNEL_CAPACITY,
+        }
+    }
+}
+
+struct ThreadPort {
+    senders: Vec<SyncSender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    /// Envelopes drained from our own inbox while blocked on a full peer;
+    /// served FIFO ahead of the channel by `recv`.
+    stash: VecDeque<Envelope>,
+    blocked: Duration,
+    deadline: Duration,
+}
+
+impl Transport for ThreadTransport {
+    fn backend(&self) -> Backend {
+        Backend::Thread
+    }
+
+    fn connect(&self, world: usize, deadline: Duration) -> Vec<Box<dyn TransportPort>> {
+        let mut txs = Vec::with_capacity(world);
+        let mut rxs = Vec::with_capacity(world);
+        for _ in 0..world {
+            let (tx, rx) = sync_channel(self.capacity);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        rxs.into_iter()
+            .map(|rx| {
+                Box::new(ThreadPort {
+                    senders: txs.clone(),
+                    inbox: rx,
+                    stash: VecDeque::new(),
+                    blocked: Duration::ZERO,
+                    deadline,
+                }) as Box<dyn TransportPort>
+            })
+            .collect()
+    }
+}
+
+impl TransportPort for ThreadPort {
+    fn backend(&self) -> Backend {
+        Backend::Thread
+    }
+
+    fn send(&mut self, dst: usize, env: Envelope) {
+        let mut pending = match self.senders[dst].try_send(env) {
+            Ok(()) => return,
+            Err(TrySendError::Disconnected(_)) => return,
+            Err(TrySendError::Full(e)) => e,
+        };
+        // Backpressure: the peer's inbox is full. Keep draining our own
+        // inbox while waiting (the MPI progress rule) so a cycle of
+        // mutually-full inboxes resolves instead of deadlocking, and give
+        // up after the cluster deadline like a blocked receive would.
+        let start = Instant::now();
+        loop {
+            pending = match self.senders[dst].try_send(pending) {
+                Ok(()) => break,
+                Err(TrySendError::Disconnected(_)) => break,
+                Err(TrySendError::Full(e)) => e,
+            };
+            if let Ok(incoming) = self.inbox.recv_timeout(SEND_POLL) {
+                self.stash.push_back(incoming);
+            }
+            if start.elapsed() > self.deadline {
+                panic!(
+                    "thread transport: send to rank {dst} blocked on a full \
+                     inbox for {:?} (protocol deadlock?)",
+                    self.deadline
+                );
+            }
+        }
+        self.blocked += start.elapsed();
+    }
+
+    fn poison(&mut self, dst: usize, env: Envelope) {
+        // Best effort: if the peer's inbox is full it is alive and will
+        // hit its own receive timeout soon enough.
+        let _ = self.senders[dst].try_send(env);
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Option<Envelope> {
+        if let Some(env) = self.stash.pop_front() {
+            return Some(env);
+        }
+        let start = Instant::now();
+        let got = self.inbox.recv_timeout(timeout).ok();
+        self.blocked += start.elapsed();
+        got
+    }
+
+    fn comm_wall(&self) -> Duration {
+        self.blocked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TagKind;
+
+    fn env(src: usize, a: u64, byte: u8) -> Envelope {
+        Envelope {
+            src,
+            tag: Tag::new(TagKind::User, a, 0),
+            depart: 0.0,
+            payload: Arc::new(vec![byte]),
+            poison: false,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in Backend::ALL {
+            assert_eq!(b.name().parse::<Backend>().unwrap(), b);
+        }
+        assert!("tcp".parse::<Backend>().is_err());
+        assert_eq!(Backend::default(), Backend::Sim);
+        assert_eq!(Backend::Thread.to_string(), "thread");
+    }
+
+    #[test]
+    fn sim_ports_deliver() {
+        let mut ports = SimTransport.connect(2, Duration::from_secs(1));
+        let (mut a, mut b) = {
+            let b = ports.pop().unwrap();
+            (ports.pop().unwrap(), b)
+        };
+        a.send(1, env(0, 3, 42));
+        let got = b.recv(Duration::from_secs(1)).unwrap();
+        assert_eq!(got.src, 0);
+        assert_eq!(*got.payload, vec![42]);
+        assert!(b.recv(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn thread_ports_deliver_and_preserve_fifo() {
+        let mut ports = ThreadTransport::new(4).connect(2, Duration::from_secs(1));
+        let mut b = ports.pop().unwrap();
+        let mut a = ports.pop().unwrap();
+        for i in 0..3u8 {
+            a.send(1, env(0, 0, i));
+        }
+        for i in 0..3u8 {
+            assert_eq!(*b.recv(Duration::from_secs(1)).unwrap().payload, vec![i]);
+        }
+    }
+
+    #[test]
+    fn thread_send_drains_own_inbox_under_backpressure() {
+        // Capacity-1 inboxes, both sides send two messages before either
+        // receives: without the drain-while-blocked rule this deadlocks.
+        let mut ports = ThreadTransport::new(1).connect(2, Duration::from_secs(5));
+        let mut b = ports.pop().unwrap();
+        let mut a = ports.pop().unwrap();
+        let t = std::thread::spawn(move || {
+            b.send(0, env(1, 0, 10));
+            b.send(0, env(1, 1, 11));
+            let x = b.recv(Duration::from_secs(5)).unwrap();
+            let y = b.recv(Duration::from_secs(5)).unwrap();
+            (x.payload[0], y.payload[0])
+        });
+        a.send(1, env(0, 0, 20));
+        a.send(1, env(0, 1, 21));
+        let x = a.recv(Duration::from_secs(5)).unwrap();
+        let y = a.recv(Duration::from_secs(5)).unwrap();
+        assert_eq!((x.payload[0], y.payload[0]), (10, 11));
+        assert_eq!(t.join().unwrap(), (20, 21));
+    }
+
+    #[test]
+    fn thread_blocked_send_times_out_with_diagnostic() {
+        let mut ports = ThreadTransport::new(1).connect(2, Duration::from_millis(50));
+        let mut a = ports.swap_remove(0);
+        a.send(1, env(0, 0, 1));
+        // Peer never drains: the second send must fail fast, not hang.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.send(1, env(0, 1, 2));
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("blocked on a full inbox"), "got: {msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = ThreadTransport::new(0);
+    }
+
+    #[test]
+    fn comm_wall_accumulates_blocked_time() {
+        let mut ports = SimTransport.connect(1, Duration::from_secs(1));
+        let mut p = ports.pop().unwrap();
+        assert!(p.recv(Duration::from_millis(20)).is_none());
+        assert!(p.comm_wall() >= Duration::from_millis(20));
+    }
+}

@@ -70,7 +70,11 @@ proptest! {
     ) {
         let clean = all_to_all(Cluster::new(world, CostModel::cluster_a()), world, rounds);
         let faulted = all_to_all(
-            Cluster::new(world, CostModel::cluster_a()).fault_plan(plan),
+            Cluster::builder(world)
+                .cost(CostModel::cluster_a())
+                .fault_plan(plan)
+                .build()
+                .unwrap(),
             world,
             rounds,
         );
@@ -96,8 +100,15 @@ proptest! {
 
     #[test]
     fn faulted_runs_are_reproducible(plan in arb_plan()) {
-        let a = all_to_all(Cluster::new(3, CostModel::cluster_a()).fault_plan(plan), 3, 4);
-        let b = all_to_all(Cluster::new(3, CostModel::cluster_a()).fault_plan(plan), 3, 4);
+        let build = |plan: FaultPlan| {
+            Cluster::builder(3)
+                .cost(CostModel::cluster_a())
+                .fault_plan(plan)
+                .build()
+                .unwrap()
+        };
+        let a = all_to_all(build(plan), 3, 4);
+        let b = all_to_all(build(plan), 3, 4);
         prop_assert_eq!(a.outputs, b.outputs);
         prop_assert_eq!(a.stats, b.stats);
         prop_assert_eq!(a.virtual_time, b.virtual_time);
@@ -108,7 +119,12 @@ proptest! {
         plan in arb_plan(),
         count in 2u8..20,
     ) {
-        let r = Cluster::new(2, CostModel::zero()).fault_plan(plan).run(|ctx| {
+        let r = Cluster::builder(2)
+            .cost(CostModel::zero())
+            .fault_plan(plan)
+            .build()
+            .unwrap()
+            .run(|ctx| {
             let tag = Tag::new(TagKind::User, 0, 0);
             if ctx.rank() == 0 {
                 for v in 0..count {
@@ -132,9 +148,12 @@ proptest! {
         // matter the seed, and nothing hangs waiting for an ack.
         let plan = FaultPlan::new(seed).drop_rate(1.0);
         let retry = RetryConfig { max_attempts, ..RetryConfig::default() };
-        let r = Cluster::new(2, CostModel::zero())
+        let r = Cluster::builder(2)
+            .cost(CostModel::zero())
             .fault_plan(plan)
             .retry(retry)
+            .build()
+            .unwrap()
             .run(move |ctx| {
                 if ctx.rank() == 0 {
                     ctx.try_send(1, Tag::new(TagKind::User, 0, 0), CommKind::Update, vec![1])

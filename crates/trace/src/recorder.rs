@@ -268,13 +268,18 @@ impl TraceRecorder {
         self.cells.entry(self.scope).or_default().dup_drops += 1;
     }
 
-    /// Finalises recording into an immutable per-machine trace.
+    /// Finalises recording into an immutable per-machine trace. Measured
+    /// wall-clock fields start at zero; the cluster runtime fills them in
+    /// after the node closure returns (they are host measurements, not
+    /// recorded events).
     pub fn finish(self) -> NodeTrace {
         NodeTrace {
             machine: self.machine,
             spans: self.spans,
             cells: self.cells,
             retransmit_peers: self.retransmit_peers,
+            wall_secs: 0.0,
+            comm_wall_secs: 0.0,
         }
     }
 }
@@ -291,6 +296,15 @@ pub struct NodeTrace {
     /// Retransmitted copies this machine sent, per destination peer
     /// (empty for fault-free runs).
     pub retransmit_peers: BTreeMap<usize, u64>,
+    /// Measured wall-clock seconds this machine's worker ran for (host
+    /// time, not virtual time). Depends on the host scheduler, so it is
+    /// reported through [`crate::MetricsReport`] but deliberately kept out
+    /// of the deterministic chrome export.
+    pub wall_secs: f64,
+    /// Measured wall-clock seconds this machine spent blocked in
+    /// transport operations — the real counterpart of the modelled
+    /// wait-category virtual time.
+    pub comm_wall_secs: f64,
 }
 
 impl NodeTrace {

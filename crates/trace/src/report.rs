@@ -38,6 +38,14 @@ pub struct MachineReport {
     pub dup_drops: u64,
     /// Resent copies broken down by destination peer.
     pub retransmit_peers: BTreeMap<usize, u64>,
+    /// Measured wall-clock seconds this machine's worker ran for (host
+    /// time; zero when the runtime did not record it). Unlike every other
+    /// field this is *not* deterministic — it reports what the host
+    /// actually did, which is the point of the thread backend.
+    pub wall_secs: f64,
+    /// Measured wall-clock seconds this machine spent blocked in
+    /// transport operations.
+    pub comm_wall_secs: f64,
 }
 
 impl MachineReport {
@@ -98,6 +106,8 @@ impl MetricsReport {
                     m.dup_drops += cell.dup_drops;
                 }
                 m.retransmit_peers = node.retransmit_peers.clone();
+                m.wall_secs = node.wall_secs;
+                m.comm_wall_secs = node.comm_wall_secs;
                 m
             })
             .collect::<Vec<_>>();
@@ -154,12 +164,23 @@ impl MetricsReport {
         self.per_machine.iter().map(|m| m.dup_drops).sum()
     }
 
+    /// Measured critical-path wall time: the slowest machine's wall-clock
+    /// seconds (zero when the runtime recorded none). The measured
+    /// counterpart of `virtual_time`.
+    pub fn max_wall_secs(&self) -> f64 {
+        self.per_machine
+            .iter()
+            .map(|m| m.wall_secs)
+            .fold(0.0, f64::max)
+    }
+
     /// Machine-readable JSON dump of the whole report.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
         w.key("machines").u64(self.machines as u64);
         w.key("virtual_time").f64(self.virtual_time);
+        w.key("max_wall_secs").f64(self.max_wall_secs());
         w.key("compute_cpu").f64(self.compute_cpu());
         w.key("retransmits").u64(self.retransmits());
         w.key("dup_drops").u64(self.dup_drops());
@@ -199,6 +220,8 @@ impl MetricsReport {
             w.end_object();
             w.key("compute_cpu").f64(m.compute_cpu);
             w.key("lanes").u64(m.lanes as u64);
+            w.key("wall_secs").f64(m.wall_secs);
+            w.key("comm_wall_secs").f64(m.comm_wall_secs);
             w.key("retransmits").u64(m.retransmits);
             w.key("retransmit_bytes").u64(m.retransmit_bytes);
             w.key("dup_drops").u64(m.dup_drops);
@@ -326,6 +349,25 @@ mod tests {
         assert!(json.contains("\"dup_drops\":1"));
         assert!(json.contains("\"retransmit_peers\":{\"1\":2}"));
         assert!(json.contains("\"retry\":0.5"));
+    }
+
+    #[test]
+    fn report_surfaces_measured_wall_time() {
+        let mut rec0 = TraceRecorder::new(0, TraceLevel::Metrics);
+        rec0.record_span(SpanCategory::Compute, 0.0, 1.0);
+        let mut n0 = rec0.finish();
+        n0.wall_secs = 0.25;
+        n0.comm_wall_secs = 0.10;
+        let mut n1 = TraceRecorder::new(1, TraceLevel::Metrics).finish();
+        n1.wall_secs = 0.75;
+        let report = MetricsReport::from_trace(&Trace::new(vec![n0, n1]), 1.0);
+        assert_eq!(report.per_machine[0].wall_secs, 0.25);
+        assert_eq!(report.per_machine[0].comm_wall_secs, 0.10);
+        assert_eq!(report.max_wall_secs(), 0.75);
+        let json = report.to_json();
+        assert!(json.contains("\"max_wall_secs\":0.75"));
+        assert!(json.contains("\"wall_secs\":0.25"));
+        assert!(json.contains("\"comm_wall_secs\":0.1"));
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! Quickstart: run direction-optimizing BFS on a simulated 8-machine
 //! cluster, under both SympleGraph and the Gemini baseline, and compare
-//! the work and communication the two policies perform.
+//! the work and communication the two policies perform. Then re-run the
+//! SympleGraph configuration on the OS-thread transport backend and show
+//! that everything logical is bit-identical — only the measured wall
+//! time is new information.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use symplegraph::algos::{bfs, validate_bfs};
-use symplegraph::core::{EngineConfig, Policy};
+use symplegraph::core::{Backend, EngineConfig, Policy};
 use symplegraph::graph::{GraphStats, RmatConfig, Vid};
 use symplegraph::net::{CommKind, CostModel};
 
@@ -42,5 +45,26 @@ fn main() {
         "\nBoth runs produce identical BFS trees; SympleGraph skips the\n\
          neighbours after a break on *other* machines, which is exactly\n\
          the paper's eliminated redundancy."
+    );
+
+    // Same computation, real OS-thread transport: each machine is a
+    // thread behind bounded channels with real backpressure. Outputs,
+    // work, traffic, and virtual time replay bit-for-bit — the new
+    // signal is the measured per-machine wall clock.
+    let sim_cfg = EngineConfig::new(8, Policy::symple()).cost(cost);
+    let thr_cfg = EngineConfig::new(8, Policy::symple())
+        .cost(cost)
+        .backend(Backend::Thread);
+    let (sim_out, sim_stats) = bfs(&graph, &sim_cfg, root);
+    let (thr_out, thr_stats) = bfs(&graph, &thr_cfg, root);
+    assert_eq!(sim_out, thr_out);
+    assert_eq!(sim_stats.work, thr_stats.work);
+    assert_eq!(sim_stats.comm, thr_stats.comm);
+    assert_eq!(sim_stats.virtual_time(), thr_stats.virtual_time());
+    println!(
+        "\nbackend=thread: identical outputs/work/traffic/virtual time;\n\
+         measured critical-path wall {:.3} ms (vs {:.3} ms modelled)",
+        thr_stats.max_node_wall().as_secs_f64() * 1e3,
+        thr_stats.virtual_time() * 1e3,
     );
 }

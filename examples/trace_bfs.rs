@@ -36,16 +36,21 @@ fn main() {
         stats.virtual_time() * 1e3
     );
 
-    // Per-machine span counts show each machine got its own track.
+    // Per-machine span counts show each machine got its own track; the
+    // wall columns are measured host time (worker lifetime and time
+    // blocked in the transport), not virtual time.
     for node in &stats.trace.nodes {
         let dep_wait: f64 = node.time(SpanCategory::DepWait);
         let compute: f64 = node.time(SpanCategory::Compute);
         println!(
-            "machine {}: {:>5} spans | compute {:>9.6}s | dep-wait {:>9.6}s",
+            "machine {}: {:>5} spans | compute {:>9.6}s | dep-wait {:>9.6}s | \
+             wall {:>9.6}s (comm {:>9.6}s)",
             node.machine,
             node.spans.len(),
             compute,
             dep_wait,
+            node.wall_secs,
+            node.comm_wall_secs,
         );
     }
 

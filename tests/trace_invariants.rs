@@ -117,7 +117,19 @@ fn traces_are_identical_across_repeated_runs() {
         assert_eq!(na.cells, nb.cells, "cell accounting must match");
     }
     assert_eq!(a.trace.to_chrome_json(), b.trace.to_chrome_json());
-    assert_eq!(a.metrics().to_json(), b.metrics().to_json());
+    // The measured wall clocks (`wall_secs` / `comm_wall_secs` and the
+    // derived `max_wall_secs`) are host measurements — the one documented
+    // non-deterministic part of the report (DESIGN.md §12). Everything
+    // else in the metrics JSON must replay bit-for-bit.
+    let logical_json = |stats: &RunStats| {
+        let mut report = stats.metrics();
+        for machine in &mut report.per_machine {
+            machine.wall_secs = 0.0;
+            machine.comm_wall_secs = 0.0;
+        }
+        report.to_json()
+    };
+    assert_eq!(logical_json(&a), logical_json(&b));
 }
 
 #[test]
