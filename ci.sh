@@ -31,10 +31,13 @@ if [ "$QUICK" = 0 ]; then
   cargo run --release --offline -p symple-bench --bin experiments -- \
     --transport-json BENCH_transport_smoke.json
   rm -f BENCH_transport_smoke.json
-  echo "== executor smoke (threads=4) =="
+  echo "== executor regression guard (vs committed BENCH_scaling.json) =="
+  # Re-runs the scaling sweep at the baseline's scale/thread counts (best
+  # of three per cell) and fails if any cell's bytecode/interp wall ratio
+  # regressed by more than 10%. Outputs and virtual time are asserted
+  # bit-identical across executors inside the sweep itself.
   cargo run --release --offline -p symple-bench --bin experiments -- \
-    --threads 1,4 --scale 13 --scaling-json BENCH_scaling_smoke.json
-  rm -f BENCH_scaling_smoke.json
+    --scaling-check BENCH_scaling.json
 
   echo "== wire-codec regression guard (vs committed BENCH_comm.json) =="
   # Re-runs the byte study at the baseline's graph/machine count and fails
@@ -48,6 +51,12 @@ if [ "$QUICK" = 0 ]; then
   # logical traffic match the fault-free run bit for bit.
   cargo run --release --offline -p symple-bench --bin experiments -- --faults
 fi
+
+echo "== executor equivalence smoke (interp vs bytecode, full engine) =="
+# One kernel through the engine under both executors; outputs, work,
+# comm counters, and modelled time must match bit for bit. Runs under
+# --quick so every push enforces the compile-don't-interpret contract.
+cargo run --offline -p symple-bench --bin experiments -- --exec-smoke
 
 echo "== symple-lint (paper UDFs + example corpus) =="
 # Lints the five paper kernels (pretty-printed to source so spans exercise

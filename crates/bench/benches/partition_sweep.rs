@@ -1,0 +1,74 @@
+//! Streamed vs cache-blocked update application: the same pseudo-random
+//! update stream scattered into a state array in arrival order, vs
+//! binned by the engine's `CacheBlocks` and applied block by block (the
+//! GPOP-style layout behind `ApplyLayout::Blocked`). The blocked
+//! variant's time includes the binning pass, so at this deliberately
+//! small scale (state fits the LLC) it is *expected* to lose — the two
+//! rows track the raw costs of both paths, and the crossover where
+//! blocking wins is the past-LLC headline in `BENCH_exec.json`
+//! (`experiments --exec-json`).
+
+mod common;
+
+use common::fast_criterion;
+use criterion::{black_box, criterion_main, Criterion};
+use symple_core::CacheBlocks;
+use symple_graph::Vid;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_sweep");
+    let n = 1usize << 20;
+    let updates: Vec<(u32, u64)> = {
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        (0..1usize << 22)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (((x >> 33) % n as u64) as u32, x | 1)
+            })
+            .collect()
+    };
+
+    group.bench_function("stream_apply", |b| {
+        let mut state = vec![0u64; n];
+        b.iter(|| {
+            state.fill(0);
+            for &(v, x) in &updates {
+                let s = &mut state[v as usize];
+                *s = s.wrapping_add(x);
+            }
+            black_box(state[0])
+        })
+    });
+
+    group.bench_function("blocked_apply", |b| {
+        let blocks = CacheBlocks::new(Vid::new(0), Vid::new(n as u32), 1024);
+        let mut bins: Vec<Vec<(u32, u64)>> = vec![Vec::new(); blocks.num_blocks()];
+        let mut state = vec![0u64; n];
+        b.iter(|| {
+            state.fill(0);
+            for bin in &mut bins {
+                bin.clear();
+            }
+            for &(v, x) in &updates {
+                bins[blocks.block_of(Vid::new(v))].push((v, x));
+            }
+            for bin in &bins {
+                for &(v, x) in bin {
+                    let s = &mut state[v as usize];
+                    *s = s.wrapping_add(x);
+                }
+            }
+            black_box(state[0])
+        })
+    });
+
+    group.finish();
+}
+
+fn benches() {
+    let mut c = fast_criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Per-edge UDF dispatch cost: the AST interpreter vs the
+//! register-bytecode VM driving `PullProgram::signal` over the same
+//! synthetic neighbour lists. The gap per iteration is the dispatch
+//! cost the engine pays on every edge of every pull pass, so this is
+//! the regression tracker for the compile-don't-interpret path
+//! (`experiments --exec-json` produces the committed headline numbers).
+
+mod common;
+
+use common::fast_criterion;
+use criterion::{black_box, criterion_main, Criterion};
+use symple_core::{PullProgram, UdfExec};
+use symple_graph::{Bitmap, Vid};
+use symple_udf::{instrument, paper_udfs, PropArray, PropertyStore, UdfProgram};
+
+/// Property arrays the kernels read, with a sparse frontier so most
+/// signal calls scan their whole neighbour list.
+fn props(n: usize) -> PropertyStore {
+    let mut store = PropertyStore::new();
+    let mut frontier = Bitmap::new(n);
+    let mut active = Bitmap::new(n);
+    for i in 0..n {
+        if i % 64 == 0 {
+            frontier.set(i);
+        }
+        if i % 3 != 0 {
+            active.set(i);
+        }
+    }
+    store.insert("frontier", PropArray::Bools(frontier));
+    store.insert("active", PropArray::Bools(active));
+    store
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("udf_dispatch");
+    let n = 1024usize;
+    let deg = 16usize;
+    let store = props(n);
+    let mut srcs = Vec::with_capacity(n * deg);
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for _ in 0..n * deg {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        srcs.push(Vid::new(((x >> 33) % n as u64) as u32));
+    }
+
+    for (kernel, udf) in [
+        ("bfs", paper_udfs::bfs_udf()),
+        ("kcore", paper_udfs::kcore_udf(8)),
+    ] {
+        let inst = instrument(&udf).expect("instrument kernel");
+        for (exec_name, exec) in [("interp", UdfExec::Interp), ("bytecode", UdfExec::Bytecode)] {
+            group.bench_function(format!("{kernel}/{exec_name}"), |b| {
+                let prog = UdfProgram::new(&inst, &store).exec(exec);
+                assert_eq!(prog.uses_bytecode(), exec == UdfExec::Bytecode);
+                b.iter(|| {
+                    let mut dep = prog.make_dep(1);
+                    let (mut sum, mut edges) = (0u64, 0u64);
+                    for v in 0..n {
+                        let list = &srcs[v * deg..(v + 1) * deg];
+                        let mut emit = |bits: u64| sum = sum.wrapping_add(bits | 1);
+                        let out =
+                            prog.signal(Vid::new(v as u32), list, &mut dep, 0, false, &mut emit);
+                        edges += out.edges;
+                    }
+                    black_box((sum, edges))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = fast_criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

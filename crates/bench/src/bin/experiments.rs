@@ -17,7 +17,7 @@ use symple_bench::experiments;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--chrome-trace FILE] [--metrics-json FILE]\n                   [--threads LIST [--scale N] [--scaling-json FILE]]\n                   [--comm-json FILE [--comm-graph NAME] [--comm-machines N]]\n                   [--comm-check FILE] [--faults] [--fault-json FILE]\n                   [--udf-report FILE] [--transport-json FILE]\n                   [<id>... | all]\n  ids: table1..table7, fig10, fig11, cost, ablation_threshold,\n       ablation_groups, direction, replication, comm, transport,\n       faults, udf\n  --threads LIST   comma-separated executor thread counts (e.g. 1,2,4);\n                   runs the intra-machine scaling sweep on an RMAT graph\n                   of 2^N vertices (--scale N, default 18) and writes the\n                   points to --scaling-json (default BENCH_scaling.json)\n  --comm-json FILE runs the wire-codec byte study (flat vs adaptive,\n                   Gemini vs SympleGraph) on --comm-graph (default s27)\n                   at --comm-machines (default 8) and writes the grid\n  --comm-check FILE  re-runs the byte study at the graph/machine count\n                   recorded in FILE (a committed BENCH_comm.json) and\n                   exits nonzero if any adaptive/flat data ratio\n                   regressed by more than 10%\n  --faults         runs the fault-injection absorption sweep (same as\n                   the `faults` id): seeded chaos plan, outputs and work\n                   asserted bit-identical to fault-free\n  --fault-json FILE  runs the sweep and also writes the raw grid\n  --udf-report FILE  runs the UDF carried-state minimization study\n                   (naive vs dataflow-minimized instrumentation) and\n                   writes the per-kernel payload grid (BENCH_udf.json)\n  --transport-json FILE  runs the transport backend study (simulator vs\n                   OS-thread transport; outputs asserted bit-identical,\n                   modelled virtual vs measured wall time per algorithm)\n                   and writes the grid (BENCH_transport.json)"
+        "usage: experiments [--chrome-trace FILE] [--metrics-json FILE]\n                   [--threads LIST [--scale N] [--scaling-json FILE]]\n                   [--scaling-check FILE] [--exec-json FILE] [--exec-smoke]\n                   [--comm-json FILE [--comm-graph NAME] [--comm-machines N]]\n                   [--comm-check FILE] [--faults] [--fault-json FILE]\n                   [--udf-report FILE] [--transport-json FILE]\n                   [<id>... | all]\n  ids: table1..table7, fig10, fig11, cost, ablation_threshold,\n       ablation_groups, direction, replication, comm, transport,\n       faults, udf\n  --threads LIST   comma-separated executor thread counts (e.g. 1,2,4);\n                   runs the intra-machine scaling sweep (one dense\n                   BFS-UDF pull pass under both executors) on an RMAT\n                   graph of 2^N vertices (--scale N, default 18) and\n                   writes the points to --scaling-json (default\n                   BENCH_scaling.json)\n  --scaling-check FILE  re-runs the sweep at the scale/thread counts\n                   recorded in FILE (a committed BENCH_scaling.json,\n                   best of three runs per cell) and exits nonzero if\n                   any cell's bytecode/interp wall ratio regressed by\n                   more than 10%\n  --exec-json FILE runs the executor study (per-edge UDF dispatch,\n                   interp vs bytecode, plus the streamed-vs-blocked\n                   apply sweep at scale 25) and writes BENCH_exec.json\n  --exec-smoke     runs one kernel through the full engine under both\n                   executors and fails unless outputs, work, comm, and\n                   modelled time are bit-identical\n  --comm-json FILE runs the wire-codec byte study (flat vs adaptive,\n                   Gemini vs SympleGraph) on --comm-graph (default s27)\n                   at --comm-machines (default 8) and writes the grid\n  --comm-check FILE  re-runs the byte study at the graph/machine count\n                   recorded in FILE (a committed BENCH_comm.json) and\n                   exits nonzero if any adaptive/flat data ratio\n                   regressed by more than 10%\n  --faults         runs the fault-injection absorption sweep (same as\n                   the `faults` id): seeded chaos plan, outputs and work\n                   asserted bit-identical to fault-free\n  --fault-json FILE  runs the sweep and also writes the raw grid\n  --udf-report FILE  runs the UDF carried-state minimization study\n                   (naive vs dataflow-minimized instrumentation) and\n                   writes the per-kernel payload grid (BENCH_udf.json)\n  --transport-json FILE  runs the transport backend study (simulator vs\n                   OS-thread transport; outputs asserted bit-identical,\n                   modelled virtual vs measured wall time per algorithm)\n                   and writes the grid (BENCH_transport.json)"
     );
     std::process::exit(2);
 }
@@ -33,6 +33,9 @@ fn main() {
     let mut comm_graph = String::from("s27");
     let mut comm_machines: usize = 8;
     let mut comm_check_path: Option<String> = None;
+    let mut scaling_check_path: Option<String> = None;
+    let mut exec_json_path: Option<String> = None;
+    let mut exec_smoke = false;
     let mut fault_json_path: Option<String> = None;
     let mut udf_path: Option<String> = None;
     let mut transport_path: Option<String> = None;
@@ -68,6 +71,9 @@ fn main() {
                     .unwrap_or_else(|| usage());
             }
             "--comm-check" => comm_check_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--scaling-check" => scaling_check_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--exec-json" => exec_json_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--exec-smoke" => exec_smoke = true,
             "--faults" => ids.push("faults".into()),
             "--fault-json" => fault_json_path = Some(it.next().unwrap_or_else(|| usage())),
             "--udf-report" => udf_path = Some(it.next().unwrap_or_else(|| usage())),
@@ -82,6 +88,9 @@ fn main() {
         && threads_list.is_none()
         && comm_path.is_none()
         && comm_check_path.is_none()
+        && scaling_check_path.is_none()
+        && exec_json_path.is_none()
+        && !exec_smoke
         && fault_json_path.is_none()
         && udf_path.is_none()
         && transport_path.is_none()
@@ -91,7 +100,7 @@ fn main() {
 
     let start = Instant::now();
     if let Some(threads) = &threads_list {
-        let points = experiments::scaling_sweep(scale, threads);
+        let points = experiments::scaling_sweep_reps(scale, threads, 3);
         let report = experiments::scaling_report(scale, &points);
         println!("=== {} — {} ===", report.id, report.title);
         println!("{}", report.text);
@@ -126,6 +135,37 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(path) = &scaling_check_path {
+        let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: reading {path}: {e}");
+            std::process::exit(1);
+        });
+        match experiments::scaling_check(&baseline) {
+            Ok(summary) => {
+                println!("{summary}");
+                eprintln!("[scaling regression check against {path} passed]");
+            }
+            Err(failures) => {
+                eprintln!("scaling regression check against {path} FAILED:\n{failures}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &exec_json_path {
+        let study = experiments::exec_study(25);
+        let report = experiments::exec_report(&study);
+        println!("=== {} — {} ===", report.id, report.title);
+        println!("{}", report.text);
+        let json = experiments::exec_json(&study);
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[executor study written to {path}]");
+    }
+    if exec_smoke {
+        println!("{}", experiments::exec_smoke());
     }
     if let Some(path) = &udf_path {
         let scale = 8;

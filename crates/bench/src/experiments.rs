@@ -1288,40 +1288,107 @@ pub fn replication() -> Report {
 pub struct ScalingPoint {
     /// Executor threads per simulated machine.
     pub threads: usize,
-    /// Host wall-clock seconds for the whole run.
+    /// Host wall-clock seconds, bytecode executor (the default).
     pub wall_secs: f64,
-    /// Modelled virtual seconds (critical-path compute charging).
+    /// Host wall-clock seconds for the same pass under the AST
+    /// interpreter. The per-point `wall/interp` ratio is what
+    /// `--scaling-check` guards: it cancels the host's absolute speed,
+    /// so a committed baseline is portable across machines.
+    pub interp_wall_secs: f64,
+    /// Modelled virtual seconds (critical-path compute charging);
+    /// asserted bit-identical across executors.
     pub virtual_secs: f64,
 }
 
-/// Sweeps `EngineConfig::threads` on a pull-only BFS over an RMAT graph
-/// (`graph500(scale, 16)`, one simulated machine so the measurement is
-/// pure intra-machine compute). Outputs are asserted identical across
-/// points — the executor is a performance knob only.
-pub fn scaling_sweep(scale: u32, threads_list: &[usize]) -> Vec<ScalingPoint> {
-    use symple_algos::{bfs_with_direction, Direction};
-    use symple_graph::RmatConfig;
+impl ScalingPoint {
+    /// Bytecode wall time relative to the interpreter (below 1 is a win).
+    pub fn exec_ratio(&self) -> f64 {
+        self.wall_secs / self.interp_wall_secs
+    }
+}
+
+/// Sweeps `EngineConfig::threads` on one dense bottom-up pass of the
+/// paper's BFS UDF over an RMAT graph (`graph500(scale, 16)`, one
+/// simulated machine so the measurement is pure intra-machine compute),
+/// running every cell under both executors. The frontier holds only the
+/// highest vertex id — an RMAT cold spot — so nearly every signal call
+/// scans its whole neighbour list without breaking: the cell measures
+/// per-edge dispatch, not call setup or update traffic. Each run makes
+/// four pull passes, so per-edge work dominates the one-off local-graph
+/// build inside `run_spmd`. Outputs and modelled time are asserted
+/// identical across all cells (threads and the executor are performance
+/// knobs only); wall cells keep the best of `reps` runs.
+pub fn scaling_sweep_reps(scale: u32, threads_list: &[usize], reps: usize) -> Vec<ScalingPoint> {
+    use symple_core::UdfExec;
+    use symple_graph::{Bitmap, RmatConfig};
+    use symple_udf::{instrument, paper_udfs, PropArray, PropertyStore, UdfProgram};
+
     let graph = RmatConfig::graph500(scale, 16).cleaned(true).generate();
-    let root = bfs_roots(&graph, 1)[0];
+    let n = graph.num_vertices();
+    let mut frontier = Bitmap::new(n);
+    frontier.set(n - 1);
+    let mut props = PropertyStore::new();
+    props.insert("frontier", PropArray::Bools(frontier));
+    let inst = instrument(&paper_udfs::bfs_udf()).expect("instrument bfs");
+
+    let run = |threads: usize, exec: UdfExec| {
+        let cfg = EngineConfig::new(1, Policy::Gemini)
+            .threads(threads)
+            .udf_exec(exec);
+        let mut wall = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..reps.max(1) {
+            let start = std::time::Instant::now();
+            let res = symple_core::run_spmd(&graph, &cfg, |w| {
+                let prog = UdfProgram::new(&inst, &props).exec(cfg.udf_exec);
+                let mut dep = prog.make_dep(w.dep_slots_needed());
+                let mut acc: Vec<u64> = vec![0; n];
+                let mut apply = |v: Vid, bits: u64| -> bool {
+                    acc[v.index()] = acc[v.index()].wrapping_add(bits | 1);
+                    false
+                };
+                for _ in 0..4 {
+                    w.pull(&prog, &mut dep, &mut apply);
+                }
+                acc
+            });
+            wall = wall.min(start.elapsed().as_secs_f64());
+            last = Some(res);
+        }
+        let res = last.expect("reps >= 1");
+        (res.outputs, res.stats.virtual_time(), wall)
+    };
+
     let mut reference = None;
     threads_list
         .iter()
         .map(|&threads| {
-            let cfg = EngineConfig::new(1, Policy::Gemini).threads(threads);
-            let start = std::time::Instant::now();
-            let (out, stats) = bfs_with_direction(&graph, &cfg, root, Direction::PullOnly);
-            let wall_secs = start.elapsed().as_secs_f64();
+            let (out_b, virt_b, wall_secs) = run(threads, UdfExec::Bytecode);
+            let (out_i, virt_i, interp_wall_secs) = run(threads, UdfExec::Interp);
+            assert_eq!(out_b, out_i, "executor changed the pass outputs");
+            assert_eq!(
+                virt_b.to_bits(),
+                virt_i.to_bits(),
+                "executor changed the modelled time"
+            );
             match &reference {
-                None => reference = Some(out),
-                Some(r) => assert_eq!(&out, r, "thread count changed the BFS output"),
+                None => reference = Some(out_b),
+                Some(r) => assert_eq!(&out_b, r, "thread count changed the pass outputs"),
             }
             ScalingPoint {
                 threads,
                 wall_secs,
-                virtual_secs: stats.virtual_time(),
+                interp_wall_secs,
+                virtual_secs: virt_b,
             }
         })
         .collect()
+}
+
+/// [`scaling_sweep_reps`] with a single run per cell — the CLI entry
+/// point behind `--threads`.
+pub fn scaling_sweep(scale: u32, threads_list: &[usize]) -> Vec<ScalingPoint> {
+    scaling_sweep_reps(scale, threads_list, 1)
 }
 
 /// Renders a scaling sweep as a machine-readable JSON document
@@ -1331,13 +1398,20 @@ pub fn scaling_json(scale: u32, points: &[ScalingPoint]) -> String {
     w.begin_object();
     w.key("bench").string("intra_machine_scaling");
     w.key("graph").string(&format!("rmat graph500({scale},16)"));
+    w.key("scale").u64(u64::from(scale));
     w.key("algo")
-        .string("bfs pull-only, 1 machine, Gemini policy");
+        .string("bfs UDF, one dense pull pass, 1 machine, Gemini policy");
+    w.key("note").string(
+        "wall_secs = bytecode executor (the default), interp_wall_secs = \
+         AST interpreter on the same cell; ci.sh --scaling-check guards \
+         the wall/interp ratio, which is independent of host speed",
+    );
     w.key("points").begin_array();
     for p in points {
         w.begin_object();
         w.key("threads").u64(p.threads as u64);
         w.key("wall_secs").f64(p.wall_secs);
+        w.key("interp_wall_secs").f64(p.interp_wall_secs);
         w.key("virtual_secs").f64(p.virtual_secs);
         w.end_object();
     }
@@ -1359,15 +1433,19 @@ pub fn scaling_report(scale: u32, points: &[ScalingPoint]) -> Report {
                 p.threads.to_string(),
                 secs(p.wall_secs),
                 speedup(w0 / p.wall_secs),
+                secs(p.interp_wall_secs),
+                speedup(p.interp_wall_secs / p.wall_secs),
                 secs(p.virtual_secs),
                 speedup(v0 / p.virtual_secs),
             ]
         })
         .collect::<Vec<_>>();
     let text = format!(
-        "{}\nPull-only BFS on rmat graph500({scale},16), 1 machine, Gemini policy.\nVirtual speedup is the modelled critical-path gain (deterministic);\nwall speedup saturates at the host's physical core count.\n",
+        "{}\nOne dense bottom-up BFS-UDF pass on rmat graph500({scale},16), 1 machine,\nGemini policy. `wall` is the bytecode executor, `interp` the AST\ninterpreter on the same cell (`exec x` = interp/wall). Virtual speedup\nis the modelled critical-path gain (deterministic); wall speedup\nsaturates at the host's physical core count.\n",
         table(
-            &["threads", "wall", "wall x", "virtual", "virtual x"],
+            &[
+                "threads", "wall", "wall x", "interp", "exec x", "virtual", "virtual x",
+            ],
             &rows
         )
     );
@@ -1375,6 +1453,460 @@ pub fn scaling_report(scale: u32, points: &[ScalingPoint]) -> Report {
         "scaling",
         "Intra-machine executor scaling (extension)",
         text,
+    )
+}
+
+/// A parsed `BENCH_scaling.json` baseline: the graph scale the sweep ran
+/// at and each thread count's bytecode/interp wall ratio.
+#[derive(Debug, Clone)]
+pub struct ScalingBaseline {
+    /// RMAT scale the baseline was measured at.
+    pub scale: u32,
+    /// `(threads, wall_secs / interp_wall_secs)` per point.
+    pub ratios: Vec<(usize, f64)>,
+}
+
+/// Scans the first number following `key` (as written by the in-repo
+/// `JsonWriter`: no whitespace, value ends at `,` or `}`).
+fn scan_f64(s: &str, key: &str) -> Option<f64> {
+    let rest = &s[s.find(key)? + key.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses a `BENCH_scaling.json` document as written by [`scaling_json`]
+/// without a JSON dependency.
+pub fn parse_scaling_baseline(json: &str) -> Result<ScalingBaseline, String> {
+    let scale = scan_f64(json, "\"scale\":")
+        .filter(|&s| (1.0..=40.0).contains(&s))
+        .ok_or("baseline: missing \"scale\"")? as u32;
+    let mut ratios = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find("\"threads\":") {
+        let point = &rest[i..];
+        let threads = scan_f64(point, "\"threads\":")
+            .filter(|&t| t >= 1.0)
+            .ok_or("baseline: unparsable \"threads\"")? as usize;
+        let wall = scan_f64(point, "\"wall_secs\":")
+            .ok_or_else(|| format!("baseline: threads={threads} missing \"wall_secs\""))?;
+        let interp = scan_f64(point, "\"interp_wall_secs\":")
+            .filter(|&w| w > 0.0)
+            .ok_or_else(|| format!("baseline: threads={threads} missing \"interp_wall_secs\""))?;
+        ratios.push((threads, wall / interp));
+        rest = &point["\"threads\":".len()..];
+    }
+    if ratios.is_empty() {
+        return Err("baseline: no points found".into());
+    }
+    Ok(ScalingBaseline { scale, ratios })
+}
+
+/// Compares a freshly measured sweep against a parsed baseline. A cell
+/// regresses when its bytecode/interp wall ratio exceeds the baseline's
+/// by more than `tolerance` (relative) — i.e. the compiled executor
+/// lost ground against its own interpreter on the same host. Missing
+/// cells fail too.
+pub fn scaling_check_points(
+    baseline: &ScalingBaseline,
+    points: &[ScalingPoint],
+    tolerance: f64,
+) -> Result<String, String> {
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for &(threads, base) in &baseline.ratios {
+        match points.iter().find(|p| p.threads == threads) {
+            None => failures.push(format!(
+                "threads={threads}: cell missing from the current sweep"
+            )),
+            Some(p) => {
+                let cur = p.exec_ratio();
+                let bound = base * (1.0 + tolerance) + 1e-12;
+                if cur > bound {
+                    failures.push(format!(
+                        "threads={threads}: bytecode/interp wall ratio {cur:.3} exceeds \
+                         baseline {base:.3} by more than {:.0}%",
+                        tolerance * 100.0
+                    ));
+                } else {
+                    lines.push(format!(
+                        "threads={threads}: bytecode/interp wall ratio {cur:.3} \
+                         (baseline {base:.3}) ok"
+                    ));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(lines.join("\n"))
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+/// The `--scaling-check` entry point: parses the committed baseline,
+/// re-runs the sweep at the baseline's scale and thread counts (best of
+/// three runs per cell to suppress host noise), and fails if any cell's
+/// bytecode/interp wall ratio regressed by more than 10% relative.
+pub fn scaling_check(baseline_json: &str) -> Result<String, String> {
+    let baseline = parse_scaling_baseline(baseline_json)?;
+    let threads: Vec<usize> = baseline.ratios.iter().map(|&(t, _)| t).collect();
+    let points = scaling_sweep_reps(baseline.scale, &threads, 3);
+    scaling_check_points(&baseline, &points, 0.10)
+}
+
+/// One kernel of the per-edge dispatch microbench: the same instrumented
+/// UDF driven straight through `PullProgram::signal` over synthetic
+/// neighbour lists, once per executor. Emission checksums and edge
+/// counts are asserted bit-identical; only wall time may differ.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchPoint {
+    /// Kernel label.
+    pub kernel: &'static str,
+    /// Edges dispatched per executor run.
+    pub edges: u64,
+    /// Best-of-reps wall seconds, AST interpreter.
+    pub interp_wall_secs: f64,
+    /// Best-of-reps wall seconds, register-bytecode VM.
+    pub bytecode_wall_secs: f64,
+}
+
+impl DispatchPoint {
+    /// Interpreter wall over bytecode wall (above 1 is a bytecode win).
+    pub fn speedup(&self) -> f64 {
+        self.interp_wall_secs / self.bytecode_wall_secs
+    }
+}
+
+/// The streamed-vs-blocked apply measurement: the same
+/// uniformly-random update stream scattered into a `2^scale`-entry
+/// state array in arrival order, vs binned by the engine's
+/// [`symple_core::CacheBlocks`] and applied block by block. The
+/// blocked wall includes the binning pass (bins are pre-allocated, as
+/// the engine reuses them across passes) — the win is cache residency
+/// net of the extra copy, and it only appears once the state array
+/// outgrows the last-level cache, so the committed point uses a scale
+/// whose state exceeds the host's LLC.
+#[derive(Debug, Clone, Copy)]
+pub struct ApplyPoint {
+    /// `2^scale` state entries (`8 * 2^scale` bytes), `4 * 2^scale`
+    /// uniformly-random updates.
+    pub scale: u32,
+    /// Updates applied per variant.
+    pub updates: u64,
+    /// Cache-block width in vertices. The microbench uses a block
+    /// whose state slice is cache-sized at full scale; the engine's
+    /// `apply_block` default (1024) instead targets per-lane slices at
+    /// simulator scale.
+    pub block: usize,
+    /// Best-of-reps wall seconds, direct scatter in arrival order.
+    pub stream_wall_secs: f64,
+    /// Best-of-reps wall seconds, bin-then-apply per cache block.
+    pub blocked_wall_secs: f64,
+}
+
+impl ApplyPoint {
+    /// Stream wall over blocked wall (above 1 is a blocked win).
+    pub fn speedup(&self) -> f64 {
+        self.stream_wall_secs / self.blocked_wall_secs
+    }
+}
+
+/// The executor study behind `BENCH_exec.json`: per-edge UDF dispatch
+/// cost per kernel plus the apply-layout sweep.
+#[derive(Debug, Clone)]
+pub struct ExecStudy {
+    /// Interp-vs-bytecode dispatch cost, one point per kernel.
+    pub dispatch: Vec<DispatchPoint>,
+    /// Streamed-vs-blocked apply pass.
+    pub apply: ApplyPoint,
+}
+
+/// Times `rounds` sweeps of `signal` calls (one per vertex, `deg`
+/// pseudo-random neighbours each) under both executors.
+fn dispatch_bench(
+    kernel: &'static str,
+    udf: &symple_udf::UdfFn,
+    props: &symple_udf::PropertyStore,
+    n: usize,
+    rounds: usize,
+    reps: usize,
+) -> DispatchPoint {
+    use symple_core::{PullProgram, UdfExec};
+    use symple_udf::{instrument, UdfProgram};
+
+    let inst = instrument(udf).expect("instrument kernel");
+    let deg = 16usize;
+    let mut srcs = Vec::with_capacity(n * deg);
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for _ in 0..n * deg {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        srcs.push(Vid::new(((x >> 33) % n as u64) as u32));
+    }
+
+    let run = |exec: UdfExec| -> (u64, u64, f64) {
+        let prog = UdfProgram::new(&inst, props).exec(exec);
+        assert_eq!(
+            prog.uses_bytecode(),
+            exec == UdfExec::Bytecode,
+            "{kernel}: requested executor not in effect"
+        );
+        let mut wall = f64::INFINITY;
+        let (mut sum, mut edges) = (0u64, 0u64);
+        for _ in 0..reps.max(1) {
+            let mut dep = prog.make_dep(1);
+            let (mut s, mut e) = (0u64, 0u64);
+            let start = std::time::Instant::now();
+            for _ in 0..rounds {
+                for v in 0..n {
+                    let list = &srcs[v * deg..(v + 1) * deg];
+                    let mut emit = |bits: u64| s = s.wrapping_add(bits | 1);
+                    let out = prog.signal(Vid::new(v as u32), list, &mut dep, 0, false, &mut emit);
+                    e += out.edges;
+                }
+            }
+            wall = wall.min(start.elapsed().as_secs_f64());
+            sum = s;
+            edges = e;
+        }
+        (sum, edges, wall)
+    };
+
+    let (sum_i, edges_i, interp_wall_secs) = run(UdfExec::Interp);
+    let (sum_b, edges_b, bytecode_wall_secs) = run(UdfExec::Bytecode);
+    assert_eq!(sum_i, sum_b, "{kernel}: executor changed the emissions");
+    assert_eq!(
+        edges_i, edges_b,
+        "{kernel}: executor changed the edge count"
+    );
+    DispatchPoint {
+        kernel,
+        edges: edges_b,
+        interp_wall_secs,
+        bytecode_wall_secs,
+    }
+}
+
+/// The apply-layout half of the study (see [`ApplyPoint`]). Both
+/// variants must produce a bit-identical state array.
+pub fn apply_study(scale: u32, reps: usize) -> ApplyPoint {
+    use symple_core::CacheBlocks;
+
+    let n = 1usize << scale;
+    // An 8 MiB state slice per bin: small enough to stay cache-hot
+    // while a bin drains, wide enough that the binning fan-out stays
+    // narrow and each bin push is a near-sequential append.
+    let block = (1usize << 20).min(n);
+    let updates: Vec<(u32, u64)> = {
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        (0..n * 4)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (((x >> 33) % n as u64) as u32, x | 1)
+            })
+            .collect()
+    };
+
+    let mut stream_wall = f64::INFINITY;
+    let mut stream_state = vec![0u64; n];
+    for _ in 0..reps.max(1) {
+        stream_state.fill(0);
+        let start = std::time::Instant::now();
+        for &(v, x) in &updates {
+            let s = &mut stream_state[v as usize];
+            *s = s.wrapping_add(x);
+        }
+        stream_wall = stream_wall.min(start.elapsed().as_secs_f64());
+    }
+
+    let blocks = CacheBlocks::new(Vid::new(0), Vid::new(n as u32), block);
+    let mut bins: Vec<Vec<(u32, u64)>> = vec![Vec::new(); blocks.num_blocks()];
+    let mut blocked_wall = f64::INFINITY;
+    let mut blocked_state = vec![0u64; n];
+    for rep in 0..reps.max(1) {
+        blocked_state.fill(0);
+        for bin in &mut bins {
+            bin.clear();
+        }
+        let start = std::time::Instant::now();
+        for &(v, x) in &updates {
+            bins[blocks.block_of(Vid::new(v))].push((v, x));
+        }
+        for bin in &bins {
+            for &(v, x) in bin {
+                let s = &mut blocked_state[v as usize];
+                *s = s.wrapping_add(x);
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        // The first rep pays the bins' growth reallocations, which the
+        // engine amortizes across passes; time warm bins only.
+        if rep > 0 || reps <= 1 {
+            blocked_wall = blocked_wall.min(elapsed);
+        }
+    }
+    assert_eq!(
+        stream_state, blocked_state,
+        "apply layout changed the state array"
+    );
+    ApplyPoint {
+        scale,
+        updates: updates.len() as u64,
+        block,
+        stream_wall_secs: stream_wall,
+        blocked_wall_secs: blocked_wall,
+    }
+}
+
+/// Runs the full executor study: the dispatch microbench on four paper
+/// kernels (8M+ edges each, best of five runs) and the apply-layout
+/// sweep at `apply_scale` (the committed `BENCH_exec.json` uses 25,
+/// where the 256 MiB state array outgrows the host's last-level cache
+/// and the blocked layout's locality pays for the binning copy).
+pub fn exec_study(apply_scale: u32) -> ExecStudy {
+    use symple_udf::paper_udfs;
+    let n = 2048usize;
+    let rounds = 256usize;
+    let props = study_props(n, 64);
+    let kernels: Vec<(&'static str, symple_udf::UdfFn)> = vec![
+        ("bfs", paper_udfs::bfs_udf()),
+        ("kcore", paper_udfs::kcore_udf(8)),
+        ("kmeans", paper_udfs::kmeans_udf()),
+        ("sampling", paper_udfs::sampling_udf()),
+    ];
+    let dispatch = kernels
+        .iter()
+        .map(|(name, udf)| dispatch_bench(name, udf, &props, n, rounds, 5))
+        .collect();
+    ExecStudy {
+        dispatch,
+        apply: apply_study(apply_scale, 3),
+    }
+}
+
+/// Renders the executor study as a machine-readable JSON document
+/// (`BENCH_exec.json`).
+pub fn exec_json(study: &ExecStudy) -> String {
+    let mut w = symple_trace::json::JsonWriter::new();
+    w.begin_object();
+    w.key("bench").string("executor");
+    w.key("note").string(
+        "udf_dispatch: PullProgram::signal over synthetic neighbour lists, \
+         AST interpreter vs register-bytecode VM, checksums asserted \
+         bit-identical, wall = best of 5. apply_sweep: one uniform \
+         update stream scattered directly vs binned by CacheBlocks and \
+         applied block by block (binning included in the blocked wall, \
+         bins pre-allocated), states asserted bit-identical, wall = \
+         best of 3, state sized past the host LLC",
+    );
+    w.key("udf_dispatch").begin_array();
+    for p in &study.dispatch {
+        w.begin_object();
+        w.key("kernel").string(p.kernel);
+        w.key("edges").u64(p.edges);
+        w.key("interp_wall_secs").f64(p.interp_wall_secs);
+        w.key("bytecode_wall_secs").f64(p.bytecode_wall_secs);
+        w.key("speedup").f64(p.speedup());
+        w.end_object();
+    }
+    w.end_array();
+    w.key("apply_sweep").begin_object();
+    w.key("scale").u64(u64::from(study.apply.scale));
+    w.key("updates").u64(study.apply.updates);
+    w.key("block").u64(study.apply.block as u64);
+    w.key("stream_wall_secs").f64(study.apply.stream_wall_secs);
+    w.key("blocked_wall_secs")
+        .f64(study.apply.blocked_wall_secs);
+    w.key("speedup").f64(study.apply.speedup());
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+/// Renders the executor study as a report table.
+pub fn exec_report(study: &ExecStudy) -> Report {
+    let mut rows: Vec<Vec<String>> = study
+        .dispatch
+        .iter()
+        .map(|p| {
+            vec![
+                format!("dispatch/{}", p.kernel),
+                p.edges.to_string(),
+                secs(p.interp_wall_secs),
+                secs(p.bytecode_wall_secs),
+                speedup(p.speedup()),
+            ]
+        })
+        .collect();
+    let a = &study.apply;
+    rows.push(vec![
+        format!("apply/s{}", a.scale),
+        a.updates.to_string(),
+        secs(a.stream_wall_secs),
+        secs(a.blocked_wall_secs),
+        speedup(a.speedup()),
+    ]);
+    let text = format!(
+        "{}\nDispatch rows: per-edge UDF cost, interpreter (baseline) vs\nbytecode VM. Apply row: direct scatter (baseline) vs cache-blocked\nbin-then-apply with a cache-sized block, state past the host LLC.\n",
+        table(&["bench", "units", "baseline", "compiled", "speedup"], &rows)
+    );
+    Report::new("exec", "Executor study (extension)", text)
+}
+
+/// The `--exec-smoke` gate: one kernel (k-core 4) through the full
+/// engine — 4 machines, SympleGraph policy, 2 executor threads — under
+/// both executors. Outputs, work and communication counters, and
+/// modelled time must match bit for bit.
+pub fn exec_smoke() -> String {
+    use symple_core::UdfExec;
+    use symple_graph::RmatConfig;
+    use symple_udf::{effective_policy, instrument, paper_udfs, UdfProgram};
+
+    let graph = RmatConfig::graph500(8, 8).cleaned(true).generate();
+    let n = graph.num_vertices();
+    let props = study_props(n, 5);
+    let inst = instrument(&paper_udfs::kcore_udf(4)).expect("instrument kcore");
+    let policy = effective_policy(&inst.info, Policy::symple());
+    let run = |exec: UdfExec| {
+        let cfg = EngineConfig::new(4, policy).threads(2).udf_exec(exec);
+        let res = symple_core::run_spmd(&graph, &cfg, |w| {
+            let prog = UdfProgram::new(&inst, &props).exec(cfg.udf_exec);
+            assert_eq!(
+                prog.uses_bytecode(),
+                exec == UdfExec::Bytecode,
+                "exec smoke: requested executor not in effect"
+            );
+            let mut dep = prog.make_dep(w.dep_slots_needed());
+            let mut acc: Vec<(u64, u64)> = vec![(0, 0); n];
+            let mut apply = |v: Vid, bits: u64| -> bool {
+                let e = &mut acc[v.index()];
+                e.0 += 1;
+                e.1 = e.1.wrapping_add(bits);
+                false
+            };
+            w.pull(&prog, &mut dep, &mut apply);
+            acc
+        });
+        (res.outputs, res.stats)
+    };
+    let (out_i, st_i) = run(UdfExec::Interp);
+    let (out_b, st_b) = run(UdfExec::Bytecode);
+    assert_eq!(out_i, out_b, "exec smoke: outputs differ across executors");
+    assert_eq!(st_i.work, st_b.work, "exec smoke: work differs");
+    assert_eq!(st_i.comm, st_b.comm, "exec smoke: comm differs");
+    assert_eq!(
+        st_i.virtual_time().to_bits(),
+        st_b.virtual_time().to_bits(),
+        "exec smoke: modelled time differs"
+    );
+    format!(
+        "exec smoke: kcore on graph500(8,8), 4 machines, {policy:?}: outputs, \
+         work, comm, and virtual time ({:.3e}s) bit-identical across \
+         Interp/Bytecode",
+        st_b.virtual_time()
     )
 }
 
@@ -1417,33 +1949,20 @@ fn dep_kind_label(kind: symple_udf::DepKind) -> &'static str {
     }
 }
 
-/// Runs the six study kernels (the five paper UDFs plus a `bounded`
-/// kernel whose only break is provably unreachable) instrumented naive vs
-/// minimized on a small RMAT graph, asserting bit-identical outputs and
-/// work counters, and returns the payload comparison per kernel.
-///
-/// Policy is `Policy::symple_basic()` (no differentiated propagation) so
-/// every kernel circulates its full dependency traffic; each
-/// instrumentation still runs under [`symple_udf::effective_policy`], which
-/// is what downgrades the dead-dependency `bounded` kernel to zero
-/// dependency messages.
-pub fn udf_study(scale: u32) -> Vec<UdfPoint> {
-    use symple_graph::{Bitmap, RmatConfig};
-    use symple_udf::types::Ty;
-    use symple_udf::{
-        ast::{Expr, Stmt},
-        effective_policy, instrument, instrument_naive, paper_udfs, PropArray, PropertyStore,
-        UdfDep, UdfFn, UdfProgram,
-    };
-
-    let graph = RmatConfig::graph500(scale, 8).cleaned(true).generate();
-    let n = graph.num_vertices();
+/// The shared property store of the UDF studies: every array the six
+/// study kernels read, at deterministic shapes. `frontier_stride`
+/// controls break density for the BFS kernel — the carried-state study
+/// uses 5 (frequent breaks), the dispatch microbench 64 (most signal
+/// calls scan their whole neighbour list).
+fn study_props(n: usize, frontier_stride: usize) -> symple_udf::PropertyStore {
+    use symple_graph::Bitmap;
+    use symple_udf::{PropArray, PropertyStore};
     let mut props = PropertyStore::new();
     let mut frontier = Bitmap::new(n);
     let mut active = Bitmap::new(n);
     let mut assigned = Bitmap::new(n);
     for i in 0..n {
-        if i % 5 == 0 {
+        if i % frontier_stride == 0 {
             frontier.set(i);
         }
         if i % 3 != 0 {
@@ -1472,6 +1991,30 @@ pub fn udf_study(scale: u32) -> Vec<UdfPoint> {
         "r",
         PropArray::Floats((0..n).map(|i| (i % 13) as f64).collect()),
     );
+    props
+}
+
+/// Runs the six study kernels (the five paper UDFs plus a `bounded`
+/// kernel whose only break is provably unreachable) instrumented naive vs
+/// minimized on a small RMAT graph, asserting bit-identical outputs and
+/// work counters, and returns the payload comparison per kernel.
+///
+/// Policy is `Policy::symple_basic()` (no differentiated propagation) so
+/// every kernel circulates its full dependency traffic; each
+/// instrumentation still runs under [`symple_udf::effective_policy`], which
+/// is what downgrades the dead-dependency `bounded` kernel to zero
+/// dependency messages.
+pub fn udf_study(scale: u32) -> Vec<UdfPoint> {
+    use symple_graph::RmatConfig;
+    use symple_udf::types::Ty;
+    use symple_udf::{
+        ast::{Expr, Stmt},
+        effective_policy, instrument, instrument_naive, paper_udfs, UdfDep, UdfFn, UdfProgram,
+    };
+
+    let graph = RmatConfig::graph500(scale, 8).cleaned(true).generate();
+    let n = graph.num_vertices();
+    let props = study_props(n, 5);
 
     // A k-sampling-style kernel whose only break is dead: the guard flag
     // is provably false, so the minimized analysis removes the dependency
@@ -1882,6 +2425,54 @@ mod tests {
         assert!(err.contains("cell missing"), "{err}");
         // Garbage documents are rejected with a reason.
         assert!(parse_comm_baseline("{}").is_err());
+    }
+
+    fn fake_scaling_points() -> Vec<ScalingPoint> {
+        vec![
+            ScalingPoint {
+                threads: 1,
+                wall_secs: 0.8,
+                interp_wall_secs: 1.0,
+                virtual_secs: 2.0,
+            },
+            ScalingPoint {
+                threads: 4,
+                wall_secs: 0.75,
+                interp_wall_secs: 0.76,
+                virtual_secs: 0.5,
+            },
+        ]
+    }
+
+    #[test]
+    fn scaling_baseline_roundtrips_through_json() {
+        let points = fake_scaling_points();
+        let json = scaling_json(18, &points);
+        let base = parse_scaling_baseline(&json).unwrap();
+        assert_eq!(base.scale, 18);
+        assert_eq!(base.ratios.len(), 2);
+        assert_eq!(base.ratios[0].0, 1);
+        assert!((base.ratios[0].1 - 0.8).abs() < 1e-12);
+        // Identical measurements always pass their own baseline.
+        assert!(scaling_check_points(&base, &points, 0.10).is_ok());
+    }
+
+    #[test]
+    fn scaling_check_flags_regressions_and_missing_cells() {
+        let points = fake_scaling_points();
+        let mut base = parse_scaling_baseline(&scaling_json(18, &points)).unwrap();
+        // Shrink one baseline ratio below the measured value: regression.
+        base.ratios[0].1 = 0.6;
+        let err = scaling_check_points(&base, &points, 0.10).unwrap_err();
+        assert!(err.contains("threads=1"), "{err}");
+        assert!(err.contains("exceeds baseline"), "{err}");
+        // A baseline cell the sweep no longer produces also fails.
+        base.ratios[0].1 = 0.8;
+        base.ratios.push((8, 0.9));
+        let err = scaling_check_points(&base, &points, 0.10).unwrap_err();
+        assert!(err.contains("cell missing"), "{err}");
+        // Garbage documents are rejected with a reason.
+        assert!(parse_scaling_baseline("{}").is_err());
     }
 
     #[test]

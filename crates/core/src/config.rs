@@ -14,6 +14,8 @@ pub enum ConfigError {
     ZeroThreads,
     /// `chunk_size` was 0 — chunks must contain at least one entry.
     ZeroChunkSize,
+    /// `apply_block` was 0 — cache blocks must hold at least one vertex.
+    ZeroApplyBlock,
     /// The fault plan's rates were not probabilities; carries the
     /// offending knob's message.
     InvalidFaultPlan(&'static str),
@@ -36,6 +38,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroChunkSize => {
                 write!(f, "chunk_size must be at least 1 (got 0)")
+            }
+            ConfigError::ZeroApplyBlock => {
+                write!(f, "apply_block must be at least 1 (got 0)")
             }
             ConfigError::InvalidFaultPlan(why) | ConfigError::InvalidRetry(why) => f.write_str(why),
         }
@@ -90,6 +95,100 @@ impl Policy {
     /// Does this policy propagate dependency between machines?
     pub fn propagates_dependency(&self) -> bool {
         matches!(self, Policy::SympleGraph { .. })
+    }
+}
+
+/// Which executor runs checked UDFs in the per-edge hot loop.
+///
+/// Both executors implement the same semantics down to wrapping integer
+/// arithmetic and NaN-comparison panics; outputs, `WorkStats`,
+/// `CommStats`, and virtual time are bit-identical across them. The
+/// interpreter survives as the differential-testing reference; the
+/// bytecode VM is the production path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UdfExec {
+    /// Walk the checked AST directly (`symple-udf`'s tree interpreter).
+    Interp,
+    /// Lower the checked AST to register bytecode at program construction
+    /// and dispatch a flat `Vec<Op>` per edge. Falls back to the
+    /// interpreter for the rare program the compiler rejects (lint W006
+    /// makes that fallback visible).
+    #[default]
+    Bytecode,
+}
+
+impl UdfExec {
+    /// Stable lower-case name (used in bench reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            UdfExec::Interp => "interp",
+            UdfExec::Bytecode => "bytecode",
+        }
+    }
+}
+
+impl fmt::Display for UdfExec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for UdfExec {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interp" => Ok(UdfExec::Interp),
+            "bytecode" => Ok(UdfExec::Bytecode),
+            other => Err(format!("unknown udf executor `{other}` (interp|bytecode)")),
+        }
+    }
+}
+
+/// How the receive/apply pass touches destination-vertex state.
+///
+/// Outputs, `WorkStats`, and `CommStats` are bit-identical across
+/// layouts; with `threads = 1` virtual time is too. With a parallel
+/// executor the blocked layout charges one balanced per-block sweep
+/// instead of one small sweep per circulant step, so the modelled
+/// critical path (and the measured wall time) differ — that is the
+/// optimisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ApplyLayout {
+    /// Apply each received buffer's updates immediately, in circulant
+    /// arrival order (the seed behaviour). Each step's sweep touches the
+    /// whole local vertex range.
+    Stream,
+    /// GPOP-style cache blocking: bucket decoded updates into
+    /// cache-resident vertex blocks as buffers arrive, then fold all bins
+    /// block-by-block in one sweep, touching each block's state once.
+    #[default]
+    Blocked,
+}
+
+impl ApplyLayout {
+    /// Stable lower-case name (used in bench reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ApplyLayout::Stream => "stream",
+            ApplyLayout::Blocked => "blocked",
+        }
+    }
+}
+
+impl fmt::Display for ApplyLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ApplyLayout {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "stream" => Ok(ApplyLayout::Stream),
+            "blocked" => Ok(ApplyLayout::Blocked),
+            other => Err(format!("unknown apply layout `{other}` (stream|blocked)")),
+        }
     }
 }
 
@@ -155,6 +254,19 @@ pub struct EngineConfig {
     /// bit-identical across backends — only wall-clock measurements
     /// change.
     pub backend: Backend,
+    /// Which executor runs checked UDFs in the per-edge hot loop:
+    /// `Bytecode` (register VM, the default) or `Interp` (the AST
+    /// tree-walker kept as the differential reference). Bit-identical
+    /// outputs, `WorkStats`, `CommStats`, and virtual time either way —
+    /// only host wall time changes.
+    pub udf_exec: UdfExec,
+    /// Receive/apply pass layout: `Blocked` (cache-resident vertex blocks,
+    /// the default) or `Stream` (the seed's apply-on-arrival sweep).
+    pub apply_layout: ApplyLayout,
+    /// Vertices per cache block for the blocked apply layout (the
+    /// cache-residency granule; also the lane-scheduling unit for the
+    /// apply sweep's virtual-time charge).
+    pub apply_block: usize,
 }
 
 impl EngineConfig {
@@ -175,6 +287,9 @@ impl EngineConfig {
             fault_plan: None,
             retry: RetryConfig::default(),
             backend: Backend::Sim,
+            udf_exec: UdfExec::Bytecode,
+            apply_layout: ApplyLayout::Blocked,
+            apply_block: 1024,
         }
     }
 
@@ -238,6 +353,24 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the UDF executor (bytecode VM vs reference interpreter).
+    pub fn udf_exec(mut self, exec: UdfExec) -> Self {
+        self.udf_exec = exec;
+        self
+    }
+
+    /// Sets the receive/apply pass layout.
+    pub fn apply_layout(mut self, layout: ApplyLayout) -> Self {
+        self.apply_layout = layout;
+        self
+    }
+
+    /// Sets the blocked layout's vertices-per-cache-block granule.
+    pub fn apply_block(mut self, block: usize) -> Self {
+        self.apply_block = block;
+        self
+    }
+
     /// Does this run adaptively re-encode remote messages?
     pub fn adaptive_wire(&self) -> bool {
         self.wire_codec == WireCodec::Adaptive
@@ -267,6 +400,9 @@ impl EngineConfig {
         }
         if self.chunk_size == 0 {
             return Err(ConfigError::ZeroChunkSize);
+        }
+        if self.apply_block == 0 {
+            return Err(ConfigError::ZeroApplyBlock);
         }
         if let Some(plan) = &self.fault_plan {
             plan.validate().map_err(ConfigError::InvalidFaultPlan)?;
@@ -429,6 +565,38 @@ mod tests {
         assert_eq!(cfg.backend, Backend::Thread);
         assert_eq!(cfg.validate(), Ok(()));
         assert_eq!("thread".parse::<Backend>(), Ok(Backend::Thread));
+    }
+
+    #[test]
+    fn exec_and_layout_default_to_fast_paths() {
+        let cfg = EngineConfig::new(4, Policy::symple());
+        assert_eq!(cfg.udf_exec, UdfExec::Bytecode);
+        assert_eq!(cfg.apply_layout, ApplyLayout::Blocked);
+        assert_eq!(cfg.apply_block, 1024);
+        let cfg = cfg
+            .udf_exec(UdfExec::Interp)
+            .apply_layout(ApplyLayout::Stream)
+            .apply_block(64);
+        assert_eq!(cfg.udf_exec, UdfExec::Interp);
+        assert_eq!(cfg.apply_layout, ApplyLayout::Stream);
+        assert_eq!(cfg.apply_block, 64);
+        assert_eq!(cfg.validate(), Ok(()));
+        assert_eq!("bytecode".parse::<UdfExec>(), Ok(UdfExec::Bytecode));
+        assert_eq!("stream".parse::<ApplyLayout>(), Ok(ApplyLayout::Stream));
+        assert!("fancy".parse::<UdfExec>().is_err());
+        assert!("fancy".parse::<ApplyLayout>().is_err());
+        assert_eq!(UdfExec::Bytecode.to_string(), "bytecode");
+        assert_eq!(ApplyLayout::Blocked.to_string(), "blocked");
+    }
+
+    #[test]
+    fn zero_apply_block_invalid() {
+        let err = EngineConfig::new(2, Policy::Gemini)
+            .apply_block(0)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroApplyBlock);
+        assert!(err.to_string().contains("apply_block"));
     }
 
     #[test]

@@ -45,11 +45,11 @@ mod stats;
 mod worker;
 
 pub use circulant::{dst_partition, processing_order, src_machine};
-pub use config::{ConfigError, EngineConfig, Policy};
+pub use config::{ApplyLayout, ConfigError, EngineConfig, Policy, UdfExec};
 pub use dep::{BitDep, CountDep, DepLayout, DepState, WeightDep};
 pub use dist_graph::{Bucket, BucketPart, LocalGraph};
 pub use driver::{run_spmd, DistResult};
-pub use partition::Partition;
+pub use partition::{CacheBlocks, Partition};
 pub use program::{PullProgram, PushProgram, SignalOutcome};
 #[allow(deprecated)]
 pub use stats::WorkerStats;

@@ -29,6 +29,10 @@ pub enum WorkMetric {
     SkippedByDep,
     /// Update messages emitted by signals.
     UpdatesEmitted,
+    /// Updates consumed by the receive/apply pass (each decoded pair
+    /// folded into a master's state). Identical across apply layouts —
+    /// the blocked sweep reorders, it never drops or duplicates.
+    UpdatesApplied,
     /// Pull iterations executed.
     PullIterations,
     /// Push iterations executed.
@@ -37,11 +41,12 @@ pub enum WorkMetric {
 
 impl WorkMetric {
     /// All metrics, in display order.
-    pub const ALL: [WorkMetric; 6] = [
+    pub const ALL: [WorkMetric; 7] = [
         WorkMetric::EdgesTraversed,
         WorkMetric::VerticesExamined,
         WorkMetric::SkippedByDep,
         WorkMetric::UpdatesEmitted,
+        WorkMetric::UpdatesApplied,
         WorkMetric::PullIterations,
         WorkMetric::PushIterations,
     ];
@@ -52,8 +57,9 @@ impl WorkMetric {
             WorkMetric::VerticesExamined => 1,
             WorkMetric::SkippedByDep => 2,
             WorkMetric::UpdatesEmitted => 3,
-            WorkMetric::PullIterations => 4,
-            WorkMetric::PushIterations => 5,
+            WorkMetric::UpdatesApplied => 4,
+            WorkMetric::PullIterations => 5,
+            WorkMetric::PushIterations => 6,
         }
     }
 
@@ -73,6 +79,7 @@ impl WorkMetric {
             WorkMetric::VerticesExamined => "vertices_examined",
             WorkMetric::SkippedByDep => "skipped_by_dep",
             WorkMetric::UpdatesEmitted => "updates_emitted",
+            WorkMetric::UpdatesApplied => "updates_applied",
             WorkMetric::PullIterations => "pull_iterations",
             WorkMetric::PushIterations => "push_iterations",
         }
@@ -99,7 +106,7 @@ impl fmt::Display for WorkMetric {
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkStats {
-    counts: [u64; 6],
+    counts: [u64; 7],
 }
 
 impl WorkStats {
@@ -131,6 +138,11 @@ impl WorkStats {
     /// Update messages emitted by signals.
     pub fn updates_emitted(&self) -> u64 {
         self.get(WorkMetric::UpdatesEmitted)
+    }
+
+    /// Updates consumed by the receive/apply pass.
+    pub fn updates_applied(&self) -> u64 {
+        self.get(WorkMetric::UpdatesApplied)
     }
 
     /// Pull iterations executed.
@@ -179,13 +191,13 @@ pub struct TimeStats {
     /// backend this is the measured counterpart of `virtual_secs`; on the
     /// simulator it only reflects host scheduling.
     pub max_node_wall: Duration,
-    breakdown: [f64; 7],
+    breakdown: [f64; 8],
 }
 
 impl TimeStats {
     /// Builds the time facet from a finished trace.
     pub fn from_trace(virtual_secs: f64, wall: Duration, trace: &Trace) -> Self {
-        let mut breakdown = [0.0; 7];
+        let mut breakdown = [0.0; 8];
         for cat in SpanCategory::ALL {
             breakdown[cat.index()] = trace.time(cat);
         }

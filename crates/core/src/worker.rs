@@ -28,12 +28,16 @@
 use crate::circulant::{dst_partition, processing_order};
 use crate::par::{self, ParCfg, PassOutput};
 use crate::{
-    DepLayout, DepState, EngineConfig, LocalGraph, Partition, Policy, PullProgram, PushProgram,
-    WorkMetric, WorkStats,
+    ApplyLayout, CacheBlocks, DepLayout, DepState, EngineConfig, LocalGraph, Partition, Policy,
+    PullProgram, PushProgram, WorkMetric, WorkStats,
 };
 use std::ops::Range;
 use symple_graph::{Bitmap, Graph, Vid};
 use symple_net::{CodecStats, CommKind, NodeCtx, Tag, TagKind, Wire, WireFormat};
+
+/// Per-cache-block update bins of the blocked apply layout, paired with
+/// the block geometry that routes a vertex to its bin.
+type ApplyBins<U> = (CacheBlocks, Vec<Vec<(Vid, U)>>);
 
 /// Per-machine engine handle. Created by [`crate::run_spmd`] on each
 /// simulated machine.
@@ -253,6 +257,45 @@ impl<'a> Worker<'a> {
             threads: self.cfg.threads,
             chunk: self.cfg.chunk_size,
         }
+    }
+
+    /// Cache-block bins for the blocked apply layout (`None` under
+    /// `Stream`): one bin per `apply_block`-vertex block of this machine's
+    /// master range, filled as update buffers are decoded and drained by
+    /// [`Worker::apply_blocked`].
+    fn blocked_bins<U: Copy>(&self) -> Option<ApplyBins<U>> {
+        if self.cfg.apply_layout != ApplyLayout::Blocked {
+            return None;
+        }
+        let (lo, hi) = self.my_range();
+        let blocks = CacheBlocks::new(lo, hi, self.cfg.apply_block);
+        let bins = vec![Vec::new(); blocks.num_blocks()];
+        Some((blocks, bins))
+    }
+
+    /// The blocked sweep: folds each bin into its cache-resident block of
+    /// master state, one block at a time, so the pass touches each block's
+    /// state exactly once. Charges the per-bin lane costs under
+    /// `SpanCategory::Apply` — the same total as the stream layout's
+    /// per-buffer charges, scheduled over one balanced sweep. Returns the
+    /// number of activations.
+    fn apply_blocked<U: Copy>(
+        &mut self,
+        bins: Vec<Vec<(Vid, U)>>,
+        apply: &mut dyn FnMut(Vid, U) -> bool,
+    ) -> u64 {
+        let mut activated = 0u64;
+        let costs: Vec<(u64, u64)> = bins.iter().map(|b| (0, b.len() as u64)).collect();
+        for bin in bins {
+            for (v, upd) in bin {
+                debug_assert!(self.is_master(v), "update routed to wrong master");
+                if apply(v, upd) {
+                    activated += 1;
+                }
+            }
+        }
+        self.ctx.apply_sharded(&costs, self.cfg.threads);
+        activated
     }
 
     /// Current virtual time on this machine.
@@ -515,10 +558,14 @@ impl<'a> Worker<'a> {
         // order of this partition (…, rank−2, rank−1 first; local last), so
         // the master folds partial results in exactly the sequential
         // neighbour order the dependency semantics define. Decoding is
-        // chunked; `apply` itself runs sequentially in stream order (it is
-        // a `FnMut` over caller state).
+        // chunked; `apply` itself runs sequentially (it is a `FnMut` over
+        // caller state) — in stream order under the `Stream` layout, in
+        // cache-block order under `Blocked` (same per-vertex order either
+        // way; see [`crate::ApplyLayout`]).
         let mut activated = 0u64;
+        let mut applied = 0u64;
         let mut feedback: Vec<u8> = Vec::new();
+        let mut sweep = self.blocked_bins::<P::Update>();
         for m in processing_order(rank, p) {
             // Attribute apply-phase time to the step at which machine `m`
             // produced (and sent) the buffer being consumed.
@@ -531,21 +578,35 @@ impl<'a> Worker<'a> {
                 self.recv_updates(m, tag, P::Update::SIZE)
             };
             let (pairs, costs) = par::decode_pass::<P::Update>(&buf, pc);
-            for (v, upd) in pairs {
-                debug_assert!(self.is_master(v), "update routed to wrong master");
-                if apply(v, upd) {
-                    activated += 1;
-                }
-                if galois {
-                    // Gluon broadcasts every reduced value back to the
-                    // mirrors, whether or not it activated the vertex.
+            applied += pairs.len() as u64;
+            if galois {
+                // Gluon broadcasts every reduced value back to the
+                // mirrors, whether or not it activated the vertex. The
+                // feedback stream is written at decode time, so its bytes
+                // are identical under both apply layouts.
+                for &(v, upd) in &pairs {
                     v.write(&mut feedback);
                     upd.write(&mut feedback);
                 }
             }
-            self.ctx.compute_sharded(&costs, pc.threads);
+            if let Some((blocks, bins)) = &mut sweep {
+                par::bin_updates(&pairs, blocks, bins);
+            } else {
+                for (v, upd) in pairs {
+                    debug_assert!(self.is_master(v), "update routed to wrong master");
+                    if apply(v, upd) {
+                        activated += 1;
+                    }
+                }
+                self.ctx.apply_sharded(&costs, pc.threads);
+            }
             self.recycle_buf(m, buf);
         }
+        if let Some((_, bins)) = sweep {
+            self.ctx.set_trace_scope(iter as u32, 0, 0);
+            activated += self.apply_blocked(bins, apply);
+        }
+        self.stats.add(WorkMetric::UpdatesApplied, applied);
 
         if galois {
             // Gluon-style second phase: masters broadcast applied values
@@ -618,7 +679,9 @@ impl<'a> Worker<'a> {
         }
 
         let mut activated = 0u64;
+        let mut applied = 0u64;
         let mut feedback: Vec<u8> = Vec::new();
+        let mut sweep = self.blocked_bins::<P::Update>();
         for m in 0..p {
             let buf = if m == rank {
                 std::mem::take(&mut outboxes[rank])
@@ -626,21 +689,34 @@ impl<'a> Worker<'a> {
                 self.recv_updates(m, tag, P::Update::SIZE)
             };
             let (pairs, costs) = par::decode_pass::<P::Update>(&buf, pc);
-            for (v, upd) in pairs {
-                debug_assert!(self.is_master(v), "update routed to wrong master");
-                if apply(v, upd) {
-                    activated += 1;
-                }
-                if galois {
-                    // Gluon broadcasts every reduced value back to the
-                    // mirrors, whether or not it activated the vertex.
+            applied += pairs.len() as u64;
+            if galois {
+                // Gluon broadcasts every reduced value back to the
+                // mirrors, whether or not it activated the vertex. Written
+                // at decode time, so the feedback bytes are identical
+                // under both apply layouts.
+                for &(v, upd) in &pairs {
                     v.write(&mut feedback);
                     upd.write(&mut feedback);
                 }
             }
-            self.ctx.compute_sharded(&costs, pc.threads);
+            if let Some((blocks, bins)) = &mut sweep {
+                par::bin_updates(&pairs, blocks, bins);
+            } else {
+                for (v, upd) in pairs {
+                    debug_assert!(self.is_master(v), "update routed to wrong master");
+                    if apply(v, upd) {
+                        activated += 1;
+                    }
+                }
+                self.ctx.apply_sharded(&costs, pc.threads);
+            }
             self.recycle_buf(m, buf);
         }
+        if let Some((_, bins)) = sweep {
+            activated += self.apply_blocked(bins, apply);
+        }
+        self.stats.add(WorkMetric::UpdatesApplied, applied);
         if galois {
             self.galois_broadcast(P::Update::SIZE, feedback);
         }

@@ -182,11 +182,26 @@ impl NodeCtx {
     /// interleaved. Per-lane busy times are traced as parallel compute
     /// spans (see `TraceRecorder::record_compute_lanes`).
     pub fn compute_sharded(&mut self, chunks: &[(u64, u64)], threads: usize) {
+        self.sharded(SpanCategory::Compute, chunks, threads);
+    }
+
+    /// [`NodeCtx::compute_sharded`], but charged to
+    /// [`SpanCategory::Apply`]: the partition-blocked sweep that folds
+    /// binned updates into the destination masters' state. Identical
+    /// critical-path math — only the trace attribution differs, so the
+    /// apply phase is separable from signal-side edge work in reports.
+    pub fn apply_sharded(&mut self, chunks: &[(u64, u64)], threads: usize) {
+        self.sharded(SpanCategory::Apply, chunks, threads);
+    }
+
+    fn sharded(&mut self, category: SpanCategory, chunks: &[(u64, u64)], threads: usize) {
         if threads <= 1 || chunks.len() <= 1 {
             let (edges, verts) = chunks
                 .iter()
                 .fold((0u64, 0u64), |a, &(e, v)| (a.0 + e, a.1 + v));
-            self.compute(edges, verts);
+            let start = self.clock;
+            self.clock += self.cost.compute_time(edges, verts);
+            self.trace.record_span(category, start, self.clock);
             return;
         }
         let lane_secs: Vec<f64> = self
@@ -196,7 +211,7 @@ impl NodeCtx {
             .map(|&(e, v)| self.cost.compute_time(e, v))
             .collect();
         let start = self.clock;
-        self.clock += self.trace.record_compute_lanes(start, &lane_secs);
+        self.clock += self.trace.record_lanes(category, start, &lane_secs);
     }
 
     /// Advances the virtual clock by `seconds` of arbitrary modelled work.

@@ -90,11 +90,16 @@ pub enum SpanCategory {
     /// fault-free runs — the category exists so fault recovery is visible
     /// without polluting the six fault-free categories.
     Retry,
+    /// The partition-blocked apply sweep: folding binned updates into the
+    /// destination masters' state, one cache-resident vertex block at a
+    /// time. Charged from per-block lane costs, so it is distinguishable
+    /// from the signal-side [`SpanCategory::Compute`] edge work.
+    Apply,
 }
 
 impl SpanCategory {
     /// All categories, in display order.
-    pub const ALL: [SpanCategory; 7] = [
+    pub const ALL: [SpanCategory; 8] = [
         SpanCategory::Compute,
         SpanCategory::Serialize,
         SpanCategory::Send,
@@ -102,6 +107,7 @@ impl SpanCategory {
         SpanCategory::Barrier,
         SpanCategory::Collective,
         SpanCategory::Retry,
+        SpanCategory::Apply,
     ];
 
     /// Dense index into per-category arrays.
@@ -114,7 +120,15 @@ impl SpanCategory {
             SpanCategory::Barrier => 4,
             SpanCategory::Collective => 5,
             SpanCategory::Retry => 6,
+            SpanCategory::Apply => 7,
         }
+    }
+
+    /// Whether the category represents busy local work on executor lanes
+    /// (as opposed to waiting or messaging overhead). Compute-like time
+    /// feeds the per-cell `compute_cpu` / `lanes` core-second accounting.
+    pub fn is_compute_like(self) -> bool {
+        matches!(self, SpanCategory::Compute | SpanCategory::Apply)
     }
 
     /// Stable lower-case name (used in exports).
@@ -127,6 +141,7 @@ impl SpanCategory {
             SpanCategory::Barrier => "barrier",
             SpanCategory::Collective => "collective",
             SpanCategory::Retry => "retry",
+            SpanCategory::Apply => "apply",
         }
     }
 }

@@ -25,7 +25,7 @@ pub struct CellStats {
     /// [`SpanCategory::index`]). For compute this is the *charged*
     /// (critical-path) time: with a multi-threaded executor it is the
     /// longest per-thread lane, not the sum.
-    pub time: [f64; 7],
+    pub time: [f64; 8],
     /// Bytes per [`ByteCategory`] (indexed by [`ByteCategory::index`]).
     pub bytes: [u64; 3],
     /// Messages per [`ByteCategory`].
@@ -71,7 +71,7 @@ impl CellStats {
     }
 
     fn absorb(&mut self, other: &CellStats) {
-        for i in 0..7 {
+        for i in 0..8 {
             self.time[i] += other.time[i];
         }
         for i in 0..3 {
@@ -172,7 +172,7 @@ impl TraceRecorder {
         }
         let cell = self.cells.entry(self.scope).or_default();
         cell.time[category.index()] += end - start;
-        if category == SpanCategory::Compute {
+        if category.is_compute_like() {
             cell.compute_cpu += end - start;
             cell.lanes = cell.lanes.max(1);
         }
@@ -188,28 +188,38 @@ impl TraceRecorder {
     }
 
     /// Attributes one chunked-executor compute phase starting at `start`
-    /// with the given per-lane busy seconds. The *charged* (critical-path)
-    /// time — the longest lane — is added to the cell's compute time and
-    /// returned; the lane sum goes to [`CellStats::compute_cpu`]. At
+    /// with the given per-lane busy seconds. Shorthand for
+    /// [`TraceRecorder::record_lanes`] with [`SpanCategory::Compute`].
+    pub fn record_compute_lanes(&mut self, start: f64, lane_secs: &[f64]) -> f64 {
+        self.record_lanes(SpanCategory::Compute, start, lane_secs)
+    }
+
+    /// Attributes one chunked-executor phase of `category` starting at
+    /// `start` with the given per-lane busy seconds. The *charged*
+    /// (critical-path) time — the longest lane — is added to the cell's
+    /// time for `category` and returned; for compute-like categories the
+    /// lane sum goes to [`CellStats::compute_cpu`]. At
     /// [`TraceLevel::Full`] each busy lane becomes its own span tagged
     /// with its lane index, so timelines expose intra-node imbalance.
     ///
     /// The charged time is computed and returned even when tracing is off,
     /// so the virtual clock does not depend on the trace level.
-    pub fn record_compute_lanes(&mut self, start: f64, lane_secs: &[f64]) -> f64 {
+    pub fn record_lanes(&mut self, category: SpanCategory, start: f64, lane_secs: &[f64]) -> f64 {
         let charged = lane_secs.iter().fold(0.0_f64, |a, &b| a.max(b));
         if !self.level.metrics() {
             return charged;
         }
         let cell = self.cells.entry(self.scope).or_default();
-        cell.time[SpanCategory::Compute.index()] += charged;
-        cell.compute_cpu += lane_secs.iter().sum::<f64>();
-        cell.lanes = cell.lanes.max(lane_secs.len() as u32);
+        cell.time[category.index()] += charged;
+        if category.is_compute_like() {
+            cell.compute_cpu += lane_secs.iter().sum::<f64>();
+            cell.lanes = cell.lanes.max(lane_secs.len() as u32);
+        }
         if self.level.spans() {
             for (lane, &secs) in lane_secs.iter().enumerate() {
                 if secs > 0.0 {
                     self.spans.push(Span {
-                        category: SpanCategory::Compute,
+                        category,
                         start,
                         end: start + secs,
                         scope: self.scope,

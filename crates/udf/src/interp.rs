@@ -1,10 +1,14 @@
-//! Tree-walking interpreter that runs instrumented UDFs as engine pull
-//! programs.
+//! [`UdfProgram`] — an instrumented UDF bound to a property store as an
+//! engine pull program — plus the tree-walking reference interpreter.
 //!
 //! [`UdfProgram`] implements [`symple_core::PullProgram`], so an analyzed
 //! UDF executes under the exact same circulant/dependency machinery as a
-//! hand-written native program. The instrumentation nodes map to the
-//! runtime like this:
+//! hand-written native program. Signal calls dispatch to one of two
+//! executors selected by [`UdfExec`]: the register-bytecode VM
+//! ([`crate::compile`], [`crate::vm`][self], the default) or the tree
+//! interpreter in this module, which is the differential reference and
+//! the fallback when compilation hits a resource limit (lint `W006`).
+//! The instrumentation nodes map to the runtime like this:
 //!
 //! * `ReceiveDepGuard` — on the dependency-carried path: early-return if
 //!   the skip bit is set, otherwise stage the carried locals' restored
@@ -26,27 +30,70 @@ use crate::dep_bridge::UdfDep;
 use crate::props::PropertyStore;
 use crate::transform::InstrumentedUdf;
 use crate::types::Value;
+use crate::vm::BoundVm;
+use std::cell::RefCell;
 use std::collections::HashMap;
-use symple_core::{DepState, PullProgram, SignalOutcome};
+use symple_core::{DepState, PullProgram, SignalOutcome, UdfExec};
 use symple_graph::Vid;
 
 /// An instrumented UDF bound to a property store, executable as a pull
-/// program.
+/// program under either executor (bytecode VM or tree interpreter).
 pub struct UdfProgram<'a> {
     inst: &'a InstrumentedUdf,
     props: &'a PropertyStore,
     active: Option<(String, bool)>,
+    engine: Engine<'a>,
+}
+
+/// The executor actually selected for signal calls. `Interp` either by
+/// request or as the fallback when compilation/binding fails.
+enum Engine<'a> {
+    Interp,
+    Vm(BoundVm<'a>),
+}
+
+fn build_engine<'a>(
+    inst: &'a InstrumentedUdf,
+    props: &'a PropertyStore,
+    exec: UdfExec,
+) -> Engine<'a> {
+    if exec == UdfExec::Bytecode {
+        if let Ok(code) = crate::bytecode::lower(inst) {
+            if let Some(vm) = BoundVm::bind(code, props) {
+                return Engine::Vm(vm);
+            }
+        }
+    }
+    Engine::Interp
 }
 
 impl<'a> UdfProgram<'a> {
-    /// Binds `inst` to `props`. All vertices are considered dense-active
-    /// unless [`UdfProgram::active_when`] is set.
+    /// Binds `inst` to `props` under the default executor
+    /// ([`UdfExec::Bytecode`], falling back to the interpreter if the
+    /// program hits a compiler resource limit or reads a property the
+    /// store lacks). All vertices are considered dense-active unless
+    /// [`UdfProgram::active_when`] is set.
     pub fn new(inst: &'a InstrumentedUdf, props: &'a PropertyStore) -> Self {
         UdfProgram {
+            engine: build_engine(inst, props, UdfExec::default()),
             inst,
             props,
             active: None,
         }
+    }
+
+    /// Selects the executor (wire `EngineConfig::udf_exec` through here).
+    /// `Bytecode` silently falls back to the interpreter when the program
+    /// cannot be compiled or bound; outputs are identical either way.
+    pub fn exec(mut self, exec: UdfExec) -> Self {
+        self.engine = build_engine(self.inst, self.props, exec);
+        self
+    }
+
+    /// Returns `true` if signal calls run on the bytecode VM (false:
+    /// interpreter, by request or by fallback).
+    pub fn uses_bytecode(&self) -> bool {
+        matches!(self.engine, Engine::Vm(_))
     }
 
     /// Restricts dense activity to vertices where boolean property
@@ -72,8 +119,8 @@ enum Flow {
     Returned,
 }
 
-struct Env {
-    locals: HashMap<String, Value>,
+struct Env<'l> {
+    locals: &'l mut HashMap<String, Value>,
     v: Vid,
     u: Option<Vid>,
 }
@@ -88,7 +135,15 @@ struct Ctx<'e> {
     edges: u64,
     broke: bool,
     /// Values staged by `ReceiveDepGuard` for carried locals' `let`s.
-    pending: HashMap<String, Value>,
+    pending: &'e mut HashMap<String, Value>,
+}
+
+thread_local! {
+    /// Interpreter scratch — the locals environment and the pending-restore
+    /// map — cleared and reused across signal calls so the edge loop
+    /// allocates nothing after warm-up.
+    static SCRATCH: RefCell<(HashMap<String, Value>, HashMap<String, Value>)> =
+        RefCell::new((HashMap::new(), HashMap::new()));
 }
 
 impl Ctx<'_> {
@@ -109,7 +164,14 @@ impl Ctx<'_> {
                     Some(restored) => restored,
                     None => self.eval(init, env),
                 };
-                env.locals.insert(name.clone(), val);
+                // Overwrite in place when the `let` re-executes (every
+                // edge-loop iteration): no per-edge key clone.
+                match env.locals.get_mut(name) {
+                    Some(slot) => *slot = val,
+                    None => {
+                        env.locals.insert(name.clone(), val);
+                    }
+                }
                 Flow::Normal
             }
             Stmt::Assign { name, value } => {
@@ -205,16 +267,7 @@ impl Ctx<'_> {
                 env.u
                     .expect("`u` outside the neighbour loop (run check first)"),
             ),
-            Expr::Unary(op, a) => {
-                let v = self.eval(a, env);
-                match op {
-                    UnOp::Not => Value::Bool(!v.as_bool()),
-                    UnOp::Neg => match v {
-                        Value::Int(i) => Value::Int(-i),
-                        other => Value::Float(-other.as_float()),
-                    },
-                }
-            }
+            Expr::Unary(op, a) => unary(*op, self.eval(a, env)),
             Expr::Binary(op, a, b) => {
                 // short-circuit logical operators
                 match op {
@@ -232,15 +285,31 @@ impl Ctx<'_> {
                 }
                 let va = self.eval(a, env);
                 let vb = self.eval(b, env);
-                match op {
-                    BinOp::Add | BinOp::Sub | BinOp::Mul => arith(*op, va, vb),
-                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
-                        Value::Bool(compare(*op, va, vb))
-                    }
-                    BinOp::And | BinOp::Or => unreachable!("handled above"),
-                }
+                binary(*op, va, vb)
             }
         }
+    }
+}
+
+/// Unary evaluation, shared with the bytecode VM so both executors agree
+/// bit-for-bit.
+pub(crate) fn unary(op: UnOp, v: Value) -> Value {
+    match op {
+        UnOp::Not => Value::Bool(!v.as_bool()),
+        UnOp::Neg => match v {
+            Value::Int(i) => Value::Int(-i),
+            other => Value::Float(-other.as_float()),
+        },
+    }
+}
+
+/// Non-short-circuit binary evaluation, shared with the bytecode VM
+/// (`&&`/`||` compile to control flow there and short-circuit here).
+pub(crate) fn binary(op: BinOp, a: Value, b: Value) -> Value {
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul => arith(op, a, b),
+        BinOp::And | BinOp::Or => unreachable!("short-circuit ops are control flow"),
+        _ => Value::Bool(compare(op, a, b)),
     }
 }
 
@@ -309,31 +378,49 @@ impl PullProgram for UdfProgram<'_> {
         carried: bool,
         emit: &mut dyn FnMut(u64),
     ) -> SignalOutcome {
-        let mut env = Env {
-            locals: HashMap::new(),
-            v,
-            u: None,
-        };
-        let mut ctx = Ctx {
-            props: self.props,
-            info: &self.inst.info,
-            dep,
-            slot,
-            carried,
-            emit,
-            edges: 0,
-            broke: false,
-            pending: HashMap::new(),
-        };
-        let _ = ctx.exec_block(&self.inst.udf.body, &mut env, srcs);
-        // Data dependency flows onward even without a break.
-        if !ctx.broke && !ctx.info.carried.is_empty() {
-            ctx.snapshot_carried(&env);
+        match &self.engine {
+            Engine::Vm(vm) => vm.signal(v, srcs, dep, slot, carried, emit),
+            Engine::Interp => self.signal_interp(v, srcs, dep, slot, carried, emit),
         }
-        SignalOutcome {
-            edges: ctx.edges,
-            broke: ctx.broke,
-        }
+    }
+}
+
+impl UdfProgram<'_> {
+    fn signal_interp(
+        &self,
+        v: Vid,
+        srcs: &[Vid],
+        dep: &mut UdfDep,
+        slot: usize,
+        carried: bool,
+        emit: &mut dyn FnMut(u64),
+    ) -> SignalOutcome {
+        SCRATCH.with(|cell| {
+            let (locals, pending) = &mut *cell.borrow_mut();
+            locals.clear();
+            pending.clear();
+            let mut env = Env { locals, v, u: None };
+            let mut ctx = Ctx {
+                props: self.props,
+                info: &self.inst.info,
+                dep,
+                slot,
+                carried,
+                emit,
+                edges: 0,
+                broke: false,
+                pending,
+            };
+            let _ = ctx.exec_block(&self.inst.udf.body, &mut env, srcs);
+            // Data dependency flows onward even without a break.
+            if !ctx.broke && !ctx.info.carried.is_empty() {
+                ctx.snapshot_carried(&env);
+            }
+            SignalOutcome {
+                edges: ctx.edges,
+                broke: ctx.broke,
+            }
+        })
     }
 }
 

@@ -15,9 +15,15 @@
 //!    every `break`.
 //!
 //! Instrumented UDFs are executable: [`UdfProgram`] implements
-//! [`symple_core::PullProgram`] by tree-walking interpretation, with the
-//! carried locals bridged into a real dependency payload ([`UdfDep`]) that
-//! the engine circulates between machines. The test suite shows the
+//! [`symple_core::PullProgram`], with the carried locals bridged into a
+//! real dependency payload ([`UdfDep`]) that the engine circulates
+//! between machines. Two executors share bit-identical semantics,
+//! selected by `EngineConfig::udf_exec`: the default **register-bytecode
+//! VM** ([`compile`] lowers the instrumented AST to a flat instruction
+//! stream with pre-resolved property and register indices; signal calls
+//! allocate nothing) and the **tree interpreter**, which remains the
+//! differential reference and the fallback when compilation hits a
+//! resource limit (reported by lint `W006`). The test suite shows the
 //! interpreted bottom-up BFS producing *identical results and identical
 //! edge counts* to the hand-written native program — the paper's "manual
 //! vs automatic" equivalence (§4.3).
@@ -40,8 +46,10 @@
 
 pub mod analysis;
 pub mod ast;
+mod bytecode;
 pub mod cfg;
 mod check;
+mod compile;
 pub mod dataflow;
 mod dep_bridge;
 pub mod diag;
@@ -55,10 +63,13 @@ mod pretty;
 mod props;
 mod transform;
 pub mod types;
+mod vm;
 
 pub use analysis::{analyze, analyze_naive, effective_policy, DepInfo, DepKind};
 pub use ast::{BinOp, Expr, Stmt, UdfFn, UnOp};
+pub use bytecode::{Op, Reg, MAX_CARRIED, MAX_REGS};
 pub use check::{check, check_all, error_code};
+pub use compile::{compile, CompileError, CompiledUdf};
 pub use dep_bridge::UdfDep;
 pub use diag::{render_diagnostics, Diagnostic, Severity, Span, SpanMap, StmtId};
 pub use error::UdfError;
@@ -70,3 +81,8 @@ pub use pretty::pretty;
 pub use props::{PropArray, PropertyStore};
 pub use transform::{instrument, instrument_naive, InstrumentedUdf};
 pub use types::{Ty, Value};
+
+// The executor knob lives in the engine config; re-exported here so UDF
+// harnesses can write `UdfProgram::new(..).exec(cfg.udf_exec)` without a
+// direct symple-core dependency in scope.
+pub use symple_core::UdfExec;

@@ -10,6 +10,7 @@
 //! | `W003` | unreachable statement (e.g. a write after `break`) |
 //! | `W004` | carried local dropped by carried-state minimization |
 //! | `W005` | neighbour-order-sensitive float accumulation into carried state |
+//! | `W006` | bytecode compilation falls back to the tree interpreter |
 //!
 //! `E000` is reserved for parse errors from [`lint_source`].
 //!
@@ -207,6 +208,17 @@ fn warning_passes(udf: &UdfFn) -> Vec<Diagnostic> {
         }
     }
 
+    // W006: the program will not compile to bytecode, so the engine falls
+    // back to tree-walking interpretation (correct but slower dispatch).
+    if let Ok(inst) = crate::transform::instrument(udf) {
+        if let Err(e) = crate::compile(&inst) {
+            out.push(Diagnostic::warning(
+                "W006",
+                format!("bytecode compilation falls back to the interpreter: {e}"),
+            ));
+        }
+    }
+
     out.sort_by_key(|d| (d.stmt, d.code));
     out
 }
@@ -385,6 +397,39 @@ mod tests {
                 .any(|d| d.code == "W001" && d.message.contains("`unused`")),
             "{diags:?}"
         );
+    }
+
+    #[test]
+    fn register_pressure_triggers_w006() {
+        use crate::ast::{Expr, Stmt, UdfFn};
+        // 300 locals exceed the u8 register file, so the engine would fall
+        // back to the interpreter; lint must surface that.
+        let mut body: Vec<Stmt> = (0..300)
+            .map(|i| Stmt::let_(&format!("x{i}"), Ty::Int, Expr::i(i)))
+            .collect();
+        body.push(Stmt::Emit(Expr::local("x299")));
+        let udf = UdfFn::new("wide", Ty::Int, body);
+        let diags = lint(&udf, &schema(&[]));
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "W006" && d.message.contains("falls back")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn paper_kernels_compile_without_w006() {
+        for udf in [
+            paper_udfs::bfs_udf(),
+            paper_udfs::mis_udf(),
+            paper_udfs::kcore_udf(4),
+            paper_udfs::kmeans_udf(),
+            paper_udfs::sampling_udf(),
+        ] {
+            let diags = warning_passes(&udf);
+            assert!(diags.iter().all(|d| d.code != "W006"), "{diags:?}");
+        }
     }
 
     #[test]

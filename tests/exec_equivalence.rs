@@ -1,0 +1,381 @@
+//! Executor and layout equivalence: the UDF bytecode VM and the
+//! partition-centric blocked apply pass are *performance* features and
+//! must be invisible to every observable the engine models.
+//!
+//! * **Executor axis** (`UdfExec::Interp` vs `UdfExec::Bytecode`): the
+//!   register VM must be bit-identical to the tree interpreter in
+//!   outputs, work counters, communication counters, *and* virtual time
+//!   (including the per-category trace breakdown) at every thread count —
+//!   the executor only changes host-CPU dispatch, which virtual time by
+//!   design does not observe.
+//! * **Layout axis** (`ApplyLayout::Blocked` vs `ApplyLayout::Stream`):
+//!   binning decoded updates into cache blocks reorders the apply sweep
+//!   across vertices (never per vertex), so outputs, work, and
+//!   communication stay bit-identical. Virtual *makespan* legitimately
+//!   differs even at one thread: stream interleaves apply charges with
+//!   the per-step receives (overlapping apply with waiting), while
+//!   blocked defers the whole sweep past the last arrival. What is
+//!   conserved at `threads = 1` is the *amount* of charged work — the
+//!   signal-side `Compute` total is bit-identical and the `Apply` total
+//!   matches up to f64 summation order (the layouts group the same
+//!   per-update costs into different partial sums). At higher thread
+//!   counts the blocked sweep's balanced lane schedule *is* the modelled
+//!   optimisation and even the Apply amount may differ.
+//!
+//! Covered: the five paper kernels plus the dead-break `bounded` kernel,
+//! SympleGraph and Gemini policies, threads {1, 4, 8}, and a proptest
+//! sweep over randomly generated (checked) UDFs on random graphs.
+
+use proptest::prelude::*;
+use symplegraph::core::{
+    run_spmd, EngineConfig, Policy, RunStats, SpanCategory, UdfExec, WorkMetric,
+};
+use symplegraph::graph::{Bitmap, Graph, GraphBuilder, RmatConfig, Vid};
+use symplegraph::udf::{
+    ast::{Expr, Stmt},
+    effective_policy, instrument, paper_udfs,
+    types::Ty,
+    InstrumentedUdf, PropArray, PropertyStore, UdfFn, UdfProgram,
+};
+
+/// The property environment all study kernels bind against (same shapes
+/// as the bench suite's carried-state study).
+fn study_props(n: usize) -> PropertyStore {
+    let mut props = PropertyStore::new();
+    let mut frontier = Bitmap::new(n);
+    let mut active = Bitmap::new(n);
+    let mut assigned = Bitmap::new(n);
+    for i in 0..n {
+        if i % 5 == 0 {
+            frontier.set(i);
+        }
+        if i % 3 != 0 {
+            active.set(i);
+        }
+        if i % 4 == 0 {
+            assigned.set(i);
+        }
+    }
+    props.insert("frontier", PropArray::Bools(frontier));
+    props.insert("active", PropArray::Bools(active));
+    props.insert("assigned", PropArray::Bools(assigned));
+    props.insert(
+        "color",
+        PropArray::Ints((0..n).map(|i| (i * 7 % 31) as i64).collect()),
+    );
+    props.insert(
+        "cluster",
+        PropArray::Ints((0..n).map(|i| (i % 6) as i64).collect()),
+    );
+    props.insert(
+        "weight",
+        PropArray::Floats((0..n).map(|i| (i % 9) as f64 * 0.25).collect()),
+    );
+    props.insert(
+        "r",
+        PropArray::Floats((0..n).map(|i| (i % 13) as f64).collect()),
+    );
+    props
+}
+
+/// The bench suite's sixth kernel: a sampling-style loop whose only
+/// `break` is behind a provably-false guard, so minimization drops the
+/// dependency entirely.
+fn bounded_udf() -> UdfFn {
+    UdfFn::new(
+        "bounded",
+        Ty::Int,
+        vec![
+            Stmt::let_("dbg", Ty::Bool, Expr::b(false)),
+            Stmt::let_("done", Ty::Bool, Expr::b(false)),
+            Stmt::for_neighbors(vec![
+                Stmt::if_(Expr::prop_u("active"), vec![Stmt::Emit(Expr::i(1))]),
+                Stmt::if_(
+                    Expr::local("dbg"),
+                    vec![Stmt::assign("done", Expr::b(true)), Stmt::Break],
+                ),
+            ]),
+            Stmt::if_(Expr::local("done").not(), vec![Stmt::Emit(Expr::i(0))]),
+        ],
+    )
+}
+
+fn kernels() -> Vec<(&'static str, UdfFn)> {
+    vec![
+        ("bfs", paper_udfs::bfs_udf()),
+        ("mis", paper_udfs::mis_udf()),
+        ("kcore", paper_udfs::kcore_udf(4)),
+        ("kmeans", paper_udfs::kmeans_udf()),
+        ("sampling", paper_udfs::sampling_udf()),
+        ("bounded", bounded_udf()),
+    ]
+}
+
+/// Runs one instrumented kernel under `cfg`, accumulating per-vertex
+/// (update count, wrapping bit-sum) as the output.
+fn run_kernel(
+    graph: &Graph,
+    props: &PropertyStore,
+    inst: &InstrumentedUdf,
+    cfg: &EngineConfig,
+) -> (Vec<Vec<(u64, u64)>>, RunStats) {
+    let n = graph.num_vertices();
+    let res = run_spmd(graph, cfg, |w| {
+        let prog = UdfProgram::new(inst, props).exec(cfg.udf_exec);
+        let mut dep = prog.make_dep(w.dep_slots_needed());
+        let mut acc: Vec<(u64, u64)> = vec![(0, 0); n];
+        let mut apply = |v: Vid, bits: u64| -> bool {
+            let e = &mut acc[v.index()];
+            e.0 += 1;
+            e.1 = e.1.wrapping_add(bits);
+            false
+        };
+        w.pull(&prog, &mut dep, &mut apply);
+        acc
+    });
+    (res.outputs, res.stats)
+}
+
+/// How strictly virtual time must match between two runs.
+#[derive(Clone, Copy, PartialEq)]
+enum TimeMatch {
+    /// Bit-identical makespan and per-category breakdown.
+    Exact,
+    /// Work-conservation only: Compute totals bit-identical, Apply
+    /// totals equal up to f64 summation order. Makespan and the waiting
+    /// categories are free — the layouts schedule the same charges at
+    /// different points of the timeline.
+    Conserved,
+    /// Not compared (the difference is the modelled optimisation).
+    Free,
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1e-30)
+}
+
+/// Asserts the deterministic observable surface matches: outputs, work
+/// counters, comm counters, and (per `time`) the virtual makespan and
+/// per-category breakdown.
+#[allow(clippy::type_complexity)]
+fn assert_identical(
+    label: &str,
+    a: &(Vec<Vec<(u64, u64)>>, RunStats),
+    b: &(Vec<Vec<(u64, u64)>>, RunStats),
+    time: TimeMatch,
+) {
+    assert_eq!(a.0, b.0, "{label}: outputs diverged");
+    assert_eq!(a.1.work, b.1.work, "{label}: work counters diverged");
+    assert_eq!(a.1.comm, b.1.comm, "{label}: comm counters diverged");
+    match time {
+        TimeMatch::Exact => {
+            assert_eq!(
+                a.1.time.virtual_secs, b.1.time.virtual_secs,
+                "{label}: virtual makespan diverged"
+            );
+            for cat in SpanCategory::ALL {
+                assert_eq!(
+                    a.1.time.category(cat),
+                    b.1.time.category(cat),
+                    "{label}: virtual breakdown diverged in {cat:?}"
+                );
+            }
+        }
+        TimeMatch::Conserved => {
+            assert_eq!(
+                a.1.time.category(SpanCategory::Compute),
+                b.1.time.category(SpanCategory::Compute),
+                "{label}: signal-side Compute total diverged"
+            );
+            assert!(
+                close(
+                    a.1.time.category(SpanCategory::Apply),
+                    b.1.time.category(SpanCategory::Apply)
+                ),
+                "{label}: Apply total diverged beyond f64 reassociation ({} vs {})",
+                a.1.time.category(SpanCategory::Apply),
+                b.1.time.category(SpanCategory::Apply)
+            );
+        }
+        TimeMatch::Free => {}
+    }
+}
+
+#[test]
+fn executors_and_layouts_agree_across_kernels() {
+    let graph = RmatConfig::graph500(8, 8).cleaned(true).generate();
+    let props = study_props(graph.num_vertices());
+    for (name, udf) in kernels() {
+        let inst = instrument(&udf).expect("instrumentation");
+        // Every study kernel must actually take the bytecode path — a
+        // silent fallback would make this whole test vacuous.
+        assert!(
+            UdfProgram::new(&inst, &props).uses_bytecode(),
+            "{name}: fell back to the interpreter"
+        );
+        for policy in [
+            effective_policy(&inst.info, Policy::symple()),
+            Policy::Gemini,
+        ] {
+            for threads in [1usize, 4, 8] {
+                let mk = |exec: UdfExec, layout: symplegraph::core::ApplyLayout| {
+                    EngineConfig::new(4, policy)
+                        .threads(threads)
+                        .udf_exec(exec)
+                        .apply_layout(layout)
+                };
+                use symplegraph::core::ApplyLayout;
+                let bytecode = run_kernel(
+                    &graph,
+                    &props,
+                    &inst,
+                    &mk(UdfExec::Bytecode, ApplyLayout::Blocked),
+                );
+                let interp = run_kernel(
+                    &graph,
+                    &props,
+                    &inst,
+                    &mk(UdfExec::Interp, ApplyLayout::Blocked),
+                );
+                // Executor axis: identical in everything, always.
+                assert_identical(
+                    &format!("{name}/{policy:?}/t{threads} interp-vs-bytecode"),
+                    &interp,
+                    &bytecode,
+                    TimeMatch::Exact,
+                );
+                let stream = run_kernel(
+                    &graph,
+                    &props,
+                    &inst,
+                    &mk(UdfExec::Bytecode, ApplyLayout::Stream),
+                );
+                // Layout axis: identical outputs/work/comm; charged-work
+                // conservation at threads = 1 (above that the blocked
+                // sweep's balanced lanes are the optimisation).
+                assert_identical(
+                    &format!("{name}/{policy:?}/t{threads} stream-vs-blocked"),
+                    &stream,
+                    &bytecode,
+                    if threads == 1 {
+                        TimeMatch::Conserved
+                    } else {
+                        TimeMatch::Free
+                    },
+                );
+                // The apply pass consumed every update it decoded,
+                // under either layout.
+                assert_eq!(
+                    bytecode.1.work.get(WorkMetric::UpdatesApplied),
+                    stream.1.work.get(WorkMetric::UpdatesApplied),
+                );
+            }
+        }
+    }
+}
+
+/// Knob-driven, well-typed-by-construction random UDF: an int
+/// accumulator over a neighbour loop with an optional bounded break,
+/// property-dependent conditions, and an epilogue emit.
+fn knob_udf(cond_prop: u8, arith: u8, emit_kind: u8, break_at: u8, use_break: bool) -> UdfFn {
+    let cond = match cond_prop % 3 {
+        0 => Expr::prop_u("active"),
+        1 => Expr::prop_u("flag").and(Expr::prop_u("active")),
+        _ => Expr::prop_u("num").lt(Expr::prop_v("num")),
+    };
+    let step = match arith % 3 {
+        0 => Expr::local("acc").add(Expr::i(1)),
+        1 => Expr::local("acc").add(Expr::prop_u("num")),
+        _ => Expr::local("acc")
+            .add(Expr::prop_u("num").bin(symplegraph::udf::BinOp::Mul, Expr::i(3))),
+    };
+    // All variants are Int-typed, matching the declared update type.
+    let emit = match emit_kind % 3 {
+        0 => Expr::prop_u("num").add(Expr::i(1)),
+        1 => Expr::local("acc"),
+        _ => Expr::prop_u("num"),
+    };
+    let mut then_branch = vec![Stmt::assign("acc", step), Stmt::Emit(emit)];
+    if use_break {
+        then_branch.push(Stmt::if_(
+            Expr::local("acc").ge(Expr::i(i64::from(break_at % 7) + 1)),
+            vec![Stmt::Break],
+        ));
+    }
+    UdfFn::new(
+        "rand",
+        Ty::Int,
+        vec![
+            Stmt::let_("acc", Ty::Int, Expr::i(0)),
+            Stmt::for_neighbors(vec![Stmt::if_(cond, then_branch)]),
+            Stmt::Emit(Expr::local("acc")),
+        ],
+    )
+}
+
+fn rand_props(n: usize) -> PropertyStore {
+    let mut props = PropertyStore::new();
+    let mut active = Bitmap::new(n);
+    let mut flag = Bitmap::new(n);
+    for i in 0..n {
+        if i % 2 == 0 {
+            active.set(i);
+        }
+        if i % 7 < 3 {
+            flag.set(i);
+        }
+    }
+    props.insert("active", PropArray::Bools(active));
+    props.insert("flag", PropArray::Bools(flag));
+    props.insert(
+        "num",
+        PropArray::Ints((0..n).map(|i| (i * 13 % 17) as i64).collect()),
+    );
+    props
+}
+
+fn arb_graph(max_n: usize, max_edges: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..max_edges).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (s, d) in edges {
+                b.add_edge(Vid::new(s), Vid::new(d));
+            }
+            b.symmetrize(true).dedup(true).drop_self_loops(true).build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_checked_udfs_agree_across_executors(
+        g in arb_graph(80, 250),
+        (cond_prop, arith, emit_kind, break_at, use_break)
+            in (0u8..3, 0u8..3, 0u8..3, 0u8..7, any::<bool>()),
+        (machines, threads) in (1usize..5, 1usize..5),
+    ) {
+        let udf = knob_udf(cond_prop, arith, emit_kind, break_at, use_break);
+        let props = rand_props(g.num_vertices());
+        prop_assert!(
+            symplegraph::udf::check(&udf, &props.schema()).is_ok(),
+            "generated UDF must pass the checker"
+        );
+        let inst = instrument(&udf).expect("instrumentation");
+        let policy = effective_policy(&inst.info, Policy::symple_basic());
+        let mk = |exec: UdfExec| {
+            EngineConfig::new(machines, policy).threads(threads).udf_exec(exec)
+        };
+        let bytecode = run_kernel(&g, &props, &inst, &mk(UdfExec::Bytecode));
+        let interp = run_kernel(&g, &props, &inst, &mk(UdfExec::Interp));
+        prop_assert_eq!(&interp.0, &bytecode.0, "outputs diverged");
+        prop_assert_eq!(interp.1.work, bytecode.1.work, "work diverged");
+        prop_assert_eq!(interp.1.comm, bytecode.1.comm, "comm diverged");
+        prop_assert_eq!(
+            interp.1.time.virtual_secs,
+            bytecode.1.time.virtual_secs,
+            "virtual time diverged"
+        );
+    }
+}

@@ -162,8 +162,12 @@ fn compute_charge_is_critical_path_not_sum() {
     assert_eq!(st1.work, st4.work);
 
     let (m1, m4) = (st1.metrics(), st4.metrics());
-    let compute1 = m1.time(SpanCategory::Compute);
-    let compute4 = m4.time(SpanCategory::Compute);
+    // Compute-like charge = signal-side Compute plus the blocked Apply
+    // sweep (both feed `compute_cpu`).
+    let charge = |m: &symplegraph::core::MetricsReport| {
+        m.time(SpanCategory::Compute) + m.time(SpanCategory::Apply)
+    };
+    let (compute1, compute4) = (charge(&m1), charge(&m4));
     assert!(
         compute4 < compute1,
         "critical path ({compute4:.3e}s) must be strictly below the \
