@@ -45,12 +45,28 @@ if [ "$QUICK" = 0 ]; then
   cargo run --release --offline -p symple-bench --bin experiments -- \
     --comm-check BENCH_comm.json
 
+  echo "== pipeline overlap regression guard (vs committed BENCH_pipeline.json) =="
+  # Re-runs the pipelined-exchange study at the baseline's graph/machine
+  # counts and fails if any cell's overlap ratio (exchange stall / bulk
+  # send stall, deterministic modelled quantities) regressed by more
+  # than 10%.
+  cargo run --release --offline -p symple-bench --bin experiments -- \
+    --pipeline-check BENCH_pipeline.json
+
   echo "== fault-injection smoke (chaos plan, outputs bit-identical) =="
   # BFS / K-core / MIS on s27, 4 machines, under a seeded drop+dup+delay+
   # reorder plan; the sweep itself asserts outputs, work counters, and
   # logical traffic match the fault-free run bit for bit.
   cargo run --release --offline -p symple-bench --bin experiments -- --faults
 fi
+
+echo "== exchange-mode equivalence smoke (bulk vs pipelined) =="
+# BFS / K-core / MIS on s27, 4 machines, under both exchange modes and
+# both transport backends; the study asserts work, comm, and the stall
+# ordering (exchange stall never above the bulk send stall) bit for
+# bit. Runs under --quick so every push enforces that the pipelined
+# default stays invisible to the computation.
+cargo run --offline -p symple-bench --bin experiments -- --pipeline-smoke
 
 echo "== executor equivalence smoke (interp vs bytecode, full engine) =="
 # One kernel through the engine under both executors; outputs, work,

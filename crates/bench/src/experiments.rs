@@ -10,10 +10,11 @@ use crate::datasets::dataset;
 use crate::fmt::{geomean, secs, speedup, table};
 use symple_algos::{bfs, kcore, kmeans, mis, sampling};
 use symple_core::{
-    Backend, EngineConfig, FaultPlan, Policy, ReliableStats, RunStats, TraceLevel, WireCodec,
+    Backend, EngineConfig, Exchange, FaultPlan, Policy, ReliableStats, RunStats, TraceLevel,
+    WireCodec,
 };
 use symple_graph::{Graph, GraphStats, Vid};
-use symple_net::{CommKind, CostModel, WireFormat, COMM_KINDS};
+use symple_net::{CommKind, CostModel, SpanCategory, WireFormat, COMM_KINDS};
 
 /// A rendered experiment.
 #[derive(Debug, Clone)]
@@ -671,6 +672,351 @@ pub fn transport_report() -> Report {
     Report::new(
         "transport",
         "Transport backends: modelled vs measured",
+        text,
+    )
+}
+
+/// One (workload, machine-count) cell of the pipelined-exchange study:
+/// the same run under the bulk end-of-step exchange and the chunked
+/// pipelined exchange. A point only exists if the two modes were
+/// bit-identical in everything logical (asserted inside
+/// [`pipeline_study`]); the modelled columns carry the overlap signal,
+/// the wall columns are measured on this host.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelinePoint {
+    /// Workload label.
+    pub algo: &'static str,
+    /// Simulated machine count.
+    pub machines: usize,
+    /// Modelled virtual seconds under `Exchange::Bulk`.
+    pub bulk_modelled_secs: f64,
+    /// Modelled virtual seconds under `Exchange::Pipelined` — never above
+    /// the bulk column (asserted).
+    pub pipe_modelled_secs: f64,
+    /// Modelled seconds the bulk run spent stalled waiting for whole
+    /// update messages (`SpanCategory::Send`).
+    pub bulk_send_stall_secs: f64,
+    /// Modelled seconds the pipelined run spent stalled waiting for
+    /// update *frames* (`SpanCategory::Exchange`) — never above the bulk
+    /// send stall (asserted).
+    pub pipe_exchange_stall_secs: f64,
+    /// Measured critical-path wall seconds (slowest machine, best of the
+    /// study's repetitions) on the thread backend, bulk exchange.
+    pub bulk_thread_wall_secs: f64,
+    /// Measured critical-path wall seconds on the thread backend,
+    /// pipelined exchange.
+    pub pipe_thread_wall_secs: f64,
+}
+
+impl PipelinePoint {
+    /// Fraction of the bulk send stall that survives pipelining
+    /// (exchange stall / send stall; lower is better). Cells where the
+    /// bulk run had no send stall report 1.0 — there was nothing to
+    /// overlap. This deterministic modelled ratio is what
+    /// `--pipeline-check` gates on.
+    pub fn overlap_ratio(&self) -> f64 {
+        if self.bulk_send_stall_secs <= 0.0 {
+            1.0
+        } else {
+            self.pipe_exchange_stall_secs / self.bulk_send_stall_secs
+        }
+    }
+
+    /// Modelled end-to-end speedup of pipelined over bulk.
+    pub fn modelled_speedup(&self) -> f64 {
+        self.bulk_modelled_secs / self.pipe_modelled_secs
+    }
+
+    /// Measured thread-backend wall speedup of pipelined over bulk.
+    pub fn wall_speedup(&self) -> f64 {
+        self.bulk_thread_wall_secs / self.pipe_thread_wall_secs
+    }
+}
+
+/// Measures every transport-study workload under both exchange modes on
+/// dataset `name` at each machine count, asserting along the way that
+/// the exchange mode is invisible to the computation: identical work
+/// counters, identical logical byte/message accounting, pipelined
+/// modelled time and exchange stall never above their bulk
+/// counterparts. Each (mode, machine-count, workload) cell also runs on
+/// the OS-thread backend `wall_reps` times (asserted logically equal to
+/// the simulator run) and keeps the best measured critical-path wall.
+pub fn pipeline_study(name: &str, machine_counts: &[usize], wall_reps: u32) -> Vec<PipelinePoint> {
+    let g = dataset(name);
+    let cost = model_for(name, CostModel::cluster_a());
+    let mut points = Vec::new();
+    for &machines in machine_counts {
+        for (algo_name, algo) in TRANSPORT_ALGOS {
+            let config =
+                |exchange: Exchange| cfg(machines, Policy::symple(), cost).exchange(exchange);
+            let bulk = run_algo_once(algo, g, &config(Exchange::Bulk));
+            let pipe = run_algo_once(algo, g, &config(Exchange::Pipelined));
+            assert_eq!(
+                bulk.work, pipe.work,
+                "pipeline {algo_name}/{machines}m: work counters diverged across exchange modes"
+            );
+            assert_eq!(
+                bulk.comm, pipe.comm,
+                "pipeline {algo_name}/{machines}m: CommStats diverged across exchange modes"
+            );
+            assert!(
+                pipe.virtual_time() <= bulk.virtual_time() * (1.0 + 1e-9),
+                "pipeline {algo_name}/{machines}m: pipelined modelled time {} above bulk {}",
+                pipe.virtual_time(),
+                bulk.virtual_time()
+            );
+            let bulk_stall = bulk.time.category(SpanCategory::Send);
+            let pipe_stall = pipe.time.category(SpanCategory::Exchange);
+            assert!(
+                pipe_stall <= bulk_stall * (1.0 + 1e-9),
+                "pipeline {algo_name}/{machines}m: exchange stall {pipe_stall} above bulk \
+                 send stall {bulk_stall}"
+            );
+            let wall = |exchange: Exchange, sim: &RunStats| -> f64 {
+                let mut best = f64::INFINITY;
+                for _ in 0..wall_reps.max(1) {
+                    let st = run_algo_once(algo, g, &config(exchange).backend(Backend::Thread));
+                    assert_eq!(
+                        st.work, sim.work,
+                        "pipeline {algo_name}/{machines}m/{exchange:?}: work counters \
+                         diverged across backends"
+                    );
+                    assert_eq!(
+                        st.comm, sim.comm,
+                        "pipeline {algo_name}/{machines}m/{exchange:?}: CommStats diverged \
+                         across backends"
+                    );
+                    assert_eq!(
+                        st.virtual_time(),
+                        sim.virtual_time(),
+                        "pipeline {algo_name}/{machines}m/{exchange:?}: virtual time \
+                         diverged across backends"
+                    );
+                    best = best.min(st.max_node_wall().as_secs_f64());
+                }
+                best
+            };
+            let bulk_wall = wall(Exchange::Bulk, &bulk);
+            let pipe_wall = wall(Exchange::Pipelined, &pipe);
+            points.push(PipelinePoint {
+                algo: algo_name,
+                machines,
+                bulk_modelled_secs: bulk.virtual_time(),
+                pipe_modelled_secs: pipe.virtual_time(),
+                bulk_send_stall_secs: bulk_stall,
+                pipe_exchange_stall_secs: pipe_stall,
+                bulk_thread_wall_secs: bulk_wall,
+                pipe_thread_wall_secs: pipe_wall,
+            });
+        }
+    }
+    points
+}
+
+/// Renders the pipelined-exchange study as a machine-readable JSON
+/// document (`BENCH_pipeline.json`).
+pub fn pipeline_json(name: &str, points: &[PipelinePoint]) -> String {
+    let mut w = symple_trace::json::JsonWriter::new();
+    w.begin_object();
+    w.key("bench").string("pipelined_exchange");
+    w.key("graph").string(name);
+    w.key("note").string(
+        "bulk = monolithic end-of-step exchange, pipe = chunked pipelined \
+         exchange (Exchange::Pipelined, the default); outputs, work and \
+         comm counters are bit-identical across modes (asserted). The \
+         modelled columns and overlap_ratio (exchange stall / bulk send \
+         stall, lower is better) are deterministic virtual-clock \
+         quantities; the thread wall columns are measured on this host \
+         and depend on its core count",
+    );
+    w.key("points").begin_array();
+    for p in points {
+        w.begin_object();
+        w.key("algo").string(p.algo);
+        w.key("machines").u64(p.machines as u64);
+        w.key("bulk_modelled_virtual_secs")
+            .f64(p.bulk_modelled_secs);
+        w.key("pipe_modelled_virtual_secs")
+            .f64(p.pipe_modelled_secs);
+        w.key("modelled_speedup").f64(p.modelled_speedup());
+        w.key("bulk_send_stall_secs").f64(p.bulk_send_stall_secs);
+        w.key("pipe_exchange_stall_secs")
+            .f64(p.pipe_exchange_stall_secs);
+        w.key("overlap_ratio").f64(p.overlap_ratio());
+        w.key("bulk_thread_wall_secs").f64(p.bulk_thread_wall_secs);
+        w.key("pipe_thread_wall_secs").f64(p.pipe_thread_wall_secs);
+        w.key("thread_wall_speedup").f64(p.wall_speedup());
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// The committed reference points of a `BENCH_pipeline.json`.
+#[derive(Debug, Clone)]
+pub struct PipelineBaseline {
+    /// Dataset the baseline was measured on.
+    pub graph: String,
+    /// Per-cell `(algo, machines, overlap_ratio)`.
+    pub ratios: Vec<(String, usize, f64)>,
+}
+
+/// Parses the committed `BENCH_pipeline.json` (own writer's shape: no
+/// whitespace, known key order) without a JSON dependency.
+pub fn parse_pipeline_baseline(json: &str) -> Result<PipelineBaseline, String> {
+    let graph = scan_str(json, "\"graph\":\"")
+        .ok_or("baseline: missing \"graph\"")?
+        .to_string();
+    let scan_num = |point: &str, key: &str| -> Option<f64> {
+        point.find(key).and_then(|j| {
+            let r = &point[j + key.len()..];
+            let end = r.find([',', '}']).unwrap_or(r.len());
+            r[..end].parse::<f64>().ok()
+        })
+    };
+    let mut ratios = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find("\"algo\":\"") {
+        let point = &rest[i..];
+        let algo = scan_str(point, "\"algo\":\"")
+            .ok_or("baseline: unterminated \"algo\"")?
+            .to_string();
+        let machines = scan_num(point, "\"machines\":")
+            .ok_or_else(|| format!("baseline: point {algo} missing \"machines\""))?
+            as usize;
+        let ratio = scan_num(point, "\"overlap_ratio\":").ok_or_else(|| {
+            format!("baseline: point {algo}/{machines}m missing \"overlap_ratio\"")
+        })?;
+        ratios.push((algo, machines, ratio));
+        rest = &point["\"algo\":\"".len()..];
+    }
+    if ratios.is_empty() {
+        return Err("baseline: no points found".into());
+    }
+    Ok(PipelineBaseline { graph, ratios })
+}
+
+/// Compares freshly measured pipeline points against a parsed baseline.
+/// A cell regresses when its overlap ratio (exchange stall / bulk send
+/// stall — the fraction of the bulk stall pipelining failed to hide)
+/// exceeds the baseline's by more than `tolerance` (relative); missing
+/// cells fail too.
+pub fn pipeline_check_points(
+    baseline: &PipelineBaseline,
+    points: &[PipelinePoint],
+    tolerance: f64,
+) -> Result<String, String> {
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for (algo, machines, base) in &baseline.ratios {
+        match points
+            .iter()
+            .find(|p| p.algo == algo && p.machines == *machines)
+        {
+            None => failures.push(format!(
+                "{algo}/{machines}m: cell missing from the current study"
+            )),
+            Some(p) => {
+                let cur = p.overlap_ratio();
+                let bound = base * (1.0 + tolerance) + 1e-12;
+                if cur > bound {
+                    failures.push(format!(
+                        "{algo}/{machines}m: overlap_ratio {cur:.4} exceeds baseline \
+                         {base:.4} by more than {:.0}%",
+                        tolerance * 100.0
+                    ));
+                } else {
+                    lines.push(format!(
+                        "{algo}/{machines}m: overlap_ratio {cur:.4} (baseline {base:.4}) ok"
+                    ));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(lines.join("\n"))
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+/// The `--pipeline-check` entry point: parses the committed baseline,
+/// re-runs the pipelined-exchange study at the baseline's graph and
+/// machine counts (one thread-backend repetition — the gated ratio is
+/// modelled, not measured), and fails if any cell's overlap ratio
+/// regressed by more than 10% relative.
+pub fn pipeline_check(baseline_json: &str) -> Result<String, String> {
+    let baseline = parse_pipeline_baseline(baseline_json)?;
+    let mut machine_counts: Vec<usize> = baseline.ratios.iter().map(|r| r.1).collect();
+    machine_counts.sort_unstable();
+    machine_counts.dedup();
+    let points = pipeline_study(&baseline.graph, &machine_counts, 1);
+    pipeline_check_points(&baseline, &points, 0.10)
+}
+
+/// The `--pipeline-smoke` entry point: runs the pipelined-exchange study
+/// on the small s27 stand-in at 4 machines with one thread-backend
+/// repetition per mode. Every gate lives inside [`pipeline_study`]
+/// itself — bit-identical work and comm counters across exchange modes
+/// and backends, pipelined modelled time and exchange stall never above
+/// their bulk counterparts — so reaching the summary string *is* the
+/// pass.
+pub fn pipeline_smoke() -> String {
+    let points = pipeline_study("s27", &[4], 1);
+    let mut lines = vec![format!(
+        "pipeline smoke: bulk and pipelined exchanges bit-identical on s27, \
+         4 machines, both backends ({} workloads)",
+        points.len()
+    )];
+    for p in &points {
+        lines.push(format!(
+            "  {}: modelled {} -> {} (overlap_ratio {:.3})",
+            p.algo,
+            secs(p.bulk_modelled_secs),
+            secs(p.pipe_modelled_secs),
+            p.overlap_ratio()
+        ));
+    }
+    lines.join("\n")
+}
+
+/// The pipelined-exchange study as a report table (id `pipeline`). Uses
+/// the small s27 stand-in at 4 machines so the smoke invocation in
+/// `ci.sh` stays cheap; `--pipeline-json` re-runs the full machine sweep
+/// and writes `BENCH_pipeline.json`.
+pub fn pipeline_report() -> Report {
+    let points = pipeline_study("s27", &[4], 1);
+    let rows = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.algo.to_string(),
+                secs(p.bulk_modelled_secs),
+                secs(p.pipe_modelled_secs),
+                secs(p.bulk_send_stall_secs),
+                secs(p.pipe_exchange_stall_secs),
+                format!("{:.3}", p.overlap_ratio()),
+            ]
+        })
+        .collect::<Vec<_>>();
+    let text = format!(
+        "{}\nSame computation on s27, 4 machines, bulk vs chunked pipelined\nupdate exchange (the default). Outputs, work and comm counters are\nbit-identical across modes (asserted); the pipelined run turns\nend-of-step send stalls into per-frame exchange stalls overlapped with\napply work. overlap = exchange stall / bulk send stall (lower is\nbetter); see BENCH_pipeline.json for the machine sweep with measured\nthread-backend walls.\n",
+        table(
+            &[
+                "app",
+                "bulk",
+                "pipelined",
+                "send stall",
+                "exch stall",
+                "overlap"
+            ],
+            &rows
+        )
+    );
+    Report::new(
+        "pipeline",
+        "Pipelined exchange: stall overlap (extension)",
         text,
     )
 }
@@ -2214,6 +2560,7 @@ pub fn all() -> Vec<Report> {
         replication(),
         comm_report(),
         transport_report(),
+        pipeline_report(),
         fault_report(),
         udf_report(),
     ]
@@ -2238,6 +2585,7 @@ pub fn by_id(id: &str) -> Option<fn() -> Report> {
         "replication" => replication,
         "comm" => comm_report,
         "transport" => transport_report,
+        "pipeline" => pipeline_report,
         "faults" => fault_report,
         "udf" => udf_report,
         _ => return None,
@@ -2267,6 +2615,7 @@ mod tests {
             "replication",
             "comm",
             "transport",
+            "pipeline",
             "faults",
             "udf",
         ] {
@@ -2349,6 +2698,44 @@ mod tests {
             json.matches('}').count(),
             "unbalanced braces"
         );
+    }
+
+    #[test]
+    fn pipeline_study_overlaps_stalls_and_round_trips_its_baseline() {
+        // The study itself asserts mode bit-identity and the stall
+        // ordering; here we pin the shape of what it reports and that the
+        // committed-baseline parser reads back what the writer emitted.
+        let points = pipeline_study("s27", &[2], 1);
+        assert_eq!(points.len(), TRANSPORT_ALGOS.len());
+        for p in &points {
+            assert!(p.bulk_modelled_secs > 0.0, "{}", p.algo);
+            assert!(
+                p.pipe_modelled_secs <= p.bulk_modelled_secs * (1.0 + 1e-9),
+                "{}",
+                p.algo
+            );
+            assert!(p.overlap_ratio() <= 1.0 + 1e-9, "{}", p.algo);
+            assert!(p.bulk_thread_wall_secs > 0.0, "{}", p.algo);
+            assert!(p.pipe_thread_wall_secs > 0.0, "{}", p.algo);
+        }
+        let json = pipeline_json("s27", &points);
+        assert!(json.contains("\"bench\":\"pipelined_exchange\""));
+        assert!(json.contains("\"overlap_ratio\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        let baseline = parse_pipeline_baseline(&json).expect("own JSON must parse");
+        assert_eq!(baseline.graph, "s27");
+        assert_eq!(baseline.ratios.len(), points.len());
+        for ((algo, machines, ratio), p) in baseline.ratios.iter().zip(&points) {
+            assert_eq!(algo, p.algo);
+            assert_eq!(*machines, p.machines);
+            assert!((ratio - p.overlap_ratio()).abs() < 1e-9);
+        }
+        // The freshly measured points cannot regress against themselves.
+        pipeline_check_points(&baseline, &points, 0.10).expect("self-check must pass");
     }
 
     #[test]

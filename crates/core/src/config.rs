@@ -16,6 +16,9 @@ pub enum ConfigError {
     ZeroChunkSize,
     /// `apply_block` was 0 — cache blocks must hold at least one vertex.
     ZeroApplyBlock,
+    /// `exchange_chunk` was 0 — pipelined frames must carry at least one
+    /// byte.
+    ZeroExchangeChunk,
     /// The fault plan's rates were not probabilities; carries the
     /// offending knob's message.
     InvalidFaultPlan(&'static str),
@@ -41,6 +44,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroApplyBlock => {
                 write!(f, "apply_block must be at least 1 (got 0)")
+            }
+            ConfigError::ZeroExchangeChunk => {
+                write!(f, "exchange_chunk must be at least 1 (got 0)")
             }
             ConfigError::InvalidFaultPlan(why) | ConfigError::InvalidRetry(why) => f.write_str(why),
         }
@@ -192,6 +198,53 @@ impl std::str::FromStr for ApplyLayout {
     }
 }
 
+/// How a superstep's update and dependency payloads cross the wire.
+///
+/// Outputs, `WorkStats`, and `CommStats` are bit-identical between the
+/// two modes (the frame protocol is a physical detail below the logical
+/// message accounting); the virtual clock and the measured wall time
+/// differ — pipelining is the optimisation. `Bulk` remains the reference
+/// the pipelined path is validated against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Exchange {
+    /// One monolithic message per (source, step): the receiver blocks for
+    /// the whole payload, then decodes it (the seed behaviour).
+    Bulk,
+    /// Fixed-size frames with staggered departures: receivers drain and
+    /// decode completed streams while waiting for the canonically-next
+    /// one, and the model charges the residual per-frame stalls to
+    /// `SpanCategory::Exchange` interleaved with the decode work.
+    #[default]
+    Pipelined,
+}
+
+impl Exchange {
+    /// Stable lower-case name (used in bench reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Exchange::Bulk => "bulk",
+            Exchange::Pipelined => "pipelined",
+        }
+    }
+}
+
+impl fmt::Display for Exchange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Exchange {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "bulk" => Ok(Exchange::Bulk),
+            "pipelined" => Ok(Exchange::Pipelined),
+            other => Err(format!("unknown exchange mode `{other}` (bulk|pipelined)")),
+        }
+    }
+}
+
 /// Configuration for a distributed run.
 ///
 /// # Example
@@ -267,6 +320,14 @@ pub struct EngineConfig {
     /// cache-residency granule; also the lane-scheduling unit for the
     /// apply sweep's virtual-time charge).
     pub apply_block: usize,
+    /// How update/dependency payloads cross the wire: `Pipelined`
+    /// (fixed-size frames, overlapped with decode — the default) or
+    /// `Bulk` (one monolithic message per source and step).
+    pub exchange: Exchange,
+    /// Frame size in bytes for the pipelined exchange (ignored by
+    /// `Bulk`). Payloads at most this size ship as a single frame, making
+    /// the two modes physically identical for small messages.
+    pub exchange_chunk: usize,
 }
 
 impl EngineConfig {
@@ -290,6 +351,8 @@ impl EngineConfig {
             udf_exec: UdfExec::Bytecode,
             apply_layout: ApplyLayout::Blocked,
             apply_block: 1024,
+            exchange: Exchange::Pipelined,
+            exchange_chunk: 16 * 1024,
         }
     }
 
@@ -371,6 +434,23 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the exchange mode (bulk vs pipelined).
+    pub fn exchange(mut self, exchange: Exchange) -> Self {
+        self.exchange = exchange;
+        self
+    }
+
+    /// Sets the pipelined exchange's frame size in bytes.
+    pub fn exchange_chunk(mut self, bytes: usize) -> Self {
+        self.exchange_chunk = bytes;
+        self
+    }
+
+    /// Does this run frame its update/dependency payloads?
+    pub fn pipelined(&self) -> bool {
+        self.exchange == Exchange::Pipelined
+    }
+
     /// Does this run adaptively re-encode remote messages?
     pub fn adaptive_wire(&self) -> bool {
         self.wire_codec == WireCodec::Adaptive
@@ -403,6 +483,9 @@ impl EngineConfig {
         }
         if self.apply_block == 0 {
             return Err(ConfigError::ZeroApplyBlock);
+        }
+        if self.exchange_chunk == 0 {
+            return Err(ConfigError::ZeroExchangeChunk);
         }
         if let Some(plan) = &self.fault_plan {
             plan.validate().map_err(ConfigError::InvalidFaultPlan)?;
@@ -587,6 +670,34 @@ mod tests {
         assert!("fancy".parse::<ApplyLayout>().is_err());
         assert_eq!(UdfExec::Bytecode.to_string(), "bytecode");
         assert_eq!(ApplyLayout::Blocked.to_string(), "blocked");
+    }
+
+    #[test]
+    fn exchange_defaults_and_knobs() {
+        let cfg = EngineConfig::new(4, Policy::symple());
+        assert_eq!(cfg.exchange, Exchange::Pipelined);
+        assert_eq!(cfg.exchange_chunk, 16 * 1024);
+        assert!(cfg.pipelined());
+        let cfg = cfg.exchange(Exchange::Bulk).exchange_chunk(64);
+        assert_eq!(cfg.exchange, Exchange::Bulk);
+        assert_eq!(cfg.exchange_chunk, 64);
+        assert!(!cfg.pipelined());
+        assert_eq!(cfg.validate(), Ok(()));
+        assert_eq!("pipelined".parse::<Exchange>(), Ok(Exchange::Pipelined));
+        assert_eq!("bulk".parse::<Exchange>(), Ok(Exchange::Bulk));
+        assert!("fancy".parse::<Exchange>().is_err());
+        assert_eq!(Exchange::Bulk.to_string(), "bulk");
+        assert_eq!(Exchange::default(), Exchange::Pipelined);
+    }
+
+    #[test]
+    fn zero_exchange_chunk_invalid() {
+        let err = EngineConfig::new(2, Policy::Gemini)
+            .exchange_chunk(0)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroExchangeChunk);
+        assert!(err.to_string().contains("exchange_chunk"));
     }
 
     #[test]

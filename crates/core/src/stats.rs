@@ -191,13 +191,13 @@ pub struct TimeStats {
     /// backend this is the measured counterpart of `virtual_secs`; on the
     /// simulator it only reflects host scheduling.
     pub max_node_wall: Duration,
-    breakdown: [f64; 8],
+    breakdown: [f64; 9],
 }
 
 impl TimeStats {
     /// Builds the time facet from a finished trace.
     pub fn from_trace(virtual_secs: f64, wall: Duration, trace: &Trace) -> Self {
-        let mut breakdown = [0.0; 8];
+        let mut breakdown = [0.0; 9];
         for cat in SpanCategory::ALL {
             breakdown[cat.index()] = trace.time(cat);
         }

@@ -60,12 +60,28 @@ pub struct Tag {
     pub a: u64,
     /// Second discriminator (e.g. double-buffering group).
     pub b: u32,
+    /// Frame index within a pipelined exchange stream. Bulk messages are
+    /// frame 0; [`NodeCtx::send_framed`] numbers the fixed-size chunks of
+    /// one logical payload consecutively, so each frame is an independent
+    /// (src, tag) stream to the reliable layer and the `(a, frame)` pair
+    /// is the epoch tag of the pipelined completion protocol.
+    pub frame: u32,
 }
 
 impl Tag {
-    /// Convenience constructor.
+    /// Convenience constructor (frame 0, the bulk stream).
     pub fn new(kind: TagKind, a: u64, b: u32) -> Self {
-        Tag { kind, a, b }
+        Tag {
+            kind,
+            a,
+            b,
+            frame: 0,
+        }
+    }
+
+    /// The same logical tag addressing frame `frame` of its stream.
+    pub fn with_frame(self, frame: u32) -> Self {
+        Tag { frame, ..self }
     }
 }
 
@@ -306,12 +322,27 @@ impl NodeCtx {
             self.trace
                 .record_bytes(kind.byte_category(), payload.len() as u64, 1);
         }
+        self.dispatch(dst, tag, payload, 0.0)
+    }
+
+    /// Puts one already-accounted payload on the wire: the physical half
+    /// of a send, shared by the bulk path (one envelope per message) and
+    /// the pipelined path (one envelope per frame). `depart_offset` is
+    /// added to the sender's clock to stagger frame departures; the
+    /// reliable layer treats each (tag, frame) as its own stream.
+    fn dispatch(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        payload: Arc<Vec<u8>>,
+        depart_offset: f64,
+    ) -> Result<(), NetError> {
         let (plan, retry, seq) = match &mut self.reliable {
             None => {
                 let env = Envelope {
                     src: self.rank,
                     tag,
-                    depart: self.clock,
+                    depart: self.clock + depart_offset,
                     payload,
                     poison: false,
                     seq: 0,
@@ -364,7 +395,7 @@ impl NodeCtx {
         let env = Envelope {
             src: self.rank,
             tag,
-            depart: self.clock + delivery.extra_delay,
+            depart: self.clock + depart_offset + delivery.extra_delay,
             payload,
             poison: false,
             seq,
@@ -654,6 +685,228 @@ impl NodeCtx {
     /// Logical OR of `value` across all nodes. Collective.
     pub fn allreduce_bool_or(&mut self, value: bool) -> bool {
         self.allreduce_u64_sum(u64::from(value)) > 0
+    }
+
+    // === Pipelined (framed) exchange ===
+    //
+    // One logical message, many physical envelopes: `send_framed` slices
+    // an already-encoded payload into `chunk`-byte frames with staggered
+    // departure times, and the receive side takes frames out of order and
+    // charges the waits explicitly. Logical accounting (CommStats, byte
+    // trace cells) is done once per message, exactly like the bulk path,
+    // so the two paths are indistinguishable in outputs and traffic; only
+    // where the virtual clock spends its waits differs. A frame shorter
+    // than `chunk` terminates its stream, so a payload that divides evenly
+    // gets a trailing empty frame (free and uncounted, like every empty
+    // placeholder message).
+
+    /// Sends `payload` to `dst` in `chunk`-byte frames. Accounting is
+    /// identical to [`NodeCtx::send`]: one serialize charge, one
+    /// stats/trace record for the whole message.
+    ///
+    /// # Panics
+    ///
+    /// As [`NodeCtx::send`]; additionally if `chunk == 0`.
+    pub fn send_framed(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        kind: CommKind,
+        payload: &[u8],
+        chunk: usize,
+    ) {
+        if let Err(e) = self.try_send_framed(dst, tag, kind, payload, chunk) {
+            panic!("{e}");
+        }
+    }
+
+    /// [`NodeCtx::send_framed`], surfacing reliable-delivery exhaustion
+    /// as [`NetError::Unreachable`].
+    pub fn try_send_framed(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        kind: CommKind,
+        payload: &[u8],
+        chunk: usize,
+    ) -> Result<(), NetError> {
+        assert!(chunk > 0, "exchange chunk must be at least 1 byte");
+        assert!(dst < self.world, "destination rank {dst} out of range");
+        assert_ne!(dst, self.rank, "self-send is a protocol error");
+        if !payload.is_empty() {
+            let start = self.clock;
+            self.clock += self.cost.send_overhead(payload.len() as u64);
+            self.trace
+                .record_span(SpanCategory::Serialize, start, self.clock);
+            self.stats.record(kind, payload.len() as u64);
+            self.trace
+                .record_bytes(kind.byte_category(), payload.len() as u64, 1);
+        }
+        let total = payload.len();
+        if total == 0 {
+            // A single empty frame: the same placeholder the bulk path
+            // ships, and already short, so it terminates the stream.
+            return self.dispatch(dst, tag.with_frame(0), Arc::new(Vec::new()), 0.0);
+        }
+        let per_byte = self.cost.per_byte_sec;
+        let mut frame = 0u32;
+        let mut pos = 0usize;
+        while pos < total {
+            let end = (pos + chunk).min(total);
+            // Frame k reaches the wire once the bytes before it have, so
+            // its departure is staggered by the wire time of the prefix —
+            // the last frame then arrives exactly when the bulk message
+            // would have.
+            let offset = pos as f64 * per_byte;
+            self.dispatch(
+                dst,
+                tag.with_frame(frame),
+                Arc::new(payload[pos..end].to_vec()),
+                offset,
+            )?;
+            pos = end;
+            frame += 1;
+        }
+        if total.is_multiple_of(chunk) {
+            // Evenly divisible payload: terminate with an empty frame. It
+            // departs behind the last data byte and arrives no later than
+            // the final data frame (zero latency for zero bytes).
+            self.dispatch(
+                dst,
+                tag.with_frame(frame),
+                Arc::new(Vec::new()),
+                total as f64 * per_byte,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Moves every envelope already sitting in the transport inbox into
+    /// the pending buffer, without blocking and without touching the
+    /// virtual clock: envelopes keep their departure stamps, so draining
+    /// early is logically invisible. This is what lets a pipelined
+    /// receiver relieve bounded-channel backpressure while it still has
+    /// scatter work of its own.
+    pub fn poll_drain(&mut self) {
+        while let Some(env) = self.port.try_recv() {
+            if env.poison {
+                panic!("node {} aborting: peer {} panicked", self.rank, env.src);
+            }
+            self.stash(env);
+        }
+    }
+
+    /// Takes the next frame of the (src, tag) stream if it has already
+    /// been drained into the pending buffer; never blocks and never
+    /// advances the clock. Returns the payload and its modelled arrival
+    /// time — the caller charges the wait (if any) when it *consumes* the
+    /// frame, in canonical order, via [`NodeCtx::wait_until`]. Under a
+    /// fault plan this honors the per-stream sequence cursor exactly like
+    /// the blocking receive.
+    pub fn try_take_frame(&mut self, src: usize, tag: Tag) -> Option<(Vec<u8>, f64)> {
+        let env = if self.reliable.is_some() {
+            let expected = {
+                let link = self.reliable.as_mut().expect("checked above");
+                *link.expected.entry((src, tag)).or_insert(0)
+            };
+            let env = self.take_pending_seq(src, tag, expected)?;
+            let link = self.reliable.as_mut().expect("checked above");
+            *link.expected.get_mut(&(src, tag)).expect("cursor exists") += 1;
+            self.stats.reliable.acks += 1;
+            env
+        } else {
+            let queue = self.pending.get_mut(&(src, tag))?;
+            let env = queue.pop_front().expect("pending queues are never empty");
+            if queue.is_empty() {
+                self.pending.remove(&(src, tag));
+            }
+            env
+        };
+        let arrival = env.depart + self.cost.arrival_delay(env.payload.len() as u64);
+        let payload = Arc::try_unwrap(env.payload).unwrap_or_else(|shared| (*shared).clone());
+        Some((payload, arrival))
+    }
+
+    /// Blocks until at least one envelope (any source, any tag) has been
+    /// moved into the pending buffer, or `timeout` elapses. Returns
+    /// whether anything arrived. Deferred traffic is flushed first — a
+    /// node must not sit on held-back envelopes while blocking.
+    pub fn drain_one(&mut self, timeout: Duration) -> bool {
+        self.flush_all_deferred();
+        match self.port.recv(timeout) {
+            Some(env) if env.poison => {
+                panic!("node {} aborting: peer {} panicked", self.rank, env.src)
+            }
+            Some(env) => {
+                self.stash(env);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Advances the virtual clock to `arrival` if it is ahead, charging
+    /// the stall to `category`. The explicit-category counterpart of the
+    /// implicit wait inside the blocking receive.
+    pub fn wait_until(&mut self, arrival: f64, category: SpanCategory) {
+        if arrival > self.clock {
+            let start = self.clock;
+            self.clock = arrival;
+            self.trace.record_span(category, start, self.clock);
+        }
+    }
+
+    /// Blocking framed receive: assembles the whole (src, tag) stream
+    /// into `out`, charging each frame's arrival wait to the tag's usual
+    /// wait category as it lands. In a fault-free run the final clock
+    /// equals the bulk [`NodeCtx::recv`] of the same payload.
+    ///
+    /// # Panics
+    ///
+    /// As [`NodeCtx::recv`] on a stalled stream; also if `chunk == 0`.
+    pub fn recv_framed_into(&mut self, src: usize, tag: Tag, chunk: usize, out: &mut Vec<u8>) {
+        assert!(chunk > 0, "exchange chunk must be at least 1 byte");
+        let category = self.wait_category(tag.kind);
+        let mut frame = 0u32;
+        loop {
+            let (frag, arrival) = self.recv_frame(src, tag.with_frame(frame));
+            self.wait_until(arrival, category);
+            out.extend_from_slice(&frag);
+            if frag.len() < chunk {
+                return;
+            }
+            frame += 1;
+        }
+    }
+
+    /// Blocks for exactly one frame of (src, tag) without advancing the
+    /// clock; the uncharged building block of the framed receives.
+    fn recv_frame(&mut self, src: usize, tag: Tag) -> (Vec<u8>, f64) {
+        if let Some(got) = self.try_take_frame(src, tag) {
+            return got;
+        }
+        let deadline = Instant::now() + self.recv_timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if !self.drain_one(remaining) {
+                self.recv_timeout_panic(src, tag);
+            }
+            if let Some(got) = self.try_take_frame(src, tag) {
+                return got;
+            }
+        }
+    }
+
+    /// The configured deadlock-detection receive timeout (engine-level
+    /// gather loops bound their own blocking with it).
+    pub fn recv_deadline(&self) -> Duration {
+        self.recv_timeout
+    }
+
+    /// Diagnoses a stalled stream with the same message as a blocking
+    /// receive timeout: rank, source, tag, and the pending buffer.
+    pub fn stream_timeout_panic(&self, src: usize, tag: Tag) -> ! {
+        self.recv_timeout_panic(src, tag)
     }
 }
 

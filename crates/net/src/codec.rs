@@ -316,6 +316,42 @@ pub fn encode_updates(flat: &[u8], psize: usize, out: &mut Vec<u8>) -> CodecStat
     stats
 }
 
+/// Computes exactly what [`encode_updates`] would produce — the total
+/// encoded length and the per-format histogram — without materialising
+/// the encoding. Every size [`encode_updates`] writes is decided before
+/// its first output byte, so this is the same decision procedure with the
+/// write stage dropped. Send paths whose receivers discard the payload
+/// (the Galois feedback broadcast) use it to keep byte and format
+/// accounting bit-identical to a real encode while skipping the encode
+/// work itself.
+pub fn measure_updates(flat: &[u8], psize: usize) -> (u64, CodecStats) {
+    let rec = 4 + psize;
+    assert!(
+        flat.len().is_multiple_of(rec),
+        "flat stream length {} is not a multiple of record size {rec}",
+        flat.len()
+    );
+    let mut stats = CodecStats::default();
+    if flat.is_empty() {
+        return (0, stats);
+    }
+    let runs = split_runs(flat, rec);
+    let sizes: Vec<[u64; 3]> = runs.iter().map(|r| run_sizes(r, rec)).collect();
+    let blocked: u64 = 1
+        + varint_len(runs.len() as u64) as u64
+        + sizes.iter().map(|s| s[argmin(s).index()]).sum::<u64>();
+    let flat_whole = 1 + flat.len() as u64;
+    if flat_whole <= blocked {
+        stats.note(WireFormat::Flat, flat_whole);
+        return (flat_whole, stats);
+    }
+    for s in &sizes {
+        let fmt = argmin(s);
+        stats.note(fmt, s[fmt.index()]);
+    }
+    (blocked, stats)
+}
+
 /// Decodes a message produced by [`encode_updates`] back into the exact
 /// flat record stream, appended to `out`.
 pub fn decode_updates(buf: &[u8], psize: usize, out: &mut Vec<u8>) {
@@ -580,6 +616,39 @@ mod tests {
         decode_updates(&wire, psize, &mut back);
         assert_eq!(back, flat, "decode ∘ encode must be the identity");
         (wire, stats)
+    }
+
+    #[test]
+    fn measure_matches_encode_exactly() {
+        // Every encode shape: empty, whole-flat fallback, dense, sparse,
+        // multi-run mixed. measure_updates must agree byte for byte.
+        let streams: Vec<(Vec<u8>, usize)> = vec![
+            (Vec::new(), 4),
+            (flat_stream(&[(5, b"abcd"), (3, b"wxyz"), (1, b"qrst")]), 4),
+            (
+                flat_stream(&(0..64).map(|k| (k, &b""[..])).collect::<Vec<_>>()),
+                0,
+            ),
+            (
+                flat_stream(&[(10, b"aaaa"), (12, b"bbbb"), (900, b"cccc")]),
+                4,
+            ),
+            (
+                flat_stream(
+                    &(0..40)
+                        .map(|k| (k * 7 % 41, &b"pp"[..]))
+                        .collect::<Vec<_>>(),
+                ),
+                2,
+            ),
+        ];
+        for (flat, psize) in streams {
+            let mut wire = Vec::new();
+            let enc_stats = encode_updates(&flat, psize, &mut wire);
+            let (bytes, m_stats) = measure_updates(&flat, psize);
+            assert_eq!(bytes as usize, wire.len(), "measured length");
+            assert_eq!(m_stats, enc_stats, "measured histogram");
+        }
     }
 
     #[test]

@@ -60,8 +60,8 @@ mod wire;
 pub use cluster::{Cluster, ClusterBuilder, ClusterResult, NodeCtx, Tag, TagKind};
 pub use codec::{
     decode_dep_range, decode_updates, dep_range_sizes, dep_records, encode_dep_range,
-    encode_updates, read_varint, varint_len, write_varint, CodecStats, DepRecords, WireCodec,
-    WireFormat,
+    encode_updates, measure_updates, read_varint, varint_len, write_varint, CodecStats, DepRecords,
+    WireCodec, WireFormat,
 };
 pub use cost::CostModel;
 pub use error::NetError;

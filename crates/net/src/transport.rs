@@ -145,6 +145,12 @@ pub trait TransportPort: Send {
     /// diagnoses the deadlock).
     fn recv(&mut self, timeout: Duration) -> Option<Envelope>;
 
+    /// Takes the next envelope off this rank's inbox if one is already
+    /// available; never blocks. The pipelined exchange uses this to drain
+    /// arrived frames (relieving bounded-channel backpressure) while the
+    /// node still has its own work to do.
+    fn try_recv(&mut self) -> Option<Envelope>;
+
     /// Total wall-clock time this port has spent blocked in
     /// [`TransportPort::send`] / [`TransportPort::recv`].
     fn comm_wall(&self) -> Duration;
@@ -222,6 +228,10 @@ impl TransportPort for SimPort {
         let got = self.inbox.recv_timeout(timeout).ok();
         self.blocked += start.elapsed();
         got
+    }
+
+    fn try_recv(&mut self) -> Option<Envelope> {
+        self.inbox.try_recv().ok()
     }
 
     fn comm_wall(&self) -> Duration {
@@ -354,6 +364,13 @@ impl TransportPort for ThreadPort {
         let got = self.inbox.recv_timeout(timeout).ok();
         self.blocked += start.elapsed();
         got
+    }
+
+    fn try_recv(&mut self) -> Option<Envelope> {
+        if let Some(env) = self.stash.pop_front() {
+            return Some(env);
+        }
+        self.inbox.try_recv().ok()
     }
 
     fn comm_wall(&self) -> Duration {

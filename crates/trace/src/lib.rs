@@ -95,11 +95,19 @@ pub enum SpanCategory {
     /// time. Charged from per-block lane costs, so it is distinguishable
     /// from the signal-side [`SpanCategory::Compute`] edge work.
     Apply,
+    /// Waiting for the next frame of a pipelined exchange stream. Under
+    /// `Exchange::Pipelined` the apply phase consumes update payloads one
+    /// fixed-size frame at a time, interleaving the per-frame decode with
+    /// the arrival waits; the residual stall (arrival ahead of the clock)
+    /// is charged here instead of [`SpanCategory::Send`], so the overlap
+    /// won by the pipeline is directly visible as `Send + Exchange`
+    /// shrinking relative to the bulk configuration.
+    Exchange,
 }
 
 impl SpanCategory {
     /// All categories, in display order.
-    pub const ALL: [SpanCategory; 8] = [
+    pub const ALL: [SpanCategory; 9] = [
         SpanCategory::Compute,
         SpanCategory::Serialize,
         SpanCategory::Send,
@@ -108,6 +116,7 @@ impl SpanCategory {
         SpanCategory::Collective,
         SpanCategory::Retry,
         SpanCategory::Apply,
+        SpanCategory::Exchange,
     ];
 
     /// Dense index into per-category arrays.
@@ -121,6 +130,7 @@ impl SpanCategory {
             SpanCategory::Collective => 5,
             SpanCategory::Retry => 6,
             SpanCategory::Apply => 7,
+            SpanCategory::Exchange => 8,
         }
     }
 
@@ -142,6 +152,7 @@ impl SpanCategory {
             SpanCategory::Collective => "collective",
             SpanCategory::Retry => "retry",
             SpanCategory::Apply => "apply",
+            SpanCategory::Exchange => "exchange",
         }
     }
 }

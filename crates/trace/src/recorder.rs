@@ -25,7 +25,7 @@ pub struct CellStats {
     /// [`SpanCategory::index`]). For compute this is the *charged*
     /// (critical-path) time: with a multi-threaded executor it is the
     /// longest per-thread lane, not the sum.
-    pub time: [f64; 8],
+    pub time: [f64; 9],
     /// Bytes per [`ByteCategory`] (indexed by [`ByteCategory::index`]).
     pub bytes: [u64; 3],
     /// Messages per [`ByteCategory`].
@@ -71,7 +71,7 @@ impl CellStats {
     }
 
     fn absorb(&mut self, other: &CellStats) {
-        for i in 0..8 {
+        for i in 0..9 {
             self.time[i] += other.time[i];
         }
         for i in 0..3 {

@@ -16,7 +16,7 @@ pub struct MachineReport {
     /// Machine rank.
     pub machine: usize,
     /// Virtual seconds per [`SpanCategory`] (by [`SpanCategory::index`]).
-    pub time: [f64; 8],
+    pub time: [f64; 9],
     /// Bytes per [`ByteCategory`] (by [`ByteCategory::index`]).
     pub bytes: [u64; 3],
     /// Messages per [`ByteCategory`].
@@ -91,7 +91,7 @@ impl MetricsReport {
                     ..Default::default()
                 };
                 for cell in node.cells.values() {
-                    for i in 0..8 {
+                    for i in 0..9 {
                         m.time[i] += cell.time[i];
                     }
                     for i in 0..3 {

@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use symplegraph::algos::{bfs, kcore, sampling};
-use symplegraph::core::{EngineConfig, Policy, SpanCategory, WireCodec};
+use symplegraph::core::{EngineConfig, Exchange, FaultPlan, Policy, SpanCategory, WireCodec};
 use symplegraph::graph::{Graph, GraphBuilder, RmatConfig, Vid};
 
 /// The policies whose pull paths differ (baseline walk, plain circulant,
@@ -136,6 +136,97 @@ fn adaptive_comm_is_thread_invariant_and_never_larger() {
             ma.bytes(ByteCategory::Collective),
             mf.bytes(ByteCategory::Collective),
             "{policy:?}: collective bytes must not depend on the codec"
+        );
+    }
+}
+
+#[test]
+fn exchange_mode_invisible_at_any_thread_count() {
+    // Bulk vs pipelined exchange, with a chunk small enough that the test
+    // graph's messages really frame: bit-identical outputs, work, and comm
+    // (including the wire-format histogram) at every thread count — the
+    // pipeline only moves waits and host wall time.
+    let g = RmatConfig::graph500(9, 8).cleaned(true).generate();
+    for policy in policies() {
+        for threads in [1, 4] {
+            let mk = |exchange: Exchange| {
+                cfg(4, policy, threads)
+                    .exchange(exchange)
+                    .exchange_chunk(64)
+            };
+            let (bulk_out, bulk_st) = bfs(&g, &mk(Exchange::Bulk), Vid::new(7));
+            let (pipe_out, pipe_st) = bfs(&g, &mk(Exchange::Pipelined), Vid::new(7));
+            assert_eq!(pipe_out, bulk_out, "{policy:?} t{threads}: output");
+            assert_eq!(pipe_st.work, bulk_st.work, "{policy:?} t{threads}: work");
+            assert_eq!(pipe_st.comm, bulk_st.comm, "{policy:?} t{threads}: comm");
+
+            let (bulk_out, bulk_st) = kcore(&g, &mk(Exchange::Bulk), 3);
+            let (pipe_out, pipe_st) = kcore(&g, &mk(Exchange::Pipelined), 3);
+            assert_eq!(pipe_out, bulk_out, "{policy:?} t{threads}: kcore output");
+            assert_eq!(
+                pipe_st.work, bulk_st.work,
+                "{policy:?} t{threads}: kcore work"
+            );
+            assert_eq!(
+                pipe_st.comm, bulk_st.comm,
+                "{policy:?} t{threads}: kcore comm"
+            );
+        }
+    }
+}
+
+#[test]
+fn exchange_modes_absorb_chaos_plans_identically() {
+    // Replay of a seeded chaos plan through the PR 4 reliable layer, per
+    // exchange mode: outputs and work stay bit-identical to the fault-free
+    // run of the same mode, logical traffic matches across modes, and each
+    // mode is individually reproducible. (The reliable overlay counters may
+    // differ between modes — frames draw their own per-stream fates.)
+    let g = RmatConfig::graph500(9, 8).cleaned(true).generate();
+    for policy in [Policy::Gemini, Policy::symple()] {
+        let mk = |exchange: Exchange, faults: bool| {
+            let c = cfg(4, policy, 2).exchange(exchange).exchange_chunk(64);
+            if faults {
+                c.fault_plan(FaultPlan::chaos(42))
+            } else {
+                c
+            }
+        };
+        let (bulk_out, bulk_st) = bfs(&g, &mk(Exchange::Bulk, true), Vid::new(7));
+        let (pipe_out, pipe_st) = bfs(&g, &mk(Exchange::Pipelined, true), Vid::new(7));
+        let (clean_out, clean_st) = bfs(&g, &mk(Exchange::Pipelined, false), Vid::new(7));
+        assert_eq!(pipe_out, clean_out, "{policy:?}: chaos changed outputs");
+        assert_eq!(pipe_out, bulk_out, "{policy:?}: modes diverged under chaos");
+        assert_eq!(
+            pipe_st.work, clean_st.work,
+            "{policy:?}: chaos changed work"
+        );
+        assert_eq!(pipe_st.work, bulk_st.work, "{policy:?}: work across modes");
+        assert_eq!(
+            pipe_st.comm.total_bytes(),
+            bulk_st.comm.total_bytes(),
+            "{policy:?}: logical bytes across modes under chaos"
+        );
+        assert_eq!(
+            pipe_st.comm.total_messages(),
+            bulk_st.comm.total_messages(),
+            "{policy:?}: logical messages across modes under chaos"
+        );
+        assert!(
+            pipe_st.comm.reliable().retransmits > 0,
+            "{policy:?}: the chaos plan injected nothing"
+        );
+        // Reproducibility of the faulted pipelined run, overlay included.
+        let (again_out, again_st) = bfs(&g, &mk(Exchange::Pipelined, true), Vid::new(7));
+        assert_eq!(again_out, pipe_out, "{policy:?}: faulted replay output");
+        assert_eq!(
+            again_st.comm, pipe_st.comm,
+            "{policy:?}: faulted replay comm"
+        );
+        assert_eq!(
+            again_st.virtual_time(),
+            pipe_st.virtual_time(),
+            "{policy:?}: faulted replay virtual time"
         );
     }
 }
