@@ -1,23 +1,57 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus lint checks. Run from the repository root.
 #
-#   ./ci.sh            # build, test, fmt, clippy
-#   ./ci.sh --quick    # skip the release build
+#   ./ci.sh            # build, test, smokes, matrix gate, fmt, clippy
+#   ./ci.sh --quick    # skip the release build and the full perf gate
+#   ./ci.sh --help     # this text
+#
+# Performance regressions are caught by ONE consolidated guard: the
+# scenario matrix (`--matrix-check` against the committed
+# BENCH_matrix.json), which replays every {algo x graph x policy x
+# codec x exchange x threads x faults} cell and fails on any >10%
+# regression in virtual seconds or data bytes. The old per-feature
+# scaling/comm/pipeline checks are subsumed by it (their baselines stay
+# committed for the docs and can still be replayed by hand via the
+# experiments CLI).
 set -euo pipefail
 cd "$(dirname "$0")"
 
-QUICK=0
-[ "${1:-}" = "--quick" ] && QUICK=1
+usage() {
+  sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+  exit "${1:-2}"
+}
 
-echo "== build (release) =="
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    --help|-h) usage 0 ;;
+    *) echo "ci.sh: unknown flag \`$arg\`" >&2; usage 2 ;;
+  esac
+done
+
+# Per-step timing: `step NAME` closes the previous step with its elapsed
+# seconds and opens the next one.
+STEP_NAME=""
+STEP_START=$SECONDS
+step() {
+  if [ -n "$STEP_NAME" ]; then
+    echo "-- ${STEP_NAME}: $((SECONDS - STEP_START))s"
+  fi
+  STEP_NAME="$1"
+  STEP_START=$SECONDS
+  echo "== $1 =="
+}
+
+step "build (release)"
 if [ "$QUICK" = 0 ]; then
   cargo build --release --offline --workspace
 fi
 
-echo "== tests (workspace) =="
+step "tests (workspace)"
 cargo test -q --offline --workspace
 
-echo "== backend equivalence gate (sim vs thread transport) =="
+step "backend equivalence gate (sim vs thread transport)"
 # Bit-identical outputs, work, CommStats, and virtual time across the
 # deterministic simulator and the OS-thread backend, for the algorithm
 # suite and a proptest over random graphs. Runs under --quick so the
@@ -25,42 +59,41 @@ echo "== backend equivalence gate (sim vs thread transport) =="
 cargo test -q --offline --test backend_equivalence
 
 if [ "$QUICK" = 0 ]; then
-  echo "== thread-transport smoke (modelled vs measured wall) =="
+  step "thread-transport smoke (modelled vs measured wall)"
   # Runs the transport study (BFS / K-core / MIS on both backends; the
-  # study asserts logical bit-identity) and writes a throwaway grid.
+  # study asserts logical bit-identity) and writes a throwaway grid to a
+  # temp dir so the repo root stays clean.
+  SMOKE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$SMOKE_DIR"' EXIT
   cargo run --release --offline -p symple-bench --bin experiments -- \
-    --transport-json BENCH_transport_smoke.json
-  rm -f BENCH_transport_smoke.json
-  echo "== executor regression guard (vs committed BENCH_scaling.json) =="
-  # Re-runs the scaling sweep at the baseline's scale/thread counts (best
-  # of three per cell) and fails if any cell's bytecode/interp wall ratio
-  # regressed by more than 10%. Outputs and virtual time are asserted
-  # bit-identical across executors inside the sweep itself.
-  cargo run --release --offline -p symple-bench --bin experiments -- \
-    --scaling-check BENCH_scaling.json
+    --transport-json "$SMOKE_DIR/BENCH_transport_smoke.json"
 
-  echo "== wire-codec regression guard (vs committed BENCH_comm.json) =="
-  # Re-runs the byte study at the baseline's graph/machine count and fails
-  # if any adaptive/flat data ratio regressed by more than 10%.
+  step "scenario-matrix regression gate (vs committed BENCH_matrix.json)"
+  # THE consolidated perf gate: replays every cell of the committed
+  # matrix baseline (all algorithms x graphs x policies x codec/exchange/
+  # thread/fault variants) and fails if any cell's virtual seconds or
+  # data bytes regressed by more than 10%. Output fingerprints, edge
+  # counts, and logical bytes are asserted bit-identical across cells
+  # inside the sweep itself.
   cargo run --release --offline -p symple-bench --bin experiments -- \
-    --comm-check BENCH_comm.json
+    --matrix-check BENCH_matrix.json
 
-  echo "== pipeline overlap regression guard (vs committed BENCH_pipeline.json) =="
-  # Re-runs the pipelined-exchange study at the baseline's graph/machine
-  # counts and fails if any cell's overlap ratio (exchange stall / bulk
-  # send stall, deterministic modelled quantities) regressed by more
-  # than 10%.
-  cargo run --release --offline -p symple-bench --bin experiments -- \
-    --pipeline-check BENCH_pipeline.json
-
-  echo "== fault-injection smoke (chaos plan, outputs bit-identical) =="
+  step "fault-injection smoke (chaos plan, outputs bit-identical)"
   # BFS / K-core / MIS on s27, 4 machines, under a seeded drop+dup+delay+
   # reorder plan; the sweep itself asserts outputs, work counters, and
   # logical traffic match the fault-free run bit for bit.
   cargo run --release --offline -p symple-bench --bin experiments -- --faults
 fi
 
-echo "== exchange-mode equivalence smoke (bulk vs pipelined) =="
+step "scenario-matrix smoke (SNAP karate, all knobs)"
+# The matrix restricted to the real SNAP-loaded karate graph: every
+# workload (BFS, K-core, SSSP, CC, PageRank), both policies, and all
+# four knob variants, with the cross-cell bit-identity invariants
+# asserted inline. Runs under --quick so every push exercises the SNAP
+# loader and the new kernels end to end.
+cargo run --offline -p symple-bench --bin experiments -- --matrix-smoke
+
+step "exchange-mode equivalence smoke (bulk vs pipelined)"
 # BFS / K-core / MIS on s27, 4 machines, under both exchange modes and
 # both transport backends; the study asserts work, comm, and the stall
 # ordering (exchange stall never above the bulk send stall) bit for
@@ -68,21 +101,23 @@ echo "== exchange-mode equivalence smoke (bulk vs pipelined) =="
 # default stays invisible to the computation.
 cargo run --offline -p symple-bench --bin experiments -- --pipeline-smoke
 
-echo "== executor equivalence smoke (interp vs bytecode, full engine) =="
+step "executor equivalence smoke (interp vs bytecode, full engine)"
 # One kernel through the engine under both executors; outputs, work,
 # comm counters, and modelled time must match bit for bit. Runs under
 # --quick so every push enforces the compile-don't-interpret contract.
 cargo run --offline -p symple-bench --bin experiments -- --exec-smoke
 
-echo "== symple-lint (paper UDFs + example corpus) =="
-# Lints the five paper kernels (pretty-printed to source so spans exercise
-# the full parser path); exits nonzero on any error-severity diagnostic.
+step "symple-lint (paper UDFs + scenario-matrix UDFs)"
+# Lints the five paper kernels plus the SSSP/CC/PageRank matrix kernels
+# (pretty-printed to source so spans exercise the full parser path);
+# exits nonzero on any error-severity diagnostic.
 cargo run --offline --example symple_lint
 
-echo "== rustfmt =="
+step "rustfmt"
 cargo fmt --check
 
-echo "== clippy =="
+step "clippy"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+step "done"
 echo "ci.sh: all checks passed"

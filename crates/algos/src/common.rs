@@ -46,6 +46,18 @@ pub fn sampling_threshold(seed: u64, v: Vid, total: f32) -> f32 {
     (uniform01(seed, 0x7A6, u64::from(v.raw())) as f32) * total
 }
 
+/// Maximum deterministic edge weight produced by [`edge_weight`].
+pub const MAX_EDGE_WEIGHT: u64 = 8;
+
+/// Deterministic integer weight of the directed edge `(u, v)`, in
+/// `1..=MAX_EDGE_WEIGHT`. Every machine derives the same weight without
+/// communicating, so weighted algorithms (delta-stepping SSSP) stay
+/// bit-identical across policies, thread counts, and backends.
+pub fn edge_weight(seed: u64, u: Vid, v: Vid) -> u64 {
+    let key = (u64::from(u.raw()) << 32) | u64::from(v.raw());
+    1 + hash3(seed, 0xED6E, key) % MAX_EDGE_WEIGHT
+}
+
 /// Total in-neighbour weight of every vertex (the prefix-sum denominator
 /// in Figure 3(d)).
 pub fn total_in_weights(graph: &Graph, seed: u64) -> Vec<f32> {

@@ -29,13 +29,19 @@ pub mod bfs;
 pub mod common;
 pub mod kcore;
 pub mod kmeans;
+pub mod labelprop;
 pub mod matula_beck;
 pub mod mis;
+pub mod pagerank;
 pub mod sampling;
+pub mod sssp;
 
 pub use bfs::{bfs, bfs_reference, bfs_with_direction, validate_bfs, BfsOutput, Direction};
 pub use kcore::{kcore, kcore_reference, validate_kcore, KcoreOutput};
 pub use kmeans::{kmeans, validate_kmeans, KmeansOutput};
+pub use labelprop::{cc, cc_reference, validate_cc, CcOutput};
 pub use matula_beck::coreness;
 pub use mis::{mis, mis_greedy_reference, validate_mis, MisOutput};
+pub use pagerank::{pagerank, pagerank_reference, validate_pagerank, PagerankOutput};
 pub use sampling::{sampling, sampling_reference, validate_sampling, SamplingOutput};
+pub use sssp::{sssp, sssp_reference, validate_sssp, SsspOutput};

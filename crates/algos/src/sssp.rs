@@ -1,0 +1,298 @@
+//! Delta-stepping single-source shortest paths.
+//!
+//! The first weighted kernel in the suite: edge weights are derived
+//! deterministically from a splittable hash ([`common::edge_weight`],
+//! `1..=8`), so every machine — and the single-threaded Dijkstra
+//! reference — agrees on the weighted graph without shipping weights.
+//!
+//! The engine shape is new relative to the paper's five kernels: a
+//! *bucketed* push frontier (Meyer & Sanders' delta-stepping with
+//! `Δ = max weight`, so no light/heavy edge split is needed). Machines
+//! agree on the globally smallest pending bucket by allreduce, settle it
+//! to fixpoint with repeated push relaxations (distance updates
+//! min-combine at the destination master, so apply order is invisible),
+//! then advance. Because positive weights keep later buckets from ever
+//! improving a settled one, the result is exact.
+
+use crate::common;
+use symple_core::{run_spmd, EngineConfig, PushProgram, RunStats, Worker};
+use symple_graph::{Bitmap, Graph, Vid};
+
+/// Marker for "unreached" in distance arrays.
+pub const INF: u64 = u64::MAX;
+
+/// Result of an SSSP run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SsspOutput {
+    /// Shortest weighted distance per vertex (`INF` if unreached).
+    pub dist: Vec<u64>,
+    /// Buckets settled before the frontier drained.
+    pub buckets: u32,
+}
+
+impl SsspOutput {
+    /// Number of vertices reached (including the root).
+    pub fn reached(&self) -> usize {
+        self.dist.iter().filter(|&&d| d != INF).count()
+    }
+}
+
+/// Push relaxation: offer `dist[u] + w(u, v)` to every out-neighbour.
+/// The stale local distance is a sound filter (distances only decrease,
+/// and non-owned entries are never lower than the master's copy).
+pub struct SsspPush<'a> {
+    /// Distance snapshot for this relaxation round.
+    pub dist: &'a [u64],
+    /// Weight seed (see [`common::edge_weight`]).
+    pub seed: u64,
+}
+
+impl PushProgram for SsspPush<'_> {
+    type Update = u64;
+
+    fn signal(&self, u: Vid, dsts: &[Vid], emit: &mut dyn FnMut(Vid, u64)) -> u64 {
+        let du = self.dist[u.index()];
+        for &d in dsts {
+            let cand = du + common::edge_weight(self.seed, u, d);
+            if cand < self.dist[d.index()] {
+                emit(d, cand);
+            }
+        }
+        dsts.len() as u64
+    }
+}
+
+fn sssp_body(w: &mut Worker, root: Vid, seed: u64) -> (Vec<u64>, u32) {
+    let graph = w.graph();
+    let n = graph.num_vertices();
+    let delta = common::MAX_EDGE_WEIGHT;
+    let mut dist = vec![INF; n];
+    // Masters pending relaxation (apply only runs on the destination
+    // master, so this never contains non-local vertices).
+    let mut pending = Bitmap::new(n);
+    if w.is_master(root) {
+        dist[root.index()] = 0;
+        pending.set_vid(root);
+    }
+    let mut buckets = 0u32;
+    loop {
+        let local_min = pending
+            .iter_ones()
+            .map(|i| dist[i] / delta)
+            .min()
+            .unwrap_or(u64::MAX);
+        let bucket = w.allreduce(local_min, |a, b| a.min(b));
+        if bucket == u64::MAX {
+            break;
+        }
+        buckets += 1;
+        // Settle the bucket: relax until no machine holds a pending
+        // vertex inside it (in-bucket relaxations can re-activate).
+        loop {
+            let frontier: Vec<Vid> = pending
+                .iter_ones()
+                .filter(|&i| dist[i] / delta == bucket)
+                .map(|i| Vid::new(i as u32))
+                .collect();
+            if w.allreduce(frontier.len() as u64, |a, b| a + b) == 0 {
+                break;
+            }
+            for &v in &frontier {
+                pending.clear(v.index());
+            }
+            let snapshot = dist.clone();
+            let prog = SsspPush {
+                dist: &snapshot,
+                seed,
+            };
+            let mut apply = |v: Vid, cand: u64| -> bool {
+                if cand < dist[v.index()] {
+                    dist[v.index()] = cand;
+                    pending.set_vid(v);
+                    true
+                } else {
+                    false
+                }
+            };
+            w.push(&prog, &frontier, &mut apply);
+        }
+    }
+    w.sync_values(&mut dist);
+    (dist, buckets)
+}
+
+/// Runs distributed delta-stepping SSSP from `root` with hash-derived
+/// weights under `seed`.
+///
+/// # Example
+///
+/// ```
+/// use symple_algos::{sssp, sssp_reference};
+/// use symple_core::{EngineConfig, Policy};
+/// use symple_graph::{path, Vid};
+///
+/// let g = path(32);
+/// let cfg = EngineConfig::new(2, Policy::symple());
+/// let (out, _stats) = sssp(&g, &cfg, Vid::new(0), 7);
+/// assert_eq!(out.dist, sssp_reference(&g, Vid::new(0), 7).0.dist);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `root` is out of bounds.
+pub fn sssp(graph: &Graph, cfg: &EngineConfig, root: Vid, seed: u64) -> (SsspOutput, RunStats) {
+    assert!(root.index() < graph.num_vertices(), "root out of bounds");
+    let mut res = run_spmd(graph, cfg, |w| sssp_body(w, root, seed));
+    let (dist, buckets) = res.outputs.swap_remove(0);
+    (SsspOutput { dist, buckets }, res.stats)
+}
+
+/// Single-threaded reference: Dijkstra over out-edges with the same
+/// hash-derived weights. Returns the output and edges relaxed.
+pub fn sssp_reference(graph: &Graph, root: Vid, seed: u64) -> (SsspOutput, u64) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = graph.num_vertices();
+    let mut dist = vec![INF; n];
+    dist[root.index()] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push((Reverse(0u64), root.raw()));
+    let mut edges = 0u64;
+    while let Some((Reverse(d), u_raw)) = heap.pop() {
+        let u = Vid::new(u_raw);
+        if d > dist[u.index()] {
+            continue;
+        }
+        for &v in graph.out_neighbors(u) {
+            edges += 1;
+            let cand = d + common::edge_weight(seed, u, v);
+            if cand < dist[v.index()] {
+                dist[v.index()] = cand;
+                heap.push((Reverse(cand), v.raw()));
+            }
+        }
+    }
+    (SsspOutput { dist, buckets: 0 }, edges)
+}
+
+/// Validates an SSSP output: exact distances against the Dijkstra
+/// reference plus the per-edge triangle inequality.
+///
+/// # Panics
+///
+/// Panics with a description of the first violated invariant.
+pub fn validate_sssp(graph: &Graph, root: Vid, seed: u64, out: &SsspOutput) {
+    assert_eq!(out.dist[root.index()], 0, "root distance");
+    let (reference, _) = sssp_reference(graph, root, seed);
+    for v in graph.vertices() {
+        assert_eq!(
+            out.dist[v.index()],
+            reference.dist[v.index()],
+            "distance mismatch at {v}"
+        );
+    }
+    for (u, v) in graph.edges() {
+        if out.dist[u.index()] != INF {
+            let w = common::edge_weight(seed, u, v);
+            assert!(
+                out.dist[v.index()] <= out.dist[u.index()] + w,
+                "edge {u}->{v} (w {w}) violates the triangle inequality"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symple_core::Policy;
+    use symple_graph::{cycle, grid, path, star, RmatConfig};
+
+    fn check_all_policies(graph: &Graph, machines: usize, root: Vid, seed: u64) {
+        let mut outputs = Vec::new();
+        for policy in [
+            Policy::symple(),
+            Policy::symple_basic(),
+            Policy::Gemini,
+            Policy::Galois,
+        ] {
+            let cfg = EngineConfig::new(machines, policy);
+            let (out, _) = sssp(graph, &cfg, root, seed);
+            validate_sssp(graph, root, seed, &out);
+            outputs.push(out);
+        }
+        for o in &outputs[1..] {
+            assert_eq!(o.dist, outputs[0].dist, "policies must agree exactly");
+        }
+    }
+
+    #[test]
+    fn path_distances_are_prefix_sums() {
+        // oracle: on a path the shortest distance is the only route — the
+        // running sum of the hash weights along it.
+        let g = path(40);
+        let seed = 11;
+        let (out, _) = sssp(
+            &g,
+            &EngineConfig::new(3, Policy::symple()),
+            Vid::new(0),
+            seed,
+        );
+        let mut acc = 0u64;
+        assert_eq!(out.dist[0], 0);
+        for v in 1..40u32 {
+            acc += common::edge_weight(seed, Vid::new(v - 1), Vid::new(v));
+            assert_eq!(out.dist[v as usize], acc, "prefix sum at {v}");
+        }
+    }
+
+    #[test]
+    fn star_distances_are_single_hops() {
+        // oracle: from the hub every leaf is exactly one (weighted) hop.
+        let g = star(60);
+        let seed = 5;
+        let (out, _) = sssp(
+            &g,
+            &EngineConfig::new(2, Policy::symple()),
+            Vid::new(0),
+            seed,
+        );
+        for v in 1..60u32 {
+            let direct = common::edge_weight(seed, Vid::new(0), Vid::new(v));
+            assert_eq!(out.dist[v as usize], direct, "hub hop to {v}");
+        }
+    }
+
+    #[test]
+    fn grid_and_cycle_match_dijkstra() {
+        check_all_policies(&grid(9, 11), 4, Vid::new(0), 3);
+        check_all_policies(&cycle(70), 3, Vid::new(13), 3);
+    }
+
+    #[test]
+    fn rmat_matches_dijkstra_across_policies() {
+        let g = RmatConfig::graph500(9, 8).cleaned(true).generate();
+        check_all_policies(&g, 5, Vid::new(3), 42);
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_inf() {
+        let g = RmatConfig::graph500(8, 2).generate(); // directed, sparse
+        let cfg = EngineConfig::new(2, Policy::symple());
+        let (out, _) = sssp(&g, &cfg, Vid::new(1), 9);
+        validate_sssp(&g, Vid::new(1), 9, &out);
+        assert!(
+            out.reached() < g.num_vertices(),
+            "sparse digraph disconnects"
+        );
+    }
+
+    #[test]
+    fn weights_are_deterministic_and_bounded() {
+        for (u, v) in [(0u32, 1u32), (5, 9), (1, 0)] {
+            let w = common::edge_weight(7, Vid::new(u), Vid::new(v));
+            assert_eq!(w, common::edge_weight(7, Vid::new(u), Vid::new(v)));
+            assert!((1..=common::MAX_EDGE_WEIGHT).contains(&w));
+        }
+    }
+}

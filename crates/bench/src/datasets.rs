@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
-use symple_graph::{Graph, RmatConfig};
+use symple_graph::{load_snap_cached, Graph, RmatConfig, SnapOptions};
 
 /// A named dataset in the registry.
 #[derive(Debug, Clone, Copy)]
@@ -22,14 +22,17 @@ pub struct Dataset {
     pub name: &'static str,
     /// What it stands in for.
     pub stands_for: &'static str,
-    /// R-MAT scale (log2 vertices).
+    /// R-MAT scale (log2 vertices). Zero for SNAP-backed entries.
     pub scale: u32,
-    /// Edge factor before cleaning.
+    /// Edge factor before cleaning. Zero for SNAP-backed entries.
     pub edge_factor: u32,
     /// Generator seed.
     pub seed: u64,
     /// Edge count of the dataset this stands in for (fixed-cost scaling).
     pub paper_edges: u64,
+    /// SNAP edge-list file to load instead of generating an R-MAT graph
+    /// (path anchored at the workspace root so it resolves from any cwd).
+    pub snap: Option<&'static str>,
 }
 
 impl Dataset {
@@ -53,8 +56,13 @@ pub fn spec(name: &str) -> &'static Dataset {
         .unwrap_or_else(|| panic!("unknown dataset `{name}`"))
 }
 
-/// The registry (paper Table 1, scaled).
-pub const DATASETS: [Dataset; 7] = [
+/// The `karate` SNAP source, anchored at the workspace root so the
+/// registry resolves it from any working directory (tests run from the
+/// crate dir, `ci.sh` from the repo root).
+const KARATE_SNAP: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../data/karate.txt");
+
+/// The registry (paper Table 1, scaled, plus one real SNAP dataset).
+pub const DATASETS: [Dataset; 8] = [
     Dataset {
         name: "tw",
         stands_for: "Twitter-2010 (42M v, 1.5B e, ef ~36)",
@@ -62,6 +70,7 @@ pub const DATASETS: [Dataset; 7] = [
         edge_factor: 36,
         seed: 0x7171,
         paper_edges: 1_500_000_000,
+        snap: None,
     },
     Dataset {
         name: "fr",
@@ -70,6 +79,7 @@ pub const DATASETS: [Dataset; 7] = [
         edge_factor: 28,
         seed: 0xF12,
         paper_edges: 1_800_000_000,
+        snap: None,
     },
     Dataset {
         name: "s27",
@@ -78,6 +88,7 @@ pub const DATASETS: [Dataset; 7] = [
         edge_factor: 32,
         seed: 27,
         paper_edges: 4_300_000_000,
+        snap: None,
     },
     Dataset {
         name: "s28",
@@ -86,6 +97,7 @@ pub const DATASETS: [Dataset; 7] = [
         edge_factor: 16,
         seed: 28,
         paper_edges: 4_300_000_000,
+        snap: None,
     },
     Dataset {
         name: "s29",
@@ -94,6 +106,7 @@ pub const DATASETS: [Dataset; 7] = [
         edge_factor: 8,
         seed: 29,
         paper_edges: 4_300_000_000,
+        snap: None,
     },
     Dataset {
         name: "cl",
@@ -102,6 +115,7 @@ pub const DATASETS: [Dataset; 7] = [
         edge_factor: 44,
         seed: 0xC1,
         paper_edges: 43_000_000_000,
+        snap: None,
     },
     Dataset {
         name: "gsh",
@@ -110,6 +124,18 @@ pub const DATASETS: [Dataset; 7] = [
         edge_factor: 34,
         seed: 0x654,
         paper_edges: 34_000_000_000,
+        snap: None,
+    },
+    Dataset {
+        name: "karate",
+        stands_for: "Zachary karate club (34 v, 78 e, SNAP edge list)",
+        scale: 0,
+        edge_factor: 0,
+        seed: 0,
+        // 78 undirected edges = 156 directed after the §7.1 symmetrize,
+        // so the real dataset runs at its native cost (scale 1.0).
+        paper_edges: 156,
+        snap: Some(KARATE_SNAP),
     },
 ];
 
@@ -137,10 +163,14 @@ pub fn dataset(name: &str) -> &'static Graph {
     if let Some(g) = cache.get(spec.name) {
         return g;
     }
-    let graph = RmatConfig::graph500(spec.scale, spec.edge_factor)
-        .seed(spec.seed)
-        .cleaned(true)
-        .generate();
+    let graph = match spec.snap {
+        Some(path) => load_snap_cached(path, SnapOptions::default())
+            .unwrap_or_else(|e| panic!("loading SNAP dataset `{}` from {path}: {e}", spec.name)),
+        None => RmatConfig::graph500(spec.scale, spec.edge_factor)
+            .seed(spec.seed)
+            .cleaned(true)
+            .generate(),
+    };
     let leaked: &'static Graph = Box::leak(Box::new(graph));
     cache.insert(spec.name, leaked);
     leaked
@@ -154,8 +184,21 @@ mod tests {
     fn names_are_the_papers() {
         assert_eq!(
             dataset_names(),
-            ["tw", "fr", "s27", "s28", "s29", "cl", "gsh"]
+            ["tw", "fr", "s27", "s28", "s29", "cl", "gsh", "karate"]
         );
+    }
+
+    #[test]
+    fn karate_loads_from_snap_cleaned() {
+        let g = dataset("karate");
+        assert_eq!(g.num_vertices(), 34);
+        // 78 undirected edges, symmetrized and deduplicated
+        assert_eq!(g.num_edges(), 156);
+        // real-graph sanity: the instructor (0) and president (33) are hubs
+        assert!(g.out_degree(symple_graph::Vid::new(0)) >= 16);
+        assert!(g.out_degree(symple_graph::Vid::new(33)) >= 17);
+        let scale = spec("karate").latency_scale();
+        assert!((scale - 1.0).abs() < 1e-12, "karate runs at native cost");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::datasets::dataset;
 use crate::fmt::{geomean, secs, speedup, table};
-use symple_algos::{bfs, kcore, kmeans, mis, sampling};
+use symple_algos::{bfs, cc, kcore, kmeans, mis, pagerank, sampling, sssp};
 use symple_core::{
     Backend, EngineConfig, Exchange, FaultPlan, Policy, ReliableStats, RunStats, TraceLevel,
     WireCodec,
@@ -28,7 +28,7 @@ pub struct Report {
 }
 
 impl Report {
-    fn new(id: &'static str, title: &'static str, text: String) -> Self {
+    pub(crate) fn new(id: &'static str, title: &'static str, text: String) -> Self {
         Report { id, title, text }
     }
 }
@@ -50,6 +50,13 @@ pub enum Algo {
     /// dense bottom-up direction — the dense-frontier datapoint of the
     /// wire-codec byte study.
     BfsPull,
+    /// Delta-stepping SSSP over hash-derived edge weights (scenario
+    /// matrix).
+    Sssp,
+    /// Connected components by min-label propagation (scenario matrix).
+    Cc,
+    /// Fixed-point PageRank with convergence detection (scenario matrix).
+    Pagerank,
 }
 
 /// Algorithm list for the main grids (paper order).
@@ -67,9 +74,17 @@ pub const GRID_GRAPHS: [&str; 5] = ["tw", "fr", "s27", "s28", "s29"];
 const BFS_ROOTS: u64 = 4;
 const SAMPLING_SEEDS: u64 = 3;
 const KMEANS_ITERS: u32 = 3;
+/// Edge-weight seed for the SSSP workload (see
+/// `symple_algos::common::edge_weight`).
+pub const SSSP_SEED: u64 = 0x5557;
+/// PageRank convergence tolerance in fixed-point millionths (1e-3).
+pub const PAGERANK_TOL: u64 = 1_000;
+/// PageRank iteration cap — keeps the big R-MAT stand-ins tractable
+/// while still exercising convergence detection every round.
+pub const PAGERANK_ITERS: u32 = 20;
 
 /// Picks deterministic non-isolated BFS roots.
-fn bfs_roots(graph: &Graph, count: u64) -> Vec<Vid> {
+pub(crate) fn bfs_roots(graph: &Graph, count: u64) -> Vec<Vid> {
     let n = graph.num_vertices() as u64;
     let mut roots = Vec::new();
     let mut probe = 0u64;
@@ -174,17 +189,30 @@ pub fn measure(algo: Algo, graph: &Graph, cfg: &EngineConfig) -> Measured {
                 accumulate(&mut acc, &stats, BFS_ROOTS);
             }
         }
+        Algo::Sssp => {
+            let root = bfs_roots(graph, 1)[0];
+            let (_, stats) = sssp(graph, cfg, root, SSSP_SEED);
+            accumulate(&mut acc, &stats, 1);
+        }
+        Algo::Cc => {
+            let (_, stats) = cc(graph, cfg);
+            accumulate(&mut acc, &stats, 1);
+        }
+        Algo::Pagerank => {
+            let (_, stats) = pagerank(graph, cfg, PAGERANK_TOL, PAGERANK_ITERS);
+            accumulate(&mut acc, &stats, 1);
+        }
     }
     acc
 }
 
 /// The cluster model for a dataset: the base testbed with fixed costs
 /// scaled to the stand-in's size (see `CostModel::scale_fixed_costs`).
-fn model_for(name: &str, base: CostModel) -> CostModel {
+pub(crate) fn model_for(name: &str, base: CostModel) -> CostModel {
     base.scale_fixed_costs(crate::datasets::spec(name).latency_scale())
 }
 
-fn cfg(machines: usize, policy: Policy, cost: CostModel) -> EngineConfig {
+pub(crate) fn cfg(machines: usize, policy: Policy, cost: CostModel) -> EngineConfig {
     EngineConfig::new(machines, policy).cost(cost)
 }
 
@@ -560,6 +588,9 @@ fn run_algo_once(algo: Algo, graph: &Graph, cfg: &EngineConfig) -> RunStats {
             use symple_algos::{bfs_with_direction, Direction};
             bfs_with_direction(graph, cfg, bfs_roots(graph, 1)[0], Direction::PullOnly).1
         }
+        Algo::Sssp => sssp(graph, cfg, bfs_roots(graph, 1)[0], SSSP_SEED).1,
+        Algo::Cc => cc(graph, cfg).1,
+        Algo::Pagerank => pagerank(graph, cfg, PAGERANK_TOL, PAGERANK_ITERS).1,
     }
 }
 
@@ -2563,6 +2594,7 @@ pub fn all() -> Vec<Report> {
         pipeline_report(),
         fault_report(),
         udf_report(),
+        crate::matrix::matrix_report(),
     ]
 }
 
@@ -2588,6 +2620,7 @@ pub fn by_id(id: &str) -> Option<fn() -> Report> {
         "pipeline" => pipeline_report,
         "faults" => fault_report,
         "udf" => udf_report,
+        "matrix" => crate::matrix::matrix_report,
         _ => return None,
     })
 }
@@ -2618,6 +2651,7 @@ mod tests {
             "pipeline",
             "faults",
             "udf",
+            "matrix",
         ] {
             assert!(by_id(id).is_some(), "missing {id}");
         }
@@ -2643,7 +2677,12 @@ mod tests {
         // smallest dataset to keep this test quick
         let g = dataset("s27");
         let c = cfg(2, Policy::symple(), CostModel::zero());
-        for (_, algo) in GRID_ALGOS {
+        let matrix_extras = [Algo::Sssp, Algo::Cc, Algo::Pagerank];
+        for (_, algo) in GRID_ALGOS
+            .iter()
+            .copied()
+            .chain(matrix_extras.map(|a| ("", a)))
+        {
             let m = measure(algo, g, &c);
             assert!(m.edges > 0, "{algo:?} traversed nothing");
             assert!(m.reconciled, "{algo:?} trace bytes diverged from CommStats");

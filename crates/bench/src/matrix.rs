@@ -1,0 +1,599 @@
+//! The scenario matrix: one consolidated sweep over
+//! {algorithm × graph × policy × codec × exchange × threads × faults}.
+//!
+//! Each *base* cell runs an algorithm on a graph under the SympleGraph
+//! and Gemini policies with the default knobs (flat codec, pipelined
+//! exchange, one thread, no faults); each SympleGraph base cell then
+//! fans out into four *variant* cells flipping exactly one knob
+//! (adaptive codec, bulk exchange, two apply threads, seeded chaos
+//! faults). While the sweep runs it asserts the engine's determinism
+//! story **inline**:
+//!
+//! * every cell of an (algorithm, graph) pair — both policies and all
+//!   four variants — produces the same output fingerprint (BFS is
+//!   fingerprinted by depths only; parent choice legitimately depends
+//!   on scan order);
+//! * every variant traverses exactly as many edges as its base cell
+//!   (knobs below the logical layer must not change the work); and
+//! * the bulk-exchange, threaded, and faulted variants ship exactly the
+//!   base cell's logical bytes (the adaptive codec is the one knob
+//!   *allowed* to change bytes — that is its purpose).
+//!
+//! The sweep serializes to `BENCH_matrix.json`, and [`matrix_check`]
+//! replays a committed baseline wholesale: every cell is re-measured
+//! and fails the gate if its virtual seconds or data bytes regress by
+//! more than 10% relative — the single perf gate `ci.sh` runs in place
+//! of the old per-feature scaling/comm/pipeline checks.
+
+use crate::datasets::{dataset, DATASETS};
+use crate::experiments::{
+    bfs_roots, cfg, model_for, Report, PAGERANK_ITERS, PAGERANK_TOL, SSSP_SEED,
+};
+use crate::fmt::table;
+use symple_algos::{bfs, cc, kcore, pagerank, sssp};
+use symple_core::{EngineConfig, Exchange, FaultPlan, Policy, RunStats};
+use symple_graph::{fnv1a64, Graph};
+use symple_net::{CostModel, WireCodec};
+
+/// Matrix workloads: paper kernels (BFS, K-core) next to the three
+/// scenario-matrix kernels (SSSP, CC, PageRank).
+pub const MATRIX_ALGOS: [&str; 5] = ["bfs", "kcore", "sssp", "cc", "pagerank"];
+
+/// Graphs of the full matrix: the R-MAT Table-1 stand-in plus the real
+/// SNAP-loaded dataset.
+pub const MATRIX_GRAPHS: [&str; 2] = ["s27", "karate"];
+
+/// Machine count every matrix cell runs at.
+pub const MATRIX_MACHINES: usize = 4;
+
+/// K-core threshold used by the matrix (matches the grid's K-core(4)).
+const KCORE_K: u32 = 4;
+
+/// Chaos-plan seed for the fault variant.
+const FAULT_SEED: u64 = 42;
+
+/// One measured cell of the scenario matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Workload name (one of [`MATRIX_ALGOS`]).
+    pub algo: &'static str,
+    /// Dataset name (one of the registry's).
+    pub graph: &'static str,
+    /// Engine policy (`symple` or `gemini`).
+    pub policy: &'static str,
+    /// Wire codec (`flat` or `adaptive`).
+    pub codec: &'static str,
+    /// Exchange mode (`pipelined` or `bulk`).
+    pub exchange: &'static str,
+    /// Apply threads.
+    pub threads: usize,
+    /// Whether the seeded chaos fault plan was active.
+    pub faults: bool,
+    /// Modelled seconds on the emulated cluster.
+    pub virtual_secs: f64,
+    /// Total logical bytes on the wire.
+    pub data_bytes: u64,
+    /// Edges traversed.
+    pub edges: u64,
+    /// FNV-1a-64 fingerprint of the algorithm output.
+    pub fingerprint: u64,
+}
+
+impl MatrixCell {
+    /// Stable cell identifier:
+    /// `algo/graph/policy/codec/exchange/tN/{clean|faults}`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/{}/t{}/{}",
+            self.algo,
+            self.graph,
+            self.policy,
+            self.codec,
+            self.exchange,
+            self.threads,
+            if self.faults { "faults" } else { "clean" }
+        )
+    }
+}
+
+/// Fingerprints an output as FNV-1a-64 over its little-endian bytes.
+fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    fnv1a64(bytes)
+}
+
+fn fp_u32s(values: &[u32]) -> u64 {
+    let mut buf = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fingerprint_bytes(&buf)
+}
+
+fn fp_u64s(values: &[u64]) -> u64 {
+    let mut buf = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fingerprint_bytes(&buf)
+}
+
+/// Runs one matrix workload and returns `(output fingerprint, stats)`.
+fn run_cell(algo: &str, g: &Graph, config: &EngineConfig) -> (u64, RunStats) {
+    match algo {
+        "bfs" => {
+            let root = bfs_roots(g, 1)[0];
+            let (out, stats) = bfs(g, config, root);
+            // Depths only: the parent of a multi-parent vertex depends on
+            // the scan order the policy chooses.
+            (fp_u32s(&out.depth), stats)
+        }
+        "kcore" => {
+            let (out, stats) = kcore(g, config, KCORE_K);
+            let flags: Vec<u32> = g
+                .vertices()
+                .map(|v| u32::from(out.in_core.get_vid(v)))
+                .collect();
+            (fp_u32s(&flags), stats)
+        }
+        "sssp" => {
+            let root = bfs_roots(g, 1)[0];
+            let (out, stats) = sssp(g, config, root, SSSP_SEED);
+            (fp_u64s(&out.dist), stats)
+        }
+        "cc" => {
+            let (out, stats) = cc(g, config);
+            (fp_u32s(&out.label), stats)
+        }
+        "pagerank" => {
+            let (out, stats) = pagerank(g, config, PAGERANK_TOL, PAGERANK_ITERS);
+            let mut buf = Vec::with_capacity(out.rank.len() * 8 + 5);
+            for r in &out.rank {
+                buf.extend_from_slice(&r.to_le_bytes());
+            }
+            buf.extend_from_slice(&out.iterations.to_le_bytes());
+            buf.push(u8::from(out.converged));
+            (fingerprint_bytes(&buf), stats)
+        }
+        other => panic!("unknown matrix workload `{other}`"),
+    }
+}
+
+/// The knob half of a cell id: everything except the workload pair.
+#[derive(Clone, Copy)]
+struct Knobs {
+    policy: &'static str,
+    codec: &'static str,
+    exchange: &'static str,
+    threads: usize,
+    faults: bool,
+}
+
+fn cell_from(
+    algo: &'static str,
+    graph: &'static str,
+    knobs: Knobs,
+    fp: u64,
+    stats: &RunStats,
+) -> MatrixCell {
+    MatrixCell {
+        algo,
+        graph,
+        policy: knobs.policy,
+        codec: knobs.codec,
+        exchange: knobs.exchange,
+        threads: knobs.threads,
+        faults: knobs.faults,
+        virtual_secs: stats.virtual_time(),
+        data_bytes: stats.comm.total_bytes(),
+        edges: stats.work.edges_traversed(),
+        fingerprint: fp,
+    }
+}
+
+const BASE_KNOBS: Knobs = Knobs {
+    policy: "symple",
+    codec: "flat",
+    exchange: "pipelined",
+    threads: 1,
+    faults: false,
+};
+
+/// Runs the scenario matrix over `graphs` at `machines` machines,
+/// asserting the cross-cell bit-identity invariants inline (see module
+/// docs).
+///
+/// # Panics
+///
+/// Panics on an unknown graph name or on any violated invariant —
+/// a fingerprint or work divergence here is an engine bug, not a
+/// perf regression.
+pub fn matrix_study(graphs: &[&'static str], machines: usize) -> Vec<MatrixCell> {
+    let mut cells = Vec::new();
+    for &graph_name in graphs {
+        let g = dataset(graph_name);
+        let cost = model_for(graph_name, CostModel::cluster_a());
+        for algo in MATRIX_ALGOS {
+            // Base cell: SympleGraph policy, default knobs.
+            let base_cfg = cfg(machines, Policy::symple(), cost);
+            let (base_fp, base_stats) = run_cell(algo, g, &base_cfg);
+            let base = cell_from(algo, graph_name, BASE_KNOBS, base_fp, &base_stats);
+            let (base_edges, base_bytes) = (base.edges, base.data_bytes);
+            cells.push(base);
+
+            // Gemini counterpart: same output, no dependency savings.
+            let (gem_fp, gem_stats) = run_cell(algo, g, &cfg(machines, Policy::Gemini, cost));
+            assert_eq!(
+                gem_fp, base_fp,
+                "{algo}/{graph_name}: Gemini output fingerprint diverged from SympleGraph"
+            );
+            cells.push(cell_from(
+                algo,
+                graph_name,
+                Knobs {
+                    policy: "gemini",
+                    ..BASE_KNOBS
+                },
+                gem_fp,
+                &gem_stats,
+            ));
+
+            // Variants: one knob flipped per cell, SympleGraph policy.
+            let variants: [(&str, &str, usize, bool, EngineConfig); 4] = [
+                (
+                    "adaptive",
+                    "pipelined",
+                    1,
+                    false,
+                    cfg(machines, Policy::symple(), cost).wire_codec(WireCodec::Adaptive),
+                ),
+                (
+                    "flat",
+                    "bulk",
+                    1,
+                    false,
+                    cfg(machines, Policy::symple(), cost).exchange(Exchange::Bulk),
+                ),
+                (
+                    "flat",
+                    "pipelined",
+                    2,
+                    false,
+                    cfg(machines, Policy::symple(), cost).threads(2),
+                ),
+                (
+                    "flat",
+                    "pipelined",
+                    1,
+                    true,
+                    cfg(machines, Policy::symple(), cost).fault_plan(FaultPlan::chaos(FAULT_SEED)),
+                ),
+            ];
+            for (codec, exchange, threads, faults, config) in variants {
+                let (fp, stats) = run_cell(algo, g, &config);
+                let knobs = Knobs {
+                    policy: "symple",
+                    codec,
+                    exchange,
+                    threads,
+                    faults,
+                };
+                let cell = cell_from(algo, graph_name, knobs, fp, &stats);
+                assert_eq!(
+                    fp,
+                    base_fp,
+                    "{}: output fingerprint diverged from the base cell",
+                    cell.id()
+                );
+                assert_eq!(
+                    cell.edges,
+                    base_edges,
+                    "{}: edge traversals diverged from the base cell",
+                    cell.id()
+                );
+                if codec == "flat" {
+                    // Exchange framing, apply threading, and injected
+                    // faults all live below the logical byte accounting.
+                    assert_eq!(
+                        cell.data_bytes,
+                        base_bytes,
+                        "{}: logical bytes diverged from the base cell",
+                        cell.id()
+                    );
+                }
+                cells.push(cell);
+            }
+        }
+    }
+    cells
+}
+
+/// Serializes a matrix run as the `BENCH_matrix.json` document.
+pub fn matrix_json(machines: usize, cells: &[MatrixCell]) -> String {
+    let mut w = symple_trace::json::JsonWriter::new();
+    w.begin_object();
+    w.key("experiment").string("matrix");
+    w.key("machines").u64(machines as u64);
+    w.key("cells").begin_array();
+    for c in cells {
+        w.begin_object();
+        w.key("id").string(&c.id());
+        w.key("algo").string(c.algo);
+        w.key("graph").string(c.graph);
+        w.key("policy").string(c.policy);
+        w.key("codec").string(c.codec);
+        w.key("exchange").string(c.exchange);
+        w.key("threads").u64(c.threads as u64);
+        w.key("faults").bool(c.faults);
+        w.key("virtual_secs").f64(c.virtual_secs);
+        w.key("data_bytes").u64(c.data_bytes);
+        w.key("edges").u64(c.edges);
+        w.key("fingerprint")
+            .string(&format!("{:016x}", c.fingerprint));
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// A parsed `BENCH_matrix.json` baseline.
+#[derive(Debug, Clone)]
+pub struct MatrixBaseline {
+    /// Machine count the baseline was measured at.
+    pub machines: usize,
+    /// `(cell id, virtual_secs, data_bytes)` per cell.
+    pub cells: Vec<(String, f64, u64)>,
+}
+
+impl MatrixBaseline {
+    /// Graph names referenced by the baseline cells, first-seen order.
+    pub fn graphs(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for (id, _, _) in &self.cells {
+            if let Some(graph) = id.split('/').nth(1) {
+                if !out.iter().any(|g| g == graph) {
+                    out.push(graph.to_string());
+                }
+            }
+        }
+        out
+    }
+}
+
+fn scan_str<'a>(s: &'a str, key: &str) -> Option<&'a str> {
+    let rest = &s[s.find(key)? + key.len()..];
+    rest.split('"').next()
+}
+
+fn scan_num<'a>(s: &'a str, key: &str) -> Option<&'a str> {
+    let rest = &s[s.find(key)? + key.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(&rest[..end])
+}
+
+/// Parses a `BENCH_matrix.json` document as written by [`matrix_json`]
+/// (no whitespace, known key order) without a JSON dependency.
+pub fn parse_matrix_baseline(json: &str) -> Result<MatrixBaseline, String> {
+    let machines = scan_num(json, "\"machines\":")
+        .and_then(|d| d.parse::<usize>().ok())
+        .ok_or("baseline: missing \"machines\"")?;
+    let mut cells = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find("\"id\":\"") {
+        let point = &rest[i..];
+        let id = scan_str(point, "\"id\":\"")
+            .ok_or("baseline: unterminated \"id\"")?
+            .to_string();
+        let secs = scan_num(point, "\"virtual_secs\":")
+            .and_then(|d| d.parse::<f64>().ok())
+            .ok_or_else(|| format!("baseline: cell {id} missing \"virtual_secs\""))?;
+        let bytes = scan_num(point, "\"data_bytes\":")
+            .and_then(|d| d.parse::<u64>().ok())
+            .ok_or_else(|| format!("baseline: cell {id} missing \"data_bytes\""))?;
+        cells.push((id, secs, bytes));
+        rest = &point["\"id\":\"".len()..];
+    }
+    if cells.is_empty() {
+        return Err("baseline: no cells found".into());
+    }
+    Ok(MatrixBaseline { machines, cells })
+}
+
+/// Compares freshly measured cells against a parsed baseline. A cell
+/// regresses when its virtual seconds **or** its data bytes exceed the
+/// baseline's by more than `tolerance` (relative); baseline cells
+/// missing from the current run fail too. Returns a per-cell summary on
+/// success, the list of regressions on failure.
+pub fn matrix_check_points(
+    baseline: &MatrixBaseline,
+    cells: &[MatrixCell],
+    tolerance: f64,
+) -> Result<String, String> {
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for (id, base_secs, base_bytes) in &baseline.cells {
+        match cells.iter().find(|c| &c.id() == id) {
+            None => failures.push(format!("{id}: cell missing from the current matrix")),
+            Some(c) => {
+                let secs_bound = base_secs * (1.0 + tolerance) + 1e-12;
+                let bytes_bound = *base_bytes as f64 * (1.0 + tolerance) + 1e-12;
+                if c.virtual_secs > secs_bound {
+                    failures.push(format!(
+                        "{id}: virtual_secs {:.6} exceeds baseline {base_secs:.6} by more \
+                         than {:.0}%",
+                        c.virtual_secs,
+                        tolerance * 100.0
+                    ));
+                } else if c.data_bytes as f64 > bytes_bound {
+                    failures.push(format!(
+                        "{id}: data_bytes {} exceeds baseline {base_bytes} by more than {:.0}%",
+                        c.data_bytes,
+                        tolerance * 100.0
+                    ));
+                } else {
+                    lines.push(format!(
+                        "{id}: {:.6}s / {} B (baseline {base_secs:.6}s / {base_bytes} B) ok",
+                        c.virtual_secs, c.data_bytes
+                    ));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(lines.join("\n"))
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+/// The `--matrix-check` entry point: parses the committed baseline,
+/// re-runs the scenario matrix over the baseline's graphs and machine
+/// count, and fails if any cell's virtual seconds or data bytes
+/// regressed by more than 10% relative. This is the wholesale perf gate
+/// that replaces the per-feature scaling/comm/pipeline checks.
+pub fn matrix_check(baseline_json: &str) -> Result<String, String> {
+    let baseline = parse_matrix_baseline(baseline_json)?;
+    let mut graphs: Vec<&'static str> = Vec::new();
+    for name in baseline.graphs() {
+        let known = DATASETS
+            .iter()
+            .find(|d| d.name == name)
+            .ok_or_else(|| format!("baseline references unknown dataset `{name}`"))?;
+        graphs.push(known.name);
+    }
+    let cells = matrix_study(&graphs, baseline.machines);
+    matrix_check_points(&baseline, &cells, 0.10)
+}
+
+fn render(machines: usize, cells: &[MatrixCell]) -> String {
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.algo.to_string(),
+                c.graph.to_string(),
+                c.policy.to_string(),
+                c.codec.to_string(),
+                c.exchange.to_string(),
+                format!("t{}", c.threads),
+                if c.faults { "chaos" } else { "clean" }.to_string(),
+                format!("{:.4}", c.virtual_secs),
+                c.data_bytes.to_string(),
+                c.edges.to_string(),
+                format!("{:016x}", c.fingerprint),
+            ]
+        })
+        .collect();
+    format!(
+        "{}\n{} cells, {machines} machines. Output fingerprints, edge counts, and\nlogical bytes were asserted bit-identical across policies, exchange\nmodes, thread counts, and fault plans while the sweep ran (the\nadaptive codec may only shrink bytes); every surviving row is a\nperformance datapoint, not a correctness question.\n",
+        table(
+            &[
+                "app", "graph", "system", "codec", "exchange", "threads", "faults", "secs",
+                "bytes", "edges", "fingerprint"
+            ],
+            &rows
+        ),
+        cells.len()
+    )
+}
+
+/// The full scenario matrix as a report (id `matrix`).
+pub fn matrix_report() -> Report {
+    let cells = matrix_study(&MATRIX_GRAPHS, MATRIX_MACHINES);
+    Report::new(
+        "matrix",
+        "Scenario matrix (extension)",
+        render(MATRIX_MACHINES, &cells),
+    )
+}
+
+/// The quick-path smoke: the matrix restricted to the SNAP-loaded
+/// `karate` graph, exercising every workload, policy, and knob variant
+/// (30 cells) plus all the inline invariants in well under a second.
+pub fn matrix_smoke() -> String {
+    let cells = matrix_study(&["karate"], MATRIX_MACHINES);
+    render(MATRIX_MACHINES, &cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn karate_cells() -> Vec<MatrixCell> {
+        matrix_study(&["karate"], 2)
+    }
+
+    #[test]
+    fn karate_matrix_covers_every_knob() {
+        let cells = karate_cells();
+        // 5 algos x (2 policies + 4 variants)
+        assert_eq!(cells.len(), 30);
+        let mut ids: Vec<String> = cells.iter().map(MatrixCell::id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 30, "cell ids must be unique");
+        assert!(cells.iter().any(|c| c.codec == "adaptive"));
+        assert!(cells.iter().any(|c| c.exchange == "bulk"));
+        assert!(cells.iter().any(|c| c.threads == 2));
+        assert!(cells.iter().any(|c| c.faults));
+        assert!(cells.iter().all(|c| c.edges > 0));
+        assert!(cells.iter().all(|c| c.virtual_secs > 0.0));
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_parser() {
+        let cells = karate_cells();
+        let json = matrix_json(2, &cells);
+        let baseline = parse_matrix_baseline(&json).expect("parse back");
+        assert_eq!(baseline.machines, 2);
+        assert_eq!(baseline.cells.len(), cells.len());
+        assert_eq!(baseline.graphs(), ["karate"]);
+        for ((id, secs, bytes), cell) in baseline.cells.iter().zip(&cells) {
+            assert_eq!(*id, cell.id());
+            assert_eq!(*bytes, cell.data_bytes);
+            assert!((secs - cell.virtual_secs).abs() <= 1e-9 * cell.virtual_secs.abs());
+        }
+    }
+
+    #[test]
+    fn matrix_check_flags_regressions_and_missing_cells() {
+        let cells = karate_cells();
+        let json = matrix_json(2, &cells);
+        let clean = parse_matrix_baseline(&json).expect("parse");
+        matrix_check_points(&clean, &cells, 0.10).expect("identical run must pass");
+
+        // Seed a >10% perturbation: pretend the baseline was 20% faster.
+        let mut fast = clean.clone();
+        fast.cells[3].1 /= 1.2;
+        let err = matrix_check_points(&fast, &cells, 0.10).expect_err("must flag the regression");
+        assert!(err.contains("virtual_secs"), "unexpected failure: {err}");
+
+        // A byte regression is caught independently of time.
+        let mut lean = clean.clone();
+        lean.cells[5].2 = (lean.cells[5].2 as f64 / 1.2) as u64;
+        let err = matrix_check_points(&lean, &cells, 0.10).expect_err("must flag byte growth");
+        assert!(err.contains("data_bytes"), "unexpected failure: {err}");
+
+        // Dropping a cell from the current run fails the gate.
+        let mut missing = clean.clone();
+        missing
+            .cells
+            .push(("bogus/karate/symple/flat/pipelined/t1/clean".into(), 1.0, 1));
+        let err = matrix_check_points(&missing, &cells, 0.10).expect_err("must flag missing");
+        assert!(err.contains("missing"), "unexpected failure: {err}");
+
+        // Within-tolerance drift passes.
+        let mut drift = clean.clone();
+        for c in &mut drift.cells {
+            c.1 /= 1.05;
+        }
+        matrix_check_points(&drift, &cells, 0.10).expect("5% drift is within tolerance");
+    }
+
+    #[test]
+    fn unknown_dataset_in_baseline_is_an_error() {
+        let json = r#"{"experiment":"matrix","machines":2,"cells":[{"id":"bfs/nope/symple/flat/pipelined/t1/clean","virtual_secs":1.0,"data_bytes":10}]}"#;
+        let err = matrix_check(json).expect_err("unknown graph must not panic");
+        assert!(err.contains("unknown dataset"));
+    }
+}

@@ -49,7 +49,10 @@ pub use csr::Csr;
 pub use error::{GraphError, Result};
 pub use generators::{barabasi_albert, complete, cycle, erdos_renyi, grid, path, star};
 pub use graph::Graph;
-pub use io::{read_binary, read_edge_list, write_binary, write_edge_list};
+pub use io::{
+    fnv1a64, load_snap, load_snap_cached, read_binary, read_csr_cache, read_edge_list, read_snap,
+    snap_cache_path, write_binary, write_csr_cache, write_edge_list, SnapOptions,
+};
 pub use rmat::{rmat, RmatConfig};
 pub use rng::Rng64;
 pub use stats::{high_degree_vertices, in_degree_histogram, DegreeStats, GraphStats};

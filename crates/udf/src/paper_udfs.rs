@@ -114,10 +114,114 @@ pub fn sampling_udf() -> UdfFn {
     )
 }
 
+/// Big-but-representable "infinity" for the integer relaxation UDFs
+/// (fits `i64` with headroom for one weighted addition).
+const BIG: i64 = 1 << 60;
+
+/// SSSP relaxation signal (scenario-matrix kernel): fold the minimum
+/// relaxed distance `dist[u] + w[u]` over reached in-neighbours into the
+/// carried accumulator `best`, emitting it once at segment end. Min-folds
+/// commute, so there is no early exit — this is the *no-break* carried
+/// shape (pure data dependency, no control dependency).
+///
+/// Properties: `reached: bool`, `dist: int`, `w: int` (the vertex-weight
+/// stand-in for the engine's hash-derived edge weights). Update: the
+/// candidate distance.
+pub fn sssp_udf() -> UdfFn {
+    UdfFn::new(
+        "sssp",
+        Ty::Int,
+        vec![
+            Stmt::let_("best", Ty::Int, Expr::i(BIG)),
+            Stmt::for_neighbors(vec![Stmt::if_(
+                Expr::prop_u("reached").and(
+                    Expr::prop_u("dist")
+                        .add(Expr::prop_u("w"))
+                        .lt(Expr::local("best")),
+                ),
+                vec![Stmt::assign(
+                    "best",
+                    Expr::prop_u("dist").add(Expr::prop_u("w")),
+                )],
+            )]),
+            Stmt::if_(
+                Expr::local("best").lt(Expr::i(BIG)),
+                vec![Stmt::Emit(Expr::local("best"))],
+            ),
+        ],
+    )
+}
+
+/// Connected-components signal (scenario-matrix kernel): track the
+/// minimum label among changed in-neighbours; **break** the moment label
+/// `0` — the global minimum — is seen, since nothing smaller can follow.
+/// The break is the same loop-carried control dependency as BFS's
+/// (Figure 1b), driven by a data value instead of frontier membership.
+///
+/// Properties: `changed: bool`, `label: int`. Update: the minimum label.
+pub fn cc_udf() -> UdfFn {
+    UdfFn::new(
+        "cc",
+        Ty::Int,
+        vec![
+            Stmt::let_("best", Ty::Int, Expr::i(BIG)),
+            Stmt::for_neighbors(vec![Stmt::if_(
+                Expr::prop_u("changed").and(Expr::prop_u("label").lt(Expr::local("best"))),
+                vec![
+                    Stmt::assign("best", Expr::prop_u("label")),
+                    // nothing can undercut label 0: stop scanning; the
+                    // single emit below ships the final minimum
+                    Stmt::if_(Expr::local("best").lt(Expr::i(1)), vec![Stmt::Break]),
+                ],
+            )]),
+            Stmt::if_(
+                Expr::local("best").lt(Expr::i(BIG)),
+                vec![Stmt::Emit(Expr::local("best"))],
+            ),
+        ],
+    )
+}
+
+/// PageRank signal (scenario-matrix kernel): accumulate the fixed-point
+/// out-degree-normalised contributions of the in-neighbours and emit the
+/// partial sum. Integer accumulation keeps the fold order-invariant —
+/// the float version of this exact shape is what lint W005 flags.
+///
+/// Properties: `contrib: int`. Update: the partial contribution sum.
+pub fn pagerank_udf() -> UdfFn {
+    UdfFn::new(
+        "pagerank",
+        Ty::Int,
+        vec![
+            Stmt::let_("acc", Ty::Int, Expr::i(0)),
+            Stmt::for_neighbors(vec![Stmt::assign(
+                "acc",
+                Expr::local("acc").add(Expr::prop_u("contrib")),
+            )]),
+            Stmt::if_(
+                Expr::i(0).lt(Expr::local("acc")),
+                vec![Stmt::Emit(Expr::local("acc"))],
+            ),
+        ],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::pretty;
+
+    #[test]
+    fn matrix_udfs_render() {
+        let ss = pretty(&sssp_udf());
+        assert!(ss.contains("reached[u]"));
+        assert!(ss.contains("dist[u]"));
+        let cc = pretty(&cc_udf());
+        assert!(cc.contains("label[u]"));
+        assert!(cc.contains("break"));
+        let pr = pretty(&pagerank_udf());
+        assert!(pr.contains("contrib[u]"));
+    }
 
     #[test]
     fn udfs_render_their_figures() {

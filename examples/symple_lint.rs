@@ -41,8 +41,9 @@ fn parse_ty(name: &str) -> Option<Ty> {
     })
 }
 
-/// Built-in corpus: the five paper kernels (pretty-printed back to source
-/// so spans exercise the same path as file input) with their schemas.
+/// Built-in corpus: the five paper kernels plus the three scenario-matrix
+/// kernels (SSSP, CC, PageRank), pretty-printed back to source so spans
+/// exercise the same path as file input, with their schemas.
 fn corpus() -> Vec<(String, String, BTreeMap<String, Ty>)> {
     let schema = |entries: &[(&str, Ty)]| -> BTreeMap<String, Ty> {
         entries.iter().map(|(n, t)| (n.to_string(), *t)).collect()
@@ -72,6 +73,21 @@ fn corpus() -> Vec<(String, String, BTreeMap<String, Ty>)> {
             "sampling".to_string(),
             pretty(&paper_udfs::sampling_udf()),
             schema(&[("weight", Ty::Float), ("r", Ty::Float)]),
+        ),
+        (
+            "sssp".to_string(),
+            pretty(&paper_udfs::sssp_udf()),
+            schema(&[("reached", Ty::Bool), ("dist", Ty::Int), ("w", Ty::Int)]),
+        ),
+        (
+            "cc".to_string(),
+            pretty(&paper_udfs::cc_udf()),
+            schema(&[("changed", Ty::Bool), ("label", Ty::Int)]),
+        ),
+        (
+            "pagerank".to_string(),
+            pretty(&paper_udfs::pagerank_udf()),
+            schema(&[("contrib", Ty::Int)]),
         ),
     ]
 }

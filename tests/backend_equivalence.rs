@@ -11,7 +11,7 @@
 //! per-stream order, and every clock advance replays identically.
 
 use proptest::prelude::*;
-use symplegraph::algos::{bfs, kcore, mis};
+use symplegraph::algos::{bfs, cc, kcore, mis, pagerank, sssp};
 use symplegraph::core::{Backend, EngineConfig, FaultPlan, Policy, RunStats};
 use symplegraph::graph::{Graph, GraphBuilder, RmatConfig, Vid};
 
@@ -64,6 +64,21 @@ fn suite_is_bit_identical_across_backends() {
             let (out_t, st_t) = mis(&g, &run(Backend::Thread), 3);
             assert_eq!(out_s, out_t, "mis {label}: outputs diverged");
             assert_logical_eq(&st_s, &st_t, &format!("mis {label}"));
+
+            let (out_s, st_s) = sssp(&g, &run(Backend::Sim), Vid::new(7), 0x5557);
+            let (out_t, st_t) = sssp(&g, &run(Backend::Thread), Vid::new(7), 0x5557);
+            assert_eq!(out_s, out_t, "sssp {label}: outputs diverged");
+            assert_logical_eq(&st_s, &st_t, &format!("sssp {label}"));
+
+            let (out_s, st_s) = cc(&g, &run(Backend::Sim));
+            let (out_t, st_t) = cc(&g, &run(Backend::Thread));
+            assert_eq!(out_s, out_t, "cc {label}: outputs diverged");
+            assert_logical_eq(&st_s, &st_t, &format!("cc {label}"));
+
+            let (out_s, st_s) = pagerank(&g, &run(Backend::Sim), 1_000, 10);
+            let (out_t, st_t) = pagerank(&g, &run(Backend::Thread), 1_000, 10);
+            assert_eq!(out_s, out_t, "pagerank {label}: outputs diverged");
+            assert_logical_eq(&st_s, &st_t, &format!("pagerank {label}"));
         }
     }
 }

@@ -22,7 +22,8 @@
 //!   counts the blocked sweep's balanced lane schedule *is* the modelled
 //!   optimisation and even the Apply amount may differ.
 //!
-//! Covered: the five paper kernels plus the dead-break `bounded` kernel,
+//! Covered: the five paper kernels, the three scenario-matrix kernels
+//! (SSSP, CC, PageRank), and the dead-break `bounded` kernel, under the
 //! SympleGraph and Gemini policies, threads {1, 4, 8}, and a proptest
 //! sweep over randomly generated (checked) UDFs on random graphs.
 
@@ -75,6 +76,35 @@ fn study_props(n: usize) -> PropertyStore {
         "r",
         PropArray::Floats((0..n).map(|i| (i % 13) as f64).collect()),
     );
+    // Scenario-matrix kernel properties (SSSP / CC / PageRank shapes).
+    let mut reached = Bitmap::new(n);
+    let mut changed = Bitmap::new(n);
+    for i in 0..n {
+        if i % 2 == 0 {
+            reached.set(i);
+        }
+        if i % 3 != 1 {
+            changed.set(i);
+        }
+    }
+    props.insert("reached", PropArray::Bools(reached));
+    props.insert("changed", PropArray::Bools(changed));
+    props.insert(
+        "dist",
+        PropArray::Ints((0..n).map(|i| (i * 11 % 23) as i64).collect()),
+    );
+    props.insert(
+        "w",
+        PropArray::Ints((0..n).map(|i| 1 + (i % 8) as i64).collect()),
+    );
+    props.insert(
+        "label",
+        PropArray::Ints((0..n).map(|i| (i * 5 % 19) as i64).collect()),
+    );
+    props.insert(
+        "contrib",
+        PropArray::Ints((0..n).map(|i| (i % 11) as i64).collect()),
+    );
     props
 }
 
@@ -107,6 +137,9 @@ fn kernels() -> Vec<(&'static str, UdfFn)> {
         ("kcore", paper_udfs::kcore_udf(4)),
         ("kmeans", paper_udfs::kmeans_udf()),
         ("sampling", paper_udfs::sampling_udf()),
+        ("sssp", paper_udfs::sssp_udf()),
+        ("cc", paper_udfs::cc_udf()),
+        ("pagerank", paper_udfs::pagerank_udf()),
         ("bounded", bounded_udf()),
     ]
 }
