@@ -112,6 +112,18 @@ step "symple-lint (paper UDFs + scenario-matrix UDFs)"
 # (pretty-printed to source so spans exercise the full parser path);
 # exits nonzero on any error-severity diagnostic.
 cargo run --offline --example symple_lint
+# The corpus legitimately warns (kcore W004, sampling W005/W008, cc
+# W007, ...), so the strict gate must trip on it — an inverted probe
+# that the --deny-warnings plumbing actually gates.
+if cargo run --offline --example symple_lint -- --deny-warnings >/dev/null 2>&1; then
+  echo "ci.sh: symple-lint --deny-warnings failed to gate a warning corpus" >&2
+  exit 1
+fi
+# And --explain must know every code the lint table documents.
+for code in E000 E001 E002 E003 E004 E005 E006 E007 \
+            W001 W002 W003 W004 W005 W006 W007 W008; do
+  cargo run --offline --example symple_lint -- --explain "$code" >/dev/null
+done
 
 step "rustfmt"
 cargo fmt --check

@@ -2316,6 +2316,18 @@ pub struct UdfPoint {
     pub naive_dep_msgs: u64,
     /// Measured dependency messages, minimized instrumentation.
     pub min_dep_msgs: u64,
+    /// Measured dependency bytes, minimized instrumentation under the
+    /// certificate-narrowed wire encoding (`DepWidth::Certified`).
+    pub cert_dep_bytes: u64,
+    /// Measured dependency messages under the narrowed encoding (must
+    /// equal `min_dep_msgs`: narrowing never changes the message flow).
+    pub cert_dep_msgs: u64,
+    /// Whether the certificate proves the full latch (`skip_latch` and
+    /// `stable_breaks`), i.e. certified early-exit needs no audit.
+    pub latch_certified: bool,
+    /// Segments skipped by the dependency latch (the certified
+    /// early-exit fast path's hit count; identical across encodings).
+    pub skipped_segments: u64,
 }
 
 fn dep_kind_label(kind: symple_udf::DepKind) -> &'static str {
@@ -2331,7 +2343,7 @@ fn dep_kind_label(kind: symple_udf::DepKind) -> &'static str {
 /// controls break density for the BFS kernel — the carried-state study
 /// uses 5 (frequent breaks), the dispatch microbench 64 (most signal
 /// calls scan their whole neighbour list).
-fn study_props(n: usize, frontier_stride: usize) -> symple_udf::PropertyStore {
+pub(crate) fn study_props(n: usize, frontier_stride: usize) -> symple_udf::PropertyStore {
     use symple_graph::Bitmap;
     use symple_udf::{PropArray, PropertyStore};
     let mut props = PropertyStore::new();
@@ -2426,11 +2438,11 @@ pub fn udf_study(scale: u32) -> Vec<UdfPoint> {
     for (kernel, udf) in &kernels {
         let min = instrument(udf).expect("minimized instrumentation");
         let naive = instrument_naive(udf).expect("naive instrumentation");
-        let run = |inst: &symple_udf::InstrumentedUdf| {
+        let run = |inst: &symple_udf::InstrumentedUdf, width: symple_core::DepWidth| {
             let policy = effective_policy(&inst.info, Policy::symple_basic());
-            let engine = EngineConfig::new(4, policy).threads(2);
+            let engine = EngineConfig::new(4, policy).threads(2).dep_width(width);
             let res = symple_core::run_spmd(&graph, &engine, |w| {
-                let prog = UdfProgram::new(inst, &props);
+                let prog = UdfProgram::new(inst, &props).dep_width(width);
                 let mut dep = prog.make_dep(w.dep_slots_needed());
                 let mut acc: Vec<(u64, u64)> = vec![(0, 0); n];
                 let mut apply = |v: Vid, bits: u64| -> bool {
@@ -2444,16 +2456,28 @@ pub fn udf_study(scale: u32) -> Vec<UdfPoint> {
             });
             (res.outputs, res.stats)
         };
-        let (out_min, stats_min) = run(&min);
-        let (out_naive, stats_naive) = run(&naive);
+        // Naive and minimized both measured at the wide (PR 5) encoding
+        // so the minimization ratio stays comparable across revisions;
+        // the certificate-narrowed run rides on top of minimized.
+        let (out_min, stats_min) = run(&min, symple_core::DepWidth::Wide);
+        let (out_naive, stats_naive) = run(&naive, symple_core::DepWidth::Wide);
+        let (out_cert, stats_cert) = run(&min, symple_core::DepWidth::Certified);
         assert_eq!(
             out_min, out_naive,
             "udf {kernel}: minimization changed the outputs"
         );
         assert_eq!(
+            out_cert, out_min,
+            "udf {kernel}: certified narrowing changed the outputs"
+        );
+        assert_eq!(
             stats_min.work.edges_traversed(),
             stats_naive.work.edges_traversed(),
             "udf {kernel}: minimization changed the work"
+        );
+        assert_eq!(
+            stats_cert.work, stats_min.work,
+            "udf {kernel}: certified narrowing changed the work counters"
         );
         assert_eq!(
             stats_min.work.skipped_by_dep(),
@@ -2462,10 +2486,26 @@ pub fn udf_study(scale: u32) -> Vec<UdfPoint> {
         );
         let min_dep_bytes = stats_min.comm.bytes(CommKind::Dependency);
         let naive_dep_bytes = stats_naive.comm.bytes(CommKind::Dependency);
+        let cert_dep_bytes = stats_cert.comm.bytes(CommKind::Dependency);
         assert!(
             min_dep_bytes <= naive_dep_bytes,
             "udf {kernel}: minimization grew dependency traffic"
         );
+        assert!(
+            cert_dep_bytes <= min_dep_bytes,
+            "udf {kernel}: certified narrowing grew dependency traffic"
+        );
+        // The two kernels whose certificates bite: K-core's counter is
+        // certified to [0, k] (one byte instead of eight) and sampling's
+        // structural latch elides its float payload. Both must shrink
+        // strictly on top of PR 5's minimized encoding.
+        if matches!(*kernel, "kcore" | "sampling") {
+            assert!(
+                cert_dep_bytes < min_dep_bytes,
+                "udf {kernel}: certificate produced no byte win \
+                 ({cert_dep_bytes} vs {min_dep_bytes})"
+            );
+        }
         points.push(UdfPoint {
             kernel,
             naive_kind: dep_kind_label(naive.info.kind),
@@ -2478,6 +2518,10 @@ pub fn udf_study(scale: u32) -> Vec<UdfPoint> {
             min_dep_bytes,
             naive_dep_msgs: stats_naive.comm.messages(CommKind::Dependency),
             min_dep_msgs: stats_min.comm.messages(CommKind::Dependency),
+            cert_dep_bytes,
+            cert_dep_msgs: stats_cert.comm.messages(CommKind::Dependency),
+            latch_certified: min.info.cert.latches(),
+            skipped_segments: stats_min.work.skipped_by_dep(),
         });
     }
     points
@@ -2493,10 +2537,14 @@ pub fn udf_json(scale: u32, points: &[UdfPoint]) -> String {
     w.key("scale").u64(u64::from(scale));
     w.key("note").string(
         "naive = syntactic dependency analysis; min = CFG/dataflow \
-         minimization. Outputs and work counters are asserted bit-identical; \
-         block_bytes = UdfDep wire bytes for one 64-vertex block; dep_bytes/\
+         minimization; certified = min re-encoded under the abstract-\
+         interpretation DepCertificate (value-range width narrowing + \
+         structural-latch payload elision). Outputs and work counters are \
+         asserted bit-identical across all three; block_bytes = UdfDep wire \
+         bytes for one 64-vertex block at the wide encoding; dep_bytes/\
          dep_msgs are measured engine dependency traffic under the effective \
-         policy for each instrumentation",
+         policy for each instrumentation; skipped_segments is the certified \
+         early-exit fast path's hit count",
     );
     w.key("kernels").begin_array();
     for p in points {
@@ -2516,8 +2564,16 @@ pub fn udf_json(scale: u32, points: &[UdfPoint]) -> String {
         w.key("dep_bytes").u64(p.min_dep_bytes);
         w.key("dep_msgs").u64(p.min_dep_msgs);
         w.end_object();
+        w.key("certified").begin_object();
+        w.key("dep_bytes").u64(p.cert_dep_bytes);
+        w.key("dep_msgs").u64(p.cert_dep_msgs);
+        w.key("latch_certified").bool(p.latch_certified);
+        w.end_object();
         w.key("byte_ratio")
             .f64(p.min_dep_bytes as f64 / p.naive_dep_bytes.max(1) as f64);
+        w.key("certified_ratio")
+            .f64(p.cert_dep_bytes as f64 / p.min_dep_bytes.max(1) as f64);
+        w.key("skipped_segments").u64(p.skipped_segments);
         w.end_object();
     }
     w.end_array();
@@ -2537,6 +2593,14 @@ pub fn udf_report() -> Report {
         points.iter().any(|p| p.min_dep_bytes < p.naive_dep_bytes),
         "at least one kernel must strictly shrink"
     );
+    assert!(
+        points.iter().all(|p| p.cert_dep_bytes <= p.min_dep_bytes),
+        "certified dependency traffic must never exceed minimized"
+    );
+    assert!(
+        points.iter().all(|p| p.cert_dep_msgs == p.min_dep_msgs),
+        "certified narrowing must not change the message flow"
+    );
     let rows = points
         .iter()
         .map(|p| {
@@ -2547,15 +2611,22 @@ pub fn udf_report() -> Report {
                 format!("{}→{}", p.naive_block_bytes, p.min_block_bytes),
                 p.naive_dep_bytes.to_string(),
                 p.min_dep_bytes.to_string(),
+                p.cert_dep_bytes.to_string(),
                 format!(
                     "{:.3}",
                     p.min_dep_bytes as f64 / p.naive_dep_bytes.max(1) as f64
                 ),
+                format!(
+                    "{:.3}",
+                    p.cert_dep_bytes as f64 / p.min_dep_bytes.max(1) as f64
+                ),
+                if p.latch_certified { "yes" } else { "audit" }.to_string(),
+                p.skipped_segments.to_string(),
             ]
         })
         .collect::<Vec<_>>();
     let text = format!(
-        "{}\nCarried-state minimization (static analysis over the UDF CFG) vs the\nnaive syntactic analysis, RMAT scale {scale}, 4 machines, symple_basic\npolicy. Outputs and work counters are asserted bit-identical per kernel;\nonly the dependency payload shrinks. `bounded` has a provably-unreachable\nbreak: the dependency is eliminated outright and zero dependency messages\nare sent. See BENCH_udf.json for the raw grid.\n",
+        "{}\nCarried-state minimization (static analysis over the UDF CFG) vs the\nnaive syntactic analysis, RMAT scale {scale}, 4 machines, symple_basic\npolicy, plus the abstract-interpretation certificate re-encoding the\nminimized payload (value-range width narrowing and structural-latch\nelision; `cert B`/`c-ratio`). Outputs and work counters are asserted\nbit-identical per kernel; only the dependency payload shrinks. `latch` =\nwhether certified early-exit trusts the skip bit outright (`audit` =\nnon-monotone break, skipped segments re-checked under `Evaluate`);\n`skipped` is the early-exit fast path's hit count. `bounded` has a\nprovably-unreachable break: the dependency is eliminated outright and\nzero dependency messages are sent. See BENCH_udf.json for the raw grid.\n",
         table(
             &[
                 "kernel",
@@ -2564,7 +2635,11 @@ pub fn udf_report() -> Report {
                 "block B",
                 "naive dep B",
                 "min dep B",
-                "ratio"
+                "cert B",
+                "ratio",
+                "c-ratio",
+                "latch",
+                "skipped"
             ],
             &rows
         )

@@ -19,6 +19,13 @@
 //!   base cell's logical bytes (the adaptive codec is the one knob
 //!   *allowed* to change bytes — that is its purpose).
 //!
+//! Two UDF-driven workloads (`kcore-udf`, `sampling-udf`) ride along
+//! with a wide base cell and a `certified-width` variant cell: the
+//! abstract-interpretation certificate narrows the dependency wire, so
+//! the variant must reproduce the base outputs and edges bit for bit
+//! while *strictly* shrinking bytes — and the committed baseline then
+//! holds the narrowed bytes under the same 10% regression gate.
+//!
 //! The sweep serializes to `BENCH_matrix.json`, and [`matrix_check`]
 //! replays a committed baseline wholesale: every cell is re-measured
 //! and fails the gate if its virtual seconds or data bytes regress by
@@ -27,17 +34,24 @@
 
 use crate::datasets::{dataset, DATASETS};
 use crate::experiments::{
-    bfs_roots, cfg, model_for, Report, PAGERANK_ITERS, PAGERANK_TOL, SSSP_SEED,
+    bfs_roots, cfg, model_for, study_props, Report, PAGERANK_ITERS, PAGERANK_TOL, SSSP_SEED,
 };
 use crate::fmt::table;
 use symple_algos::{bfs, cc, kcore, pagerank, sssp};
-use symple_core::{EngineConfig, Exchange, FaultPlan, Policy, RunStats};
-use symple_graph::{fnv1a64, Graph};
+use symple_core::{DepWidth, EngineConfig, Exchange, FaultPlan, Policy, RunStats};
+use symple_graph::{fnv1a64, Graph, Vid};
 use symple_net::{CostModel, WireCodec};
 
 /// Matrix workloads: paper kernels (BFS, K-core) next to the three
 /// scenario-matrix kernels (SSSP, CC, PageRank).
 pub const MATRIX_ALGOS: [&str; 5] = ["bfs", "kcore", "sssp", "cc", "pagerank"];
+
+/// UDF-driven matrix workloads: the instrumented kernels whose
+/// certificates actually narrow the dependency wire (K-core's counter
+/// fits one byte; sampling's latch elides its float payload). Each gets
+/// a wide base cell plus a `certified-width` variant cell so the
+/// `--matrix-check` gate guards the narrowed-encoding bytes.
+pub const MATRIX_UDF_ALGOS: [&str; 2] = ["kcore-udf", "sampling-udf"];
 
 /// Graphs of the full matrix: the R-MAT Table-1 stand-in plus the real
 /// SNAP-loaded dataset.
@@ -156,6 +170,41 @@ fn run_cell(algo: &str, g: &Graph, config: &EngineConfig) -> (u64, RunStats) {
         }
         other => panic!("unknown matrix workload `{other}`"),
     }
+}
+
+/// Runs one UDF matrix workload (an instrumented paper kernel on the
+/// engine, per-vertex update counters as the output) and returns
+/// `(output fingerprint, stats)`. `config.dep_width` selects the wide
+/// vs certificate-narrowed dependency encoding.
+fn run_udf_cell(algo: &str, g: &Graph, config: &EngineConfig) -> (u64, RunStats) {
+    use symple_udf::{instrument, paper_udfs, UdfProgram};
+    let udf = match algo {
+        "kcore-udf" => paper_udfs::kcore_udf(KCORE_K.into()),
+        "sampling-udf" => paper_udfs::sampling_udf(),
+        other => panic!("unknown UDF matrix workload `{other}`"),
+    };
+    let inst = instrument(&udf).expect("instrumentation");
+    let n = g.num_vertices();
+    let props = study_props(n, 5);
+    let res = symple_core::run_spmd(g, config, |w| {
+        let prog = UdfProgram::new(&inst, &props)
+            .exec(config.udf_exec)
+            .dep_width(config.dep_width);
+        let mut dep = prog.make_dep(w.dep_slots_needed());
+        let mut acc: Vec<u64> = vec![0; n * 2];
+        let mut apply = |v: Vid, bits: u64| -> bool {
+            acc[v.index() * 2] += 1;
+            acc[v.index() * 2 + 1] = acc[v.index() * 2 + 1].wrapping_add(bits);
+            false
+        };
+        w.pull(&prog, &mut dep, &mut apply);
+        acc
+    });
+    let mut buf = Vec::new();
+    for machine in &res.outputs {
+        buf.extend_from_slice(machine);
+    }
+    (fp_u64s(&buf), res.stats)
 }
 
 /// The knob half of a cell id: everything except the workload pair.
@@ -302,6 +351,67 @@ pub fn matrix_study(graphs: &[&'static str], machines: usize) -> Vec<MatrixCell>
                 }
                 cells.push(cell);
             }
+        }
+
+        // UDF workloads: wide base cell vs `certified-width` variant.
+        // The certificate only re-encodes the dependency wire, so the
+        // variant must reproduce the base cell's outputs and work bit
+        // for bit while strictly shrinking its bytes — exactly the
+        // surface the `--matrix-check` gate then guards.
+        for algo in MATRIX_UDF_ALGOS {
+            let policy = Policy::symple_basic();
+            let wide_cfg = cfg(machines, policy, cost).dep_width(DepWidth::Wide);
+            let (wide_fp, wide_stats) = run_udf_cell(algo, g, &wide_cfg);
+            let wide = cell_from(algo, graph_name, BASE_KNOBS, wide_fp, &wide_stats);
+            let (wide_edges, wide_bytes) = (wide.edges, wide.data_bytes);
+            cells.push(wide);
+
+            let cert_cfg = cfg(machines, policy, cost).dep_width(DepWidth::Certified);
+            let (cert_fp, cert_stats) = run_udf_cell(algo, g, &cert_cfg);
+            let cert = cell_from(
+                algo,
+                graph_name,
+                Knobs {
+                    codec: "certified-width",
+                    ..BASE_KNOBS
+                },
+                cert_fp,
+                &cert_stats,
+            );
+            assert_eq!(
+                cert_fp,
+                wide_fp,
+                "{}: output fingerprint diverged from the wide cell",
+                cert.id()
+            );
+            assert_eq!(
+                cert.edges,
+                wide_edges,
+                "{}: edge traversals diverged from the wide cell",
+                cert.id()
+            );
+            assert!(
+                cert.data_bytes <= wide_bytes,
+                "{}: certified-width encoding grew the wire ({} vs {} bytes)",
+                cert.id(),
+                cert.data_bytes,
+                wide_bytes
+            );
+            // K-core's counter narrows 8 → 1 bytes, so any dependency
+            // traffic shrinks strictly. Sampling's float stays 8 bytes
+            // wide — its win is latch elision, which by construction
+            // only removes payload where a segment actually latched.
+            if algo == "kcore-udf" || wide_stats.work.skipped_by_dep() > 0 {
+                assert!(
+                    cert.data_bytes < wide_bytes,
+                    "{}: certified-width encoding did not shrink the wire \
+                     ({} vs {} bytes)",
+                    cert.id(),
+                    cert.data_bytes,
+                    wide_bytes
+                );
+            }
+            cells.push(cert);
         }
     }
     cells
@@ -509,7 +619,8 @@ pub fn matrix_report() -> Report {
 
 /// The quick-path smoke: the matrix restricted to the SNAP-loaded
 /// `karate` graph, exercising every workload, policy, and knob variant
-/// (30 cells) plus all the inline invariants in well under a second.
+/// (34 cells, including the UDF `certified-width` pairs) plus all the
+/// inline invariants in well under a second.
 pub fn matrix_smoke() -> String {
     let cells = matrix_study(&["karate"], MATRIX_MACHINES);
     render(MATRIX_MACHINES, &cells)
@@ -526,18 +637,43 @@ mod tests {
     #[test]
     fn karate_matrix_covers_every_knob() {
         let cells = karate_cells();
-        // 5 algos x (2 policies + 4 variants)
-        assert_eq!(cells.len(), 30);
+        // 5 algos x (2 policies + 4 variants) + 2 UDF algos x 2 widths
+        assert_eq!(cells.len(), 34);
         let mut ids: Vec<String> = cells.iter().map(MatrixCell::id).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 30, "cell ids must be unique");
+        assert_eq!(ids.len(), 34, "cell ids must be unique");
         assert!(cells.iter().any(|c| c.codec == "adaptive"));
         assert!(cells.iter().any(|c| c.exchange == "bulk"));
         assert!(cells.iter().any(|c| c.threads == 2));
         assert!(cells.iter().any(|c| c.faults));
         assert!(cells.iter().all(|c| c.edges > 0));
         assert!(cells.iter().all(|c| c.virtual_secs > 0.0));
+        // The certified-width pairs made it in, one per UDF workload.
+        // K-core narrows its counter and must shrink strictly even on
+        // karate; sampling's elision has nothing to elide on a graph
+        // where no segment latches, so it only must not grow.
+        for algo in MATRIX_UDF_ALGOS {
+            let wide = cells
+                .iter()
+                .find(|c| c.algo == algo && c.codec == "flat")
+                .expect("wide UDF cell");
+            let cert = cells
+                .iter()
+                .find(|c| c.algo == algo && c.codec == "certified-width")
+                .expect("certified UDF cell");
+            assert!(cert.data_bytes <= wide.data_bytes, "{algo}: bytes grew");
+            assert_eq!(cert.fingerprint, wide.fingerprint);
+        }
+        let kcore_wide = cells
+            .iter()
+            .find(|c| c.algo == "kcore-udf" && c.codec == "flat")
+            .unwrap();
+        let kcore_cert = cells
+            .iter()
+            .find(|c| c.algo == "kcore-udf" && c.codec == "certified-width")
+            .unwrap();
+        assert!(kcore_cert.data_bytes < kcore_wide.data_bytes, "no byte win");
     }
 
     #[test]

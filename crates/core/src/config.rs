@@ -245,6 +245,102 @@ impl std::str::FromStr for Exchange {
     }
 }
 
+/// How carried dependency values are sized on the wire.
+///
+/// Outputs, `WorkStats`, and `CommStats` are bit-identical between the
+/// two modes — the certificate proves every value round-trips exactly
+/// through the narrowed encoding — but dependency wire bytes (and the
+/// virtual time they cost) shrink under `Certified`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DepWidth {
+    /// Eight bytes per carried value regardless of its proven range (the
+    /// seed layout, kept as the reference the narrowed path is validated
+    /// against).
+    Wide,
+    /// Use the abstract-interpretation certificate: each carried value
+    /// ships in the narrowest width its proven range fits (1/2/4/8
+    /// bytes), and slots whose skip bit provably latches omit their dead
+    /// values entirely.
+    #[default]
+    Certified,
+}
+
+impl DepWidth {
+    /// Stable lower-case name (used in bench reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            DepWidth::Wide => "wide",
+            DepWidth::Certified => "certified",
+        }
+    }
+}
+
+impl fmt::Display for DepWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for DepWidth {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "wide" => Ok(DepWidth::Wide),
+            "certified" => Ok(DepWidth::Certified),
+            other => Err(format!("unknown dep width `{other}` (wide|certified)")),
+        }
+    }
+}
+
+/// What the high-degree pass does with a segment whose dependency slot
+/// says "skip".
+///
+/// Outputs, `WorkStats`, and `CommStats` are bit-identical between the
+/// two modes, and so is virtual time: the skip-bit check was always the
+/// charged work. `Evaluate` re-runs the skipped segment's UDF under a
+/// no-emission harness and asserts it changes nothing — the dynamic
+/// audit of the certificate's latch proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EarlyExit {
+    /// Re-evaluate skipped segments defensively and assert the latch
+    /// held (the audit mode; costs host wall time only).
+    Evaluate,
+    /// Trust certificates that prove the break latches and skip the
+    /// segment without re-evaluation; programs without a latch proof
+    /// still fall back to auditing in this mode.
+    #[default]
+    Certified,
+}
+
+impl EarlyExit {
+    /// Stable lower-case name (used in bench reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            EarlyExit::Evaluate => "evaluate",
+            EarlyExit::Certified => "certified",
+        }
+    }
+}
+
+impl fmt::Display for EarlyExit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for EarlyExit {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "evaluate" => Ok(EarlyExit::Evaluate),
+            "certified" => Ok(EarlyExit::Certified),
+            other => Err(format!(
+                "unknown early-exit mode `{other}` (evaluate|certified)"
+            )),
+        }
+    }
+}
+
 /// Configuration for a distributed run.
 ///
 /// # Example
@@ -328,6 +424,16 @@ pub struct EngineConfig {
     /// `Bulk`). Payloads at most this size ship as a single frame, making
     /// the two modes physically identical for small messages.
     pub exchange_chunk: usize,
+    /// Wire sizing for carried dependency values: `Certified` (narrowed
+    /// to the abstract-interpretation certificate's proven widths, the
+    /// default) or `Wide` (the seed's 8-bytes-per-value reference
+    /// layout). Outputs and `WorkStats` are bit-identical either way.
+    pub dep_width: DepWidth,
+    /// Skipped-segment handling: `Certified` (trust latch certificates,
+    /// the default) or `Evaluate` (re-run skipped segments and assert the
+    /// latch held). Outputs, `WorkStats`, and virtual time are
+    /// bit-identical either way.
+    pub early_exit: EarlyExit,
 }
 
 impl EngineConfig {
@@ -353,6 +459,8 @@ impl EngineConfig {
             apply_block: 1024,
             exchange: Exchange::Pipelined,
             exchange_chunk: 16 * 1024,
+            dep_width: DepWidth::Certified,
+            early_exit: EarlyExit::Certified,
         }
     }
 
@@ -443,6 +551,18 @@ impl EngineConfig {
     /// Sets the pipelined exchange's frame size in bytes.
     pub fn exchange_chunk(mut self, bytes: usize) -> Self {
         self.exchange_chunk = bytes;
+        self
+    }
+
+    /// Sets the dependency wire width mode (wide vs certified).
+    pub fn dep_width(mut self, width: DepWidth) -> Self {
+        self.dep_width = width;
+        self
+    }
+
+    /// Sets the skipped-segment handling (evaluate vs certified).
+    pub fn early_exit(mut self, mode: EarlyExit) -> Self {
+        self.early_exit = mode;
         self
     }
 
@@ -688,6 +808,29 @@ mod tests {
         assert!("fancy".parse::<Exchange>().is_err());
         assert_eq!(Exchange::Bulk.to_string(), "bulk");
         assert_eq!(Exchange::default(), Exchange::Pipelined);
+    }
+
+    #[test]
+    fn certificate_knobs_default_to_certified() {
+        let cfg = EngineConfig::new(4, Policy::symple());
+        assert_eq!(cfg.dep_width, DepWidth::Certified);
+        assert_eq!(cfg.early_exit, EarlyExit::Certified);
+        let cfg = cfg
+            .dep_width(DepWidth::Wide)
+            .early_exit(EarlyExit::Evaluate);
+        assert_eq!(cfg.dep_width, DepWidth::Wide);
+        assert_eq!(cfg.early_exit, EarlyExit::Evaluate);
+        assert_eq!(cfg.validate(), Ok(()));
+        assert_eq!("wide".parse::<DepWidth>(), Ok(DepWidth::Wide));
+        assert_eq!("certified".parse::<DepWidth>(), Ok(DepWidth::Certified));
+        assert!("fancy".parse::<DepWidth>().is_err());
+        assert_eq!("evaluate".parse::<EarlyExit>(), Ok(EarlyExit::Evaluate));
+        assert_eq!("certified".parse::<EarlyExit>(), Ok(EarlyExit::Certified));
+        assert!("fancy".parse::<EarlyExit>().is_err());
+        assert_eq!(DepWidth::Wide.to_string(), "wide");
+        assert_eq!(EarlyExit::Evaluate.to_string(), "evaluate");
+        assert_eq!(DepWidth::default(), DepWidth::Certified);
+        assert_eq!(EarlyExit::default(), EarlyExit::Certified);
     }
 
     #[test]

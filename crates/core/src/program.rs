@@ -65,6 +65,25 @@ pub trait PullProgram: Sync {
     /// frontier predicate — e.g. "not yet visited" for bottom-up BFS.)
     fn dense_active(&self, v: Vid) -> bool;
 
+    /// Does [`PullProgram::signal`] begin with a skip-bit guard that
+    /// returns before any observable work? Hand-written programs check
+    /// `dep.should_skip` themselves (and so never need the executor's
+    /// skip branch audited); instrumented UDFs rely on the injected
+    /// receive guard and report `true` here.
+    fn guards_skip(&self) -> bool {
+        false
+    }
+
+    /// Is "skip" a proven latch — once set for a slot, re-running the
+    /// segment provably changes nothing? Defaults to `true` (a local
+    /// break is structurally permanent for every built-in dependency
+    /// state); instrumented UDFs answer from their abstract-interpretation
+    /// certificate. When `false` the executor's `EarlyExit::Certified`
+    /// fast path falls back to the auditing re-evaluation.
+    fn certified_latch(&self) -> bool {
+        true
+    }
+
     /// Process the local in-neighbour segment `srcs` of vertex `v`.
     ///
     /// `dep`/`slot` give access to `v`'s dependency state: read carried

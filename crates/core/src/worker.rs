@@ -28,8 +28,8 @@
 use crate::circulant::{dst_partition, processing_order};
 use crate::par::{self, ParCfg, PassOutput};
 use crate::{
-    ApplyLayout, CacheBlocks, DepLayout, DepState, EngineConfig, LocalGraph, Partition, Policy,
-    PullProgram, PushProgram, WorkMetric, WorkStats,
+    ApplyLayout, CacheBlocks, DepLayout, DepState, EarlyExit, EngineConfig, LocalGraph, Partition,
+    Policy, PullProgram, PushProgram, WorkMetric, WorkStats,
 };
 use std::ops::Range;
 use std::time::Instant;
@@ -517,6 +517,7 @@ impl<'a> Worker<'a> {
         ParCfg {
             threads: self.cfg.threads,
             chunk: self.cfg.chunk_size,
+            evaluate_skipped: self.cfg.early_exit == EarlyExit::Evaluate,
         }
     }
 

@@ -30,6 +30,7 @@
 use std::collections::BTreeSet;
 
 use crate::ast::{Expr, Stmt, UdfFn};
+use crate::certificate::DepCertificate;
 use crate::cfg::Cfg;
 use crate::dataflow::{const_eval, solve, Const, ConstProp, Liveness, ReachingDefs};
 use crate::types::{Ty, Value};
@@ -60,6 +61,12 @@ pub struct DepInfo {
     /// Breaks the dataflow analysis could not prove unreachable. When this
     /// is zero the dependency is dead and `kind` is [`DepKind::None`].
     pub reachable_breaks: usize,
+    /// Abstract-interpretation certificate: value ranges and
+    /// monotonicity/latch facts for the carried locals ([`crate::absint`]).
+    /// [`analyze`] attaches real inferred facts; [`analyze_naive`] attaches
+    /// the inert wide certificate so naive instrumentation keeps the
+    /// uncertified wire format.
+    pub cert: DepCertificate,
 }
 
 impl DepInfo {
@@ -74,6 +81,7 @@ impl DepInfo {
             carried: Vec::new(),
             breaks,
             reachable_breaks: 0,
+            cert: DepCertificate::default(),
         }
     }
 }
@@ -199,6 +207,13 @@ pub fn analyze(udf: &UdfFn) -> Result<DepInfo, UdfError> {
         return Ok(DepInfo::none(naive.breaks));
     }
 
+    // Abstract interpretation over the minimized carried set: value
+    // ranges for width-narrowed wire encoding and monotonicity/latch
+    // facts for certified early-exit. The minimized instrumentation
+    // guards the body with an early-returning skip check, so the
+    // structural latch holds.
+    let cert = crate::absint::certify(udf, &carried, &[], true);
+
     Ok(DepInfo {
         kind: if carried.is_empty() {
             DepKind::Control
@@ -208,6 +223,7 @@ pub fn analyze(udf: &UdfFn) -> Result<DepInfo, UdfError> {
         carried,
         breaks: naive.breaks,
         reachable_breaks,
+        cert,
     })
 }
 
@@ -271,6 +287,7 @@ pub fn analyze_naive(udf: &UdfFn) -> Result<DepInfo, UdfError> {
         } else {
             DepKind::Data
         },
+        cert: DepCertificate::wide(&carried),
         carried,
         breaks,
         reachable_breaks: breaks,
@@ -585,6 +602,7 @@ mod tests {
             carried: Vec::new(),
             breaks: 1,
             reachable_breaks: 1,
+            cert: DepCertificate::default(),
         };
         assert_eq!(effective_policy(&live, Policy::symple()), Policy::symple());
     }

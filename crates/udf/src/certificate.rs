@@ -1,0 +1,392 @@
+//! Serializable dependency certificates.
+//!
+//! The abstract-interpretation layer ([`crate::absint`]) proves two kinds of
+//! facts about an instrumented UDF and records them here, attached to
+//! [`crate::DepInfo`]:
+//!
+//! * a **value range** per carried local (interval domain with widening),
+//!   which lets the wire encoding ship certified-narrow values — a k-core
+//!   counter proven to stay in `[0, k]` travels as one byte instead of
+//!   eight;
+//! * a **monotonicity/latch** fact — "once the break condition triggers it
+//!   stays triggered for the rest of the neighbour loop" — which justifies
+//!   the engine's certified early-exit: a machine that has locally latched
+//!   the break never re-evaluates the segment for that vertex.
+//!
+//! Certificates are plain data with a versioned byte encoding (the engine
+//! ships them alongside programs in tests and tooling; there is no serde
+//! dependency). Soundness is checked dynamically in debug builds: the
+//! dependency state asserts every concrete carried value it observes stays
+//! inside the certified interval.
+
+use crate::types::Ty;
+use std::fmt;
+
+/// Inferred value range of a carried local.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueRange {
+    /// Proven to stay within `[lo, hi]` (inclusive, over the value's
+    /// integer image: bools as 0/1, vertex ids as their raw index).
+    Interval {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// Nothing narrower than the type's full range could be proven
+    /// (floats are always unbounded — the interval domain tracks only
+    /// integer-like values).
+    Unbounded,
+}
+
+impl ValueRange {
+    /// Whether the concrete integer image `x` is inside the range.
+    pub fn contains(&self, x: i64) -> bool {
+        match *self {
+            ValueRange::Interval { lo, hi } => lo <= x && x <= hi,
+            ValueRange::Unbounded => true,
+        }
+    }
+}
+
+impl fmt::Display for ValueRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueRange::Interval { lo, hi } => write!(f, "[{lo}, {hi}]"),
+            ValueRange::Unbounded => f.write_str("unbounded"),
+        }
+    }
+}
+
+/// Direction of change of a carried local across neighbour-loop
+/// iterations, as proven by the monotonicity domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Monotonicity {
+    /// Never reassigned inside the loop.
+    Constant,
+    /// Every loop assignment can only increase the value.
+    NonDecreasing,
+    /// Every loop assignment can only decrease the value.
+    NonIncreasing,
+    /// No direction could be proven.
+    Unknown,
+}
+
+impl fmt::Display for Monotonicity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Monotonicity::Constant => "constant",
+            Monotonicity::NonDecreasing => "non-decreasing",
+            Monotonicity::NonIncreasing => "non-increasing",
+            Monotonicity::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Certificate entry for one carried local, in the same order as
+/// [`crate::DepInfo::carried`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarriedCert {
+    /// Local variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Ty,
+    /// Proven value range.
+    pub range: ValueRange,
+    /// Certified wire width in bytes (1, 2, 4 or 8): the narrowest
+    /// little-endian encoding the range provably fits. Integers
+    /// sign-extend on decode; bools and vertex ids zero-extend.
+    pub width: u8,
+    /// Proven monotonicity across loop iterations.
+    pub mono: Monotonicity,
+}
+
+/// The dependency certificate emitted by [`crate::absint::certify`] and
+/// attached to [`crate::DepInfo`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DepCertificate {
+    /// Per-carried-local facts, index-aligned with `DepInfo::carried`.
+    pub carried: Vec<CarriedCert>,
+    /// Structural latch: the instrumented program's receive guard returns
+    /// before any observable work when the skip bit is set, so a latched
+    /// segment can be skipped without re-running it. True for the
+    /// analyzer's minimized instrumentation, false for naive
+    /// instrumentation (kept inert so naive measurements match the
+    /// uncertified baseline).
+    pub skip_latch: bool,
+    /// Every reachable break condition is proven monotone-toward-true:
+    /// once it triggers, re-scanning the remaining neighbours would
+    /// trigger it again. Vacuously true when there are no reachable
+    /// breaks.
+    pub stable_breaks: bool,
+}
+
+/// Narrowest byte width that provably holds every value of `range` at
+/// type `ty`. Bools are one byte and vertex ids four regardless of the
+/// range (their types bound them); floats are always eight; integers
+/// narrow to the smallest signed width the interval fits.
+pub fn width_for(ty: Ty, range: ValueRange) -> u8 {
+    match ty {
+        Ty::Bool => 1,
+        Ty::Vertex => 4,
+        Ty::Float => 8,
+        Ty::Int => match range {
+            ValueRange::Unbounded => 8,
+            ValueRange::Interval { lo, hi } => {
+                for w in [1u8, 2, 4] {
+                    let min = -(1i64 << (8 * w - 1));
+                    let max = (1i64 << (8 * w - 1)) - 1;
+                    if lo >= min && hi <= max {
+                        return w;
+                    }
+                }
+                8
+            }
+        },
+    }
+}
+
+impl DepCertificate {
+    /// The inert certificate: nothing proven, everything ships at the
+    /// full eight-byte width. Byte-for-byte this reproduces the
+    /// pre-certificate wire format, so naive instrumentation (which gets
+    /// this) measures identically to the uncertified engine.
+    pub fn wide(carried: &[(String, Ty)]) -> Self {
+        DepCertificate {
+            carried: carried
+                .iter()
+                .map(|(name, ty)| CarriedCert {
+                    name: name.clone(),
+                    ty: *ty,
+                    range: ValueRange::Unbounded,
+                    width: 8,
+                    mono: Monotonicity::Unknown,
+                })
+                .collect(),
+            skip_latch: false,
+            stable_breaks: false,
+        }
+    }
+
+    /// Sum of the certified per-value widths — the value-payload bytes
+    /// one dependency record carries on the wire.
+    pub fn payload_width(&self) -> usize {
+        self.carried.iter().map(|c| usize::from(c.width)).sum()
+    }
+
+    /// Whether any carried value ships narrower than eight bytes.
+    pub fn is_narrowed(&self) -> bool {
+        self.carried.iter().any(|c| c.width < 8)
+    }
+
+    /// Whether certified early-exit is justified: the structural skip
+    /// latch holds *and* every reachable break is monotone-stable.
+    pub fn latches(&self) -> bool {
+        self.skip_latch && self.stable_breaks
+    }
+
+    /// Versioned byte encoding (see the module docs).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![1u8]; // version
+        let mut flags = 0u8;
+        if self.skip_latch {
+            flags |= 1;
+        }
+        if self.stable_breaks {
+            flags |= 2;
+        }
+        out.push(flags);
+        debug_assert!(self.carried.len() <= u8::MAX as usize);
+        out.push(self.carried.len() as u8);
+        for c in &self.carried {
+            debug_assert!(c.name.len() <= u8::MAX as usize);
+            out.push(c.name.len() as u8);
+            out.extend_from_slice(c.name.as_bytes());
+            out.push(match c.ty {
+                Ty::Bool => 0,
+                Ty::Int => 1,
+                Ty::Float => 2,
+                Ty::Vertex => 3,
+            });
+            match c.range {
+                ValueRange::Interval { lo, hi } => {
+                    out.push(0);
+                    out.extend_from_slice(&lo.to_le_bytes());
+                    out.extend_from_slice(&hi.to_le_bytes());
+                }
+                ValueRange::Unbounded => out.push(1),
+            }
+            out.push(c.width);
+            out.push(match c.mono {
+                Monotonicity::Constant => 0,
+                Monotonicity::NonDecreasing => 1,
+                Monotonicity::NonIncreasing => 2,
+                Monotonicity::Unknown => 3,
+            });
+        }
+        out
+    }
+
+    /// Decodes [`DepCertificate::encode`]'s output. Returns `None` on a
+    /// truncated or malformed buffer or an unknown version.
+    pub fn decode(buf: &[u8]) -> Option<DepCertificate> {
+        let mut p = 0usize;
+        let byte = |p: &mut usize| -> Option<u8> {
+            let b = *buf.get(*p)?;
+            *p += 1;
+            Some(b)
+        };
+        if byte(&mut p)? != 1 {
+            return None;
+        }
+        let flags = byte(&mut p)?;
+        if flags & !3 != 0 {
+            return None;
+        }
+        let count = byte(&mut p)? as usize;
+        let mut carried = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name_len = byte(&mut p)? as usize;
+            let name_bytes = buf.get(p..p + name_len)?;
+            p += name_len;
+            let name = String::from_utf8(name_bytes.to_vec()).ok()?;
+            let ty = match byte(&mut p)? {
+                0 => Ty::Bool,
+                1 => Ty::Int,
+                2 => Ty::Float,
+                3 => Ty::Vertex,
+                _ => return None,
+            };
+            let range = match byte(&mut p)? {
+                0 => {
+                    let lo = i64::from_le_bytes(buf.get(p..p + 8)?.try_into().ok()?);
+                    p += 8;
+                    let hi = i64::from_le_bytes(buf.get(p..p + 8)?.try_into().ok()?);
+                    p += 8;
+                    if lo > hi {
+                        return None;
+                    }
+                    ValueRange::Interval { lo, hi }
+                }
+                1 => ValueRange::Unbounded,
+                _ => return None,
+            };
+            let width = byte(&mut p)?;
+            if ![1, 2, 4, 8].contains(&width) {
+                return None;
+            }
+            let mono = match byte(&mut p)? {
+                0 => Monotonicity::Constant,
+                1 => Monotonicity::NonDecreasing,
+                2 => Monotonicity::NonIncreasing,
+                3 => Monotonicity::Unknown,
+                _ => return None,
+            };
+            carried.push(CarriedCert {
+                name,
+                ty,
+                range,
+                width,
+                mono,
+            });
+        }
+        if p != buf.len() {
+            return None;
+        }
+        Some(DepCertificate {
+            carried,
+            skip_latch: flags & 1 != 0,
+            stable_breaks: flags & 2 != 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_narrow_by_type_and_range() {
+        assert_eq!(width_for(Ty::Bool, ValueRange::Unbounded), 1);
+        assert_eq!(width_for(Ty::Vertex, ValueRange::Unbounded), 4);
+        assert_eq!(width_for(Ty::Float, ValueRange::Unbounded), 8);
+        assert_eq!(width_for(Ty::Int, ValueRange::Unbounded), 8);
+        let itv = |lo, hi| ValueRange::Interval { lo, hi };
+        assert_eq!(width_for(Ty::Int, itv(0, 4)), 1);
+        assert_eq!(width_for(Ty::Int, itv(-128, 127)), 1);
+        assert_eq!(width_for(Ty::Int, itv(-129, 0)), 2);
+        assert_eq!(width_for(Ty::Int, itv(0, 40_000)), 4);
+        assert_eq!(width_for(Ty::Int, itv(0, 1 << 40)), 8);
+        // Float intervals never narrow: only the type sets the width.
+        assert_eq!(width_for(Ty::Float, itv(0, 1)), 8);
+    }
+
+    #[test]
+    fn range_containment() {
+        let r = ValueRange::Interval { lo: -2, hi: 7 };
+        assert!(r.contains(-2) && r.contains(7) && r.contains(0));
+        assert!(!r.contains(-3) && !r.contains(8));
+        assert!(ValueRange::Unbounded.contains(i64::MIN));
+    }
+
+    #[test]
+    fn wide_is_inert() {
+        let c = DepCertificate::wide(&[("cnt".into(), Ty::Int), ("acc".into(), Ty::Float)]);
+        assert_eq!(c.payload_width(), 16);
+        assert!(!c.is_narrowed());
+        assert!(!c.latches());
+        assert_eq!(c.carried[0].mono, Monotonicity::Unknown);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let cert = DepCertificate {
+            carried: vec![
+                CarriedCert {
+                    name: "cnt".into(),
+                    ty: Ty::Int,
+                    range: ValueRange::Interval { lo: 0, hi: 4 },
+                    width: 1,
+                    mono: Monotonicity::NonDecreasing,
+                },
+                CarriedCert {
+                    name: "acc".into(),
+                    ty: Ty::Float,
+                    range: ValueRange::Unbounded,
+                    width: 8,
+                    mono: Monotonicity::Unknown,
+                },
+            ],
+            skip_latch: true,
+            stable_breaks: false,
+        };
+        let bytes = cert.encode();
+        assert_eq!(DepCertificate::decode(&bytes), Some(cert.clone()));
+        // The trivial and wide certificates roundtrip too.
+        for c in [
+            DepCertificate::default(),
+            DepCertificate::wide(&[("x".into(), Ty::Vertex)]),
+        ] {
+            assert_eq!(DepCertificate::decode(&c.encode()), Some(c.clone()));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        let cert = DepCertificate::wide(&[("x".into(), Ty::Int)]);
+        let bytes = cert.encode();
+        assert_eq!(DepCertificate::decode(&[]), None, "empty");
+        assert_eq!(
+            DepCertificate::decode(&bytes[..bytes.len() - 1]),
+            None,
+            "truncated"
+        );
+        let mut wrong_version = bytes.clone();
+        wrong_version[0] = 9;
+        assert_eq!(DepCertificate::decode(&wrong_version), None);
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(DepCertificate::decode(&trailing), None, "trailing bytes");
+    }
+}

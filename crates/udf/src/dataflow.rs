@@ -7,8 +7,23 @@
 //! few dozen statements), so no acceleration is needed. Facts are recomputed
 //! from the neighbouring nodes on every visit, which keeps the join logic
 //! trivially correct in the presence of re-wired (pruned) graphs.
+//!
+//! **Termination.** The solver has no widening operator, so it terminates
+//! only when the per-point fact lattice has finite ascending chains. That
+//! holds for every analysis in this module — [`Liveness`] and
+//! [`ReachingDefs`] range over finite sets of locals/definition sites, and
+//! [`Const`] has height three per local (⊥ → `Val` → `NonConst`) even
+//! though its *value* carrier is infinite. It does **not** hold for an
+//! arbitrary [`Analysis`] implementation (an interval domain run through
+//! this solver would climb forever on a counting loop —
+//! [`crate::absint`] has its own widening for exactly that reason). The
+//! solver therefore enforces a fuel bound: [`solve_with_fuel`] returns a
+//! typed [`FuelExhausted`] error instead of hanging, and [`solve`] wraps it
+//! with a generous bound that the finite-lattice analyses above can never
+//! hit.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
 
 use crate::ast::{BinOp, Expr, Stmt, UnOp};
 use crate::cfg::{Cfg, NodeId, ENTRY, EXIT};
@@ -56,16 +71,80 @@ pub struct Solution<F> {
     pub after: Vec<F>,
 }
 
+/// The worklist did not stabilise within its fuel bound.
+///
+/// Returned by [`solve_with_fuel`] when an [`Analysis`] whose lattice has
+/// infinite (or merely very long) ascending chains keeps producing new
+/// facts. The built-in analyses cannot trigger this; a custom domain that
+/// needs widening (intervals, octagons, …) can — use [`crate::absint`]'s
+/// dedicated solver for those.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuelExhausted {
+    /// Node visits performed before giving up.
+    pub fuel: usize,
+}
+
+impl fmt::Display for FuelExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dataflow worklist did not stabilise within {} node visits \
+             (lattice with unbounded ascending chains? use a widening solver)",
+            self.fuel
+        )
+    }
+}
+
+impl std::error::Error for FuelExhausted {}
+
+/// Default fuel for [`solve`]: far above what any finite-lattice analysis
+/// in this crate can consume. Each of the ≤ `2·locals·nodes` fact
+/// changes re-queues at most the node's neighbours, so visits stay
+/// polynomial in the (tiny) CFG size; `64·n² + 1024` leaves two orders
+/// of magnitude of headroom.
+fn default_fuel(node_count: usize) -> usize {
+    1024 + 64 * node_count * node_count
+}
+
 /// Runs `analysis` over `cfg` to fixpoint.
+///
+/// # Panics
+///
+/// Panics if the internal fuel bound is exhausted — impossible for
+/// analyses over finite lattices (all of this module's); use
+/// [`solve_with_fuel`] directly when experimenting with domains that may
+/// climb forever.
 pub fn solve<A: Analysis>(cfg: &Cfg<'_>, analysis: &A) -> Solution<A::Fact> {
+    solve_with_fuel(cfg, analysis, default_fuel(cfg.node_count()))
+        .expect("finite-lattice dataflow analysis exhausted its fuel bound")
+}
+
+/// Runs `analysis` over `cfg` to fixpoint, spending at most `fuel` node
+/// visits.
+///
+/// # Errors
+///
+/// Returns [`FuelExhausted`] when the worklist is still busy after `fuel`
+/// visits — the typed alternative to non-termination for lattices without
+/// finite ascending chains.
+pub fn solve_with_fuel<A: Analysis>(
+    cfg: &Cfg<'_>,
+    analysis: &A,
+    fuel: usize,
+) -> Result<Solution<A::Fact>, FuelExhausted> {
     let n = cfg.node_count();
     let mut before = vec![analysis.init(); n];
     let mut after = vec![analysis.init(); n];
     let forward = analysis.direction() == Direction::Forward;
     let mut queue: VecDeque<NodeId> = (0..n).collect();
     let mut queued = vec![true; n];
+    let mut spent = 0usize;
     while let Some(node) = queue.pop_front() {
         queued[node] = false;
+        if spent >= fuel {
+            return Err(FuelExhausted { fuel });
+        }
+        spent += 1;
         if forward {
             let mut inb = if node == ENTRY {
                 analysis.boundary()
@@ -108,7 +187,7 @@ pub fn solve<A: Analysis>(cfg: &Cfg<'_>, analysis: &A) -> Solution<A::Fact> {
             }
         }
     }
-    Solution { before, after }
+    Ok(Solution { before, after })
 }
 
 // ---------------------------------------------------------------------------
@@ -606,6 +685,40 @@ mod tests {
             sol.before[cfg.node_of(2)].get("dbg"),
             Some(&Const::NonConst)
         );
+    }
+
+    #[test]
+    fn fuel_bound_turns_divergence_into_a_typed_error() {
+        // An adversarial "analysis" with an infinite ascending chain: the
+        // fact is a counter the transfer bumps forever. Without the fuel
+        // bound the worklist would never stabilise.
+        struct Diverge;
+        impl Analysis for Diverge {
+            type Fact = u64;
+            fn direction(&self) -> Direction {
+                Direction::Forward
+            }
+            fn boundary(&self) -> u64 {
+                0
+            }
+            fn init(&self) -> u64 {
+                0
+            }
+            fn join(&self, into: &mut u64, from: &u64) {
+                *into = (*into).max(*from);
+            }
+            fn transfer(&self, _cfg: &Cfg<'_>, _node: NodeId, fact: &u64) -> u64 {
+                fact + 1
+            }
+        }
+        let udf = counter_udf();
+        let cfg = Cfg::build(&udf);
+        let err = solve_with_fuel(&cfg, &Diverge, 100).unwrap_err();
+        assert_eq!(err, FuelExhausted { fuel: 100 });
+        assert!(err.to_string().contains("100 node visits"));
+        // The same tiny budget is plenty for a real finite-lattice
+        // analysis on the same graph.
+        assert!(solve_with_fuel(&cfg, &ReachingDefs, 100).is_ok());
     }
 
     #[test]

@@ -3,10 +3,30 @@
 //! [`UdfDep`] is a [`symple_core::DepState`] whose per-slot contents are
 //! derived from the analysis result: one skip bit (control dependency)
 //! plus the carried locals' values (data dependency). On the wire each
-//! message carries the packed skip bits followed by 8 bytes per carried
-//! value — the generic layout a compiler-produced `DepMessage` struct
-//! (§4.1) would have.
+//! message carries the packed skip bits followed by the carried values —
+//! the generic layout a compiler-produced `DepMessage` struct (§4.1)
+//! would have.
+//!
+//! Two wire refinements are driven by the abstract-interpretation
+//! [`DepCertificate`] (`EngineConfig::dep_width = Certified`):
+//!
+//! * **Width narrowing** — a carried value whose certified range fits a
+//!   narrower little-endian encoding ships in 1, 2 or 4 bytes instead of
+//!   8. Integers are truncated on encode and sign-extended on decode;
+//!   bools and vertex ids zero-extend. Sound because the certificate is a
+//!   proven over-approximation of every value the slot can hold,
+//!   including the reset zero and restored break-site snapshots.
+//! * **Latch elision** — when the certificate proves the skip bit is a
+//!   latch ([`DepCertificate::latches`]), a latched slot's carried values
+//!   are dead on every downstream machine (the receive guard returns
+//!   before reading them, and the lead machine resets the slot), so the
+//!   flat format omits them entirely and decodes them as zero.
+//!
+//! The uncertified constructor ([`UdfDep::new`]) keeps the original
+//! 8-bytes-per-value layout bit-for-bit, so `dep_width = Wide` and naive
+//! instrumentation measurements are unchanged.
 
+use crate::certificate::{DepCertificate, ValueRange};
 use crate::types::{Ty, Value};
 use std::ops::Range;
 use symple_core::{DepState, WireFormat};
@@ -16,6 +36,14 @@ use symple_net::{dep_records, encode_dep_range};
 #[derive(Debug, Clone)]
 pub struct UdfDep {
     tys: Vec<Ty>,
+    /// Wire width in bytes per carried value (all 8 when uncertified).
+    widths: Vec<u8>,
+    /// Certified value ranges, checked in debug builds on every write
+    /// and decode (the dynamic half of the certificate).
+    ranges: Vec<ValueRange>,
+    /// Elide latched slots' values on the flat wire (only set when the
+    /// certificate proves the skip bit latches).
+    latch_elide: bool,
     skip: Vec<bool>,
     /// Slot-major: `vals[slot * arity + i]`.
     vals: Vec<Value>,
@@ -23,7 +51,8 @@ pub struct UdfDep {
 
 impl UdfDep {
     /// Creates state for `slots` slots carrying one value per entry of
-    /// `carried_tys` (empty for control-only dependency).
+    /// `carried_tys` (empty for control-only dependency), using the wide
+    /// (uncertified) 8-bytes-per-value wire layout.
     pub fn new(slots: usize, carried_tys: Vec<Ty>) -> Self {
         let vals = carried_tys
             .iter()
@@ -32,15 +61,57 @@ impl UdfDep {
             .map(|&t| Value::zero(t))
             .collect();
         UdfDep {
+            widths: vec![8; carried_tys.len()],
+            ranges: vec![ValueRange::Unbounded; carried_tys.len()],
+            latch_elide: false,
             skip: vec![false; slots],
             vals,
             tys: carried_tys,
         }
     }
 
+    /// Creates state whose wire layout is narrowed by `cert`: carried
+    /// value `i` ships in `cert.carried[i].width` bytes, and latched
+    /// slots' values are elided when the certificate proves the
+    /// *structural* latch (`skip_latch`: the skip bit, once set, is never
+    /// cleared within a pass, so downstream machines provably never read
+    /// the latched slot's carried values). Elision does not need
+    /// `stable_breaks` — that stronger property only matters for the
+    /// certified early-exit fast path, not for the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the certificate's carried list does not match
+    /// `carried_tys` position by position.
+    pub fn with_certificate(slots: usize, carried_tys: Vec<Ty>, cert: &DepCertificate) -> Self {
+        assert_eq!(
+            cert.carried.len(),
+            carried_tys.len(),
+            "certificate arity mismatch"
+        );
+        for (c, &t) in cert.carried.iter().zip(&carried_tys) {
+            assert_eq!(c.ty, t, "certificate type mismatch for `{}`", c.name);
+        }
+        let mut d = UdfDep::new(slots, carried_tys);
+        d.widths = cert.carried.iter().map(|c| c.width).collect();
+        d.ranges = cert.carried.iter().map(|c| c.range).collect();
+        d.latch_elide = cert.skip_latch;
+        d
+    }
+
     /// Number of carried values per slot.
     pub fn arity(&self) -> usize {
         self.tys.len()
+    }
+
+    /// Total wire bytes of one slot's carried values at certified widths.
+    pub fn payload_width(&self) -> usize {
+        self.widths.iter().map(|&w| usize::from(w)).sum()
+    }
+
+    /// Whether latched slots' values are elided on the flat wire.
+    pub fn latch_elided(&self) -> bool {
+        self.latch_elide
     }
 
     /// Marks the skip bit of `slot`.
@@ -57,11 +128,71 @@ impl UdfDep {
     ///
     /// # Panics
     ///
-    /// Panics if the value's type differs from the declared carried type.
+    /// Panics if the value's type differs from the declared carried type,
+    /// or (debug builds) if the value escapes its certified range — the
+    /// dynamic check that backs the static certificate.
     pub fn set_value(&mut self, slot: usize, i: usize, v: Value) {
         assert_eq!(v.ty(), self.tys[i], "carried value type changed");
+        self.debug_check_range(i, v);
         let a = self.arity();
         self.vals[slot * a + i] = v;
+    }
+
+    /// The signed integer image a [`ValueRange`] constrains: ints as
+    /// themselves, bools as 0/1, vertex ids as their raw index. Floats
+    /// have no integer image (ranges never constrain them).
+    fn value_image(v: Value) -> Option<i64> {
+        match v {
+            Value::Int(x) => Some(x),
+            Value::Bool(b) => Some(i64::from(b)),
+            Value::Vertex(u) => Some(i64::from(u.raw())),
+            Value::Float(_) => None,
+        }
+    }
+
+    #[track_caller]
+    fn debug_check_range(&self, i: usize, v: Value) {
+        if cfg!(debug_assertions) {
+            if let Some(x) = Self::value_image(v) {
+                debug_assert!(
+                    self.ranges[i].contains(x),
+                    "carried value {i} = {x} escapes its certified range {}",
+                    self.ranges[i]
+                );
+            }
+        }
+    }
+
+    /// Appends the `widths[i]`-byte little-endian encoding of `v`.
+    fn write_val(&self, i: usize, v: Value, out: &mut Vec<u8>) {
+        let w = usize::from(self.widths[i]);
+        out.extend_from_slice(&v.to_bits().to_le_bytes()[..w]);
+    }
+
+    /// Decodes a `widths[i]`-byte value (sign-extending ints).
+    fn read_val(&self, i: usize, buf: &[u8]) -> Value {
+        let w = usize::from(self.widths[i]);
+        let mut bytes = [0u8; 8];
+        bytes[..w].copy_from_slice(&buf[..w]);
+        let mut bits = u64::from_le_bytes(bytes);
+        if self.tys[i] == Ty::Int && w < 8 {
+            let shift = 64 - 8 * w as u32;
+            bits = (((bits << shift) as i64) >> shift) as u64;
+        }
+        let v = Value::from_bits(self.tys[i], bits);
+        self.debug_check_range(i, v);
+        v
+    }
+
+    /// Flat wire bytes of the slots in `range` at this instance's widths
+    /// (accounts for latch elision, so it depends on the skip bits).
+    fn flat_len(&self, range: Range<usize>) -> usize {
+        let bits_len = range.len().div_ceil(8);
+        let pw = self.payload_width();
+        let present = range
+            .filter(|&slot| !(self.latch_elide && self.skip[slot]))
+            .count();
+        bits_len + present * pw
     }
 }
 
@@ -97,8 +228,11 @@ impl DepState for UdfDep {
         }
         let a = self.arity();
         for slot in range {
+            if self.latch_elide && self.skip[slot] {
+                continue; // values are dead downstream: the guard skips
+            }
             for i in 0..a {
-                out.extend_from_slice(&self.vals[slot * a + i].to_bits().to_le_bytes());
+                self.write_val(i, self.vals[slot * a + i], out);
             }
         }
     }
@@ -106,19 +240,24 @@ impl DepState for UdfDep {
     fn decode_range(&mut self, range: Range<usize>, buf: &[u8]) {
         let len = range.len();
         let bits_len = len.div_ceil(8);
-        assert!(
-            buf.len() >= Self::wire_bytes_for(len, self.arity()),
-            "dependency buffer too short"
-        );
+        assert!(buf.len() >= bits_len, "dependency buffer too short");
         for i in 0..len {
             self.skip[range.start + i] = (buf[i / 8] >> (i % 8)) & 1 == 1;
         }
         let a = self.arity();
-        for (j, slot) in range.into_iter().enumerate() {
+        let mut off = bits_len;
+        for slot in range {
+            if self.latch_elide && self.skip[slot] {
+                for i in 0..a {
+                    self.vals[slot * a + i] = Value::zero(self.tys[i]);
+                }
+                continue;
+            }
             for i in 0..a {
-                let off = bits_len + (j * a + i) * 8;
-                let bits = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
-                self.vals[slot * a + i] = Value::from_bits(self.tys[i], bits);
+                let w = usize::from(self.widths[i]);
+                assert!(buf.len() >= off + w, "dependency buffer too short");
+                self.vals[slot * a + i] = self.read_val(i, &buf[off..off + w]);
+                off += w;
             }
         }
     }
@@ -145,15 +284,22 @@ impl DepState for UdfDep {
             .collect();
         encode_dep_range(
             n,
-            1 + 8 * a,
+            1 + self.payload_width(),
             &slots,
-            Self::wire_bytes_for(n, a),
+            self.flat_len(range.clone()),
             &mut |out| self.encode_range(range.clone(), out),
             &mut |rel, out| {
                 let slot = range.start + rel as usize;
                 out.push(u8::from(self.skip[slot]));
                 for i in 0..a {
-                    out.extend_from_slice(&self.vals[slot * a + i].to_bits().to_le_bytes());
+                    // Latched slots write zeros so packed decodes land on
+                    // the same canonical state as the elided flat decode.
+                    let v = if self.latch_elide && self.skip[slot] {
+                        Value::zero(self.tys[i])
+                    } else {
+                        self.vals[slot * a + i]
+                    };
+                    self.write_val(i, v, out);
                 }
             },
             out,
@@ -167,24 +313,59 @@ impl DepState for UdfDep {
         }
         self.reset_range(range.clone());
         let a = self.arity();
-        for (rel, payload) in dep_records(range.len(), 1 + 8 * a, buf) {
+        for (rel, payload) in dep_records(range.len(), 1 + self.payload_width(), buf) {
             let slot = range.start + rel as usize;
             self.skip[slot] = payload[0] != 0;
+            let mut off = 1;
             for i in 0..a {
-                let off = 1 + i * 8;
-                let bits = u64::from_le_bytes(payload[off..off + 8].try_into().unwrap());
-                self.vals[slot * a + i] = Value::from_bits(self.tys[i], bits);
+                let w = usize::from(self.widths[i]);
+                self.vals[slot * a + i] = self.read_val(i, &payload[off..off + w]);
+                off += w;
             }
         }
     }
 
     fn detach(&self, slots: usize) -> Self {
-        UdfDep::new(slots, self.tys.clone())
+        UdfDep {
+            tys: self.tys.clone(),
+            widths: self.widths.clone(),
+            ranges: self.ranges.clone(),
+            latch_elide: self.latch_elide,
+            skip: vec![false; slots],
+            vals: self
+                .tys
+                .iter()
+                .cycle()
+                .take(slots * self.tys.len())
+                .map(|&t| Value::zero(t))
+                .collect(),
+        }
+    }
+
+    // The trait defaults round-trip shards through the wire codec. With
+    // latch elision that canonicalizes latched slots' (dead) values to
+    // zero mid-pass; direct copies keep in-memory state untouched so the
+    // chunked executor reproduces sequential execution field-for-field.
+    fn extract_shard(&self, range: Range<usize>) -> Self {
+        let mut shard = self.detach(range.len());
+        let a = self.arity();
+        shard.skip.copy_from_slice(&self.skip[range.clone()]);
+        shard
+            .vals
+            .copy_from_slice(&self.vals[range.start * a..range.end * a]);
+        shard
+    }
+
+    fn merge_shard(&mut self, range: Range<usize>, shard: &Self) {
+        let a = self.arity();
+        self.skip[range.clone()].copy_from_slice(&shard.skip);
+        self.vals[range.start * a..range.end * a].copy_from_slice(&shard.vals);
     }
 }
 
 impl UdfDep {
-    /// Wire bytes for `len` slots at the given carried arity.
+    /// Wire bytes for `len` slots at the given carried arity in the wide
+    /// (uncertified) layout: packed skip bits + 8 bytes per value.
     pub fn wire_bytes_for(len: usize, arity: usize) -> usize {
         len.div_ceil(8) + len * arity * 8
     }
@@ -193,6 +374,24 @@ impl UdfDep {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::certificate::{CarriedCert, Monotonicity};
+
+    fn narrow_cert(carried: &[(&str, Ty, ValueRange, u8)], latches: bool) -> DepCertificate {
+        DepCertificate {
+            carried: carried
+                .iter()
+                .map(|&(name, ty, range, width)| CarriedCert {
+                    name: name.to_string(),
+                    ty,
+                    range,
+                    width,
+                    mono: Monotonicity::Unknown,
+                })
+                .collect(),
+            skip_latch: latches,
+            stable_breaks: latches,
+        }
+    }
 
     #[test]
     fn control_only_roundtrip() {
@@ -311,5 +510,129 @@ mod tests {
         assert_eq!(d2.value(5, 0), Value::Int(7));
         assert!(d2.should_skip(6));
         assert_eq!(d2.value(0, 0), Value::Int(0), "outside range untouched");
+    }
+
+    #[test]
+    fn certified_widths_shrink_the_flat_wire() {
+        // K-core shape: one Int counter certified into [0, 4] → 1 byte.
+        let cert = narrow_cert(
+            &[("cnt", Ty::Int, ValueRange::Interval { lo: 0, hi: 4 }, 1)],
+            false,
+        );
+        let mut d = UdfDep::with_certificate(10, vec![Ty::Int], &cert);
+        assert_eq!(d.payload_width(), 1);
+        d.set_value(2, 0, Value::Int(3));
+        d.mark(2);
+        let mut buf = Vec::new();
+        d.encode_range(0..10, &mut buf);
+        assert_eq!(buf.len(), 2 + 10, "bitmap + 1 byte per slot");
+        assert!(buf.len() < UdfDep::wire_bytes_for(10, 1));
+        let mut d2 = UdfDep::with_certificate(10, vec![Ty::Int], &cert);
+        d2.decode_range(0..10, &buf);
+        assert_eq!(d2.value(2, 0), Value::Int(3));
+        assert!(d2.should_skip(2));
+    }
+
+    #[test]
+    fn narrow_int_sign_extends() {
+        let cert = narrow_cert(
+            &[("x", Ty::Int, ValueRange::Interval { lo: -300, hi: 300 }, 2)],
+            false,
+        );
+        let mut d = UdfDep::with_certificate(2, vec![Ty::Int], &cert);
+        d.set_value(0, 0, Value::Int(-300));
+        d.set_value(1, 0, Value::Int(299));
+        let mut buf = Vec::new();
+        d.encode_range(0..2, &mut buf);
+        assert_eq!(buf.len(), 1 + 2 * 2);
+        let mut d2 = UdfDep::with_certificate(2, vec![Ty::Int], &cert);
+        d2.decode_range(0..2, &buf);
+        assert_eq!(d2.value(0, 0), Value::Int(-300), "sign-extended");
+        assert_eq!(d2.value(1, 0), Value::Int(299));
+    }
+
+    #[test]
+    fn latch_elision_drops_latched_values_from_the_flat_wire() {
+        // Sampling shape: an 8-byte float that cannot narrow, but whose
+        // slot latches — elision is where the bytes come from.
+        let cert = narrow_cert(&[("acc", Ty::Float, ValueRange::Unbounded, 8)], true);
+        let mut d = UdfDep::with_certificate(4, vec![Ty::Float], &cert);
+        assert!(d.latch_elided());
+        d.set_value(0, 0, Value::Float(0.5));
+        d.set_value(1, 0, Value::Float(1.5));
+        d.mark(1); // latched: its value is dead downstream
+        let mut buf = Vec::new();
+        d.encode_range(0..4, &mut buf);
+        assert_eq!(buf.len(), 1 + 3 * 8, "one latched slot elided");
+        let mut d2 = UdfDep::with_certificate(4, vec![Ty::Float], &cert);
+        d2.decode_range(0..4, &buf);
+        assert_eq!(d2.value(0, 0), Value::Float(0.5));
+        assert!(d2.should_skip(1));
+        assert_eq!(d2.value(1, 0), Value::Float(0.0), "elided decodes to zero");
+        // Re-encoding the decoded state elides the same bytes again.
+        let mut buf2 = Vec::new();
+        d2.encode_range(0..4, &mut buf2);
+        assert_eq!(buf2, buf);
+    }
+
+    #[test]
+    fn certified_coded_roundtrip_canonicalizes_latched_slots() {
+        let cert = narrow_cert(
+            &[("cnt", Ty::Int, ValueRange::Interval { lo: 0, hi: 4 }, 1)],
+            true,
+        );
+        let mut d = UdfDep::with_certificate(300, vec![Ty::Int], &cert);
+        d.set_value(7, 0, Value::Int(2));
+        d.set_value(9, 0, Value::Int(4));
+        d.mark(9);
+        let mut wire = Vec::new();
+        let fmt = d.encode_range_coded(0..300, &mut wire);
+        assert_eq!(fmt, WireFormat::Sparse);
+        let mut d2 = UdfDep::with_certificate(300, vec![Ty::Int], &cert);
+        d2.decode_range_coded(0..300, &wire);
+        assert_eq!(d2.value(7, 0), Value::Int(2));
+        assert!(d2.should_skip(9));
+        assert_eq!(
+            d2.value(9, 0),
+            Value::Int(0),
+            "latched value canonicalized to zero on any wire path"
+        );
+        // Flat path lands on the same canonical state.
+        let mut flat = Vec::new();
+        d.encode_range(0..300, &mut flat);
+        let mut d3 = UdfDep::with_certificate(300, vec![Ty::Int], &cert);
+        d3.decode_range(0..300, &flat);
+        for slot in 0..300 {
+            assert_eq!(d3.value(slot, 0), d2.value(slot, 0), "slot {slot}");
+            assert_eq!(d3.should_skip(slot), d2.should_skip(slot));
+        }
+    }
+
+    #[test]
+    fn shards_keep_latched_values_in_memory() {
+        // Elision is a wire-only canonicalization: the chunked executor's
+        // shard round trip must not zero anything mid-pass.
+        let cert = narrow_cert(&[("acc", Ty::Float, ValueRange::Unbounded, 8)], true);
+        let mut d = UdfDep::with_certificate(6, vec![Ty::Float], &cert);
+        d.set_value(3, 0, Value::Float(0.125));
+        d.mark(3);
+        let shard = d.extract_shard(2..5);
+        assert_eq!(shard.value(1, 0), Value::Float(0.125), "not elided");
+        let mut d2 = UdfDep::with_certificate(6, vec![Ty::Float], &cert);
+        d2.merge_shard(2..5, &shard);
+        assert_eq!(d2.value(3, 0), Value::Float(0.125));
+        assert!(d2.should_skip(3));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "escapes its certified range")]
+    fn range_escape_caught_in_debug() {
+        let cert = narrow_cert(
+            &[("cnt", Ty::Int, ValueRange::Interval { lo: 0, hi: 4 }, 1)],
+            false,
+        );
+        let mut d = UdfDep::with_certificate(1, vec![Ty::Int], &cert);
+        d.set_value(0, 0, Value::Int(5));
     }
 }

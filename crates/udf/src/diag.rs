@@ -62,7 +62,7 @@ impl fmt::Display for Severity {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnostic {
     /// Stable machine-readable code (`E001`–`E007` for checker errors,
-    /// `W001`–`W005` for lint warnings, `E000` for parse errors).
+    /// `W001`–`W008` for lint warnings, `E000` for parse errors).
     pub code: &'static str,
     /// Whether the finding gates (`Error`) or merely advises (`Warning`).
     pub severity: Severity,
@@ -135,6 +135,100 @@ impl Diagnostic {
         }
         out
     }
+}
+
+/// Long-form rationale for a diagnostic code (`symple-lint --explain`),
+/// or `None` for an unknown code. Covers `E000`–`E007` and
+/// `W001`–`W008`; the text explains *why* the finding matters for the
+/// dependency-propagation machinery, not just what it says.
+pub fn explain(code: &str) -> Option<&'static str> {
+    Some(match code {
+        "E000" => {
+            "The source text does not parse. Nothing else can be checked until the \
+             syntax error is fixed; the span points at the first offending byte."
+        }
+        "E001" => {
+            "A local variable is read before any `let` declares it. The interpreter \
+             and VM both assume well-scoped programs, so an undefined local would \
+             panic at runtime; the checker rejects it up front."
+        }
+        "E002" => {
+            "The UDF reads a property array the schema does not declare. Property \
+             reads resolve to engine-owned arrays at bind time; an unknown name \
+             would only fail once a signal actually executes."
+        }
+        "E003" => {
+            "An expression's operand types do not match (e.g. adding a bool to an \
+             int). The executors assume a well-typed program and use unchecked \
+             conversions in the hot loop."
+        }
+        "E004" => {
+            "`break` or `u` (the current neighbour) appears outside the neighbour \
+             loop. Loop-carried dependency is defined per neighbour segment; these \
+             constructs have no meaning elsewhere."
+        }
+        "E005" => {
+            "Two `let`s declare the same name. Carried-state restore is keyed by \
+             name, so shadowing would make the dependency payload ambiguous."
+        }
+        "E006" => {
+            "Nested neighbour loops are not supported: the dependency state machine \
+             assumes one traversal per signal, matching the paper's UDF shape."
+        }
+        "E007" => {
+            "The function already contains instrumentation nodes (receive/emit \
+             guards). Instrumenting twice would double-restore carried state."
+        }
+        "W001" => {
+            "A local (or its initial value) is never read. Dead locals cost \
+             registers in the bytecode VM and obscure which state is genuinely \
+             loop-carried."
+        }
+        "W002" => {
+            "An `if` condition is compile-time constant. When the condition guards \
+             a `break`, the dependency analysis outcome flips with it: an \
+             always-false guard means no loop-carried dependency at all, an \
+             always-true guard means the segment always breaks on entry."
+        }
+        "W003" => {
+            "A statement can never execute (e.g. a write after `break`). The \
+             analyses ignore unreachable code, so its presence usually signals a \
+             logic error."
+        }
+        "W004" => {
+            "A local is assigned inside the neighbour loop (syntactically carried) \
+             but its value provably never crosses a machine boundary, so carried-\
+             state minimization drops it from the dependency message. Usually \
+             harmless; worth a look if you expected the value to propagate."
+        }
+        "W005" => {
+            "A carried float accumulates neighbour properties. Float addition is \
+             not associative, so the carried total depends on neighbour visit \
+             order and may differ across partitionings (the paper accepts this \
+             for sampling; differentiated propagation makes it visible)."
+        }
+        "W006" => {
+            "The program exceeds a bytecode-compiler resource limit (registers, \
+             carried slots, code size), so the engine falls back to the tree \
+             interpreter. Results are identical; per-edge dispatch is slower."
+        }
+        "W007" => {
+            "The abstract interpreter could not bound an integer carried local's \
+             value range (widening hit the type's extremes), so the value ships \
+             at the full 8 bytes even under `dep_width = Certified`. Bounding the \
+             local (e.g. saturating against a literal threshold) lets the \
+             certificate narrow the wire encoding to 1, 2 or 4 bytes."
+        }
+        "W008" => {
+            "The break condition is not provably monotone: the analysis cannot \
+             show that once it triggers it stays triggered (e.g. it compares a \
+             float accumulator, or a carried value that can decrease). The latch \
+             certificate fails, so `early_exit = Certified` re-evaluates every \
+             skipped segment under a no-emission audit instead of trusting the \
+             skip bit outright."
+        }
+        _ => return None,
+    })
 }
 
 /// Fills in the `span` field of every diagnostic that has a statement anchor.

@@ -33,7 +33,7 @@ use crate::types::Value;
 use crate::vm::BoundVm;
 use std::cell::RefCell;
 use std::collections::HashMap;
-use symple_core::{DepState, PullProgram, SignalOutcome, UdfExec};
+use symple_core::{DepState, DepWidth, PullProgram, SignalOutcome, UdfExec};
 use symple_graph::Vid;
 
 /// An instrumented UDF bound to a property store, executable as a pull
@@ -43,6 +43,7 @@ pub struct UdfProgram<'a> {
     props: &'a PropertyStore,
     active: Option<(String, bool)>,
     engine: Engine<'a>,
+    dep_width: DepWidth,
 }
 
 /// The executor actually selected for signal calls. `Interp` either by
@@ -79,6 +80,7 @@ impl<'a> UdfProgram<'a> {
             inst,
             props,
             active: None,
+            dep_width: DepWidth::default(),
         }
     }
 
@@ -103,13 +105,26 @@ impl<'a> UdfProgram<'a> {
         self
     }
 
+    /// Selects the dependency wire sizing (wire `EngineConfig::dep_width`
+    /// through here). `Certified` (the default) narrows carried values to
+    /// the widths the abstract-interpretation certificate proves and
+    /// elides latched slots' values; `Wide` keeps the seed's
+    /// 8-bytes-per-value reference layout.
+    pub fn dep_width(mut self, width: DepWidth) -> Self {
+        self.dep_width = width;
+        self
+    }
+
     /// Allocates dependency state with the right carried layout for this
-    /// UDF (`slots` from [`symple_core::Worker::dep_slots_needed`]).
+    /// UDF (`slots` from [`symple_core::Worker::dep_slots_needed`]),
+    /// narrowed by the dependency certificate unless `dep_width(Wide)`
+    /// was selected.
     pub fn make_dep(&self, slots: usize) -> UdfDep {
-        UdfDep::new(
-            slots,
-            self.inst.info.carried.iter().map(|&(_, t)| t).collect(),
-        )
+        let tys: Vec<_> = self.inst.info.carried.iter().map(|&(_, t)| t).collect();
+        match self.dep_width {
+            DepWidth::Wide => UdfDep::new(slots, tys),
+            DepWidth::Certified => UdfDep::with_certificate(slots, tys, &self.inst.info.cert),
+        }
     }
 }
 
@@ -367,6 +382,17 @@ impl PullProgram for UdfProgram<'_> {
                     == *want
             }
         }
+    }
+
+    fn guards_skip(&self) -> bool {
+        // Instrumented UDFs with dependency open with `ReceiveDepGuard`,
+        // which returns before any observable work when the skip bit is
+        // set — safe to re-run under the executor's latch audit.
+        self.inst.info.has_dependency()
+    }
+
+    fn certified_latch(&self) -> bool {
+        self.inst.info.cert.latches()
     }
 
     fn signal(

@@ -44,9 +44,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod analysis;
 pub mod ast;
 mod bytecode;
+pub mod certificate;
 pub mod cfg;
 mod check;
 mod compile;
@@ -65,13 +67,15 @@ mod transform;
 pub mod types;
 mod vm;
 
+pub use absint::certify;
 pub use analysis::{analyze, analyze_naive, effective_policy, DepInfo, DepKind};
 pub use ast::{BinOp, Expr, Stmt, UdfFn, UnOp};
 pub use bytecode::{Op, Reg, MAX_CARRIED, MAX_REGS};
+pub use certificate::{width_for, CarriedCert, DepCertificate, Monotonicity, ValueRange};
 pub use check::{check, check_all, error_code};
 pub use compile::{compile, CompileError, CompiledUdf};
 pub use dep_bridge::UdfDep;
-pub use diag::{render_diagnostics, Diagnostic, Severity, Span, SpanMap, StmtId};
+pub use diag::{explain, render_diagnostics, Diagnostic, Severity, Span, SpanMap, StmtId};
 pub use error::UdfError;
 pub use fold_while::FoldWhile;
 pub use interp::UdfProgram;

@@ -11,6 +11,8 @@
 //! | `W004` | carried local dropped by carried-state minimization |
 //! | `W005` | neighbour-order-sensitive float accumulation into carried state |
 //! | `W006` | bytecode compilation falls back to the tree interpreter |
+//! | `W007` | unbounded carried integer range forces wide dependency encoding |
+//! | `W008` | non-monotone break defeats certified early-exit |
 //!
 //! `E000` is reserved for parse errors from [`lint_source`].
 //!
@@ -215,6 +217,45 @@ fn warning_passes(udf: &UdfFn) -> Vec<Diagnostic> {
             out.push(Diagnostic::warning(
                 "W006",
                 format!("bytecode compilation falls back to the interpreter: {e}"),
+            ));
+        }
+    }
+
+    // W007: an integer carried local whose value range the abstract
+    // interpreter could not bound ships at the full 8 bytes even under
+    // `dep_width = Certified`.
+    if let Some(min) = &minimized {
+        for cc in &min.cert.carried {
+            if cc.ty == Ty::Int && cc.width == 8 {
+                let let_id = (0..cfg.num_stmts())
+                    .find(|&id| matches!(cfg.stmt(id), Stmt::Let { name: n, .. } if *n == cc.name));
+                let mut d = Diagnostic::warning(
+                    "W007",
+                    format!(
+                        "carried local `{}` has an unbounded value range ({}); it ships \
+                         at the full 8 bytes even under certified dependency narrowing",
+                        cc.name, cc.range
+                    ),
+                );
+                if let Some(id) = let_id {
+                    d = d.with_stmt(id);
+                }
+                out.push(d);
+            }
+        }
+    }
+
+    // W008: the break condition is not provably monotone, so the latch
+    // certificate fails and `early_exit = Certified` falls back to
+    // auditing every skipped segment instead of trusting the skip bit.
+    if let Some(min) = &minimized {
+        if min.has_dependency() && !min.cert.latches() {
+            out.push(Diagnostic::warning(
+                "W008",
+                "the break condition is not provably monotone (it could un-trigger on \
+                 re-evaluation); certified early-exit falls back to auditing skipped \
+                 segments"
+                    .to_string(),
             ));
         }
     }
@@ -430,6 +471,40 @@ mod tests {
             let diags = warning_passes(&udf);
             assert!(diags.iter().all(|d| d.code != "W006"), "{diags:?}");
         }
+    }
+
+    #[test]
+    fn cc_unbounded_carried_range_reports_w007() {
+        // Connected components carries `best: Int` whose range the
+        // interval domain cannot bound (it tracks neighbour labels).
+        let diags = lint(&paper_udfs::cc_udf(), &schema(&[("label", Ty::Int)]));
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "W007" && d.message.contains("`best`")),
+            "{diags:?}"
+        );
+        // K-core's counter is bounded by k, so it must NOT fire.
+        let diags = lint(&paper_udfs::kcore_udf(4), &schema(&[("active", Ty::Bool)]));
+        assert!(diags.iter().all(|d| d.code != "W007"), "{diags:?}");
+    }
+
+    #[test]
+    fn sampling_non_monotone_break_reports_w008() {
+        let diags = lint(
+            &paper_udfs::sampling_udf(),
+            &schema(&[("weight", Ty::Float), ("r", Ty::Float)]),
+        );
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "W008" && d.message.contains("monotone")),
+            "{diags:?}"
+        );
+        // K-core's break (`cnt >= k` over a non-decreasing counter) is
+        // provably stable: no W008.
+        let diags = lint(&paper_udfs::kcore_udf(4), &schema(&[("active", Ty::Bool)]));
+        assert!(diags.iter().all(|d| d.code != "W008"), "{diags:?}");
     }
 
     #[test]

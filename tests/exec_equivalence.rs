@@ -21,17 +21,37 @@
 //!   per-update costs into different partial sums). At higher thread
 //!   counts the blocked sweep's balanced lane schedule *is* the modelled
 //!   optimisation and even the Apply amount may differ.
+//! * **Dep-width axis** (`DepWidth::Wide` vs `DepWidth::Certified`):
+//!   the abstract-interpretation certificate narrows carried-value wire
+//!   slots and elides latched payloads, which changes *dependency bytes
+//!   only*. Outputs, work counters, message counts, and the update/sync
+//!   byte streams must stay bit-identical; dependency bytes may only
+//!   shrink (strictly, for the kernels whose certificates actually
+//!   narrow — K-core and sampling). Virtual time is free where dep
+//!   bytes differ and bit-identical where they do not.
+//! * **Early-exit axis** (`EarlyExit::Evaluate` vs
+//!   `EarlyExit::Certified`): `Evaluate` re-runs every skipped segment
+//!   under a no-emission audit; the audit is pure assertion, so *every*
+//!   observable — outputs, work, comm, and the full virtual-time
+//!   breakdown — must be bit-identical.
 //!
 //! Covered: the five paper kernels, the three scenario-matrix kernels
 //! (SSSP, CC, PageRank), and the dead-break `bounded` kernel, under the
 //! SympleGraph and Gemini policies, threads {1, 4, 8}, and a proptest
-//! sweep over randomly generated (checked) UDFs on random graphs.
+//! sweep over randomly generated (checked) UDFs on random graphs. The
+//! random sweep doubles as the certificate *soundness* harness: test
+//! builds keep debug assertions on, so every carried value written to or
+//! read from the narrowed wire is dynamically checked against its
+//! certified interval, and the `Evaluate` audit asserts the skip latch
+//! never un-triggers.
 
 use proptest::prelude::*;
 use symplegraph::core::{
-    run_spmd, EngineConfig, Policy, RunStats, SpanCategory, UdfExec, WorkMetric,
+    run_spmd, DepWidth, EarlyExit, EngineConfig, Policy, RunStats, SpanCategory, UdfExec,
+    WorkMetric,
 };
 use symplegraph::graph::{Bitmap, Graph, GraphBuilder, RmatConfig, Vid};
+use symplegraph::net::CommKind;
 use symplegraph::udf::{
     ast::{Expr, Stmt},
     effective_policy, instrument, paper_udfs,
@@ -154,7 +174,9 @@ fn run_kernel(
 ) -> (Vec<Vec<(u64, u64)>>, RunStats) {
     let n = graph.num_vertices();
     let res = run_spmd(graph, cfg, |w| {
-        let prog = UdfProgram::new(inst, props).exec(cfg.udf_exec);
+        let prog = UdfProgram::new(inst, props)
+            .exec(cfg.udf_exec)
+            .dep_width(cfg.dep_width);
         let mut dep = prog.make_dep(w.dep_slots_needed());
         let mut acc: Vec<(u64, u64)> = vec![(0, 0); n];
         let mut apply = |v: Vid, bits: u64| -> bool {
@@ -301,6 +323,104 @@ fn executors_and_layouts_agree_across_kernels() {
                 assert_eq!(
                     bytecode.1.work.get(WorkMetric::UpdatesApplied),
                     stream.1.work.get(WorkMetric::UpdatesApplied),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dep_width_narrowing_is_invisible_except_for_dep_bytes() {
+    let graph = RmatConfig::graph500(8, 8).cleaned(true).generate();
+    let props = study_props(graph.num_vertices());
+    for (name, udf) in kernels() {
+        let inst = instrument(&udf).expect("instrumentation");
+        let symple = effective_policy(&inst.info, Policy::symple());
+        for policy in [symple, Policy::Gemini] {
+            for threads in [1usize, 4] {
+                let mk = |width: DepWidth| {
+                    EngineConfig::new(4, policy)
+                        .threads(threads)
+                        .dep_width(width)
+                };
+                let wide = run_kernel(&graph, &props, &inst, &mk(DepWidth::Wide));
+                let cert = run_kernel(&graph, &props, &inst, &mk(DepWidth::Certified));
+                let label = format!("{name}/{policy:?}/t{threads} wide-vs-certified");
+                assert_eq!(wide.0, cert.0, "{label}: outputs diverged");
+                assert_eq!(wide.1.work, cert.1.work, "{label}: work counters diverged");
+                // The certificate only touches the dependency payload:
+                // update and sync streams, and every message count, stay
+                // bit-identical; dependency bytes may only shrink.
+                for kind in [CommKind::Update, CommKind::Sync] {
+                    assert_eq!(
+                        wide.1.comm.bytes(kind),
+                        cert.1.comm.bytes(kind),
+                        "{label}: {kind:?} bytes diverged"
+                    );
+                }
+                for kind in [CommKind::Update, CommKind::Dependency, CommKind::Sync] {
+                    assert_eq!(
+                        wide.1.comm.messages(kind),
+                        cert.1.comm.messages(kind),
+                        "{label}: {kind:?} message count diverged"
+                    );
+                }
+                let dep_wide = wide.1.comm.bytes(CommKind::Dependency);
+                let dep_cert = cert.1.comm.bytes(CommKind::Dependency);
+                assert!(
+                    dep_cert <= dep_wide,
+                    "{label}: certified dep bytes {dep_cert} above wide {dep_wide}"
+                );
+                // K-core's counter narrows to one byte and sampling's
+                // latch elides its float payload: under the dependency-
+                // circulating policy the reduction must be strict.
+                if matches!(name, "kcore" | "sampling") && policy != Policy::Gemini {
+                    assert!(
+                        dep_cert < dep_wide,
+                        "{label}: expected a strict dep-byte reduction \
+                         ({dep_cert} vs {dep_wide})"
+                    );
+                }
+                // Where no byte moved, the narrowed encoding is literally
+                // the wide one and even virtual time is bit-identical.
+                if dep_cert == dep_wide {
+                    assert_eq!(
+                        wide.1.time.virtual_secs, cert.1.time.virtual_secs,
+                        "{label}: equal bytes but virtual time diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn early_exit_audit_is_invisible_to_every_observable() {
+    let graph = RmatConfig::graph500(8, 8).cleaned(true).generate();
+    let props = study_props(graph.num_vertices());
+    for (name, udf) in kernels() {
+        let inst = instrument(&udf).expect("instrumentation");
+        for policy in [
+            effective_policy(&inst.info, Policy::symple()),
+            Policy::Gemini,
+        ] {
+            for threads in [1usize, 4] {
+                let mk = |mode: EarlyExit| {
+                    EngineConfig::new(4, policy)
+                        .threads(threads)
+                        .early_exit(mode)
+                };
+                let audited = run_kernel(&graph, &props, &inst, &mk(EarlyExit::Evaluate));
+                let certified = run_kernel(&graph, &props, &inst, &mk(EarlyExit::Certified));
+                // The audit re-executes skipped segments purely to assert
+                // the latch held (no emissions, no edges); it charges
+                // nothing, so the runs match bit for bit — including the
+                // full virtual-time breakdown.
+                assert_identical(
+                    &format!("{name}/{policy:?}/t{threads} evaluate-vs-certified"),
+                    &audited,
+                    &certified,
+                    TimeMatch::Exact,
                 );
             }
         }
@@ -493,6 +613,57 @@ proptest! {
             interp.1.time.virtual_secs,
             bytecode.1.time.virtual_secs,
             "virtual time diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Certificate soundness over random UDFs: (a) interval soundness —
+    /// test builds run with debug assertions, so the narrowed wire codec
+    /// dynamically checks every carried value it writes or reads against
+    /// the certified range and panics on an escape; (b) latch soundness —
+    /// the `Evaluate` audit re-runs every skipped segment and panics if
+    /// it emits or scans an edge, i.e. if the skip latch un-triggered;
+    /// (c) both consumers stay observation-equivalent to the wide,
+    /// unaudited baseline.
+    #[test]
+    fn random_udfs_respect_their_certificates(
+        g in arb_graph(80, 250),
+        (cond_prop, arith, emit_kind, break_at, use_break)
+            in (0u8..3, 0u8..3, 0u8..3, 0u8..7, any::<bool>()),
+        (machines, threads) in (1usize..5, 1usize..5),
+    ) {
+        let udf = knob_udf(cond_prop, arith, emit_kind, break_at, use_break);
+        let props = rand_props(g.num_vertices());
+        let inst = instrument(&udf).expect("instrumentation");
+        let policy = effective_policy(&inst.info, Policy::symple_basic());
+        let mk = |width: DepWidth, exit: EarlyExit| {
+            EngineConfig::new(machines, policy)
+                .threads(threads)
+                .dep_width(width)
+                .early_exit(exit)
+        };
+        let wide = run_kernel(&g, &props, &inst, &mk(DepWidth::Wide, EarlyExit::Certified));
+        let narrow =
+            run_kernel(&g, &props, &inst, &mk(DepWidth::Certified, EarlyExit::Certified));
+        prop_assert_eq!(&wide.0, &narrow.0, "narrowed outputs diverged");
+        prop_assert_eq!(wide.1.work, narrow.1.work, "narrowed work diverged");
+        prop_assert!(
+            narrow.1.comm.bytes(CommKind::Dependency)
+                <= wide.1.comm.bytes(CommKind::Dependency),
+            "narrowing grew the dependency stream"
+        );
+        let audited =
+            run_kernel(&g, &props, &inst, &mk(DepWidth::Certified, EarlyExit::Evaluate));
+        prop_assert_eq!(&audited.0, &narrow.0, "audited outputs diverged");
+        prop_assert_eq!(audited.1.work, narrow.1.work, "audited work diverged");
+        prop_assert_eq!(audited.1.comm, narrow.1.comm, "audited comm diverged");
+        prop_assert_eq!(
+            audited.1.time.virtual_secs,
+            narrow.1.time.virtual_secs,
+            "the audit is free in virtual time"
         );
     }
 }
